@@ -1,0 +1,72 @@
+// Ablation: hybrid schedule choice (Section 5.2).
+//
+// Sweeps wave counts w and remainders r (tile counts t = w*p + r) on the
+// simulated A100 and compares basic Stream-K, "DP + one-tile SK", and
+// "two-tile SK + DP".  The paper's claims to verify:
+//   * the one-tile hybrid struggles when >= 3 CTAs share a remainder tile
+//     (poor latency hiding, serialized accumulation);
+//   * the two-tile hybrid bounds every accumulating CTA to one peer and is
+//     the best (or tied) schedule once w >= 2.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bencher/table.hpp"
+#include "core/hybrid.hpp"
+#include "core/stream_k.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace streamk;
+  bench::print_header(
+      "Ablation: basic Stream-K vs hybrid schedules across wave counts",
+      "Section 5.2 (Figures 3a-3c) on the simulated A100");
+
+  const gpu::GpuSpec a100 = gpu::GpuSpec::a100_locked();
+  const gpu::BlockShape block = gpu::BlockShape::paper_fp16();
+  const model::CostModel model =
+      model::CostModel::calibrated(a100, block, gpu::Precision::kFp16F32);
+  const std::int64_t p = a100.sm_count;
+  const std::int64_t ipt_k = 4096;  // 128 iterations per tile
+
+  bencher::TextTable table({"tiles (w*p+r)", "basic SK", "DP+1-tile SK",
+                            "2-tile SK+DP", "best"});
+
+  int two_tile_wins = 0, rows = 0;
+  for (const std::int64_t w : {0LL, 1LL, 2LL, 4LL, 6LL}) {
+    for (const std::int64_t r : {1LL, 27LL, 54LL, 107LL}) {
+      const std::int64_t tiles = w * p + r;
+      // tiles = tiles_m * tiles_n with tiles_n = 1: m = tiles * 128.
+      const core::GemmShape shape{tiles * block.m, block.n, ipt_k};
+      const core::WorkMapping mapping(shape, block);
+
+      const core::StreamKBasic basic(mapping, p);
+      const core::Hybrid one(mapping,
+                             core::DecompositionKind::kHybridOneTile, p);
+      const core::Hybrid two(mapping,
+                             core::DecompositionKind::kHybridTwoTile, p);
+
+      const double t_basic = sim::simulate(basic, model, a100).makespan;
+      const double t_one = sim::simulate(one, model, a100).makespan;
+      const double t_two = sim::simulate(two, model, a100).makespan;
+
+      const double best = std::min({t_basic, t_one, t_two});
+      std::string winner = t_two <= best * 1.001 ? "2-tile"
+                           : t_one <= best * 1.001 ? "1-tile"
+                                                   : "basic";
+      if (w >= 2 && t_two <= best * 1.001) ++two_tile_wins;
+      if (w >= 2) ++rows;
+
+      table.row({std::to_string(tiles) + " (" + std::to_string(w) + "*108+" +
+                     std::to_string(r) + ")",
+                 bencher::fmt_seconds(t_basic), bencher::fmt_seconds(t_one),
+                 bencher::fmt_seconds(t_two), winner});
+    }
+  }
+  std::cout << table.render() << "\ntwo-tile hybrid best (or tied) in "
+            << two_tile_wins << "/" << rows
+            << " of the w >= 2 configurations (paper: it is the deployed "
+               "schedule)\n";
+  return 0;
+}

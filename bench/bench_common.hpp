@@ -1,0 +1,33 @@
+#pragma once
+
+// Shared helpers for the paper-reproduction bench binaries.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "corpus/corpus.hpp"
+
+namespace streamk::bench {
+
+/// Corpus size for the sweep benches.  Defaults to the paper's full 32,824
+/// problems; set STREAMK_CORPUS_SIZE to a smaller value for quick runs.
+inline std::size_t corpus_size_from_env() {
+  if (const char* env = std::getenv("STREAMK_CORPUS_SIZE")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return corpus::kPaperCorpusSize;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "==============================================================="
+               "=================\n"
+            << title << "\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "==============================================================="
+               "=================\n";
+}
+
+}  // namespace streamk::bench

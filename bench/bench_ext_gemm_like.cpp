@@ -1,0 +1,125 @@
+// Extension bench: Stream-K on GEMM-like workloads (paper Section 7:
+// "Stream-K decomposition could provide a similar improved performance
+// response for other GEMM-like workloads that struggle with the same
+// quantization inefficiencies").
+//
+//  1. Batched GEMM: per-entry kernel launches (each entry pays its own
+//     partial wave) vs one fused work-centric launch over the stacked tile
+//     space.
+//  2. Convolution (implicit GEMM): batch-1 CNN inference layers,
+//     data-parallel vs the planned Stream-K schedule.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bencher/table.hpp"
+#include "conv/conv_shape.hpp"
+#include "cpu/batched.hpp"
+#include "model/grid_selector.hpp"
+#include "sim/sim_gemm.hpp"
+
+namespace {
+
+using namespace streamk;
+
+const gpu::GpuSpec kA100 = gpu::GpuSpec::a100_locked();
+const gpu::BlockShape kBlock = gpu::BlockShape::paper_fp16();
+
+model::CostModel fp16_model() {
+  return model::CostModel::calibrated(kA100, kBlock,
+                                      gpu::Precision::kFp16F32);
+}
+
+double simulate_spec(const core::DecompositionSpec& spec,
+                     const core::WorkMapping& mapping) {
+  return sim::estimate_kernel(spec, mapping, fp16_model(), kA100).seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace streamk;
+  bench::print_header("Extension: Stream-K on GEMM-like workloads",
+                      "Section 7 (batched GEMM, convolution)");
+
+  // -------------------------------------------------------------- batched
+  std::cout << "\n=== 1. batched GEMM: per-entry launches vs fused "
+               "work-centric launch ===\n";
+  bencher::TextTable batched_table({"batch x shape", "tiles/entry",
+                                    "per-entry DP", "fused stream-k",
+                                    "speedup"});
+  struct BatchCase {
+    std::int64_t batch;
+    core::GemmShape shape;
+  };
+  for (const BatchCase& bc : {BatchCase{16, {384, 384, 1024}},
+                              BatchCase{8, {640, 512, 2048}},
+                              BatchCase{64, {128, 128, 4096}},
+                              BatchCase{4, {1920, 1152, 512}}}) {
+    const core::WorkMapping entry_mapping(bc.shape, kBlock);
+    core::DecompositionSpec dp;
+    dp.kind = core::DecompositionKind::kDataParallel;
+    // Sequential per-entry launches: batch x the single-entry makespan.
+    const double per_entry =
+        static_cast<double>(bc.batch) * simulate_spec(dp, entry_mapping);
+
+    // Fused: one launch over the stacked tile space, planned schedule.
+    const cpu::BatchedShape batched{bc.batch, bc.shape};
+    const core::WorkMapping fused = cpu::batched_mapping(batched, kBlock);
+    const core::DecompositionSpec planned =
+        model::plan(fp16_model(), fused, kA100);
+    const double fused_time = simulate_spec(planned, fused);
+
+    batched_table.row(
+        {std::to_string(bc.batch) + " x " + bc.shape.to_string(),
+         std::to_string(entry_mapping.tiles()),
+         bencher::fmt_seconds(per_entry), bencher::fmt_seconds(fused_time),
+         bencher::fmt_ratio(per_entry / fused_time)});
+  }
+  std::cout << batched_table.render()
+            << "fusing the batch removes one partial wave per entry; the "
+               "win grows with batch count and shrinks with entry size.\n";
+
+  // ----------------------------------------------------------------- conv
+  std::cout << "\n=== 2. convolution layers (implicit GEMM, batch-1 "
+               "inference) ===\n";
+  bencher::TextTable conv_table({"layer", "implicit GEMM", "tiles",
+                                 "data-parallel", "planned stream-k",
+                                 "speedup"});
+  auto layer = [](std::int64_t hw, std::int64_t c, std::int64_t k,
+                  std::int64_t f, std::int64_t stride, std::int64_t pad) {
+    conv::ConvShape s;
+    s.batch = 1;
+    s.height = hw;
+    s.width = hw;
+    s.in_channels = c;
+    s.out_channels = k;
+    s.filter_h = f;
+    s.filter_w = f;
+    s.stride = stride;
+    s.pad = pad;
+    return s;
+  };
+  for (const conv::ConvShape& c :
+       {layer(56, 64, 64, 3, 1, 1), layer(28, 128, 128, 3, 1, 1),
+        layer(14, 256, 256, 3, 1, 1), layer(7, 512, 512, 3, 1, 1),
+        layer(7, 512, 2048, 1, 1, 0)}) {
+    const core::GemmShape g = c.gemm_shape();
+    const core::WorkMapping mapping(g, kBlock);
+    core::DecompositionSpec dp;
+    dp.kind = core::DecompositionKind::kDataParallel;
+    const double t_dp = simulate_spec(dp, mapping);
+    const core::DecompositionSpec planned =
+        model::plan(fp16_model(), mapping, kA100);
+    const double t_sk = simulate_spec(planned, mapping);
+    conv_table.row({c.to_string(), g.to_string(),
+                    std::to_string(mapping.tiles()),
+                    bencher::fmt_seconds(t_dp), bencher::fmt_seconds(t_sk),
+                    bencher::fmt_ratio(t_dp / t_sk)});
+  }
+  std::cout << conv_table.render()
+            << "deep-tail layers (few output pixels, deep filter volume) "
+               "are the strong-scaling regime: Stream-K parallelizes the "
+               "reduction the tile-centric schedule serializes.\n";
+  return 0;
+}

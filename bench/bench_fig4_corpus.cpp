@@ -1,0 +1,64 @@
+// Figure 4: the test domain of 32,824 GEMM problem shapes and sizes.
+//
+// Regenerates the corpus ({m}, {n}, {k} log-sampled from [128, 8192]),
+// reports its defining statistics (extent histograms in log space, volume
+// span in orders of magnitude, compute-bound fractions), and exports the
+// full scatter data to CSV for external plotting.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bencher/table.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace streamk;
+  bench::print_header("Figure 4: the 32,824-problem GEMM corpus",
+                      "Figure 4 (Section 6, Dataset)");
+
+  const std::size_t n = bench::corpus_size_from_env();
+  const corpus::Corpus corpus = corpus::Corpus::paper(n);
+  std::cout << "problems: " << corpus.size() << "\n";
+
+  std::vector<double> log_m, log_n, log_k, log_volume;
+  for (const auto& s : corpus.shapes()) {
+    log_m.push_back(std::log10(static_cast<double>(s.m)));
+    log_n.push_back(std::log10(static_cast<double>(s.n)));
+    log_k.push_back(std::log10(static_cast<double>(s.k)));
+    log_volume.push_back(std::log10(s.flops()));
+  }
+
+  const auto lo = std::log10(128.0);
+  const auto hi = std::log10(8192.0);
+  std::cout << "\nlog10(m) distribution (should be ~flat: log-uniform):\n"
+            << util::Histogram::of(log_m, lo, hi, 6).render()
+            << "\nlog10(k) distribution:\n"
+            << util::Histogram::of(log_k, lo, hi, 6).render();
+
+  std::cout << "\nproblem volume: spans "
+            << bencher::fmt_num(corpus.volume_orders_of_magnitude(), 2)
+            << " orders of magnitude (paper: six)\n"
+            << "log10(FLOPs) distribution:\n"
+            << util::Histogram::of(log_volume, 6.5, 12.5, 6).render();
+
+  bencher::TextTable table({"precision", "compute-bound threshold",
+                            "compute-bound problems", "fraction"});
+  for (const auto precision :
+       {gpu::Precision::kFp64, gpu::Precision::kFp16F32}) {
+    const auto bound = corpus.compute_bound(precision);
+    table.row({std::string(gpu::name(precision)),
+               bencher::fmt_num(corpus::compute_bound_threshold(precision), 0) +
+                   " ops/B",
+               std::to_string(bound.size()),
+               bencher::fmt_pct(static_cast<double>(bound.size()) /
+                                static_cast<double>(corpus.size()))});
+  }
+  std::cout << "\n" << table.render();
+
+  const std::string csv = "fig4_corpus.csv";
+  corpus.write_csv(csv);
+  std::cout << "\nfull scatter data written to " << csv << "\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 6: FP64 roofline utilization landscapes across the corpus -- the
+// four panels of Figure 5 at double precision (data-parallel blocking
+// 64x64x16).  See bench_fig5_roofline_fp16.cpp for the panel semantics.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bencher/roofline.hpp"
+#include "bencher/table.hpp"
+
+int main() {
+  using namespace streamk;
+  bench::print_header("Figure 6: FP64 roofline utilization landscapes",
+                      "Figure 6a-6d (Section 6)");
+
+  const std::size_t n = bench::corpus_size_from_env();
+  const corpus::Corpus corpus = corpus::Corpus::paper(n);
+  const auto suite = ensemble::EvaluationSuite::make(
+      gpu::GpuSpec::a100_locked(), gpu::Precision::kFp64);
+  const bencher::CorpusEvaluation eval = bencher::evaluate_corpus(
+      corpus, suite, [](std::size_t done, std::size_t total) {
+        std::cerr << "\r  evaluated " << done << "/" << total << std::flush;
+      });
+  std::cerr << "\n";
+
+  struct Panel {
+    const char* title;
+    const std::vector<double>* utilization;
+  };
+  const Panel panels[] = {
+      {"Figure 6a: CUTLASS data-parallel 64x64x16",
+       &eval.data_parallel_utilization},
+      {"Figure 6b: cuBLAS-like ensemble", &eval.cublas_like_utilization},
+      {"Figure 6c: idealized CUTLASS oracle", &eval.oracle_utilization},
+      {"Figure 6d: Stream-K 64x64x16", &eval.stream_k_utilization},
+  };
+
+  double dp_spread = 0.0, sk_spread = 0.0;
+  for (const Panel& panel : panels) {
+    const auto bands = bencher::banded_summary(eval.intensity,
+                                               *panel.utilization, 10);
+    std::cout << "\n" << bencher::render_roofline_panel(panel.title, bands);
+    const double spread = bencher::mean_band_spread(bands);
+    std::cout << "mean p90-p10 utilization spread: "
+              << bencher::fmt_pct(spread) << "\n";
+    if (panel.utilization == &eval.data_parallel_utilization) {
+      dp_spread = spread;
+    }
+    if (panel.utilization == &eval.stream_k_utilization) sk_spread = spread;
+  }
+
+  std::cout << "\nperformance-response tightness: Stream-K spread "
+            << bencher::fmt_pct(sk_spread) << " vs data-parallel "
+            << bencher::fmt_pct(dp_spread)
+            << (sk_spread < dp_spread ? "  (tighter, as in the paper)"
+                                      : "  (UNEXPECTED)")
+            << "\n";
+
+  const std::string csv = "fig6_roofline_fp64.csv";
+  bencher::write_roofline_csv(csv, eval);
+  std::cout << "scatter data written to " << csv << "\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 7: Stream-K speedup vs the cuBLAS-like ensemble as a function of
+// arithmetic intensity, for FP64 (7a) and FP16->32 (7b).
+//
+// The paper's observation: below the compute-bound threshold the response
+// is noisy (Stream-K adds memory traffic to memory-bound problems); above
+// it, Stream-K wins essentially unilaterally.  We print per-bucket speedup
+// bands and the min/avg/max split across the threshold.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bencher/roofline.hpp"
+#include "bencher/table.hpp"
+
+namespace {
+
+using namespace streamk;
+
+void run_panel(const char* title, gpu::Precision precision, std::size_t n) {
+  const corpus::Corpus corpus = corpus::Corpus::paper(n);
+  const auto suite =
+      ensemble::EvaluationSuite::make(gpu::GpuSpec::a100_locked(), precision);
+  const bencher::CorpusEvaluation eval = bencher::evaluate_corpus(
+      corpus, suite, [](std::size_t done, std::size_t total) {
+        std::cerr << "\r  evaluated " << done << "/" << total << std::flush;
+      });
+  std::cerr << "\n";
+
+  std::vector<double> speedups(eval.intensity.size());
+  for (std::size_t i = 0; i < speedups.size(); ++i) {
+    speedups[i] = eval.cublas_like_seconds[i] / eval.stream_k_seconds[i];
+  }
+
+  std::cout << "\n" << title << "\n";
+  const auto bands = bencher::banded_summary(eval.intensity, speedups, 10);
+  bencher::TextTable table(
+      {"ops/byte", "n", "min", "median", "max"});
+  for (const auto& band : bands) {
+    table.row({bencher::fmt_num(band.intensity_lo, 0) + "-" +
+                   bencher::fmt_num(band.intensity_hi, 0),
+               std::to_string(band.utilization.count),
+               bencher::fmt_ratio(band.utilization.min),
+               bencher::fmt_ratio(band.utilization.median),
+               bencher::fmt_ratio(band.utilization.max)});
+  }
+  std::cout << table.render();
+
+  const double threshold = corpus::compute_bound_threshold(precision);
+  const util::Summary compute_bound = bencher::speedup_summary_filtered(
+      eval.cublas_like_seconds, eval.stream_k_seconds, eval.intensity,
+      threshold);
+  std::cout << "compute-bound (> " << bencher::fmt_num(threshold, 0)
+            << " ops/B, " << compute_bound.count
+            << " problems): min " << bencher::fmt_ratio(compute_bound.min)
+            << ", avg " << bencher::fmt_ratio(compute_bound.mean) << ", max "
+            << bencher::fmt_ratio(compute_bound.max)
+            << (compute_bound.min >= 0.98
+                    ? "  (virtually no slowdowns, as in the paper)"
+                    : "")
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace streamk;
+  bench::print_header("Figure 7: Stream-K speedup vs the cuBLAS-like "
+                      "ensemble across arithmetic intensity",
+                      "Figure 7a (FP64) and 7b (FP16->32)");
+  const std::size_t n = bench::corpus_size_from_env();
+  run_panel("Figure 7a: FP64 speedup vs cuBLAS-like",
+            gpu::Precision::kFp64, n);
+  run_panel("Figure 7b: FP16->32 speedup vs cuBLAS-like",
+            gpu::Precision::kFp16F32, n);
+  return 0;
+}

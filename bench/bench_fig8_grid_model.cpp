@@ -1,0 +1,114 @@
+// Figure 8: the analytical grid-size selection model (Appendix A.1) on
+// NVIDIA A100 (108 SMs) for FP16 blocking 128x128x32, evaluated on the
+// paper's three strong-scaling case studies:
+//
+//   8a: 256x3584x8192  -- 56 tiles, 256 iters/tile -> g_best = 108
+//   8b: 1024x1024x1024 -- 64 tiles,  32 iters/tile -> g_best = 64
+//   8c: 128x128x16384  --  1 tile,  512 iters/tile -> g_best = 8
+//
+// For each case we print the modelled time-vs-g curve (normalized to the
+// minimum) and the selected grid.  A second section sweeps the model-chosen
+// grid against the g = p and g = t policies (the grid-selection ablation).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bencher/table.hpp"
+#include "model/grid_selector.hpp"
+
+namespace {
+
+using namespace streamk;
+
+struct Case {
+  const char* label;
+  core::GemmShape shape;
+  std::int64_t paper_gbest;
+};
+
+void run_case(const Case& c, const model::CostModel& model,
+              const gpu::GpuSpec& gpu) {
+  const core::WorkMapping mapping(c.shape, model.block());
+  const model::GridChoice choice = model::select_grid(model, mapping, gpu);
+
+  std::cout << "\n--- " << c.label << ": " << c.shape.to_string() << " ("
+            << mapping.tiles() << " output tiles, "
+            << mapping.iters_per_tile() << " iterations per tile) ---\n"
+            << "g_best <- " << choice.grid << " CTAs, "
+            << model::CostModel::iters_per_cta(mapping, choice.grid)
+            << " iterations per CTA   (paper: g_best <- " << c.paper_gbest
+            << ")\n";
+
+  bencher::TextTable table({"g", "iters/CTA", "fixup peers",
+                            "modelled time (norm.)"});
+  for (const std::int64_t g :
+       {1LL, 2LL, 4LL, 8LL, 16LL, 32LL, 56LL, 64LL, 80LL, 96LL, 108LL}) {
+    if (g > gpu.sm_count) continue;
+    const double t = model.stream_k_cta_time(mapping, g);
+    table.row({std::to_string(g),
+               std::to_string(model::CostModel::iters_per_cta(mapping, g)),
+               std::to_string(model::CostModel::fixup_peers(mapping, g)),
+               bencher::fmt_num(t / choice.predicted_seconds, 3)});
+  }
+  std::cout << table.render();
+}
+
+}  // namespace
+
+int main() {
+  using namespace streamk;
+  bench::print_header(
+      "Figure 8: modelled Stream-K performance vs grid size (A100, "
+      "BLK 128x128x32)",
+      "Figure 8a/8b/8c (Appendix A.1)");
+
+  const gpu::GpuSpec a100 = gpu::GpuSpec::a100_locked();
+  const gpu::BlockShape block = gpu::BlockShape::paper_fp16();
+  // The conservative Figure-8 illustration constants (b = 9c, d = 8c).
+  const model::CostModel model =
+      model::CostModel::paper_fig8(a100, block, gpu::Precision::kFp16F32);
+
+  const Case cases[] = {
+      {"Figure 8a", {256, 3584, 8192}, 108},
+      {"Figure 8b", {1024, 1024, 1024}, 64},
+      {"Figure 8c", {128, 128, 16384}, 8},
+  };
+  for (const Case& c : cases) run_case(c, model, a100);
+
+  // Ablation: the model-chosen grid vs fixed policies, under the calibrated
+  // (deployment) constants with the roofline included.
+  std::cout << "\n=== grid-selection ablation (calibrated constants, "
+               "delivered-time estimates) ===\n";
+  const model::CostModel calibrated =
+      model::CostModel::calibrated(a100, block, gpu::Precision::kFp16F32);
+  bencher::TextTable table({"shape", "policy g=t (DP)", "policy g=p",
+                            "planned", "plan choice"});
+  for (const Case& c : cases) {
+    const core::WorkMapping mapping(c.shape, block);
+    core::DecompositionSpec dp;
+    dp.kind = core::DecompositionKind::kDataParallel;
+    core::DecompositionSpec full;
+    full.kind = core::DecompositionKind::kStreamKBasic;
+    full.grid = a100.sm_count;
+    const core::DecompositionSpec planned =
+        model::plan(calibrated, mapping, a100);
+
+    const double t_dp =
+        model::closed_form_estimate(dp, calibrated, mapping, a100);
+    const double t_full =
+        model::closed_form_estimate(full, calibrated, mapping, a100);
+    const double t_plan =
+        model::closed_form_estimate(planned, calibrated, mapping, a100);
+
+    std::string choice = std::string(core::kind_name(planned.kind));
+    if (planned.kind == core::DecompositionKind::kStreamKBasic) {
+      choice += "(g=" + std::to_string(planned.grid) + ")";
+    }
+    table.row({c.shape.to_string(), bencher::fmt_seconds(t_dp),
+               bencher::fmt_seconds(t_full), bencher::fmt_seconds(t_plan),
+               choice});
+  }
+  std::cout << table.render()
+            << "planned time is never worse than either fixed policy.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 1: Stream-K FP64 relative performance over the 32,824-problem
+// corpus on the (simulated) locked A100.
+//
+// Columns, as in the paper:
+//   vs CUTLASS 64x64x16   -- the data-parallel kernel of the same blocking
+//   vs cuBLAS-like        -- the rule-based tile + fixed-split ensemble
+//   vs cuBLAS-like > 150 ops/B -- compute-bound sub-corpus
+//   vs CUTLASS oracle     -- idealized best-of-ensemble selection
+// Rows: Average / StdDev / Min / Max of the per-problem speedups.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bencher/relative_perf.hpp"
+
+int main() {
+  using namespace streamk;
+  bench::print_header("Table 1: Stream-K FP64 relative performance",
+                      "Table 1 (Section 6)");
+
+  const std::size_t n = bench::corpus_size_from_env();
+  std::cout << "corpus: " << n << " problems (STREAMK_CORPUS_SIZE overrides)\n"
+            << "device: " << gpu::GpuSpec::a100_locked().name << "\n\n";
+
+  const corpus::Corpus corpus = corpus::Corpus::paper(n);
+  const auto suite = ensemble::EvaluationSuite::make(
+      gpu::GpuSpec::a100_locked(), gpu::Precision::kFp64);
+
+  const bencher::CorpusEvaluation eval = bencher::evaluate_corpus(
+      corpus, suite, [](std::size_t done, std::size_t total) {
+        std::cerr << "\r  evaluated " << done << "/" << total << std::flush;
+      });
+  std::cerr << "\n";
+
+  std::cout << bencher::render_relative_table(eval, gpu::Precision::kFp64,
+                                              "64x64x16");
+  std::cout << "\npaper reports (A100 hardware):      avg 1.23x / 1.06x / "
+               "1.03x / 1.05x, max 5.63x / 2.55x / 1.24x / 1.64x\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 2: Stream-K FP16->32 relative performance over the 32,824-problem
+// corpus on the (simulated) locked A100.  See bench_table1_fp64.cpp for the
+// column/row structure; the compute-bound threshold for mixed precision is
+// 400 ops/byte (Section 6, final paragraph).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bencher/relative_perf.hpp"
+
+int main() {
+  using namespace streamk;
+  bench::print_header("Table 2: Stream-K FP16->32 relative performance",
+                      "Table 2 (Section 6)");
+
+  const std::size_t n = bench::corpus_size_from_env();
+  std::cout << "corpus: " << n << " problems (STREAMK_CORPUS_SIZE overrides)\n"
+            << "device: " << gpu::GpuSpec::a100_locked().name << "\n\n";
+
+  const corpus::Corpus corpus = corpus::Corpus::paper(n);
+  const auto suite = ensemble::EvaluationSuite::make(
+      gpu::GpuSpec::a100_locked(), gpu::Precision::kFp16F32);
+
+  const bencher::CorpusEvaluation eval = bencher::evaluate_corpus(
+      corpus, suite, [](std::size_t done, std::size_t total) {
+        std::cerr << "\r  evaluated " << done << "/" << total << std::flush;
+      });
+  std::cerr << "\n";
+
+  std::cout << bencher::render_relative_table(eval, gpu::Precision::kFp16F32,
+                                              "128x128x32");
+  std::cout << "\npaper reports (A100 hardware):      avg 1.63x / 1.13x / "
+               "1.15x / 1.12x, max 14.7x / 6.74x / 1.85x / 4.63x\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Corpus report: regenerate the paper's 32,824-problem evaluation corpus
+// (Figure 4), print its shape statistics, and dump it to CSV.
+//
+//   $ ./corpus_report [count] [out.csv]
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "bencher/table.hpp"
+#include "corpus/corpus.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace streamk;
+
+  std::size_t count = 4096;  // default: a fast subset with full-span stats
+  if (argc >= 2) count = static_cast<std::size_t>(std::atoll(argv[1]));
+  const std::string csv = argc >= 3 ? argv[2] : "corpus.csv";
+
+  const corpus::Corpus corpus = corpus::Corpus::paper(count);
+  std::cout << "corpus: " << corpus.size() << " problems, log-sampled from "
+            << "[128, 8192]^3 (paper Figure 4 uses "
+            << corpus::kPaperCorpusSize << ")\n";
+
+  std::vector<double> m, n, k, intensity_fp64, intensity_fp16;
+  for (const auto& s : corpus.shapes()) {
+    m.push_back(static_cast<double>(s.m));
+    n.push_back(static_cast<double>(s.n));
+    k.push_back(static_cast<double>(s.k));
+    intensity_fp64.push_back(s.arithmetic_intensity(gpu::Precision::kFp64));
+    intensity_fp16.push_back(
+        s.arithmetic_intensity(gpu::Precision::kFp16F32));
+  }
+
+  bencher::TextTable table({"series", "min", "median", "mean", "max"});
+  auto row = [&](const char* name, const std::vector<double>& v) {
+    const util::Summary s = util::Summary::of(v);
+    table.row({name, bencher::fmt_num(s.min, 0),
+               bencher::fmt_num(s.median, 0), bencher::fmt_num(s.mean, 0),
+               bencher::fmt_num(s.max, 0)});
+  };
+  row("m", m);
+  row("n", n);
+  row("k", k);
+  row("intensity fp64 (ops/B)", intensity_fp64);
+  row("intensity fp16->32 (ops/B)", intensity_fp16);
+  std::cout << table.render();
+
+  std::cout << "volume span: "
+            << bencher::fmt_num(corpus.volume_orders_of_magnitude(), 2)
+            << " orders of magnitude\n"
+            << "compute-bound: "
+            << corpus.compute_bound(gpu::Precision::kFp64).size()
+            << " problems (fp64 > 150 ops/B), "
+            << corpus.compute_bound(gpu::Precision::kFp16F32).size()
+            << " problems (fp16->32 > 400 ops/B)\n";
+
+  corpus.write_csv(csv);
+  std::cout << "written: " << csv << "\n";
+  return 0;
+}

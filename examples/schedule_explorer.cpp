@@ -1,0 +1,93 @@
+// Schedule explorer: visualize how a GEMM decomposes under every strategy.
+//
+// For a problem shape (and optional SM count / blocking factors), prints the
+// simulated per-SM Gantt chart, makespan, quantization efficiency, and
+// fixup statistics of each decomposition the library implements --
+// the interactive version of the paper's Figures 1-3.
+//
+//   $ ./schedule_explorer [m n k] [sms] [blk_m blk_n blk_k]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/data_parallel.hpp"
+#include "core/fixed_split.hpp"
+#include "core/hybrid.hpp"
+#include "core/stream_k.hpp"
+#include "model/grid_selector.hpp"
+#include "sim/schedule_render.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace streamk;
+
+void show(const core::Decomposition& decomposition,
+          const model::CostModel& model, const gpu::GpuSpec& gpu) {
+  sim::SimOptions options;
+  options.record_trace = true;
+  options.occupancy_override = 1;
+  const sim::SimResult r =
+      sim::simulate(decomposition, model, gpu, options);
+  std::cout << "\n### " << decomposition.name() << " (" << r.grid
+            << " CTAs)\n"
+            << "makespan " << r.makespan * 1e6 << " us | efficiency "
+            << r.occupancy_efficiency * 100.0 << "% | spills " << r.spills
+            << " | wait " << r.wait_time * 1e6 << " us\n"
+            << sim::render_schedule(r.timeline,
+                                    {.width = 80, .show_legend = false});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace streamk;
+
+  core::GemmShape shape{384, 384, 128};
+  gpu::GpuSpec gpu = gpu::GpuSpec::hypothetical4();
+  gpu::BlockShape block{128, 128, 4};
+  if (argc >= 4) {
+    shape = {std::atoll(argv[1]), std::atoll(argv[2]), std::atoll(argv[3])};
+  }
+  if (argc >= 5) {
+    const double scale = std::atof(argv[4]) / 4.0;
+    gpu.sm_count = std::atoll(argv[4]);
+    gpu.peak_fp16f32_tflops *= scale;
+    gpu.peak_fp64_tflops *= scale;
+    gpu.dram_gbytes_per_s *= scale;
+  }
+  if (argc >= 8) {
+    block = {std::atoll(argv[5]), std::atoll(argv[6]), std::atoll(argv[7])};
+  }
+
+  const core::WorkMapping mapping(shape, block);
+  std::cout << "GEMM " << shape.to_string() << ", blocking "
+            << block.to_string() << ", " << gpu.sm_count << " SMs\n"
+            << "tiles: " << mapping.tiles() << " (" << mapping.tiles_m()
+            << "x" << mapping.tiles_n() << "), iterations/tile: "
+            << mapping.iters_per_tile() << ", total iterations: "
+            << mapping.total_iters() << "\n"
+            << "legend: 0-9A-Za-z MAC by CTA, '=' setup, 's' spill, "
+               "'-' wait, 'r' reduce, '.' idle\n";
+
+  // Visible-but-modest overheads so fixup phases show up in the charts.
+  const model::CostModel model(
+      model::CostParams{0.5e-6, 1e-6, 1e-6, 1e-6}, block,
+      gpu::Precision::kFp16F32);
+
+  show(core::DataParallel(mapping), model, gpu);
+  show(core::FixedSplit(mapping, 2), model, gpu);
+  show(core::StreamKBasic(mapping, gpu.sm_count), model, gpu);
+  show(core::Hybrid(mapping, core::DecompositionKind::kHybridOneTile,
+                    gpu.sm_count),
+       model, gpu);
+  show(core::Hybrid(mapping, core::DecompositionKind::kHybridTwoTile,
+                    gpu.sm_count),
+       model, gpu);
+
+  const model::GridChoice choice = model::select_grid(model, mapping, gpu);
+  std::cout << "\nanalytical model (Appendix A.1): best basic Stream-K grid"
+            << " = " << choice.grid << " CTAs\n";
+  show(core::StreamKBasic(mapping, choice.grid), model, gpu);
+  return 0;
+}

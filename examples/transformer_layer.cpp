@@ -1,0 +1,111 @@
+// Transformer layer GEMMs: the workload class the paper's introduction
+// motivates ("Transformer architectures ... are almost entirely limited by
+// the performance of large matrix products").
+//
+// Walks the matrix products of one decoder layer at a given batch of token
+// positions and hidden size, runs each on the simulated A100 under both the
+// data-parallel baseline and the Stream-K library, and executes a scaled-
+// down version on the CPU path to verify numerics end to end.  The
+// attention-projection GEMMs at small batch are exactly the strong-scaling
+// shapes where Stream-K shines.
+//
+//   $ ./transformer_layer [tokens] [hidden]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bencher/table.hpp"
+#include "cpu/gemm.hpp"
+#include "cpu/reference.hpp"
+#include "ensemble/library.hpp"
+
+namespace {
+
+using namespace streamk;
+
+struct LayerGemm {
+  const char* name;
+  core::GemmShape shape;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace streamk;
+
+  std::int64_t tokens = 256;    // decode-time microbatch of positions
+  std::int64_t hidden = 4096;   // model width
+  if (argc >= 2) tokens = std::atoll(argv[1]);
+  if (argc >= 3) hidden = std::atoll(argv[2]);
+  const std::int64_t ffn = 4 * hidden;
+
+  const LayerGemm gemms[] = {
+      {"QKV projection", {tokens, 3 * hidden, hidden}},
+      {"attention output", {tokens, hidden, hidden}},
+      {"FFN up", {tokens, ffn, hidden}},
+      {"FFN down", {tokens, hidden, ffn}},
+  };
+
+  std::cout << "Decoder layer GEMMs at " << tokens << " tokens, hidden "
+            << hidden << " (FP16->32 on the simulated locked A100)\n\n";
+
+  const gpu::GpuSpec a100 = gpu::GpuSpec::a100_locked();
+  const ensemble::EvaluationSuite suite =
+      ensemble::EvaluationSuite::make(a100, gpu::Precision::kFp16F32);
+
+  bencher::TextTable table({"GEMM", "shape", "tiles", "schedule chosen",
+                            "data-parallel", "stream-k", "speedup"});
+  double layer_dp = 0.0, layer_sk = 0.0;
+  for (const LayerGemm& g : gemms) {
+    const auto dp = suite.data_parallel->run(g.shape);
+    const auto sk = suite.stream_k->run(g.shape);
+    layer_dp += dp.estimate.seconds;
+    layer_sk += sk.estimate.seconds;
+    const core::WorkMapping mapping(g.shape,
+                                    gpu::BlockShape::paper_fp16());
+    table.row({g.name, g.shape.to_string(), std::to_string(mapping.tiles()),
+               std::string(core::kind_name(sk.kind)),
+               bencher::fmt_seconds(dp.estimate.seconds),
+               bencher::fmt_seconds(sk.estimate.seconds),
+               bencher::fmt_ratio(dp.estimate.seconds /
+                                  sk.estimate.seconds)});
+  }
+  std::cout << table.render() << "whole layer: "
+            << bencher::fmt_seconds(layer_dp) << " -> "
+            << bencher::fmt_seconds(layer_sk) << "  ("
+            << bencher::fmt_ratio(layer_dp / layer_sk) << ")\n";
+
+  // Scaled-down functional check of the same shapes on the CPU executor.
+  std::cout << "\nnumerical verification (scaled 1/16, FP16 inputs, FP32 "
+               "accumulate):\n";
+  for (const LayerGemm& g : gemms) {
+    const core::GemmShape small{std::max<std::int64_t>(1, g.shape.m / 16),
+                                std::max<std::int64_t>(1, g.shape.n / 16),
+                                std::max<std::int64_t>(1, g.shape.k / 16)};
+    cpu::Matrix<util::Half> a(small.m, small.k);
+    cpu::Matrix<util::Half> b(small.k, small.n);
+    util::Pcg32 rng(small.m * 7 + small.n);
+    cpu::fill_random(a, rng, -0.25, 0.25);
+    cpu::fill_random(b, rng, -0.25, 0.25);
+
+    cpu::Matrix<float> c(small.m, small.n);
+    const cpu::GemmReport report = cpu::gemm(a, b, c, {.workers = 2});
+
+    cpu::Matrix<float> expected(small.m, small.n);
+    cpu::naive_gemm<util::Half, float, float>(a, b, expected);
+    double worst = 0.0;
+    for (std::int64_t i = 0; i < small.m; ++i) {
+      for (std::int64_t j = 0; j < small.n; ++j) {
+        worst = std::max(worst, std::abs(static_cast<double>(c.at(i, j)) -
+                                         static_cast<double>(
+                                             expected.at(i, j))));
+      }
+    }
+    const bool ok = worst < 1e-4 * static_cast<double>(small.k);
+    std::cout << "  " << g.name << " " << small.to_string() << " via "
+              << report.schedule_name << ": max |delta| = " << worst
+              << (ok ? "  OK" : "  FAIL") << "\n";
+    if (!ok) return 1;
+  }
+  return 0;
+}

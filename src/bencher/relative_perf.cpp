@@ -1,0 +1,108 @@
+#include "bencher/relative_perf.hpp"
+
+#include "bencher/table.hpp"
+#include "util/check.hpp"
+
+namespace streamk::bencher {
+
+CorpusEvaluation evaluate_corpus(
+    const corpus::Corpus& corpus, const ensemble::EvaluationSuite& suite,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  CorpusEvaluation eval;
+  const std::size_t n = corpus.size();
+  eval.shapes = corpus.shapes();
+  eval.intensity.reserve(n);
+  eval.stream_k_seconds.reserve(n);
+  eval.data_parallel_seconds.reserve(n);
+  eval.cublas_like_seconds.reserve(n);
+  eval.oracle_seconds.reserve(n);
+  eval.stream_k_utilization.reserve(n);
+  eval.data_parallel_utilization.reserve(n);
+  eval.cublas_like_utilization.reserve(n);
+  eval.oracle_utilization.reserve(n);
+
+  const gpu::Precision precision = suite.stream_k->precision();
+  std::size_t done = 0;
+  for (const core::GemmShape& shape : corpus.shapes()) {
+    eval.intensity.push_back(shape.arithmetic_intensity(precision));
+
+    const auto sk = suite.stream_k->run(shape);
+    const auto dp = suite.data_parallel->run(shape);
+    const auto cb = suite.cublas_like->run(shape);
+    const auto oc = suite.oracle->run(shape);
+
+    eval.stream_k_seconds.push_back(sk.estimate.seconds);
+    eval.data_parallel_seconds.push_back(dp.estimate.seconds);
+    eval.cublas_like_seconds.push_back(cb.estimate.seconds);
+    eval.oracle_seconds.push_back(oc.estimate.seconds);
+
+    eval.stream_k_utilization.push_back(sk.estimate.utilization);
+    eval.data_parallel_utilization.push_back(dp.estimate.utilization);
+    eval.cublas_like_utilization.push_back(cb.estimate.utilization);
+    eval.oracle_utilization.push_back(oc.estimate.utilization);
+
+    ++done;
+    if (progress && done % 1024 == 0) progress(done, n);
+  }
+  if (progress) progress(done, n);
+  return eval;
+}
+
+util::Summary speedup_summary(const std::vector<double>& baseline_seconds,
+                              const std::vector<double>& stream_k_seconds) {
+  util::check(baseline_seconds.size() == stream_k_seconds.size(),
+              "speedup vectors must align");
+  std::vector<double> speedups;
+  speedups.reserve(baseline_seconds.size());
+  for (std::size_t i = 0; i < baseline_seconds.size(); ++i) {
+    speedups.push_back(baseline_seconds[i] / stream_k_seconds[i]);
+  }
+  return util::Summary::of(speedups);
+}
+
+util::Summary speedup_summary_filtered(
+    const std::vector<double>& baseline_seconds,
+    const std::vector<double>& stream_k_seconds,
+    const std::vector<double>& intensity, double threshold) {
+  util::check(baseline_seconds.size() == stream_k_seconds.size() &&
+                  baseline_seconds.size() == intensity.size(),
+              "speedup vectors must align");
+  std::vector<double> speedups;
+  for (std::size_t i = 0; i < baseline_seconds.size(); ++i) {
+    if (intensity[i] > threshold) {
+      speedups.push_back(baseline_seconds[i] / stream_k_seconds[i]);
+    }
+  }
+  return util::Summary::of(speedups);
+}
+
+std::string render_relative_table(const CorpusEvaluation& eval,
+                                  gpu::Precision precision,
+                                  const std::string& dp_label) {
+  const double threshold = corpus::compute_bound_threshold(precision);
+
+  const util::Summary vs_dp =
+      speedup_summary(eval.data_parallel_seconds, eval.stream_k_seconds);
+  const util::Summary vs_cublas =
+      speedup_summary(eval.cublas_like_seconds, eval.stream_k_seconds);
+  const util::Summary vs_cublas_cb = speedup_summary_filtered(
+      eval.cublas_like_seconds, eval.stream_k_seconds, eval.intensity,
+      threshold);
+  const util::Summary vs_oracle =
+      speedup_summary(eval.oracle_seconds, eval.stream_k_seconds);
+
+  TextTable table({"", "vs CUTLASS " + dp_label, "vs cuBLAS-like",
+                   "vs cuBLAS-like > " + fmt_num(threshold, 0) + " ops/B",
+                   "vs CUTLASS oracle"});
+  auto row = [&](const std::string& label, auto get) {
+    table.row({label, get(vs_dp), get(vs_cublas), get(vs_cublas_cb),
+               get(vs_oracle)});
+  };
+  row("Average", [](const util::Summary& s) { return fmt_ratio(s.mean); });
+  row("StdDev", [](const util::Summary& s) { return fmt_num(s.stddev); });
+  row("Min", [](const util::Summary& s) { return fmt_ratio(s.min); });
+  row("Max", [](const util::Summary& s) { return fmt_ratio(s.max); });
+  return table.render();
+}
+
+}  // namespace streamk::bencher

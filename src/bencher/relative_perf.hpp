@@ -1,0 +1,60 @@
+#pragma once
+
+// Corpus-wide evaluation and relative-performance distributions.
+//
+// Runs every library of an EvaluationSuite over a corpus and aggregates the
+// speedup distributions the paper tabulates:
+//
+//     speedup_i = time_baseline(problem_i) / time_streamk(problem_i)
+//
+// reported as Average / StdDev / Min / Max over all problems, optionally
+// restricted to the compute-bound sub-corpus (arithmetic intensity above the
+// per-precision threshold) as in the third column of Tables 1-2.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "ensemble/library.hpp"
+#include "util/stats.hpp"
+
+namespace streamk::bencher {
+
+/// Per-problem results for all four libraries, index-aligned with the
+/// corpus shapes.
+struct CorpusEvaluation {
+  std::vector<core::GemmShape> shapes;
+  std::vector<double> intensity;  ///< FLOP/byte at the suite's precision
+
+  std::vector<double> stream_k_seconds;
+  std::vector<double> data_parallel_seconds;
+  std::vector<double> cublas_like_seconds;
+  std::vector<double> oracle_seconds;
+
+  std::vector<double> stream_k_utilization;
+  std::vector<double> data_parallel_utilization;
+  std::vector<double> cublas_like_utilization;
+  std::vector<double> oracle_utilization;
+};
+
+CorpusEvaluation evaluate_corpus(
+    const corpus::Corpus& corpus, const ensemble::EvaluationSuite& suite,
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
+
+/// Speedup distribution baseline/stream-k (elementwise).
+util::Summary speedup_summary(const std::vector<double>& baseline_seconds,
+                              const std::vector<double>& stream_k_seconds);
+
+/// Same, restricted to problems with intensity > threshold.
+util::Summary speedup_summary_filtered(
+    const std::vector<double>& baseline_seconds,
+    const std::vector<double>& stream_k_seconds,
+    const std::vector<double>& intensity, double threshold);
+
+/// Renders a Table 1 / Table 2 style report (4 columns x Avg/StdDev/Min/Max).
+std::string render_relative_table(const CorpusEvaluation& eval,
+                                  gpu::Precision precision,
+                                  const std::string& dp_label);
+
+}  // namespace streamk::bencher

@@ -1,0 +1,97 @@
+#include "bencher/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "bencher/table.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace streamk::bencher {
+
+std::vector<IntensityBand> banded_summary(
+    const std::vector<double>& intensity, const std::vector<double>& values,
+    std::size_t buckets) {
+  util::check(intensity.size() == values.size(), "series must align");
+  util::check(!intensity.empty(), "empty series");
+  util::check(buckets >= 1, "need at least one bucket");
+
+  double lo = intensity[0];
+  double hi = intensity[0];
+  for (const double x : intensity) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  hi = std::max(hi, lo * (1.0 + 1e-9));
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  const double width = (log_hi - log_lo) / static_cast<double>(buckets);
+
+  std::vector<std::vector<double>> groups(buckets);
+  for (std::size_t i = 0; i < intensity.size(); ++i) {
+    auto b = static_cast<std::ptrdiff_t>((std::log(intensity[i]) - log_lo) /
+                                         width);
+    b = std::clamp<std::ptrdiff_t>(b, 0,
+                                   static_cast<std::ptrdiff_t>(buckets) - 1);
+    groups[static_cast<std::size_t>(b)].push_back(values[i]);
+  }
+
+  std::vector<IntensityBand> bands;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (groups[b].empty()) continue;
+    IntensityBand band;
+    band.intensity_lo = std::exp(log_lo + width * static_cast<double>(b));
+    band.intensity_hi = std::exp(log_lo + width * static_cast<double>(b + 1));
+    band.utilization = util::Summary::of(groups[b]);
+    bands.push_back(band);
+  }
+  return bands;
+}
+
+std::string render_roofline_panel(const std::string& title,
+                                  const std::vector<IntensityBand>& bands) {
+  std::ostringstream os;
+  os << title << "\n";
+  TextTable table({"ops/byte", "n", "p10 util", "median", "p90 util",
+                   "spread(p90-p10)"});
+  for (const IntensityBand& band : bands) {
+    std::ostringstream range;
+    range << fmt_num(band.intensity_lo, 0) << "-"
+          << fmt_num(band.intensity_hi, 0);
+    table.row({range.str(), std::to_string(band.utilization.count),
+               fmt_pct(band.utilization.p10), fmt_pct(band.utilization.median),
+               fmt_pct(band.utilization.p90),
+               fmt_pct(band.utilization.p90 - band.utilization.p10)});
+  }
+  os << table.render();
+  return os.str();
+}
+
+double mean_band_spread(const std::vector<IntensityBand>& bands) {
+  util::check(!bands.empty(), "no bands");
+  double sum = 0.0;
+  for (const IntensityBand& band : bands) {
+    sum += band.utilization.p90 - band.utilization.p10;
+  }
+  return sum / static_cast<double>(bands.size());
+}
+
+void write_roofline_csv(const std::string& path,
+                        const CorpusEvaluation& eval) {
+  util::CsvWriter csv(path, {"m", "n", "k", "intensity", "util_dp",
+                             "util_cublas_like", "util_oracle",
+                             "util_stream_k"});
+  for (std::size_t i = 0; i < eval.shapes.size(); ++i) {
+    csv.row({util::CsvWriter::cell(eval.shapes[i].m),
+             util::CsvWriter::cell(eval.shapes[i].n),
+             util::CsvWriter::cell(eval.shapes[i].k),
+             util::CsvWriter::cell(eval.intensity[i]),
+             util::CsvWriter::cell(eval.data_parallel_utilization[i]),
+             util::CsvWriter::cell(eval.cublas_like_utilization[i]),
+             util::CsvWriter::cell(eval.oracle_utilization[i]),
+             util::CsvWriter::cell(eval.stream_k_utilization[i])});
+  }
+}
+
+}  // namespace streamk::bencher

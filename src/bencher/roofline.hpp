@@ -1,0 +1,44 @@
+#pragma once
+
+// Roofline landscapes: utilization as a function of arithmetic intensity.
+//
+// The paper's Figures 5 and 6 plot, for each of the 32K corpus problems,
+// tensor-core utilization against FLOP/byte -- one panel per library.  For
+// terminal/regression use we summarize each panel into logarithmic intensity
+// buckets with percentile bands: a "tight" performance response (Stream-K)
+// shows a narrow p10-p90 band; the data-parallel and heuristic ensembles
+// show wide ones.  Full per-problem scatter data is exported to CSV for
+// external plotting.
+
+#include <string>
+#include <vector>
+
+#include "bencher/relative_perf.hpp"
+#include "util/stats.hpp"
+
+namespace streamk::bencher {
+
+struct IntensityBand {
+  double intensity_lo = 0.0;
+  double intensity_hi = 0.0;
+  util::Summary utilization;  ///< over problems in this bucket
+};
+
+/// Buckets (intensity, value) pairs into log-spaced intensity bands.
+std::vector<IntensityBand> banded_summary(
+    const std::vector<double>& intensity, const std::vector<double>& values,
+    std::size_t buckets = 12);
+
+/// Renders a banded panel: one line per bucket with p10/median/p90 and a
+/// spread column (p90 - p10), the figure's visual "tightness".
+std::string render_roofline_panel(const std::string& title,
+                                  const std::vector<IntensityBand>& bands);
+
+/// Mean p90-p10 utilization spread across buckets: a scalar "consistency"
+/// score (lower = tighter response).
+double mean_band_spread(const std::vector<IntensityBand>& bands);
+
+/// Writes per-problem scatter data for all four libraries.
+void write_roofline_csv(const std::string& path, const CorpusEvaluation& eval);
+
+}  // namespace streamk::bencher

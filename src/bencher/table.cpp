@@ -1,0 +1,90 @@
+#include "bencher/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace streamk::bencher {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  util::check(!headers_.empty(), "table needs headers");
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  util::check(cells.size() == headers_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t j = 0; j < headers_.size(); ++j) {
+    widths[j] = headers_[j].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      os << (j == 0 ? "| " : " | ") << std::left
+         << std::setw(static_cast<int>(widths[j])) << cells[j];
+    }
+    os << " |\n";
+  };
+  auto emit_rule = [&] {
+    for (std::size_t j = 0; j < widths.size(); ++j) {
+      os << (j == 0 ? "|-" : "-|-") << std::string(widths[j], '-');
+    }
+    os << "-|\n";
+  };
+
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+std::string fmt_ratio(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v << "x";
+  return os.str();
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string fmt_num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_seconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  const double abs = std::abs(seconds);
+  if (abs < 1e-6) {
+    os << seconds * 1e9 << " ns";
+  } else if (abs < 1e-3) {
+    os << seconds * 1e6 << " us";
+  } else if (abs < 1.0) {
+    os << seconds * 1e3 << " ms";
+  } else {
+    os << seconds << " s";
+  }
+  return os.str();
+}
+
+}  // namespace streamk::bencher

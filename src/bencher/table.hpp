@@ -1,0 +1,31 @@
+#pragma once
+
+// Fixed-width text tables for paper-style terminal reports.
+
+#include <string>
+#include <vector>
+
+namespace streamk::bencher {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void row(std::vector<std::string> cells);
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.23x" style ratio formatting (matching Tables 1-2).
+std::string fmt_ratio(double v, int precision = 2);
+/// "87.5%" style percentage.
+std::string fmt_pct(double fraction, int precision = 1);
+/// Fixed-precision number.
+std::string fmt_num(double v, int precision = 2);
+/// Seconds scaled to a human unit (ns/us/ms/s).
+std::string fmt_seconds(double seconds);
+
+}  // namespace streamk::bencher

@@ -1,0 +1,47 @@
+#include "conv/conv_shape.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace streamk::conv {
+
+bool ConvShape::valid() const {
+  return batch >= 1 && height >= 1 && width >= 1 && in_channels >= 1 &&
+         out_channels >= 1 && filter_h >= 1 && filter_w >= 1 && stride >= 1 &&
+         pad >= 0 && height + 2 * pad >= filter_h &&
+         width + 2 * pad >= filter_w;
+}
+
+std::string ConvShape::to_string() const {
+  std::ostringstream os;
+  os << "N" << batch << " " << height << "x" << width << "x" << in_channels
+     << " -> K" << out_channels << " " << filter_h << "x" << filter_w
+     << " s" << stride << " p" << pad;
+  return os.str();
+}
+
+OutputPixel output_pixel(const ConvShape& conv, std::int64_t m) {
+  util::check(m >= 0 && m < conv.batch * conv.out_h() * conv.out_w(),
+              "output pixel index out of range");
+  const std::int64_t pixels = conv.out_h() * conv.out_w();
+  OutputPixel px;
+  px.n = m / pixels;
+  const std::int64_t rem = m % pixels;
+  px.p = rem / conv.out_w();
+  px.q = rem % conv.out_w();
+  return px;
+}
+
+FilterOffset filter_offset(const ConvShape& conv, std::int64_t k) {
+  util::check(k >= 0 && k < conv.filter_h * conv.filter_w * conv.in_channels,
+              "filter offset index out of range");
+  FilterOffset off;
+  off.c = k % conv.in_channels;
+  const std::int64_t rs = k / conv.in_channels;
+  off.s = rs % conv.filter_w;
+  off.r = rs / conv.filter_w;
+  return off;
+}
+
+}  // namespace streamk::conv

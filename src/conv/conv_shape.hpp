@@ -1,0 +1,78 @@
+#pragma once
+
+// Convolution geometry and its implicit-GEMM equivalence.
+//
+// The paper's introduction names convolution as a headline GEMM-like
+// workload: "image recognition and computer vision models rely on
+// convolution, which can be implemented directly as the product of filter
+// and image datasets."  Forward convolution of an NHWC input tensor with a
+// KRSC filter bank maps to a GEMM ("implicit GEMM"):
+//
+//     C[npq, k] = sum_{c,r,s} In[n, p*stride - pad + r,
+//                                q*stride - pad + s, c] * F[k, r, s, c]
+//
+//     GEMM m = N * P * Q      (output pixels)
+//          n = K              (output channels)
+//          k = R * S * C      (filter volume)
+//
+// so every decomposition in this library -- including Stream-K and the
+// hybrids -- schedules convolutions unchanged.  Batch-1 inference layers
+// with few output pixels and deep filter volumes are exactly the
+// strong-scaling regime where work-centric decomposition wins.
+
+#include <cstdint>
+#include <string>
+
+#include "core/gemm_shape.hpp"
+
+namespace streamk::conv {
+
+struct ConvShape {
+  std::int64_t batch = 1;        ///< N
+  std::int64_t height = 0;       ///< H (input)
+  std::int64_t width = 0;        ///< W (input)
+  std::int64_t in_channels = 0;  ///< C
+  std::int64_t out_channels = 0; ///< K
+  std::int64_t filter_h = 1;     ///< R
+  std::int64_t filter_w = 1;     ///< S
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  bool valid() const;
+
+  /// Output spatial extents.
+  std::int64_t out_h() const {
+    return (height + 2 * pad - filter_h) / stride + 1;
+  }
+  std::int64_t out_w() const {
+    return (width + 2 * pad - filter_w) / stride + 1;
+  }
+
+  /// The equivalent implicit-GEMM problem.
+  core::GemmShape gemm_shape() const {
+    return {batch * out_h() * out_w(), out_channels,
+            filter_h * filter_w * in_channels};
+  }
+
+  double flops() const { return gemm_shape().flops(); }
+  std::string to_string() const;
+};
+
+/// Decodes an implicit-GEMM row index m into output-pixel coordinates.
+struct OutputPixel {
+  std::int64_t n = 0;
+  std::int64_t p = 0;
+  std::int64_t q = 0;
+};
+OutputPixel output_pixel(const ConvShape& conv, std::int64_t m);
+
+/// Decodes an implicit-GEMM reduction index k into filter coordinates
+/// (r, s, c) with c fastest (matching NHWC input contiguity).
+struct FilterOffset {
+  std::int64_t r = 0;
+  std::int64_t s = 0;
+  std::int64_t c = 0;
+};
+FilterOffset filter_offset(const ConvShape& conv, std::int64_t k);
+
+}  // namespace streamk::conv

@@ -1,0 +1,260 @@
+#include "conv/implicit_gemm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "core/peers.hpp"
+#include "cpu/mac_loop.hpp"
+#include "cpu/workspace.hpp"
+#include "model/memory_model.hpp"
+#include "util/threading.hpp"
+
+namespace streamk::conv {
+
+template <typename In, typename Acc, typename Out>
+void direct_conv(const ConvShape& conv, const Tensor4<In>& input,
+                 const Tensor4<In>& filter, Tensor4<Out>& output) {
+  util::check(conv.valid(), "invalid convolution shape");
+  for (std::int64_t n = 0; n < conv.batch; ++n) {
+    for (std::int64_t p = 0; p < conv.out_h(); ++p) {
+      for (std::int64_t q = 0; q < conv.out_w(); ++q) {
+        for (std::int64_t k = 0; k < conv.out_channels; ++k) {
+          Acc sum{};
+          for (std::int64_t r = 0; r < conv.filter_h; ++r) {
+            const std::int64_t h = p * conv.stride - conv.pad + r;
+            if (h < 0 || h >= conv.height) continue;
+            for (std::int64_t s = 0; s < conv.filter_w; ++s) {
+              const std::int64_t w = q * conv.stride - conv.pad + s;
+              if (w < 0 || w >= conv.width) continue;
+              for (std::int64_t c = 0; c < conv.in_channels; ++c) {
+                sum += static_cast<Acc>(input.at(n, h, w, c)) *
+                       static_cast<Acc>(filter.at(k, r, s, c));
+              }
+            }
+          }
+          output.at(n, p, q, k) = static_cast<Out>(sum);
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Stages the implicit A-fragment: rows are output pixels, columns are
+/// (r, s, c) reduction offsets; out-of-image taps are zero (padding).
+template <typename In, typename Acc>
+void gather_input_fragment(const ConvShape& conv, const Tensor4<In>& input,
+                           std::int64_t mm, std::int64_t em, std::int64_t kk,
+                           std::int64_t ek, const gpu::BlockShape& blk,
+                           std::vector<Acc>& frag) {
+  for (std::int64_t i = 0; i < blk.m; ++i) {
+    Acc* dst = frag.data() + static_cast<std::size_t>(i * blk.k);
+    if (i >= em) {
+      std::fill(dst, dst + blk.k, Acc{});
+      continue;
+    }
+    const OutputPixel px = output_pixel(conv, mm + i);
+    for (std::int64_t l = 0; l < ek; ++l) {
+      const FilterOffset off = filter_offset(conv, kk + l);
+      const std::int64_t h = px.p * conv.stride - conv.pad + off.r;
+      const std::int64_t w = px.q * conv.stride - conv.pad + off.s;
+      if (h < 0 || h >= conv.height || w < 0 || w >= conv.width) {
+        dst[l] = Acc{};
+      } else {
+        dst[l] = static_cast<Acc>(
+            input.inner_ptr(px.n, h, w)[off.c]);
+      }
+    }
+    std::fill(dst + ek, dst + blk.k, Acc{});
+  }
+}
+
+/// Stages the B-fragment from the KRSC filter bank viewed as (RSC x K).
+template <typename In, typename Acc>
+void gather_filter_fragment(const ConvShape& conv, const Tensor4<In>& filter,
+                            std::int64_t nn, std::int64_t en, std::int64_t kk,
+                            std::int64_t ek, const gpu::BlockShape& blk,
+                            std::vector<Acc>& frag) {
+  for (std::int64_t l = 0; l < blk.k; ++l) {
+    Acc* dst = frag.data() + static_cast<std::size_t>(l * blk.n);
+    if (l >= ek) {
+      std::fill(dst, dst + blk.n, Acc{});
+      continue;
+    }
+    const FilterOffset off = filter_offset(conv, kk + l);
+    for (std::int64_t j = 0; j < en; ++j) {
+      dst[j] = static_cast<Acc>(filter.at(nn + j, off.r, off.s, off.c));
+    }
+    std::fill(dst + en, dst + blk.n, Acc{});
+  }
+}
+
+}  // namespace
+
+template <typename In, typename Acc, typename Out>
+void execute_conv(const core::Decomposition& decomposition,
+                  const ConvShape& conv, const Tensor4<In>& input,
+                  const Tensor4<In>& filter, Tensor4<Out>& output,
+                  const cpu::ExecutorOptions& options) {
+  util::check(conv.valid(), "invalid convolution shape");
+  const core::WorkMapping& mapping = decomposition.mapping();
+  util::check(mapping.shape() == conv.gemm_shape(),
+              "decomposition does not match the conv's implicit GEMM");
+  util::check(input.dim0() == conv.batch && input.dim1() == conv.height &&
+                  input.dim2() == conv.width &&
+                  input.dim3() == conv.in_channels,
+              "input tensor extents mismatch");
+  util::check(filter.dim0() == conv.out_channels &&
+                  filter.dim1() == conv.filter_h &&
+                  filter.dim2() == conv.filter_w &&
+                  filter.dim3() == conv.in_channels,
+              "filter tensor extents mismatch");
+  util::check(output.dim0() == conv.batch && output.dim1() == conv.out_h() &&
+                  output.dim2() == conv.out_w() &&
+                  output.dim3() == conv.out_channels,
+              "output tensor extents mismatch");
+
+  const gpu::BlockShape& blk = mapping.block();
+  const core::FixupTable fixups(decomposition);
+  cpu::FixupWorkspace<Acc> workspace(decomposition, blk.tile_elements());
+  const std::size_t workers =
+      options.workers > 0 ? options.workers : util::hardware_threads();
+
+  auto run_cta = [&](std::size_t cta_index) {
+    const auto cta = static_cast<std::int64_t>(cta_index);
+    const core::CtaWork work = decomposition.cta_work(cta);
+    if (work.empty()) return;
+
+    std::vector<Acc> accum(static_cast<std::size_t>(blk.tile_elements()));
+    cpu::MacScratch<Acc> scratch(blk);
+
+    for (const core::TileSegment& seg : work.segments) {
+      const core::TileCoord coord = mapping.tile_coord(seg.tile_idx);
+      const std::int64_t mm = coord.tm * blk.m;
+      const std::int64_t nn = coord.tn * blk.n;
+      const std::int64_t em = mapping.tile_extent_m(coord.tm);
+      const std::int64_t en = mapping.tile_extent_n(coord.tn);
+
+      std::fill(accum.begin(), accum.end(), Acc{});
+      for (std::int64_t iter = seg.iter_begin; iter < seg.iter_end; ++iter) {
+        const std::int64_t kk = iter * blk.k;
+        const std::int64_t ek = mapping.iter_extent_k(iter);
+        gather_input_fragment<In, Acc>(conv, input, mm, em, kk, ek, blk,
+                                       scratch.frag_a);
+        gather_filter_fragment<In, Acc>(conv, filter, nn, en, kk, ek, blk,
+                                        scratch.frag_b);
+        for (std::int64_t i = 0; i < blk.m; ++i) {
+          const Acc* a_row =
+              scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
+          Acc* acc_row = accum.data() + static_cast<std::size_t>(i * blk.n);
+          for (std::int64_t l = 0; l < blk.k; ++l) {
+            const Acc av = a_row[l];
+            const Acc* b_row =
+                scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
+            for (std::int64_t j = 0; j < blk.n; ++j) {
+              acc_row[j] += av * b_row[j];
+            }
+          }
+        }
+      }
+
+      if (!seg.starts_tile()) {
+        std::span<Acc> slot = workspace.partials(cta);
+        std::copy(accum.begin(), accum.end(), slot.begin());
+        workspace.signal(cta);
+        continue;
+      }
+      if (!seg.ends_tile()) {
+        const core::TileFixup& fixup = fixups.tile(seg.tile_idx);
+        for (const std::int64_t peer : fixup.contributors) {
+          workspace.wait(peer);
+          std::span<const Acc> slot = workspace.partials(peer);
+          for (std::size_t i = 0; i < accum.size(); ++i) accum[i] += slot[i];
+        }
+      }
+      // Epilogue: scatter the tile to NHWC output pixels.
+      for (std::int64_t i = 0; i < em; ++i) {
+        const OutputPixel px = output_pixel(conv, mm + i);
+        const Acc* acc_row =
+            accum.data() + static_cast<std::size_t>(i * blk.n);
+        for (std::int64_t j = 0; j < en; ++j) {
+          const Acc scaled =
+              static_cast<Acc>(options.alpha) * acc_row[j] +
+              static_cast<Acc>(options.beta) *
+                  static_cast<Acc>(output.at(px.n, px.p, px.q, nn + j));
+          output.at(px.n, px.p, px.q, nn + j) = static_cast<Out>(scaled);
+        }
+      }
+    }
+  };
+
+  util::parallel_for_descending(
+      static_cast<std::size_t>(decomposition.grid_size()), run_cta, workers);
+}
+
+template <typename In, typename Acc, typename Out>
+cpu::GemmReport conv_forward(const ConvShape& conv, const Tensor4<In>& input,
+                             const Tensor4<In>& filter, Tensor4<Out>& output,
+                             const cpu::GemmOptions& options) {
+  util::check(conv.valid(), "invalid convolution shape");
+  gpu::Precision precision = gpu::Precision::kFp64;
+  if constexpr (std::is_same_v<In, float>) precision = gpu::Precision::kFp32;
+
+  const gpu::BlockShape block = options.block.valid()
+                                    ? options.block
+                                    : cpu::default_cpu_block(precision);
+  const core::WorkMapping mapping(conv.gemm_shape(), block);
+  const std::size_t workers =
+      options.workers > 0 ? options.workers : util::hardware_threads();
+  const core::DecompositionSpec spec =
+      cpu::resolve_schedule(options, mapping, precision, workers);
+  const auto decomposition = core::make_decomposition(spec, mapping);
+
+  cpu::ExecutorOptions exec;
+  exec.workers = workers;
+  exec.alpha = options.alpha;
+  exec.beta = options.beta;
+
+  const auto start = std::chrono::steady_clock::now();
+  execute_conv<In, Acc, Out>(*decomposition, conv, input, filter, output,
+                             exec);
+  const auto stop = std::chrono::steady_clock::now();
+
+  cpu::GemmReport report;
+  report.spec = spec;
+  report.schedule_name = decomposition->name();
+  report.grid = decomposition->grid_size();
+  report.tiles = mapping.tiles();
+  report.spills = model::count_spills(*decomposition);
+  report.seconds = std::chrono::duration<double>(stop - start).count();
+  report.gflops =
+      report.seconds > 0.0 ? conv.flops() / report.seconds / 1e9 : 0.0;
+  return report;
+}
+
+template void direct_conv<double, double, double>(const ConvShape&,
+                                                  const Tensor4<double>&,
+                                                  const Tensor4<double>&,
+                                                  Tensor4<double>&);
+template void direct_conv<float, float, float>(const ConvShape&,
+                                               const Tensor4<float>&,
+                                               const Tensor4<float>&,
+                                               Tensor4<float>&);
+
+template void execute_conv<double, double, double>(
+    const core::Decomposition&, const ConvShape&, const Tensor4<double>&,
+    const Tensor4<double>&, Tensor4<double>&, const cpu::ExecutorOptions&);
+template void execute_conv<float, float, float>(
+    const core::Decomposition&, const ConvShape&, const Tensor4<float>&,
+    const Tensor4<float>&, Tensor4<float>&, const cpu::ExecutorOptions&);
+
+template cpu::GemmReport conv_forward<double, double, double>(
+    const ConvShape&, const Tensor4<double>&, const Tensor4<double>&,
+    Tensor4<double>&, const cpu::GemmOptions&);
+template cpu::GemmReport conv_forward<float, float, float>(
+    const ConvShape&, const Tensor4<float>&, const Tensor4<float>&,
+    Tensor4<float>&, const cpu::GemmOptions&);
+
+}  // namespace streamk::conv

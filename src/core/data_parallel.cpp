@@ -1,0 +1,21 @@
+#include "core/data_parallel.hpp"
+
+#include "util/check.hpp"
+
+namespace streamk::core {
+
+DataParallel::DataParallel(WorkMapping mapping) : Decomposition(mapping) {}
+
+CtaWork DataParallel::cta_work(std::int64_t cta) const {
+  util::check(cta >= 0 && cta < grid_size(), "CTA index out of range");
+  CtaWork work;
+  work.segments.push_back(TileSegment{
+      .tile_idx = cta,
+      .iter_begin = 0,
+      .iter_end = mapping_.iters_per_tile(),
+      .last = true,
+  });
+  return work;
+}
+
+}  // namespace streamk::core

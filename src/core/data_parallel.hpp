@@ -1,0 +1,27 @@
+#pragma once
+
+// Classic data-parallel decomposition (Algorithm 2 of the paper).
+//
+// One CTA per output tile; tile production dispatches across idle SMs in
+// waves.  Utilization is bounded by the quantization of the tile count onto
+// the processor width: a 384x384x128 GEMM blocked 128x128 yields nine tiles,
+// which on a four-SM machine executes as two full waves plus a partial wave
+// of one -- a 75% utilization ceiling (Figure 1a).
+
+#include "core/decomposition.hpp"
+
+namespace streamk::core {
+
+class DataParallel final : public Decomposition {
+ public:
+  explicit DataParallel(WorkMapping mapping);
+
+  DecompositionKind kind() const override {
+    return DecompositionKind::kDataParallel;
+  }
+  std::string name() const override { return "data-parallel"; }
+  std::int64_t grid_size() const override { return mapping_.tiles(); }
+  CtaWork cta_work(std::int64_t cta) const override;
+};
+
+}  // namespace streamk::core

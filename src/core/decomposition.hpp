@@ -1,0 +1,108 @@
+#pragma once
+
+// Work-decomposition interface.
+//
+// A Decomposition assigns the GEMM's MAC-loop iteration space to a grid of
+// CTAs.  Each CTA receives an ordered stream of TileSegments; a segment is a
+// contiguous run of MAC-loop iterations within one output tile.  The CPU
+// executor (cpu/executor.hpp) and the GPU simulator (sim/simulator.hpp) both
+// consume these streams, so a schedule is specified exactly once and is
+// guaranteed identical between functional execution and performance
+// simulation.
+//
+// Fixup protocol implied by segment flags (Section 4, Algorithm 5):
+//   * A segment with starts_tile() && ends_tile() produces the whole tile:
+//     no communication.
+//   * A segment that does not start its tile stores its accumulators to the
+//     CTA's partials slot and signals the CTA's flag.
+//   * A segment that starts but does not end its tile owns the tile: it
+//     waits for every other contributing CTA's flag, reduces their partials
+//     into its accumulators, and writes the output tile.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/work_mapping.hpp"
+
+namespace streamk::core {
+
+struct TileSegment {
+  std::int64_t tile_idx = 0;
+  /// Local MAC-loop iteration range within the tile, [iter_begin, iter_end)
+  /// with 0 <= iter_begin < iter_end <= iters_per_tile.
+  std::int64_t iter_begin = 0;
+  std::int64_t iter_end = 0;
+  /// True when iter_end == iters_per_tile (cached to keep segments
+  /// self-describing without a WorkMapping at hand).
+  bool last = false;
+
+  constexpr bool starts_tile() const { return iter_begin == 0; }
+  constexpr bool ends_tile() const { return last; }
+  constexpr std::int64_t iters() const { return iter_end - iter_begin; }
+};
+
+/// The ordered work of one CTA.
+struct CtaWork {
+  std::vector<TileSegment> segments;
+
+  std::int64_t total_iters() const {
+    std::int64_t sum = 0;
+    for (const auto& s : segments) sum += s.iters();
+    return sum;
+  }
+  bool empty() const { return segments.empty(); }
+};
+
+enum class DecompositionKind {
+  kDataParallel,
+  kFixedSplit,
+  kStreamKBasic,
+  kHybridOneTile,  ///< "data-parallel + one-tile Stream-K" (Section 5.2)
+  kHybridTwoTile,  ///< "two-tile Stream-K + data-parallel" (Section 5.2)
+};
+
+std::string_view kind_name(DecompositionKind kind);
+
+class Decomposition {
+ public:
+  virtual ~Decomposition() = default;
+
+  Decomposition(const Decomposition&) = delete;
+  Decomposition& operator=(const Decomposition&) = delete;
+
+  virtual DecompositionKind kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Number of CTAs launched.  CTAs may carry no work (empty CtaWork) when
+  /// the problem is smaller than the grid.
+  virtual std::int64_t grid_size() const = 0;
+
+  /// The ordered segment stream of CTA `cta` in [0, grid_size()).
+  virtual CtaWork cta_work(std::int64_t cta) const = 0;
+
+  const WorkMapping& mapping() const { return mapping_; }
+
+ protected:
+  explicit Decomposition(WorkMapping mapping) : mapping_(mapping) {}
+
+  WorkMapping mapping_;
+};
+
+/// Parameters for constructing any decomposition (used by benches and the
+/// kernel-library layer).
+struct DecompositionSpec {
+  DecompositionKind kind = DecompositionKind::kDataParallel;
+  /// Stream-K grid size (kStreamKBasic); <= 0 means "number of SMs".
+  std::int64_t grid = 0;
+  /// Fixed-split factor (kFixedSplit).
+  std::int64_t split = 1;
+  /// Processor width, used by hybrids and as the default Stream-K grid.
+  std::int64_t sm_count = 0;
+};
+
+std::unique_ptr<Decomposition> make_decomposition(const DecompositionSpec& spec,
+                                                  const WorkMapping& mapping);
+
+}  // namespace streamk::core

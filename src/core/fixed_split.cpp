@@ -1,0 +1,35 @@
+#include "core/fixed_split.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace streamk::core {
+
+FixedSplit::FixedSplit(WorkMapping mapping, std::int64_t split)
+    : Decomposition(mapping), split_(split) {
+  util::check(split >= 1, "fixed-split factor must be >= 1");
+  iters_per_split_ = ceil_div(mapping_.iters_per_tile(), split_);
+}
+
+CtaWork FixedSplit::cta_work(std::int64_t cta) const {
+  util::check(cta >= 0 && cta < grid_size(), "CTA index out of range");
+  const std::int64_t tile = cta / split_;
+  const std::int64_t y = cta % split_;
+
+  const std::int64_t begin = y * iters_per_split_;
+  const std::int64_t end =
+      std::min(mapping_.iters_per_tile(), begin + iters_per_split_);
+
+  CtaWork work;
+  if (begin >= end) return work;  // over-split: this CTA has nothing to do
+  work.segments.push_back(TileSegment{
+      .tile_idx = tile,
+      .iter_begin = begin,
+      .iter_end = end,
+      .last = end == mapping_.iters_per_tile(),
+  });
+  return work;
+}
+
+}  // namespace streamk::core

@@ -1,0 +1,39 @@
+#pragma once
+
+// Fixed-split decomposition (Algorithm 4 of the paper).
+//
+// Each output tile is produced cooperatively by `s` CTAs that split the
+// tile's MAC-loop iteration range uniformly (ceil division).  Split CTAs
+// with y != 0 store partial sums and signal; the y == 0 CTA reduces them and
+// writes the tile.  With s == 1 this degenerates exactly to data-parallel.
+//
+// CTA ids linearize tile-major: cta = tile * s + y, so consecutive ids for
+// one tile are adjacent, and descending-id execution orders producers before
+// the reducing y == 0 CTA.
+
+#include "core/decomposition.hpp"
+
+namespace streamk::core {
+
+class FixedSplit final : public Decomposition {
+ public:
+  FixedSplit(WorkMapping mapping, std::int64_t split);
+
+  DecompositionKind kind() const override {
+    return DecompositionKind::kFixedSplit;
+  }
+  std::string name() const override {
+    return "fixed-split(s=" + std::to_string(split_) + ")";
+  }
+  std::int64_t grid_size() const override { return mapping_.tiles() * split_; }
+  CtaWork cta_work(std::int64_t cta) const override;
+
+  std::int64_t split() const { return split_; }
+  std::int64_t iters_per_split() const { return iters_per_split_; }
+
+ private:
+  std::int64_t split_;
+  std::int64_t iters_per_split_;
+};
+
+}  // namespace streamk::core

@@ -1,0 +1,22 @@
+#include "core/gemm_shape.hpp"
+
+namespace streamk::core {
+
+double GemmShape::min_bytes(gpu::Precision p) const {
+  const auto in = static_cast<double>(gpu::input_bytes(p));
+  const auto out = static_cast<double>(gpu::output_bytes(p));
+  const auto md = static_cast<double>(m);
+  const auto nd = static_cast<double>(n);
+  const auto kd = static_cast<double>(k);
+  return (md * kd + kd * nd) * in + md * nd * out;
+}
+
+double GemmShape::arithmetic_intensity(gpu::Precision p) const {
+  return flops() / min_bytes(p);
+}
+
+std::string GemmShape::to_string() const {
+  return std::to_string(m) + "x" + std::to_string(n) + "x" + std::to_string(k);
+}
+
+}  // namespace streamk::core

@@ -1,0 +1,39 @@
+#pragma once
+
+// Problem geometry for C = A * B (alpha = 1, beta = 0 in the paper's
+// evaluation; the CPU path also supports general alpha/beta).
+//
+// An m x n x k GEMM consumes an m x k matrix A and a k x n matrix B,
+// performs m*n*k multiply-accumulates, and produces an m x n matrix C.
+
+#include <cstdint>
+#include <string>
+
+#include "gpu/precision.hpp"
+
+namespace streamk::core {
+
+struct GemmShape {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+
+  friend constexpr auto operator<=>(const GemmShape&, const GemmShape&) = default;
+
+  constexpr bool valid() const { return m > 0 && n > 0 && k > 0; }
+
+  /// Multiply-accumulate count (one MAC = one multiply + one add = 2 FLOPs).
+  constexpr std::int64_t macs() const { return m * n * k; }
+  constexpr double flops() const { return 2.0 * static_cast<double>(macs()); }
+
+  /// Minimum (compulsory) DRAM traffic: read A and B once, write C once.
+  double min_bytes(gpu::Precision p) const;
+
+  /// Arithmetic intensity in FLOP per byte of compulsory traffic.  This is
+  /// the x-axis of the paper's roofline figures (Figures 5-7).
+  double arithmetic_intensity(gpu::Precision p) const;
+
+  std::string to_string() const;
+};
+
+}  // namespace streamk::core

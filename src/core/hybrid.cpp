@@ -1,0 +1,148 @@
+#include "core/hybrid.hpp"
+
+#include "core/data_parallel.hpp"
+#include "core/fixed_split.hpp"
+#include "util/check.hpp"
+
+namespace streamk::core {
+
+HybridLayout HybridLayout::one_tile(const WorkMapping& mapping,
+                                    std::int64_t p) {
+  util::check(p >= 1, "hybrid needs at least one SM");
+  const std::int64_t t = mapping.tiles();
+  HybridLayout layout;
+  layout.sm_count = p;
+  layout.full_waves = t / p;
+  layout.sk_tiles = t % p;
+  layout.dp_tiles = layout.full_waves * p;
+  layout.sk_first = false;  // "DP + one-tile SK": waves run first
+  return layout;
+}
+
+HybridLayout HybridLayout::two_tile(const WorkMapping& mapping,
+                                    std::int64_t p) {
+  util::check(p >= 1, "hybrid needs at least one SM");
+  const std::int64_t t = mapping.tiles();
+  const std::int64_t w = t / p;
+  const std::int64_t rem = t % p;
+  HybridLayout layout;
+  layout.sm_count = p;
+  layout.sk_first = true;  // "two-tile SK + DP": Stream-K region runs first
+  if (rem == 0) {
+    // Perfect quantization: pure data-parallel waves.
+    layout.full_waves = w;
+    layout.sk_tiles = 0;
+    layout.sk_first = false;
+  } else if (w >= 1) {
+    // Trade one full wave for a [1, 2)-tile Stream-K share per CTA.
+    layout.full_waves = w - 1;
+    layout.sk_tiles = rem + p;
+  } else {
+    // Fewer tiles than SMs: everything is Stream-K.
+    layout.full_waves = 0;
+    layout.sk_tiles = t;
+  }
+  layout.dp_tiles = layout.full_waves * p;
+  return layout;
+}
+
+Hybrid::Hybrid(WorkMapping mapping, DecompositionKind kind,
+               std::int64_t sm_count, IterPartition strategy)
+    : Decomposition(mapping), kind_(kind), strategy_(strategy) {
+  switch (kind) {
+    case DecompositionKind::kHybridOneTile:
+      layout_ = HybridLayout::one_tile(mapping_, sm_count);
+      break;
+    case DecompositionKind::kHybridTwoTile:
+      layout_ = HybridLayout::two_tile(mapping_, sm_count);
+      break;
+    default:
+      util::fail("Hybrid requires a hybrid decomposition kind");
+  }
+}
+
+std::string Hybrid::name() const {
+  const std::string p = "(p=" + std::to_string(layout_.sm_count) + ")";
+  return kind_ == DecompositionKind::kHybridOneTile ? "hybrid-dp+1sk" + p
+                                                    : "hybrid-2sk+dp" + p;
+}
+
+std::int64_t Hybrid::grid_size() const { return layout_.sm_count; }
+
+CtaWork Hybrid::cta_work(std::int64_t cta) const {
+  util::check(cta >= 0 && cta < grid_size(), "CTA index out of range");
+  CtaWork work;
+
+  const std::int64_t ipt = mapping_.iters_per_tile();
+  const std::int64_t sk_base_tile = layout_.sk_first ? 0 : layout_.dp_tiles;
+  const std::int64_t dp_base_tile = layout_.sk_first ? layout_.sk_tiles : 0;
+
+  auto append_sk = [&] {
+    if (layout_.sk_tiles == 0) return;
+    IterRange range = partition_iters(layout_.sk_tiles * ipt,
+                                      layout_.sm_count, cta, strategy_);
+    const std::int64_t offset = sk_base_tile * ipt;
+    range.begin += offset;
+    range.end += offset;
+    append_segments(mapping_, range, work.segments);
+  };
+
+  auto append_dp = [&] {
+    for (std::int64_t wave = 0; wave < layout_.full_waves; ++wave) {
+      const std::int64_t tile = dp_base_tile + wave * layout_.sm_count + cta;
+      work.segments.push_back(TileSegment{
+          .tile_idx = tile,
+          .iter_begin = 0,
+          .iter_end = ipt,
+          .last = true,
+      });
+    }
+  };
+
+  if (layout_.sk_first) {
+    append_sk();
+    append_dp();
+  } else {
+    append_dp();
+    append_sk();
+  }
+  return work;
+}
+
+std::string_view kind_name(DecompositionKind kind) {
+  switch (kind) {
+    case DecompositionKind::kDataParallel:
+      return "data-parallel";
+    case DecompositionKind::kFixedSplit:
+      return "fixed-split";
+    case DecompositionKind::kStreamKBasic:
+      return "stream-k";
+    case DecompositionKind::kHybridOneTile:
+      return "hybrid-dp+1sk";
+    case DecompositionKind::kHybridTwoTile:
+      return "hybrid-2sk+dp";
+  }
+  util::fail("unknown decomposition kind");
+}
+
+std::unique_ptr<Decomposition> make_decomposition(const DecompositionSpec& spec,
+                                                  const WorkMapping& mapping) {
+  switch (spec.kind) {
+    case DecompositionKind::kDataParallel:
+      return std::make_unique<DataParallel>(mapping);
+    case DecompositionKind::kFixedSplit:
+      return std::make_unique<FixedSplit>(mapping, spec.split);
+    case DecompositionKind::kStreamKBasic: {
+      const std::int64_t g = spec.grid > 0 ? spec.grid : spec.sm_count;
+      util::check(g > 0, "stream-k needs a grid size or SM count");
+      return std::make_unique<StreamKBasic>(mapping, g);
+    }
+    case DecompositionKind::kHybridOneTile:
+    case DecompositionKind::kHybridTwoTile:
+      util::check(spec.sm_count > 0, "hybrid needs the SM count");
+      return std::make_unique<Hybrid>(mapping, spec.kind, spec.sm_count);
+  }
+  util::fail("unknown decomposition kind");
+}
+
+}  // namespace streamk::core

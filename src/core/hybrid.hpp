@@ -1,0 +1,66 @@
+#pragma once
+
+// Hybrid Stream-K schedules (Section 5.2 of the paper).
+//
+// Basic Stream-K balances perfectly but skews tile processing in k: when the
+// tile count t is not a multiple of the grid size g, CTAs start their first
+// MAC-loop iterations at different k-offsets, which can defeat inter-CTA
+// cache reuse for the duration of the GEMM.  The hybrids confine Stream-K's
+// iteration balancing to a small tile-aligned region and produce the
+// remaining tiles in full, temporally aligned data-parallel waves.
+//
+// With t output tiles on p SMs and w = floor(t/p) full waves:
+//
+//   * HybridOneTile -- "data-parallel + one-tile Stream-K" (Figure 3b):
+//     w full DP waves over tiles [0, w*p); the remainder region of t mod p
+//     tiles is covered Stream-K style, each CTA receiving less than one
+//     tile's worth of iterations.  Weak latency hiding when >= 3 CTAs share
+//     a tile; kept mainly as the ablation baseline.
+//
+//   * HybridTwoTile -- "two-tile Stream-K + data-parallel" (Figure 3c, the
+//     schedule shipped in the paper's evaluation kernels): one fewer full DP
+//     wave; the Stream-K region spans (t mod p) + p tiles, so every CTA gets
+//     between one and two tiles' worth of iterations, each accumulating CTA
+//     receives partials from exactly one peer, and the Stream-K phase runs
+//     *first* so partials are long finished before their consumers need
+//     them.
+//
+// Both degenerate to pure data-parallel waves when t mod p == 0, and to
+// basic Stream-K when t < p (no full wave exists).
+
+#include "core/decomposition.hpp"
+#include "core/stream_k.hpp"
+
+namespace streamk::core {
+
+/// Common geometry of a hybrid schedule.
+struct HybridLayout {
+  std::int64_t sm_count = 0;   ///< p
+  std::int64_t full_waves = 0; ///< DP waves actually scheduled
+  std::int64_t sk_tiles = 0;   ///< tiles covered by the Stream-K region
+  std::int64_t dp_tiles = 0;   ///< tiles covered by DP waves
+  bool sk_first = false;       ///< Stream-K region runs before the DP waves
+
+  static HybridLayout one_tile(const WorkMapping& mapping, std::int64_t p);
+  static HybridLayout two_tile(const WorkMapping& mapping, std::int64_t p);
+};
+
+class Hybrid final : public Decomposition {
+ public:
+  Hybrid(WorkMapping mapping, DecompositionKind kind, std::int64_t sm_count,
+         IterPartition strategy = IterPartition::kBalancedWithinOne);
+
+  DecompositionKind kind() const override { return kind_; }
+  std::string name() const override;
+  std::int64_t grid_size() const override;
+  CtaWork cta_work(std::int64_t cta) const override;
+
+  const HybridLayout& layout() const { return layout_; }
+
+ private:
+  DecompositionKind kind_;
+  HybridLayout layout_;
+  IterPartition strategy_;
+};
+
+}  // namespace streamk::core

@@ -1,0 +1,45 @@
+#include "core/peers.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace streamk::core {
+
+FixupTable::FixupTable(const Decomposition& decomposition) {
+  table_.resize(static_cast<std::size_t>(decomposition.mapping().tiles()));
+
+  const std::int64_t grid = decomposition.grid_size();
+  for (std::int64_t cta = 0; cta < grid; ++cta) {
+    const CtaWork work = decomposition.cta_work(cta);
+    for (const TileSegment& segment : work.segments) {
+      TileFixup& fixup = table_[static_cast<std::size_t>(segment.tile_idx)];
+      if (segment.starts_tile()) {
+        util::check(fixup.owner == -1, "tile has two owning CTAs");
+        fixup.owner = cta;
+      } else {
+        fixup.contributors.push_back(cta);
+      }
+    }
+  }
+
+  for (TileFixup& fixup : table_) {
+    util::check(fixup.owner != -1, "tile has no owning CTA");
+    std::sort(fixup.contributors.begin(), fixup.contributors.end());
+    if (!fixup.contributors.empty()) {
+      ++split_tiles_;
+      total_partials_ +=
+          static_cast<std::int64_t>(fixup.contributors.size());
+    }
+    max_peers_ = std::max(max_peers_, fixup.peer_count());
+  }
+}
+
+const TileFixup& FixupTable::tile(std::int64_t tile_idx) const {
+  util::check(tile_idx >= 0 &&
+                  tile_idx < static_cast<std::int64_t>(table_.size()),
+              "tile index out of range");
+  return table_[static_cast<std::size_t>(tile_idx)];
+}
+
+}  // namespace streamk::core

@@ -1,0 +1,56 @@
+#pragma once
+
+// Fixup relationships between CTAs sharing an output tile.
+//
+// For any decomposition, each output tile is produced by one *owner* CTA
+// (the one that performed the tile's k = 0 MAC-loop iteration) plus zero or
+// more *contributors* that spill partial sums.  This table is precomputed by
+// both the CPU executor (to size the partials workspace and know which flags
+// to await) and the simulator (to model fixup costs and wait dependencies).
+//
+// Stream-K's key property is visible here: the number of split tiles, and
+// therefore communication and temporary storage, is bounded by the grid size
+// g (O(p)), not by the problem size.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decomposition.hpp"
+
+namespace streamk::core {
+
+struct TileFixup {
+  std::int64_t owner = -1;  ///< CTA writing the output tile
+  /// CTAs spilling partials for this tile, ascending id, owner excluded.
+  std::vector<std::int64_t> contributors;
+
+  /// CTAs covering the tile (owner + contributors).
+  std::int64_t peer_count() const {
+    return 1 + static_cast<std::int64_t>(contributors.size());
+  }
+};
+
+class FixupTable {
+ public:
+  explicit FixupTable(const Decomposition& decomposition);
+
+  const TileFixup& tile(std::int64_t tile_idx) const;
+  std::int64_t tiles() const { return static_cast<std::int64_t>(table_.size()); }
+
+  /// Tiles covered by more than one CTA ("splitting seams").
+  std::int64_t split_tiles() const { return split_tiles_; }
+
+  /// Largest peer count over all tiles.
+  std::int64_t max_peers() const { return max_peers_; }
+
+  /// Total partial-sum buffers spilled (== total contributor segments).
+  std::int64_t total_partials() const { return total_partials_; }
+
+ private:
+  std::vector<TileFixup> table_;
+  std::int64_t split_tiles_ = 0;
+  std::int64_t max_peers_ = 1;
+  std::int64_t total_partials_ = 0;
+};
+
+}  // namespace streamk::core

@@ -1,0 +1,63 @@
+#include "core/stream_k.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace streamk::core {
+
+IterRange partition_iters(std::int64_t total_iters, std::int64_t grid,
+                          std::int64_t cta, IterPartition strategy) {
+  util::check(grid >= 1, "grid must be >= 1");
+  util::check(cta >= 0 && cta < grid, "CTA index out of range");
+
+  if (strategy == IterPartition::kCeilUniform) {
+    const std::int64_t per_cta = ceil_div(total_iters, grid);
+    const std::int64_t begin = std::min(total_iters, cta * per_cta);
+    const std::int64_t end = std::min(total_iters, begin + per_cta);
+    return {begin, end};
+  }
+
+  // Balanced within one: the first `rem` CTAs take base+1 iterations.
+  const std::int64_t base = total_iters / grid;
+  const std::int64_t rem = total_iters % grid;
+  const std::int64_t begin = cta * base + std::min(cta, rem);
+  const std::int64_t end = begin + base + (cta < rem ? 1 : 0);
+  return {begin, end};
+}
+
+void append_segments(const WorkMapping& mapping, IterRange range,
+                     std::vector<TileSegment>& out) {
+  const std::int64_t ipt = mapping.iters_per_tile();
+  std::int64_t iter = range.begin;
+  while (iter < range.end) {
+    const std::int64_t tile = iter / ipt;
+    const std::int64_t tile_begin = tile * ipt;
+    const std::int64_t tile_end = tile_begin + ipt;
+    const std::int64_t seg_end = std::min(range.end, tile_end);
+    out.push_back(TileSegment{
+        .tile_idx = tile,
+        .iter_begin = iter - tile_begin,
+        .iter_end = seg_end - tile_begin,
+        .last = seg_end == tile_end,
+    });
+    iter = seg_end;
+  }
+}
+
+StreamKBasic::StreamKBasic(WorkMapping mapping, std::int64_t grid,
+                           IterPartition strategy)
+    : Decomposition(mapping), grid_(grid), strategy_(strategy) {
+  util::check(grid >= 1, "stream-k grid must be >= 1");
+}
+
+CtaWork StreamKBasic::cta_work(std::int64_t cta) const {
+  util::check(cta >= 0 && cta < grid_, "CTA index out of range");
+  CtaWork work;
+  append_segments(mapping_,
+                  partition_iters(mapping_.total_iters(), grid_, cta, strategy_),
+                  work.segments);
+  return work;
+}
+
+}  // namespace streamk::core

@@ -1,0 +1,71 @@
+#pragma once
+
+// Basic Stream-K decomposition (Algorithm 5 of the paper).
+//
+// A constant-sized grid of g CTAs evenly partitions the aggregate MAC-loop
+// iteration space; each CTA's contiguous iteration range maps into the
+// m -> n -> k linearization, crossing output-tile boundaries as it may.
+// A CTA whose range does not start at a tile boundary stores partial sums
+// for that leading tile; the CTA that performed the tile's k = 0 iteration
+// owns the tile, reducing peers' partials before the final store.
+//
+// Generalization (Section 4): with g == tiles Stream-K behaves identically
+// to data-parallel; with g == s * tiles (and iterations divisible) it
+// matches fixed-split with factor s.  The hybrids in core/hybrid.hpp exploit
+// this by mixing both regimes inside one grid.
+//
+// Two partition strategies are provided:
+//   * kBalancedWithinOne (default; what "an even share (within one)" means):
+//     q = total / g, r = total % g; the first r CTAs take q+1 iterations.
+//     No CTA is idle unless total < g.
+//   * kCeilUniform (the literal Algorithm 5 pseudocode):
+//     every CTA takes ceil(total/g) iterations and trailing CTAs absorb the
+//     shortfall, possibly receiving none.  Kept for the partitioning
+//     ablation bench.
+
+#include "core/decomposition.hpp"
+
+namespace streamk::core {
+
+enum class IterPartition {
+  kBalancedWithinOne,
+  kCeilUniform,
+};
+
+/// Iteration range [begin, end) of CTA `cta` under a partition strategy.
+struct IterRange {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  constexpr std::int64_t size() const { return end - begin; }
+};
+
+IterRange partition_iters(std::int64_t total_iters, std::int64_t grid,
+                          std::int64_t cta, IterPartition strategy);
+
+/// Splits a global iteration range into per-tile segments (shared by
+/// StreamKBasic and the hybrid schedules).
+void append_segments(const WorkMapping& mapping, IterRange range,
+                     std::vector<TileSegment>& out);
+
+class StreamKBasic final : public Decomposition {
+ public:
+  StreamKBasic(WorkMapping mapping, std::int64_t grid,
+               IterPartition strategy = IterPartition::kBalancedWithinOne);
+
+  DecompositionKind kind() const override {
+    return DecompositionKind::kStreamKBasic;
+  }
+  std::string name() const override {
+    return "stream-k(g=" + std::to_string(grid_) + ")";
+  }
+  std::int64_t grid_size() const override { return grid_; }
+  CtaWork cta_work(std::int64_t cta) const override;
+
+  IterPartition strategy() const { return strategy_; }
+
+ private:
+  std::int64_t grid_;
+  IterPartition strategy_;
+};
+
+}  // namespace streamk::core

@@ -1,0 +1,90 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace streamk::core {
+
+CoverageReport validate_decomposition(const Decomposition& decomposition) {
+  const WorkMapping& mapping = decomposition.mapping();
+  const std::int64_t ipt = mapping.iters_per_tile();
+  const std::int64_t tiles = mapping.tiles();
+
+  // Segments grouped per tile as (begin, end) local ranges.
+  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> per_tile(
+      static_cast<std::size_t>(tiles));
+  std::vector<int> owners(static_cast<std::size_t>(tiles), 0);
+  std::vector<int> closers(static_cast<std::size_t>(tiles), 0);
+
+  CoverageReport report;
+  report.grid = decomposition.grid_size();
+  util::check(report.grid >= 1, "empty grid");
+  report.min_cta_iters = std::numeric_limits<std::int64_t>::max();
+
+  for (std::int64_t cta = 0; cta < report.grid; ++cta) {
+    const CtaWork work = decomposition.cta_work(cta);
+    std::vector<std::int64_t> tiles_seen;
+    std::int64_t non_starting = 0;
+    std::int64_t cta_iters = 0;
+
+    for (const TileSegment& seg : work.segments) {
+      util::check(seg.tile_idx >= 0 && seg.tile_idx < tiles,
+                  "segment tile out of range");
+      util::check(seg.iter_begin >= 0 && seg.iter_begin < seg.iter_end &&
+                      seg.iter_end <= ipt,
+                  "segment iteration range malformed");
+      util::check(seg.last == (seg.iter_end == ipt),
+                  "segment `last` flag inconsistent with mapping");
+
+      tiles_seen.push_back(seg.tile_idx);
+      if (!seg.starts_tile()) ++non_starting;
+      if (seg.starts_tile()) ++owners[static_cast<std::size_t>(seg.tile_idx)];
+      if (seg.ends_tile()) ++closers[static_cast<std::size_t>(seg.tile_idx)];
+      per_tile[static_cast<std::size_t>(seg.tile_idx)].emplace_back(
+          seg.iter_begin, seg.iter_end);
+      cta_iters += seg.iters();
+      ++report.total_segments;
+    }
+
+    std::sort(tiles_seen.begin(), tiles_seen.end());
+    util::check(std::adjacent_find(tiles_seen.begin(), tiles_seen.end()) ==
+                    tiles_seen.end(),
+                "CTA touches a tile twice");
+    util::check(non_starting <= 1,
+                "CTA needs more than one partials slot");
+
+    if (!work.empty()) {
+      ++report.nonempty_ctas;
+      report.min_cta_iters = std::min(report.min_cta_iters, cta_iters);
+      report.max_cta_iters = std::max(report.max_cta_iters, cta_iters);
+    }
+    report.covered_iters += cta_iters;
+  }
+  if (report.nonempty_ctas == 0) report.min_cta_iters = 0;
+
+  util::check(report.covered_iters == mapping.total_iters(),
+              "covered iteration count != total iterations");
+
+  for (std::int64_t tile = 0; tile < tiles; ++tile) {
+    util::check(owners[static_cast<std::size_t>(tile)] == 1,
+                "tile must have exactly one owner");
+    util::check(closers[static_cast<std::size_t>(tile)] == 1,
+                "tile must have exactly one closing segment");
+
+    auto& ranges = per_tile[static_cast<std::size_t>(tile)];
+    std::sort(ranges.begin(), ranges.end());
+    std::int64_t cursor = 0;
+    for (const auto& [begin, end] : ranges) {
+      util::check(begin == cursor, "gap or overlap in tile coverage");
+      cursor = end;
+    }
+    util::check(cursor == ipt, "tile coverage incomplete");
+  }
+
+  return report;
+}
+
+}  // namespace streamk::core

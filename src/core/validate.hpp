@@ -1,0 +1,37 @@
+#pragma once
+
+// Structural validation of a decomposition.
+//
+// Invariants checked (violations throw util::CheckError):
+//   1. Every (tile, MAC-loop iteration) pair is covered by exactly one
+//      segment of exactly one CTA -- the exactly-once property that makes
+//      the fixup reduction produce the mathematically complete sum.
+//   2. Segment ranges are well-formed and within the tile's iteration count,
+//      and the `last` flag is consistent with the mapping.
+//   3. Every tile has exactly one owner (a segment with iter_begin == 0) and
+//      exactly one closer (a segment with iter_end == iters_per_tile).
+//   4. No CTA touches the same tile twice, and each CTA has at most one
+//      non-starting segment -- the single-partials-slot invariant that lets
+//      both Algorithm 5 and our executor index spill storage by CTA id.
+//
+// Used by tests (property sweeps over shapes x decompositions) and available
+// to callers who construct custom schedules.
+
+#include "core/decomposition.hpp"
+
+namespace streamk::core {
+
+/// Full structural report of a decomposition, for diagnostics.
+struct CoverageReport {
+  std::int64_t grid = 0;
+  std::int64_t nonempty_ctas = 0;
+  std::int64_t total_segments = 0;
+  std::int64_t covered_iters = 0;
+  std::int64_t min_cta_iters = 0;
+  std::int64_t max_cta_iters = 0;
+};
+
+/// Validates all invariants above; returns the report on success.
+CoverageReport validate_decomposition(const Decomposition& decomposition);
+
+}  // namespace streamk::core

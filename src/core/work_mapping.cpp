@@ -1,0 +1,56 @@
+#include "core/work_mapping.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace streamk::core {
+
+namespace {
+
+std::int64_t checked_tiles_m(GemmShape shape, gpu::BlockShape block) {
+  util::check(shape.valid(), "invalid GEMM shape");
+  util::check(block.valid(), "invalid block shape");
+  return ceil_div(shape.m, block.m);
+}
+
+}  // namespace
+
+WorkMapping::WorkMapping(GemmShape shape, gpu::BlockShape block,
+                         TileOrder order)
+    : shape_(shape),
+      block_(block),
+      tiles_m_(checked_tiles_m(shape, block)),
+      tiles_n_(ceil_div(shape.n, block.n)),
+      tiles_(tiles_m_ * tiles_n_),
+      iters_per_tile_(ceil_div(shape.k, block.k)),
+      total_iters_(tiles_ * iters_per_tile_),
+      ordering_(order, tiles_m_, tiles_n_) {}
+
+TileCoord WorkMapping::tile_coord(std::int64_t tile_idx) const {
+  util::check(tile_idx >= 0 && tile_idx < tiles_, "tile index out of range");
+  const auto [tm, tn] = ordering_.coord(tile_idx);
+  return {tm, tn};
+}
+
+std::int64_t WorkMapping::tile_index(TileCoord coord) const {
+  return ordering_.linear(coord.tm, coord.tn);
+}
+
+std::int64_t WorkMapping::tile_extent_m(std::int64_t tm) const {
+  util::check(tm >= 0 && tm < tiles_m_, "tile row out of range");
+  return std::min(block_.m, shape_.m - tm * block_.m);
+}
+
+std::int64_t WorkMapping::tile_extent_n(std::int64_t tn) const {
+  util::check(tn >= 0 && tn < tiles_n_, "tile column out of range");
+  return std::min(block_.n, shape_.n - tn * block_.n);
+}
+
+std::int64_t WorkMapping::iter_extent_k(std::int64_t local_iter) const {
+  util::check(local_iter >= 0 && local_iter < iters_per_tile_,
+              "k iteration out of range");
+  return std::min(block_.k, shape_.k - local_iter * block_.k);
+}
+
+}  // namespace streamk::core

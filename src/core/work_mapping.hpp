@@ -1,0 +1,109 @@
+#pragma once
+
+// Quantization of a GEMM into output tiles and MAC-loop iterations.
+//
+// Given a problem shape and CTA blocking factors, the computation comprises
+//   tiles       = ceil(m/BLK_M) * ceil(n/BLK_N)      output tiles,
+//   iters/tile  = ceil(k/BLK_K)                      MAC-loop iterations each,
+//   total_iters = tiles * iters/tile                 aggregate iterations.
+//
+// Stream-K linearizes this iteration space contiguously in m -> n -> k order
+// (tile row-major, k innermost within a tile): global iteration index
+//   iter = tile_idx * iters_per_tile + local_k_iter,
+//   tile_idx = tile_m * tiles_n + tile_n.
+//
+// Every decomposition, the simulator, and the CPU executor share this
+// mapping, which is what lets one kernel structure express data-parallel,
+// fixed-split, and Stream-K schedules (Section 4 of the paper).
+
+#include <cstdint>
+
+#include "core/gemm_shape.hpp"
+#include "core/tile_order.hpp"
+#include "gpu/block_shape.hpp"
+
+namespace streamk::core {
+
+/// Coordinates of an output tile in units of blocks.
+struct TileCoord {
+  std::int64_t tm = 0;
+  std::int64_t tn = 0;
+
+  friend constexpr auto operator<=>(const TileCoord&, const TileCoord&) = default;
+};
+
+class WorkMapping {
+ public:
+  /// `order` selects the traversal of the output-tile grid (Section 7's
+  /// Morton-order future work); it permutes tile_coord() only and cannot
+  /// affect coverage or fixup correctness.
+  WorkMapping(GemmShape shape, gpu::BlockShape block,
+              TileOrder order = TileOrder::kRowMajor);
+
+  const GemmShape& shape() const { return shape_; }
+  const gpu::BlockShape& block() const { return block_; }
+
+  std::int64_t tiles_m() const { return tiles_m_; }
+  std::int64_t tiles_n() const { return tiles_n_; }
+  std::int64_t tiles() const { return tiles_; }
+  std::int64_t iters_per_tile() const { return iters_per_tile_; }
+  std::int64_t total_iters() const { return total_iters_; }
+
+  /// Output tile containing global iteration `iter`.
+  std::int64_t tile_of_iter(std::int64_t iter) const {
+    return iter / iters_per_tile_;
+  }
+
+  /// First global iteration of tile `tile_idx`.
+  std::int64_t tile_iter_begin(std::int64_t tile_idx) const {
+    return tile_idx * iters_per_tile_;
+  }
+
+  /// Block coordinates of a linear tile index under the mapping's tile
+  /// order (row-major by default: n fastest).
+  TileCoord tile_coord(std::int64_t tile_idx) const;
+
+  /// Inverse of tile_coord.
+  std::int64_t tile_index(TileCoord coord) const;
+
+  TileOrder tile_order() const { return ordering_.order(); }
+  const TileOrdering& ordering() const { return ordering_; }
+
+  /// Extent of the valid (unpadded) region of a tile along m / n / k.  Edge
+  /// tiles of ragged problems cover less than a full block; the residue
+  /// matters for correctness on the CPU path and for wasted-compute
+  /// accounting in the performance model.
+  std::int64_t tile_extent_m(std::int64_t tm) const;
+  std::int64_t tile_extent_n(std::int64_t tn) const;
+  std::int64_t iter_extent_k(std::int64_t local_iter) const;
+
+  /// MACs the hardware actually performs (padded): every tile costs a full
+  /// block volume per iteration regardless of residue.
+  std::int64_t padded_macs() const {
+    return total_iters_ * block_.macs_per_iteration();
+  }
+
+  /// Fraction of padded work that is useful (1.0 when the shape divides the
+  /// blocking factors exactly).
+  double useful_fraction() const {
+    return static_cast<double>(shape_.macs()) /
+           static_cast<double>(padded_macs());
+  }
+
+ private:
+  GemmShape shape_;
+  gpu::BlockShape block_;
+  std::int64_t tiles_m_;
+  std::int64_t tiles_n_;
+  std::int64_t tiles_;
+  std::int64_t iters_per_tile_;
+  std::int64_t total_iters_;
+  TileOrdering ordering_;
+};
+
+/// ceil(a / b) for positive integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace streamk::core

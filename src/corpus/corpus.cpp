@@ -1,0 +1,64 @@
+#include "corpus/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace streamk::corpus {
+
+double compute_bound_threshold(gpu::Precision precision) {
+  switch (precision) {
+    case gpu::Precision::kFp64:
+      return 150.0;
+    case gpu::Precision::kFp32:
+    case gpu::Precision::kFp16F32:
+      return 400.0;
+  }
+  util::fail("unknown precision");
+}
+
+Corpus Corpus::paper(std::size_t count) {
+  return Corpus(sample_shapes(count, SamplerConfig{}));
+}
+
+Corpus::Corpus(std::vector<core::GemmShape> shapes)
+    : shapes_(std::move(shapes)) {
+  util::check(!shapes_.empty(), "empty corpus");
+}
+
+std::vector<core::GemmShape> Corpus::compute_bound(
+    gpu::Precision precision) const {
+  const double threshold = compute_bound_threshold(precision);
+  std::vector<core::GemmShape> out;
+  for (const core::GemmShape& s : shapes_) {
+    if (s.arithmetic_intensity(precision) > threshold) out.push_back(s);
+  }
+  return out;
+}
+
+double Corpus::volume_orders_of_magnitude() const {
+  double lo = shapes_.front().flops();
+  double hi = lo;
+  for (const core::GemmShape& s : shapes_) {
+    lo = std::min(lo, s.flops());
+    hi = std::max(hi, s.flops());
+  }
+  return std::log10(hi / lo);
+}
+
+void Corpus::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path, {"m", "n", "k", "macs", "intensity_fp64",
+                             "intensity_fp16f32"});
+  for (const core::GemmShape& s : shapes_) {
+    csv.row({util::CsvWriter::cell(s.m), util::CsvWriter::cell(s.n),
+             util::CsvWriter::cell(s.k), util::CsvWriter::cell(s.macs()),
+             util::CsvWriter::cell(
+                 s.arithmetic_intensity(gpu::Precision::kFp64)),
+             util::CsvWriter::cell(
+                 s.arithmetic_intensity(gpu::Precision::kFp16F32))});
+  }
+}
+
+}  // namespace streamk::corpus

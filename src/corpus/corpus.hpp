@@ -1,0 +1,52 @@
+#pragma once
+
+// The evaluation corpus: 32,824 GEMM problem shapes (Figure 4).
+//
+// Provides the paper's compute-bound filters (the arithmetic-intensity
+// thresholds of 150 FLOP/byte for FP64 and 400 FLOP/byte for FP16->32 used
+// in Tables 1-2 and Figure 7), summary statistics for the Figure 4 bench,
+// and CSV export for external plotting.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/gemm_shape.hpp"
+#include "corpus/sampler.hpp"
+#include "gpu/precision.hpp"
+
+namespace streamk::corpus {
+
+/// Paper corpus size.
+inline constexpr std::size_t kPaperCorpusSize = 32824;
+
+/// Compute-bound arithmetic-intensity threshold (Section 6, final
+/// paragraph): 150 ops/byte for FP64, 400 ops/byte for FP16->32.
+double compute_bound_threshold(gpu::Precision precision);
+
+class Corpus {
+ public:
+  /// The paper's corpus (deterministic).  `count` is overridable so tests
+  /// and quick runs can use subsets with identical statistics.
+  static Corpus paper(std::size_t count = kPaperCorpusSize);
+
+  /// Custom corpus.
+  Corpus(std::vector<core::GemmShape> shapes);
+
+  const std::vector<core::GemmShape>& shapes() const { return shapes_; }
+  std::size_t size() const { return shapes_.size(); }
+
+  /// Shapes whose arithmetic intensity exceeds the compute-bound threshold.
+  std::vector<core::GemmShape> compute_bound(gpu::Precision precision) const;
+
+  /// Volume (m*n*k) spread in orders of magnitude (Figure 4 quotes six).
+  double volume_orders_of_magnitude() const;
+
+  /// Writes shape, volume and per-precision intensity columns.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<core::GemmShape> shapes_;
+};
+
+}  // namespace streamk::corpus

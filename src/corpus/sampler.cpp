@@ -1,0 +1,38 @@
+#include "corpus/sampler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace streamk::corpus {
+
+std::vector<core::GemmShape> sample_shapes(std::size_t count,
+                                           const SamplerConfig& config) {
+  util::check(config.lo >= 1 && config.hi >= config.lo, "invalid size range");
+  util::check(config.multiple_of >= 1, "invalid rounding multiple");
+
+  util::Pcg32 rng(config.seed);
+  std::vector<core::GemmShape> shapes;
+  shapes.reserve(count);
+
+  auto sample_extent = [&]() {
+    std::int64_t v = rng.log_uniform_int(config.lo, config.hi);
+    if (config.multiple_of > 1) {
+      v = std::max(config.lo,
+                   (v / config.multiple_of) * config.multiple_of);
+    }
+    return v;
+  };
+
+  for (std::size_t i = 0; i < count; ++i) {
+    core::GemmShape s;
+    s.m = sample_extent();
+    s.n = sample_extent();
+    s.k = sample_extent();
+    shapes.push_back(s);
+  }
+  return shapes;
+}
+
+}  // namespace streamk::corpus

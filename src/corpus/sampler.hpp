@@ -1,0 +1,30 @@
+#pragma once
+
+// Log-uniform GEMM shape sampling (the paper's Figure 4 test domain).
+//
+// The corpus approximates "the enormous breadth and scope of device-wide
+// GEMM problems that GPU math kernel libraries are designed to accommodate":
+// m, n and k are each log-sampled at random from [128, 8192], so problem
+// volumes span six orders of magnitude.  Sampling is deterministic under a
+// fixed seed so every bench regenerates the identical 32,824 problems.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gemm_shape.hpp"
+
+namespace streamk::corpus {
+
+struct SamplerConfig {
+  std::int64_t lo = 128;
+  std::int64_t hi = 8192;
+  std::uint64_t seed = 0x5eed'0f'5eedULL;
+  /// Round sampled extents to a multiple of this (1 = no rounding; the
+  /// paper's corpus uses raw sizes, exercising ragged tiles).
+  std::int64_t multiple_of = 1;
+};
+
+std::vector<core::GemmShape> sample_shapes(std::size_t count,
+                                           const SamplerConfig& config = {});
+
+}  // namespace streamk::corpus

@@ -1,0 +1,255 @@
+#include "cpu/batched.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <type_traits>
+#include <vector>
+
+#include "core/peers.hpp"
+#include "cpu/mac_loop.hpp"
+#include "cpu/reference.hpp"
+#include "cpu/workspace.hpp"
+#include "model/memory_model.hpp"
+#include "util/threading.hpp"
+
+namespace streamk::cpu {
+
+core::WorkMapping batched_mapping(const BatchedShape& batched,
+                                  gpu::BlockShape block) {
+  util::check(batched.valid(), "invalid batched shape");
+  util::check(block.valid(), "invalid block shape");
+  const std::int64_t tiles_m = core::ceil_div(batched.shape.m, block.m);
+  // Stack the per-entry tile grids along m.  The virtual m is padded to the
+  // block so each entry owns a whole number of tile rows; executors resolve
+  // ragged extents per entry (the virtual mapping must stay row-major so
+  // the entry math below holds).
+  const core::GemmShape virtual_shape{batched.batch * tiles_m * block.m,
+                                      batched.shape.n, batched.shape.k};
+  return core::WorkMapping(virtual_shape, block);
+}
+
+BatchedTile batched_tile(const BatchedShape& batched, gpu::BlockShape block,
+                         std::int64_t tile_idx) {
+  const std::int64_t tiles_m = core::ceil_div(batched.shape.m, block.m);
+  const std::int64_t tiles_n = core::ceil_div(batched.shape.n, block.n);
+  util::check(tile_idx >= 0 &&
+                  tile_idx < batched.batch * tiles_m * tiles_n,
+              "batched tile index out of range");
+  const std::int64_t vtm = tile_idx / tiles_n;
+  return BatchedTile{vtm / tiles_m, vtm % tiles_m, tile_idx % tiles_n};
+}
+
+namespace {
+
+/// Stages one batch entry's fragments and accumulates the segment's
+/// MAC-loop iterations (the batched analogue of run_mac_segment).
+template <typename In, typename Acc>
+void batched_mac_segment(const Matrix<In>& a, const Matrix<In>& b,
+                         const core::GemmShape& shape,
+                         const gpu::BlockShape& blk, const BatchedTile& tile,
+                         const core::TileSegment& seg, std::span<Acc> accum,
+                         MacScratch<Acc>& scratch) {
+  const std::int64_t mm = tile.local_tm * blk.m;
+  const std::int64_t nn = tile.tn * blk.n;
+  const std::int64_t em = std::min(blk.m, shape.m - mm);
+  const std::int64_t en = std::min(blk.n, shape.n - nn);
+
+  for (std::int64_t iter = seg.iter_begin; iter < seg.iter_end; ++iter) {
+    const std::int64_t kk = iter * blk.k;
+    const std::int64_t ek = std::min(blk.k, shape.k - kk);
+
+    for (std::int64_t i = 0; i < blk.m; ++i) {
+      Acc* dst = scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
+      if (i < em) {
+        const In* src = a.row_ptr(mm + i) + kk;
+        for (std::int64_t l = 0; l < ek; ++l) dst[l] = static_cast<Acc>(src[l]);
+        std::fill(dst + ek, dst + blk.k, Acc{});
+      } else {
+        std::fill(dst, dst + blk.k, Acc{});
+      }
+    }
+    for (std::int64_t l = 0; l < blk.k; ++l) {
+      Acc* dst = scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
+      if (l < ek) {
+        const In* src = b.row_ptr(kk + l) + nn;
+        for (std::int64_t j = 0; j < en; ++j) dst[j] = static_cast<Acc>(src[j]);
+        std::fill(dst + en, dst + blk.n, Acc{});
+      } else {
+        std::fill(dst, dst + blk.n, Acc{});
+      }
+    }
+
+    for (std::int64_t i = 0; i < blk.m; ++i) {
+      const Acc* a_row =
+          scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
+      Acc* acc_row = accum.data() + static_cast<std::size_t>(i * blk.n);
+      for (std::int64_t l = 0; l < blk.k; ++l) {
+        const Acc av = a_row[l];
+        const Acc* b_row =
+            scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
+        for (std::int64_t j = 0; j < blk.n; ++j) {
+          acc_row[j] += av * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+template <typename Acc, typename Out>
+void batched_store_tile(const core::GemmShape& shape,
+                        const gpu::BlockShape& blk, const BatchedTile& tile,
+                        std::span<const Acc> accum, Matrix<Out>& c,
+                        double alpha, double beta) {
+  const std::int64_t mm = tile.local_tm * blk.m;
+  const std::int64_t nn = tile.tn * blk.n;
+  const std::int64_t em = std::min(blk.m, shape.m - mm);
+  const std::int64_t en = std::min(blk.n, shape.n - nn);
+  for (std::int64_t i = 0; i < em; ++i) {
+    Out* c_row = c.row_ptr(mm + i) + nn;
+    const Acc* acc_row = accum.data() + static_cast<std::size_t>(i * blk.n);
+    for (std::int64_t j = 0; j < en; ++j) {
+      const Acc scaled = static_cast<Acc>(alpha) * acc_row[j] +
+                         static_cast<Acc>(beta) *
+                             static_cast<Acc>(c_row[j]);
+      c_row[j] = static_cast<Out>(scaled);
+    }
+  }
+}
+
+}  // namespace
+
+template <typename In, typename Acc, typename Out>
+void execute_batched(const core::Decomposition& decomposition,
+                     const BatchedShape& batched,
+                     std::span<const Matrix<In>> as,
+                     std::span<const Matrix<In>> bs, std::span<Matrix<Out>> cs,
+                     const ExecutorOptions& options) {
+  util::check(batched.valid(), "invalid batched shape");
+  const auto batch = static_cast<std::size_t>(batched.batch);
+  util::check(as.size() == batch && bs.size() == batch && cs.size() == batch,
+              "batch operand count mismatch");
+  for (std::size_t i = 0; i < batch; ++i) {
+    const core::GemmShape s = product_shape(as[i], bs[i], cs[i]);
+    util::check(s == batched.shape, "batch entry shape mismatch");
+  }
+
+  const core::WorkMapping& mapping = decomposition.mapping();
+  const gpu::BlockShape& blk = mapping.block();
+  util::check(mapping.shape() ==
+                  batched_mapping(batched, blk).shape(),
+              "decomposition was not built over batched_mapping");
+
+  const core::FixupTable fixups(decomposition);
+  FixupWorkspace<Acc> workspace(decomposition, blk.tile_elements());
+  const std::size_t workers =
+      options.workers > 0 ? options.workers : util::hardware_threads();
+
+  auto run_cta = [&](std::size_t cta_index) {
+    const auto cta = static_cast<std::int64_t>(cta_index);
+    const core::CtaWork work = decomposition.cta_work(cta);
+    if (work.empty()) return;
+
+    std::vector<Acc> accum(static_cast<std::size_t>(blk.tile_elements()));
+    MacScratch<Acc> scratch(blk);
+
+    for (const core::TileSegment& seg : work.segments) {
+      const BatchedTile tile = batched_tile(batched, blk, seg.tile_idx);
+      const auto entry = static_cast<std::size_t>(tile.entry);
+      std::fill(accum.begin(), accum.end(), Acc{});
+      batched_mac_segment<In, Acc>(as[entry], bs[entry], batched.shape, blk,
+                                   tile, seg, std::span<Acc>(accum), scratch);
+
+      if (!seg.starts_tile()) {
+        std::span<Acc> slot = workspace.partials(cta);
+        std::copy(accum.begin(), accum.end(), slot.begin());
+        workspace.signal(cta);
+        continue;
+      }
+      if (!seg.ends_tile()) {
+        const core::TileFixup& fixup = fixups.tile(seg.tile_idx);
+        for (const std::int64_t peer : fixup.contributors) {
+          workspace.wait(peer);
+          std::span<const Acc> slot = workspace.partials(peer);
+          for (std::size_t i = 0; i < accum.size(); ++i) accum[i] += slot[i];
+        }
+      }
+      batched_store_tile<Acc, Out>(batched.shape, blk, tile,
+                                   std::span<const Acc>(accum), cs[entry],
+                                   options.alpha, options.beta);
+    }
+  };
+
+  util::parallel_for_descending(
+      static_cast<std::size_t>(decomposition.grid_size()), run_cta, workers);
+}
+
+template <typename In, typename Acc, typename Out>
+GemmReport batched_gemm(std::span<const Matrix<In>> as,
+                        std::span<const Matrix<In>> bs,
+                        std::span<Matrix<Out>> cs,
+                        const GemmOptions& options) {
+  util::check(!as.empty(), "empty batch");
+  BatchedShape batched;
+  batched.batch = static_cast<std::int64_t>(as.size());
+  batched.shape = product_shape(as[0], bs[0], cs[0]);
+
+  gpu::Precision precision = gpu::Precision::kFp64;
+  if constexpr (std::is_same_v<In, float>) precision = gpu::Precision::kFp32;
+  if constexpr (std::is_same_v<In, util::Half>) {
+    precision = gpu::Precision::kFp16F32;
+  }
+
+  const gpu::BlockShape block =
+      options.block.valid() ? options.block : default_cpu_block(precision);
+  const core::WorkMapping mapping = batched_mapping(batched, block);
+  const std::size_t workers =
+      options.workers > 0 ? options.workers : util::hardware_threads();
+  const core::DecompositionSpec spec =
+      resolve_schedule(options, mapping, precision, workers);
+  const auto decomposition = core::make_decomposition(spec, mapping);
+
+  ExecutorOptions exec;
+  exec.workers = workers;
+  exec.alpha = options.alpha;
+  exec.beta = options.beta;
+
+  const auto start = std::chrono::steady_clock::now();
+  execute_batched<In, Acc, Out>(*decomposition, batched, as, bs, cs, exec);
+  const auto stop = std::chrono::steady_clock::now();
+
+  GemmReport report;
+  report.spec = spec;
+  report.schedule_name = decomposition->name();
+  report.grid = decomposition->grid_size();
+  report.tiles = mapping.tiles();
+  report.spills = model::count_spills(*decomposition);
+  report.seconds = std::chrono::duration<double>(stop - start).count();
+  report.gflops =
+      report.seconds > 0.0 ? batched.flops() / report.seconds / 1e9 : 0.0;
+  return report;
+}
+
+template void execute_batched<double, double, double>(
+    const core::Decomposition&, const BatchedShape&,
+    std::span<const Matrix<double>>, std::span<const Matrix<double>>,
+    std::span<Matrix<double>>, const ExecutorOptions&);
+template void execute_batched<float, float, float>(
+    const core::Decomposition&, const BatchedShape&,
+    std::span<const Matrix<float>>, std::span<const Matrix<float>>,
+    std::span<Matrix<float>>, const ExecutorOptions&);
+template void execute_batched<util::Half, float, float>(
+    const core::Decomposition&, const BatchedShape&,
+    std::span<const Matrix<util::Half>>, std::span<const Matrix<util::Half>>,
+    std::span<Matrix<float>>, const ExecutorOptions&);
+
+template GemmReport batched_gemm<double, double, double>(
+    std::span<const Matrix<double>>, std::span<const Matrix<double>>,
+    std::span<Matrix<double>>, const GemmOptions&);
+template GemmReport batched_gemm<float, float, float>(
+    std::span<const Matrix<float>>, std::span<const Matrix<float>>,
+    std::span<Matrix<float>>, const GemmOptions&);
+template GemmReport batched_gemm<util::Half, float, float>(
+    std::span<const Matrix<util::Half>>, std::span<const Matrix<util::Half>>,
+    std::span<Matrix<float>>, const GemmOptions&);
+
+}  // namespace streamk::cpu

@@ -1,0 +1,99 @@
+#pragma once
+
+// Batched GEMM on the Stream-K decomposition machinery.
+//
+// Deep-learning workloads (the paper's motivating domain) run *batches* of
+// identical GEMMs -- attention heads, per-sample projections.  Launching
+// each batch entry as its own kernel multiplies the quantization problem:
+// every small GEMM leaves its own partial wave.  Work-centric decomposition
+// dissolves the batch boundary the same way it dissolves tile boundaries:
+// the aggregate MAC-loop iteration space of all batch entries is one linear
+// domain, and any Decomposition (data-parallel, Stream-K, hybrid) schedules
+// it as a whole.
+//
+// Geometrically, a batch of B GEMMs of shape (m, n, k) is exposed to the
+// decomposition layer as a single virtual GEMM whose tile grid stacks the B
+// per-entry grids along m:
+//
+//     virtual tiles = B * tiles_m(m) * tiles_n(n), same iterations per tile.
+//
+// Only the executor needs to know which batch entry a tile belongs to; the
+// decomposition, validation, fixup, and simulation layers are unchanged --
+// precisely the paper's "other GEMM-like workloads" generalization
+// (Section 7).
+
+#include <span>
+
+#include "core/decomposition.hpp"
+#include "cpu/gemm.hpp"
+#include "cpu/matrix.hpp"
+
+namespace streamk::cpu {
+
+/// Geometry of a uniform batch of GEMMs.
+struct BatchedShape {
+  std::int64_t batch = 0;
+  core::GemmShape shape;
+
+  constexpr bool valid() const { return batch >= 1 && shape.valid(); }
+  constexpr double flops() const {
+    return static_cast<double>(batch) * shape.flops();
+  }
+};
+
+/// The virtual single-GEMM work mapping whose tile space stacks all batch
+/// entries (use for constructing decompositions and for simulation).
+core::WorkMapping batched_mapping(const BatchedShape& batched,
+                                  gpu::BlockShape block);
+
+/// Batch entry that owns virtual tile `tile_idx`, plus the entry-local tile
+/// row index.
+struct BatchedTile {
+  std::int64_t entry = 0;    ///< batch index
+  std::int64_t local_tm = 0; ///< tile row within the entry
+  std::int64_t tn = 0;       ///< tile column (shared across entries)
+};
+BatchedTile batched_tile(const BatchedShape& batched, gpu::BlockShape block,
+                         std::int64_t tile_idx);
+
+/// Executes `decomposition` (built over batched_mapping) across the batch:
+/// cs[i] = alpha * as[i].bs[i] + beta * cs[i] for every entry i.
+template <typename In, typename Acc, typename Out>
+void execute_batched(const core::Decomposition& decomposition,
+                     const BatchedShape& batched,
+                     std::span<const Matrix<In>> as,
+                     std::span<const Matrix<In>> bs, std::span<Matrix<Out>> cs,
+                     const ExecutorOptions& options = {});
+
+/// BLAS-like convenience: schedule chosen by GemmOptions (kAuto plans over
+/// the fused tile space).
+template <typename In, typename Acc, typename Out>
+GemmReport batched_gemm(std::span<const Matrix<In>> as,
+                        std::span<const Matrix<In>> bs,
+                        std::span<Matrix<Out>> cs,
+                        const GemmOptions& options = {});
+
+extern template void execute_batched<double, double, double>(
+    const core::Decomposition&, const BatchedShape&,
+    std::span<const Matrix<double>>, std::span<const Matrix<double>>,
+    std::span<Matrix<double>>, const ExecutorOptions&);
+extern template void execute_batched<float, float, float>(
+    const core::Decomposition&, const BatchedShape&,
+    std::span<const Matrix<float>>, std::span<const Matrix<float>>,
+    std::span<Matrix<float>>, const ExecutorOptions&);
+extern template void execute_batched<util::Half, float, float>(
+    const core::Decomposition&, const BatchedShape&,
+    std::span<const Matrix<util::Half>>, std::span<const Matrix<util::Half>>,
+    std::span<Matrix<float>>, const ExecutorOptions&);
+
+extern template GemmReport batched_gemm<double, double, double>(
+    std::span<const Matrix<double>>, std::span<const Matrix<double>>,
+    std::span<Matrix<double>>, const GemmOptions&);
+extern template GemmReport batched_gemm<float, float, float>(
+    std::span<const Matrix<float>>, std::span<const Matrix<float>>,
+    std::span<Matrix<float>>, const GemmOptions&);
+extern template GemmReport batched_gemm<util::Half, float, float>(
+    std::span<const Matrix<util::Half>>, std::span<const Matrix<util::Half>>,
+    std::span<Matrix<float>>, const GemmOptions&);
+
+}  // namespace streamk::cpu

@@ -1,0 +1,190 @@
+#include "cpu/blas.hpp"
+
+#include <chrono>
+
+#include "cpu/decomposed_runner.hpp"
+#include "model/memory_model.hpp"
+
+namespace streamk::cpu {
+
+namespace {
+
+/// Stages view fragments and accumulates one segment (strided analogue of
+/// run_mac_segment; zero-pads ragged edges).
+template <typename In, typename Acc>
+void view_mac_segment(const MatrixView<In>& a, const MatrixView<In>& b,
+                      const core::WorkMapping& mapping,
+                      const core::TileSegment& seg, std::span<Acc> accum,
+                      MacScratch<Acc>& scratch) {
+  const gpu::BlockShape& blk = mapping.block();
+  const core::TileCoord coord = mapping.tile_coord(seg.tile_idx);
+  const std::int64_t mm = coord.tm * blk.m;
+  const std::int64_t nn = coord.tn * blk.n;
+  const std::int64_t em = mapping.tile_extent_m(coord.tm);
+  const std::int64_t en = mapping.tile_extent_n(coord.tn);
+
+  for (std::int64_t iter = seg.iter_begin; iter < seg.iter_end; ++iter) {
+    const std::int64_t kk = iter * blk.k;
+    const std::int64_t ek = mapping.iter_extent_k(iter);
+
+    for (std::int64_t i = 0; i < blk.m; ++i) {
+      Acc* dst = scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
+      if (i < em) {
+        for (std::int64_t l = 0; l < ek; ++l) {
+          dst[l] = static_cast<Acc>(a.at(mm + i, kk + l));
+        }
+        std::fill(dst + ek, dst + blk.k, Acc{});
+      } else {
+        std::fill(dst, dst + blk.k, Acc{});
+      }
+    }
+    for (std::int64_t l = 0; l < blk.k; ++l) {
+      Acc* dst = scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
+      if (l < ek) {
+        for (std::int64_t j = 0; j < en; ++j) {
+          dst[j] = static_cast<Acc>(b.at(kk + l, nn + j));
+        }
+        std::fill(dst + en, dst + blk.n, Acc{});
+      } else {
+        std::fill(dst, dst + blk.n, Acc{});
+      }
+    }
+
+    for (std::int64_t i = 0; i < blk.m; ++i) {
+      const Acc* a_row =
+          scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
+      Acc* acc_row = accum.data() + static_cast<std::size_t>(i * blk.n);
+      for (std::int64_t l = 0; l < blk.k; ++l) {
+        const Acc av = a_row[l];
+        const Acc* b_row =
+            scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
+        for (std::int64_t j = 0; j < blk.n; ++j) {
+          acc_row[j] += av * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename In, typename Acc, typename Out>
+void execute_views(const core::Decomposition& decomposition,
+                   const MatrixView<In>& a, const MatrixView<In>& b,
+                   Matrix<Out>& c, const ExecutorOptions& options) {
+  const core::WorkMapping& mapping = decomposition.mapping();
+  util::check(a.rows() == mapping.shape().m && a.cols() == mapping.shape().k,
+              "op(A) does not conform to the decomposition");
+  util::check(b.rows() == mapping.shape().k && b.cols() == mapping.shape().n,
+              "op(B) does not conform to the decomposition");
+  util::check(c.rows() == mapping.shape().m && c.cols() == mapping.shape().n,
+              "C does not conform to the decomposition");
+  const gpu::BlockShape& blk = mapping.block();
+
+  run_decomposed<Acc>(
+      decomposition, blk.tile_elements(),
+      [&](const core::TileSegment& seg, std::span<Acc> accum,
+          MacScratch<Acc>& scratch) {
+        view_mac_segment<In, Acc>(a, b, mapping, seg, accum, scratch);
+      },
+      [&](std::int64_t tile_idx, std::span<const Acc> accum) {
+        const core::TileCoord coord = mapping.tile_coord(tile_idx);
+        const std::int64_t mm = coord.tm * blk.m;
+        const std::int64_t nn = coord.tn * blk.n;
+        const std::int64_t em = mapping.tile_extent_m(coord.tm);
+        const std::int64_t en = mapping.tile_extent_n(coord.tn);
+        for (std::int64_t i = 0; i < em; ++i) {
+          Out* c_row = c.row_ptr(mm + i) + nn;
+          const Acc* acc_row =
+              accum.data() + static_cast<std::size_t>(i * blk.n);
+          for (std::int64_t j = 0; j < en; ++j) {
+            const Acc scaled =
+                static_cast<Acc>(options.alpha) * acc_row[j] +
+                static_cast<Acc>(options.beta) * static_cast<Acc>(c_row[j]);
+            c_row[j] = static_cast<Out>(scaled);
+          }
+        }
+      },
+      options);
+}
+
+namespace {
+
+template <typename In, typename Acc, typename Out>
+GemmReport blas_impl(Trans trans_a, Trans trans_b, double alpha,
+                     const Matrix<In>& a, const Matrix<In>& b, double beta,
+                     Matrix<Out>& c, const GemmOptions& options,
+                     gpu::Precision precision) {
+  const MatrixView<In> va(a, trans_a);
+  const MatrixView<In> vb(b, trans_b);
+  util::check(va.cols() == vb.rows(), "GEMM inner extents do not conform");
+  const core::GemmShape shape{va.rows(), vb.cols(), va.cols()};
+  util::check(c.rows() == shape.m && c.cols() == shape.n,
+              "GEMM output extents do not conform");
+
+  const gpu::BlockShape block =
+      options.block.valid() ? options.block : default_cpu_block(precision);
+  const core::WorkMapping mapping(shape, block, options.tile_order);
+  const std::size_t workers =
+      options.workers > 0 ? options.workers : util::hardware_threads();
+  const core::DecompositionSpec spec =
+      resolve_schedule(options, mapping, precision, workers);
+  const auto decomposition = core::make_decomposition(spec, mapping);
+
+  ExecutorOptions exec;
+  exec.workers = workers;
+  exec.alpha = alpha;
+  exec.beta = beta;
+
+  const auto start = std::chrono::steady_clock::now();
+  execute_views<In, Acc, Out>(*decomposition, va, vb, c, exec);
+  const auto stop = std::chrono::steady_clock::now();
+
+  GemmReport report;
+  report.spec = spec;
+  report.schedule_name = decomposition->name();
+  report.grid = decomposition->grid_size();
+  report.tiles = mapping.tiles();
+  report.spills = model::count_spills(*decomposition);
+  report.seconds = std::chrono::duration<double>(stop - start).count();
+  report.gflops =
+      report.seconds > 0.0 ? shape.flops() / report.seconds / 1e9 : 0.0;
+  return report;
+}
+
+}  // namespace
+
+GemmReport dgemm(Trans trans_a, Trans trans_b, double alpha,
+                 const Matrix<double>& a, const Matrix<double>& b,
+                 double beta, Matrix<double>& c, const GemmOptions& options) {
+  return blas_impl<double, double, double>(trans_a, trans_b, alpha, a, b,
+                                           beta, c, options,
+                                           gpu::Precision::kFp64);
+}
+
+GemmReport sgemm(Trans trans_a, Trans trans_b, double alpha,
+                 const Matrix<float>& a, const Matrix<float>& b, double beta,
+                 Matrix<float>& c, const GemmOptions& options) {
+  return blas_impl<float, float, float>(trans_a, trans_b, alpha, a, b, beta,
+                                        c, options, gpu::Precision::kFp32);
+}
+
+GemmReport hgemm(Trans trans_a, Trans trans_b, double alpha,
+                 const Matrix<util::Half>& a, const Matrix<util::Half>& b,
+                 double beta, Matrix<float>& c, const GemmOptions& options) {
+  return blas_impl<util::Half, float, float>(trans_a, trans_b, alpha, a, b,
+                                             beta, c, options,
+                                             gpu::Precision::kFp16F32);
+}
+
+template void execute_views<double, double, double>(
+    const core::Decomposition&, const MatrixView<double>&,
+    const MatrixView<double>&, Matrix<double>&, const ExecutorOptions&);
+template void execute_views<float, float, float>(
+    const core::Decomposition&, const MatrixView<float>&,
+    const MatrixView<float>&, Matrix<float>&, const ExecutorOptions&);
+template void execute_views<util::Half, float, float>(
+    const core::Decomposition&, const MatrixView<util::Half>&,
+    const MatrixView<util::Half>&, Matrix<float>&, const ExecutorOptions&);
+
+}  // namespace streamk::cpu

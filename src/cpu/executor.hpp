@@ -1,0 +1,52 @@
+#pragma once
+
+// Decomposed GEMM execution on CPU threads.
+//
+// Worker threads play the role of SMs: each claims CTA ids dynamically and
+// runs the CTA's segment stream -- MacLoop per segment, then the fixup
+// protocol (spill+signal, or wait+reduce+store) exactly as the simulator
+// models it.  The same Decomposition object drives both, so functional
+// behaviour and simulated schedules cannot drift apart.
+//
+// Deadlock freedom with any worker count W >= 1: flag waits always target
+// CTAs with *higher* ids (Stream-K owners wait on later-range CTAs;
+// fixed-split owners on their split peers y > 0; hybrids on their Stream-K
+// region neighbours), and workers claim ids in *descending* order.  Hence
+// every producer a blocked CTA awaits was claimed earlier, i.e. is finished
+// or in flight on another worker; with W == 1 the claim order degenerates to
+// the reverse-index serial schedule in which every signal precedes its wait.
+// Waits block on C++20 atomic waiting, so an oversubscribed worker is
+// descheduled rather than starving its producer.
+
+#include <cstddef>
+
+#include "core/decomposition.hpp"
+#include "cpu/matrix.hpp"
+
+namespace streamk::cpu {
+
+struct ExecutorOptions {
+  /// Worker threads (0 = one per hardware thread).
+  std::size_t workers = 0;
+  double alpha = 1.0;
+  double beta = 0.0;
+};
+
+/// Executes `decomposition` over real matrices: C = alpha * A.B + beta * C.
+/// The matrices must conform to the decomposition's GEMM shape.
+template <typename In, typename Acc, typename Out>
+void execute_decomposition(const core::Decomposition& decomposition,
+                           const Matrix<In>& a, const Matrix<In>& b,
+                           Matrix<Out>& c, const ExecutorOptions& options = {});
+
+extern template void execute_decomposition<double, double, double>(
+    const core::Decomposition&, const Matrix<double>&, const Matrix<double>&,
+    Matrix<double>&, const ExecutorOptions&);
+extern template void execute_decomposition<float, float, float>(
+    const core::Decomposition&, const Matrix<float>&, const Matrix<float>&,
+    Matrix<float>&, const ExecutorOptions&);
+extern template void execute_decomposition<util::Half, float, float>(
+    const core::Decomposition&, const Matrix<util::Half>&,
+    const Matrix<util::Half>&, Matrix<float>&, const ExecutorOptions&);
+
+}  // namespace streamk::cpu

@@ -1,0 +1,134 @@
+#include "cpu/gemm.hpp"
+
+#include <chrono>
+
+#include "cpu/reference.hpp"
+#include "model/grid_selector.hpp"
+#include "model/memory_model.hpp"
+#include "util/threading.hpp"
+
+namespace streamk::cpu {
+
+namespace {
+
+/// A GpuSpec stand-in describing the host CPU so the planner's thresholds
+/// (tiles vs. concurrency slots) apply to the worker pool.  Peak numbers are
+/// placeholders -- plan() only uses relative model terms.
+gpu::GpuSpec cpu_proxy_spec(std::size_t workers) {
+  gpu::GpuSpec spec;
+  spec.name = "host-cpu-proxy";
+  spec.sm_count = static_cast<std::int64_t>(workers);
+  spec.peak_fp64_tflops = 0.01 * static_cast<double>(workers);
+  spec.peak_fp32_tflops = 0.02 * static_cast<double>(workers);
+  spec.peak_fp16f32_tflops = 0.02 * static_cast<double>(workers);
+  spec.dram_gbytes_per_s = 20.0;
+  spec.l2_bytes = 1 << 20;
+  return spec;
+}
+
+}  // namespace
+
+core::DecompositionSpec resolve_schedule(const GemmOptions& options,
+                                         const core::WorkMapping& mapping,
+                                         gpu::Precision precision,
+                                         std::size_t workers) {
+  core::DecompositionSpec spec;
+  spec.sm_count = static_cast<std::int64_t>(workers);
+  switch (options.schedule) {
+    case Schedule::kAuto: {
+      const gpu::GpuSpec proxy = cpu_proxy_spec(workers);
+      const model::CostModel model =
+          model::CostModel::calibrated(proxy, mapping.block(), precision);
+      spec = model::plan(model, mapping, proxy);
+      return spec;
+    }
+    case Schedule::kDataParallel:
+      spec.kind = core::DecompositionKind::kDataParallel;
+      return spec;
+    case Schedule::kFixedSplit:
+      spec.kind = core::DecompositionKind::kFixedSplit;
+      spec.split = options.split;
+      return spec;
+    case Schedule::kStreamK:
+      spec.kind = core::DecompositionKind::kStreamKBasic;
+      spec.grid = options.grid;
+      return spec;
+    case Schedule::kHybridOneTile:
+      spec.kind = core::DecompositionKind::kHybridOneTile;
+      return spec;
+    case Schedule::kHybridTwoTile:
+      spec.kind = core::DecompositionKind::kHybridTwoTile;
+      return spec;
+  }
+  util::fail("unknown schedule");
+}
+
+namespace {
+
+template <typename In, typename Acc, typename Out>
+GemmReport gemm_impl(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
+                     const GemmOptions& options, gpu::Precision precision) {
+  const core::GemmShape shape = product_shape(a, b, c);
+  const gpu::BlockShape block =
+      options.block.valid() ? options.block : default_cpu_block(precision);
+  const core::WorkMapping mapping(shape, block, options.tile_order);
+
+  const std::size_t workers =
+      options.workers > 0 ? options.workers : util::hardware_threads();
+  const core::DecompositionSpec spec =
+      resolve_schedule(options, mapping, precision, workers);
+  const auto decomposition = core::make_decomposition(spec, mapping);
+
+  ExecutorOptions exec;
+  exec.workers = workers;
+  exec.alpha = options.alpha;
+  exec.beta = options.beta;
+
+  const auto start = std::chrono::steady_clock::now();
+  execute_decomposition<In, Acc, Out>(*decomposition, a, b, c, exec);
+  const auto stop = std::chrono::steady_clock::now();
+
+  GemmReport report;
+  report.spec = spec;
+  report.schedule_name = decomposition->name();
+  report.grid = decomposition->grid_size();
+  report.tiles = mapping.tiles();
+  report.spills = model::count_spills(*decomposition);
+  report.seconds = std::chrono::duration<double>(stop - start).count();
+  report.gflops =
+      report.seconds > 0.0 ? shape.flops() / report.seconds / 1e9 : 0.0;
+  return report;
+}
+
+}  // namespace
+
+gpu::BlockShape default_cpu_block(gpu::Precision precision) {
+  switch (precision) {
+    case gpu::Precision::kFp64:
+      return {48, 48, 16};
+    case gpu::Precision::kFp32:
+    case gpu::Precision::kFp16F32:
+      return {64, 64, 16};
+  }
+  util::fail("unknown precision");
+}
+
+GemmReport gemm(const Matrix<double>& a, const Matrix<double>& b,
+                Matrix<double>& c, const GemmOptions& options) {
+  return gemm_impl<double, double, double>(a, b, c, options,
+                                           gpu::Precision::kFp64);
+}
+
+GemmReport gemm(const Matrix<float>& a, const Matrix<float>& b,
+                Matrix<float>& c, const GemmOptions& options) {
+  return gemm_impl<float, float, float>(a, b, c, options,
+                                        gpu::Precision::kFp32);
+}
+
+GemmReport gemm(const Matrix<util::Half>& a, const Matrix<util::Half>& b,
+                Matrix<float>& c, const GemmOptions& options) {
+  return gemm_impl<util::Half, float, float>(a, b, c, options,
+                                             gpu::Precision::kFp16F32);
+}
+
+}  // namespace streamk::cpu

@@ -1,0 +1,76 @@
+#pragma once
+
+// Public BLAS-like GEMM entry points (CPU execution).
+//
+// C = alpha * A.B + beta * C, decomposed per the caller's schedule choice or
+// the analytical planner (Section 5.1) -- the library interface the paper
+// emphasizes is unchanged by Stream-K: decomposition internals are invisible
+// to callers beyond the performance characteristics.
+//
+// Supported precisions mirror the paper's evaluation:
+//   gemm(Matrix<double>,  ...) -> FP64
+//   gemm(Matrix<float>,   ...) -> FP32 (testing convenience)
+//   gemm(Matrix<Half>,    ..., Matrix<float>) -> FP16->32 mixed precision
+
+#include <string>
+
+#include "core/decomposition.hpp"
+#include "cpu/executor.hpp"
+#include "cpu/matrix.hpp"
+#include "gpu/block_shape.hpp"
+
+namespace streamk::cpu {
+
+enum class Schedule {
+  kAuto,          ///< analytical planner picks (Section 5.1)
+  kDataParallel,  ///< Algorithm 2
+  kFixedSplit,    ///< Algorithm 4 (set GemmOptions::split)
+  kStreamK,       ///< Algorithm 5 (set GemmOptions::grid, 0 = worker count)
+  kHybridOneTile, ///< Section 5.2, "DP + one-tile SK"
+  kHybridTwoTile, ///< Section 5.2, "two-tile SK + DP"
+};
+
+struct GemmOptions {
+  Schedule schedule = Schedule::kAuto;
+  /// Blocking factors; {0,0,0} selects a CPU-cache-friendly default.
+  gpu::BlockShape block{0, 0, 0};
+  /// Output-tile traversal order (kMortonZ enables the cache-aware
+  /// Z-order access pattern of the paper's future-work section).
+  core::TileOrder tile_order = core::TileOrder::kRowMajor;
+  std::int64_t grid = 0;   ///< Stream-K grid size (0 = worker count)
+  std::int64_t split = 2;  ///< fixed-split factor
+  std::size_t workers = 0; ///< 0 = hardware concurrency
+  double alpha = 1.0;
+  double beta = 0.0;
+};
+
+struct GemmReport {
+  core::DecompositionSpec spec;
+  std::string schedule_name;
+  std::int64_t grid = 0;
+  std::int64_t tiles = 0;
+  std::int64_t spills = 0;
+  double seconds = 0.0;
+  double gflops = 0.0;  ///< useful GFLOP/s achieved
+};
+
+/// Resolves a GemmOptions schedule request into a concrete decomposition
+/// spec for `workers` CPU workers (kAuto runs the Section 5.1 planner).
+/// Exposed for the batched / convolution front ends.
+core::DecompositionSpec resolve_schedule(const GemmOptions& options,
+                                         const core::WorkMapping& mapping,
+                                         gpu::Precision precision,
+                                         std::size_t workers);
+
+GemmReport gemm(const Matrix<double>& a, const Matrix<double>& b,
+                Matrix<double>& c, const GemmOptions& options = {});
+GemmReport gemm(const Matrix<float>& a, const Matrix<float>& b,
+                Matrix<float>& c, const GemmOptions& options = {});
+GemmReport gemm(const Matrix<util::Half>& a, const Matrix<util::Half>& b,
+                Matrix<float>& c, const GemmOptions& options = {});
+
+/// Default CPU blocking factors for a precision (sized so one tile's
+/// working set stays cache resident).
+gpu::BlockShape default_cpu_block(gpu::Precision precision);
+
+}  // namespace streamk::cpu

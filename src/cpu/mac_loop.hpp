@@ -1,0 +1,51 @@
+#pragma once
+
+// CTA-wide MacLoop (Algorithm 3 of the paper), CPU edition.
+//
+// Performs a range of MAC-loop iterations for one output tile, staging
+// fragments of A and B into local (cache-resident) scratch at accumulator
+// precision before the fully unrolled multiply-accumulate -- the CPU
+// analogue of the shared-memory staging in CUTLASS kernels.  Ragged tile
+// edges are zero-padded in the fragments so the inner loops stay branch
+// free, mirroring how GPU kernels predicate out-of-bounds lanes.
+
+#include <span>
+
+#include "core/decomposition.hpp"
+#include "cpu/matrix.hpp"
+
+namespace streamk::cpu {
+
+/// Scratch buffers for one CTA's fragment staging, sized for a block shape;
+/// reused across segments to avoid per-segment allocation.
+template <typename Acc>
+struct MacScratch {
+  std::vector<Acc> frag_a;  ///< BLK_M x BLK_K
+  std::vector<Acc> frag_b;  ///< BLK_K x BLK_N
+
+  explicit MacScratch(const gpu::BlockShape& block)
+      : frag_a(static_cast<std::size_t>(block.m * block.k)),
+        frag_b(static_cast<std::size_t>(block.k * block.n)) {}
+};
+
+/// Accumulates segment `seg`'s MAC-loop iterations of the decomposed GEMM
+/// into `accum` (BLK_M x BLK_N, row-major).  The caller zero-initializes
+/// `accum` before the first segment of a tile.
+template <typename In, typename Acc>
+void run_mac_segment(const Matrix<In>& a, const Matrix<In>& b,
+                     const core::WorkMapping& mapping,
+                     const core::TileSegment& seg, std::span<Acc> accum,
+                     MacScratch<Acc>& scratch);
+
+extern template void run_mac_segment<double, double>(
+    const Matrix<double>&, const Matrix<double>&, const core::WorkMapping&,
+    const core::TileSegment&, std::span<double>, MacScratch<double>&);
+extern template void run_mac_segment<float, float>(
+    const Matrix<float>&, const Matrix<float>&, const core::WorkMapping&,
+    const core::TileSegment&, std::span<float>, MacScratch<float>&);
+extern template void run_mac_segment<util::Half, float>(
+    const Matrix<util::Half>&, const Matrix<util::Half>&,
+    const core::WorkMapping&, const core::TileSegment&, std::span<float>,
+    MacScratch<float>&);
+
+}  // namespace streamk::cpu

@@ -1,0 +1,94 @@
+#pragma once
+
+// Dense row-major matrix container for the CPU execution path.
+//
+// Deliberately minimal: owning storage, bounds-checked accessors in terms of
+// (row, col), and deterministic fill helpers.  GEMM kernels access raw spans
+// for speed; tests use at().
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/half.hpp"
+#include "util/rng.hpp"
+
+namespace streamk::cpu {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::int64_t rows, std::int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols)) {
+    util::check(rows >= 1 && cols >= 1, "matrix extents must be positive");
+  }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  T& at(std::int64_t r, std::int64_t c) {
+    util::check(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                "matrix index out of range");
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  const T& at(std::int64_t r, std::int64_t c) const {
+    util::check(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                "matrix index out of range");
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  /// Unchecked element access for kernels.
+  T* row_ptr(std::int64_t r) {
+    return data_.data() + static_cast<std::size_t>(r * cols_);
+  }
+  const T* row_ptr(std::int64_t r) const {
+    return data_.data() + static_cast<std::size_t>(r * cols_);
+  }
+
+  std::span<T> data() { return data_; }
+  std::span<const T> data() const { return data_; }
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+namespace detail {
+template <typename T>
+T from_double(double v) {
+  return static_cast<T>(v);
+}
+template <>
+inline util::Half from_double<util::Half>(double v) {
+  return util::Half(static_cast<float>(v));
+}
+}  // namespace detail
+
+/// Uniform random fill in [lo, hi), deterministic under the seed.
+template <typename T>
+void fill_random(Matrix<T>& m, util::Pcg32& rng, double lo = -1.0,
+                 double hi = 1.0) {
+  for (T& v : m.data()) v = detail::from_double<T>(rng.uniform(lo, hi));
+}
+
+/// Small-integer fill: every value, product, and modest sum is exactly
+/// representable at all supported precisions, enabling bitwise-exact
+/// cross-decomposition comparisons in tests.
+template <typename T>
+void fill_random_int(Matrix<T>& m, util::Pcg32& rng, std::int64_t lo = -4,
+                     std::int64_t hi = 4) {
+  for (T& v : m.data()) {
+    v = detail::from_double<T>(static_cast<double>(rng.uniform_int(lo, hi)));
+  }
+}
+
+template <typename T>
+void fill_value(Matrix<T>& m, double value) {
+  for (T& v : m.data()) v = detail::from_double<T>(value);
+}
+
+}  // namespace streamk::cpu

@@ -1,0 +1,112 @@
+#include "cpu/reference.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace streamk::cpu {
+
+namespace {
+
+template <typename In, typename Acc>
+Acc load(const In& v) {
+  return static_cast<Acc>(v);
+}
+template <>
+float load<util::Half, float>(const util::Half& v) {
+  return static_cast<float>(v);
+}
+
+}  // namespace
+
+template <typename In, typename Acc, typename Out>
+void reference_gemm(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
+                    gpu::BlockShape block, double alpha, double beta) {
+  const core::GemmShape shape = product_shape(a, b, c);
+  util::check(block.valid(), "invalid block shape");
+
+  std::vector<Acc> accum(
+      static_cast<std::size_t>(block.m * block.n));
+
+  // Tile-processing outer loops (Algorithm 1 lines 2-3).
+  for (std::int64_t mm = 0; mm < shape.m; mm += block.m) {
+    const std::int64_t em = std::min(block.m, shape.m - mm);
+    for (std::int64_t nn = 0; nn < shape.n; nn += block.n) {
+      const std::int64_t en = std::min(block.n, shape.n - nn);
+
+      // Zero-initialize the output tile accumulators (lines 5-9).
+      std::fill(accum.begin(), accum.end(), Acc{});
+
+      // MAC iterations for this tile (lines 11-21).
+      for (std::int64_t kk = 0; kk < shape.k; kk += block.k) {
+        const std::int64_t ek = std::min(block.k, shape.k - kk);
+        for (std::int64_t i = 0; i < em; ++i) {
+          const In* a_row = a.row_ptr(mm + i) + kk;
+          Acc* acc_row = accum.data() + static_cast<std::size_t>(i * block.n);
+          for (std::int64_t l = 0; l < ek; ++l) {
+            const Acc av = load<In, Acc>(a_row[l]);
+            const In* b_row = b.row_ptr(kk + l) + nn;
+            for (std::int64_t j = 0; j < en; ++j) {
+              acc_row[j] += av * load<In, Acc>(b_row[j]);
+            }
+          }
+        }
+      }
+
+      // Epilogue: C = alpha * accum + beta * C on the valid region.
+      for (std::int64_t i = 0; i < em; ++i) {
+        Out* c_row = c.row_ptr(mm + i) + nn;
+        const Acc* acc_row =
+            accum.data() + static_cast<std::size_t>(i * block.n);
+        for (std::int64_t j = 0; j < en; ++j) {
+          const Acc scaled = static_cast<Acc>(alpha) * acc_row[j] +
+                             static_cast<Acc>(beta) *
+                                 static_cast<Acc>(c_row[j]);
+          c_row[j] = static_cast<Out>(scaled);
+        }
+      }
+    }
+  }
+}
+
+template <typename In, typename Acc, typename Out>
+void naive_gemm(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
+                double alpha, double beta) {
+  const core::GemmShape shape = product_shape(a, b, c);
+  for (std::int64_t i = 0; i < shape.m; ++i) {
+    for (std::int64_t j = 0; j < shape.n; ++j) {
+      Acc sum{};
+      for (std::int64_t l = 0; l < shape.k; ++l) {
+        sum += load<In, Acc>(a.at(i, l)) * load<In, Acc>(b.at(l, j));
+      }
+      const Acc scaled = static_cast<Acc>(alpha) * sum +
+                         static_cast<Acc>(beta) *
+                             static_cast<Acc>(c.at(i, j));
+      c.at(i, j) = static_cast<Out>(scaled);
+    }
+  }
+}
+
+// Explicit instantiations for the supported precisions.
+template void reference_gemm<double, double, double>(
+    const Matrix<double>&, const Matrix<double>&, Matrix<double>&,
+    gpu::BlockShape, double, double);
+template void reference_gemm<float, float, float>(
+    const Matrix<float>&, const Matrix<float>&, Matrix<float>&,
+    gpu::BlockShape, double, double);
+template void reference_gemm<util::Half, float, float>(
+    const Matrix<util::Half>&, const Matrix<util::Half>&, Matrix<float>&,
+    gpu::BlockShape, double, double);
+
+template void naive_gemm<double, double, double>(const Matrix<double>&,
+                                                 const Matrix<double>&,
+                                                 Matrix<double>&, double,
+                                                 double);
+template void naive_gemm<float, float, float>(const Matrix<float>&,
+                                              const Matrix<float>&,
+                                              Matrix<float>&, double, double);
+template void naive_gemm<util::Half, float, float>(const Matrix<util::Half>&,
+                                                   const Matrix<util::Half>&,
+                                                   Matrix<float>&, double,
+                                                   double);
+
+}  // namespace streamk::cpu

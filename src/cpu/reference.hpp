@@ -1,0 +1,40 @@
+#pragma once
+
+// Reference GEMM implementations.
+//
+//   * reference_gemm: the classic sequential cache-blocked formulation
+//     (Algorithm 1 of the paper) -- six loops, three blocking factors --
+//     generalized with alpha/beta scaling.  This is the ground truth the
+//     decomposed executors are verified against, and itself one of the
+//     paper's described systems.
+//   * naive_gemm: the textbook triple loop, used to validate the blocked
+//     reference on small problems.
+//
+// Both accumulate at the precision's accumulator type (float for FP16->32).
+
+#include "core/gemm_shape.hpp"
+#include "cpu/matrix.hpp"
+#include "gpu/block_shape.hpp"
+
+namespace streamk::cpu {
+
+template <typename In, typename Acc, typename Out>
+void reference_gemm(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
+                    gpu::BlockShape block, double alpha = 1.0,
+                    double beta = 0.0);
+
+template <typename In, typename Acc, typename Out>
+void naive_gemm(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
+                double alpha = 1.0, double beta = 0.0);
+
+/// Shape of the product a * b, validating conformance.
+template <typename In, typename Out>
+core::GemmShape product_shape(const Matrix<In>& a, const Matrix<In>& b,
+                              const Matrix<Out>& c) {
+  util::check(a.cols() == b.rows(), "GEMM inner extents do not conform");
+  util::check(c.rows() == a.rows() && c.cols() == b.cols(),
+              "GEMM output extents do not conform");
+  return core::GemmShape{a.rows(), b.cols(), a.cols()};
+}
+
+}  // namespace streamk::cpu

@@ -1,0 +1,53 @@
+#include "cpu/timing_harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "core/stream_k.hpp"
+#include "cpu/executor.hpp"
+#include "util/threading.hpp"
+
+namespace streamk::cpu {
+
+CalibrationResult calibrate_cpu(const core::GemmShape& shape,
+                                gpu::BlockShape block,
+                                const CalibrationOptions& options) {
+  const core::WorkMapping mapping(shape, block);
+  std::vector<std::int64_t> grids = options.grids;
+  if (grids.empty()) {
+    // Default ladder: spans the no-split / moderate-split / heavy-split
+    // regimes so all four constants are observable.
+    grids = {1, 2, 3, 4, 6, 8, 12, 16};
+  }
+
+  Matrix<double> a(shape.m, shape.k);
+  Matrix<double> b(shape.k, shape.n);
+  Matrix<double> c(shape.m, shape.n);
+  util::Pcg32 rng(0xca11b7a7e);
+  fill_random(a, rng);
+  fill_random(b, rng);
+
+  const std::size_t workers =
+      options.workers > 0 ? options.workers : util::hardware_threads();
+
+  CalibrationResult result;
+  for (const std::int64_t g : grids) {
+    const core::StreamKBasic decomposition(mapping, g);
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < std::max(1, options.repetitions); ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      execute_decomposition<double, double, double>(decomposition, a, b, c,
+                                                    {.workers = workers});
+      const auto stop = std::chrono::steady_clock::now();
+      best = std::min(best,
+                      std::chrono::duration<double>(stop - start).count());
+    }
+    result.samples.push_back(model::FitSample{g, best});
+  }
+
+  result.params = model::fit_cost_params(mapping, result.samples);
+  return result;
+}
+
+}  // namespace streamk::cpu

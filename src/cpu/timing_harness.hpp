@@ -1,0 +1,36 @@
+#pragma once
+
+// Per-architecture cost-constant calibration (Section 5.1's offline step).
+//
+// Times basic Stream-K executions of one problem shape at several grid
+// sizes on the host CPU, then least-squares-fits the Appendix A.1 constants
+// {a, b, c, d} to the measurements -- demonstrating the exact workflow the
+// paper prescribes for porting the grid-size model to a new target:
+// "Parameters to the model are trivially chosen with empirical measurements
+// and need only be done once per target architecture."
+
+#include <vector>
+
+#include "core/gemm_shape.hpp"
+#include "gpu/block_shape.hpp"
+#include "model/fit.hpp"
+
+namespace streamk::cpu {
+
+struct CalibrationResult {
+  model::CostParams params;
+  std::vector<model::FitSample> samples;  ///< (grid, best-of-reps seconds)
+};
+
+struct CalibrationOptions {
+  std::vector<std::int64_t> grids;  ///< grid sizes to time (empty = default)
+  int repetitions = 3;              ///< best-of timing repetitions
+  std::size_t workers = 0;          ///< 0 = hardware concurrency
+};
+
+/// Runs the calibration GEMM (FP64) and fits the cost constants.
+CalibrationResult calibrate_cpu(const core::GemmShape& shape,
+                                gpu::BlockShape block,
+                                const CalibrationOptions& options = {});
+
+}  // namespace streamk::cpu

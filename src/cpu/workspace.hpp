@@ -1,0 +1,111 @@
+#pragma once
+
+// Fixup workspace: temporary partial-sum storage plus flags.
+//
+// Stream-K's communication structure (Algorithm 5): a CTA whose iteration
+// range begins mid-tile stores its accumulators to a per-CTA partials slot
+// in global memory and raises its flag; the tile's owner waits on each
+// contributing CTA's flag and reduces the slots.  Storage is allocated only
+// for CTAs that actually spill, so -- as the paper emphasizes -- temporary
+// storage scales with the grid (O(p)), never with the problem output size.
+//
+// Synchronization uses one std::atomic<std::uint32_t> per spilling CTA with
+// release/acquire ordering: the release store in signal() publishes the
+// partials written before it; the acquire load in wait() makes them visible
+// to the owner.  wait() blocks via C++20 atomic waiting, so heavily
+// oversubscribed executions (hundreds of CTAs on one hardware thread) make
+// progress without spinning.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/peers.hpp"
+#include "util/check.hpp"
+
+namespace streamk::cpu {
+
+template <typename Acc>
+class FixupWorkspace {
+ public:
+  /// Builds slots for every CTA of `decomposition` that has a non-starting
+  /// segment.  `tile_elements` is BLK_M * BLK_N.
+  FixupWorkspace(const core::Decomposition& decomposition,
+                 std::int64_t tile_elements)
+      : tile_elements_(tile_elements) {
+    const std::int64_t grid = decomposition.grid_size();
+    slot_of_cta_.assign(static_cast<std::size_t>(grid), -1);
+    std::int64_t slots = 0;
+    for (std::int64_t cta = 0; cta < grid; ++cta) {
+      for (const core::TileSegment& seg :
+           decomposition.cta_work(cta).segments) {
+        if (!seg.starts_tile()) {
+          util::check(slot_of_cta_[static_cast<std::size_t>(cta)] == -1,
+                      "CTA spills twice");
+          slot_of_cta_[static_cast<std::size_t>(cta)] = slots++;
+        }
+      }
+    }
+    partials_.assign(
+        static_cast<std::size_t>(slots * tile_elements_), Acc{});
+    flags_ = std::make_unique<std::atomic<std::uint32_t>[]>(
+        static_cast<std::size_t>(slots > 0 ? slots : 1));
+    slot_count_ = slots;
+    reset();
+  }
+
+  std::int64_t slot_count() const { return slot_count_; }
+
+  bool cta_spills(std::int64_t cta) const {
+    return slot_of_cta_[static_cast<std::size_t>(cta)] >= 0;
+  }
+
+  /// The partials buffer of a spilling CTA.
+  std::span<Acc> partials(std::int64_t cta) {
+    const std::int64_t slot = slot_of_cta_[static_cast<std::size_t>(cta)];
+    util::check(slot >= 0, "CTA has no partials slot");
+    return std::span<Acc>(
+        partials_.data() + static_cast<std::size_t>(slot * tile_elements_),
+        static_cast<std::size_t>(tile_elements_));
+  }
+
+  /// Publishes `cta`'s partials (release) and wakes waiters.
+  void signal(std::int64_t cta) {
+    const std::int64_t slot = slot_of_cta_[static_cast<std::size_t>(cta)];
+    util::check(slot >= 0, "signal from CTA without slot");
+    auto& flag = flags_[static_cast<std::size_t>(slot)];
+    flag.store(1, std::memory_order_release);
+    flag.notify_all();
+  }
+
+  /// Blocks until `cta`'s partials are published (acquire).
+  void wait(std::int64_t cta) {
+    const std::int64_t slot = slot_of_cta_[static_cast<std::size_t>(cta)];
+    util::check(slot >= 0, "wait on CTA without slot");
+    auto& flag = flags_[static_cast<std::size_t>(slot)];
+    std::uint32_t observed = flag.load(std::memory_order_acquire);
+    while (observed == 0) {
+      flag.wait(0, std::memory_order_acquire);
+      observed = flag.load(std::memory_order_acquire);
+    }
+  }
+
+  /// Rearms all flags (partials contents need no clearing; spilling CTAs
+  /// overwrite their slot before signalling).
+  void reset() {
+    for (std::int64_t s = 0; s < slot_count_; ++s) {
+      flags_[static_cast<std::size_t>(s)].store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::int64_t tile_elements_;
+  std::int64_t slot_count_ = 0;
+  std::vector<std::int64_t> slot_of_cta_;
+  std::vector<Acc> partials_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> flags_;
+};
+
+}  // namespace streamk::cpu

@@ -1,0 +1,69 @@
+#include "ensemble/heuristics.hpp"
+
+#include <algorithm>
+
+#include "core/work_mapping.hpp"
+#include "model/cost_model.hpp"
+#include "util/check.hpp"
+
+namespace streamk::ensemble {
+
+KernelConfig heuristic_select(const core::GemmShape& shape,
+                              gpu::Precision precision,
+                              const gpu::GpuSpec& gpu) {
+  util::check(shape.valid(), "invalid GEMM shape");
+  const std::vector<gpu::BlockShape> menu = paper_dp_ensemble(precision);
+
+  // Rule 1: score each tile by pipeline efficiency x wave-quantization
+  // efficiency x useful (unpadded) work fraction, and take the best
+  // (largest tile wins ties).  This is the shape of a trained selector: a
+  // closed-form figure of merit over precompiled variants.  It ignores
+  // memory boundedness and fixup/split interactions -- the blind spots
+  // that separate it from the oracle.
+  const gpu::BlockShape* chosen = &menu.front();
+  double best_score = -1.0;
+  for (const gpu::BlockShape& block : menu) {
+    const core::WorkMapping mapping(shape, block);
+    const std::int64_t slots =
+        gpu.sm_count * model::occupancy(block, precision);
+    const std::int64_t waves = core::ceil_div(mapping.tiles(), slots);
+    const double quantization =
+        static_cast<double>(mapping.tiles()) /
+        (static_cast<double>(waves) * static_cast<double>(slots));
+    const double score = model::tile_efficiency(block, precision) *
+                         quantization * mapping.useful_fraction();
+    if (score >= best_score) {
+      best_score = score;
+      chosen = &block;
+    }
+  }
+
+  KernelConfig config;
+  config.block = *chosen;
+
+  // Rule 2: when the tile count leaves the machine underfilled, split the
+  // accumulation dimension by the power of two that brings the CTA count
+  // closest to one wave (capped by the iteration count).
+  const std::int64_t tiles = core::ceil_div(shape.m, config.block.m) *
+                             core::ceil_div(shape.n, config.block.n);
+  const std::int64_t slots =
+      gpu.sm_count * model::occupancy(config.block, precision);
+  if (tiles < slots) {
+    const std::int64_t ipt = core::ceil_div(shape.k, config.block.k);
+    std::int64_t best_split = 1;
+    double best_fill = static_cast<double>(tiles) / static_cast<double>(slots);
+    for (const std::int64_t s : heuristic_split_ladder()) {
+      if (s > ipt) break;  // splits beyond the iteration count are dead CTAs
+      const double fill = std::min(
+          1.0, static_cast<double>(tiles * s) / static_cast<double>(slots));
+      if (fill > best_fill) {
+        best_fill = fill;
+        best_split = s;
+      }
+    }
+    config.split = best_split;
+  }
+  return config;
+}
+
+}  // namespace streamk::ensemble

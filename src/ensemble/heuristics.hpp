@@ -1,0 +1,26 @@
+#pragma once
+
+// Rule-based kernel selection, modelling the *class* of selector used by
+// closed-source vendor libraries (cuBLAS).
+//
+// Vendor heuristics map problem-shape features through trained thresholds
+// to a kernel from a precompiled menu.  Such rules are necessarily coarse:
+// they cannot anticipate the exact quantization of every (shape, ensemble)
+// pair, which is how the paper explains cuBLAS's wide utilization spread
+// relative to the idealized oracle (Figures 5b/6b vs 5c/6c).  Our selector
+// follows the same recipe -- fill the machine, prefer the largest tile that
+// does so, split the k-dimension by a power of two when parallelism is
+// scarce -- and inherits the same class of mispredictions, deterministically.
+
+#include "core/gemm_shape.hpp"
+#include "ensemble/kernel_config.hpp"
+#include "gpu/gpu_spec.hpp"
+
+namespace streamk::ensemble {
+
+/// Deterministic rule-based kernel choice for a problem.
+KernelConfig heuristic_select(const core::GemmShape& shape,
+                              gpu::Precision precision,
+                              const gpu::GpuSpec& gpu);
+
+}  // namespace streamk::ensemble

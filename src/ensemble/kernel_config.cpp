@@ -1,0 +1,38 @@
+#include "ensemble/kernel_config.hpp"
+
+#include "util/check.hpp"
+
+namespace streamk::ensemble {
+
+std::string KernelConfig::to_string() const {
+  std::string s = block.to_string();
+  if (split > 1) s += " split" + std::to_string(split);
+  return s;
+}
+
+std::vector<gpu::BlockShape> paper_dp_ensemble(gpu::Precision precision) {
+  switch (precision) {
+    case gpu::Precision::kFp64:
+      return {{32, 32, 16}, {32, 64, 16}, {64, 64, 16}, {64, 128, 16},
+              {128, 128, 16}};
+    case gpu::Precision::kFp32:
+    case gpu::Precision::kFp16F32:
+      return {{64, 64, 64}, {64, 128, 32}, {128, 128, 32}, {128, 256, 32}};
+  }
+  util::fail("unknown precision");
+}
+
+gpu::BlockShape paper_stream_k_block(gpu::Precision precision) {
+  switch (precision) {
+    case gpu::Precision::kFp64:
+      return gpu::BlockShape::paper_fp64();
+    case gpu::Precision::kFp32:
+    case gpu::Precision::kFp16F32:
+      return gpu::BlockShape::paper_fp16();
+  }
+  util::fail("unknown precision");
+}
+
+std::vector<std::int64_t> heuristic_split_ladder() { return {1, 2, 4, 8, 16}; }
+
+}  // namespace streamk::ensemble

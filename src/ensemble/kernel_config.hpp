@@ -1,0 +1,41 @@
+#pragma once
+
+// Kernel configurations and the paper's tile ensembles.
+//
+// Section 6 (Methodology): the idealized oracle selects among data-parallel
+// CUTLASS blocking-factor specializations --
+//   FP64:     {32x32x16, 32x64x16, 64x64x16, 64x128x16, 128x128x16}
+//   FP16->32: {64x64x64, 64x128x32, 128x128x32, 128x256x32}
+// -- open-sourced strict subsets of the corresponding cuBLAS ensembles.
+// The cuBLAS-like heuristic library additionally deploys fixed-split
+// variants of these tiles (Section 2 notes cuBLAS implements a variety of
+// data-parallel and fixed-split variants).
+
+#include <string>
+#include <vector>
+
+#include "gpu/block_shape.hpp"
+#include "gpu/precision.hpp"
+
+namespace streamk::ensemble {
+
+/// A concrete kernel variant a library can launch.
+struct KernelConfig {
+  gpu::BlockShape block;
+  std::int64_t split = 1;  ///< fixed-split factor (1 = data-parallel)
+
+  std::string to_string() const;
+};
+
+/// The paper's data-parallel tile ensemble for a precision (oracle members).
+std::vector<gpu::BlockShape> paper_dp_ensemble(gpu::Precision precision);
+
+/// The paper's single Stream-K blocking factor for a precision
+/// (64x64x16 FP64 / 128x128x32 FP16->32, Section 5.1).
+gpu::BlockShape paper_stream_k_block(gpu::Precision precision);
+
+/// Split factors the heuristic library may deploy (power-of-two ladder,
+/// mirroring the discrete "algorithm" menu of cublasGemmEx).
+std::vector<std::int64_t> heuristic_split_ladder();
+
+}  // namespace streamk::ensemble

@@ -1,0 +1,169 @@
+#include "ensemble/library.hpp"
+
+#include <limits>
+
+#include "ensemble/heuristics.hpp"
+#include "model/grid_selector.hpp"
+#include "util/check.hpp"
+
+namespace streamk::ensemble {
+
+namespace {
+
+GemmMeasurement measure(const core::GemmShape& shape,
+                        const KernelConfig& config,
+                        const core::DecompositionSpec& spec,
+                        gpu::Precision precision, const gpu::GpuSpec& gpu,
+                        const std::string& label) {
+  const core::WorkMapping mapping(shape, config.block);
+  const model::CostModel model =
+      model::CostModel::calibrated(gpu, config.block, precision);
+  GemmMeasurement m;
+  m.config = config;
+  m.kind = spec.kind;
+  m.estimate = sim::estimate_kernel(spec, mapping, model, gpu);
+  m.kernel_name = label + " " + config.to_string();
+  return m;
+}
+
+}  // namespace
+
+DataParallelLibrary::DataParallelLibrary(gpu::GpuSpec gpu,
+                                         gpu::Precision precision,
+                                         gpu::BlockShape block)
+    : KernelLibrary(std::move(gpu), precision), block_(block) {}
+
+std::string DataParallelLibrary::name() const {
+  return "cutlass-dp " + block_.to_string();
+}
+
+GemmMeasurement DataParallelLibrary::run(const core::GemmShape& shape) const {
+  core::DecompositionSpec spec;
+  spec.kind = core::DecompositionKind::kDataParallel;
+  return measure(shape, KernelConfig{block_, 1}, spec, precision_, gpu_,
+                 "dp");
+}
+
+OracleLibrary::OracleLibrary(gpu::GpuSpec gpu, gpu::Precision precision)
+    : KernelLibrary(std::move(gpu), precision),
+      members_(paper_dp_ensemble(precision)) {}
+
+GemmMeasurement OracleLibrary::run(const core::GemmShape& shape) const {
+  GemmMeasurement best;
+  best.estimate.seconds = std::numeric_limits<double>::infinity();
+  core::DecompositionSpec spec;
+  spec.kind = core::DecompositionKind::kDataParallel;
+  for (const gpu::BlockShape& block : members_) {
+    GemmMeasurement m = measure(shape, KernelConfig{block, 1}, spec,
+                                precision_, gpu_, "oracle-dp");
+    if (m.estimate.seconds < best.estimate.seconds) best = std::move(m);
+  }
+  return best;
+}
+
+HeuristicLibrary::HeuristicLibrary(gpu::GpuSpec gpu, gpu::Precision precision)
+    : KernelLibrary(std::move(gpu), precision) {}
+
+GemmMeasurement HeuristicLibrary::run(const core::GemmShape& shape) const {
+  const KernelConfig config = heuristic_select(shape, precision_, gpu_);
+  core::DecompositionSpec spec;
+  if (config.split > 1) {
+    spec.kind = core::DecompositionKind::kFixedSplit;
+    spec.split = config.split;
+  } else {
+    spec.kind = core::DecompositionKind::kDataParallel;
+  }
+  return measure(shape, config, spec, precision_, gpu_, "cublas-like");
+}
+
+StreamKLibrary::StreamKLibrary(gpu::GpuSpec gpu, gpu::Precision precision)
+    : KernelLibrary(std::move(gpu), precision),
+      block_(paper_stream_k_block(precision)) {}
+
+GemmMeasurement StreamKLibrary::run(const core::GemmShape& shape) const {
+  const core::WorkMapping mapping(shape, block_);
+  const model::CostModel model =
+      model::CostModel::calibrated(gpu_, block_, precision_);
+  const core::DecompositionSpec spec = model::plan(model, mapping, gpu_);
+  GemmMeasurement m = measure(shape, KernelConfig{block_, 1}, spec,
+                              precision_, gpu_, "stream-k");
+  m.kernel_name =
+      "stream-k[" + std::string(core::kind_name(spec.kind)) + "] " +
+      block_.to_string();
+  return m;
+}
+
+namespace {
+
+/// The "second kernel" blocking factor: the half tile of the deployed
+/// Stream-K blocking for the precision.
+gpu::BlockShape duo_small_block(gpu::Precision precision) {
+  switch (precision) {
+    case gpu::Precision::kFp64:
+      return {32, 64, 16};
+    case gpu::Precision::kFp32:
+    case gpu::Precision::kFp16F32:
+      return {64, 128, 32};
+  }
+  util::fail("unknown precision");
+}
+
+}  // namespace
+
+StreamKDuoLibrary::StreamKDuoLibrary(gpu::GpuSpec gpu,
+                                     gpu::Precision precision)
+    : KernelLibrary(std::move(gpu), precision),
+      large_(paper_stream_k_block(precision)),
+      small_(duo_small_block(precision)) {}
+
+GemmMeasurement StreamKDuoLibrary::run_block(const core::GemmShape& shape,
+                                             gpu::BlockShape block,
+                                             double* predicted_seconds) const {
+  const core::WorkMapping mapping(shape, block);
+  const model::CostModel model =
+      model::CostModel::calibrated(gpu_, block, precision_);
+  const core::DecompositionSpec spec = model::plan(model, mapping, gpu_);
+  *predicted_seconds = model::closed_form_estimate(spec, model, mapping, gpu_);
+  GemmMeasurement m =
+      measure(shape, KernelConfig{block, 1}, spec, precision_, gpu_, "duo");
+  m.kernel_name = "stream-k-duo[" + std::string(core::kind_name(spec.kind)) +
+                  "] " + block.to_string();
+  return m;
+}
+
+GemmMeasurement StreamKDuoLibrary::run(const core::GemmShape& shape) const {
+  // Predict both kernels with the closed-form model, dispatch the winner;
+  // only the selected kernel is "run" (simulated), as a real library would.
+  double predicted_large = 0.0;
+  double predicted_small = 0.0;
+  const core::WorkMapping large_mapping(shape, large_);
+  const core::WorkMapping small_mapping(shape, small_);
+  const model::CostModel large_model =
+      model::CostModel::calibrated(gpu_, large_, precision_);
+  const model::CostModel small_model =
+      model::CostModel::calibrated(gpu_, small_, precision_);
+  predicted_large = model::closed_form_estimate(
+      model::plan(large_model, large_mapping, gpu_), large_model,
+      large_mapping, gpu_);
+  predicted_small = model::closed_form_estimate(
+      model::plan(small_model, small_mapping, gpu_), small_model,
+      small_mapping, gpu_);
+
+  double ignored = 0.0;
+  return run_block(shape,
+                   predicted_small < predicted_large ? small_ : large_,
+                   &ignored);
+}
+
+EvaluationSuite EvaluationSuite::make(const gpu::GpuSpec& gpu,
+                                      gpu::Precision precision) {
+  EvaluationSuite suite;
+  suite.stream_k = std::make_unique<StreamKLibrary>(gpu, precision);
+  suite.data_parallel = std::make_unique<DataParallelLibrary>(
+      gpu, precision, paper_stream_k_block(precision));
+  suite.cublas_like = std::make_unique<HeuristicLibrary>(gpu, precision);
+  suite.oracle = std::make_unique<OracleLibrary>(gpu, precision);
+  return suite;
+}
+
+}  // namespace streamk::ensemble

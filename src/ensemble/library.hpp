@@ -1,0 +1,130 @@
+#pragma once
+
+// Kernel libraries: the four contenders of the paper's evaluation.
+//
+//   * DataParallelLibrary -- the default data-parallel CUTLASS kernel of a
+//     single blocking factor (comparison baseline 1).
+//   * HeuristicLibrary    -- a cuBLAS-like ensemble: tile menu plus
+//     fixed-split variants behind rule-based selection (baseline 2).
+//   * OracleLibrary       -- the idealized oracle that always runs the best
+//     data-parallel tiling for the problem at hand (baseline 3).
+//   * StreamKLibrary      -- a single Stream-K kernel per precision, with
+//     grid size / schedule chosen by the analytical planner (Section 5.1):
+//     the paper's contribution.
+//
+// Every library answers run(shape) with the kernel it selected and that
+// kernel's simulated performance on the library's GPU.
+
+#include <memory>
+#include <string>
+
+#include "core/gemm_shape.hpp"
+#include "ensemble/kernel_config.hpp"
+#include "gpu/gpu_spec.hpp"
+#include "sim/sim_gemm.hpp"
+
+namespace streamk::ensemble {
+
+struct GemmMeasurement {
+  KernelConfig config;                ///< kernel variant selected
+  core::DecompositionKind kind = core::DecompositionKind::kDataParallel;
+  sim::KernelEstimate estimate;       ///< simulated performance
+  std::string kernel_name;
+};
+
+class KernelLibrary {
+ public:
+  KernelLibrary(gpu::GpuSpec gpu, gpu::Precision precision)
+      : gpu_(std::move(gpu)), precision_(precision) {}
+  virtual ~KernelLibrary() = default;
+
+  KernelLibrary(const KernelLibrary&) = delete;
+  KernelLibrary& operator=(const KernelLibrary&) = delete;
+
+  virtual std::string name() const = 0;
+  virtual GemmMeasurement run(const core::GemmShape& shape) const = 0;
+
+  const gpu::GpuSpec& gpu() const { return gpu_; }
+  gpu::Precision precision() const { return precision_; }
+
+ protected:
+  gpu::GpuSpec gpu_;
+  gpu::Precision precision_;
+};
+
+class DataParallelLibrary final : public KernelLibrary {
+ public:
+  DataParallelLibrary(gpu::GpuSpec gpu, gpu::Precision precision,
+                      gpu::BlockShape block);
+  std::string name() const override;
+  GemmMeasurement run(const core::GemmShape& shape) const override;
+
+ private:
+  gpu::BlockShape block_;
+};
+
+class OracleLibrary final : public KernelLibrary {
+ public:
+  OracleLibrary(gpu::GpuSpec gpu, gpu::Precision precision);
+  std::string name() const override { return "cutlass-oracle"; }
+  GemmMeasurement run(const core::GemmShape& shape) const override;
+
+ private:
+  std::vector<gpu::BlockShape> members_;
+};
+
+class HeuristicLibrary final : public KernelLibrary {
+ public:
+  HeuristicLibrary(gpu::GpuSpec gpu, gpu::Precision precision);
+  std::string name() const override { return "cublas-like"; }
+  GemmMeasurement run(const core::GemmShape& shape) const override;
+};
+
+class StreamKLibrary final : public KernelLibrary {
+ public:
+  StreamKLibrary(gpu::GpuSpec gpu, gpu::Precision precision);
+  std::string name() const override { return "stream-k"; }
+  GemmMeasurement run(const core::GemmShape& shape) const override;
+
+  gpu::BlockShape block() const { return block_; }
+
+ private:
+  gpu::BlockShape block_;
+};
+
+/// The paper's future-work proposal (Section 6, final paragraph): bundle a
+/// *second* Stream-K kernel with a smaller blocking factor into a two-kernel
+/// ensemble, so the small / bandwidth-bound regime -- where the single
+/// largish tile "does not compete well" -- is covered too.  Selection uses
+/// the same closed-form planner estimate as the grid-size model; no new
+/// heuristics machinery is needed.
+class StreamKDuoLibrary final : public KernelLibrary {
+ public:
+  StreamKDuoLibrary(gpu::GpuSpec gpu, gpu::Precision precision);
+  std::string name() const override { return "stream-k-duo"; }
+  GemmMeasurement run(const core::GemmShape& shape) const override;
+
+  gpu::BlockShape large_block() const { return large_; }
+  gpu::BlockShape small_block() const { return small_; }
+
+ private:
+  GemmMeasurement run_block(const core::GemmShape& shape,
+                            gpu::BlockShape block,
+                            double* predicted_seconds) const;
+
+  gpu::BlockShape large_;
+  gpu::BlockShape small_;
+};
+
+/// Convenience factory for all four libraries of one precision.
+struct EvaluationSuite {
+  std::unique_ptr<StreamKLibrary> stream_k;
+  std::unique_ptr<DataParallelLibrary> data_parallel;
+  std::unique_ptr<HeuristicLibrary> cublas_like;
+  std::unique_ptr<OracleLibrary> oracle;
+
+  static EvaluationSuite make(const gpu::GpuSpec& gpu,
+                              gpu::Precision precision);
+};
+
+}  // namespace streamk::ensemble

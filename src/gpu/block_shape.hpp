@@ -1,0 +1,43 @@
+#pragma once
+
+// CTA-wide blocking factors (BLK_M x BLK_N x BLK_K in the paper's notation).
+//
+// A BlockShape fixes the granularity of one MAC-loop iteration: a
+// BLK_M x BLK_N x BLK_K volume of multiply-accumulates.  Stream-K's central
+// idea is to quantize the GEMM into these iterations rather than into whole
+// output tiles.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace streamk::gpu {
+
+struct BlockShape {
+  std::int64_t m = 0;  ///< BLK_M: output-tile rows
+  std::int64_t n = 0;  ///< BLK_N: output-tile columns
+  std::int64_t k = 0;  ///< BLK_K: accumulation depth of one MAC-loop iteration
+
+  friend constexpr auto operator<=>(const BlockShape&,
+                                    const BlockShape&) = default;
+
+  /// Multiply-accumulate count of a single MAC-loop iteration.
+  constexpr std::int64_t macs_per_iteration() const { return m * n * k; }
+
+  /// Elements in one output tile (also in one spilled partial-sum buffer).
+  constexpr std::int64_t tile_elements() const { return m * n; }
+
+  constexpr bool valid() const { return m > 0 && n > 0 && k > 0; }
+
+  std::string to_string() const {
+    return std::to_string(m) + "x" + std::to_string(n) + "x" +
+           std::to_string(k);
+  }
+
+  // The paper's chosen per-precision blocking factors (Section 5.1): the
+  // smallest CTA-wide tile reaching 99% of A100 peak for large GEMMs.
+  static constexpr BlockShape paper_fp64() { return {64, 64, 16}; }
+  static constexpr BlockShape paper_fp16() { return {128, 128, 32}; }
+};
+
+}  // namespace streamk::gpu

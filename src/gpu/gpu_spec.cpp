@@ -1,0 +1,55 @@
+#include "gpu/gpu_spec.hpp"
+
+#include "util/check.hpp"
+
+namespace streamk::gpu {
+
+double GpuSpec::peak_flops(Precision p) const {
+  switch (p) {
+    case Precision::kFp64:
+      return peak_fp64_tflops * 1e12;
+    case Precision::kFp32:
+      return peak_fp32_tflops * 1e12;
+    case Precision::kFp16F32:
+      return peak_fp16f32_tflops * 1e12;
+  }
+  util::fail("unknown precision");
+}
+
+double GpuSpec::per_sm_flops(Precision p) const {
+  util::check(sm_count > 0, "GpuSpec without SMs");
+  return peak_flops(p) / static_cast<double>(sm_count);
+}
+
+GpuSpec GpuSpec::a100_locked() {
+  GpuSpec spec;
+  spec.name = "NVIDIA A100 (400 W / 1005 MHz lock)";
+  spec.sm_count = 108;
+  // Tensor-core peaks at the locked clocks, as reported in Section 6.
+  spec.peak_fp64_tflops = 13.9;
+  spec.peak_fp16f32_tflops = 222.3;
+  // CUDA-core FP32 rate at 1005 MHz (108 SMs x 128 FLOP/cycle); the paper
+  // does not evaluate FP32, this is for completeness.
+  spec.peak_fp32_tflops = 13.9;
+  spec.dram_gbytes_per_s = 1555.0;      // HBM2e, A100-40GB
+  spec.l2_bytes = 40ll * 1024 * 1024;   // 40 MB L2
+  return spec;
+}
+
+GpuSpec GpuSpec::hypothetical4() {
+  // The four-SM illustration device of Figures 1-3 and 9, with per-SM rates
+  // matching the locked A100 so MAC-loop iteration costs carry over.
+  GpuSpec spec = a100_locked();
+  spec.name = "hypothetical 4-SM GPU";
+  const double scale = 4.0 / static_cast<double>(spec.sm_count);
+  spec.sm_count = 4;
+  spec.peak_fp64_tflops *= scale;
+  spec.peak_fp32_tflops *= scale;
+  spec.peak_fp16f32_tflops *= scale;
+  spec.dram_gbytes_per_s *= scale;
+  spec.l2_bytes = static_cast<std::int64_t>(
+      static_cast<double>(spec.l2_bytes) * scale);
+  return spec;
+}
+
+}  // namespace streamk::gpu

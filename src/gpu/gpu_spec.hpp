@@ -1,0 +1,44 @@
+#pragma once
+
+// Virtual GPU description.
+//
+// All performance experiments run against a GpuSpec: a named processor with
+// a number of streaming-multiprocessor cores, per-precision peak math
+// throughput, and DRAM bandwidth.  Two presets matter for the paper:
+//
+//   * a100_locked(): the paper's test device — an NVIDIA A100 with 108 SMs,
+//     power locked at 400 W and SM clocks at 1005 MHz, establishing
+//     13.9 TFLOP/s FP64 and 222.3 TFLOP/s FP16->32 tensor-core peaks.
+//   * hypothetical4(): the four-SM machine used by Figures 1, 2, 3 and 9 to
+//     illustrate execution schedules.
+
+#include <cstdint>
+#include <string>
+
+#include "gpu/precision.hpp"
+
+namespace streamk::gpu {
+
+struct GpuSpec {
+  std::string name;
+  std::int64_t sm_count = 0;
+  double peak_fp64_tflops = 0.0;
+  double peak_fp32_tflops = 0.0;
+  double peak_fp16f32_tflops = 0.0;
+  double dram_gbytes_per_s = 0.0;
+  std::int64_t l2_bytes = 0;
+
+  /// Peak math throughput in FLOP/s for a precision.
+  double peak_flops(Precision p) const;
+
+  /// Peak throughput of one SM core in FLOP/s (even share of the device).
+  double per_sm_flops(Precision p) const;
+
+  /// DRAM bandwidth in bytes/s.
+  double dram_bytes_per_s() const { return dram_gbytes_per_s * 1e9; }
+
+  static GpuSpec a100_locked();
+  static GpuSpec hypothetical4();
+};
+
+}  // namespace streamk::gpu

@@ -1,0 +1,53 @@
+#include "gpu/precision.hpp"
+
+#include "util/check.hpp"
+
+namespace streamk::gpu {
+
+std::size_t input_bytes(Precision p) {
+  switch (p) {
+    case Precision::kFp64:
+      return 8;
+    case Precision::kFp32:
+      return 4;
+    case Precision::kFp16F32:
+      return 2;
+  }
+  util::fail("unknown precision");
+}
+
+std::size_t output_bytes(Precision p) {
+  switch (p) {
+    case Precision::kFp64:
+      return 8;
+    case Precision::kFp32:
+    case Precision::kFp16F32:
+      return 4;
+  }
+  util::fail("unknown precision");
+}
+
+std::size_t accumulator_bytes(Precision p) {
+  switch (p) {
+    case Precision::kFp64:
+      return 8;
+    case Precision::kFp32:
+    case Precision::kFp16F32:
+      return 4;
+  }
+  util::fail("unknown precision");
+}
+
+std::string_view name(Precision p) {
+  switch (p) {
+    case Precision::kFp64:
+      return "fp64";
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kFp16F32:
+      return "fp16->32";
+  }
+  util::fail("unknown precision");
+}
+
+}  // namespace streamk::gpu

@@ -1,0 +1,33 @@
+#pragma once
+
+// GEMM precision descriptors.
+//
+// The paper evaluates two precisions on the A100:
+//   * FP64        — double in, double accumulate, double out.
+//   * FP16->32    — half in, float accumulate, float out (mixed precision).
+// We additionally support FP32 for CPU-side testing convenience.
+
+#include <cstddef>
+#include <string_view>
+
+namespace streamk::gpu {
+
+enum class Precision {
+  kFp64,     ///< double-precision GEMM
+  kFp32,     ///< single-precision GEMM (not evaluated in the paper; testing aid)
+  kFp16F32,  ///< half-precision inputs with single-precision accumulation
+};
+
+/// Bytes per element of the A/B input matrices.
+std::size_t input_bytes(Precision p);
+
+/// Bytes per element of the C output matrix.
+std::size_t output_bytes(Precision p);
+
+/// Bytes per element of the *accumulator* (and therefore of a spilled
+/// partial-sum tile: Stream-K partials are stored at accumulator width).
+std::size_t accumulator_bytes(Precision p);
+
+std::string_view name(Precision p);
+
+}  // namespace streamk::gpu

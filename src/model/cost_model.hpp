@@ -1,0 +1,91 @@
+#pragma once
+
+// The paper's analytical CTA runtime model (Appendix A.1).
+//
+//   time_CTA(g) = a + b*[FixupPeers(g) > 1]
+//                   + c*ItersPerCta(g)
+//                   + d*(FixupPeers(g) - 1)
+//
+//   ItersPerCta(g) = ceil(total_iters / g)
+//   FixupPeers(g)  = ceil(iters_per_tile / ItersPerCta(g))
+//
+// The four workload constants are unique to a (blocking factors, data type,
+// microarchitecture) combination:
+//   a -- one-time fixed costs per CTA (launch latency, compulsory misses,
+//        output-tile store),
+//   b -- conditional cost of spilling temporary partial sums,
+//   c -- instruction + stall cost of one MAC-loop iteration,
+//   d -- cost of reading and serially accumulating one peer's partials.
+//
+// Two parameterizations ship with the library:
+//   * calibrated() -- `c` derived from the per-SM math peak and a per-tile
+//     efficiency factor; {a, b, d} fit (once, offline -- exactly as
+//     Section 5.1 prescribes) so the model's performance response matches
+//     the response surface published in the paper (Tables 1-2 extremes).
+//   * paper_fig8() -- the conservative constants implied by the Figure 8
+//     illustration (b = 9c, d = 8c), under which the three Figure 8 case
+//     studies yield g_best = 108, 64 and 8.
+
+#include <cstdint>
+
+#include "core/work_mapping.hpp"
+#include "gpu/block_shape.hpp"
+#include "gpu/gpu_spec.hpp"
+#include "gpu/precision.hpp"
+
+namespace streamk::model {
+
+struct CostParams {
+  double a = 0.0;  ///< seconds: fixed per-CTA cost
+  double b = 0.0;  ///< seconds: partial-sum spill cost (conditional)
+  double c = 0.0;  ///< seconds: one MAC-loop iteration
+  double d = 0.0;  ///< seconds: read + accumulate one peer's partials
+};
+
+/// Fraction of an SM's peak math rate achieved by a blocking factor's MAC
+/// loop.  The paper's chosen tiles are the smallest reaching 99% of peak;
+/// smaller tiles pipeline less effectively (Section 3.2 lists why).
+double tile_efficiency(gpu::BlockShape block, gpu::Precision precision);
+
+/// CTAs of this blocking factor concurrently resident per SM (bounded by
+/// accumulator/scratchpad footprint).  Finer tiles quantize better partly
+/// because more of them co-schedule.
+std::int64_t occupancy(gpu::BlockShape block, gpu::Precision precision);
+
+class CostModel {
+ public:
+  CostModel(CostParams params, gpu::BlockShape block, gpu::Precision precision)
+      : params_(params), block_(block), precision_(precision) {}
+
+  static CostModel calibrated(const gpu::GpuSpec& gpu, gpu::BlockShape block,
+                              gpu::Precision precision);
+  static CostModel paper_fig8(const gpu::GpuSpec& gpu, gpu::BlockShape block,
+                              gpu::Precision precision);
+
+  const CostParams& params() const { return params_; }
+  gpu::BlockShape block() const { return block_; }
+  gpu::Precision precision() const { return precision_; }
+
+  /// Appendix A.1: ceil(total_iters / g).
+  static std::int64_t iters_per_cta(const core::WorkMapping& mapping,
+                                    std::int64_t grid);
+
+  /// Appendix A.1: ceil(iters_per_tile / iters_per_cta).
+  static std::int64_t fixup_peers(const core::WorkMapping& mapping,
+                                  std::int64_t grid);
+
+  /// The paper's Stream-K CTA runtime at grid size g (compute only; combine
+  /// with the memory model for a full estimate).
+  double stream_k_cta_time(const core::WorkMapping& mapping,
+                           std::int64_t grid) const;
+
+  /// Cost of a plain data-parallel CTA (one full tile).
+  double data_parallel_cta_time(const core::WorkMapping& mapping) const;
+
+ private:
+  CostParams params_;
+  gpu::BlockShape block_;
+  gpu::Precision precision_;
+};
+
+}  // namespace streamk::model

@@ -1,0 +1,131 @@
+#include "model/fit.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace streamk::model {
+
+void solve_dense(std::vector<double>& a, std::vector<double>& y,
+                 std::size_t n) {
+  util::check(a.size() == n * n && y.size() == n, "solve_dense size mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    util::check(std::abs(a[pivot * n + col]) > 1e-30,
+                "singular system in solve_dense");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[col * n + j], a[pivot * n + j]);
+      }
+      std::swap(y[col], y[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double f = a[row * n + col] / a[col * n + col];
+      if (f == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) {
+        a[row * n + j] -= f * a[col * n + j];
+      }
+      y[row] -= f * y[col];
+    }
+  }
+  // Back substitution.
+  for (std::size_t row = n; row-- > 0;) {
+    double sum = y[row];
+    for (std::size_t j = row + 1; j < n; ++j) {
+      sum -= a[row * n + j] * y[j];
+    }
+    y[row] = sum / a[row * n + row];
+  }
+}
+
+CostParams fit_cost_params(const core::WorkMapping& mapping,
+                           std::span<const FitSample> samples) {
+  util::check(samples.size() >= 2, "need at least two fit samples");
+
+  // Regressor rows for every sample.
+  std::vector<std::array<double, 4>> rows;
+  std::vector<double> targets;
+  rows.reserve(samples.size());
+  for (const FitSample& s : samples) {
+    const auto ipc =
+        static_cast<double>(CostModel::iters_per_cta(mapping, s.grid));
+    const auto peers =
+        static_cast<double>(CostModel::fixup_peers(mapping, s.grid));
+    rows.push_back({1.0, peers > 1.0 ? 1.0 : 0.0, ipc, peers - 1.0});
+    targets.push_back(s.seconds);
+  }
+
+  // Columns with no variance are unobservable; drop them (constant column 0
+  // is always kept as the intercept `a`).
+  std::array<bool, 4> active{true, false, false, false};
+  for (std::size_t j = 1; j < 4; ++j) {
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      if (rows[i][j] != rows[0][j]) {
+        active[j] = true;
+        break;
+      }
+    }
+  }
+  auto try_fit = [&](const std::vector<std::size_t>& cols,
+                     std::array<double, 4>& beta) {
+    const std::size_t n = cols.size();
+    util::check(samples.size() >= n, "underdetermined cost-parameter fit");
+    // Normal equations (X^T X) beta = X^T y.
+    std::vector<double> xtx(n * n, 0.0);
+    std::vector<double> xty(n, 0.0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (std::size_t p = 0; p < n; ++p) {
+        xty[p] += rows[i][cols[p]] * targets[i];
+        for (std::size_t q = 0; q < n; ++q) {
+          xtx[p * n + q] += rows[i][cols[p]] * rows[i][cols[q]];
+        }
+      }
+    }
+    solve_dense(xtx, xty, n);
+    beta = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t p = 0; p < n; ++p) {
+      beta[cols[p]] = std::max(0.0, xty[p]);  // physical costs >= 0
+    }
+  };
+
+  std::vector<std::size_t> cols;
+  for (std::size_t j = 0; j < 4; ++j) {
+    if (active[j]) cols.push_back(j);
+  }
+
+  // The b-indicator and d-peer columns are collinear when every split
+  // sample has exactly two fixup peers (indicator == peers - 1); drop b,
+  // then d, if the normal equations come out singular -- the combined cost
+  // lands on the surviving regressor, which is the best the data supports.
+  std::array<double, 4> beta{0.0, 0.0, 0.0, 0.0};
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    try {
+      try_fit(cols, beta);
+      return CostParams{beta[0], beta[1], beta[2], beta[3]};
+    } catch (const util::CheckError&) {
+      std::size_t drop = 4;
+      if (std::find(cols.begin(), cols.end(), 1u) != cols.end()) {
+        drop = 1;  // b first
+      } else if (std::find(cols.begin(), cols.end(), 3u) != cols.end()) {
+        drop = 3;  // then d
+      } else {
+        throw;
+      }
+      cols.erase(std::remove(cols.begin(), cols.end(), drop), cols.end());
+    }
+  }
+  try_fit(cols, beta);
+  return CostParams{beta[0], beta[1], beta[2], beta[3]};
+}
+
+}  // namespace streamk::model

@@ -1,0 +1,145 @@
+#include "model/grid_selector.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/hybrid.hpp"
+#include "model/memory_model.hpp"
+#include "model/wave_model.hpp"
+#include "util/check.hpp"
+
+namespace streamk::model {
+
+GridChoice select_grid(const CostModel& model,
+                       const core::WorkMapping& mapping,
+                       const gpu::GpuSpec& gpu) {
+  const std::int64_t occ = occupancy(model.block(), model.precision());
+  const std::int64_t slots = gpu.sm_count * occ;
+  const std::int64_t max_grid =
+      std::min<std::int64_t>(slots, mapping.total_iters());
+
+  GridChoice best{1, model.stream_k_cta_time(mapping, 1)};
+  for (std::int64_t g = 2; g <= max_grid; ++g) {
+    const double t = model.stream_k_cta_time(mapping, g);
+    if (t < best.predicted_seconds) best = {g, t};
+  }
+  return best;
+}
+
+namespace {
+
+std::int64_t hybrid_spill_count(const core::WorkMapping& mapping,
+                                core::DecompositionKind kind,
+                                std::int64_t slots) {
+  const core::HybridLayout layout =
+      kind == core::DecompositionKind::kHybridOneTile
+          ? core::HybridLayout::one_tile(mapping, slots)
+          : core::HybridLayout::two_tile(mapping, slots);
+  if (layout.sk_tiles == 0) return 0;
+  const std::int64_t sk_iters = layout.sk_tiles * mapping.iters_per_tile();
+  std::int64_t spills = 0;
+  for (std::int64_t cta = 0; cta < slots; ++cta) {
+    const core::IterRange range = core::partition_iters(
+        sk_iters, slots, cta, core::IterPartition::kBalancedWithinOne);
+    if (range.size() > 0 && range.begin % mapping.iters_per_tile() != 0) {
+      ++spills;
+    }
+  }
+  return spills;
+}
+
+}  // namespace
+
+double closed_form_estimate(const core::DecompositionSpec& spec,
+                            const CostModel& model,
+                            const core::WorkMapping& mapping,
+                            const gpu::GpuSpec& gpu) {
+  const std::int64_t occ = occupancy(model.block(), model.precision());
+  const std::int64_t slots = gpu.sm_count * occ;
+
+  double compute = 0.0;
+  std::int64_t spills = 0;
+  switch (spec.kind) {
+    case core::DecompositionKind::kDataParallel:
+      compute = data_parallel_makespan(model, mapping, gpu);
+      spills = data_parallel_spills();
+      break;
+    case core::DecompositionKind::kFixedSplit:
+      compute = fixed_split_makespan(model, mapping, spec.split, gpu);
+      spills = fixed_split_spills(mapping, spec.split);
+      break;
+    case core::DecompositionKind::kStreamKBasic: {
+      const std::int64_t g = spec.grid > 0 ? spec.grid : slots;
+      compute = stream_k_makespan(model, mapping, g, gpu);
+      spills = stream_k_spills(mapping, g);
+      break;
+    }
+    case core::DecompositionKind::kHybridOneTile:
+    case core::DecompositionKind::kHybridTwoTile:
+      compute = hybrid_makespan(model, mapping, spec.kind, gpu);
+      spills = hybrid_spill_count(mapping, spec.kind, slots);
+      break;
+  }
+
+  const Traffic traffic =
+      estimate_traffic(mapping, model.precision(), spills);
+  return combine_roofline(compute, memory_time(traffic, gpu));
+}
+
+core::DecompositionSpec plan(const CostModel& model,
+                             const core::WorkMapping& mapping,
+                             const gpu::GpuSpec& gpu) {
+  util::check(gpu.sm_count >= 1, "GPU without SMs");
+  const std::int64_t occ = occupancy(model.block(), model.precision());
+  const std::int64_t slots = gpu.sm_count * occ;
+  const std::int64_t tiles = mapping.tiles();
+
+  // Candidate 1: plain data-parallel waves (the g = t regime).
+  core::DecompositionSpec dp;
+  dp.kind = core::DecompositionKind::kDataParallel;
+  dp.sm_count = slots;
+  core::DecompositionSpec best = dp;
+  double best_seconds = closed_form_estimate(dp, model, mapping, gpu);
+
+  // Candidate 2: two-tile hybrid (preferred schedule once a full wave of
+  // tiles exists; degenerates to basic Stream-K below that).
+  if (tiles % slots != 0) {
+    core::DecompositionSpec hybrid;
+    hybrid.kind = core::DecompositionKind::kHybridTwoTile;
+    hybrid.sm_count = slots;
+    const double seconds = closed_form_estimate(hybrid, model, mapping, gpu);
+    if (seconds < best_seconds) {
+      best = hybrid;
+      best_seconds = seconds;
+    }
+  }
+
+  // Candidate 3: basic Stream-K at the best roofline-aware grid size
+  // (the strong-scaling regime, g in [1, slots]).
+  if (tiles < 2 * slots) {
+    const std::int64_t max_grid =
+        std::min<std::int64_t>(slots, mapping.total_iters());
+    core::DecompositionSpec sk;
+    sk.kind = core::DecompositionKind::kStreamKBasic;
+    sk.sm_count = slots;
+    double sk_best = std::numeric_limits<double>::infinity();
+    std::int64_t sk_grid = 1;
+    for (std::int64_t g = 1; g <= max_grid; ++g) {
+      sk.grid = g;
+      const double seconds = closed_form_estimate(sk, model, mapping, gpu);
+      if (seconds < sk_best) {
+        sk_best = seconds;
+        sk_grid = g;
+      }
+    }
+    if (sk_best < best_seconds) {
+      sk.grid = sk_grid;
+      best = sk;
+      best_seconds = sk_best;
+    }
+  }
+
+  return best;
+}
+
+}  // namespace streamk::model

@@ -1,0 +1,56 @@
+#pragma once
+
+// Grid-size selection and decomposition planning (Section 5.1 / Appendix A.1).
+//
+// Before launch, Stream-K chooses a grid size likely to perform best on the
+// problem at hand by minimizing the modelled CTA runtime over candidate
+// grids.  Depending on the shape, the optimum is maximal parallelism
+// (g = p), no splitting at all (g = t), or somewhere in between -- the three
+// regimes of Figure 8.  Ties break toward the *smallest* grid (less
+// splitting for the same modelled time, e.g. Figure 8b's dip at g = 64).
+//
+// plan() wraps the selector into the deployment policy the paper evaluates:
+// a single kernel per precision that runs the "two-tile Stream-K +
+// data-parallel" hybrid when at least one full wave of tiles exists, plain
+// data-parallel waves on perfect quantization, and basic Stream-K with the
+// model-chosen grid in the strong-scaling regime.
+
+#include <cstdint>
+
+#include "core/decomposition.hpp"
+#include "gpu/gpu_spec.hpp"
+#include "model/cost_model.hpp"
+
+namespace streamk::model {
+
+struct GridChoice {
+  std::int64_t grid = 0;
+  double predicted_seconds = 0.0;
+};
+
+/// argmin over g in [1, sm_count * occupancy] of the Appendix A.1 CTA time;
+/// ties prefer the smallest g.  This is the paper's pure compute-side model
+/// (the Figure 8 curves).
+GridChoice select_grid(const CostModel& model,
+                       const core::WorkMapping& mapping,
+                       const gpu::GpuSpec& gpu);
+
+/// Closed-form delivered-time estimate for a candidate launch: compute
+/// makespan (wave model) combined with the DRAM roofline including
+/// partial-sum traffic.  The memory side is what stops the planner from
+/// over-splitting small problems, whose fixup traffic is pure overhead --
+/// the "cost of reading, writing, and accumulating partial sums" the
+/// Section 5.1 model minimizes.
+double closed_form_estimate(const core::DecompositionSpec& spec,
+                            const CostModel& model,
+                            const core::WorkMapping& mapping,
+                            const gpu::GpuSpec& gpu);
+
+/// Full launch plan for a problem: evaluates data-parallel, the two-tile
+/// hybrid, and basic Stream-K at the best modelled grid, and returns the
+/// cheapest (ties prefer less splitting).
+core::DecompositionSpec plan(const CostModel& model,
+                             const core::WorkMapping& mapping,
+                             const gpu::GpuSpec& gpu);
+
+}  // namespace streamk::model

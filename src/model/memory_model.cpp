@@ -1,0 +1,94 @@
+#include "model/memory_model.hpp"
+
+#include <algorithm>
+
+#include "core/stream_k.hpp"
+#include "util/check.hpp"
+
+namespace streamk::model {
+
+std::int64_t data_parallel_spills() { return 0; }
+
+std::int64_t fixed_split_spills(const core::WorkMapping& mapping,
+                                std::int64_t split) {
+  util::check(split >= 1, "split must be >= 1");
+  if (split == 1) return 0;
+  const std::int64_t ips = core::ceil_div(mapping.iters_per_tile(), split);
+  const std::int64_t live = core::ceil_div(mapping.iters_per_tile(), ips);
+  return mapping.tiles() * (live - 1);
+}
+
+std::int64_t stream_k_spills(const core::WorkMapping& mapping,
+                             std::int64_t grid) {
+  // A CTA spills iff its balanced-within-one range begins mid-tile.
+  std::int64_t spills = 0;
+  for (std::int64_t cta = 0; cta < grid; ++cta) {
+    const core::IterRange range =
+        core::partition_iters(mapping.total_iters(), grid, cta,
+                              core::IterPartition::kBalancedWithinOne);
+    if (range.size() > 0 && range.begin % mapping.iters_per_tile() != 0) {
+      ++spills;
+    }
+  }
+  return spills;
+}
+
+std::int64_t count_spills(const core::Decomposition& decomposition) {
+  std::int64_t spills = 0;
+  for (std::int64_t cta = 0; cta < decomposition.grid_size(); ++cta) {
+    for (const core::TileSegment& seg : decomposition.cta_work(cta).segments) {
+      if (!seg.starts_tile()) ++spills;
+    }
+  }
+  return spills;
+}
+
+Traffic estimate_traffic(const core::WorkMapping& mapping,
+                         gpu::Precision precision, std::int64_t spills) {
+  const auto e_in = static_cast<double>(gpu::input_bytes(precision));
+  const auto e_out = static_cast<double>(gpu::output_bytes(precision));
+  const auto e_acc = static_cast<double>(gpu::accumulator_bytes(precision));
+  const gpu::BlockShape& blk = mapping.block();
+
+  const double padded_k = static_cast<double>(mapping.iters_per_tile()) *
+                          static_cast<double>(blk.k);
+  const double a_panels =
+      static_cast<double>(mapping.tiles_m()) * static_cast<double>(blk.m) *
+      padded_k;
+  const double b_panels =
+      static_cast<double>(mapping.tiles_n()) * static_cast<double>(blk.n) *
+      padded_k;
+
+  // Each tile streams a full (BLK_M + BLK_N) x k panel pair; the part the
+  // L2 cannot serve from inter-CTA overlap hits DRAM.  Compulsory traffic
+  // is the floor.
+  const double per_tile_panels =
+      static_cast<double>(mapping.tiles()) *
+      static_cast<double>(blk.m + blk.n) * padded_k;
+
+  Traffic t;
+  t.input_bytes = std::max((a_panels + b_panels) * e_in,
+                           per_tile_panels * e_in * (1.0 - kL2HitRate));
+  t.output_bytes = static_cast<double>(mapping.tiles()) *
+                   static_cast<double>(blk.tile_elements()) * e_out;
+  t.partials_bytes = 2.0 * static_cast<double>(spills) *
+                     static_cast<double>(blk.tile_elements()) * e_acc;
+  return t;
+}
+
+double memory_time(const Traffic& traffic, const gpu::GpuSpec& gpu) {
+  util::check(gpu.dram_gbytes_per_s > 0.0, "GPU without DRAM bandwidth");
+  return traffic.total() / gpu.dram_bytes_per_s();
+}
+
+double combine_roofline(double compute_seconds, double memory_seconds) {
+  return std::max(compute_seconds, memory_seconds);
+}
+
+double utilization(double useful_flops, double seconds,
+                   const gpu::GpuSpec& gpu, gpu::Precision precision) {
+  util::check(seconds > 0.0, "utilization of a zero-time kernel");
+  return useful_flops / seconds / gpu.peak_flops(precision);
+}
+
+}  // namespace streamk::model

@@ -1,0 +1,71 @@
+#pragma once
+
+// DRAM traffic and roofline model.
+//
+// Compute-centric cost models alone cannot reproduce the low-intensity half
+// of the paper's roofline figures (5-7): small-k problems are bound by
+// memory bandwidth, not math.  We model per-kernel DRAM traffic as
+//
+//   input    = max(padded compulsory traffic, the residue of per-tile panel
+//              refetches that escapes the L2).  Every output tile streams a
+//              (BLK_M + BLK_N) x k panel pair; the L2 captures most -- but
+//              not all -- of the inter-CTA overlap, so finer blocking
+//              factors carry a real bandwidth penalty (one of the two
+//              drawbacks of small tiles listed in Section 3.2),
+//   output   = every output tile stored once at full block granularity,
+//   partials = each spilled partial tile written once and read once at
+//              accumulator width (this is the O(g)-bounded overhead
+//              Stream-K trades for its load balance).
+//
+// The delivered time of a kernel is max(compute makespan, traffic / BW):
+// the classic roofline combination.  Utilization is measured against the
+// problem's *useful* FLOPs, so padding waste on ragged shapes shows up as
+// lost utilization exactly as it does on real hardware.
+
+#include <cstdint>
+
+#include "core/decomposition.hpp"
+#include "core/work_mapping.hpp"
+#include "gpu/gpu_spec.hpp"
+#include "gpu/precision.hpp"
+
+namespace streamk::model {
+
+struct Traffic {
+  double input_bytes = 0.0;
+  double output_bytes = 0.0;
+  double partials_bytes = 0.0;
+
+  double total() const { return input_bytes + output_bytes + partials_bytes; }
+};
+
+/// Fraction of per-tile input-panel refetches served by the L2 instead of
+/// DRAM (A100's 40 MB L2 captures most inter-CTA overlap within a wave).
+inline constexpr double kL2HitRate = 0.85;
+
+/// Number of partial-sum spills (non-tile-starting CTA segments) for each
+/// decomposition, in closed form (O(grid) worst case for Stream-K grids,
+/// O(1) for tile-centric schedules).
+std::int64_t data_parallel_spills();
+std::int64_t fixed_split_spills(const core::WorkMapping& mapping,
+                                std::int64_t split);
+std::int64_t stream_k_spills(const core::WorkMapping& mapping,
+                             std::int64_t grid);
+/// Exact spill count for an arbitrary decomposition (walks the segments).
+std::int64_t count_spills(const core::Decomposition& decomposition);
+
+Traffic estimate_traffic(const core::WorkMapping& mapping,
+                         gpu::Precision precision, std::int64_t spills);
+
+/// traffic / DRAM bandwidth.
+double memory_time(const Traffic& traffic, const gpu::GpuSpec& gpu);
+
+/// Roofline combination of a compute makespan with the bandwidth bound.
+double combine_roofline(double compute_seconds, double memory_seconds);
+
+/// Delivered fraction of peak math throughput for a kernel that took
+/// `seconds` on a problem with `useful_flops`.
+double utilization(double useful_flops, double seconds,
+                   const gpu::GpuSpec& gpu, gpu::Precision precision);
+
+}  // namespace streamk::model

@@ -1,0 +1,169 @@
+#include "model/wave_model.hpp"
+
+#include <algorithm>
+
+#include "core/hybrid.hpp"
+#include "util/check.hpp"
+
+namespace streamk::model {
+
+WaveStats wave_stats(std::int64_t grid, std::int64_t sm_count,
+                     std::int64_t occupancy) {
+  util::check(grid >= 1, "wave stats need at least one CTA");
+  util::check(sm_count >= 1 && occupancy >= 1, "invalid processor geometry");
+  WaveStats stats;
+  stats.grid = grid;
+  stats.slots = sm_count * occupancy;
+  stats.full_waves = grid / stats.slots;
+  stats.tail_ctas = grid % stats.slots;
+  stats.quantization_efficiency =
+      static_cast<double>(grid) /
+      (static_cast<double>(stats.waves()) * static_cast<double>(stats.slots));
+  return stats;
+}
+
+namespace {
+
+/// Duration of a wave whose SMs each host `resident` CTAs of `iters`
+/// MAC-loop iterations (they time-share the math pipes).
+double wave_duration(const CostParams& p, std::int64_t iters,
+                     std::int64_t resident, double extra = 0.0) {
+  return p.a + extra +
+         p.c * static_cast<double>(iters) * static_cast<double>(resident);
+}
+
+}  // namespace
+
+double data_parallel_makespan(const CostModel& model,
+                              const core::WorkMapping& mapping,
+                              const gpu::GpuSpec& gpu) {
+  const std::int64_t occ = occupancy(model.block(), model.precision());
+  const WaveStats stats = wave_stats(mapping.tiles(), gpu.sm_count, occ);
+  const std::int64_t ipt = mapping.iters_per_tile();
+  const CostParams& p = model.params();
+
+  double time = static_cast<double>(stats.full_waves) *
+                wave_duration(p, ipt, occ);
+  if (stats.tail_ctas > 0) {
+    // The tail wave only loads ceil(tail / sm_count) CTAs onto any SM.
+    const std::int64_t resident =
+        std::min(occ, core::ceil_div(stats.tail_ctas, gpu.sm_count));
+    time += wave_duration(p, ipt, resident);
+  }
+  return time;
+}
+
+double fixed_split_makespan(const CostModel& model,
+                            const core::WorkMapping& mapping,
+                            std::int64_t split, const gpu::GpuSpec& gpu) {
+  util::check(split >= 1, "split must be >= 1");
+  if (split == 1) return data_parallel_makespan(model, mapping, gpu);
+
+  const CostParams& p = model.params();
+  const std::int64_t occ = occupancy(model.block(), model.precision());
+  const std::int64_t ips = core::ceil_div(mapping.iters_per_tile(), split);
+  // Splits that land past the iteration count are empty; only `live` CTAs
+  // per tile do work (and only live - 1 spill partials).
+  const std::int64_t live = core::ceil_div(mapping.iters_per_tile(), ips);
+  const WaveStats stats = wave_stats(mapping.tiles() * live, gpu.sm_count, occ);
+
+  double time = static_cast<double>(stats.full_waves) *
+                wave_duration(p, ips, occ, p.b);
+  if (stats.tail_ctas > 0) {
+    const std::int64_t resident =
+        std::min(occ, core::ceil_div(stats.tail_ctas, gpu.sm_count));
+    time += wave_duration(p, ips, resident, p.b);
+  }
+  // Owner's serial reduction of its live-1 peers, paid once on the critical
+  // path after the last contributor finishes.
+  time += p.d * static_cast<double>(live - 1);
+  return time;
+}
+
+double stream_k_makespan(const CostModel& model,
+                         const core::WorkMapping& mapping, std::int64_t grid,
+                         const gpu::GpuSpec& gpu) {
+  const std::int64_t occ = occupancy(model.block(), model.precision());
+  const std::int64_t slots = gpu.sm_count * occ;
+  const CostParams& p = model.params();
+
+  if (grid <= slots) {
+    // Single wave: all CTAs are resident from time zero and the makespan is
+    // one CTA's modelled runtime (Appendix A.1).  Residency contention only
+    // arises when more than one CTA lands per SM.
+    const std::int64_t resident = core::ceil_div(grid, gpu.sm_count);
+    const double contention = static_cast<double>(std::min(resident, occ));
+    const auto ipc =
+        static_cast<double>(CostModel::iters_per_cta(mapping, grid));
+    const auto peers =
+        static_cast<double>(CostModel::fixup_peers(mapping, grid));
+    return p.a + p.b * (peers > 1.0 ? 1.0 : 0.0) + p.c * ipc * contention +
+           p.d * (peers - 1.0);
+  }
+
+  // Oversubscribed Stream-K grids execute in waves like any other grid.
+  // (Fall through below.)
+  const WaveStats stats = wave_stats(grid, gpu.sm_count, occ);
+  const auto ipc = static_cast<double>(CostModel::iters_per_cta(mapping, grid));
+  const auto peers =
+      static_cast<double>(CostModel::fixup_peers(mapping, grid));
+  return static_cast<double>(stats.waves()) *
+             (p.a + p.c * ipc * static_cast<double>(occ) +
+              p.b * (peers > 1.0 ? 1.0 : 0.0)) +
+         p.d * (peers - 1.0);
+}
+
+double hybrid_makespan(const CostModel& model,
+                       const core::WorkMapping& mapping,
+                       core::DecompositionKind kind, const gpu::GpuSpec& gpu) {
+  const std::int64_t occ = occupancy(model.block(), model.precision());
+  const std::int64_t slots = gpu.sm_count * occ;
+
+  core::HybridLayout layout;
+  switch (kind) {
+    case core::DecompositionKind::kHybridOneTile:
+      layout = core::HybridLayout::one_tile(mapping, slots);
+      break;
+    case core::DecompositionKind::kHybridTwoTile:
+      layout = core::HybridLayout::two_tile(mapping, slots);
+      break;
+    default:
+      util::fail("hybrid_makespan requires a hybrid kind");
+  }
+
+  if (layout.full_waves == 0) {
+    // No full data-parallel wave: the hybrid degenerates to basic Stream-K
+    // over the whole iteration domain (owners may reduce many peers, which
+    // the Appendix formula below would understate).
+    return stream_k_makespan(model, mapping, slots, gpu);
+  }
+
+  const CostParams& p = model.params();
+  const std::int64_t ipt = mapping.iters_per_tile();
+  // CTAs co-residing on an SM time-share its pipes for the whole schedule.
+  const std::int64_t resident = std::min<std::int64_t>(
+      occ, core::ceil_div(std::min<std::int64_t>(slots, mapping.tiles()),
+                          gpu.sm_count));
+  const auto contention = static_cast<double>(std::max<std::int64_t>(1, resident));
+
+  const std::int64_t max_sk_share =
+      layout.sk_tiles == 0 ? 0
+                           : core::ceil_div(layout.sk_tiles * ipt, slots);
+  double time = p.a + p.c * contention *
+                          static_cast<double>(max_sk_share +
+                                              layout.full_waves * ipt);
+  if (layout.sk_tiles > 0) {
+    // One spill and (for the two-tile schedule) one peer reduction on the
+    // critical path; the skew between producers and consumers hides the
+    // synchronization itself.
+    const std::int64_t peers = std::max<std::int64_t>(
+        1, core::ceil_div(ipt, std::max<std::int64_t>(1, max_sk_share)));
+    time += p.b + p.d * static_cast<double>(
+                            kind == core::DecompositionKind::kHybridTwoTile
+                                ? 1
+                                : std::max<std::int64_t>(1, peers - 1));
+  }
+  return time;
+}
+
+}  // namespace streamk::model

@@ -1,0 +1,72 @@
+#pragma once
+
+// Closed-form execution model for wave-structured (tile-centric) schedules.
+//
+// A grid of uniform-duration CTAs dispatched over `slots = p * occupancy`
+// concurrent residency slots executes in ceil(grid / slots) waves; the last
+// wave may be partially full.  Quantization efficiency -- the paper's
+// central antagonist -- is the ratio of useful CTA-slots to issued
+// CTA-slots:
+//
+//     eff = grid / (waves * slots)
+//
+// e.g. nine 128x128 tiles on a four-SM GPU -> 3 waves, 75% ceiling
+// (Figure 1a); eighteen half-tiles -> 5 waves, 90% (Figure 1b).
+//
+// These closed forms are exact for uniform CTA durations (proved by
+// induction on waves; validated against the discrete-event simulator in
+// tests/test_sim_vs_model.cpp).
+
+#include <cstdint>
+
+#include "core/decomposition.hpp"
+#include "gpu/gpu_spec.hpp"
+#include "model/cost_model.hpp"
+
+namespace streamk::model {
+
+struct WaveStats {
+  std::int64_t grid = 0;
+  std::int64_t slots = 0;       ///< concurrent CTA residency (p * occupancy)
+  std::int64_t full_waves = 0;  ///< waves with every slot occupied
+  std::int64_t tail_ctas = 0;   ///< CTAs in the final partial wave (0 if none)
+  double quantization_efficiency = 1.0;
+
+  std::int64_t waves() const { return full_waves + (tail_ctas > 0 ? 1 : 0); }
+};
+
+WaveStats wave_stats(std::int64_t grid, std::int64_t sm_count,
+                     std::int64_t occupancy);
+
+/// Makespan of the data-parallel decomposition (Algorithm 2): waves of
+/// full-tile CTAs.  When multiple CTAs co-reside on an SM they share its
+/// math pipes, so a wave of occupancy o runs at o times the single-CTA
+/// iteration cost; the tail wave only pays for the residency it uses.
+double data_parallel_makespan(const CostModel& model,
+                              const core::WorkMapping& mapping,
+                              const gpu::GpuSpec& gpu);
+
+/// Makespan of the fixed-split decomposition (Algorithm 4) with splitting
+/// factor s: t*s CTAs of ceil(ipt/s) iterations each, plus the spill cost
+/// for contributors and the owner's serial reduction of its s-1 peers.
+/// Approximate for s > 1 (fixup waits can extend the critical path);
+/// validated against the simulator within tolerance in tests.
+double fixed_split_makespan(const CostModel& model,
+                            const core::WorkMapping& mapping, std::int64_t split,
+                            const gpu::GpuSpec& gpu);
+
+/// Makespan of basic Stream-K at grid g <= slots: every CTA starts at time
+/// zero, so the makespan is the Appendix A.1 CTA time itself.
+double stream_k_makespan(const CostModel& model,
+                         const core::WorkMapping& mapping, std::int64_t grid,
+                         const gpu::GpuSpec& gpu);
+
+/// Makespan of a hybrid schedule (Section 5.2): the longest CTA carries the
+/// largest Stream-K share plus its full data-parallel waves; fixup waits are
+/// hidden by the temporal skew between spilling and accumulating CTAs
+/// (negligible for the two-tile hybrid, the property the paper designs for).
+double hybrid_makespan(const CostModel& model,
+                       const core::WorkMapping& mapping,
+                       core::DecompositionKind kind, const gpu::GpuSpec& gpu);
+
+}  // namespace streamk::model

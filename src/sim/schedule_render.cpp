@@ -1,0 +1,77 @@
+#include "sim/schedule_render.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace streamk::sim {
+
+char cta_glyph(std::int64_t cta) {
+  static constexpr char kGlyphs[] =
+      "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+  return kGlyphs[static_cast<std::size_t>(cta % 62)];
+}
+
+namespace {
+
+char phase_glyph(const PhaseEvent& event) {
+  switch (event.kind) {
+    case PhaseKind::kSetup:
+      return '=';
+    case PhaseKind::kMac:
+      return cta_glyph(event.cta);
+    case PhaseKind::kSpill:
+      return 's';
+    case PhaseKind::kWait:
+      return '-';
+    case PhaseKind::kReduce:
+      return 'r';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_schedule(const Timeline& timeline,
+                            const RenderOptions& options) {
+  util::check(timeline.sm_count > 0, "timeline without SMs");
+  util::check(options.width >= 8, "render width too small");
+
+  const double span = timeline.makespan > 0.0 ? timeline.makespan : 1.0;
+  const auto width = options.width;
+  std::vector<std::string> rows(static_cast<std::size_t>(timeline.sm_count),
+                                std::string(width, '.'));
+
+  // Paint in event order; later events win ties on shared cells, which only
+  // happen at phase boundaries.
+  for (const PhaseEvent& event : timeline.events) {
+    const auto row = static_cast<std::size_t>(event.sm);
+    auto lo = static_cast<std::size_t>(event.begin / span *
+                                       static_cast<double>(width));
+    auto hi = static_cast<std::size_t>(event.end / span *
+                                       static_cast<double>(width));
+    lo = std::min(lo, width - 1);
+    hi = std::min(std::max(hi, lo + 1), width);
+    const char glyph = phase_glyph(event);
+    for (std::size_t i = lo; i < hi; ++i) rows[row][i] = glyph;
+  }
+
+  std::ostringstream os;
+  for (std::int64_t sm = 0; sm < timeline.sm_count; ++sm) {
+    os << "SM" << sm << " |" << rows[static_cast<std::size_t>(sm)] << "|\n";
+  }
+  const double busy = timeline.busy_time();
+  const double ceiling =
+      busy / (span * static_cast<double>(timeline.sm_count));
+  os << "makespan: " << timeline.makespan
+     << " s, occupancy efficiency: " << ceiling * 100.0 << "%\n";
+  if (options.show_legend) {
+    os << "legend: 0-9A-Za-z MAC by CTA id, '=' setup, 's' spill, "
+          "'-' wait, 'r' reduce, '.' idle\n";
+  }
+  return os.str();
+}
+
+}  // namespace streamk::sim

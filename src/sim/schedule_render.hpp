@@ -1,0 +1,37 @@
+#pragma once
+
+// ASCII Gantt rendering of simulated execution schedules.
+//
+// Reproduces the visual content of the paper's Figures 1-3 and 9: one row
+// per SM, time flowing left to right, each cell showing which CTA occupied
+// the SM and what it was doing:
+//
+//     glyph 0-9A-Z...  MAC work of CTA (id mod 62)
+//     '='              per-CTA setup
+//     's'              partial-sum spill
+//     '-'              flag wait
+//     'r'              fixup reduction
+//     '.'              idle SM
+//
+// A summary footer reports the makespan and the schedule's occupancy
+// efficiency (the utilization ceilings the paper quotes: 75% for Figure 1a,
+// 90% for 1b/2a, ~100% for 2b).
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace streamk::sim {
+
+struct RenderOptions {
+  std::size_t width = 96;  ///< characters of timeline per SM row
+  bool show_legend = true;
+};
+
+std::string render_schedule(const Timeline& timeline,
+                            const RenderOptions& options = {});
+
+/// Glyph used for a CTA's MAC phases.
+char cta_glyph(std::int64_t cta);
+
+}  // namespace streamk::sim

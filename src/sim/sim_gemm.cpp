@@ -1,0 +1,163 @@
+#include "sim/sim_gemm.hpp"
+
+#include <algorithm>
+
+#include "core/hybrid.hpp"
+#include "core/stream_k.hpp"
+#include "model/memory_model.hpp"
+#include "model/wave_model.hpp"
+#include "util/check.hpp"
+
+namespace streamk::sim {
+
+namespace {
+
+/// Spill count of a hybrid schedule's Stream-K region, in closed form.
+std::int64_t hybrid_spills(const core::WorkMapping& mapping,
+                           core::DecompositionKind kind, std::int64_t slots) {
+  const core::HybridLayout layout =
+      kind == core::DecompositionKind::kHybridOneTile
+          ? core::HybridLayout::one_tile(mapping, slots)
+          : core::HybridLayout::two_tile(mapping, slots);
+  if (layout.sk_tiles == 0) return 0;
+  const std::int64_t sk_iters = layout.sk_tiles * mapping.iters_per_tile();
+  std::int64_t spills = 0;
+  for (std::int64_t cta = 0; cta < slots; ++cta) {
+    const core::IterRange range = core::partition_iters(
+        sk_iters, slots, cta, core::IterPartition::kBalancedWithinOne);
+    if (range.size() > 0 && range.begin % mapping.iters_per_tile() != 0) {
+      ++spills;
+    }
+  }
+  return spills;
+}
+
+/// Upper bound on segment count, used to route between the event simulator
+/// and the closed forms.
+std::int64_t segment_bound(const core::DecompositionSpec& spec,
+                           const core::WorkMapping& mapping,
+                           std::int64_t slots) {
+  switch (spec.kind) {
+    case core::DecompositionKind::kDataParallel:
+      return mapping.tiles();
+    case core::DecompositionKind::kFixedSplit:
+      return mapping.tiles() * spec.split;
+    case core::DecompositionKind::kStreamKBasic: {
+      const std::int64_t g = spec.grid > 0 ? spec.grid : slots;
+      return mapping.tiles() + 2 * g;
+    }
+    case core::DecompositionKind::kHybridOneTile:
+    case core::DecompositionKind::kHybridTwoTile:
+      return mapping.tiles() + 2 * slots;
+  }
+  util::fail("unknown decomposition kind");
+}
+
+double closed_form_makespan(const core::DecompositionSpec& spec,
+                            const core::WorkMapping& mapping,
+                            const model::CostModel& model,
+                            const gpu::GpuSpec& gpu, std::int64_t slots) {
+  switch (spec.kind) {
+    case core::DecompositionKind::kDataParallel:
+      return model::data_parallel_makespan(model, mapping, gpu);
+    case core::DecompositionKind::kFixedSplit:
+      return model::fixed_split_makespan(model, mapping, spec.split, gpu);
+    case core::DecompositionKind::kStreamKBasic:
+      return model::stream_k_makespan(
+          model, mapping, spec.grid > 0 ? spec.grid : slots, gpu);
+    case core::DecompositionKind::kHybridOneTile:
+    case core::DecompositionKind::kHybridTwoTile:
+      return model::hybrid_makespan(model, mapping, spec.kind, gpu);
+  }
+  util::fail("unknown decomposition kind");
+}
+
+std::int64_t closed_form_spills(const core::DecompositionSpec& spec,
+                                const core::WorkMapping& mapping,
+                                std::int64_t slots) {
+  switch (spec.kind) {
+    case core::DecompositionKind::kDataParallel:
+      return model::data_parallel_spills();
+    case core::DecompositionKind::kFixedSplit:
+      return model::fixed_split_spills(mapping, spec.split);
+    case core::DecompositionKind::kStreamKBasic:
+      return model::stream_k_spills(mapping,
+                                    spec.grid > 0 ? spec.grid : slots);
+    case core::DecompositionKind::kHybridOneTile:
+    case core::DecompositionKind::kHybridTwoTile:
+      return hybrid_spills(mapping, spec.kind, slots);
+  }
+  util::fail("unknown decomposition kind");
+}
+
+std::int64_t grid_of(const core::DecompositionSpec& spec,
+                     const core::WorkMapping& mapping, std::int64_t slots) {
+  switch (spec.kind) {
+    case core::DecompositionKind::kDataParallel:
+      return mapping.tiles();
+    case core::DecompositionKind::kFixedSplit:
+      return mapping.tiles() * spec.split;
+    case core::DecompositionKind::kStreamKBasic:
+      return spec.grid > 0 ? spec.grid : slots;
+    case core::DecompositionKind::kHybridOneTile:
+    case core::DecompositionKind::kHybridTwoTile:
+      return slots;
+  }
+  util::fail("unknown decomposition kind");
+}
+
+}  // namespace
+
+KernelEstimate estimate_kernel(const core::DecompositionSpec& spec,
+                               const core::WorkMapping& mapping,
+                               const model::CostModel& model,
+                               const gpu::GpuSpec& gpu,
+                               const EstimateOptions& options) {
+  util::check(!(options.force_des && options.force_closed_form),
+              "cannot force both estimation paths");
+  const std::int64_t occ =
+      model::occupancy(model.block(), model.precision());
+  const std::int64_t slots = gpu.sm_count * occ;
+
+  // Normalize the spec so hybrids and default grids see the slot count.
+  core::DecompositionSpec normalized = spec;
+  normalized.sm_count = slots;
+  if (normalized.kind == core::DecompositionKind::kStreamKBasic &&
+      normalized.grid <= 0) {
+    normalized.grid = slots;
+  }
+
+  KernelEstimate est;
+  est.kind = normalized.kind;
+  est.grid = grid_of(normalized, mapping, slots);
+
+  const bool use_des =
+      options.force_des ||
+      (!options.force_closed_form &&
+       segment_bound(normalized, mapping, slots) <= options.des_segment_limit);
+
+  if (use_des) {
+    const auto decomposition = core::make_decomposition(normalized, mapping);
+    const SimResult sim = simulate(*decomposition, model, gpu, SimOptions{});
+    est.compute_seconds = sim.makespan;
+    est.spills = sim.spills;
+    est.used_des = true;
+  } else {
+    est.compute_seconds =
+        closed_form_makespan(normalized, mapping, model, gpu, slots);
+    est.spills = closed_form_spills(normalized, mapping, slots);
+    est.used_des = false;
+  }
+
+  const model::Traffic traffic =
+      model::estimate_traffic(mapping, model.precision(), est.spills);
+  est.memory_seconds = model::memory_time(traffic, gpu);
+  est.seconds =
+      model::combine_roofline(est.compute_seconds, est.memory_seconds);
+  est.utilization = model::utilization(mapping.shape().flops(), est.seconds,
+                                       gpu, model.precision());
+  est.tflops = mapping.shape().flops() / est.seconds / 1e12;
+  return est;
+}
+
+}  // namespace streamk::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+// End-to-end kernel performance estimation.
+//
+// Combines (1) a compute makespan -- from the discrete-event simulator for
+// modest grids, or the validated closed forms for very large ones -- with
+// (2) the DRAM roofline of model/memory_model.hpp, yielding the delivered
+// runtime, throughput, and utilization of one kernel launch on a virtual
+// GPU.  This is the measurement primitive behind every corpus experiment
+// (Tables 1-2, Figures 5-7).
+
+#include <cstdint>
+
+#include "core/decomposition.hpp"
+#include "gpu/gpu_spec.hpp"
+#include "model/cost_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace streamk::sim {
+
+struct KernelEstimate {
+  core::DecompositionKind kind = core::DecompositionKind::kDataParallel;
+  std::int64_t grid = 0;
+  std::int64_t spills = 0;
+  double compute_seconds = 0.0;
+  double memory_seconds = 0.0;
+  double seconds = 0.0;       ///< max(compute, memory): delivered runtime
+  double utilization = 0.0;   ///< useful FLOPs / (seconds * peak)
+  double tflops = 0.0;        ///< delivered useful TFLOP/s
+  bool used_des = false;      ///< event simulation vs closed form
+};
+
+struct EstimateOptions {
+  /// Schedules whose segment count exceeds this use the closed-form models
+  /// (validated against the simulator in tests/test_sim_vs_model.cpp).
+  std::int64_t des_segment_limit = 4096;
+  bool force_des = false;
+  bool force_closed_form = false;
+};
+
+KernelEstimate estimate_kernel(const core::DecompositionSpec& spec,
+                               const core::WorkMapping& mapping,
+                               const model::CostModel& model,
+                               const gpu::GpuSpec& gpu,
+                               const EstimateOptions& options = {});
+
+}  // namespace streamk::sim

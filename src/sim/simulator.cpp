@@ -1,0 +1,254 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "core/peers.hpp"
+#include "core/validate.hpp"
+#include "util/check.hpp"
+
+namespace streamk::sim {
+
+namespace {
+
+enum class Phase { kMacPending, kPostMac };
+
+struct CtaState {
+  core::CtaWork work;
+  std::size_t seg = 0;
+  Phase phase = Phase::kMacPending;
+  std::size_t next_contributor = 0;
+  double clock = 0.0;
+  std::int64_t slot = -1;
+  bool setup_done = false;
+  bool dispatched = false;
+  bool done = false;
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  std::int64_t cta = -1;
+  bool free_slot = false;  // false: run/resume the CTA
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+class Engine {
+ public:
+  Engine(const core::Decomposition& decomposition,
+         const model::CostModel& model, const gpu::GpuSpec& gpu,
+         const SimOptions& options)
+      : decomposition_(decomposition),
+        fixups_(decomposition),
+        params_(model.params()),
+        gpu_(gpu),
+        options_(options),
+        grid_(decomposition.grid_size()) {
+    const std::int64_t occ =
+        options.occupancy_override > 0
+            ? options.occupancy_override
+            : model::occupancy(model.block(), model.precision());
+    slots_ = gpu.sm_count * occ;
+    // Co-resident CTAs time-share an SM's math pipes for the duration of the
+    // schedule (constant-contention approximation, matching wave_model).
+    const std::int64_t resident = core::ceil_div(
+        std::min<std::int64_t>(grid_, slots_), gpu.sm_count);
+    contention_ = static_cast<double>(std::max<std::int64_t>(1, resident));
+
+    states_.resize(static_cast<std::size_t>(grid_));
+    for (std::int64_t cta = 0; cta < grid_; ++cta) {
+      states_[static_cast<std::size_t>(cta)].work = decomposition.cta_work(cta);
+    }
+    signal_time_.assign(static_cast<std::size_t>(grid_), 0.0);
+    signaled_.assign(static_cast<std::size_t>(grid_), false);
+    waiters_.resize(static_cast<std::size_t>(grid_));
+    for (std::int64_t slot = slots_; slot-- > 0;) free_slots_.push_back(slot);
+  }
+
+  SimResult run() {
+    dispatch_pending(0.0);
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      if (ev.free_slot) {
+        free_slots_.push_back(state(ev.cta).slot);
+        dispatch_pending(ev.time);
+      } else {
+        advance(ev.cta);
+      }
+    }
+
+    for (const CtaState& s : states_) {
+      util::check(s.done, "simulation stalled: cyclic wait (invalid schedule)");
+    }
+
+    SimResult result;
+    result.makespan = makespan_;
+    result.busy_time = busy_;
+    result.wait_time = wait_;
+    result.spills = spills_;
+    result.grid = grid_;
+    result.slots = slots_;
+    result.occupancy_efficiency =
+        makespan_ > 0.0
+            ? busy_ / (makespan_ * static_cast<double>(slots_))
+            : 1.0;
+    if (options_.record_trace) {
+      timeline_.makespan = makespan_;
+      timeline_.sm_count = gpu_.sm_count;
+      result.timeline = std::move(timeline_);
+    }
+    return result;
+  }
+
+ private:
+  CtaState& state(std::int64_t cta) {
+    return states_[static_cast<std::size_t>(cta)];
+  }
+
+  void push_event(double time, std::int64_t cta, bool free_slot) {
+    events_.push(Event{time, seq_++, cta, free_slot});
+  }
+
+  void dispatch_pending(double now) {
+    while (!free_slots_.empty() && next_cta_ < grid_) {
+      CtaState& s = state(next_cta_);
+      s.slot = free_slots_.back();
+      free_slots_.pop_back();
+      s.clock = now;
+      s.dispatched = true;
+      push_event(now, next_cta_, /*free_slot=*/false);
+      ++next_cta_;
+    }
+  }
+
+  void record(std::int64_t cta, std::int64_t tile, PhaseKind kind,
+              double begin, double end) {
+    if (end <= begin) return;
+    if (kind == PhaseKind::kWait) {
+      wait_ += end - begin;
+    } else {
+      busy_ += end - begin;
+    }
+    if (options_.record_trace) {
+      const std::int64_t sm = state(cta).slot % gpu_.sm_count;
+      timeline_.events.push_back(PhaseEvent{cta, sm, tile, kind, begin, end});
+    }
+  }
+
+  void signal(std::int64_t cta, double time) {
+    signal_time_[static_cast<std::size_t>(cta)] = time;
+    signaled_[static_cast<std::size_t>(cta)] = true;
+    auto& waiters = waiters_[static_cast<std::size_t>(cta)];
+    for (const std::int64_t waiter : waiters) {
+      push_event(time, waiter, /*free_slot=*/false);
+    }
+    waiters.clear();
+  }
+
+  /// Runs CTA `cta` from its stored position until it blocks or completes.
+  void advance(std::int64_t cta) {
+    CtaState& s = state(cta);
+    util::check(!s.done, "event for completed CTA");
+
+    if (!s.setup_done) {
+      record(cta, -1, PhaseKind::kSetup, s.clock, s.clock + params_.a);
+      s.clock += params_.a;
+      s.setup_done = true;
+    }
+
+    while (s.seg < s.work.segments.size()) {
+      const core::TileSegment& seg = s.work.segments[s.seg];
+
+      if (s.phase == Phase::kMacPending) {
+        const double duration =
+            params_.c * static_cast<double>(seg.iters()) * contention_;
+        record(cta, seg.tile_idx, PhaseKind::kMac, s.clock, s.clock + duration);
+        s.clock += duration;
+        s.phase = Phase::kPostMac;
+      }
+
+      if (!seg.starts_tile()) {
+        // Store partials to temporary global storage and raise the flag.
+        record(cta, seg.tile_idx, PhaseKind::kSpill, s.clock,
+               s.clock + params_.b);
+        s.clock += params_.b;
+        ++spills_;
+        signal(cta, s.clock);
+      } else if (!seg.ends_tile()) {
+        // This CTA owns the tile: serially await and reduce each
+        // contributing peer in ascending id order (Algorithm 5).
+        const core::TileFixup& fixup = fixups_.tile(seg.tile_idx);
+        while (s.next_contributor < fixup.contributors.size()) {
+          const std::int64_t peer = fixup.contributors[s.next_contributor];
+          if (!signaled_[static_cast<std::size_t>(peer)]) {
+            waiters_[static_cast<std::size_t>(peer)].push_back(cta);
+            return;  // blocked; resumed by signal()
+          }
+          const double sig = signal_time_[static_cast<std::size_t>(peer)];
+          if (sig > s.clock) {
+            record(cta, seg.tile_idx, PhaseKind::kWait, s.clock, sig);
+            s.clock = sig;
+          }
+          record(cta, seg.tile_idx, PhaseKind::kReduce, s.clock,
+                 s.clock + params_.d);
+          s.clock += params_.d;
+          ++s.next_contributor;
+        }
+        s.next_contributor = 0;
+      }
+      // Owning-and-closing segments store the tile directly; the store cost
+      // is part of the per-CTA fixed cost `a` (Appendix A.1).
+
+      s.phase = Phase::kMacPending;
+      ++s.seg;
+    }
+
+    s.done = true;
+    makespan_ = std::max(makespan_, s.clock);
+    push_event(s.clock, cta, /*free_slot=*/true);
+  }
+
+  const core::Decomposition& decomposition_;
+  core::FixupTable fixups_;
+  model::CostParams params_;
+  const gpu::GpuSpec& gpu_;
+  SimOptions options_;
+
+  std::int64_t grid_;
+  std::int64_t slots_ = 0;
+  double contention_ = 1.0;
+
+  std::vector<CtaState> states_;
+  std::vector<double> signal_time_;
+  std::vector<bool> signaled_;
+  std::vector<std::vector<std::int64_t>> waiters_;
+  std::vector<std::int64_t> free_slots_;
+  std::int64_t next_cta_ = 0;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+
+  double makespan_ = 0.0;
+  double busy_ = 0.0;
+  double wait_ = 0.0;
+  std::int64_t spills_ = 0;
+  Timeline timeline_;
+};
+
+}  // namespace
+
+SimResult simulate(const core::Decomposition& decomposition,
+                   const model::CostModel& model, const gpu::GpuSpec& gpu,
+                   const SimOptions& options) {
+  util::check(gpu.sm_count >= 1, "GPU without SMs");
+  Engine engine(decomposition, model, gpu, options);
+  return engine.run();
+}
+
+}  // namespace streamk::sim

@@ -1,0 +1,61 @@
+#pragma once
+
+// Discrete-event simulation of a decomposition on a virtual GPU.
+//
+// Model (matching the paper's execution semantics):
+//   * The device exposes `slots = sm_count * occupancy` CTA residency slots.
+//     CTAs dispatch in ascending id order as slots free ("waves").
+//   * A resident CTA executes its segment stream sequentially:
+//       setup `a` once; per segment `c * iters` of MAC work (scaled by the
+//       number of co-resident CTAs per SM, which time-share the pipes);
+//       then either a spill (`b`, followed by a flag signal) for a
+//       non-starting segment, or -- for an owning, non-closing segment --
+//       a blocking wait on every contributing peer's flag followed by a
+//       serial `d`-per-peer reduction.
+//   * A waiting CTA keeps occupying its slot (GPUs cannot preempt CTAs).
+//
+// Deadlock freedom: a CTA signals its (single) spill before it can ever
+// wait, waits only target CTAs that spill, and validate_decomposition
+// guarantees one spill slot per CTA -- so progress follows by induction on
+// CTA id (see DESIGN.md).  The simulator still detects and reports cyclic
+// stalls defensively.
+//
+// Complexity: O(total segments + g log g); exact for any decomposition, and
+// the closed forms in model/wave_model.hpp are validated against it.
+
+#include <cstdint>
+
+#include "core/decomposition.hpp"
+#include "gpu/gpu_spec.hpp"
+#include "model/cost_model.hpp"
+#include "sim/trace.hpp"
+
+namespace streamk::sim {
+
+struct SimOptions {
+  /// Record a full phase-event timeline (Gantt rendering, tests).
+  bool record_trace = false;
+  /// Override the residency computed from the cost model's blocking factor
+  /// (0 = use model::occupancy()).  The paper's hypothetical-GPU figures
+  /// assume one CTA per SM.
+  std::int64_t occupancy_override = 0;
+};
+
+struct SimResult {
+  double makespan = 0.0;
+  double busy_time = 0.0;       ///< all CTAs' non-wait execution time
+  double wait_time = 0.0;       ///< total flag-wait time
+  std::int64_t spills = 0;      ///< partial tiles written to temporary storage
+  std::int64_t grid = 0;
+  std::int64_t slots = 0;
+  /// busy_time / (makespan * slots): the utilization ceiling imposed by the
+  /// schedule (Figure 1's 75% / 90% / ~100% numbers).
+  double occupancy_efficiency = 0.0;
+  Timeline timeline;  ///< populated when record_trace
+};
+
+SimResult simulate(const core::Decomposition& decomposition,
+                   const model::CostModel& model, const gpu::GpuSpec& gpu,
+                   const SimOptions& options = {});
+
+}  // namespace streamk::sim

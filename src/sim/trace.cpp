@@ -1,0 +1,47 @@
+#include "sim/trace.hpp"
+
+#include "util/check.hpp"
+
+namespace streamk::sim {
+
+std::string_view phase_name(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::kSetup:
+      return "setup";
+    case PhaseKind::kMac:
+      return "mac";
+    case PhaseKind::kSpill:
+      return "spill";
+    case PhaseKind::kWait:
+      return "wait";
+    case PhaseKind::kReduce:
+      return "reduce";
+  }
+  util::fail("unknown phase kind");
+}
+
+double Timeline::busy_time() const {
+  double sum = 0.0;
+  for (const PhaseEvent& e : events) {
+    if (e.kind != PhaseKind::kWait) sum += e.duration();
+  }
+  return sum;
+}
+
+double Timeline::wait_time() const {
+  double sum = 0.0;
+  for (const PhaseEvent& e : events) {
+    if (e.kind == PhaseKind::kWait) sum += e.duration();
+  }
+  return sum;
+}
+
+double Timeline::sm_busy(std::int64_t sm) const {
+  double sum = 0.0;
+  for (const PhaseEvent& e : events) {
+    if (e.sm == sm && e.kind != PhaseKind::kWait) sum += e.duration();
+  }
+  return sum;
+}
+
+}  // namespace streamk::sim

@@ -1,0 +1,50 @@
+#pragma once
+
+// Execution timelines produced by the discrete-event simulator.
+//
+// A Timeline is a list of per-CTA phase intervals tagged with the SM that
+// hosted them.  The schedule renderer turns timelines into the per-SM Gantt
+// charts of Figures 1-3 and 9; tests use them to assert conservation
+// properties (busy time == modelled work) and wait behaviour.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace streamk::sim {
+
+enum class PhaseKind {
+  kSetup,        ///< per-CTA fixed cost `a`
+  kMac,          ///< MAC-loop iterations of one segment
+  kSpill,        ///< store partials + signal (`b`)
+  kWait,         ///< blocked on a peer's flag
+  kReduce,       ///< read + accumulate peers' partials (`d` per peer)
+};
+
+std::string_view phase_name(PhaseKind kind);
+
+struct PhaseEvent {
+  std::int64_t cta = -1;
+  std::int64_t sm = -1;
+  std::int64_t tile = -1;  ///< -1 for phases not tied to a tile
+  PhaseKind kind = PhaseKind::kSetup;
+  double begin = 0.0;
+  double end = 0.0;
+
+  double duration() const { return end - begin; }
+};
+
+struct Timeline {
+  std::vector<PhaseEvent> events;
+  double makespan = 0.0;
+  std::int64_t sm_count = 0;
+
+  /// Sum of per-SM busy time (all phases except waits).
+  double busy_time() const;
+  /// Total time CTAs spent blocked on flags.
+  double wait_time() const;
+  /// Busy time of one SM.
+  double sm_busy(std::int64_t sm) const;
+};
+
+}  // namespace streamk::sim

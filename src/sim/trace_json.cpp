@@ -1,0 +1,39 @@
+#include "sim/trace_json.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace streamk::sim {
+
+std::string to_chrome_trace(const Timeline& timeline) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (std::int64_t sm = 0; sm < timeline.sm_count; ++sm) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << sm
+       << ",\"args\":{\"name\":\"SM " << sm << "\"}}";
+  }
+  for (const PhaseEvent& e : timeline.events) {
+    os << ",{\"name\":\"" << phase_name(e.kind);
+    if (e.tile >= 0) os << " tile " << e.tile;
+    // Timestamps in microseconds, as the format expects.
+    os << "\",\"ph\":\"X\",\"ts\":" << e.begin * 1e6
+       << ",\"dur\":" << e.duration() * 1e6 << ",\"pid\":0,\"tid\":" << e.sm
+       << ",\"args\":{\"cta\":" << e.cta << ",\"kind\":\""
+       << phase_name(e.kind) << "\"}}";
+  }
+  os << "]";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path, const Timeline& timeline) {
+  std::ofstream out(path);
+  util::check(out.good(), "cannot open trace output: " + path);
+  out << to_chrome_trace(timeline);
+}
+
+}  // namespace streamk::sim

@@ -1,0 +1,22 @@
+#pragma once
+
+// Chrome-trace export of simulated execution timelines.
+//
+// Writes a Timeline in the Trace Event Format understood by
+// chrome://tracing and https://ui.perfetto.dev: one track per SM, one
+// complete ("X") event per CTA phase, with CTA id / tile / phase kind in
+// args.  Gives the paper's schedule figures an interactive counterpart.
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace streamk::sim {
+
+/// Serializes the timeline as a Trace Event Format JSON array.
+std::string to_chrome_trace(const Timeline& timeline);
+
+/// Writes to_chrome_trace() output to `path`.
+void write_chrome_trace(const std::string& path, const Timeline& timeline);
+
+}  // namespace streamk::sim

@@ -1,0 +1,14 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace streamk::util {
+
+void fail(const std::string& message, std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << " (" << loc.function_name()
+     << "): " << message;
+  throw CheckError(os.str());
+}
+
+}  // namespace streamk::util

@@ -1,0 +1,35 @@
+#pragma once
+
+// Precondition / invariant checking.
+//
+// Following the C++ Core Guidelines we avoid macros: `check` is an inline
+// function that captures the call site via std::source_location and throws
+// streamk::util::CheckError on violation.  Checks guard *logic* errors in
+// this library (mis-sized decompositions, invalid shapes); they are cheap
+// and stay enabled in release builds.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace streamk::util {
+
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] void fail(const std::string& message,
+                       std::source_location loc = std::source_location::current());
+
+inline void check(bool condition, const char* message,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) fail(message, loc);
+}
+
+inline void check(bool condition, const std::string& message,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) fail(message, loc);
+}
+
+}  // namespace streamk::util

@@ -1,0 +1,55 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+
+#include "util/check.hpp"
+
+namespace streamk::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  check(out_.good(), "cannot open CSV output: " + path);
+  check(arity_ > 0, "CSV header must be nonempty");
+  write_row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  check(cells.size() == arity_, "CSV row arity mismatch");
+  write_row(cells);
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::cell(double v) {
+  char buf[64];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 12);
+  check(ec == std::errc(), "double formatting failed");
+  return std::string(buf, ptr);
+}
+
+std::string CsvWriter::cell(std::int64_t v) { return std::to_string(v); }
+std::string CsvWriter::cell(std::size_t v) { return std::to_string(v); }
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace streamk::util

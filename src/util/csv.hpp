@@ -1,0 +1,39 @@
+#pragma once
+
+// Minimal CSV emission for benchmark series (roofline scatter data, corpus
+// dumps).  Fields are quoted only when needed; numeric cells are formatted
+// with enough digits to round-trip.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace streamk::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one data row; must match the header arity.
+  void row(const std::vector<std::string>& cells);
+
+  /// Formats a double compactly but losslessly.
+  static std::string cell(double v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(std::size_t v);
+
+  /// Quotes a field per RFC 4180 when it contains separators/quotes.
+  static std::string escape(const std::string& field);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace streamk::util

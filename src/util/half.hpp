@@ -1,0 +1,67 @@
+#pragma once
+
+// IEEE 754 binary16 ("half precision") storage type.
+//
+// The paper's FP16->32 GEMM consumes half-precision A/B operands and
+// accumulates in single precision.  This environment has no hardware FP16,
+// so we provide a software storage type with correctly rounded (round to
+// nearest, ties to even) conversions in both directions.  Arithmetic is
+// performed by converting to float; this matches the tensor-core semantics
+// of "FP16 inputs, FP32 accumulate" that the paper evaluates.
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace streamk::util {
+
+class Half {
+ public:
+  constexpr Half() = default;
+
+  /// Converts from single precision with round-to-nearest-even.
+  explicit Half(float value) : bits_(encode(value)) {}
+
+  /// Reinterprets raw binary16 bits.
+  static constexpr Half from_bits(std::uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  /// Widens to single precision (exact; every binary16 value is
+  /// representable in binary32).
+  explicit operator float() const { return decode(bits_); }
+
+  constexpr std::uint16_t bits() const { return bits_; }
+
+  constexpr bool is_nan() const {
+    return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x03ffu) != 0;
+  }
+  constexpr bool is_inf() const { return (bits_ & 0x7fffu) == 0x7c00u; }
+  constexpr bool is_zero() const { return (bits_ & 0x7fffu) == 0; }
+  constexpr bool signbit() const { return (bits_ & 0x8000u) != 0; }
+
+  /// Bit-pattern equality (note: +0 != -0 under this comparison, and
+  /// NaN == NaN when the payloads match; use float comparison for IEEE
+  /// semantics).
+  friend constexpr bool operator==(Half a, Half b) { return a.bits_ == b.bits_; }
+
+  /// Largest finite binary16 value (65504).
+  static constexpr Half max() { return from_bits(0x7bffu); }
+  /// Smallest positive normal value (2^-14).
+  static constexpr Half min_normal() { return from_bits(0x0400u); }
+  /// Smallest positive subnormal value (2^-24).
+  static constexpr Half min_subnormal() { return from_bits(0x0001u); }
+  static constexpr Half infinity() { return from_bits(0x7c00u); }
+  static constexpr Half quiet_nan() { return from_bits(0x7e00u); }
+
+  static std::uint16_t encode(float value);
+  static float decode(std::uint16_t bits);
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Half h);
+
+}  // namespace streamk::util

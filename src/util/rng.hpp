@@ -1,0 +1,84 @@
+#pragma once
+
+// Deterministic pseudo-random number generation.
+//
+// The evaluation corpus (32,824 GEMM shapes, Figure 4 of the paper) must be
+// reproducible bit-for-bit across runs and platforms, so we carry our own
+// PCG32 generator instead of relying on implementation-defined standard
+// library distributions.
+
+#include <cmath>
+#include <cstdint>
+
+namespace streamk::util {
+
+/// PCG-XSH-RR 64/32 (O'Neill 2014).  Small, fast, and statistically solid
+/// for workload-generation purposes.
+class Pcg32 {
+ public:
+  /// Seeds the generator.  Distinct `sequence` values select independent
+  /// streams even under the same seed.
+  explicit constexpr Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                           std::uint64_t sequence = 0xda3e39cb94b95bdbULL)
+      : state_(0), inc_((sequence << 1u) | 1u) {
+    next();
+    state_ += seed;
+    next();
+  }
+
+  constexpr std::uint32_t next() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform double in [0, 1) with 32 bits of randomness.
+  double uniform() { return next() * 0x1.0p-32; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Unbiased uniform integer in [0, bound) via rejection sampling.
+  std::uint32_t uniform_below(std::uint32_t bound) {
+    if (bound <= 1) return 0;
+    const std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_below(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  /// Log-uniform real in [lo, hi): the logarithm of the result is uniform.
+  /// This is the sampling law of the paper's test corpus, whose problem
+  /// volumes span six orders of magnitude.
+  double log_uniform(double lo, double hi) {
+    return std::exp(uniform(std::log(lo), std::log(hi)));
+  }
+
+  /// Log-uniform integer in the inclusive range [lo, hi].
+  std::int64_t log_uniform_int(std::int64_t lo, std::int64_t hi) {
+    // Sample in [lo, hi+1) and floor; clamp guards the hi+1 edge case where
+    // exp/log round-off could land exactly on hi+1.
+    const double v = log_uniform(static_cast<double>(lo),
+                                 static_cast<double>(hi) + 1.0);
+    auto r = static_cast<std::int64_t>(v);
+    if (r < lo) r = lo;
+    if (r > hi) r = hi;
+    return r;
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace streamk::util

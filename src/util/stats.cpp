@@ -1,0 +1,98 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace streamk::util {
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  check(!sorted.empty(), "percentile of empty sample");
+  check(q >= 0.0 && q <= 100.0, "percentile out of [0,100]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summary::of(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  double sum = 0.0;
+  double log_sum = 0.0;
+  bool geomean_valid = true;
+  for (const double v : sorted) {
+    sum += v;
+    if (v > 0.0) {
+      log_sum += std::log(v);
+    } else {
+      geomean_valid = false;
+    }
+  }
+  const auto n = static_cast<double>(sorted.size());
+  s.mean = sum / n;
+  s.geomean = geomean_valid ? std::exp(log_sum / n) : 0.0;
+
+  double sq = 0.0;
+  for (const double v : sorted) {
+    const double d = v - s.mean;
+    sq += d * d;
+  }
+  s.stddev = sorted.size() > 1 ? std::sqrt(sq / (n - 1.0)) : 0.0;
+
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = percentile_sorted(sorted, 50.0);
+  s.p10 = percentile_sorted(sorted, 10.0);
+  s.p25 = percentile_sorted(sorted, 25.0);
+  s.p75 = percentile_sorted(sorted, 75.0);
+  s.p90 = percentile_sorted(sorted, 90.0);
+  return s;
+}
+
+Histogram Histogram::of(std::span<const double> samples, double lo, double hi,
+                        std::size_t bins) {
+  check(bins > 0, "histogram needs at least one bin");
+  check(hi > lo, "histogram range must be nonempty");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  for (const double v : samples) {
+    auto idx = static_cast<std::ptrdiff_t>((v - lo) * scale);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    ++h.counts[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts) peak = std::max(peak, c);
+
+  std::ostringstream os;
+  const double bin_width =
+      (hi - lo) / static_cast<double>(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double left = lo + bin_width * static_cast<double>(i);
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os << "  [" << left << ", " << left + bin_width << ") "
+       << std::string(bar, '#') << " " << counts[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace streamk::util

@@ -1,0 +1,52 @@
+#pragma once
+
+// Summary statistics over sample vectors.
+//
+// The paper reports relative-performance distributions as
+// Average / StdDev / Min / Max (Tables 1 and 2); the roofline figures need
+// percentile banding per arithmetic-intensity bucket.  Everything here is
+// exact (no streaming approximations) because corpus sizes are modest.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace streamk::util {
+
+/// Full summary of a sample.  `stddev` is the sample standard deviation
+/// (n - 1 denominator), matching how the paper tabulates spread.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double geomean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p10 = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+
+  static Summary of(std::span<const double> samples);
+};
+
+/// Linear-interpolated percentile of a *sorted* sample, q in [0, 100].
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Equal-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the edge buckets.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  static Histogram of(std::span<const double> samples, double lo, double hi,
+                      std::size_t bins);
+
+  /// Renders one `#`-bar line per bucket, for terminal reports.
+  std::string render(std::size_t width = 50) const;
+};
+
+}  // namespace streamk::util

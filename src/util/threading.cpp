@@ -1,0 +1,81 @@
+#include "util/threading.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace streamk::util {
+
+namespace {
+
+enum class Order { kAscending, kDescending };
+
+void run_parallel(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t workers, Order order) {
+  check(workers >= 1, "parallel_for needs at least one worker");
+  if (count == 0) return;
+
+  if (workers == 1) {
+    if (order == Order::kAscending) {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+    } else {
+      for (std::size_t i = count; i-- > 0;) body(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t ticket = next.fetch_add(1, std::memory_order_relaxed);
+      if (ticket >= count) return;
+      const std::size_t index =
+          order == Order::kAscending ? ticket : count - 1 - ticket;
+      try {
+        body(index);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Keep draining tickets so peers blocked on this worker's output are
+        // not left waiting forever; subsequent failures are swallowed.
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+void parallel_for_descending(std::size_t count,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t workers) {
+  run_parallel(count, body, workers, Order::kDescending);
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t workers) {
+  run_parallel(count, body, workers, Order::kAscending);
+}
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+}  // namespace streamk::util

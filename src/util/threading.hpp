@@ -1,0 +1,32 @@
+#pragma once
+
+// Small threading helpers used by the CPU executor and tests.
+//
+// We deliberately keep parallelism explicit (LLNL HPC-tutorial style): the
+// caller states how many workers to use, work is handed out through an
+// atomic counter, and exceptions from workers are captured and rethrown on
+// the calling thread instead of terminating the process.
+
+#include <cstddef>
+#include <functional>
+
+namespace streamk::util {
+
+/// Runs `body(index)` for every index in [0, count) across `workers`
+/// threads.  `workers == 1` executes inline (no thread spawn).  Indices are
+/// claimed dynamically in *descending* order; see cpu/executor.hpp for why
+/// descending order matters to the GEMM fixup protocol.  The first exception
+/// thrown by any worker is rethrown after all workers join.
+void parallel_for_descending(std::size_t count,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t workers);
+
+/// Ascending-order variant for order-insensitive work.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t workers);
+
+/// std::thread::hardware_concurrency with a floor of 1.
+std::size_t hardware_threads();
+
+}  // namespace streamk::util

@@ -1,0 +1,134 @@
+// Tests for the bench harness: tables, relative performance aggregation,
+// roofline banding -- plus a reduced-corpus sanity check that the headline
+// qualitative results of Tables 1-2 hold (Stream-K >= 1.0x on average
+// against every baseline, and a tighter utilization band).
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "bencher/relative_perf.hpp"
+#include "bencher/roofline.hpp"
+#include "bencher/table.hpp"
+
+namespace streamk::bencher {
+namespace {
+
+TEST(TextTable, RendersAligned) {
+  TextTable t({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"beta-long", "12345"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("beta-long"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(fmt_ratio(1.234), "1.23x");
+  EXPECT_EQ(fmt_pct(0.875), "87.5%");
+  EXPECT_EQ(fmt_num(3.14159, 3), "3.142");
+  EXPECT_EQ(fmt_seconds(1.5e-6), "1.50 us");
+  EXPECT_EQ(fmt_seconds(2.5e-3), "2.50 ms");
+}
+
+TEST(Speedup, SummaryMath) {
+  const std::vector<double> base{2.0, 4.0, 1.0};
+  const std::vector<double> sk{1.0, 1.0, 2.0};
+  const util::Summary s = speedup_summary(base, sk);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.mean, (2.0 + 4.0 + 0.5) / 3.0, 1e-12);
+}
+
+TEST(Speedup, FilteredByIntensity) {
+  const std::vector<double> base{2.0, 4.0, 1.0};
+  const std::vector<double> sk{1.0, 1.0, 2.0};
+  const std::vector<double> intensity{100.0, 500.0, 90.0};
+  const util::Summary s =
+      speedup_summary_filtered(base, sk, intensity, 150.0);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+}
+
+TEST(Roofline, BandingGroupsByLogIntensity) {
+  std::vector<double> intensity{1, 2, 4, 8, 16, 32, 64, 128};
+  std::vector<double> util{.1, .2, .3, .4, .5, .6, .7, .8};
+  const auto bands = banded_summary(intensity, util, 4);
+  ASSERT_FALSE(bands.empty());
+  std::size_t total = 0;
+  for (const auto& b : bands) total += b.utilization.count;
+  EXPECT_EQ(total, 8u);
+  EXPECT_GT(mean_band_spread(bands), 0.0);
+  EXPECT_FALSE(render_roofline_panel("test", bands).empty());
+}
+
+class ReducedCorpus : public ::testing::Test {
+ protected:
+  static const CorpusEvaluation& eval_fp16() {
+    static const CorpusEvaluation eval = [] {
+      const corpus::Corpus corpus = corpus::Corpus::paper(400);
+      const auto suite = ensemble::EvaluationSuite::make(
+          gpu::GpuSpec::a100_locked(), gpu::Precision::kFp16F32);
+      return evaluate_corpus(corpus, suite);
+    }();
+    return eval;
+  }
+};
+
+TEST_F(ReducedCorpus, StreamKWinsOnAverageAgainstEveryBaseline) {
+  const CorpusEvaluation& eval = eval_fp16();
+  EXPECT_GT(speedup_summary(eval.data_parallel_seconds,
+                            eval.stream_k_seconds).mean,
+            1.0);
+  EXPECT_GT(speedup_summary(eval.cublas_like_seconds,
+                            eval.stream_k_seconds).mean,
+            1.0);
+  EXPECT_GT(speedup_summary(eval.oracle_seconds, eval.stream_k_seconds).mean,
+            1.0);
+}
+
+TEST_F(ReducedCorpus, StreamKHasTighterUtilizationBandThanDataParallel) {
+  const CorpusEvaluation& eval = eval_fp16();
+  const auto sk_bands =
+      banded_summary(eval.intensity, eval.stream_k_utilization, 8);
+  const auto dp_bands =
+      banded_summary(eval.intensity, eval.data_parallel_utilization, 8);
+  EXPECT_LT(mean_band_spread(sk_bands), mean_band_spread(dp_bands));
+}
+
+TEST_F(ReducedCorpus, ComputeBoundProblemsNeverLoseBadly) {
+  // Paper, Tables 1-2 third column: in the compute-bound regime Stream-K's
+  // minimum relative performance is ~0.98-0.99x (virtually no slowdown).
+  const CorpusEvaluation& eval = eval_fp16();
+  const util::Summary s = speedup_summary_filtered(
+      eval.cublas_like_seconds, eval.stream_k_seconds, eval.intensity,
+      corpus::compute_bound_threshold(gpu::Precision::kFp16F32));
+  ASSERT_GT(s.count, 0u);
+  EXPECT_GT(s.min, 0.90);
+}
+
+TEST_F(ReducedCorpus, TableRendersAllCells) {
+  const std::string table = render_relative_table(
+      eval_fp16(), gpu::Precision::kFp16F32, "128x128x32");
+  EXPECT_NE(table.find("Average"), std::string::npos);
+  EXPECT_NE(table.find("StdDev"), std::string::npos);
+  EXPECT_NE(table.find("Min"), std::string::npos);
+  EXPECT_NE(table.find("Max"), std::string::npos);
+  EXPECT_NE(table.find("oracle"), std::string::npos);
+}
+
+TEST_F(ReducedCorpus, CsvExportHasOneRowPerProblem) {
+  const std::string path = ::testing::TempDir() + "/streamk_roofline.csv";
+  write_roofline_csv(path, eval_fp16());
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 401u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace streamk::bencher

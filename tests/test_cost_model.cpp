@@ -1,0 +1,208 @@
+// Tests for the Appendix A.1 cost model, grid selection (Figure 8), and the
+// cost-constant fitting workflow.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/cost_model.hpp"
+#include "model/fit.hpp"
+#include "model/grid_selector.hpp"
+#include "util/check.hpp"
+
+namespace streamk::model {
+namespace {
+
+const gpu::GpuSpec kA100 = gpu::GpuSpec::a100_locked();
+const gpu::BlockShape kFp16Block = gpu::BlockShape::paper_fp16();
+
+TEST(CostModel, ItersPerCtaAndFixupPeersFormulas) {
+  // Figure 8a: 256x3584x8192 -> 56 tiles, 256 iters/tile, 14336 total.
+  const core::WorkMapping mapping({256, 3584, 8192}, kFp16Block);
+  EXPECT_EQ(mapping.tiles(), 56);
+  EXPECT_EQ(mapping.iters_per_tile(), 256);
+  EXPECT_EQ(CostModel::iters_per_cta(mapping, 108), 133);
+  EXPECT_EQ(CostModel::fixup_peers(mapping, 108), 2);
+  EXPECT_EQ(CostModel::iters_per_cta(mapping, 56), 256);
+  EXPECT_EQ(CostModel::fixup_peers(mapping, 56), 1);
+}
+
+TEST(CostModel, CalibratedIterationCostMatchesPeak) {
+  const CostModel model =
+      CostModel::calibrated(kA100, kFp16Block, gpu::Precision::kFp16F32);
+  // One 128x128x32 MAC iteration at 99% of a per-SM share of 222.3 TFLOP/s.
+  const double iter_flops = 2.0 * 128 * 128 * 32;
+  const double expected = iter_flops / (222.3e12 / 108.0 * 0.99);
+  EXPECT_NEAR(model.params().c, expected, expected * 1e-9);
+  EXPECT_GT(model.params().a, 0.0);
+  EXPECT_GT(model.params().b, 0.0);
+  EXPECT_GT(model.params().d, 0.0);
+}
+
+TEST(CostModel, TileEfficiencyLadder) {
+  using gpu::Precision;
+  const double chosen =
+      tile_efficiency(gpu::BlockShape::paper_fp64(), Precision::kFp64);
+  EXPECT_DOUBLE_EQ(chosen, 0.99);
+  // Larger tiles slightly better; smaller strictly worse.
+  EXPECT_GT(tile_efficiency({128, 128, 16}, Precision::kFp64), chosen);
+  EXPECT_LT(tile_efficiency({32, 64, 16}, Precision::kFp64), chosen);
+  EXPECT_LT(tile_efficiency({32, 32, 16}, Precision::kFp64),
+            tile_efficiency({32, 64, 16}, Precision::kFp64));
+}
+
+TEST(CostModel, OccupancyLadder) {
+  using gpu::Precision;
+  // Paper tiles: one CTA per SM.
+  EXPECT_EQ(occupancy(gpu::BlockShape::paper_fp16(), Precision::kFp16F32), 1);
+  EXPECT_EQ(occupancy(gpu::BlockShape::paper_fp64(), Precision::kFp64), 1);
+  // Quarter-size tiles co-schedule.
+  EXPECT_GE(occupancy({64, 64, 64}, Precision::kFp16F32), 2);
+  EXPECT_GE(occupancy({32, 32, 16}, Precision::kFp64), 3);
+}
+
+TEST(CostModel, StreamKCtaTimeFormula) {
+  const CostModel model =
+      CostModel::paper_fig8(kA100, kFp16Block, gpu::Precision::kFp16F32);
+  const CostParams& p = model.params();
+  EXPECT_DOUBLE_EQ(p.b, 9.0 * p.c);
+  EXPECT_DOUBLE_EQ(p.d, 8.0 * p.c);
+
+  const core::WorkMapping mapping({256, 3584, 8192}, kFp16Block);
+  // g=108: a + b + 133c + d  (peers = 2).
+  EXPECT_NEAR(model.stream_k_cta_time(mapping, 108),
+              p.a + p.b + 133.0 * p.c + p.d, 1e-12);
+  // g=56: a + 256c (no splitting).
+  EXPECT_NEAR(model.stream_k_cta_time(mapping, 56), p.a + 256.0 * p.c, 1e-12);
+}
+
+// ------------------------------------------------------------- Figure 8
+
+TEST(GridSelector, Figure8aChoosesFullProcessor) {
+  const CostModel model =
+      CostModel::paper_fig8(kA100, kFp16Block, gpu::Precision::kFp16F32);
+  const core::WorkMapping mapping({256, 3584, 8192}, kFp16Block);
+  const GridChoice choice = select_grid(model, mapping, kA100);
+  EXPECT_EQ(choice.grid, 108);  // paper: g_best <- 108 CTAs
+  // 133 iterations per CTA (the paper quotes 132/133).
+  EXPECT_EQ(CostModel::iters_per_cta(mapping, choice.grid), 133);
+}
+
+TEST(GridSelector, Figure8bChoosesNoSplitting) {
+  const CostModel model =
+      CostModel::paper_fig8(kA100, kFp16Block, gpu::Precision::kFp16F32);
+  const core::WorkMapping mapping({1024, 1024, 1024}, kFp16Block);
+  EXPECT_EQ(mapping.tiles(), 64);
+  EXPECT_EQ(mapping.iters_per_tile(), 32);
+  const GridChoice choice = select_grid(model, mapping, kA100);
+  EXPECT_EQ(choice.grid, 64);  // paper: g_best <- 64 CTAs (the "dip")
+  EXPECT_EQ(CostModel::iters_per_cta(mapping, choice.grid), 32);
+}
+
+TEST(GridSelector, Figure8cChoosesPartialSplit) {
+  const CostModel model =
+      CostModel::paper_fig8(kA100, kFp16Block, gpu::Precision::kFp16F32);
+  const core::WorkMapping mapping({128, 128, 16384}, kFp16Block);
+  EXPECT_EQ(mapping.tiles(), 1);
+  EXPECT_EQ(mapping.iters_per_tile(), 512);
+  const GridChoice choice = select_grid(model, mapping, kA100);
+  EXPECT_EQ(choice.grid, 8);  // paper: g_best <- 8 CTAs
+  EXPECT_EQ(CostModel::iters_per_cta(mapping, choice.grid), 64);
+}
+
+TEST(GridSelector, PredictedTimeIsMinimumOverGrids) {
+  const CostModel model =
+      CostModel::paper_fig8(kA100, kFp16Block, gpu::Precision::kFp16F32);
+  const core::WorkMapping mapping({1024, 1024, 1024}, kFp16Block);
+  const GridChoice choice = select_grid(model, mapping, kA100);
+  for (std::int64_t g = 1; g <= 108; ++g) {
+    EXPECT_LE(choice.predicted_seconds,
+              model.stream_k_cta_time(mapping, g) + 1e-15)
+        << "g=" << g;
+  }
+}
+
+// ------------------------------------------------------------- planner
+
+TEST(Planner, PerfectQuantizationGoesDataParallel) {
+  const CostModel model =
+      CostModel::calibrated(kA100, kFp16Block, gpu::Precision::kFp16F32);
+  // 108 * 2 tiles exactly: 27x8 tiles of 128 -> m=3456, n=1024.
+  const core::WorkMapping mapping({3456, 1024, 512}, kFp16Block);
+  ASSERT_EQ(mapping.tiles() % 108, 0);
+  const core::DecompositionSpec spec = plan(model, mapping, kA100);
+  EXPECT_EQ(spec.kind, core::DecompositionKind::kDataParallel);
+}
+
+TEST(Planner, ManyWavesGoesTwoTileHybrid) {
+  const CostModel model =
+      CostModel::calibrated(kA100, kFp16Block, gpu::Precision::kFp16F32);
+  const core::WorkMapping mapping({4096, 4096, 1024}, kFp16Block);  // 1024 tiles
+  const core::DecompositionSpec spec = plan(model, mapping, kA100);
+  EXPECT_EQ(spec.kind, core::DecompositionKind::kHybridTwoTile);
+  EXPECT_EQ(spec.sm_count, 108);
+}
+
+TEST(Planner, StrongScalingGoesBasicStreamK) {
+  const CostModel model =
+      CostModel::calibrated(kA100, kFp16Block, gpu::Precision::kFp16F32);
+  const core::WorkMapping mapping({128, 128, 8192}, kFp16Block);  // 1 tile
+  const core::DecompositionSpec spec = plan(model, mapping, kA100);
+  EXPECT_EQ(spec.kind, core::DecompositionKind::kStreamKBasic);
+  EXPECT_GT(spec.grid, 1);
+  EXPECT_LE(spec.grid, 108);
+}
+
+// ------------------------------------------------------------- fitting
+
+TEST(Fit, SolveDenseKnownSystem) {
+  // 2x + y = 5; x - y = 1  => x = 2, y = 1.
+  std::vector<double> a{2, 1, 1, -1};
+  std::vector<double> y{5, 1};
+  solve_dense(a, y, 2);
+  EXPECT_NEAR(y[0], 2.0, 1e-12);
+  EXPECT_NEAR(y[1], 1.0, 1e-12);
+}
+
+TEST(Fit, SolveDenseRejectsSingular) {
+  std::vector<double> a{1, 1, 1, 1};
+  std::vector<double> y{2, 2};
+  EXPECT_THROW(solve_dense(a, y, 2), util::CheckError);
+}
+
+TEST(Fit, RecoversSyntheticConstants) {
+  const core::WorkMapping mapping({128, 128, 16384}, kFp16Block);
+  const CostParams truth{2e-6, 4.5e-6, 0.5e-6, 4e-6};
+  const CostModel model(truth, kFp16Block, gpu::Precision::kFp16F32);
+
+  std::vector<FitSample> samples;
+  for (const std::int64_t g : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32}) {
+    samples.push_back({g, model.stream_k_cta_time(mapping, g)});
+  }
+  const CostParams fitted = fit_cost_params(mapping, samples);
+  EXPECT_NEAR(fitted.a, truth.a, truth.a * 1e-6);
+  EXPECT_NEAR(fitted.b, truth.b, truth.b * 1e-6);
+  EXPECT_NEAR(fitted.c, truth.c, truth.c * 1e-6);
+  EXPECT_NEAR(fitted.d, truth.d, truth.d * 1e-6);
+}
+
+TEST(Fit, DropsUnobservableColumns) {
+  // All samples with peers == 1 (grids dividing the tile count leave b and d
+  // unobservable): fit must not throw, and reports b = d = 0.
+  const core::WorkMapping mapping({1024, 1024, 1024}, kFp16Block);  // 64 tiles
+  const CostParams truth{2e-6, 4.5e-6, 0.5e-6, 4e-6};
+  const CostModel model(truth, kFp16Block, gpu::Precision::kFp16F32);
+  std::vector<FitSample> samples;
+  for (const std::int64_t g : {1, 2, 4, 8, 16, 32, 64}) {
+    ASSERT_EQ(CostModel::fixup_peers(mapping, g), 1);
+    samples.push_back({g, model.stream_k_cta_time(mapping, g)});
+  }
+  const CostParams fitted = fit_cost_params(mapping, samples);
+  EXPECT_NEAR(fitted.a, truth.a, truth.a * 1e-6);
+  EXPECT_NEAR(fitted.c, truth.c, truth.c * 1e-6);
+  EXPECT_DOUBLE_EQ(fitted.b, 0.0);
+  EXPECT_DOUBLE_EQ(fitted.d, 0.0);
+}
+
+}  // namespace
+}  // namespace streamk::model

@@ -1,0 +1,220 @@
+// Unit tests for data-parallel, fixed-split and basic Stream-K schedules.
+
+#include <gtest/gtest.h>
+
+#include "core/data_parallel.hpp"
+#include "core/fixed_split.hpp"
+#include "core/stream_k.hpp"
+#include "util/check.hpp"
+
+namespace streamk::core {
+namespace {
+
+WorkMapping fig1_mapping() {
+  return WorkMapping({384, 384, 128}, {128, 128, 4});
+}
+
+TEST(DataParallel, OneCtaPerTile) {
+  const DataParallel dp(fig1_mapping());
+  EXPECT_EQ(dp.grid_size(), 9);
+  for (std::int64_t cta = 0; cta < dp.grid_size(); ++cta) {
+    const CtaWork work = dp.cta_work(cta);
+    ASSERT_EQ(work.segments.size(), 1u);
+    EXPECT_EQ(work.segments[0].tile_idx, cta);
+    EXPECT_TRUE(work.segments[0].starts_tile());
+    EXPECT_TRUE(work.segments[0].ends_tile());
+    EXPECT_EQ(work.total_iters(), 32);
+  }
+}
+
+TEST(FixedSplit, SplitsIterationRange) {
+  const FixedSplit fs(fig1_mapping(), 2);
+  EXPECT_EQ(fs.grid_size(), 18);
+  // CTA (tile 0, y 0) does the first half and owns the tile.
+  const CtaWork first = fs.cta_work(0);
+  ASSERT_EQ(first.segments.size(), 1u);
+  EXPECT_TRUE(first.segments[0].starts_tile());
+  EXPECT_FALSE(first.segments[0].ends_tile());
+  EXPECT_EQ(first.segments[0].iters(), 16);
+  // CTA (tile 0, y 1) finishes the tile.
+  const CtaWork second = fs.cta_work(1);
+  EXPECT_FALSE(second.segments[0].starts_tile());
+  EXPECT_TRUE(second.segments[0].ends_tile());
+}
+
+TEST(FixedSplit, SplitOfOneIsDataParallel) {
+  const WorkMapping mapping({96, 96, 96}, {32, 32, 16});
+  const FixedSplit fs(mapping, 1);
+  const DataParallel dp(mapping);
+  ASSERT_EQ(fs.grid_size(), dp.grid_size());
+  for (std::int64_t cta = 0; cta < dp.grid_size(); ++cta) {
+    const CtaWork a = fs.cta_work(cta);
+    const CtaWork b = dp.cta_work(cta);
+    ASSERT_EQ(a.segments.size(), b.segments.size());
+    EXPECT_EQ(a.segments[0].tile_idx, b.segments[0].tile_idx);
+    EXPECT_EQ(a.segments[0].iter_begin, b.segments[0].iter_begin);
+    EXPECT_EQ(a.segments[0].iter_end, b.segments[0].iter_end);
+  }
+}
+
+TEST(FixedSplit, OverSplitYieldsEmptyCtas) {
+  // 3 iterations split 5 ways: ceil(3/5)=1 per split, splits 3 and 4 empty.
+  const WorkMapping mapping({32, 32, 48}, {32, 32, 16});
+  const FixedSplit fs(mapping, 5);
+  EXPECT_EQ(fs.grid_size(), 5);
+  EXPECT_FALSE(fs.cta_work(0).empty());
+  EXPECT_FALSE(fs.cta_work(2).empty());
+  EXPECT_TRUE(fs.cta_work(3).empty());
+  EXPECT_TRUE(fs.cta_work(4).empty());
+}
+
+TEST(PartitionIters, BalancedWithinOne) {
+  // 288 iterations over 4 CTAs: 72 each (the paper's Figure 2b numbers).
+  for (std::int64_t cta = 0; cta < 4; ++cta) {
+    const IterRange r =
+        partition_iters(288, 4, cta, IterPartition::kBalancedWithinOne);
+    EXPECT_EQ(r.size(), 72);
+    EXPECT_EQ(r.begin, cta * 72);
+  }
+  // Uneven: 10 iters over 4 CTAs -> 3,3,2,2 and contiguous.
+  std::int64_t cursor = 0;
+  for (std::int64_t cta = 0; cta < 4; ++cta) {
+    const IterRange r =
+        partition_iters(10, 4, cta, IterPartition::kBalancedWithinOne);
+    EXPECT_EQ(r.begin, cursor);
+    EXPECT_EQ(r.size(), cta < 2 ? 3 : 2);
+    cursor = r.end;
+  }
+  EXPECT_EQ(cursor, 10);
+}
+
+TEST(PartitionIters, CeilUniformMatchesAlgorithm5) {
+  // 10 iters over 4 CTAs at ceil = 3: 3,3,3,1.
+  const std::int64_t sizes[] = {3, 3, 3, 1};
+  for (std::int64_t cta = 0; cta < 4; ++cta) {
+    const IterRange r =
+        partition_iters(10, 4, cta, IterPartition::kCeilUniform);
+    EXPECT_EQ(r.size(), sizes[cta]);
+  }
+  // 4 iters over 8 CTAs: the first 4 get one, the rest none.
+  for (std::int64_t cta = 0; cta < 8; ++cta) {
+    const IterRange r =
+        partition_iters(4, 8, cta, IterPartition::kCeilUniform);
+    EXPECT_EQ(r.size(), cta < 4 ? 1 : 0);
+  }
+}
+
+TEST(PartitionIters, PropertiesAcrossSweep) {
+  for (const std::int64_t total : {1, 7, 63, 64, 65, 287, 288, 1000}) {
+    for (const std::int64_t g : {1, 2, 3, 4, 7, 64, 108}) {
+      std::int64_t cursor = 0;
+      std::int64_t min_size = total, max_size = 0;
+      for (std::int64_t cta = 0; cta < g; ++cta) {
+        const IterRange r = partition_iters(
+            total, g, cta, IterPartition::kBalancedWithinOne);
+        EXPECT_EQ(r.begin, cursor) << "contiguity";
+        cursor = r.end;
+        min_size = std::min(min_size, r.size());
+        max_size = std::max(max_size, r.size());
+      }
+      EXPECT_EQ(cursor, total) << "coverage";
+      EXPECT_LE(max_size - min_size, 1) << "within-one balance";
+    }
+  }
+}
+
+TEST(StreamKBasic, SegmentsCrossTileBoundaries) {
+  // Figure 2b: g=4 on 9 tiles x 32 iters; CTA 0 covers tiles 0,1,2 with a
+  // partial third tile (72 = 32 + 32 + 8).
+  const StreamKBasic sk(fig1_mapping(), 4);
+  const CtaWork work = sk.cta_work(0);
+  ASSERT_EQ(work.segments.size(), 3u);
+  EXPECT_EQ(work.segments[0].tile_idx, 0);
+  EXPECT_TRUE(work.segments[0].starts_tile());
+  EXPECT_TRUE(work.segments[0].ends_tile());
+  EXPECT_EQ(work.segments[2].tile_idx, 2);
+  EXPECT_TRUE(work.segments[2].starts_tile());
+  EXPECT_FALSE(work.segments[2].ends_tile());
+  EXPECT_EQ(work.segments[2].iters(), 8);
+  EXPECT_EQ(work.total_iters(), 72);
+
+  // CTA 1 starts mid-tile 2: its first segment spills.
+  const CtaWork next = sk.cta_work(1);
+  EXPECT_EQ(next.segments[0].tile_idx, 2);
+  EXPECT_FALSE(next.segments[0].starts_tile());
+  EXPECT_TRUE(next.segments[0].ends_tile());
+}
+
+TEST(StreamKBasic, GridEqualToTilesIsDataParallel) {
+  // Section 4: "when g equals the number of output tiles, Stream-K behaves
+  // identically to the data-parallel decomposition."
+  const WorkMapping mapping({96, 128, 80}, {32, 32, 16});
+  const StreamKBasic sk(mapping, mapping.tiles());
+  const DataParallel dp(mapping);
+  ASSERT_EQ(sk.grid_size(), dp.grid_size());
+  for (std::int64_t cta = 0; cta < dp.grid_size(); ++cta) {
+    const CtaWork a = sk.cta_work(cta);
+    const CtaWork b = dp.cta_work(cta);
+    ASSERT_EQ(a.segments.size(), 1u);
+    EXPECT_EQ(a.segments[0].tile_idx, b.segments[0].tile_idx);
+    EXPECT_EQ(a.segments[0].iter_begin, b.segments[0].iter_begin);
+    EXPECT_EQ(a.segments[0].iter_end, b.segments[0].iter_end);
+  }
+}
+
+TEST(StreamKBasic, GridEqualToSplitTimesTilesIsFixedSplit) {
+  // Section 4: with g an even multiple s of the tile count (and iterations
+  // divisible by s), Stream-K functions exactly as fixed-split.
+  const WorkMapping mapping({64, 64, 64}, {32, 32, 16});  // 4 tiles, 4 iters
+  const std::int64_t s = 2;
+  const StreamKBasic sk(mapping, mapping.tiles() * s);
+  const FixedSplit fs(mapping, s);
+  ASSERT_EQ(sk.grid_size(), fs.grid_size());
+  for (std::int64_t cta = 0; cta < sk.grid_size(); ++cta) {
+    const CtaWork a = sk.cta_work(cta);
+    const CtaWork b = fs.cta_work(cta);
+    ASSERT_EQ(a.segments.size(), 1u);
+    ASSERT_EQ(b.segments.size(), 1u);
+    EXPECT_EQ(a.segments[0].tile_idx, b.segments[0].tile_idx);
+    EXPECT_EQ(a.segments[0].iter_begin, b.segments[0].iter_begin);
+    EXPECT_EQ(a.segments[0].iter_end, b.segments[0].iter_end);
+  }
+}
+
+TEST(StreamKBasic, MoreCtasThanIterationsLeavesEmpties) {
+  const WorkMapping mapping({32, 32, 32}, {32, 32, 16});  // 2 iterations
+  const StreamKBasic sk(mapping, 5);
+  std::int64_t nonempty = 0;
+  for (std::int64_t cta = 0; cta < 5; ++cta) {
+    nonempty += sk.cta_work(cta).empty() ? 0 : 1;
+  }
+  EXPECT_EQ(nonempty, 2);
+}
+
+TEST(Factory, MakesEveryKind) {
+  const WorkMapping mapping({96, 96, 96}, {32, 32, 16});
+  DecompositionSpec spec;
+  spec.sm_count = 4;
+
+  spec.kind = DecompositionKind::kDataParallel;
+  EXPECT_EQ(make_decomposition(spec, mapping)->kind(),
+            DecompositionKind::kDataParallel);
+  spec.kind = DecompositionKind::kFixedSplit;
+  spec.split = 3;
+  EXPECT_EQ(make_decomposition(spec, mapping)->grid_size(),
+            mapping.tiles() * 3);
+  spec.kind = DecompositionKind::kStreamKBasic;
+  spec.grid = 0;  // default to SM count
+  EXPECT_EQ(make_decomposition(spec, mapping)->grid_size(), 4);
+  spec.kind = DecompositionKind::kHybridTwoTile;
+  EXPECT_EQ(make_decomposition(spec, mapping)->grid_size(), 4);
+}
+
+TEST(KindName, AllNamed) {
+  EXPECT_EQ(kind_name(DecompositionKind::kDataParallel), "data-parallel");
+  EXPECT_EQ(kind_name(DecompositionKind::kStreamKBasic), "stream-k");
+  EXPECT_EQ(kind_name(DecompositionKind::kHybridTwoTile), "hybrid-2sk+dp");
+}
+
+}  // namespace
+}  // namespace streamk::core

@@ -1,0 +1,168 @@
+// Tests for kernel libraries (oracle, heuristic, Stream-K) and the corpus.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+#include "ensemble/heuristics.hpp"
+#include "ensemble/library.hpp"
+
+namespace streamk::ensemble {
+namespace {
+
+const gpu::GpuSpec kA100 = gpu::GpuSpec::a100_locked();
+
+TEST(KernelConfig, PaperEnsembles) {
+  const auto fp64 = paper_dp_ensemble(gpu::Precision::kFp64);
+  ASSERT_EQ(fp64.size(), 5u);
+  EXPECT_EQ(fp64[2], (gpu::BlockShape{64, 64, 16}));
+  const auto fp16 = paper_dp_ensemble(gpu::Precision::kFp16F32);
+  ASSERT_EQ(fp16.size(), 4u);
+  EXPECT_EQ(fp16[2], (gpu::BlockShape{128, 128, 32}));
+  EXPECT_EQ(paper_stream_k_block(gpu::Precision::kFp64),
+            gpu::BlockShape::paper_fp64());
+}
+
+TEST(Heuristic, DeterministicAndFromMenu) {
+  const core::GemmShape shape{1000, 2000, 500};
+  const KernelConfig a =
+      heuristic_select(shape, gpu::Precision::kFp16F32, kA100);
+  const KernelConfig b =
+      heuristic_select(shape, gpu::Precision::kFp16F32, kA100);
+  EXPECT_EQ(a.block, b.block);
+  EXPECT_EQ(a.split, b.split);
+  const auto menu = paper_dp_ensemble(gpu::Precision::kFp16F32);
+  EXPECT_NE(std::find(menu.begin(), menu.end(), a.block), menu.end());
+}
+
+TEST(Heuristic, LargeProblemsGetLargeTiles) {
+  const KernelConfig big =
+      heuristic_select({8192, 8192, 1024}, gpu::Precision::kFp16F32, kA100);
+  EXPECT_GE(big.block.tile_elements(), 128 * 128);
+  EXPECT_EQ(big.split, 1);
+}
+
+TEST(Heuristic, StrongScalingGetsSplit) {
+  // One large-tile's worth of output, deep k: the rules must split.
+  const KernelConfig cfg =
+      heuristic_select({128, 128, 8192}, gpu::Precision::kFp16F32, kA100);
+  EXPECT_GT(cfg.split, 1);
+}
+
+TEST(Libraries, OracleNeverSlowerThanAnyMember) {
+  OracleLibrary oracle(kA100, gpu::Precision::kFp16F32);
+  for (const core::GemmShape shape :
+       {core::GemmShape{512, 512, 512}, core::GemmShape{3000, 200, 4000},
+        core::GemmShape{150, 150, 150}}) {
+    const GemmMeasurement best = oracle.run(shape);
+    for (const gpu::BlockShape& block :
+         paper_dp_ensemble(gpu::Precision::kFp16F32)) {
+      DataParallelLibrary member(kA100, gpu::Precision::kFp16F32, block);
+      EXPECT_LE(best.estimate.seconds,
+                member.run(shape).estimate.seconds * (1.0 + 1e-12))
+          << shape.to_string() << " vs " << block.to_string();
+    }
+  }
+}
+
+TEST(Libraries, StreamKPlansPerRegime) {
+  StreamKLibrary sk(kA100, gpu::Precision::kFp16F32);
+  // Strong scaling -> basic stream-k.
+  EXPECT_EQ(sk.run({128, 128, 8192}).kind,
+            core::DecompositionKind::kStreamKBasic);
+  // Many waves with remainder -> two-tile hybrid.
+  EXPECT_EQ(sk.run({4096, 4096, 1024}).kind,
+            core::DecompositionKind::kHybridTwoTile);
+}
+
+TEST(Libraries, StreamKBeatsDataParallelOnStrongScaling) {
+  const EvaluationSuite suite =
+      EvaluationSuite::make(kA100, gpu::Precision::kFp16F32);
+  const core::GemmShape shape{128, 128, 8192};
+  EXPECT_LT(suite.stream_k->run(shape).estimate.seconds,
+            suite.data_parallel->run(shape).estimate.seconds);
+}
+
+TEST(Libraries, NamesAreStable) {
+  const EvaluationSuite suite =
+      EvaluationSuite::make(kA100, gpu::Precision::kFp64);
+  EXPECT_EQ(suite.stream_k->name(), "stream-k");
+  EXPECT_EQ(suite.cublas_like->name(), "cublas-like");
+  EXPECT_EQ(suite.oracle->name(), "cutlass-oracle");
+  EXPECT_NE(suite.data_parallel->name().find("64x64x16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamk::ensemble
+
+namespace streamk::corpus {
+namespace {
+
+TEST(Corpus, DeterministicAndInRange) {
+  const Corpus a = Corpus::paper(500);
+  const Corpus b = Corpus::paper(500);
+  ASSERT_EQ(a.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.shapes()[i], b.shapes()[i]);
+    EXPECT_GE(a.shapes()[i].m, 128);
+    EXPECT_LE(a.shapes()[i].m, 8192);
+    EXPECT_GE(a.shapes()[i].n, 128);
+    EXPECT_LE(a.shapes()[i].n, 8192);
+    EXPECT_GE(a.shapes()[i].k, 128);
+    EXPECT_LE(a.shapes()[i].k, 8192);
+  }
+}
+
+TEST(Corpus, PaperSizeConstant) {
+  EXPECT_EQ(kPaperCorpusSize, 32824u);
+}
+
+TEST(Corpus, VolumeSpansManyOrders) {
+  // Figure 4: problem volumes span six orders of magnitude.  m*n*k ranges
+  // over [128^3, 8192^3] ~ 5.4 orders for the extremes; a large sample gets
+  // close to the full span.
+  const Corpus corpus = Corpus::paper(5000);
+  EXPECT_GT(corpus.volume_orders_of_magnitude(), 4.5);
+}
+
+TEST(Corpus, ComputeBoundFilterMatchesThreshold) {
+  const Corpus corpus = Corpus::paper(1000);
+  const auto bound = corpus.compute_bound(gpu::Precision::kFp64);
+  EXPECT_FALSE(bound.empty());
+  EXPECT_LT(bound.size(), corpus.size());
+  for (const auto& s : bound) {
+    EXPECT_GT(s.arithmetic_intensity(gpu::Precision::kFp64), 150.0);
+  }
+  EXPECT_DOUBLE_EQ(compute_bound_threshold(gpu::Precision::kFp16F32), 400.0);
+}
+
+TEST(Corpus, LogSamplingFavorsSmallExtents) {
+  // Under log-uniform sampling the median extent is near sqrt(128*8192),
+  // far below the arithmetic midpoint.
+  const Corpus corpus = Corpus::paper(4000);
+  std::vector<double> ms;
+  for (const auto& s : corpus.shapes()) {
+    ms.push_back(static_cast<double>(s.m));
+  }
+  std::sort(ms.begin(), ms.end());
+  const double median = ms[ms.size() / 2];
+  EXPECT_GT(median, 700.0);
+  EXPECT_LT(median, 1500.0);
+}
+
+TEST(Corpus, CsvExportRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/streamk_corpus.csv";
+  Corpus::paper(64).write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 65u);  // header + 64 rows
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace streamk::corpus

@@ -1,0 +1,122 @@
+// Unit tests for the IEEE binary16 storage type.
+
+#include "util/half.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace streamk::util {
+namespace {
+
+TEST(Half, ZeroAndSignedZero) {
+  EXPECT_EQ(Half(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(static_cast<float>(Half::from_bits(0x8000u)), -0.0f);
+  EXPECT_TRUE(std::signbit(static_cast<float>(Half::from_bits(0x8000u))));
+}
+
+TEST(Half, ExactSmallIntegers) {
+  // All integers up to 2048 are exactly representable in binary16.
+  for (int v = -2048; v <= 2048; ++v) {
+    const Half h(static_cast<float>(v));
+    EXPECT_EQ(static_cast<float>(h), static_cast<float>(v)) << "v=" << v;
+  }
+}
+
+TEST(Half, KnownEncodings) {
+  EXPECT_EQ(Half(1.0f).bits(), 0x3c00u);
+  EXPECT_EQ(Half(-2.0f).bits(), 0xc000u);
+  EXPECT_EQ(Half(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(Half(65504.0f).bits(), 0x7bffu);      // max finite
+  EXPECT_EQ(Half(6.103515625e-05f).bits(), 0x0400u);  // min normal 2^-14
+  EXPECT_EQ(Half(5.960464477539063e-08f).bits(), 0x0001u);  // min subnormal
+}
+
+TEST(Half, RoundTripAllBitPatternsThroughFloat) {
+  // decode is exact, so encode(decode(h)) must reproduce h for every
+  // non-NaN pattern; NaNs are quieted (bit 9 forced) with payload kept.
+  for (std::uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    const float f = Half::decode(h);
+    const std::uint16_t back = Half::encode(f);
+    if (std::isnan(f)) {
+      EXPECT_EQ(back, h | 0x0200u) << std::hex << bits;
+    } else {
+      EXPECT_EQ(back, h) << std::hex << bits;
+    }
+  }
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1 + 2^-10):
+  // ties to even keeps 1.0 (even mantissa).
+  EXPECT_EQ(Half(1.0f + 0x1.0p-11f).bits(), 0x3c00u);
+  // The next representable float above the halfway point rounds up.
+  EXPECT_EQ(Half(std::nextafter(1.0f + 0x1.0p-11f, 2.0f)).bits(), 0x3c01u);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds to even (up).
+  EXPECT_EQ(Half(1.0f + 3 * 0x1.0p-11f).bits(), 0x3c02u);
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(Half(65520.0f).is_inf());  // first value rounding to inf
+  EXPECT_TRUE(Half(1e10f).is_inf());
+  EXPECT_TRUE(Half(-1e10f).is_inf());
+  EXPECT_TRUE(Half(-1e10f).signbit());
+  // 65519.996 rounds down to max finite.
+  EXPECT_EQ(Half(65519.0f).bits(), 0x7bffu);
+}
+
+TEST(Half, SubnormalRounding) {
+  // Half of the smallest subnormal rounds to zero (ties to even).
+  const float half_min_sub = 0x1.0p-25f;
+  EXPECT_EQ(Half(half_min_sub).bits(), 0x0000u);
+  // Just above it rounds to the smallest subnormal.
+  EXPECT_EQ(Half(std::nextafter(half_min_sub, 1.0f)).bits(), 0x0001u);
+  // 1.5 * smallest subnormal is halfway between 1 and 2 ulps: ties to even
+  // gives 2 ulps.
+  EXPECT_EQ(Half(0x1.8p-24f).bits(), 0x0002u);
+}
+
+TEST(Half, UnderflowToZero) {
+  EXPECT_EQ(Half(1e-10f).bits(), 0x0000u);
+  EXPECT_EQ(Half(-1e-10f).bits(), 0x8000u);
+}
+
+TEST(Half, InfinityAndNan) {
+  EXPECT_TRUE(Half(std::numeric_limits<float>::infinity()).is_inf());
+  EXPECT_TRUE(Half(-std::numeric_limits<float>::infinity()).is_inf());
+  EXPECT_TRUE(Half(std::numeric_limits<float>::quiet_NaN()).is_nan());
+  EXPECT_TRUE(std::isinf(static_cast<float>(Half::infinity())));
+  EXPECT_TRUE(std::isnan(static_cast<float>(Half::quiet_nan())));
+}
+
+TEST(Half, MonotonicOnPositiveRange) {
+  // Encoding preserves order for positive finite floats (spot sweep).
+  std::uint16_t prev = Half(0.0f).bits();
+  for (float f = 0.0f; f < 70000.0f; f += 13.7f) {
+    const std::uint16_t bits = Half(f).bits();
+    EXPECT_GE(bits, prev) << "f=" << f;
+    prev = bits;
+  }
+}
+
+TEST(Half, DecodeMatchesScaledIntegers) {
+  // Every binary16 is mant * 2^e; verify decode against ldexp on a sweep of
+  // normal patterns.
+  for (std::uint32_t exp = 1; exp <= 30; ++exp) {
+    for (std::uint32_t mant : {0u, 1u, 511u, 1023u}) {
+      const auto h =
+          static_cast<std::uint16_t>((exp << 10) | mant);
+      const float expected =
+          std::ldexp(1.0f + static_cast<float>(mant) / 1024.0f,
+                     static_cast<int>(exp) - 15);
+      EXPECT_EQ(Half::decode(h), expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamk::util

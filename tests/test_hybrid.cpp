@@ -1,0 +1,142 @@
+// Unit tests for the hybrid schedules of Section 5.2.
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.hpp"
+#include "core/validate.hpp"
+#include "util/check.hpp"
+
+namespace streamk::core {
+namespace {
+
+// The paper's Figure 3 example: 896x384x128 blocked 128x128 on 4 SMs gives
+// 7x3 = 21 tiles -> 5 full waves + remainder 1.
+WorkMapping fig3_mapping() {
+  return WorkMapping({896, 384, 128}, {128, 128, 4});
+}
+
+TEST(HybridLayout, OneTileFigure3) {
+  const HybridLayout layout = HybridLayout::one_tile(fig3_mapping(), 4);
+  EXPECT_EQ(layout.full_waves, 5);
+  EXPECT_EQ(layout.sk_tiles, 1);
+  EXPECT_EQ(layout.dp_tiles, 20);
+  EXPECT_FALSE(layout.sk_first);  // "DP + one-tile SK"
+}
+
+TEST(HybridLayout, TwoTileFigure3) {
+  const HybridLayout layout = HybridLayout::two_tile(fig3_mapping(), 4);
+  // One fewer full wave; the SK region covers remainder + one wave of tiles.
+  EXPECT_EQ(layout.full_waves, 4);
+  EXPECT_EQ(layout.sk_tiles, 5);
+  EXPECT_EQ(layout.dp_tiles, 16);
+  EXPECT_TRUE(layout.sk_first);  // "two-tile SK + DP"
+}
+
+TEST(HybridLayout, PerfectQuantizationIsPureDataParallel) {
+  const WorkMapping mapping({512, 256, 64}, {128, 128, 16});  // 8 tiles
+  const HybridLayout one = HybridLayout::one_tile(mapping, 4);
+  const HybridLayout two = HybridLayout::two_tile(mapping, 4);
+  EXPECT_EQ(one.sk_tiles, 0);
+  EXPECT_EQ(one.full_waves, 2);
+  EXPECT_EQ(two.sk_tiles, 0);
+  EXPECT_EQ(two.full_waves, 2);
+}
+
+TEST(HybridLayout, FewerTilesThanSmsIsAllStreamK) {
+  const WorkMapping mapping({256, 128, 64}, {128, 128, 16});  // 2 tiles
+  const HybridLayout two = HybridLayout::two_tile(mapping, 4);
+  EXPECT_EQ(two.full_waves, 0);
+  EXPECT_EQ(two.sk_tiles, 2);
+  const HybridLayout one = HybridLayout::one_tile(mapping, 4);
+  EXPECT_EQ(one.full_waves, 0);
+  EXPECT_EQ(one.sk_tiles, 2);
+}
+
+TEST(Hybrid, TwoTileSkShareBounds) {
+  // Every CTA's Stream-K share must be in [1, 2) tiles' worth of iterations
+  // when at least one full wave exists (the schedule's namesake property).
+  const Hybrid hybrid(fig3_mapping(), DecompositionKind::kHybridTwoTile, 4);
+  const std::int64_t ipt = fig3_mapping().iters_per_tile();
+  for (std::int64_t cta = 0; cta < 4; ++cta) {
+    const CtaWork work = hybrid.cta_work(cta);
+    // Segments before the DP tiles belong to the SK region: they are the
+    // ones on tiles < sk_tiles.
+    std::int64_t sk_iters = 0;
+    for (const TileSegment& seg : work.segments) {
+      if (seg.tile_idx < hybrid.layout().sk_tiles) sk_iters += seg.iters();
+    }
+    EXPECT_GE(sk_iters, ipt);
+    EXPECT_LT(sk_iters, 2 * ipt);
+  }
+}
+
+TEST(Hybrid, OneTileSkShareIsUnderOneTile) {
+  const Hybrid hybrid(fig3_mapping(), DecompositionKind::kHybridOneTile, 4);
+  const std::int64_t ipt = fig3_mapping().iters_per_tile();
+  for (std::int64_t cta = 0; cta < 4; ++cta) {
+    std::int64_t sk_iters = 0;
+    for (const TileSegment& seg : hybrid.cta_work(cta).segments) {
+      if (seg.tile_idx >= hybrid.layout().dp_tiles) sk_iters += seg.iters();
+    }
+    EXPECT_LT(sk_iters, ipt);
+  }
+}
+
+TEST(Hybrid, ExecutionOrderMatchesName) {
+  // two-tile: SK segments precede DP tiles; one-tile: DP tiles precede SK.
+  const Hybrid two(fig3_mapping(), DecompositionKind::kHybridTwoTile, 4);
+  const CtaWork two_work = two.cta_work(0);
+  ASSERT_GE(two_work.segments.size(), 2u);
+  EXPECT_LT(two_work.segments.front().tile_idx, two.layout().sk_tiles);
+  EXPECT_GE(two_work.segments.back().tile_idx, two.layout().sk_tiles);
+
+  const Hybrid one(fig3_mapping(), DecompositionKind::kHybridOneTile, 4);
+  const CtaWork one_work = one.cta_work(3);
+  // CTA 3 has 5 DP tiles; whether it has SK work depends on the remainder
+  // split, but its first segment is always a DP tile.
+  EXPECT_LT(one_work.segments.front().tile_idx, one.layout().dp_tiles);
+  EXPECT_TRUE(one_work.segments.front().starts_tile());
+  EXPECT_TRUE(one_work.segments.front().ends_tile());
+}
+
+TEST(Hybrid, DpWavesAssignTilesRoundRobin) {
+  const Hybrid hybrid(fig3_mapping(), DecompositionKind::kHybridTwoTile, 4);
+  const HybridLayout& layout = hybrid.layout();
+  for (std::int64_t cta = 0; cta < 4; ++cta) {
+    std::int64_t wave = 0;
+    for (const TileSegment& seg : hybrid.cta_work(cta).segments) {
+      if (seg.tile_idx < layout.sk_tiles) continue;  // SK region
+      EXPECT_EQ(seg.tile_idx, layout.sk_tiles + wave * 4 + cta);
+      ++wave;
+    }
+    EXPECT_EQ(wave, layout.full_waves);
+  }
+}
+
+TEST(Hybrid, ValidatesAcrossWaveCountSweep) {
+  // Sweep tile counts around multiples of p to hit every layout branch.
+  for (const std::int64_t p : {2LL, 4LL, 7LL}) {
+    for (std::int64_t tiles_m = 1; tiles_m <= 3; ++tiles_m) {
+      for (std::int64_t tiles_n = 1; tiles_n <= 6; ++tiles_n) {
+        const WorkMapping mapping({tiles_m * 32, tiles_n * 32, 96},
+                                  {32, 32, 16});
+        for (const auto kind : {DecompositionKind::kHybridOneTile,
+                                DecompositionKind::kHybridTwoTile}) {
+          const Hybrid hybrid(mapping, kind, p);
+          EXPECT_NO_THROW(validate_decomposition(hybrid))
+              << "p=" << p << " tiles=" << mapping.tiles() << " kind="
+              << kind_name(kind);
+        }
+      }
+    }
+  }
+}
+
+TEST(Hybrid, RejectsNonHybridKind) {
+  EXPECT_THROW(
+      Hybrid(fig3_mapping(), DecompositionKind::kDataParallel, 4),
+      util::CheckError);
+}
+
+}  // namespace
+}  // namespace streamk::core

@@ -1,0 +1,147 @@
+// Breadth coverage for paths not exercised elsewhere: FP64 duo selection,
+// over-split wave modelling, heuristic split capping, half formatting,
+// simulator edge semantics, and planner candidate ordering.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/data_parallel.hpp"
+#include "core/fixed_split.hpp"
+#include "core/stream_k.hpp"
+#include "ensemble/heuristics.hpp"
+#include "ensemble/library.hpp"
+#include "model/grid_selector.hpp"
+#include "model/memory_model.hpp"
+#include "model/wave_model.hpp"
+#include "sim/simulator.hpp"
+#include "util/half.hpp"
+
+namespace streamk {
+namespace {
+
+const gpu::GpuSpec kA100 = gpu::GpuSpec::a100_locked();
+
+TEST(Misc, HalfStreamsAsFloat) {
+  std::ostringstream os;
+  os << util::Half(1.5f);
+  EXPECT_EQ(os.str(), "1.5");
+}
+
+TEST(Misc, DuoFp64UsesQuarterTile) {
+  ensemble::StreamKDuoLibrary duo(kA100, gpu::Precision::kFp64);
+  EXPECT_EQ(duo.large_block(), (gpu::BlockShape{64, 64, 16}));
+  EXPECT_EQ(duo.small_block(), (gpu::BlockShape{32, 64, 16}));
+  // Small ragged problem -> small kernel; huge problem -> large kernel.
+  EXPECT_EQ(duo.run({150, 150, 300}).config.block, duo.small_block());
+  EXPECT_EQ(duo.run({4096, 4096, 4096}).config.block, duo.large_block());
+}
+
+TEST(Misc, HeuristicSplitNeverExceedsIterations) {
+  // k = 256 with BLK_K = 64 gives 4 iterations; the split ladder must stop
+  // at 4 even though the machine would prefer 16-way splits.
+  const ensemble::KernelConfig config = ensemble::heuristic_select(
+      {64, 64, 256}, gpu::Precision::kFp16F32, kA100);
+  const std::int64_t ipt = core::ceil_div(256, config.block.k);
+  EXPECT_LE(config.split, ipt);
+}
+
+TEST(Misc, FixedSplitMakespanHandlesOverSplit) {
+  // s = 16 on 3 iterations: only 3 live splits; the model must count live
+  // CTAs, not 16 dead ones.
+  const gpu::BlockShape block = gpu::BlockShape::paper_fp16();
+  const model::CostModel model =
+      model::CostModel::calibrated(kA100, block, gpu::Precision::kFp16F32);
+  const core::WorkMapping mapping({1024, 1024, 96}, block);  // 3 iters
+  const double t16 = model::fixed_split_makespan(model, mapping, 16, kA100);
+  const double t3 = model::fixed_split_makespan(model, mapping, 3, kA100);
+  EXPECT_NEAR(t16, t3, t3 * 1e-12);
+}
+
+TEST(Misc, SelectGridNeverExceedsIterations) {
+  const gpu::BlockShape block = gpu::BlockShape::paper_fp16();
+  const model::CostModel model =
+      model::CostModel::calibrated(kA100, block, gpu::Precision::kFp16F32);
+  // 2 tiles x 4 iterations: only 8 iterations exist.
+  const core::WorkMapping mapping({256, 128, 128}, block);
+  const model::GridChoice choice = model::select_grid(model, mapping, kA100);
+  EXPECT_LE(choice.grid, mapping.total_iters());
+}
+
+TEST(Misc, PlannerPrefersLessSplittingOnTies) {
+  // A perfectly quantizing problem must plan as pure data-parallel even
+  // though the hybrid candidate would tie.
+  const gpu::BlockShape block = gpu::BlockShape::paper_fp16();
+  const model::CostModel model =
+      model::CostModel::calibrated(kA100, block, gpu::Precision::kFp16F32);
+  const core::WorkMapping mapping({3456, 1024, 2048}, block);  // 216 tiles
+  ASSERT_EQ(mapping.tiles() % 108, 0);
+  EXPECT_EQ(model::plan(model, mapping, kA100).kind,
+            core::DecompositionKind::kDataParallel);
+}
+
+TEST(Misc, SimulatorEmptyCtasOnlyPaySetup) {
+  // Grid of 8 CTAs over 2 iterations: 6 CTAs are empty and must not affect
+  // the makespan beyond their setup cost.
+  const gpu::BlockShape block{128, 128, 4};
+  const core::WorkMapping mapping({128, 128, 8}, block);
+  const core::StreamKBasic sk(mapping, 8);
+  const model::CostModel model(model::CostParams{1e-6, 0.0, 1e-6, 0.0},
+                               block, gpu::Precision::kFp16F32);
+  const sim::SimResult r =
+      sim::simulate(sk, model, gpu::GpuSpec::hypothetical4());
+  // First wave: working CTAs take setup + 1 iteration = 2 us.  The empty
+  // CTAs dispatch as a second wave and pay only their setup, ending at 3 us.
+  EXPECT_NEAR(r.makespan, 3e-6, 1e-12);
+}
+
+TEST(Misc, SimulatorTraceOnOversubscribedGrid) {
+  const gpu::BlockShape block{128, 128, 4};
+  const core::WorkMapping mapping({384, 384, 640}, block);
+  const core::FixedSplit fs(mapping, 5);  // 45 CTAs on 4 slots
+  const model::CostModel model(model::CostParams{0.0, 1e-6, 1e-6, 1e-6},
+                               block, gpu::Precision::kFp16F32);
+  sim::SimOptions options;
+  options.record_trace = true;
+  const sim::SimResult r =
+      sim::simulate(fs, model, gpu::GpuSpec::hypothetical4(), options);
+  // Every SM row used; no event beyond the makespan.
+  bool sm_used[4] = {false, false, false, false};
+  for (const auto& e : r.timeline.events) {
+    sm_used[e.sm] = true;
+    EXPECT_LE(e.end, r.makespan + 1e-15);
+  }
+  EXPECT_TRUE(sm_used[0] && sm_used[1] && sm_used[2] && sm_used[3]);
+}
+
+TEST(Misc, WaveStatsOverOccupancy) {
+  // 18 CTAs on 4 SMs at occupancy 3 = 12 slots: 2 waves, 75% efficiency.
+  const model::WaveStats s = model::wave_stats(18, 4, 3);
+  EXPECT_EQ(s.waves(), 2);
+  EXPECT_NEAR(s.quantization_efficiency, 0.75, 1e-12);
+}
+
+TEST(Misc, OracleReportsWinningMemberName) {
+  ensemble::OracleLibrary oracle(kA100, gpu::Precision::kFp64);
+  const auto m = oracle.run({200, 200, 200});
+  EXPECT_NE(m.kernel_name.find("oracle-dp"), std::string::npos);
+  EXPECT_GT(m.estimate.seconds, 0.0);
+}
+
+TEST(Misc, StreamKLibraryPadsKernelNameWithSchedule) {
+  ensemble::StreamKLibrary sk(kA100, gpu::Precision::kFp64);
+  const auto m = sk.run({8192, 8192, 128});
+  EXPECT_NE(m.kernel_name.find("stream-k["), std::string::npos);
+}
+
+TEST(Misc, DataParallelSpillFreeAnyShape) {
+  for (const auto& shape :
+       {core::GemmShape{129, 130, 131}, core::GemmShape{64, 64, 8192}}) {
+    const core::WorkMapping mapping(shape, gpu::BlockShape::paper_fp64());
+    const core::DataParallel dp(mapping);
+    EXPECT_EQ(model::count_spills(dp), 0);
+  }
+}
+
+}  // namespace
+}  // namespace streamk

@@ -1,0 +1,138 @@
+// Tests for the end-to-end kernel estimator (compute makespan + roofline).
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_gemm.hpp"
+
+namespace streamk::sim {
+namespace {
+
+const gpu::GpuSpec kA100 = gpu::GpuSpec::a100_locked();
+const gpu::BlockShape kBlock = gpu::BlockShape::paper_fp16();
+
+model::CostModel fp16_model() {
+  return model::CostModel::calibrated(kA100, kBlock,
+                                      gpu::Precision::kFp16F32);
+}
+
+core::DecompositionSpec spec_of(core::DecompositionKind kind,
+                                std::int64_t grid = 0,
+                                std::int64_t split = 1) {
+  core::DecompositionSpec spec;
+  spec.kind = kind;
+  spec.grid = grid;
+  spec.split = split;
+  return spec;
+}
+
+TEST(EstimateKernel, DeliveredTimeIsRooflineBound) {
+  const core::WorkMapping mapping({1024, 1024, 1024}, kBlock);
+  const KernelEstimate est =
+      estimate_kernel(spec_of(core::DecompositionKind::kDataParallel),
+                      mapping, fp16_model(), kA100);
+  EXPECT_GE(est.seconds, est.compute_seconds);
+  EXPECT_GE(est.seconds, est.memory_seconds);
+  EXPECT_DOUBLE_EQ(est.seconds,
+                   std::max(est.compute_seconds, est.memory_seconds));
+  EXPECT_GT(est.utilization, 0.0);
+  EXPECT_LE(est.utilization, 1.0 + 1e-9);
+}
+
+TEST(EstimateKernel, MemoryBoundShapeIsBandwidthLimited) {
+  // Tiny k: almost no compute per byte.
+  const core::WorkMapping mapping({4096, 4096, 128}, kBlock);
+  const KernelEstimate est =
+      estimate_kernel(spec_of(core::DecompositionKind::kDataParallel),
+                      mapping, fp16_model(), kA100);
+  EXPECT_GT(est.memory_seconds, est.compute_seconds * 0.5);
+}
+
+TEST(EstimateKernel, StrongScalingStreamKBeatsDataParallel) {
+  // Single tile, deep k: the Figure 9 scenario.  Stream-K parallelizes the
+  // k dimension; data-parallel serializes it in one CTA.
+  const core::WorkMapping mapping({128, 128, 8192}, kBlock);
+  const KernelEstimate dp =
+      estimate_kernel(spec_of(core::DecompositionKind::kDataParallel),
+                      mapping, fp16_model(), kA100);
+  const KernelEstimate sk = estimate_kernel(
+      spec_of(core::DecompositionKind::kStreamKBasic, 32), mapping,
+      fp16_model(), kA100);
+  EXPECT_LT(sk.seconds, dp.seconds);
+  EXPECT_GT(dp.seconds / sk.seconds, 4.0);
+}
+
+TEST(EstimateKernel, QuantizationGapClosedByHybrid) {
+  // 109 tiles on 108 SMs: data-parallel pays a nearly empty second wave.
+  // m = 109*128, n = 128.
+  const core::WorkMapping mapping({13952, 128, 4096}, kBlock);
+  ASSERT_EQ(mapping.tiles(), 109);
+  const KernelEstimate dp =
+      estimate_kernel(spec_of(core::DecompositionKind::kDataParallel),
+                      mapping, fp16_model(), kA100);
+  const KernelEstimate hy = estimate_kernel(
+      spec_of(core::DecompositionKind::kHybridTwoTile), mapping, fp16_model(),
+      kA100);
+  EXPECT_LT(hy.seconds, dp.seconds);
+  EXPECT_GT(dp.seconds / hy.seconds, 1.5);
+}
+
+TEST(EstimateKernel, RoutesSmallGridsToDes) {
+  const core::WorkMapping small({512, 512, 512}, kBlock);  // 16 tiles
+  const KernelEstimate est =
+      estimate_kernel(spec_of(core::DecompositionKind::kStreamKBasic, 108),
+                      small, fp16_model(), kA100);
+  EXPECT_TRUE(est.used_des);
+
+  const core::WorkMapping huge({8192, 8320, 128}, kBlock);  // 4160 tiles
+  const KernelEstimate est2 =
+      estimate_kernel(spec_of(core::DecompositionKind::kDataParallel), huge,
+                      fp16_model(), kA100);
+  EXPECT_FALSE(est2.used_des);
+}
+
+TEST(EstimateKernel, ForcedPathsAgreeOnDataParallel) {
+  const core::WorkMapping mapping({2048, 2048, 1024}, kBlock);
+  EstimateOptions des;
+  des.force_des = true;
+  EstimateOptions closed;
+  closed.force_closed_form = true;
+  const KernelEstimate a =
+      estimate_kernel(spec_of(core::DecompositionKind::kDataParallel),
+                      mapping, fp16_model(), kA100, des);
+  const KernelEstimate b =
+      estimate_kernel(spec_of(core::DecompositionKind::kDataParallel),
+                      mapping, fp16_model(), kA100, closed);
+  EXPECT_NEAR(a.seconds, b.seconds, b.seconds * 1e-9);
+  EXPECT_EQ(a.spills, b.spills);
+}
+
+TEST(EstimateKernel, PaddingWasteLowersUtilization) {
+  // 129x129: four tiles carrying nearly 4x padded work vs useful work.  At
+  // a fixed grid of four CTAs the ragged problem takes ~4x longer for ~the
+  // same useful FLOPs.
+  const core::WorkMapping ragged({129, 129, 4096}, kBlock);
+  const core::WorkMapping exact({128, 128, 4096}, kBlock);
+  const KernelEstimate r =
+      estimate_kernel(spec_of(core::DecompositionKind::kStreamKBasic, 4),
+                      ragged, fp16_model(), kA100);
+  const KernelEstimate e =
+      estimate_kernel(spec_of(core::DecompositionKind::kStreamKBasic, 4),
+                      exact, fp16_model(), kA100);
+  EXPECT_LT(r.utilization, e.utilization * 0.5);
+}
+
+TEST(EstimateKernel, SpillTrafficCountsAgainstMemoryTime) {
+  const core::WorkMapping mapping({128, 128, 8192}, kBlock);
+  const KernelEstimate no_split =
+      estimate_kernel(spec_of(core::DecompositionKind::kDataParallel),
+                      mapping, fp16_model(), kA100);
+  const KernelEstimate heavy_split = estimate_kernel(
+      spec_of(core::DecompositionKind::kStreamKBasic, 108), mapping,
+      fp16_model(), kA100);
+  EXPECT_EQ(no_split.spills, 0);
+  EXPECT_GT(heavy_split.spills, 0);
+  EXPECT_GT(heavy_split.memory_seconds, no_split.memory_seconds);
+}
+
+}  // namespace
+}  // namespace streamk::sim

@@ -1,0 +1,101 @@
+// Cross-validation: the closed-form makespan models (used for very large
+// grids in corpus sweeps) against the discrete-event simulator (ground
+// truth).  Data-parallel and single-wave Stream-K are exact; hybrids and
+// fixed-split are approximations with documented tolerances.
+
+#include <gtest/gtest.h>
+
+#include "core/data_parallel.hpp"
+#include "core/fixed_split.hpp"
+#include "core/hybrid.hpp"
+#include "core/stream_k.hpp"
+#include "model/wave_model.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace streamk::model {
+namespace {
+
+const gpu::GpuSpec kA100 = gpu::GpuSpec::a100_locked();
+
+std::vector<core::GemmShape> random_shapes(std::size_t count,
+                                           std::uint64_t seed,
+                                           std::int64_t min_mn = 128,
+                                           std::int64_t min_k = 128) {
+  util::Pcg32 rng(seed);
+  std::vector<core::GemmShape> shapes;
+  for (std::size_t i = 0; i < count; ++i) {
+    shapes.push_back({rng.log_uniform_int(min_mn, 4096),
+                      rng.log_uniform_int(min_mn, 4096),
+                      rng.log_uniform_int(min_k, 4096)});
+  }
+  return shapes;
+}
+
+TEST(SimVsModel, DataParallelExact) {
+  const gpu::BlockShape block = gpu::BlockShape::paper_fp16();
+  const CostModel model =
+      CostModel::calibrated(kA100, block, gpu::Precision::kFp16F32);
+  for (const auto& shape : random_shapes(40, 101)) {
+    const core::WorkMapping mapping(shape, block);
+    const core::DataParallel dp(mapping);
+    const sim::SimResult result = sim::simulate(dp, model, kA100);
+    const double closed = data_parallel_makespan(model, mapping, kA100);
+    EXPECT_NEAR(result.makespan, closed, closed * 1e-9)
+        << shape.to_string();
+  }
+}
+
+TEST(SimVsModel, StreamKSingleWaveCloseToAppendixFormula) {
+  const gpu::BlockShape block = gpu::BlockShape::paper_fp16();
+  const CostModel model =
+      CostModel::calibrated(kA100, block, gpu::Precision::kFp16F32);
+  // Restrict to shapes with at least a few MAC iterations per CTA: the
+  // Appendix formula models FixupPeers via ceil(ipt/ipc), which loses
+  // accuracy once shares shrink below one iteration per tile visit (the
+  // simulator remains ground truth there).
+  for (const auto& shape : random_shapes(40, 202, 512, 1024)) {
+    const core::WorkMapping mapping(shape, block);
+    for (const std::int64_t g : {8LL, 32LL, 108LL}) {
+      const core::StreamKBasic sk(mapping, g);
+      const sim::SimResult result = sim::simulate(sk, model, kA100);
+      const double closed = stream_k_makespan(model, mapping, g, kA100);
+      EXPECT_NEAR(result.makespan, closed, closed * 0.15)
+          << shape.to_string() << " g=" << g;
+    }
+  }
+}
+
+TEST(SimVsModel, HybridTwoTileWithinTolerance) {
+  const gpu::BlockShape block = gpu::BlockShape::paper_fp16();
+  const CostModel model =
+      CostModel::calibrated(kA100, block, gpu::Precision::kFp16F32);
+  for (const auto& shape : random_shapes(40, 303, 512, 1024)) {
+    const core::WorkMapping mapping(shape, block);
+    const core::Hybrid hybrid(mapping,
+                              core::DecompositionKind::kHybridTwoTile, 108);
+    const sim::SimResult result = sim::simulate(hybrid, model, kA100);
+    const double closed = hybrid_makespan(
+        model, mapping, core::DecompositionKind::kHybridTwoTile, kA100);
+    EXPECT_NEAR(result.makespan, closed, closed * 0.15) << shape.to_string();
+  }
+}
+
+TEST(SimVsModel, FixedSplitWithinTolerance) {
+  const gpu::BlockShape block = gpu::BlockShape::paper_fp64();
+  const CostModel model =
+      CostModel::calibrated(kA100, block, gpu::Precision::kFp64);
+  for (const auto& shape : random_shapes(25, 404, 512, 512)) {
+    const core::WorkMapping mapping(shape, block);
+    for (const std::int64_t s : {2LL, 4LL}) {
+      const core::FixedSplit fs(mapping, s);
+      const sim::SimResult result = sim::simulate(fs, model, kA100);
+      const double closed = fixed_split_makespan(model, mapping, s, kA100);
+      EXPECT_NEAR(result.makespan, closed, closed * 0.30)
+          << shape.to_string() << " s=" << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamk::model

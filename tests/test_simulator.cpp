@@ -1,0 +1,163 @@
+// Tests for the discrete-event GPU simulator: the paper's Figure 1/2
+// utilization ceilings, conservation properties, fixup waiting, and the
+// Gantt renderer.
+
+#include <gtest/gtest.h>
+
+#include "core/data_parallel.hpp"
+#include "core/fixed_split.hpp"
+#include "core/hybrid.hpp"
+#include "core/stream_k.hpp"
+#include "sim/schedule_render.hpp"
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+
+namespace streamk::sim {
+namespace {
+
+const gpu::GpuSpec kTiny = gpu::GpuSpec::hypothetical4();
+const gpu::BlockShape kFigBlock{128, 128, 4};
+
+model::CostModel fig_model() {
+  // Pure compute model for the schedule illustrations: zero fixed costs so
+  // efficiencies match the paper's idealized figures exactly.
+  return model::CostModel(model::CostParams{0.0, 0.0, 1e-6, 0.0}, kFigBlock,
+                          gpu::Precision::kFp16F32);
+}
+
+core::WorkMapping fig1_mapping() {
+  return core::WorkMapping({384, 384, 128}, kFigBlock);
+}
+
+TEST(Simulator, Figure1aDataParallel75Percent) {
+  const core::DataParallel dp(fig1_mapping());
+  const SimResult result = simulate(dp, fig_model(), kTiny);
+  // Nine equal tiles on four SMs: 3 waves; efficiency 9/12 = 75%.
+  EXPECT_NEAR(result.occupancy_efficiency, 0.75, 1e-9);
+  EXPECT_NEAR(result.makespan, 3.0 * 32e-6, 1e-12);
+  EXPECT_EQ(result.spills, 0);
+  EXPECT_DOUBLE_EQ(result.wait_time, 0.0);
+}
+
+TEST(Simulator, Figure2aFixedSplit90Percent) {
+  const core::FixedSplit fs(fig1_mapping(), 2);
+  const SimResult result = simulate(fs, fig_model(), kTiny);
+  // 18 half-tiles on 4 SMs: 5 waves of 16 iterations -> 90% quantization.
+  EXPECT_EQ(result.grid, 18);
+  EXPECT_NEAR(result.makespan, 5.0 * 16e-6, 1e-12);
+  EXPECT_NEAR(result.occupancy_efficiency, 0.90, 1e-9);
+  EXPECT_EQ(result.spills, 9);  // one contributor per tile
+}
+
+TEST(Simulator, Figure2bStreamK100Percent) {
+  const core::StreamKBasic sk(fig1_mapping(), 4);
+  const SimResult result = simulate(sk, fig_model(), kTiny);
+  // 288 iterations over 4 CTAs: 72 each, single wave, no idle SMs.
+  EXPECT_NEAR(result.makespan, 72e-6, 1e-9);
+  EXPECT_GE(result.occupancy_efficiency, 0.999);
+}
+
+TEST(Simulator, BusyTimeConservation) {
+  // With zero overhead costs, total busy time == total iterations * c for
+  // every decomposition.
+  const core::WorkMapping mapping = fig1_mapping();
+  const double expected = static_cast<double>(mapping.total_iters()) * 1e-6;
+  for (const auto& named : testing::all_decompositions(mapping)) {
+    SCOPED_TRACE(named.label);
+    const SimResult result = simulate(*named.decomposition, fig_model(), kTiny);
+    EXPECT_NEAR(result.busy_time, expected, expected * 1e-9);
+  }
+}
+
+TEST(Simulator, FixupCostsAppearInMakespan) {
+  // One tile, deep k, grid 4: makespan = a + c*ipt/4 + b + 3d (the owner
+  // reduces three peers after they signal; peers finish simultaneously).
+  const model::CostParams p{1e-6, 2e-6, 1e-6, 3e-6};
+  const model::CostModel model(p, kFigBlock, gpu::Precision::kFp16F32);
+  const core::WorkMapping mapping({128, 128, 512}, kFigBlock);  // 128 iters
+  const core::StreamKBasic sk(mapping, 4);
+  const SimResult result = simulate(sk, model, kTiny);
+  // CTA 0 owns the tile: setup + 32 iters, then waits for peers (each
+  // finishes setup + 32c + b), then reduces 3 peers.
+  const double peer_signal = p.a + 32 * p.c + p.b;
+  const double expected = peer_signal + 3 * p.d;
+  EXPECT_NEAR(result.makespan, expected, 1e-12);
+  EXPECT_GT(result.wait_time, 0.0);
+  EXPECT_EQ(result.spills, 3);
+}
+
+TEST(Simulator, OversubscribedGridRunsInWaves) {
+  // More CTAs than slots: fixed-split s=5 on 9 tiles = 45 CTAs over 4 slots.
+  const core::WorkMapping mapping({384, 384, 640}, kFigBlock);
+  const core::FixedSplit fs(mapping, 5);
+  const SimResult result = simulate(fs, fig_model(), kTiny);
+  EXPECT_EQ(result.grid, 45);
+  EXPECT_GT(result.makespan, 0.0);
+  // All iterations accounted for.
+  EXPECT_NEAR(result.busy_time,
+              static_cast<double>(mapping.total_iters()) * 1e-6, 1e-12);
+}
+
+TEST(Simulator, DeadlockFreeAcrossVariantSweep) {
+  // Every decomposition variant on every interesting shape completes.
+  for (const auto& shape : testing::interesting_shapes()) {
+    const core::WorkMapping mapping(shape, {32, 32, 16});
+    for (const auto& named : testing::all_decompositions(mapping)) {
+      SCOPED_TRACE(shape.to_string() + " " + named.label);
+      const SimResult result =
+          simulate(*named.decomposition, fig_model(), kTiny);
+      EXPECT_GT(result.makespan, 0.0);
+    }
+  }
+}
+
+TEST(Simulator, OccupancyOverrideWidensSlots) {
+  const core::DataParallel dp(fig1_mapping());
+  SimOptions options;
+  options.occupancy_override = 3;
+  const SimResult result = simulate(dp, fig_model(), kTiny, options);
+  EXPECT_EQ(result.slots, 12);
+  // 9 CTAs in 12 slots: one wave, but 3-way pipe sharing stretches time.
+  EXPECT_NEAR(result.makespan, 32e-6 * 3.0, 1e-12);
+}
+
+TEST(Simulator, TraceEventsAreConsistent) {
+  const core::StreamKBasic sk(fig1_mapping(), 4);
+  SimOptions options;
+  options.record_trace = true;
+  const SimResult result = simulate(sk, fig_model(), kTiny, options);
+  ASSERT_FALSE(result.timeline.events.empty());
+  for (const PhaseEvent& e : result.timeline.events) {
+    EXPECT_GE(e.begin, 0.0);
+    EXPECT_LE(e.end, result.makespan + 1e-15);
+    EXPECT_LT(e.begin, e.end);
+    EXPECT_GE(e.sm, 0);
+    EXPECT_LT(e.sm, 4);
+  }
+  EXPECT_NEAR(result.timeline.busy_time(), result.busy_time, 1e-15);
+  EXPECT_NEAR(result.timeline.wait_time(), result.wait_time, 1e-15);
+}
+
+TEST(ScheduleRender, ProducesRowsAndEfficiency) {
+  const core::DataParallel dp(fig1_mapping());
+  SimOptions options;
+  options.record_trace = true;
+  const SimResult result = simulate(dp, fig_model(), kTiny, options);
+  const std::string art = render_schedule(result.timeline);
+  EXPECT_NE(art.find("SM0 |"), std::string::npos);
+  EXPECT_NE(art.find("SM3 |"), std::string::npos);
+  EXPECT_NE(art.find("occupancy efficiency: 75"), std::string::npos);
+  EXPECT_NE(art.find("legend:"), std::string::npos);
+  // The idle tail of the partial wave must be visible.
+  EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+TEST(ScheduleRender, GlyphCycle) {
+  EXPECT_EQ(cta_glyph(0), '0');
+  EXPECT_EQ(cta_glyph(10), 'A');
+  EXPECT_EQ(cta_glyph(36), 'a');
+  EXPECT_EQ(cta_glyph(62), '0');  // wraps
+}
+
+}  // namespace
+}  // namespace streamk::sim

@@ -1,0 +1,76 @@
+// Tests for the chrome-trace exporter.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/stream_k.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace_json.hpp"
+
+namespace streamk::sim {
+namespace {
+
+Timeline sample_timeline() {
+  const core::WorkMapping mapping({384, 384, 128}, {128, 128, 4});
+  const core::StreamKBasic sk(mapping, 4);
+  const model::CostModel model(model::CostParams{1e-6, 1e-6, 1e-6, 1e-6},
+                               gpu::BlockShape{128, 128, 4},
+                               gpu::Precision::kFp16F32);
+  SimOptions options;
+  options.record_trace = true;
+  return simulate(sk, model, gpu::GpuSpec::hypothetical4(), options)
+      .timeline;
+}
+
+TEST(TraceJson, ContainsOneEventPerPhasePlusMetadata) {
+  const Timeline timeline = sample_timeline();
+  const std::string json = to_chrome_trace(timeline);
+  ASSERT_FALSE(timeline.events.empty());
+
+  std::size_t complete_events = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos; ++pos) {
+    ++complete_events;
+  }
+  EXPECT_EQ(complete_events, timeline.events.size());
+
+  std::size_t metadata = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\":\"M\"", pos)) != std::string::npos; ++pos) {
+    ++metadata;
+  }
+  EXPECT_EQ(metadata, static_cast<std::size_t>(timeline.sm_count));
+
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"name\":\"mac tile "), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"spill tile "), std::string::npos);
+}
+
+TEST(TraceJson, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/streamk_trace.json";
+  write_chrome_trace(path, sample_timeline());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_FALSE(contents.empty());
+  EXPECT_EQ(contents.front(), '[');
+  std::remove(path.c_str());
+}
+
+TEST(TraceJson, TimesInMicroseconds) {
+  Timeline timeline;
+  timeline.sm_count = 1;
+  timeline.makespan = 2e-6;
+  timeline.events.push_back(
+      PhaseEvent{0, 0, 5, PhaseKind::kMac, 1e-6, 2e-6});
+  const std::string json = to_chrome_trace(timeline);
+  EXPECT_NE(json.find("\"ts\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamk::sim

@@ -1,0 +1,212 @@
+// Unit tests for RNG, statistics, CSV, checks and threading helpers.
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/threading.hpp"
+
+namespace streamk::util {
+namespace {
+
+// ---------------------------------------------------------------- RNG
+
+TEST(Pcg32, DeterministicUnderSeed) {
+  Pcg32 a(42, 7);
+  Pcg32 b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DistinctSequencesDiffer) {
+  Pcg32 a(42, 1);
+  Pcg32 b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 rng(1);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Pcg32, UniformBelowCoversRangeUnbiased) {
+  Pcg32 rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.uniform_below(10)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Pcg32, UniformIntInclusiveBounds) {
+  Pcg32 rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Pcg32, LogUniformIntBoundsAndLogCentering) {
+  Pcg32 rng(11);
+  double log_sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t v = rng.log_uniform_int(128, 8192);
+    ASSERT_GE(v, 128);
+    ASSERT_LE(v, 8192);
+    log_sum += std::log(static_cast<double>(v));
+  }
+  // E[log v] for log-uniform over [128, 8193) is the midpoint of the logs.
+  const double expected = (std::log(128.0) + std::log(8193.0)) / 2.0;
+  EXPECT_NEAR(log_sum / n, expected, 0.02);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Summary, KnownSample) {
+  const std::vector<double> data{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = Summary::of(data);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);  // sample stddev
+  EXPECT_NEAR(s.geomean, std::pow(120.0, 0.2), 1e-12);
+}
+
+TEST(Summary, SingleElement) {
+  const std::vector<double> data{7.5};
+  const Summary s = Summary::of(data);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p10, 7.5);
+  EXPECT_DOUBLE_EQ(s.p90, 7.5);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 90.0), 9.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 100.0), 10.0);
+}
+
+TEST(Percentile, RejectsEmptyAndOutOfRange) {
+  const std::vector<double> empty;
+  EXPECT_THROW(percentile_sorted(empty, 50.0), CheckError);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(percentile_sorted(one, -1.0), CheckError);
+  EXPECT_THROW(percentile_sorted(one, 101.0), CheckError);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  const std::vector<double> data{-5.0, 0.1, 0.5, 0.9, 99.0};
+  const Histogram h = Histogram::of(data, 0.0, 1.0, 2);
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 2u);  // -5 clamped in, 0.1
+  EXPECT_EQ(h.counts[1], 3u);  // 0.5, 0.9, 99 clamped in
+  EXPECT_FALSE(h.render().empty());
+}
+
+// ---------------------------------------------------------------- csv
+
+TEST(Csv, EscapeRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/streamk_csv_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.row({CsvWriter::cell(1.5), "a,b"});
+    csv.row({CsvWriter::cell(std::int64_t{-7}), "ok"});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,\"a,b\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "-7,ok");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  const std::string path = ::testing::TempDir() + "/streamk_csv_arity.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), CheckError);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- check
+
+TEST(Check, ThrowsWithLocation) {
+  try {
+    check(false, "boom");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------- threading
+
+TEST(Threading, ParallelForCoversAllIndicesOnce) {
+  for (const std::size_t workers : {1u, 2u, 4u, 7u}) {
+    std::vector<std::atomic<int>> hits(101);
+    parallel_for(101, [&](std::size_t i) { ++hits[i]; }, workers);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Threading, DescendingSingleWorkerOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_descending(5, [&](std::size_t i) { order.push_back(i); }, 1);
+  const std::vector<std::size_t> expected{4, 3, 2, 1, 0};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Threading, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(16,
+                   [&](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("worker failure");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(Threading, ZeroCountIsNoop) {
+  bool ran = false;
+  parallel_for(0, [&](std::size_t) { ran = true; }, 4);
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace streamk::util

@@ -1,0 +1,177 @@
+// Property suite: every decomposition variant covers every (tile, iteration)
+// exactly once, for a sweep of shapes x blocking factors -- the invariant
+// that makes the fixup reduction mathematically complete (Section 4).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/peers.hpp"
+#include "core/validate.hpp"
+#include "test_support.hpp"
+
+namespace streamk::core {
+namespace {
+
+using testing::all_decompositions;
+using testing::interesting_blocks;
+using testing::interesting_shapes;
+
+struct Case {
+  GemmShape shape;
+  gpu::BlockShape block;
+};
+
+class CoverageProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CoverageProperty, ExactlyOnceForEveryVariant) {
+  const auto& [shape, block] = GetParam();
+  const WorkMapping mapping(shape, block);
+  for (const auto& named : all_decompositions(mapping)) {
+    SCOPED_TRACE(named.label);
+    const CoverageReport report =
+        validate_decomposition(*named.decomposition);
+    EXPECT_EQ(report.covered_iters, mapping.total_iters());
+    EXPECT_GE(report.nonempty_ctas, 1);
+  }
+}
+
+TEST_P(CoverageProperty, StreamKBalanceWithinOne) {
+  const auto& [shape, block] = GetParam();
+  const WorkMapping mapping(shape, block);
+  for (const std::int64_t g : {1LL, 3LL, 4LL, 7LL, 16LL}) {
+    const StreamKBasic sk(mapping, g);
+    const CoverageReport report = validate_decomposition(sk);
+    if (report.nonempty_ctas == g) {
+      EXPECT_LE(report.max_cta_iters - report.min_cta_iters, 1)
+          << "g=" << g << " shape=" << shape.to_string();
+    }
+  }
+}
+
+TEST_P(CoverageProperty, FixupTableConsistent) {
+  const auto& [shape, block] = GetParam();
+  const WorkMapping mapping(shape, block);
+  for (const auto& named : all_decompositions(mapping)) {
+    SCOPED_TRACE(named.label);
+    const FixupTable fixups(*named.decomposition);
+    EXPECT_EQ(fixups.tiles(), mapping.tiles());
+    // Owners are distinct from contributors and in range.
+    for (std::int64_t t = 0; t < fixups.tiles(); ++t) {
+      const TileFixup& fx = fixups.tile(t);
+      EXPECT_GE(fx.owner, 0);
+      EXPECT_LT(fx.owner, named.decomposition->grid_size());
+      for (const std::int64_t c : fx.contributors) {
+        EXPECT_NE(c, fx.owner);
+        // The fixup-wait direction that the executor's descending claim
+        // order relies on: contributors always have higher ids.
+        EXPECT_GT(c, fx.owner) << named.label << " tile " << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesTimesBlocks, CoverageProperty,
+    ::testing::ValuesIn([] {
+      std::vector<Case> cases;
+      for (const auto& shape : interesting_shapes()) {
+        for (const auto& block : interesting_blocks()) {
+          cases.push_back({shape, block});
+        }
+      }
+      return cases;
+    }()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      const auto& c = info.param;
+      return "m" + std::to_string(c.shape.m) + "n" +
+             std::to_string(c.shape.n) + "k" + std::to_string(c.shape.k) +
+             "_b" + std::to_string(c.block.m) + "x" +
+             std::to_string(c.block.n) + "x" + std::to_string(c.block.k);
+    });
+
+// Negative coverage: hand-built broken schedules must be rejected.
+
+class BrokenDecomposition final : public Decomposition {
+ public:
+  enum class Flaw { kGap, kOverlap, kDoubleSpill };
+
+  BrokenDecomposition(WorkMapping mapping, Flaw flaw)
+      : Decomposition(mapping), flaw_(flaw) {}
+
+  DecompositionKind kind() const override {
+    return DecompositionKind::kStreamKBasic;
+  }
+  std::string name() const override { return "broken"; }
+  std::int64_t grid_size() const override { return 2; }
+
+  CtaWork cta_work(std::int64_t cta) const override {
+    const std::int64_t ipt = mapping_.iters_per_tile();
+    CtaWork work;
+    switch (flaw_) {
+      case Flaw::kGap:
+        // CTA 0 covers [0, ipt-1) of tile 0 and nobody covers the last iter.
+        if (cta == 0 && ipt > 1) {
+          work.segments.push_back({0, 0, ipt - 1, false});
+        } else if (cta == 0) {
+          work.segments.push_back({0, 0, ipt, true});
+        }
+        if (cta == 1) {
+          for (std::int64_t t = 1; t < mapping_.tiles(); ++t) {
+            work.segments.push_back({t, 0, ipt, true});
+          }
+        }
+        break;
+      case Flaw::kOverlap:
+        // Both CTAs produce tile 0 in full.
+        work.segments.push_back({0, 0, ipt, true});
+        if (cta == 1) {
+          for (std::int64_t t = 1; t < mapping_.tiles(); ++t) {
+            work.segments.push_back({t, 0, ipt, true});
+          }
+        }
+        break;
+      case Flaw::kDoubleSpill:
+        // CTA 1 holds two non-starting segments (needs two partials slots).
+        if (cta == 0) {
+          work.segments.push_back({0, 0, 1, ipt == 1});
+          if (mapping_.tiles() > 1) {
+            work.segments.push_back({1, 0, 1, ipt == 1});
+          }
+        } else if (ipt > 1) {
+          work.segments.push_back({0, 1, ipt, true});
+          if (mapping_.tiles() > 1) {
+            work.segments.push_back({1, 1, ipt, true});
+          }
+        }
+        break;
+    }
+    return work;
+  }
+
+ private:
+  Flaw flaw_;
+};
+
+TEST(ValidateNegative, DetectsGap) {
+  const WorkMapping mapping({64, 64, 64}, {32, 32, 16});
+  const BrokenDecomposition broken(mapping, BrokenDecomposition::Flaw::kGap);
+  EXPECT_THROW(validate_decomposition(broken), util::CheckError);
+}
+
+TEST(ValidateNegative, DetectsOverlap) {
+  const WorkMapping mapping({64, 64, 64}, {32, 32, 16});
+  const BrokenDecomposition broken(mapping,
+                                   BrokenDecomposition::Flaw::kOverlap);
+  EXPECT_THROW(validate_decomposition(broken), util::CheckError);
+}
+
+TEST(ValidateNegative, DetectsDoubleSpill) {
+  const WorkMapping mapping({64, 64, 64}, {32, 32, 16});
+  const BrokenDecomposition broken(mapping,
+                                   BrokenDecomposition::Flaw::kDoubleSpill);
+  EXPECT_THROW(validate_decomposition(broken), util::CheckError);
+}
+
+}  // namespace
+}  // namespace streamk::core

@@ -1,0 +1,152 @@
+// Tests for the closed-form wave model (quantization efficiency), the memory
+// traffic model, and spill counting.
+
+#include <gtest/gtest.h>
+
+#include "core/data_parallel.hpp"
+#include "core/fixed_split.hpp"
+#include "core/hybrid.hpp"
+#include "core/stream_k.hpp"
+#include "model/memory_model.hpp"
+#include "model/wave_model.hpp"
+#include "test_support.hpp"
+
+namespace streamk::model {
+namespace {
+
+const gpu::GpuSpec kTiny = gpu::GpuSpec::hypothetical4();
+const gpu::GpuSpec kA100 = gpu::GpuSpec::a100_locked();
+
+TEST(WaveStats, PaperFigure1And2Ceilings) {
+  // Figure 1a: nine 128x128 tiles on four SMs -> 75% ceiling.
+  EXPECT_NEAR(wave_stats(9, 4, 1).quantization_efficiency, 0.75, 1e-12);
+  // Figure 1b: eighteen 128x64 tiles -> 90%.
+  EXPECT_NEAR(wave_stats(18, 4, 1).quantization_efficiency, 0.90, 1e-12);
+  // Figure 2b: four Stream-K CTAs -> 100%.
+  EXPECT_NEAR(wave_stats(4, 4, 1).quantization_efficiency, 1.0, 1e-12);
+}
+
+TEST(WaveStats, WaveCounts) {
+  const WaveStats s = wave_stats(9, 4, 1);
+  EXPECT_EQ(s.full_waves, 2);
+  EXPECT_EQ(s.tail_ctas, 1);
+  EXPECT_EQ(s.waves(), 3);
+  EXPECT_EQ(wave_stats(8, 4, 1).waves(), 2);
+  EXPECT_EQ(wave_stats(8, 4, 2).waves(), 1);  // occupancy widens slots
+}
+
+TEST(WaveModel, DataParallelMakespanFormula) {
+  const gpu::BlockShape block{128, 128, 4};
+  const CostModel model =
+      CostModel::calibrated(kTiny, block, gpu::Precision::kFp16F32);
+  const core::WorkMapping mapping({384, 384, 128}, block);
+  const CostParams& p = model.params();
+  // occupancy(128x128 fp32 accum) == 1: three waves of (a + 32c).
+  EXPECT_NEAR(data_parallel_makespan(model, mapping, kTiny),
+              3.0 * (p.a + 32.0 * p.c), 1e-15);
+}
+
+TEST(WaveModel, StreamKSingleWaveEqualsCtaTime) {
+  const gpu::BlockShape block{128, 128, 4};
+  const CostModel model =
+      CostModel::calibrated(kTiny, block, gpu::Precision::kFp16F32);
+  const core::WorkMapping mapping({384, 384, 128}, block);
+  EXPECT_DOUBLE_EQ(stream_k_makespan(model, mapping, 4, kTiny),
+                   model.stream_k_cta_time(mapping, 4));
+}
+
+TEST(WaveModel, FixedSplitReducesToDataParallelAtOne) {
+  const gpu::BlockShape block{64, 64, 16};
+  const CostModel model =
+      CostModel::calibrated(kA100, block, gpu::Precision::kFp64);
+  const core::WorkMapping mapping({1024, 768, 512}, block);
+  EXPECT_DOUBLE_EQ(fixed_split_makespan(model, mapping, 1, kA100),
+                   data_parallel_makespan(model, mapping, kA100));
+}
+
+// ----------------------------------------------------------- spill counts
+
+TEST(Spills, ClosedFormsMatchExactCounts) {
+  for (const auto& shape : testing::interesting_shapes()) {
+    const core::WorkMapping mapping(shape, {32, 32, 16});
+    for (const std::int64_t s : {1LL, 2LL, 3LL, 5LL}) {
+      const core::FixedSplit fs(mapping, s);
+      EXPECT_EQ(fixed_split_spills(mapping, s), count_spills(fs))
+          << shape.to_string() << " s=" << s;
+    }
+    for (const std::int64_t g : {1LL, 2LL, 4LL, 7LL, 16LL}) {
+      const core::StreamKBasic sk(mapping, g);
+      EXPECT_EQ(stream_k_spills(mapping, g), count_spills(sk))
+          << shape.to_string() << " g=" << g;
+    }
+    const core::DataParallel dp(mapping);
+    EXPECT_EQ(count_spills(dp), 0);
+  }
+}
+
+TEST(Spills, StreamKSpillsBoundedByGrid) {
+  // Stream-K's communication scales with the grid, not the problem
+  // (Section 4): at most g - 1 spills.
+  for (const auto& shape : testing::interesting_shapes()) {
+    const core::WorkMapping mapping(shape, {32, 32, 16});
+    for (const std::int64_t g : {2LL, 4LL, 16LL, 108LL}) {
+      EXPECT_LE(stream_k_spills(mapping, g), g - 1);
+    }
+  }
+}
+
+// ----------------------------------------------------------- traffic
+
+TEST(Traffic, ExactShapeCompulsoryBytes) {
+  // A shape dividing its blocks exactly: padded panels == compulsory bytes.
+  const core::WorkMapping mapping({256, 128, 64}, {64, 64, 16});
+  const Traffic t = estimate_traffic(mapping, gpu::Precision::kFp64, 0);
+  EXPECT_DOUBLE_EQ(t.input_bytes, (256.0 * 64 + 64.0 * 128) * 8);
+  EXPECT_DOUBLE_EQ(t.output_bytes, 256.0 * 128 * 8);
+  EXPECT_DOUBLE_EQ(t.partials_bytes, 0.0);
+}
+
+TEST(Traffic, PaddedShapeCostsMore) {
+  const core::WorkMapping exact({256, 128, 64}, {64, 64, 16});
+  const core::WorkMapping ragged({257, 129, 65}, {64, 64, 16});
+  const Traffic a = estimate_traffic(exact, gpu::Precision::kFp64, 0);
+  const Traffic b = estimate_traffic(ragged, gpu::Precision::kFp64, 0);
+  EXPECT_GT(b.input_bytes, a.input_bytes);
+  EXPECT_GT(b.output_bytes, a.output_bytes);
+}
+
+TEST(Traffic, PartialsWrittenAndReadOnce) {
+  const core::WorkMapping mapping({128, 128, 8192}, {128, 128, 32});
+  const Traffic t = estimate_traffic(mapping, gpu::Precision::kFp16F32, 7);
+  // 7 spills * 128*128 accumulators * 4 bytes * (write + read).
+  EXPECT_DOUBLE_EQ(t.partials_bytes, 7.0 * 128 * 128 * 4 * 2);
+}
+
+TEST(Roofline, CombineAndUtilization) {
+  EXPECT_DOUBLE_EQ(combine_roofline(2.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(combine_roofline(1.0, 2.0), 2.0);
+  // 13.9 TFLOP/s peak: 13.9e12 useful FLOPs in 1 s is 100%.
+  EXPECT_NEAR(utilization(13.9e12, 1.0, kA100, gpu::Precision::kFp64), 1.0,
+              1e-12);
+  EXPECT_NEAR(utilization(13.9e12, 2.0, kA100, gpu::Precision::kFp64), 0.5,
+              1e-12);
+}
+
+TEST(WaveModel, HybridMakespanDegeneratesWithoutRemainder) {
+  // Perfect quantization: the hybrid is pure DP waves inside one persistent
+  // grid (fixed cost `a` paid once, no fixup terms).
+  const gpu::BlockShape block{128, 128, 32};
+  const CostModel model =
+      CostModel::calibrated(kA100, block, gpu::Precision::kFp16F32);
+  const core::WorkMapping mapping({3456, 1024, 512}, block);  // 216 tiles
+  ASSERT_EQ(mapping.tiles() % 108, 0);
+  const CostParams& p = model.params();
+  const double expected =
+      p.a + 2.0 * static_cast<double>(mapping.iters_per_tile()) * p.c;
+  EXPECT_NEAR(hybrid_makespan(model, mapping,
+                              core::DecompositionKind::kHybridTwoTile, kA100),
+              expected, expected * 1e-12);
+}
+
+}  // namespace
+}  // namespace streamk::model

@@ -1,0 +1,113 @@
+// Unit tests for GEMM shapes, GPU specs, and the work mapping.
+
+#include <gtest/gtest.h>
+
+#include "core/work_mapping.hpp"
+#include "gpu/gpu_spec.hpp"
+#include "util/check.hpp"
+
+namespace streamk::core {
+namespace {
+
+TEST(GemmShape, FlopsAndIntensity) {
+  const GemmShape s{384, 384, 128};
+  EXPECT_EQ(s.macs(), 384ll * 384 * 128);
+  EXPECT_DOUBLE_EQ(s.flops(), 2.0 * 384 * 384 * 128);
+
+  // FP64: (mk + kn) * 8 + mn * 8 bytes.
+  const double bytes =
+      (384.0 * 128 + 128.0 * 384) * 8 + 384.0 * 384 * 8;
+  EXPECT_DOUBLE_EQ(s.min_bytes(gpu::Precision::kFp64), bytes);
+  EXPECT_DOUBLE_EQ(s.arithmetic_intensity(gpu::Precision::kFp64),
+                   s.flops() / bytes);
+
+  // FP16->32 inputs are half width, so intensity is higher.
+  EXPECT_GT(s.arithmetic_intensity(gpu::Precision::kFp16F32),
+            s.arithmetic_intensity(gpu::Precision::kFp64));
+}
+
+TEST(GpuSpec, A100LockedNumbers) {
+  const gpu::GpuSpec a100 = gpu::GpuSpec::a100_locked();
+  EXPECT_EQ(a100.sm_count, 108);
+  EXPECT_DOUBLE_EQ(a100.peak_fp64_tflops, 13.9);
+  EXPECT_DOUBLE_EQ(a100.peak_fp16f32_tflops, 222.3);
+  EXPECT_NEAR(a100.per_sm_flops(gpu::Precision::kFp16F32),
+              222.3e12 / 108.0, 1.0);
+}
+
+TEST(GpuSpec, Hypothetical4KeepsPerSmRates) {
+  const gpu::GpuSpec a100 = gpu::GpuSpec::a100_locked();
+  const gpu::GpuSpec tiny = gpu::GpuSpec::hypothetical4();
+  EXPECT_EQ(tiny.sm_count, 4);
+  EXPECT_NEAR(tiny.per_sm_flops(gpu::Precision::kFp64),
+              a100.per_sm_flops(gpu::Precision::kFp64), 1.0);
+}
+
+TEST(PrecisionTraits, Widths) {
+  using gpu::Precision;
+  EXPECT_EQ(gpu::input_bytes(Precision::kFp64), 8u);
+  EXPECT_EQ(gpu::input_bytes(Precision::kFp16F32), 2u);
+  EXPECT_EQ(gpu::output_bytes(Precision::kFp16F32), 4u);
+  EXPECT_EQ(gpu::accumulator_bytes(Precision::kFp16F32), 4u);
+  EXPECT_EQ(gpu::name(Precision::kFp64), "fp64");
+}
+
+TEST(WorkMapping, PaperFigure1Quantities) {
+  // 384x384x128 blocked 128x128x4: nine tiles, 32 iterations each
+  // (Figure 2b: "72 MAC-loop iterations" per CTA at g=4 -> 288 total).
+  const WorkMapping m({384, 384, 128}, {128, 128, 4});
+  EXPECT_EQ(m.tiles_m(), 3);
+  EXPECT_EQ(m.tiles_n(), 3);
+  EXPECT_EQ(m.tiles(), 9);
+  EXPECT_EQ(m.iters_per_tile(), 32);
+  EXPECT_EQ(m.total_iters(), 288);
+}
+
+TEST(WorkMapping, TileCoordRoundTrip) {
+  const WorkMapping m({300, 500, 64}, {64, 64, 16});
+  for (std::int64_t t = 0; t < m.tiles(); ++t) {
+    const TileCoord c = m.tile_coord(t);
+    EXPECT_EQ(m.tile_index(c), t);
+    EXPECT_LT(c.tm, m.tiles_m());
+    EXPECT_LT(c.tn, m.tiles_n());
+  }
+  EXPECT_THROW(m.tile_coord(m.tiles()), util::CheckError);
+  EXPECT_THROW(m.tile_coord(-1), util::CheckError);
+}
+
+TEST(WorkMapping, RaggedExtents) {
+  const WorkMapping m({65, 63, 33}, {32, 32, 16});
+  EXPECT_EQ(m.tiles_m(), 3);
+  EXPECT_EQ(m.tiles_n(), 2);
+  EXPECT_EQ(m.iters_per_tile(), 3);
+  EXPECT_EQ(m.tile_extent_m(0), 32);
+  EXPECT_EQ(m.tile_extent_m(2), 1);   // 65 = 32 + 32 + 1
+  EXPECT_EQ(m.tile_extent_n(1), 31);  // 63 = 32 + 31
+  EXPECT_EQ(m.iter_extent_k(0), 16);
+  EXPECT_EQ(m.iter_extent_k(2), 1);   // 33 = 16 + 16 + 1
+}
+
+TEST(WorkMapping, PaddingAccounting) {
+  const WorkMapping exact({64, 64, 32}, {32, 32, 16});
+  EXPECT_DOUBLE_EQ(exact.useful_fraction(), 1.0);
+
+  const WorkMapping ragged({33, 33, 17}, {32, 32, 16});
+  EXPECT_EQ(ragged.padded_macs(), 4ll * 2 * 32 * 32 * 16);
+  EXPECT_NEAR(ragged.useful_fraction(),
+              (33.0 * 33 * 17) / (4.0 * 2 * 32 * 32 * 16), 1e-12);
+}
+
+TEST(WorkMapping, CeilDiv) {
+  EXPECT_EQ(ceil_div(1, 1), 1);
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 100), 1);
+}
+
+TEST(WorkMapping, RejectsInvalidShapes) {
+  EXPECT_THROW(WorkMapping({0, 1, 1}, {16, 16, 16}), util::CheckError);
+  EXPECT_THROW(WorkMapping({1, 1, 1}, {0, 16, 16}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace streamk::core
