@@ -1,0 +1,140 @@
+// Schedule-compilation overhead microbenchmark.
+//
+// Tracks the cost the ensemble/library layer pays per run(shape):
+//   1. legacy   -- rematerializing every CTA's segment stream through
+//                  virtual cta_work() calls plus a fixup-table scan (what
+//                  every consumer did before SchedulePlan existed);
+//   2. compile  -- compiling a SchedulePlan from scratch;
+//   3. cache    -- a PlanCache hit returning the memoized plan.
+//
+// Future PRs touching the scheduling layers should keep `compile` within
+// sight of `legacy` (it does strictly more indexing work in one pass) and
+// `cache` in the tens-of-nanoseconds regime.
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/schedule_plan.hpp"
+#include "gpu/gpu_spec.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace streamk;
+
+struct Case {
+  core::GemmShape shape;
+  core::DecompositionSpec spec;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("plan compilation + cache hits",
+                      "scheduling-overhead tracking (no paper figure)");
+
+  const gpu::GpuSpec gpu = gpu::GpuSpec::a100_locked();
+  const gpu::BlockShape block = gpu::BlockShape::paper_fp64();
+
+  // A mixed population: every decomposition kind over a log-uniform shape
+  // spread, the same regime the corpus sweeps exercise.
+  constexpr core::DecompositionKind kKinds[] = {
+      core::DecompositionKind::kDataParallel,
+      core::DecompositionKind::kFixedSplit,
+      core::DecompositionKind::kStreamKBasic,
+      core::DecompositionKind::kHybridOneTile,
+      core::DecompositionKind::kHybridTwoTile};
+  util::Pcg32 rng(42);
+  std::vector<Case> cases;
+  for (int i = 0; i < 200; ++i) {
+    Case c;
+    c.shape = {rng.log_uniform_int(64, 4096), rng.log_uniform_int(64, 4096),
+               rng.log_uniform_int(64, 2048)};
+    c.spec.kind = kKinds[i % 5];
+    c.spec.grid = gpu.sm_count;
+    c.spec.split = 2 + i % 3;
+    c.spec.sm_count = gpu.sm_count;
+    cases.push_back(c);
+  }
+
+  // 1. Legacy rematerialization: per-CTA cta_work() streams plus the
+  // pre-plan fixup-table scan, inlined here verbatim (FixupTable itself now
+  // routes through compile_plan, so calling it would not measure the old
+  // path).
+  std::int64_t sink = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (const Case& c : cases) {
+    const core::WorkMapping mapping(c.shape, block);
+    const auto decomposition = core::make_decomposition(c.spec, mapping);
+    for (std::int64_t cta = 0; cta < decomposition->grid_size(); ++cta) {
+      sink += static_cast<std::int64_t>(
+          decomposition->cta_work(cta).segments.size());
+    }
+    std::vector<std::vector<std::int64_t>> contributors(
+        static_cast<std::size_t>(mapping.tiles()));
+    for (std::int64_t cta = 0; cta < decomposition->grid_size(); ++cta) {
+      for (const core::TileSegment& seg :
+           decomposition->cta_work(cta).segments) {
+        if (!seg.starts_tile()) {
+          contributors[static_cast<std::size_t>(seg.tile_idx)].push_back(cta);
+        }
+      }
+    }
+    for (const auto& peers : contributors) {
+      sink += static_cast<std::int64_t>(peers.size());
+    }
+  }
+  const double legacy_s = seconds_since(start);
+
+  // 2. Fresh plan compilation.
+  start = std::chrono::steady_clock::now();
+  for (const Case& c : cases) {
+    const core::WorkMapping mapping(c.shape, block);
+    const auto decomposition = core::make_decomposition(c.spec, mapping);
+    const core::SchedulePlan plan = core::compile_plan(*decomposition);
+    sink += plan.total_segments() + plan.split_tiles();
+  }
+  const double compile_s = seconds_since(start);
+
+  // 3. Cache hits (one warm-up miss per case).
+  core::PlanCache cache;
+  for (const Case& c : cases) {
+    const core::WorkMapping mapping(c.shape, block);
+    cache.obtain(core::make_plan_key(mapping, c.spec, gpu), mapping, c.spec);
+  }
+  constexpr int kHitRounds = 50;
+  start = std::chrono::steady_clock::now();
+  for (int round = 0; round < kHitRounds; ++round) {
+    for (const Case& c : cases) {
+      const core::WorkMapping mapping(c.shape, block);
+      const auto plan =
+          cache.obtain(core::make_plan_key(mapping, c.spec, gpu), mapping,
+                       c.spec);
+      sink += plan->grid();
+    }
+  }
+  const double hit_s = seconds_since(start);
+  const auto hit_lookups = static_cast<double>(cases.size()) * kHitRounds;
+
+  const auto n = static_cast<double>(cases.size());
+  std::cout << std::fixed << std::setprecision(2)
+            << "schedules:            " << cases.size() << " (all five kinds)\n"
+            << "legacy cta_work walk: " << legacy_s / n * 1e6
+            << " us/schedule\n"
+            << "plan compilation:     " << compile_s / n * 1e6
+            << " us/schedule\n"
+            << "plan-cache hit:       " << hit_s / hit_lookups * 1e9
+            << " ns/lookup (" << cache.hits() << " hits, " << cache.misses()
+            << " misses)\n"
+            << "[sink " << sink << "]\n";
+  return 0;
+}

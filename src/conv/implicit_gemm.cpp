@@ -4,10 +4,9 @@
 #include <chrono>
 #include <vector>
 
-#include "core/peers.hpp"
+#include "core/schedule_plan.hpp"
+#include "cpu/decomposed_runner.hpp"
 #include "cpu/mac_loop.hpp"
-#include "cpu/workspace.hpp"
-#include "model/memory_model.hpp"
 #include "util/threading.hpp"
 
 namespace streamk::conv {
@@ -94,12 +93,12 @@ void gather_filter_fragment(const ConvShape& conv, const Tensor4<In>& filter,
 }  // namespace
 
 template <typename In, typename Acc, typename Out>
-void execute_conv(const core::Decomposition& decomposition,
-                  const ConvShape& conv, const Tensor4<In>& input,
-                  const Tensor4<In>& filter, Tensor4<Out>& output,
-                  const cpu::ExecutorOptions& options) {
+void execute_conv_plan(const core::SchedulePlan& plan, const ConvShape& conv,
+                       const Tensor4<In>& input, const Tensor4<In>& filter,
+                       Tensor4<Out>& output,
+                       const cpu::ExecutorOptions& options) {
   util::check(conv.valid(), "invalid convolution shape");
-  const core::WorkMapping& mapping = decomposition.mapping();
+  const core::WorkMapping& mapping = plan.mapping();
   util::check(mapping.shape() == conv.gemm_shape(),
               "decomposition does not match the conv's implicit GEMM");
   util::check(input.dim0() == conv.batch && input.dim1() == conv.height &&
@@ -117,81 +116,69 @@ void execute_conv(const core::Decomposition& decomposition,
               "output tensor extents mismatch");
 
   const gpu::BlockShape& blk = mapping.block();
-  const core::FixupTable fixups(decomposition);
-  cpu::FixupWorkspace<Acc> workspace(decomposition, blk.tile_elements());
-  const std::size_t workers =
-      options.workers > 0 ? options.workers : util::hardware_threads();
 
-  auto run_cta = [&](std::size_t cta_index) {
-    const auto cta = static_cast<std::int64_t>(cta_index);
-    const core::CtaWork work = decomposition.cta_work(cta);
-    if (work.empty()) return;
+  cpu::run_decomposed<Acc>(
+      plan, blk.tile_elements(),
+      [&](const core::TileSegment& seg, std::span<Acc> accum,
+          cpu::MacScratch<Acc>& scratch) {
+        const core::TileCoord coord = mapping.tile_coord(seg.tile_idx);
+        const std::int64_t mm = coord.tm * blk.m;
+        const std::int64_t nn = coord.tn * blk.n;
+        const std::int64_t em = mapping.tile_extent_m(coord.tm);
+        const std::int64_t en = mapping.tile_extent_n(coord.tn);
 
-    std::vector<Acc> accum(static_cast<std::size_t>(blk.tile_elements()));
-    cpu::MacScratch<Acc> scratch(blk);
-
-    for (const core::TileSegment& seg : work.segments) {
-      const core::TileCoord coord = mapping.tile_coord(seg.tile_idx);
-      const std::int64_t mm = coord.tm * blk.m;
-      const std::int64_t nn = coord.tn * blk.n;
-      const std::int64_t em = mapping.tile_extent_m(coord.tm);
-      const std::int64_t en = mapping.tile_extent_n(coord.tn);
-
-      std::fill(accum.begin(), accum.end(), Acc{});
-      for (std::int64_t iter = seg.iter_begin; iter < seg.iter_end; ++iter) {
-        const std::int64_t kk = iter * blk.k;
-        const std::int64_t ek = mapping.iter_extent_k(iter);
-        gather_input_fragment<In, Acc>(conv, input, mm, em, kk, ek, blk,
-                                       scratch.frag_a);
-        gather_filter_fragment<In, Acc>(conv, filter, nn, en, kk, ek, blk,
-                                        scratch.frag_b);
-        for (std::int64_t i = 0; i < blk.m; ++i) {
-          const Acc* a_row =
-              scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
-          Acc* acc_row = accum.data() + static_cast<std::size_t>(i * blk.n);
-          for (std::int64_t l = 0; l < blk.k; ++l) {
-            const Acc av = a_row[l];
-            const Acc* b_row =
-                scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
-            for (std::int64_t j = 0; j < blk.n; ++j) {
-              acc_row[j] += av * b_row[j];
+        for (std::int64_t iter = seg.iter_begin; iter < seg.iter_end; ++iter) {
+          const std::int64_t kk = iter * blk.k;
+          const std::int64_t ek = mapping.iter_extent_k(iter);
+          gather_input_fragment<In, Acc>(conv, input, mm, em, kk, ek, blk,
+                                         scratch.frag_a);
+          gather_filter_fragment<In, Acc>(conv, filter, nn, en, kk, ek, blk,
+                                          scratch.frag_b);
+          for (std::int64_t i = 0; i < blk.m; ++i) {
+            const Acc* a_row =
+                scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
+            Acc* acc_row = accum.data() + static_cast<std::size_t>(i * blk.n);
+            for (std::int64_t l = 0; l < blk.k; ++l) {
+              const Acc av = a_row[l];
+              const Acc* b_row =
+                  scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
+              for (std::int64_t j = 0; j < blk.n; ++j) {
+                acc_row[j] += av * b_row[j];
+              }
             }
           }
         }
-      }
-
-      if (!seg.starts_tile()) {
-        std::span<Acc> slot = workspace.partials(cta);
-        std::copy(accum.begin(), accum.end(), slot.begin());
-        workspace.signal(cta);
-        continue;
-      }
-      if (!seg.ends_tile()) {
-        const core::TileFixup& fixup = fixups.tile(seg.tile_idx);
-        for (const std::int64_t peer : fixup.contributors) {
-          workspace.wait(peer);
-          std::span<const Acc> slot = workspace.partials(peer);
-          for (std::size_t i = 0; i < accum.size(); ++i) accum[i] += slot[i];
+      },
+      [&](std::int64_t tile_idx, std::span<const Acc> accum) {
+        // Epilogue: scatter the tile to NHWC output pixels.
+        const core::TileCoord coord = mapping.tile_coord(tile_idx);
+        const std::int64_t mm = coord.tm * blk.m;
+        const std::int64_t nn = coord.tn * blk.n;
+        const std::int64_t em = mapping.tile_extent_m(coord.tm);
+        const std::int64_t en = mapping.tile_extent_n(coord.tn);
+        for (std::int64_t i = 0; i < em; ++i) {
+          const OutputPixel px = output_pixel(conv, mm + i);
+          const Acc* acc_row =
+              accum.data() + static_cast<std::size_t>(i * blk.n);
+          for (std::int64_t j = 0; j < en; ++j) {
+            const Acc scaled =
+                static_cast<Acc>(options.alpha) * acc_row[j] +
+                static_cast<Acc>(options.beta) *
+                    static_cast<Acc>(output.at(px.n, px.p, px.q, nn + j));
+            output.at(px.n, px.p, px.q, nn + j) = static_cast<Out>(scaled);
+          }
         }
-      }
-      // Epilogue: scatter the tile to NHWC output pixels.
-      for (std::int64_t i = 0; i < em; ++i) {
-        const OutputPixel px = output_pixel(conv, mm + i);
-        const Acc* acc_row =
-            accum.data() + static_cast<std::size_t>(i * blk.n);
-        for (std::int64_t j = 0; j < en; ++j) {
-          const Acc scaled =
-              static_cast<Acc>(options.alpha) * acc_row[j] +
-              static_cast<Acc>(options.beta) *
-                  static_cast<Acc>(output.at(px.n, px.p, px.q, nn + j));
-          output.at(px.n, px.p, px.q, nn + j) = static_cast<Out>(scaled);
-        }
-      }
-    }
-  };
+      },
+      options);
+}
 
-  util::parallel_for_descending(
-      static_cast<std::size_t>(decomposition.grid_size()), run_cta, workers);
+template <typename In, typename Acc, typename Out>
+void execute_conv(const core::Decomposition& decomposition,
+                  const ConvShape& conv, const Tensor4<In>& input,
+                  const Tensor4<In>& filter, Tensor4<Out>& output,
+                  const cpu::ExecutorOptions& options) {
+  const core::SchedulePlan plan = core::compile_plan(decomposition);
+  execute_conv_plan<In, Acc, Out>(plan, conv, input, filter, output, options);
 }
 
 template <typename In, typename Acc, typename Out>
@@ -211,6 +198,7 @@ cpu::GemmReport conv_forward(const ConvShape& conv, const Tensor4<In>& input,
   const core::DecompositionSpec spec =
       cpu::resolve_schedule(options, mapping, precision, workers);
   const auto decomposition = core::make_decomposition(spec, mapping);
+  const core::SchedulePlan plan = core::compile_plan(*decomposition);
 
   cpu::ExecutorOptions exec;
   exec.workers = workers;
@@ -218,16 +206,15 @@ cpu::GemmReport conv_forward(const ConvShape& conv, const Tensor4<In>& input,
   exec.beta = options.beta;
 
   const auto start = std::chrono::steady_clock::now();
-  execute_conv<In, Acc, Out>(*decomposition, conv, input, filter, output,
-                             exec);
+  execute_conv_plan<In, Acc, Out>(plan, conv, input, filter, output, exec);
   const auto stop = std::chrono::steady_clock::now();
 
   cpu::GemmReport report;
   report.spec = spec;
-  report.schedule_name = decomposition->name();
-  report.grid = decomposition->grid_size();
+  report.schedule_name = plan.name();
+  report.grid = plan.grid();
   report.tiles = mapping.tiles();
-  report.spills = model::count_spills(*decomposition);
+  report.spills = plan.total_spills();
   report.seconds = std::chrono::duration<double>(stop - start).count();
   report.gflops =
       report.seconds > 0.0 ? conv.flops() / report.seconds / 1e9 : 0.0;
@@ -242,6 +229,13 @@ template void direct_conv<float, float, float>(const ConvShape&,
                                                const Tensor4<float>&,
                                                const Tensor4<float>&,
                                                Tensor4<float>&);
+
+template void execute_conv_plan<double, double, double>(
+    const core::SchedulePlan&, const ConvShape&, const Tensor4<double>&,
+    const Tensor4<double>&, Tensor4<double>&, const cpu::ExecutorOptions&);
+template void execute_conv_plan<float, float, float>(
+    const core::SchedulePlan&, const ConvShape&, const Tensor4<float>&,
+    const Tensor4<float>&, Tensor4<float>&, const cpu::ExecutorOptions&);
 
 template void execute_conv<double, double, double>(
     const core::Decomposition&, const ConvShape&, const Tensor4<double>&,

@@ -18,6 +18,10 @@
 #include "core/decomposition.hpp"
 #include "cpu/gemm.hpp"
 
+namespace streamk::core {
+class SchedulePlan;
+}  // namespace streamk::core
+
 namespace streamk::conv {
 
 /// Reference: direct 7-loop convolution (NHWC in, KRSC filter, NHWC out).
@@ -25,8 +29,15 @@ template <typename In, typename Acc, typename Out>
 void direct_conv(const ConvShape& conv, const Tensor4<In>& input,
                  const Tensor4<In>& filter, Tensor4<Out>& output);
 
-/// Executes `decomposition` (built over the conv's implicit-GEMM mapping)
+/// Executes a compiled plan (built over the conv's implicit-GEMM mapping)
 /// against real tensors.
+template <typename In, typename Acc, typename Out>
+void execute_conv_plan(const core::SchedulePlan& plan, const ConvShape& conv,
+                       const Tensor4<In>& input, const Tensor4<In>& filter,
+                       Tensor4<Out>& output,
+                       const cpu::ExecutorOptions& options = {});
+
+/// Convenience overload: compiles `decomposition` and executes the plan.
 template <typename In, typename Acc, typename Out>
 void execute_conv(const core::Decomposition& decomposition,
                   const ConvShape& conv, const Tensor4<In>& input,
@@ -46,6 +57,13 @@ extern template void direct_conv<double, double, double>(
 extern template void direct_conv<float, float, float>(
     const ConvShape&, const Tensor4<float>&, const Tensor4<float>&,
     Tensor4<float>&);
+
+extern template void execute_conv_plan<double, double, double>(
+    const core::SchedulePlan&, const ConvShape&, const Tensor4<double>&,
+    const Tensor4<double>&, Tensor4<double>&, const cpu::ExecutorOptions&);
+extern template void execute_conv_plan<float, float, float>(
+    const core::SchedulePlan&, const ConvShape&, const Tensor4<float>&,
+    const Tensor4<float>&, Tensor4<float>&, const cpu::ExecutorOptions&);
 
 extern template void execute_conv<double, double, double>(
     const core::Decomposition&, const ConvShape&, const Tensor4<double>&,

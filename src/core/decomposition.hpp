@@ -4,11 +4,13 @@
 //
 // A Decomposition assigns the GEMM's MAC-loop iteration space to a grid of
 // CTAs.  Each CTA receives an ordered stream of TileSegments; a segment is a
-// contiguous run of MAC-loop iterations within one output tile.  The CPU
-// executor (cpu/executor.hpp) and the GPU simulator (sim/simulator.hpp) both
-// consume these streams, so a schedule is specified exactly once and is
-// guaranteed identical between functional execution and performance
-// simulation.
+// contiguous run of MAC-loop iterations within one output tile.  Consumers
+// do not walk these streams directly: core::compile_plan() compiles the
+// whole decomposition once into a core::SchedulePlan, and the CPU executor
+// (cpu/executor.hpp), the GPU simulator (sim/simulator.hpp), validation,
+// and the fixup index all read that one flat IR -- so a schedule is
+// specified exactly once and is guaranteed identical between functional
+// execution and performance simulation (see DESIGN.md).
 //
 // Fixup protocol implied by segment flags (Section 4, Algorithm 5):
 //   * A segment with starts_tile() && ends_tile() produces the whole tile:

@@ -2,30 +2,22 @@
 
 #include <algorithm>
 
+#include "core/schedule_plan.hpp"
 #include "util/check.hpp"
 
 namespace streamk::core {
 
-FixupTable::FixupTable(const Decomposition& decomposition) {
-  table_.resize(static_cast<std::size_t>(decomposition.mapping().tiles()));
-
-  const std::int64_t grid = decomposition.grid_size();
-  for (std::int64_t cta = 0; cta < grid; ++cta) {
-    const CtaWork work = decomposition.cta_work(cta);
-    for (const TileSegment& segment : work.segments) {
-      TileFixup& fixup = table_[static_cast<std::size_t>(segment.tile_idx)];
-      if (segment.starts_tile()) {
-        util::check(fixup.owner == -1, "tile has two owning CTAs");
-        fixup.owner = cta;
-      } else {
-        fixup.contributors.push_back(cta);
-      }
-    }
-  }
-
-  for (TileFixup& fixup : table_) {
+FixupTable::FixupTable(const SchedulePlan& plan) {
+  plan.check_runnable();
+  const std::int64_t tiles = plan.tiles();
+  table_.resize(static_cast<std::size_t>(tiles));
+  for (std::int64_t tile = 0; tile < tiles; ++tile) {
+    TileFixup& fixup = table_[static_cast<std::size_t>(tile)];
+    fixup.owner = plan.tile_owner(tile);
     util::check(fixup.owner != -1, "tile has no owning CTA");
-    std::sort(fixup.contributors.begin(), fixup.contributors.end());
+    const std::span<const std::int64_t> contributors =
+        plan.tile_contributors(tile);
+    fixup.contributors.assign(contributors.begin(), contributors.end());
     if (!fixup.contributors.empty()) {
       ++split_tiles_;
       total_partials_ +=
@@ -34,6 +26,9 @@ FixupTable::FixupTable(const Decomposition& decomposition) {
     max_peers_ = std::max(max_peers_, fixup.peer_count());
   }
 }
+
+FixupTable::FixupTable(const Decomposition& decomposition)
+    : FixupTable(compile_plan(decomposition)) {}
 
 const TileFixup& FixupTable::tile(std::int64_t tile_idx) const {
   util::check(tile_idx >= 0 &&

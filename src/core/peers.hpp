@@ -19,6 +19,8 @@
 
 namespace streamk::core {
 
+class SchedulePlan;
+
 struct TileFixup {
   std::int64_t owner = -1;  ///< CTA writing the output tile
   /// CTAs spilling partials for this tile, ascending id, owner excluded.
@@ -32,6 +34,10 @@ struct TileFixup {
 
 class FixupTable {
  public:
+  /// Materializes the fixup table from a compiled plan's contributor index.
+  explicit FixupTable(const SchedulePlan& plan);
+
+  /// Convenience overload: compiles `decomposition` first.
   explicit FixupTable(const Decomposition& decomposition);
 
   const TileFixup& tile(std::int64_t tile_idx) const;

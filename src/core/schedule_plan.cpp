@@ -1,0 +1,247 @@
+#include "core/schedule_plan.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace streamk::core {
+
+SchedulePlan::SchedulePlan(const Decomposition& decomposition)
+    : kind_(decomposition.kind()),
+      name_(decomposition.name()),
+      mapping_(decomposition.mapping()),
+      grid_(decomposition.grid_size()) {
+  util::check(grid_ >= 1, "empty grid");
+  const std::int64_t tiles = mapping_.tiles();
+
+  tile_owner_.assign(static_cast<std::size_t>(tiles), -1);
+  spill_slot_of_cta_.assign(static_cast<std::size_t>(grid_), -1);
+  std::vector<std::int64_t> contributor_count(static_cast<std::size_t>(tiles),
+                                              0);
+
+  cta_offsets_.reserve(static_cast<std::size_t>(grid_) + 1);
+  cta_offsets_.push_back(0);
+  for (std::int64_t cta = 0; cta < grid_; ++cta) {
+    const CtaWork work = decomposition.cta_work(cta);
+    for (const TileSegment& seg : work.segments) {
+      // The one structural property compilation itself relies on for memory
+      // safety; everything else is validate_plan()'s job.
+      util::check(seg.tile_idx >= 0 && seg.tile_idx < tiles,
+                  "segment tile out of range");
+      const auto tile = static_cast<std::size_t>(seg.tile_idx);
+      if (seg.starts_tile()) {
+        if (tile_owner_[tile] == -1) {
+          tile_owner_[tile] = cta;
+        } else {
+          duplicate_owner_ = true;
+        }
+      } else {
+        ++contributor_count[tile];
+        ++total_spills_;
+        if (spill_slot_of_cta_[static_cast<std::size_t>(cta)] == -1) {
+          spill_slot_of_cta_[static_cast<std::size_t>(cta)] = spill_slots_++;
+        } else {
+          double_spill_ = true;
+        }
+      }
+      total_iters_ += seg.iters();
+      segments_.push_back(seg);
+    }
+    if (!work.segments.empty()) ++nonempty_ctas_;
+    cta_offsets_.push_back(static_cast<std::int64_t>(segments_.size()));
+  }
+
+  contributor_offsets_.assign(static_cast<std::size_t>(tiles) + 1, 0);
+  for (std::int64_t tile = 0; tile < tiles; ++tile) {
+    const auto t = static_cast<std::size_t>(tile);
+    contributor_offsets_[t + 1] = contributor_offsets_[t] + contributor_count[t];
+    if (contributor_count[t] > 0) ++split_tiles_;
+    max_peers_ = std::max(max_peers_, 1 + contributor_count[t]);
+    if (tile_owner_[t] == -1) missing_owner_ = true;
+  }
+
+  // Second sweep over the arena fills the pool; CTA-major order makes each
+  // tile's contributors ascending by construction.
+  contributor_pool_.resize(
+      static_cast<std::size_t>(contributor_offsets_[static_cast<std::size_t>(tiles)]));
+  std::vector<std::int64_t> cursor(contributor_offsets_.begin(),
+                                   contributor_offsets_.end() - 1);
+  for (std::int64_t cta = 0; cta < grid_; ++cta) {
+    for (const TileSegment& seg : cta_segments(cta)) {
+      if (!seg.starts_tile()) {
+        const auto tile = static_cast<std::size_t>(seg.tile_idx);
+        contributor_pool_[static_cast<std::size_t>(cursor[tile]++)] = cta;
+      }
+    }
+  }
+}
+
+std::span<const TileSegment> SchedulePlan::cta_segments(
+    std::int64_t cta) const {
+  util::check(cta >= 0 && cta < grid_, "CTA index out of range");
+  const auto begin = static_cast<std::size_t>(
+      cta_offsets_[static_cast<std::size_t>(cta)]);
+  const auto end = static_cast<std::size_t>(
+      cta_offsets_[static_cast<std::size_t>(cta) + 1]);
+  return std::span<const TileSegment>(segments_.data() + begin, end - begin);
+}
+
+std::int64_t SchedulePlan::tile_owner(std::int64_t tile) const {
+  util::check(tile >= 0 && tile < tiles(), "tile index out of range");
+  return tile_owner_[static_cast<std::size_t>(tile)];
+}
+
+std::span<const std::int64_t> SchedulePlan::tile_contributors(
+    std::int64_t tile) const {
+  util::check(tile >= 0 && tile < tiles(), "tile index out of range");
+  const auto begin = static_cast<std::size_t>(
+      contributor_offsets_[static_cast<std::size_t>(tile)]);
+  const auto end = static_cast<std::size_t>(
+      contributor_offsets_[static_cast<std::size_t>(tile) + 1]);
+  return std::span<const std::int64_t>(contributor_pool_.data() + begin,
+                                       end - begin);
+}
+
+std::int64_t SchedulePlan::spill_slot(std::int64_t cta) const {
+  util::check(cta >= 0 && cta < grid_, "CTA index out of range");
+  return spill_slot_of_cta_[static_cast<std::size_t>(cta)];
+}
+
+void SchedulePlan::check_runnable() const {
+  util::check(!missing_owner_, "tile has no owning CTA");
+  util::check(!duplicate_owner_, "tile has two owning CTAs");
+  util::check(!double_spill_, "CTA spills twice");
+}
+
+SchedulePlan compile_plan(const Decomposition& decomposition) {
+  return SchedulePlan(decomposition);
+}
+
+PlanKey make_plan_key(const WorkMapping& mapping, const DecompositionSpec& spec,
+                      std::int64_t device_sms) {
+  PlanKey key;
+  key.shape = mapping.shape();
+  key.block = mapping.block();
+  key.order = mapping.tile_order();
+  key.kind = spec.kind;
+  key.split = spec.split;
+  key.sm_count = spec.sm_count;
+  key.device_sms = device_sms;
+  // make_decomposition resolves a non-positive Stream-K grid to the SM
+  // count; normalize here so both spellings share a cache entry.
+  key.grid = spec.kind == DecompositionKind::kStreamKBasic && spec.grid <= 0
+                 ? spec.sm_count
+                 : spec.grid;
+  return key;
+}
+
+PlanKey make_plan_key(const WorkMapping& mapping, const DecompositionSpec& spec,
+                      const gpu::GpuSpec& gpu) {
+  return make_plan_key(mapping, spec, gpu.sm_count);
+}
+
+std::size_t PlanKeyHash::operator()(const PlanKey& key) const {
+  std::size_t seed = 0;
+  auto mix = [&seed](std::uint64_t v) {
+    // splitmix64-style avalanche, boost::hash_combine composition.
+    v ^= v >> 30;
+    v *= 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 27;
+    v *= 0x94d049bb133111ebULL;
+    v ^= v >> 31;
+    seed ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+            (seed >> 2);
+  };
+  mix(static_cast<std::uint64_t>(key.shape.m));
+  mix(static_cast<std::uint64_t>(key.shape.n));
+  mix(static_cast<std::uint64_t>(key.shape.k));
+  mix(static_cast<std::uint64_t>(key.block.m));
+  mix(static_cast<std::uint64_t>(key.block.n));
+  mix(static_cast<std::uint64_t>(key.block.k));
+  mix(static_cast<std::uint64_t>(key.order));
+  mix(static_cast<std::uint64_t>(key.kind));
+  mix(static_cast<std::uint64_t>(key.grid));
+  mix(static_cast<std::uint64_t>(key.split));
+  mix(static_cast<std::uint64_t>(key.sm_count));
+  mix(static_cast<std::uint64_t>(key.device_sms));
+  return seed;
+}
+
+PlanCache::PlanCache(std::size_t max_plans)
+    : max_plans_(max_plans) {
+  util::check(max_plans_ >= 1, "PlanCache needs capacity for one plan");
+}
+
+PlanCache::PlanPtr PlanCache::obtain(const PlanKey& key,
+                                     const WorkMapping& mapping,
+                                     const DecompositionSpec& spec) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+
+  // Compile outside the lock: schedule compilation is the expensive part,
+  // and concurrent misses of *different* keys must not serialize.
+  const auto decomposition = make_decomposition(spec, mapping);
+  auto plan = std::make_shared<const SchedulePlan>(*decomposition);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = plans_.emplace(key, std::move(plan));
+  PlanPtr result = it->second;
+  if (inserted) {
+    ++misses_;
+    insertion_order_.push_back(key);
+    // FIFO eviction; the freshly inserted key sits at the back, so it is
+    // never the one evicted (capacity >= 1).
+    while (plans_.size() > max_plans_) {
+      plans_.erase(insertion_order_.front());
+      insertion_order_.pop_front();
+      ++evictions_;
+    }
+  } else {
+    ++hits_;  // lost a compile race; adopt the winner for pointer identity
+  }
+  return result;
+}
+
+PlanCache::PlanPtr PlanCache::lookup(const PlanKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = plans_.find(key);
+  return it != plans_.end() ? it->second : nullptr;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+std::uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_.clear();
+  insertion_order_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
+}  // namespace streamk::core

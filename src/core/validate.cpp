@@ -4,12 +4,13 @@
 #include <limits>
 #include <vector>
 
+#include "core/schedule_plan.hpp"
 #include "util/check.hpp"
 
 namespace streamk::core {
 
-CoverageReport validate_decomposition(const Decomposition& decomposition) {
-  const WorkMapping& mapping = decomposition.mapping();
+CoverageReport validate_plan(const SchedulePlan& plan) {
+  const WorkMapping& mapping = plan.mapping();
   const std::int64_t ipt = mapping.iters_per_tile();
   const std::int64_t tiles = mapping.tiles();
 
@@ -20,17 +21,16 @@ CoverageReport validate_decomposition(const Decomposition& decomposition) {
   std::vector<int> closers(static_cast<std::size_t>(tiles), 0);
 
   CoverageReport report;
-  report.grid = decomposition.grid_size();
+  report.grid = plan.grid();
   util::check(report.grid >= 1, "empty grid");
   report.min_cta_iters = std::numeric_limits<std::int64_t>::max();
 
   for (std::int64_t cta = 0; cta < report.grid; ++cta) {
-    const CtaWork work = decomposition.cta_work(cta);
     std::vector<std::int64_t> tiles_seen;
     std::int64_t non_starting = 0;
     std::int64_t cta_iters = 0;
 
-    for (const TileSegment& seg : work.segments) {
+    for (const TileSegment& seg : plan.cta_segments(cta)) {
       util::check(seg.tile_idx >= 0 && seg.tile_idx < tiles,
                   "segment tile out of range");
       util::check(seg.iter_begin >= 0 && seg.iter_begin < seg.iter_end &&
@@ -56,7 +56,7 @@ CoverageReport validate_decomposition(const Decomposition& decomposition) {
     util::check(non_starting <= 1,
                 "CTA needs more than one partials slot");
 
-    if (!work.empty()) {
+    if (!plan.cta_empty(cta)) {
       ++report.nonempty_ctas;
       report.min_cta_iters = std::min(report.min_cta_iters, cta_iters);
       report.max_cta_iters = std::max(report.max_cta_iters, cta_iters);
@@ -85,6 +85,10 @@ CoverageReport validate_decomposition(const Decomposition& decomposition) {
   }
 
   return report;
+}
+
+CoverageReport validate_decomposition(const Decomposition& decomposition) {
+  return validate_plan(compile_plan(decomposition));
 }
 
 }  // namespace streamk::core

@@ -21,6 +21,8 @@
 
 namespace streamk::core {
 
+class SchedulePlan;
+
 /// Full structural report of a decomposition, for diagnostics.
 struct CoverageReport {
   std::int64_t grid = 0;
@@ -31,7 +33,11 @@ struct CoverageReport {
   std::int64_t max_cta_iters = 0;
 };
 
-/// Validates all invariants above; returns the report on success.
+/// Validates all invariants above over a compiled plan; returns the report
+/// on success.
+CoverageReport validate_plan(const SchedulePlan& plan);
+
+/// Convenience overload: compiles `decomposition` and validates the plan.
 CoverageReport validate_decomposition(const Decomposition& decomposition);
 
 }  // namespace streamk::core

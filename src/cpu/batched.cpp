@@ -5,11 +5,10 @@
 #include <type_traits>
 #include <vector>
 
-#include "core/peers.hpp"
+#include "core/schedule_plan.hpp"
+#include "cpu/decomposed_runner.hpp"
 #include "cpu/mac_loop.hpp"
 #include "cpu/reference.hpp"
-#include "cpu/workspace.hpp"
-#include "model/memory_model.hpp"
 #include "util/threading.hpp"
 
 namespace streamk::cpu {
@@ -119,11 +118,12 @@ void batched_store_tile(const core::GemmShape& shape,
 }  // namespace
 
 template <typename In, typename Acc, typename Out>
-void execute_batched(const core::Decomposition& decomposition,
-                     const BatchedShape& batched,
-                     std::span<const Matrix<In>> as,
-                     std::span<const Matrix<In>> bs, std::span<Matrix<Out>> cs,
-                     const ExecutorOptions& options) {
+void execute_batched_plan(const core::SchedulePlan& plan,
+                          const BatchedShape& batched,
+                          std::span<const Matrix<In>> as,
+                          std::span<const Matrix<In>> bs,
+                          std::span<Matrix<Out>> cs,
+                          const ExecutorOptions& options) {
   util::check(batched.valid(), "invalid batched shape");
   const auto batch = static_cast<std::size_t>(batched.batch);
   util::check(as.size() == batch && bs.size() == batch && cs.size() == batch,
@@ -133,54 +133,38 @@ void execute_batched(const core::Decomposition& decomposition,
     util::check(s == batched.shape, "batch entry shape mismatch");
   }
 
-  const core::WorkMapping& mapping = decomposition.mapping();
+  const core::WorkMapping& mapping = plan.mapping();
   const gpu::BlockShape& blk = mapping.block();
   util::check(mapping.shape() ==
                   batched_mapping(batched, blk).shape(),
-              "decomposition was not built over batched_mapping");
+              "plan was not built over batched_mapping");
 
-  const core::FixupTable fixups(decomposition);
-  FixupWorkspace<Acc> workspace(decomposition, blk.tile_elements());
-  const std::size_t workers =
-      options.workers > 0 ? options.workers : util::hardware_threads();
+  run_decomposed<Acc>(
+      plan, blk.tile_elements(),
+      [&](const core::TileSegment& seg, std::span<Acc> accum,
+          MacScratch<Acc>& scratch) {
+        const BatchedTile tile = batched_tile(batched, blk, seg.tile_idx);
+        const auto entry = static_cast<std::size_t>(tile.entry);
+        batched_mac_segment<In, Acc>(as[entry], bs[entry], batched.shape, blk,
+                                     tile, seg, accum, scratch);
+      },
+      [&](std::int64_t tile_idx, std::span<const Acc> accum) {
+        const BatchedTile tile = batched_tile(batched, blk, tile_idx);
+        batched_store_tile<Acc, Out>(batched.shape, blk, tile, accum,
+                                     cs[static_cast<std::size_t>(tile.entry)],
+                                     options.alpha, options.beta);
+      },
+      options);
+}
 
-  auto run_cta = [&](std::size_t cta_index) {
-    const auto cta = static_cast<std::int64_t>(cta_index);
-    const core::CtaWork work = decomposition.cta_work(cta);
-    if (work.empty()) return;
-
-    std::vector<Acc> accum(static_cast<std::size_t>(blk.tile_elements()));
-    MacScratch<Acc> scratch(blk);
-
-    for (const core::TileSegment& seg : work.segments) {
-      const BatchedTile tile = batched_tile(batched, blk, seg.tile_idx);
-      const auto entry = static_cast<std::size_t>(tile.entry);
-      std::fill(accum.begin(), accum.end(), Acc{});
-      batched_mac_segment<In, Acc>(as[entry], bs[entry], batched.shape, blk,
-                                   tile, seg, std::span<Acc>(accum), scratch);
-
-      if (!seg.starts_tile()) {
-        std::span<Acc> slot = workspace.partials(cta);
-        std::copy(accum.begin(), accum.end(), slot.begin());
-        workspace.signal(cta);
-        continue;
-      }
-      if (!seg.ends_tile()) {
-        const core::TileFixup& fixup = fixups.tile(seg.tile_idx);
-        for (const std::int64_t peer : fixup.contributors) {
-          workspace.wait(peer);
-          std::span<const Acc> slot = workspace.partials(peer);
-          for (std::size_t i = 0; i < accum.size(); ++i) accum[i] += slot[i];
-        }
-      }
-      batched_store_tile<Acc, Out>(batched.shape, blk, tile,
-                                   std::span<const Acc>(accum), cs[entry],
-                                   options.alpha, options.beta);
-    }
-  };
-
-  util::parallel_for_descending(
-      static_cast<std::size_t>(decomposition.grid_size()), run_cta, workers);
+template <typename In, typename Acc, typename Out>
+void execute_batched(const core::Decomposition& decomposition,
+                     const BatchedShape& batched,
+                     std::span<const Matrix<In>> as,
+                     std::span<const Matrix<In>> bs, std::span<Matrix<Out>> cs,
+                     const ExecutorOptions& options) {
+  const core::SchedulePlan plan = core::compile_plan(decomposition);
+  execute_batched_plan<In, Acc, Out>(plan, batched, as, bs, cs, options);
 }
 
 template <typename In, typename Acc, typename Out>
@@ -207,6 +191,7 @@ GemmReport batched_gemm(std::span<const Matrix<In>> as,
   const core::DecompositionSpec spec =
       resolve_schedule(options, mapping, precision, workers);
   const auto decomposition = core::make_decomposition(spec, mapping);
+  const core::SchedulePlan plan = core::compile_plan(*decomposition);
 
   ExecutorOptions exec;
   exec.workers = workers;
@@ -214,20 +199,33 @@ GemmReport batched_gemm(std::span<const Matrix<In>> as,
   exec.beta = options.beta;
 
   const auto start = std::chrono::steady_clock::now();
-  execute_batched<In, Acc, Out>(*decomposition, batched, as, bs, cs, exec);
+  execute_batched_plan<In, Acc, Out>(plan, batched, as, bs, cs, exec);
   const auto stop = std::chrono::steady_clock::now();
 
   GemmReport report;
   report.spec = spec;
-  report.schedule_name = decomposition->name();
-  report.grid = decomposition->grid_size();
+  report.schedule_name = plan.name();
+  report.grid = plan.grid();
   report.tiles = mapping.tiles();
-  report.spills = model::count_spills(*decomposition);
+  report.spills = plan.total_spills();
   report.seconds = std::chrono::duration<double>(stop - start).count();
   report.gflops =
       report.seconds > 0.0 ? batched.flops() / report.seconds / 1e9 : 0.0;
   return report;
 }
+
+template void execute_batched_plan<double, double, double>(
+    const core::SchedulePlan&, const BatchedShape&,
+    std::span<const Matrix<double>>, std::span<const Matrix<double>>,
+    std::span<Matrix<double>>, const ExecutorOptions&);
+template void execute_batched_plan<float, float, float>(
+    const core::SchedulePlan&, const BatchedShape&,
+    std::span<const Matrix<float>>, std::span<const Matrix<float>>,
+    std::span<Matrix<float>>, const ExecutorOptions&);
+template void execute_batched_plan<util::Half, float, float>(
+    const core::SchedulePlan&, const BatchedShape&,
+    std::span<const Matrix<util::Half>>, std::span<const Matrix<util::Half>>,
+    std::span<Matrix<float>>, const ExecutorOptions&);
 
 template void execute_batched<double, double, double>(
     const core::Decomposition&, const BatchedShape&,

@@ -28,6 +28,10 @@
 #include "cpu/gemm.hpp"
 #include "cpu/matrix.hpp"
 
+namespace streamk::core {
+class SchedulePlan;
+}  // namespace streamk::core
+
 namespace streamk::cpu {
 
 /// Geometry of a uniform batch of GEMMs.
@@ -56,8 +60,17 @@ struct BatchedTile {
 BatchedTile batched_tile(const BatchedShape& batched, gpu::BlockShape block,
                          std::int64_t tile_idx);
 
-/// Executes `decomposition` (built over batched_mapping) across the batch:
+/// Executes a compiled plan (built over batched_mapping) across the batch:
 /// cs[i] = alpha * as[i].bs[i] + beta * cs[i] for every entry i.
+template <typename In, typename Acc, typename Out>
+void execute_batched_plan(const core::SchedulePlan& plan,
+                          const BatchedShape& batched,
+                          std::span<const Matrix<In>> as,
+                          std::span<const Matrix<In>> bs,
+                          std::span<Matrix<Out>> cs,
+                          const ExecutorOptions& options = {});
+
+/// Convenience overload: compiles `decomposition` and executes the plan.
 template <typename In, typename Acc, typename Out>
 void execute_batched(const core::Decomposition& decomposition,
                      const BatchedShape& batched,
@@ -72,6 +85,19 @@ GemmReport batched_gemm(std::span<const Matrix<In>> as,
                         std::span<const Matrix<In>> bs,
                         std::span<Matrix<Out>> cs,
                         const GemmOptions& options = {});
+
+extern template void execute_batched_plan<double, double, double>(
+    const core::SchedulePlan&, const BatchedShape&,
+    std::span<const Matrix<double>>, std::span<const Matrix<double>>,
+    std::span<Matrix<double>>, const ExecutorOptions&);
+extern template void execute_batched_plan<float, float, float>(
+    const core::SchedulePlan&, const BatchedShape&,
+    std::span<const Matrix<float>>, std::span<const Matrix<float>>,
+    std::span<Matrix<float>>, const ExecutorOptions&);
+extern template void execute_batched_plan<util::Half, float, float>(
+    const core::SchedulePlan&, const BatchedShape&,
+    std::span<const Matrix<util::Half>>, std::span<const Matrix<util::Half>>,
+    std::span<Matrix<float>>, const ExecutorOptions&);
 
 extern template void execute_batched<double, double, double>(
     const core::Decomposition&, const BatchedShape&,

@@ -3,7 +3,6 @@
 #include <chrono>
 
 #include "cpu/decomposed_runner.hpp"
-#include "model/memory_model.hpp"
 
 namespace streamk::cpu {
 
@@ -69,10 +68,10 @@ void view_mac_segment(const MatrixView<In>& a, const MatrixView<In>& b,
 }  // namespace
 
 template <typename In, typename Acc, typename Out>
-void execute_views(const core::Decomposition& decomposition,
-                   const MatrixView<In>& a, const MatrixView<In>& b,
-                   Matrix<Out>& c, const ExecutorOptions& options) {
-  const core::WorkMapping& mapping = decomposition.mapping();
+void execute_views_plan(const core::SchedulePlan& plan,
+                        const MatrixView<In>& a, const MatrixView<In>& b,
+                        Matrix<Out>& c, const ExecutorOptions& options) {
+  const core::WorkMapping& mapping = plan.mapping();
   util::check(a.rows() == mapping.shape().m && a.cols() == mapping.shape().k,
               "op(A) does not conform to the decomposition");
   util::check(b.rows() == mapping.shape().k && b.cols() == mapping.shape().n,
@@ -82,7 +81,7 @@ void execute_views(const core::Decomposition& decomposition,
   const gpu::BlockShape& blk = mapping.block();
 
   run_decomposed<Acc>(
-      decomposition, blk.tile_elements(),
+      plan, blk.tile_elements(),
       [&](const core::TileSegment& seg, std::span<Acc> accum,
           MacScratch<Acc>& scratch) {
         view_mac_segment<In, Acc>(a, b, mapping, seg, accum, scratch);
@@ -108,6 +107,14 @@ void execute_views(const core::Decomposition& decomposition,
       options);
 }
 
+template <typename In, typename Acc, typename Out>
+void execute_views(const core::Decomposition& decomposition,
+                   const MatrixView<In>& a, const MatrixView<In>& b,
+                   Matrix<Out>& c, const ExecutorOptions& options) {
+  const core::SchedulePlan plan = core::compile_plan(decomposition);
+  execute_views_plan<In, Acc, Out>(plan, a, b, c, options);
+}
+
 namespace {
 
 template <typename In, typename Acc, typename Out>
@@ -130,6 +137,7 @@ GemmReport blas_impl(Trans trans_a, Trans trans_b, double alpha,
   const core::DecompositionSpec spec =
       resolve_schedule(options, mapping, precision, workers);
   const auto decomposition = core::make_decomposition(spec, mapping);
+  const core::SchedulePlan plan = core::compile_plan(*decomposition);
 
   ExecutorOptions exec;
   exec.workers = workers;
@@ -137,15 +145,15 @@ GemmReport blas_impl(Trans trans_a, Trans trans_b, double alpha,
   exec.beta = beta;
 
   const auto start = std::chrono::steady_clock::now();
-  execute_views<In, Acc, Out>(*decomposition, va, vb, c, exec);
+  execute_views_plan<In, Acc, Out>(plan, va, vb, c, exec);
   const auto stop = std::chrono::steady_clock::now();
 
   GemmReport report;
   report.spec = spec;
-  report.schedule_name = decomposition->name();
-  report.grid = decomposition->grid_size();
+  report.schedule_name = plan.name();
+  report.grid = plan.grid();
   report.tiles = mapping.tiles();
-  report.spills = model::count_spills(*decomposition);
+  report.spills = plan.total_spills();
   report.seconds = std::chrono::duration<double>(stop - start).count();
   report.gflops =
       report.seconds > 0.0 ? shape.flops() / report.seconds / 1e9 : 0.0;
@@ -176,6 +184,16 @@ GemmReport hgemm(Trans trans_a, Trans trans_b, double alpha,
                                              beta, c, options,
                                              gpu::Precision::kFp16F32);
 }
+
+template void execute_views_plan<double, double, double>(
+    const core::SchedulePlan&, const MatrixView<double>&,
+    const MatrixView<double>&, Matrix<double>&, const ExecutorOptions&);
+template void execute_views_plan<float, float, float>(
+    const core::SchedulePlan&, const MatrixView<float>&,
+    const MatrixView<float>&, Matrix<float>&, const ExecutorOptions&);
+template void execute_views_plan<util::Half, float, float>(
+    const core::SchedulePlan&, const MatrixView<util::Half>&,
+    const MatrixView<util::Half>&, Matrix<float>&, const ExecutorOptions&);
 
 template void execute_views<double, double, double>(
     const core::Decomposition&, const MatrixView<double>&,

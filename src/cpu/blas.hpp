@@ -17,6 +17,10 @@
 #include "cpu/gemm.hpp"
 #include "cpu/matrix.hpp"
 
+namespace streamk::core {
+class SchedulePlan;
+}  // namespace streamk::core
+
 namespace streamk::cpu {
 
 enum class Trans {
@@ -50,7 +54,13 @@ class MatrixView {
   std::int64_t col_stride_;
 };
 
-/// Executes a decomposition over transposed views.
+/// Executes a compiled plan over transposed views.
+template <typename In, typename Acc, typename Out>
+void execute_views_plan(const core::SchedulePlan& plan,
+                        const MatrixView<In>& a, const MatrixView<In>& b,
+                        Matrix<Out>& c, const ExecutorOptions& options = {});
+
+/// Convenience overload: compiles `decomposition` and executes the plan.
 template <typename In, typename Acc, typename Out>
 void execute_views(const core::Decomposition& decomposition,
                    const MatrixView<In>& a, const MatrixView<In>& b,
@@ -72,6 +82,16 @@ GemmReport hgemm(Trans trans_a, Trans trans_b, double alpha,
                  const Matrix<util::Half>& a, const Matrix<util::Half>& b,
                  double beta, Matrix<float>& c,
                  const GemmOptions& options = {});
+
+extern template void execute_views_plan<double, double, double>(
+    const core::SchedulePlan&, const MatrixView<double>&,
+    const MatrixView<double>&, Matrix<double>&, const ExecutorOptions&);
+extern template void execute_views_plan<float, float, float>(
+    const core::SchedulePlan&, const MatrixView<float>&,
+    const MatrixView<float>&, Matrix<float>&, const ExecutorOptions&);
+extern template void execute_views_plan<util::Half, float, float>(
+    const core::SchedulePlan&, const MatrixView<util::Half>&,
+    const MatrixView<util::Half>&, Matrix<float>&, const ExecutorOptions&);
 
 extern template void execute_views<double, double, double>(
     const core::Decomposition&, const MatrixView<double>&,

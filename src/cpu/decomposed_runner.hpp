@@ -1,26 +1,27 @@
 #pragma once
 
-// Generic decomposed-execution skeleton.
+// Generic plan-driven execution skeleton.
 //
-// Factors the CTA loop shared by every execution substrate (GEMM, batched
-// GEMM, implicit-GEMM convolution, transposed BLAS views): claim CTAs in
+// The single CTA loop behind every execution substrate (GEMM, batched GEMM,
+// implicit-GEMM convolution, transposed BLAS views): claim CTAs in
 // descending id order, run each segment's MAC functor into a local
 // accumulator, and apply the Stream-K fixup protocol -- spill + signal for
-// non-starting segments, await + serial reduce + store for owners.  The
-// caller supplies two functors:
+// non-starting segments, await + serial reduce + store for owners.  Work
+// streams and fixup peers come from a compiled core::SchedulePlan, so the
+// hot loop touches only flat arrays: no virtual calls, no per-CTA vector
+// materialization.  The caller supplies two functors:
 //
 //     mac(segment, accum, scratch)  -- accumulate the segment's iterations
 //     store(tile_idx, accum)        -- epilogue for a completed tile
 //
 // Deadlock freedom and memory-ordering arguments are identical to
 // cpu/executor.hpp (waits target higher ids; claims descend; flag
-// signal/wait is release/acquire).
+// signal/wait is release/acquire); see DESIGN.md.
 
 #include <algorithm>
 #include <vector>
 
-#include "core/decomposition.hpp"
-#include "core/peers.hpp"
+#include "core/schedule_plan.hpp"
 #include "cpu/executor.hpp"
 #include "cpu/mac_loop.hpp"
 #include "cpu/workspace.hpp"
@@ -29,23 +30,23 @@
 namespace streamk::cpu {
 
 template <typename Acc, typename MacFn, typename StoreFn>
-void run_decomposed(const core::Decomposition& decomposition,
-                    std::int64_t tile_elements, MacFn&& mac, StoreFn&& store,
+void run_decomposed(const core::SchedulePlan& plan, std::int64_t tile_elements,
+                    MacFn&& mac, StoreFn&& store,
                     const ExecutorOptions& options) {
-  const core::FixupTable fixups(decomposition);
-  FixupWorkspace<Acc> workspace(decomposition, tile_elements);
+  plan.check_runnable();
+  FixupWorkspace<Acc> workspace(plan, tile_elements);
   const std::size_t workers =
       options.workers > 0 ? options.workers : util::hardware_threads();
 
   auto run_cta = [&](std::size_t cta_index) {
     const auto cta = static_cast<std::int64_t>(cta_index);
-    const core::CtaWork work = decomposition.cta_work(cta);
-    if (work.empty()) return;
+    const std::span<const core::TileSegment> segments = plan.cta_segments(cta);
+    if (segments.empty()) return;
 
     std::vector<Acc> accum(static_cast<std::size_t>(tile_elements));
-    MacScratch<Acc> scratch(decomposition.mapping().block());
+    MacScratch<Acc> scratch(plan.mapping().block());
 
-    for (const core::TileSegment& seg : work.segments) {
+    for (const core::TileSegment& seg : segments) {
       std::fill(accum.begin(), accum.end(), Acc{});
       mac(seg, std::span<Acc>(accum), scratch);
 
@@ -56,8 +57,7 @@ void run_decomposed(const core::Decomposition& decomposition,
         continue;
       }
       if (!seg.ends_tile()) {
-        const core::TileFixup& fixup = fixups.tile(seg.tile_idx);
-        for (const std::int64_t peer : fixup.contributors) {
+        for (const std::int64_t peer : plan.tile_contributors(seg.tile_idx)) {
           workspace.wait(peer);
           std::span<const Acc> slot = workspace.partials(peer);
           for (std::size_t i = 0; i < accum.size(); ++i) accum[i] += slot[i];
@@ -67,8 +67,8 @@ void run_decomposed(const core::Decomposition& decomposition,
     }
   };
 
-  util::parallel_for_descending(
-      static_cast<std::size_t>(decomposition.grid_size()), run_cta, workers);
+  util::parallel_for_descending(static_cast<std::size_t>(plan.grid()), run_cta,
+                                workers);
 }
 
 }  // namespace streamk::cpu

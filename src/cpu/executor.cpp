@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <vector>
 
-#include "core/peers.hpp"
+#include "core/schedule_plan.hpp"
+#include "cpu/decomposed_runner.hpp"
 #include "cpu/mac_loop.hpp"
 #include "cpu/reference.hpp"
 #include "cpu/workspace.hpp"
-#include "util/threading.hpp"
 
 namespace streamk::cpu {
 
@@ -40,64 +40,44 @@ void store_tile(const core::WorkMapping& mapping, std::int64_t tile_idx,
 }  // namespace
 
 template <typename In, typename Acc, typename Out>
+void execute_plan(const core::SchedulePlan& plan, const Matrix<In>& a,
+                  const Matrix<In>& b, Matrix<Out>& c,
+                  const ExecutorOptions& options) {
+  const core::WorkMapping& mapping = plan.mapping();
+  const core::GemmShape shape = product_shape(a, b, c);
+  util::check(shape == mapping.shape(),
+              "matrices do not match the plan's GEMM shape");
+
+  run_decomposed<Acc>(
+      plan, mapping.block().tile_elements(),
+      [&](const core::TileSegment& seg, std::span<Acc> accum,
+          MacScratch<Acc>& scratch) {
+        run_mac_segment<In, Acc>(a, b, mapping, seg, accum, scratch);
+      },
+      [&](std::int64_t tile_idx, std::span<const Acc> accum) {
+        store_tile<Acc, Out>(mapping, tile_idx, accum, c, options.alpha,
+                             options.beta);
+      },
+      options);
+}
+
+template <typename In, typename Acc, typename Out>
 void execute_decomposition(const core::Decomposition& decomposition,
                            const Matrix<In>& a, const Matrix<In>& b,
                            Matrix<Out>& c, const ExecutorOptions& options) {
-  const core::WorkMapping& mapping = decomposition.mapping();
-  const core::GemmShape shape = product_shape(a, b, c);
-  util::check(shape == mapping.shape(),
-              "matrices do not match the decomposition's GEMM shape");
-
-  const gpu::BlockShape& blk = mapping.block();
-  const core::FixupTable fixups(decomposition);
-  FixupWorkspace<Acc> workspace(decomposition, blk.tile_elements());
-
-  const std::size_t workers =
-      options.workers > 0 ? options.workers : util::hardware_threads();
-
-  auto run_cta = [&](std::size_t cta_index) {
-    const auto cta = static_cast<std::int64_t>(cta_index);
-    const core::CtaWork work = decomposition.cta_work(cta);
-    if (work.empty()) return;
-
-    std::vector<Acc> accum(static_cast<std::size_t>(blk.tile_elements()));
-    MacScratch<Acc> scratch(blk);
-
-    for (const core::TileSegment& seg : work.segments) {
-      std::fill(accum.begin(), accum.end(), Acc{});
-      run_mac_segment<In, Acc>(a, b, mapping, seg, std::span<Acc>(accum),
-                               scratch);
-
-      if (!seg.starts_tile()) {
-        // Spill: publish partials, raise this CTA's flag.
-        std::span<Acc> slot = workspace.partials(cta);
-        std::copy(accum.begin(), accum.end(), slot.begin());
-        workspace.signal(cta);
-        continue;
-      }
-
-      if (!seg.ends_tile()) {
-        // Owner of a split tile: await and reduce each contributing peer in
-        // ascending id order (Algorithm 5 lines 31-36).
-        const core::TileFixup& fixup = fixups.tile(seg.tile_idx);
-        for (const std::int64_t peer : fixup.contributors) {
-          workspace.wait(peer);
-          std::span<const Acc> slot = workspace.partials(peer);
-          for (std::size_t i = 0; i < accum.size(); ++i) accum[i] += slot[i];
-        }
-      }
-
-      store_tile<Acc, Out>(mapping, seg.tile_idx,
-                           std::span<const Acc>(accum), c, options.alpha,
-                           options.beta);
-    }
-  };
-
-  // Descending-order claiming is what makes any worker count deadlock-free;
-  // see the header comment.
-  util::parallel_for_descending(
-      static_cast<std::size_t>(decomposition.grid_size()), run_cta, workers);
+  const core::SchedulePlan plan = core::compile_plan(decomposition);
+  execute_plan<In, Acc, Out>(plan, a, b, c, options);
 }
+
+template void execute_plan<double, double, double>(
+    const core::SchedulePlan&, const Matrix<double>&, const Matrix<double>&,
+    Matrix<double>&, const ExecutorOptions&);
+template void execute_plan<float, float, float>(
+    const core::SchedulePlan&, const Matrix<float>&, const Matrix<float>&,
+    Matrix<float>&, const ExecutorOptions&);
+template void execute_plan<util::Half, float, float>(
+    const core::SchedulePlan&, const Matrix<util::Half>&,
+    const Matrix<util::Half>&, Matrix<float>&, const ExecutorOptions&);
 
 template void execute_decomposition<double, double, double>(
     const core::Decomposition&, const Matrix<double>&, const Matrix<double>&,

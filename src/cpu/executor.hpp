@@ -5,8 +5,8 @@
 // Worker threads play the role of SMs: each claims CTA ids dynamically and
 // runs the CTA's segment stream -- MacLoop per segment, then the fixup
 // protocol (spill+signal, or wait+reduce+store) exactly as the simulator
-// models it.  The same Decomposition object drives both, so functional
-// behaviour and simulated schedules cannot drift apart.
+// models it.  Both consume the same compiled core::SchedulePlan, so
+// functional behaviour and simulated schedules cannot drift apart.
 //
 // Deadlock freedom with any worker count W >= 1: flag waits always target
 // CTAs with *higher* ids (Stream-K owners wait on later-range CTAs;
@@ -23,6 +23,10 @@
 #include "core/decomposition.hpp"
 #include "cpu/matrix.hpp"
 
+namespace streamk::core {
+class SchedulePlan;
+}  // namespace streamk::core
+
 namespace streamk::cpu {
 
 struct ExecutorOptions {
@@ -32,12 +36,29 @@ struct ExecutorOptions {
   double beta = 0.0;
 };
 
-/// Executes `decomposition` over real matrices: C = alpha * A.B + beta * C.
-/// The matrices must conform to the decomposition's GEMM shape.
+/// Executes a compiled plan over real matrices: C = alpha * A.B + beta * C.
+/// The matrices must conform to the plan's GEMM shape.  Reusing one plan
+/// across calls amortizes schedule compilation entirely.
+template <typename In, typename Acc, typename Out>
+void execute_plan(const core::SchedulePlan& plan, const Matrix<In>& a,
+                  const Matrix<In>& b, Matrix<Out>& c,
+                  const ExecutorOptions& options = {});
+
+/// Convenience overload: compiles `decomposition` and executes the plan.
 template <typename In, typename Acc, typename Out>
 void execute_decomposition(const core::Decomposition& decomposition,
                            const Matrix<In>& a, const Matrix<In>& b,
                            Matrix<Out>& c, const ExecutorOptions& options = {});
+
+extern template void execute_plan<double, double, double>(
+    const core::SchedulePlan&, const Matrix<double>&, const Matrix<double>&,
+    Matrix<double>&, const ExecutorOptions&);
+extern template void execute_plan<float, float, float>(
+    const core::SchedulePlan&, const Matrix<float>&, const Matrix<float>&,
+    Matrix<float>&, const ExecutorOptions&);
+extern template void execute_plan<util::Half, float, float>(
+    const core::SchedulePlan&, const Matrix<util::Half>&,
+    const Matrix<util::Half>&, Matrix<float>&, const ExecutorOptions&);
 
 extern template void execute_decomposition<double, double, double>(
     const core::Decomposition&, const Matrix<double>&, const Matrix<double>&,

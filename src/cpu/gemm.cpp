@@ -2,9 +2,9 @@
 
 #include <chrono>
 
+#include "core/schedule_plan.hpp"
 #include "cpu/reference.hpp"
 #include "model/grid_selector.hpp"
-#include "model/memory_model.hpp"
 #include "util/threading.hpp"
 
 namespace streamk::cpu {
@@ -78,6 +78,7 @@ GemmReport gemm_impl(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
   const core::DecompositionSpec spec =
       resolve_schedule(options, mapping, precision, workers);
   const auto decomposition = core::make_decomposition(spec, mapping);
+  const core::SchedulePlan plan = core::compile_plan(*decomposition);
 
   ExecutorOptions exec;
   exec.workers = workers;
@@ -85,15 +86,15 @@ GemmReport gemm_impl(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
   exec.beta = options.beta;
 
   const auto start = std::chrono::steady_clock::now();
-  execute_decomposition<In, Acc, Out>(*decomposition, a, b, c, exec);
+  execute_plan<In, Acc, Out>(plan, a, b, c, exec);
   const auto stop = std::chrono::steady_clock::now();
 
   GemmReport report;
   report.spec = spec;
-  report.schedule_name = decomposition->name();
-  report.grid = decomposition->grid_size();
+  report.schedule_name = plan.name();
+  report.grid = plan.grid();
   report.tiles = mapping.tiles();
-  report.spills = model::count_spills(*decomposition);
+  report.spills = plan.total_spills();
   report.seconds = std::chrono::duration<double>(stop - start).count();
   report.gflops =
       report.seconds > 0.0 ? shape.flops() / report.seconds / 1e9 : 0.0;

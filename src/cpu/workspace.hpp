@@ -22,7 +22,7 @@
 #include <span>
 #include <vector>
 
-#include "core/peers.hpp"
+#include "core/schedule_plan.hpp"
 #include "util/check.hpp"
 
 namespace streamk::cpu {
@@ -30,31 +30,27 @@ namespace streamk::cpu {
 template <typename Acc>
 class FixupWorkspace {
  public:
-  /// Builds slots for every CTA of `decomposition` that has a non-starting
-  /// segment.  `tile_elements` is BLK_M * BLK_N.
-  FixupWorkspace(const core::Decomposition& decomposition,
-                 std::int64_t tile_elements)
-      : tile_elements_(tile_elements) {
-    const std::int64_t grid = decomposition.grid_size();
-    slot_of_cta_.assign(static_cast<std::size_t>(grid), -1);
-    std::int64_t slots = 0;
+  /// Adopts the plan's spill-slot assignment: one slot per CTA with a
+  /// non-starting segment.  `tile_elements` is BLK_M * BLK_N.
+  FixupWorkspace(const core::SchedulePlan& plan, std::int64_t tile_elements)
+      : tile_elements_(tile_elements), slot_count_(plan.spill_slot_count()) {
+    plan.check_runnable();
+    const std::int64_t grid = plan.grid();
+    slot_of_cta_.resize(static_cast<std::size_t>(grid));
     for (std::int64_t cta = 0; cta < grid; ++cta) {
-      for (const core::TileSegment& seg :
-           decomposition.cta_work(cta).segments) {
-        if (!seg.starts_tile()) {
-          util::check(slot_of_cta_[static_cast<std::size_t>(cta)] == -1,
-                      "CTA spills twice");
-          slot_of_cta_[static_cast<std::size_t>(cta)] = slots++;
-        }
-      }
+      slot_of_cta_[static_cast<std::size_t>(cta)] = plan.spill_slot(cta);
     }
     partials_.assign(
-        static_cast<std::size_t>(slots * tile_elements_), Acc{});
+        static_cast<std::size_t>(slot_count_ * tile_elements_), Acc{});
     flags_ = std::make_unique<std::atomic<std::uint32_t>[]>(
-        static_cast<std::size_t>(slots > 0 ? slots : 1));
-    slot_count_ = slots;
+        static_cast<std::size_t>(slot_count_ > 0 ? slot_count_ : 1));
     reset();
   }
+
+  /// Convenience overload: compiles `decomposition` for its slot layout.
+  FixupWorkspace(const core::Decomposition& decomposition,
+                 std::int64_t tile_elements)
+      : FixupWorkspace(core::compile_plan(decomposition), tile_elements) {}
 
   std::int64_t slot_count() const { return slot_count_; }
 

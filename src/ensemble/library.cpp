@@ -14,14 +14,17 @@ GemmMeasurement measure(const core::GemmShape& shape,
                         const KernelConfig& config,
                         const core::DecompositionSpec& spec,
                         gpu::Precision precision, const gpu::GpuSpec& gpu,
-                        const std::string& label) {
+                        const std::string& label,
+                        core::PlanCache& plan_cache) {
   const core::WorkMapping mapping(shape, config.block);
   const model::CostModel model =
       model::CostModel::calibrated(gpu, config.block, precision);
+  sim::EstimateOptions options;
+  options.plan_cache = &plan_cache;
   GemmMeasurement m;
   m.config = config;
   m.kind = spec.kind;
-  m.estimate = sim::estimate_kernel(spec, mapping, model, gpu);
+  m.estimate = sim::estimate_kernel(spec, mapping, model, gpu, options);
   m.kernel_name = label + " " + config.to_string();
   return m;
 }
@@ -41,7 +44,7 @@ GemmMeasurement DataParallelLibrary::run(const core::GemmShape& shape) const {
   core::DecompositionSpec spec;
   spec.kind = core::DecompositionKind::kDataParallel;
   return measure(shape, KernelConfig{block_, 1}, spec, precision_, gpu_,
-                 "dp");
+                 "dp", plan_cache_);
 }
 
 OracleLibrary::OracleLibrary(gpu::GpuSpec gpu, gpu::Precision precision)
@@ -55,7 +58,7 @@ GemmMeasurement OracleLibrary::run(const core::GemmShape& shape) const {
   spec.kind = core::DecompositionKind::kDataParallel;
   for (const gpu::BlockShape& block : members_) {
     GemmMeasurement m = measure(shape, KernelConfig{block, 1}, spec,
-                                precision_, gpu_, "oracle-dp");
+                                precision_, gpu_, "oracle-dp", plan_cache_);
     if (m.estimate.seconds < best.estimate.seconds) best = std::move(m);
   }
   return best;
@@ -73,7 +76,8 @@ GemmMeasurement HeuristicLibrary::run(const core::GemmShape& shape) const {
   } else {
     spec.kind = core::DecompositionKind::kDataParallel;
   }
-  return measure(shape, config, spec, precision_, gpu_, "cublas-like");
+  return measure(shape, config, spec, precision_, gpu_, "cublas-like",
+                 plan_cache_);
 }
 
 StreamKLibrary::StreamKLibrary(gpu::GpuSpec gpu, gpu::Precision precision)
@@ -86,7 +90,7 @@ GemmMeasurement StreamKLibrary::run(const core::GemmShape& shape) const {
       model::CostModel::calibrated(gpu_, block_, precision_);
   const core::DecompositionSpec spec = model::plan(model, mapping, gpu_);
   GemmMeasurement m = measure(shape, KernelConfig{block_, 1}, spec,
-                              precision_, gpu_, "stream-k");
+                              precision_, gpu_, "stream-k", plan_cache_);
   m.kernel_name =
       "stream-k[" + std::string(core::kind_name(spec.kind)) + "] " +
       block_.to_string();
@@ -124,8 +128,8 @@ GemmMeasurement StreamKDuoLibrary::run_block(const core::GemmShape& shape,
       model::CostModel::calibrated(gpu_, block, precision_);
   const core::DecompositionSpec spec = model::plan(model, mapping, gpu_);
   *predicted_seconds = model::closed_form_estimate(spec, model, mapping, gpu_);
-  GemmMeasurement m =
-      measure(shape, KernelConfig{block, 1}, spec, precision_, gpu_, "duo");
+  GemmMeasurement m = measure(shape, KernelConfig{block, 1}, spec, precision_,
+                              gpu_, "duo", plan_cache_);
   m.kernel_name = "stream-k-duo[" + std::string(core::kind_name(spec.kind)) +
                   "] " + block.to_string();
   return m;

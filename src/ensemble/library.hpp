@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/gemm_shape.hpp"
+#include "core/schedule_plan.hpp"
 #include "ensemble/kernel_config.hpp"
 #include "gpu/gpu_spec.hpp"
 #include "sim/sim_gemm.hpp"
@@ -47,9 +48,15 @@ class KernelLibrary {
   const gpu::GpuSpec& gpu() const { return gpu_; }
   gpu::Precision precision() const { return precision_; }
 
+  /// Compiled-schedule cache behind run(): repeated traffic for one shape
+  /// reuses the SchedulePlan instead of rematerializing segment streams.
+  const core::PlanCache& plan_cache() const { return plan_cache_; }
+
  protected:
   gpu::GpuSpec gpu_;
   gpu::Precision precision_;
+  /// Mutable: run() is logically const; memoization is not observable state.
+  mutable core::PlanCache plan_cache_;
 };
 
 class DataParallelLibrary final : public KernelLibrary {

@@ -33,14 +33,12 @@ std::int64_t stream_k_spills(const core::WorkMapping& mapping,
   return spills;
 }
 
+std::int64_t count_spills(const core::SchedulePlan& plan) {
+  return plan.total_spills();
+}
+
 std::int64_t count_spills(const core::Decomposition& decomposition) {
-  std::int64_t spills = 0;
-  for (std::int64_t cta = 0; cta < decomposition.grid_size(); ++cta) {
-    for (const core::TileSegment& seg : decomposition.cta_work(cta).segments) {
-      if (!seg.starts_tile()) ++spills;
-    }
-  }
-  return spills;
+  return core::compile_plan(decomposition).total_spills();
 }
 
 Traffic estimate_traffic(const core::WorkMapping& mapping,

@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "core/decomposition.hpp"
+#include "core/schedule_plan.hpp"
 #include "core/work_mapping.hpp"
 #include "gpu/gpu_spec.hpp"
 #include "gpu/precision.hpp"
@@ -51,7 +52,12 @@ std::int64_t fixed_split_spills(const core::WorkMapping& mapping,
                                 std::int64_t split);
 std::int64_t stream_k_spills(const core::WorkMapping& mapping,
                              std::int64_t grid);
-/// Exact spill count for an arbitrary decomposition (walks the segments).
+/// Exact spill count for an arbitrary schedule, from its compiled plan's
+/// precomputed total (O(1)).
+std::int64_t count_spills(const core::SchedulePlan& plan);
+
+/// Convenience overload: compiles `decomposition` first (prefer the plan
+/// overload when a plan already exists).
 std::int64_t count_spills(const core::Decomposition& decomposition);
 
 Traffic estimate_traffic(const core::WorkMapping& mapping,

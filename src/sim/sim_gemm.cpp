@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/hybrid.hpp"
+#include "core/schedule_plan.hpp"
 #include "core/stream_k.hpp"
 #include "model/memory_model.hpp"
 #include "model/wave_model.hpp"
@@ -137,8 +138,16 @@ KernelEstimate estimate_kernel(const core::DecompositionSpec& spec,
        segment_bound(normalized, mapping, slots) <= options.des_segment_limit);
 
   if (use_des) {
-    const auto decomposition = core::make_decomposition(normalized, mapping);
-    const SimResult sim = simulate(*decomposition, model, gpu, SimOptions{});
+    SimResult sim;
+    if (options.plan_cache) {
+      const core::PlanKey key = core::make_plan_key(mapping, normalized, gpu);
+      const auto plan = options.plan_cache->obtain(key, mapping, normalized);
+      sim = simulate(*plan, model, gpu, SimOptions{});
+    } else {
+      const auto decomposition = core::make_decomposition(normalized, mapping);
+      sim = simulate(core::compile_plan(*decomposition), model, gpu,
+                     SimOptions{});
+    }
     est.compute_seconds = sim.makespan;
     est.spills = sim.spills;
     est.used_des = true;

@@ -16,6 +16,10 @@
 #include "model/cost_model.hpp"
 #include "sim/simulator.hpp"
 
+namespace streamk::core {
+class PlanCache;
+}  // namespace streamk::core
+
 namespace streamk::sim {
 
 struct KernelEstimate {
@@ -36,6 +40,9 @@ struct EstimateOptions {
   std::int64_t des_segment_limit = 4096;
   bool force_des = false;
   bool force_closed_form = false;
+  /// When set, event-simulated schedules are compiled through this cache so
+  /// repeated estimates of one (shape, spec, GPU) reuse the SchedulePlan.
+  core::PlanCache* plan_cache = nullptr;
 };
 
 KernelEstimate estimate_kernel(const core::DecompositionSpec& spec,

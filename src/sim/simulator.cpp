@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <queue>
+#include <span>
 #include <vector>
 
-#include "core/peers.hpp"
+#include "core/schedule_plan.hpp"
 #include "core/validate.hpp"
 #include "util/check.hpp"
 
@@ -15,7 +16,7 @@ namespace {
 enum class Phase { kMacPending, kPostMac };
 
 struct CtaState {
-  core::CtaWork work;
+  std::span<const core::TileSegment> segments;
   std::size_t seg = 0;
   Phase phase = Phase::kMacPending;
   std::size_t next_contributor = 0;
@@ -40,15 +41,13 @@ struct Event {
 
 class Engine {
  public:
-  Engine(const core::Decomposition& decomposition,
-         const model::CostModel& model, const gpu::GpuSpec& gpu,
-         const SimOptions& options)
-      : decomposition_(decomposition),
-        fixups_(decomposition),
+  Engine(const core::SchedulePlan& plan, const model::CostModel& model,
+         const gpu::GpuSpec& gpu, const SimOptions& options)
+      : plan_(plan),
         params_(model.params()),
         gpu_(gpu),
         options_(options),
-        grid_(decomposition.grid_size()) {
+        grid_(plan.grid()) {
     const std::int64_t occ =
         options.occupancy_override > 0
             ? options.occupancy_override
@@ -62,7 +61,7 @@ class Engine {
 
     states_.resize(static_cast<std::size_t>(grid_));
     for (std::int64_t cta = 0; cta < grid_; ++cta) {
-      states_[static_cast<std::size_t>(cta)].work = decomposition.cta_work(cta);
+      states_[static_cast<std::size_t>(cta)].segments = plan.cta_segments(cta);
     }
     signal_time_.assign(static_cast<std::size_t>(grid_), 0.0);
     signaled_.assign(static_cast<std::size_t>(grid_), false);
@@ -162,8 +161,8 @@ class Engine {
       s.setup_done = true;
     }
 
-    while (s.seg < s.work.segments.size()) {
-      const core::TileSegment& seg = s.work.segments[s.seg];
+    while (s.seg < s.segments.size()) {
+      const core::TileSegment& seg = s.segments[s.seg];
 
       if (s.phase == Phase::kMacPending) {
         const double duration =
@@ -183,9 +182,10 @@ class Engine {
       } else if (!seg.ends_tile()) {
         // This CTA owns the tile: serially await and reduce each
         // contributing peer in ascending id order (Algorithm 5).
-        const core::TileFixup& fixup = fixups_.tile(seg.tile_idx);
-        while (s.next_contributor < fixup.contributors.size()) {
-          const std::int64_t peer = fixup.contributors[s.next_contributor];
+        const std::span<const std::int64_t> contributors =
+            plan_.tile_contributors(seg.tile_idx);
+        while (s.next_contributor < contributors.size()) {
+          const std::int64_t peer = contributors[s.next_contributor];
           if (!signaled_[static_cast<std::size_t>(peer)]) {
             waiters_[static_cast<std::size_t>(peer)].push_back(cta);
             return;  // blocked; resumed by signal()
@@ -214,8 +214,7 @@ class Engine {
     push_event(s.clock, cta, /*free_slot=*/true);
   }
 
-  const core::Decomposition& decomposition_;
-  core::FixupTable fixups_;
+  const core::SchedulePlan& plan_;
   model::CostParams params_;
   const gpu::GpuSpec& gpu_;
   SimOptions options_;
@@ -243,12 +242,20 @@ class Engine {
 
 }  // namespace
 
-SimResult simulate(const core::Decomposition& decomposition,
+SimResult simulate(const core::SchedulePlan& plan,
                    const model::CostModel& model, const gpu::GpuSpec& gpu,
                    const SimOptions& options) {
   util::check(gpu.sm_count >= 1, "GPU without SMs");
-  Engine engine(decomposition, model, gpu, options);
+  plan.check_runnable();
+  Engine engine(plan, model, gpu, options);
   return engine.run();
+}
+
+SimResult simulate(const core::Decomposition& decomposition,
+                   const model::CostModel& model, const gpu::GpuSpec& gpu,
+                   const SimOptions& options) {
+  const core::SchedulePlan plan = core::compile_plan(decomposition);
+  return simulate(plan, model, gpu, options);
 }
 
 }  // namespace streamk::sim

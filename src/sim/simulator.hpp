@@ -21,11 +21,15 @@
 // stalls defensively.
 //
 // Complexity: O(total segments + g log g); exact for any decomposition, and
-// the closed forms in model/wave_model.hpp are validated against it.
+// the closed forms in model/wave_model.hpp are validated against it.  The
+// engine consumes a compiled core::SchedulePlan -- the same IR the CPU
+// executor runs -- so setup is O(segments) array views, not per-CTA stream
+// materialization.
 
 #include <cstdint>
 
 #include "core/decomposition.hpp"
+#include "core/schedule_plan.hpp"
 #include "gpu/gpu_spec.hpp"
 #include "model/cost_model.hpp"
 #include "sim/trace.hpp"
@@ -54,6 +58,11 @@ struct SimResult {
   Timeline timeline;  ///< populated when record_trace
 };
 
+SimResult simulate(const core::SchedulePlan& plan,
+                   const model::CostModel& model, const gpu::GpuSpec& gpu,
+                   const SimOptions& options = {});
+
+/// Convenience overload: compiles `decomposition` and simulates the plan.
 SimResult simulate(const core::Decomposition& decomposition,
                    const model::CostModel& model, const gpu::GpuSpec& gpu,
                    const SimOptions& options = {});
