@@ -1,0 +1,218 @@
+// Persistent worker-pool vs spawn-per-call submission throughput.
+//
+// The runtime PR's headline claim: a process-wide persistent pool serves
+// concurrent small-GEMM traffic at a multiple of the old spawn-per-call
+// host runtime, because submission is a queue push instead of `workers - 1`
+// thread spawns plus a workspace allocation.  This bench A/Bs the two
+// regimes the codebase still contains:
+//
+//   spawn -- the pre-runtime world, faithfully reconstructed: no pool
+//            workers (the global pool is shut down), util::parallel_for
+//            uses the legacy spawning backend, workspace pooling is
+//            disabled (allocate-per-call, like the seed), and the schedule
+//            is recompiled per call (execute_decomposition);
+//   pool  -- the persistent runtime: submitters block on submit-then-get
+//            handles, inner regions recruit pool workers, the compiled
+//            plan comes from the plan cache, and workspaces / CTA buffers
+//            come from the runtime pools.
+//
+// Each configuration is (mode, submitter threads, shape): 1/4/16 concurrent
+// submitters pushing a fixed number of Stream-K GEMMs, small and large
+// shapes.  GEMMs/sec plus the pool/spawn speedup are printed and the usual
+// CSV is emitted so later PRs have a trajectory point.
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cpu/executor.hpp"
+#include "cpu/gemm.hpp"
+#include "runtime/gemm_runtime.hpp"
+#include "runtime/workspace_pool.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/threading.hpp"
+
+namespace {
+
+using namespace streamk;
+
+struct ShapeCase {
+  std::string label;
+  core::GemmShape shape;
+};
+
+struct Workload {
+  std::string mode;
+  std::size_t submitters = 1;
+  ShapeCase shape_case;
+  int total_jobs = 0;
+  double seconds = 0.0;
+
+  double gemms_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(total_jobs) / seconds : 0.0;
+  }
+};
+
+cpu::GemmOptions gemm_options() {
+  // Stream-K with an 8-CTA grid and 8 workers -- the configuration a
+  // server sizing its worker count to the machine would run.  Every call
+  // opens a real parallel region (the spawn backend must create 7 threads
+  // per call; the pool enqueues at most pool-width helpers), and the
+  // schedule spills, exercising the fixup workspace on both sides.
+  cpu::GemmOptions options;
+  options.schedule = cpu::Schedule::kStreamK;
+  options.block = {32, 32, 16};
+  options.grid = 8;
+  options.workers = 8;
+  return options;
+}
+
+/// One pre-runtime GEMM: schedule recompiled per call (the old gemm() path
+/// compiled mapping -> decomposition -> plan on every invocation), workers
+/// spawned per region, workspace allocated per call.
+void spawn_world_gemm(const ShapeCase& sc, const cpu::Matrix<double>& a,
+                      const cpu::Matrix<double>& b, cpu::Matrix<double>& c,
+                      const cpu::GemmOptions& options) {
+  const core::WorkMapping mapping(sc.shape, options.block);
+  core::DecompositionSpec spec;
+  spec.kind = core::DecompositionKind::kStreamKBasic;
+  spec.grid = options.grid;
+  spec.sm_count = static_cast<std::int64_t>(options.workers);
+  const auto decomposition = core::make_decomposition(spec, mapping);
+  cpu::ExecutorOptions exec;
+  exec.workers = options.workers;
+  cpu::execute_decomposition<double, double, double>(*decomposition, a, b, c,
+                                                     exec);
+}
+
+/// Runs `total_jobs` GEMMs of `sc` from `submitters` concurrent threads,
+/// every submitter blocking on each call (closed-loop traffic).
+double run_workload(const std::string& mode, const ShapeCase& sc,
+                    std::size_t submitters, int total_jobs) {
+  const cpu::GemmOptions options = gemm_options();
+  const int per_thread = total_jobs / static_cast<int>(submitters);
+
+  // Per-submitter operands, prepared outside the timed section.
+  struct Operands {
+    cpu::Matrix<double> a, b, c;
+  };
+  std::vector<Operands> operands(submitters);
+  util::Pcg32 rng(7);
+  for (Operands& op : operands) {
+    op.a = cpu::Matrix<double>(sc.shape.m, sc.shape.k);
+    op.b = cpu::Matrix<double>(sc.shape.k, sc.shape.n);
+    op.c = cpu::Matrix<double>(sc.shape.m, sc.shape.n);
+    cpu::fill_random(op.a, rng);
+    cpu::fill_random(op.b, rng);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(submitters);
+  for (std::size_t t = 0; t < submitters; ++t) {
+    threads.emplace_back([&, t] {
+      Operands& op = operands[t];
+      for (int i = 0; i < per_thread; ++i) {
+        if (mode == "spawn") {
+          spawn_world_gemm(sc, op.a, op.b, op.c, options);
+        } else {
+          cpu::gemm(op.a, op.b, op.c, options);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "persistent pool vs spawn-per-call submission throughput",
+      "runtime scaling substrate (no paper figure)");
+
+  const std::vector<ShapeCase> shapes = {
+      {"small-32x32x128", {32, 32, 128}},
+      {"large-192x192x192", {192, 192, 192}},
+  };
+  const std::vector<std::size_t> submitter_counts = {1, 4, 16};
+
+  std::vector<Workload> results;
+  for (const ShapeCase& sc : shapes) {
+    const int total_jobs = sc.shape.m >= 128 ? 32 : 320;
+    for (const std::string& mode : {std::string("spawn"),
+                                    std::string("pool")}) {
+      if (mode == "spawn") {
+        // Reconstruct the pre-runtime world: no pool workers, spawning
+        // parallel regions, allocate-per-call workspaces.
+        runtime::global_pool().shutdown();
+        util::set_parallel_backend(util::ParallelBackend::kSpawn);
+        runtime::set_workspace_pooling(false);
+      } else {
+        util::set_parallel_backend(util::ParallelBackend::kPool);
+        runtime::set_workspace_pooling(true);
+        runtime::global_pool().restart();  // hardware-sized persistent pool
+      }
+      for (const std::size_t submitters : submitter_counts) {
+        Workload w;
+        w.mode = mode;
+        w.submitters = submitters;
+        w.shape_case = sc;
+        w.total_jobs = (total_jobs / static_cast<int>(submitters)) *
+                       static_cast<int>(submitters);
+        // Warm-up round outside the measurement (first-touch, pool spin-up).
+        run_workload(mode, sc, submitters, static_cast<int>(submitters));
+        w.seconds = run_workload(mode, sc, submitters, w.total_jobs);
+        results.push_back(w);
+      }
+    }
+  }
+  util::set_parallel_backend(util::ParallelBackend::kPool);
+  runtime::set_workspace_pooling(true);
+  runtime::global_pool().restart();
+
+  util::CsvWriter csv("runtime_throughput.csv",
+                      {"mode", "submitters", "shape", "m", "n", "k", "jobs",
+                       "seconds", "gemms_per_sec"});
+  for (const Workload& w : results) {
+    csv.row({w.mode, util::CsvWriter::cell(w.submitters), w.shape_case.label,
+             util::CsvWriter::cell(w.shape_case.shape.m),
+             util::CsvWriter::cell(w.shape_case.shape.n),
+             util::CsvWriter::cell(w.shape_case.shape.k),
+             util::CsvWriter::cell(static_cast<std::int64_t>(w.total_jobs)),
+             util::CsvWriter::cell(w.seconds),
+             util::CsvWriter::cell(w.gemms_per_sec())});
+  }
+
+  // Paired speedup table.
+  std::map<std::pair<std::string, std::size_t>, double> spawn_rate;
+  for (const Workload& w : results) {
+    if (w.mode == "spawn") {
+      spawn_rate[{w.shape_case.label, w.submitters}] = w.gemms_per_sec();
+    }
+  }
+  std::cout << std::fixed << std::setprecision(1);
+  std::cout << "\nshape              submitters  spawn GEMM/s  pool GEMM/s  "
+               "speedup\n";
+  for (const Workload& w : results) {
+    if (w.mode != "pool") continue;
+    const double spawn = spawn_rate[{w.shape_case.label, w.submitters}];
+    const double speedup = spawn > 0.0 ? w.gemms_per_sec() / spawn : 0.0;
+    std::cout << std::left << std::setw(19) << w.shape_case.label
+              << std::right << std::setw(10) << w.submitters << std::setw(14)
+              << spawn << std::setw(13) << w.gemms_per_sec() << std::setw(8)
+              << std::setprecision(2) << speedup << "x\n"
+              << std::setprecision(1);
+  }
+  std::cout << "\nfull series written to runtime_throughput.csv\n";
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include "core/schedule_plan.hpp"
 #include "cpu/decomposed_runner.hpp"
 #include "cpu/mac_loop.hpp"
+#include "runtime/gemm_runtime.hpp"
 #include "util/threading.hpp"
 
 namespace streamk::conv {
@@ -181,10 +182,14 @@ void execute_conv(const core::Decomposition& decomposition,
   execute_conv_plan<In, Acc, Out>(plan, conv, input, filter, output, options);
 }
 
+namespace {
+
 template <typename In, typename Acc, typename Out>
-cpu::GemmReport conv_forward(const ConvShape& conv, const Tensor4<In>& input,
-                             const Tensor4<In>& filter, Tensor4<Out>& output,
-                             const cpu::GemmOptions& options) {
+cpu::GemmReport conv_forward_blocking(const ConvShape& conv,
+                                      const Tensor4<In>& input,
+                                      const Tensor4<In>& filter,
+                                      Tensor4<Out>& output,
+                                      const cpu::GemmOptions& options) {
   util::check(conv.valid(), "invalid convolution shape");
   gpu::Precision precision = gpu::Precision::kFp64;
   if constexpr (std::is_same_v<In, float>) precision = gpu::Precision::kFp32;
@@ -197,8 +202,8 @@ cpu::GemmReport conv_forward(const ConvShape& conv, const Tensor4<In>& input,
       options.workers > 0 ? options.workers : util::hardware_threads();
   const core::DecompositionSpec spec =
       cpu::resolve_schedule(options, mapping, precision, workers);
-  const auto decomposition = core::make_decomposition(spec, mapping);
-  const core::SchedulePlan plan = core::compile_plan(*decomposition);
+  const core::PlanCache::PlanPtr plan = runtime::plan_cache().obtain(
+      core::make_plan_key(mapping, spec), mapping, spec);
 
   cpu::ExecutorOptions exec;
   exec.workers = workers;
@@ -206,19 +211,35 @@ cpu::GemmReport conv_forward(const ConvShape& conv, const Tensor4<In>& input,
   exec.beta = options.beta;
 
   const auto start = std::chrono::steady_clock::now();
-  execute_conv_plan<In, Acc, Out>(plan, conv, input, filter, output, exec);
+  execute_conv_plan<In, Acc, Out>(*plan, conv, input, filter, output, exec);
   const auto stop = std::chrono::steady_clock::now();
 
   cpu::GemmReport report;
   report.spec = spec;
-  report.schedule_name = plan.name();
-  report.grid = plan.grid();
+  report.schedule_name = plan->name();
+  report.grid = plan->grid();
   report.tiles = mapping.tiles();
-  report.spills = plan.total_spills();
+  report.spills = plan->total_spills();
   report.seconds = std::chrono::duration<double>(stop - start).count();
   report.gflops =
       report.seconds > 0.0 ? conv.flops() / report.seconds / 1e9 : 0.0;
   return report;
+}
+
+}  // namespace
+
+// Sync front end: one pool job per convolution (submit-then-get; see
+// runtime/gemm_runtime.hpp for the work-stealing guarantee).
+template <typename In, typename Acc, typename Out>
+cpu::GemmReport conv_forward(const ConvShape& conv, const Tensor4<In>& input,
+                             const Tensor4<In>& filter, Tensor4<Out>& output,
+                             const cpu::GemmOptions& options) {
+  return runtime::global_pool()
+      .async([&conv, &input, &filter, &output, options] {
+        return conv_forward_blocking<In, Acc, Out>(conv, input, filter,
+                                                   output, options);
+      })
+      .get();
 }
 
 template void direct_conv<double, double, double>(const ConvShape&,
@@ -252,3 +273,29 @@ template cpu::GemmReport conv_forward<float, float, float>(
     Tensor4<float>&, const cpu::GemmOptions&);
 
 }  // namespace streamk::conv
+
+namespace streamk::runtime {
+
+GemmHandle submit_conv_forward(const conv::ConvShape& conv,
+                               const conv::Tensor4<double>& input,
+                               const conv::Tensor4<double>& filter,
+                               conv::Tensor4<double>& output,
+                               const cpu::GemmOptions& options) {
+  return global_pool().async([&conv, &input, &filter, &output, options] {
+    return conv::conv_forward_blocking<double, double, double>(
+        conv, input, filter, output, options);
+  });
+}
+
+GemmHandle submit_conv_forward(const conv::ConvShape& conv,
+                               const conv::Tensor4<float>& input,
+                               const conv::Tensor4<float>& filter,
+                               conv::Tensor4<float>& output,
+                               const cpu::GemmOptions& options) {
+  return global_pool().async([&conv, &input, &filter, &output, options] {
+    return conv::conv_forward_blocking<float, float, float>(
+        conv, input, filter, output, options);
+  });
+}
+
+}  // namespace streamk::runtime

@@ -9,6 +9,7 @@
 #include "cpu/decomposed_runner.hpp"
 #include "cpu/mac_loop.hpp"
 #include "cpu/reference.hpp"
+#include "runtime/gemm_runtime.hpp"
 #include "util/threading.hpp"
 
 namespace streamk::cpu {
@@ -167,11 +168,13 @@ void execute_batched(const core::Decomposition& decomposition,
   execute_batched_plan<In, Acc, Out>(plan, batched, as, bs, cs, options);
 }
 
+namespace {
+
 template <typename In, typename Acc, typename Out>
-GemmReport batched_gemm(std::span<const Matrix<In>> as,
-                        std::span<const Matrix<In>> bs,
-                        std::span<Matrix<Out>> cs,
-                        const GemmOptions& options) {
+GemmReport batched_gemm_blocking(std::span<const Matrix<In>> as,
+                                 std::span<const Matrix<In>> bs,
+                                 std::span<Matrix<Out>> cs,
+                                 const GemmOptions& options) {
   util::check(!as.empty(), "empty batch");
   BatchedShape batched;
   batched.batch = static_cast<std::int64_t>(as.size());
@@ -190,8 +193,8 @@ GemmReport batched_gemm(std::span<const Matrix<In>> as,
       options.workers > 0 ? options.workers : util::hardware_threads();
   const core::DecompositionSpec spec =
       resolve_schedule(options, mapping, precision, workers);
-  const auto decomposition = core::make_decomposition(spec, mapping);
-  const core::SchedulePlan plan = core::compile_plan(*decomposition);
+  const core::PlanCache::PlanPtr plan = runtime::plan_cache().obtain(
+      core::make_plan_key(mapping, spec), mapping, spec);
 
   ExecutorOptions exec;
   exec.workers = workers;
@@ -199,19 +202,35 @@ GemmReport batched_gemm(std::span<const Matrix<In>> as,
   exec.beta = options.beta;
 
   const auto start = std::chrono::steady_clock::now();
-  execute_batched_plan<In, Acc, Out>(plan, batched, as, bs, cs, exec);
+  execute_batched_plan<In, Acc, Out>(*plan, batched, as, bs, cs, exec);
   const auto stop = std::chrono::steady_clock::now();
 
   GemmReport report;
   report.spec = spec;
-  report.schedule_name = plan.name();
-  report.grid = plan.grid();
+  report.schedule_name = plan->name();
+  report.grid = plan->grid();
   report.tiles = mapping.tiles();
-  report.spills = plan.total_spills();
+  report.spills = plan->total_spills();
   report.seconds = std::chrono::duration<double>(stop - start).count();
   report.gflops =
       report.seconds > 0.0 ? batched.flops() / report.seconds / 1e9 : 0.0;
   return report;
+}
+
+}  // namespace
+
+// Sync front end: one pool job per batch (submit-then-get; see
+// runtime/gemm_runtime.hpp for the work-stealing guarantee).
+template <typename In, typename Acc, typename Out>
+GemmReport batched_gemm(std::span<const Matrix<In>> as,
+                        std::span<const Matrix<In>> bs,
+                        std::span<Matrix<Out>> cs,
+                        const GemmOptions& options) {
+  return runtime::global_pool()
+      .async([as, bs, cs, options]() mutable {
+        return batched_gemm_blocking<In, Acc, Out>(as, bs, cs, options);
+      })
+      .get();
 }
 
 template void execute_batched_plan<double, double, double>(
@@ -251,3 +270,37 @@ template GemmReport batched_gemm<util::Half, float, float>(
     std::span<Matrix<float>>, const GemmOptions&);
 
 }  // namespace streamk::cpu
+
+namespace streamk::runtime {
+
+GemmHandle submit_batched_gemm(std::span<const cpu::Matrix<double>> as,
+                               std::span<const cpu::Matrix<double>> bs,
+                               std::span<cpu::Matrix<double>> cs,
+                               const cpu::GemmOptions& options) {
+  return global_pool().async([as, bs, cs, options]() mutable {
+    return cpu::batched_gemm_blocking<double, double, double>(as, bs, cs,
+                                                              options);
+  });
+}
+
+GemmHandle submit_batched_gemm(std::span<const cpu::Matrix<float>> as,
+                               std::span<const cpu::Matrix<float>> bs,
+                               std::span<cpu::Matrix<float>> cs,
+                               const cpu::GemmOptions& options) {
+  return global_pool().async([as, bs, cs, options]() mutable {
+    return cpu::batched_gemm_blocking<float, float, float>(as, bs, cs,
+                                                           options);
+  });
+}
+
+GemmHandle submit_batched_gemm(std::span<const cpu::Matrix<util::Half>> as,
+                               std::span<const cpu::Matrix<util::Half>> bs,
+                               std::span<cpu::Matrix<float>> cs,
+                               const cpu::GemmOptions& options) {
+  return global_pool().async([as, bs, cs, options]() mutable {
+    return cpu::batched_gemm_blocking<util::Half, float, float>(as, bs, cs,
+                                                                options);
+  });
+}
+
+}  // namespace streamk::runtime

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "cpu/decomposed_runner.hpp"
+#include "runtime/gemm_runtime.hpp"
 
 namespace streamk::cpu {
 
@@ -136,8 +137,8 @@ GemmReport blas_impl(Trans trans_a, Trans trans_b, double alpha,
       options.workers > 0 ? options.workers : util::hardware_threads();
   const core::DecompositionSpec spec =
       resolve_schedule(options, mapping, precision, workers);
-  const auto decomposition = core::make_decomposition(spec, mapping);
-  const core::SchedulePlan plan = core::compile_plan(*decomposition);
+  const core::PlanCache::PlanPtr plan = runtime::plan_cache().obtain(
+      core::make_plan_key(mapping, spec), mapping, spec);
 
   ExecutorOptions exec;
   exec.workers = workers;
@@ -145,15 +146,15 @@ GemmReport blas_impl(Trans trans_a, Trans trans_b, double alpha,
   exec.beta = beta;
 
   const auto start = std::chrono::steady_clock::now();
-  execute_views_plan<In, Acc, Out>(plan, va, vb, c, exec);
+  execute_views_plan<In, Acc, Out>(*plan, va, vb, c, exec);
   const auto stop = std::chrono::steady_clock::now();
 
   GemmReport report;
   report.spec = spec;
-  report.schedule_name = plan.name();
-  report.grid = plan.grid();
+  report.schedule_name = plan->name();
+  report.grid = plan->grid();
   report.tiles = mapping.tiles();
-  report.spills = plan.total_spills();
+  report.spills = plan->total_spills();
   report.seconds = std::chrono::duration<double>(stop - start).count();
   report.gflops =
       report.seconds > 0.0 ? shape.flops() / report.seconds / 1e9 : 0.0;
@@ -162,27 +163,31 @@ GemmReport blas_impl(Trans trans_a, Trans trans_b, double alpha,
 
 }  // namespace
 
+// Sync entry points are submit-then-get wrappers over the async runtime
+// (see runtime/gemm_runtime.hpp for the work-stealing guarantee).
+
 GemmReport dgemm(Trans trans_a, Trans trans_b, double alpha,
                  const Matrix<double>& a, const Matrix<double>& b,
                  double beta, Matrix<double>& c, const GemmOptions& options) {
-  return blas_impl<double, double, double>(trans_a, trans_b, alpha, a, b,
-                                           beta, c, options,
-                                           gpu::Precision::kFp64);
+  return runtime::submit_dgemm(trans_a, trans_b, alpha, a, b, beta, c,
+                               options)
+      .get();
 }
 
 GemmReport sgemm(Trans trans_a, Trans trans_b, double alpha,
                  const Matrix<float>& a, const Matrix<float>& b, double beta,
                  Matrix<float>& c, const GemmOptions& options) {
-  return blas_impl<float, float, float>(trans_a, trans_b, alpha, a, b, beta,
-                                        c, options, gpu::Precision::kFp32);
+  return runtime::submit_sgemm(trans_a, trans_b, alpha, a, b, beta, c,
+                               options)
+      .get();
 }
 
 GemmReport hgemm(Trans trans_a, Trans trans_b, double alpha,
                  const Matrix<util::Half>& a, const Matrix<util::Half>& b,
                  double beta, Matrix<float>& c, const GemmOptions& options) {
-  return blas_impl<util::Half, float, float>(trans_a, trans_b, alpha, a, b,
-                                             beta, c, options,
-                                             gpu::Precision::kFp16F32);
+  return runtime::submit_hgemm(trans_a, trans_b, alpha, a, b, beta, c,
+                               options)
+      .get();
 }
 
 template void execute_views_plan<double, double, double>(
@@ -206,3 +211,46 @@ template void execute_views<util::Half, float, float>(
     const MatrixView<util::Half>&, Matrix<float>&, const ExecutorOptions&);
 
 }  // namespace streamk::cpu
+
+namespace streamk::runtime {
+
+GemmHandle submit_dgemm(cpu::Trans trans_a, cpu::Trans trans_b, double alpha,
+                        const cpu::Matrix<double>& a,
+                        const cpu::Matrix<double>& b, double beta,
+                        cpu::Matrix<double>& c,
+                        const cpu::GemmOptions& options) {
+  return global_pool().async([trans_a, trans_b, alpha, &a, &b, beta, &c,
+                              options] {
+    return cpu::blas_impl<double, double, double>(
+        trans_a, trans_b, alpha, a, b, beta, c, options,
+        gpu::Precision::kFp64);
+  });
+}
+
+GemmHandle submit_sgemm(cpu::Trans trans_a, cpu::Trans trans_b, double alpha,
+                        const cpu::Matrix<float>& a,
+                        const cpu::Matrix<float>& b, double beta,
+                        cpu::Matrix<float>& c,
+                        const cpu::GemmOptions& options) {
+  return global_pool().async([trans_a, trans_b, alpha, &a, &b, beta, &c,
+                              options] {
+    return cpu::blas_impl<float, float, float>(trans_a, trans_b, alpha, a, b,
+                                               beta, c, options,
+                                               gpu::Precision::kFp32);
+  });
+}
+
+GemmHandle submit_hgemm(cpu::Trans trans_a, cpu::Trans trans_b, double alpha,
+                        const cpu::Matrix<util::Half>& a,
+                        const cpu::Matrix<util::Half>& b, double beta,
+                        cpu::Matrix<float>& c,
+                        const cpu::GemmOptions& options) {
+  return global_pool().async([trans_a, trans_b, alpha, &a, &b, beta, &c,
+                              options] {
+    return cpu::blas_impl<util::Half, float, float>(
+        trans_a, trans_b, alpha, a, b, beta, c, options,
+        gpu::Precision::kFp16F32);
+  });
+}
+
+}  // namespace streamk::runtime

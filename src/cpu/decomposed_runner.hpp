@@ -17,6 +17,13 @@
 // Deadlock freedom and memory-ordering arguments are identical to
 // cpu/executor.hpp (waits target higher ids; claims descend; flag
 // signal/wait is release/acquire); see DESIGN.md.
+//
+// Allocation behaviour: the fixup workspace is leased from
+// runtime::WorkspacePool and the per-CTA accumulator/fragment scratch comes
+// from the claiming thread's runtime::local_cta_buffers, so steady-state
+// traffic over one plan shape executes with no per-call or per-CTA heap
+// allocation.  Parallelism comes from util::parallel_for_descending, which
+// dispatches onto the persistent runtime::global_pool().
 
 #include <algorithm>
 #include <vector>
@@ -25,6 +32,7 @@
 #include "cpu/executor.hpp"
 #include "cpu/mac_loop.hpp"
 #include "cpu/workspace.hpp"
+#include "runtime/workspace_pool.hpp"
 #include "util/threading.hpp"
 
 namespace streamk::cpu {
@@ -34,7 +42,9 @@ void run_decomposed(const core::SchedulePlan& plan, std::int64_t tile_elements,
                     MacFn&& mac, StoreFn&& store,
                     const ExecutorOptions& options) {
   plan.check_runnable();
-  FixupWorkspace<Acc> workspace(plan, tile_elements);
+  auto lease =
+      runtime::WorkspacePool<Acc>::instance().acquire(plan, tile_elements);
+  FixupWorkspace<Acc>& workspace = lease.workspace();
   const std::size_t workers =
       options.workers > 0 ? options.workers : util::hardware_threads();
 
@@ -43,27 +53,41 @@ void run_decomposed(const core::SchedulePlan& plan, std::int64_t tile_elements,
     const std::span<const core::TileSegment> segments = plan.cta_segments(cta);
     if (segments.empty()) return;
 
-    std::vector<Acc> accum(static_cast<std::size_t>(tile_elements));
-    MacScratch<Acc> scratch(plan.mapping().block());
+    runtime::CtaBuffers<Acc> fresh;  // used only when pooling is disabled
+    runtime::CtaBuffers<Acc>& buffers = runtime::local_cta_buffers<Acc>(
+        fresh, plan.mapping().block(), tile_elements);
+    std::vector<Acc>& accum = buffers.accum;
+    MacScratch<Acc>& scratch = buffers.scratch;
 
-    for (const core::TileSegment& seg : segments) {
-      std::fill(accum.begin(), accum.end(), Acc{});
-      mac(seg, std::span<Acc>(accum), scratch);
+    try {
+      for (const core::TileSegment& seg : segments) {
+        std::fill(accum.begin(), accum.end(), Acc{});
+        mac(seg, std::span<Acc>(accum), scratch);
 
-      if (!seg.starts_tile()) {
-        std::span<Acc> slot = workspace.partials(cta);
-        std::copy(accum.begin(), accum.end(), slot.begin());
-        workspace.signal(cta);
-        continue;
-      }
-      if (!seg.ends_tile()) {
-        for (const std::int64_t peer : plan.tile_contributors(seg.tile_idx)) {
-          workspace.wait(peer);
-          std::span<const Acc> slot = workspace.partials(peer);
-          for (std::size_t i = 0; i < accum.size(); ++i) accum[i] += slot[i];
+        if (!seg.starts_tile()) {
+          std::span<Acc> slot = workspace.partials(cta);
+          std::copy(accum.begin(), accum.end(), slot.begin());
+          workspace.signal(cta);
+          continue;
         }
+        if (!seg.ends_tile()) {
+          for (const std::int64_t peer :
+               plan.tile_contributors(seg.tile_idx)) {
+            workspace.wait(peer);
+            std::span<const Acc> slot = workspace.partials(peer);
+            for (std::size_t i = 0; i < accum.size(); ++i) accum[i] += slot[i];
+          }
+        }
+        store(seg.tile_idx, std::span<const Acc>(accum));
       }
-      store(seg.tile_idx, std::span<const Acc>(accum));
+    } catch (...) {
+      // A spilling CTA that dies before signalling would strand its tile
+      // owner in workspace.wait() forever (the parallel region keeps
+      // draining after a failure precisely so waiters are released).
+      // Raise the flag on the way out -- the partials are garbage, but the
+      // first exception is what reaches the caller, not the results.
+      if (workspace.cta_spills(cta)) workspace.signal(cta);
+      throw;
     }
   };
 

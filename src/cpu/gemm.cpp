@@ -5,6 +5,7 @@
 #include "core/schedule_plan.hpp"
 #include "cpu/reference.hpp"
 #include "model/grid_selector.hpp"
+#include "runtime/gemm_runtime.hpp"
 #include "util/threading.hpp"
 
 namespace streamk::cpu {
@@ -77,8 +78,8 @@ GemmReport gemm_impl(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
       options.workers > 0 ? options.workers : util::hardware_threads();
   const core::DecompositionSpec spec =
       resolve_schedule(options, mapping, precision, workers);
-  const auto decomposition = core::make_decomposition(spec, mapping);
-  const core::SchedulePlan plan = core::compile_plan(*decomposition);
+  const core::PlanCache::PlanPtr plan = runtime::plan_cache().obtain(
+      core::make_plan_key(mapping, spec), mapping, spec);
 
   ExecutorOptions exec;
   exec.workers = workers;
@@ -86,15 +87,15 @@ GemmReport gemm_impl(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
   exec.beta = options.beta;
 
   const auto start = std::chrono::steady_clock::now();
-  execute_plan<In, Acc, Out>(plan, a, b, c, exec);
+  execute_plan<In, Acc, Out>(*plan, a, b, c, exec);
   const auto stop = std::chrono::steady_clock::now();
 
   GemmReport report;
   report.spec = spec;
-  report.schedule_name = plan.name();
-  report.grid = plan.grid();
+  report.schedule_name = plan->name();
+  report.grid = plan->grid();
   report.tiles = mapping.tiles();
-  report.spills = plan.total_spills();
+  report.spills = plan->total_spills();
   report.seconds = std::chrono::duration<double>(stop - start).count();
   report.gflops =
       report.seconds > 0.0 ? shape.flops() / report.seconds / 1e9 : 0.0;
@@ -114,22 +115,62 @@ gpu::BlockShape default_cpu_block(gpu::Precision precision) {
   util::fail("unknown precision");
 }
 
+// Sync entry points are submit-then-get wrappers over the async runtime:
+// the whole operation is one pool job, and get() work-steals it onto the
+// calling thread when every pool worker is busy.
+
 GemmReport gemm(const Matrix<double>& a, const Matrix<double>& b,
                 Matrix<double>& c, const GemmOptions& options) {
-  return gemm_impl<double, double, double>(a, b, c, options,
-                                           gpu::Precision::kFp64);
+  return runtime::submit_gemm(a, b, c, options).get();
 }
 
 GemmReport gemm(const Matrix<float>& a, const Matrix<float>& b,
                 Matrix<float>& c, const GemmOptions& options) {
-  return gemm_impl<float, float, float>(a, b, c, options,
-                                        gpu::Precision::kFp32);
+  return runtime::submit_gemm(a, b, c, options).get();
 }
 
 GemmReport gemm(const Matrix<util::Half>& a, const Matrix<util::Half>& b,
                 Matrix<float>& c, const GemmOptions& options) {
-  return gemm_impl<util::Half, float, float>(a, b, c, options,
-                                             gpu::Precision::kFp16F32);
+  return runtime::submit_gemm(a, b, c, options).get();
 }
 
 }  // namespace streamk::cpu
+
+namespace streamk::runtime {
+
+core::PlanCache& plan_cache() {
+  // Intentionally immortal (reachable via the static pointer, so not a
+  // leak): pool workers may still drain queued jobs during static
+  // destruction, after a function-local static would already be gone.
+  static core::PlanCache* cache = new core::PlanCache();
+  return *cache;
+}
+
+GemmHandle submit_gemm(const cpu::Matrix<double>& a,
+                       const cpu::Matrix<double>& b, cpu::Matrix<double>& c,
+                       const cpu::GemmOptions& options) {
+  return global_pool().async([&a, &b, &c, options] {
+    return cpu::gemm_impl<double, double, double>(a, b, c, options,
+                                                  gpu::Precision::kFp64);
+  });
+}
+
+GemmHandle submit_gemm(const cpu::Matrix<float>& a,
+                       const cpu::Matrix<float>& b, cpu::Matrix<float>& c,
+                       const cpu::GemmOptions& options) {
+  return global_pool().async([&a, &b, &c, options] {
+    return cpu::gemm_impl<float, float, float>(a, b, c, options,
+                                               gpu::Precision::kFp32);
+  });
+}
+
+GemmHandle submit_gemm(const cpu::Matrix<util::Half>& a,
+                       const cpu::Matrix<util::Half>& b, cpu::Matrix<float>& c,
+                       const cpu::GemmOptions& options) {
+  return global_pool().async([&a, &b, &c, options] {
+    return cpu::gemm_impl<util::Half, float, float>(a, b, c, options,
+                                                    gpu::Precision::kFp16F32);
+  });
+}
+
+}  // namespace streamk::runtime

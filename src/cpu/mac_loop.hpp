@@ -17,15 +17,21 @@
 namespace streamk::cpu {
 
 /// Scratch buffers for one CTA's fragment staging, sized for a block shape;
-/// reused across segments to avoid per-segment allocation.
+/// reused across segments to avoid per-segment allocation, and resizable so
+/// runtime::local_cta_buffers can recycle them across submissions (resize
+/// to an already-held shape allocates nothing).
 template <typename Acc>
 struct MacScratch {
   std::vector<Acc> frag_a;  ///< BLK_M x BLK_K
   std::vector<Acc> frag_b;  ///< BLK_K x BLK_N
 
-  explicit MacScratch(const gpu::BlockShape& block)
-      : frag_a(static_cast<std::size_t>(block.m * block.k)),
-        frag_b(static_cast<std::size_t>(block.k * block.n)) {}
+  MacScratch() = default;
+  explicit MacScratch(const gpu::BlockShape& block) { resize(block); }
+
+  void resize(const gpu::BlockShape& block) {
+    frag_a.resize(static_cast<std::size_t>(block.m * block.k));
+    frag_b.resize(static_cast<std::size_t>(block.k * block.n));
+  }
 };
 
 /// Accumulates segment `seg`'s MAC-loop iterations of the decomposed GEMM

@@ -15,6 +15,13 @@
 // to the owner.  wait() blocks via C++20 atomic waiting, so heavily
 // oversubscribed executions (hundreds of CTAs on one hardware thread) make
 // progress without spinning.
+//
+// A workspace is *rebindable*: bind(plan, tile_elements) re-derives the
+// slot map and rearms the flags while reusing the existing buffer capacity,
+// which is what lets runtime::WorkspacePool recycle workspaces across
+// submissions instead of allocating per call.  Partials need no clearing on
+// rebind or reset: a spilling CTA overwrites its whole slot before
+// signalling.
 
 #include <atomic>
 #include <cstdint>
@@ -30,27 +37,43 @@ namespace streamk::cpu {
 template <typename Acc>
 class FixupWorkspace {
  public:
+  /// Unbound workspace (for pooling); bind() before use.
+  FixupWorkspace() = default;
+
   /// Adopts the plan's spill-slot assignment: one slot per CTA with a
   /// non-starting segment.  `tile_elements` is BLK_M * BLK_N.
-  FixupWorkspace(const core::SchedulePlan& plan, std::int64_t tile_elements)
-      : tile_elements_(tile_elements), slot_count_(plan.spill_slot_count()) {
+  FixupWorkspace(const core::SchedulePlan& plan, std::int64_t tile_elements) {
+    bind(plan, tile_elements);
+  }
+
+  /// Convenience overload: compiles `decomposition` for its slot layout.
+  FixupWorkspace(const core::Decomposition& decomposition,
+                 std::int64_t tile_elements) {
+    bind(core::compile_plan(decomposition), tile_elements);
+  }
+
+  /// (Re)binds the workspace to `plan`: rebuilds the slot map, sizes the
+  /// partials buffer, and rearms all flags.  Existing vector capacity is
+  /// reused, so rebinding to a same-shaped plan allocates nothing.  The
+  /// plan is not referenced after bind() returns.
+  void bind(const core::SchedulePlan& plan, std::int64_t tile_elements) {
     plan.check_runnable();
+    tile_elements_ = tile_elements;
+    slot_count_ = plan.spill_slot_count();
     const std::int64_t grid = plan.grid();
     slot_of_cta_.resize(static_cast<std::size_t>(grid));
     for (std::int64_t cta = 0; cta < grid; ++cta) {
       slot_of_cta_[static_cast<std::size_t>(cta)] = plan.spill_slot(cta);
     }
-    partials_.assign(
-        static_cast<std::size_t>(slot_count_ * tile_elements_), Acc{});
-    flags_ = std::make_unique<std::atomic<std::uint32_t>[]>(
-        static_cast<std::size_t>(slot_count_ > 0 ? slot_count_ : 1));
+    partials_.resize(static_cast<std::size_t>(slot_count_ * tile_elements_));
+    if (flag_capacity_ < slot_count_ || !flags_) {
+      const std::int64_t capacity = slot_count_ > 0 ? slot_count_ : 1;
+      flags_ = std::make_unique<std::atomic<std::uint32_t>[]>(
+          static_cast<std::size_t>(capacity));
+      flag_capacity_ = capacity;
+    }
     reset();
   }
-
-  /// Convenience overload: compiles `decomposition` for its slot layout.
-  FixupWorkspace(const core::Decomposition& decomposition,
-                 std::int64_t tile_elements)
-      : FixupWorkspace(core::compile_plan(decomposition), tile_elements) {}
 
   std::int64_t slot_count() const { return slot_count_; }
 
@@ -97,8 +120,9 @@ class FixupWorkspace {
   }
 
  private:
-  std::int64_t tile_elements_;
+  std::int64_t tile_elements_ = 0;
   std::int64_t slot_count_ = 0;
+  std::int64_t flag_capacity_ = 0;
   std::vector<std::int64_t> slot_of_cta_;
   std::vector<Acc> partials_;
   std::unique_ptr<std::atomic<std::uint32_t>[]> flags_;

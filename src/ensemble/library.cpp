@@ -1,9 +1,12 @@
 #include "ensemble/library.hpp"
 
+#include <exception>
 #include <limits>
+#include <vector>
 
 #include "ensemble/heuristics.hpp"
 #include "model/grid_selector.hpp"
+#include "runtime/worker_pool.hpp"
 #include "util/check.hpp"
 
 namespace streamk::ensemble {
@@ -52,15 +55,38 @@ OracleLibrary::OracleLibrary(gpu::GpuSpec gpu, gpu::Precision precision)
       members_(paper_dp_ensemble(precision)) {}
 
 GemmMeasurement OracleLibrary::run(const core::GemmShape& shape) const {
-  GemmMeasurement best;
-  best.estimate.seconds = std::numeric_limits<double>::infinity();
   core::DecompositionSpec spec;
   spec.kind = core::DecompositionKind::kDataParallel;
+
+  // The oracle evaluates every ensemble member; the members are independent
+  // (the PlanCache is thread-safe), so fan them out as pool submissions and
+  // reduce the winner.  TaskHandle::get() work-steals unclaimed members onto
+  // this thread, so the fan-out also completes when the pool is saturated.
+  std::vector<runtime::TaskHandle<GemmMeasurement>> pending;
+  pending.reserve(members_.size());
   for (const gpu::BlockShape& block : members_) {
-    GemmMeasurement m = measure(shape, KernelConfig{block, 1}, spec,
-                                precision_, gpu_, "oracle-dp", plan_cache_);
-    if (m.estimate.seconds < best.estimate.seconds) best = std::move(m);
+    pending.push_back(runtime::global_pool().async([this, shape, block,
+                                                    spec] {
+      return measure(shape, KernelConfig{block, 1}, spec, precision_, gpu_,
+                     "oracle-dp", plan_cache_);
+    }));
   }
+
+  // Drain every handle before (re)throwing: a still-queued member lambda
+  // captures `this`, so bailing on the first failure would let a pool
+  // worker run it against a possibly-destroyed library.
+  GemmMeasurement best;
+  best.estimate.seconds = std::numeric_limits<double>::infinity();
+  std::exception_ptr first_error;
+  for (auto& handle : pending) {
+    try {
+      GemmMeasurement m = handle.get();
+      if (m.estimate.seconds < best.estimate.seconds) best = std::move(m);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
   return best;
 }
 

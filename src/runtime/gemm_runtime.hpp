@@ -1,0 +1,103 @@
+#pragma once
+
+// Asynchronous GEMM submission onto the persistent worker pool.
+//
+// Every front end of the library -- plain GEMM, batched GEMM, the BLAS
+// transpose entry points, and implicit-GEMM convolution -- has a submit_*
+// twin here that enqueues the whole operation as one pool job and returns a
+// future-based GemmHandle.  Multiple independent submissions are in flight
+// concurrently, each claiming CTA tickets from its own compiled plan while
+// sharing the one process-wide pool; the inner parallel-for of a running
+// job recruits idle pool workers as helpers (see worker_pool.hpp).
+//
+// The synchronous entry points (cpu::gemm, cpu::batched_gemm, cpu::dgemm,
+// conv::conv_forward, ...) are preserved as submit-then-get wrappers, so
+// existing callers transparently execute through the pool-backed path.
+// GemmHandle::get() work-steals: when no pool worker has claimed the job
+// yet, the getter runs it inline, so a sync wrapper can never deadlock --
+// not even when called from inside another pool job.
+//
+// Lifetime: operands are captured by reference.  They must outlive the
+// handle's get()/wait() -- trivially true for the sync wrappers; async
+// callers keep them alive exactly as they would for a std::thread.
+// Exceptions thrown by the submitted operation (shape mismatches, malformed
+// schedules) are captured and rethrown from GemmHandle::get().
+
+#include "conv/implicit_gemm.hpp"
+#include "core/schedule_plan.hpp"
+#include "cpu/batched.hpp"
+#include "cpu/blas.hpp"
+#include "cpu/gemm.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace streamk::runtime {
+
+/// Future for an in-flight GEMM-family submission.
+using GemmHandle = TaskHandle<cpu::GemmReport>;
+
+/// Process-wide compiled-plan cache shared by every front end: repeated
+/// traffic over one (shape, block, schedule, workers) key executes a
+/// pointer-identical SchedulePlan instead of recompiling per call --
+/// the submission-side counterpart of the workspace pooling.
+core::PlanCache& plan_cache();
+
+// --- plain GEMM (cpu/gemm.cpp) --------------------------------------------
+
+GemmHandle submit_gemm(const cpu::Matrix<double>& a,
+                       const cpu::Matrix<double>& b, cpu::Matrix<double>& c,
+                       const cpu::GemmOptions& options = {});
+GemmHandle submit_gemm(const cpu::Matrix<float>& a,
+                       const cpu::Matrix<float>& b, cpu::Matrix<float>& c,
+                       const cpu::GemmOptions& options = {});
+GemmHandle submit_gemm(const cpu::Matrix<util::Half>& a,
+                       const cpu::Matrix<util::Half>& b,
+                       cpu::Matrix<float>& c,
+                       const cpu::GemmOptions& options = {});
+
+// --- batched GEMM (cpu/batched.cpp) ---------------------------------------
+
+GemmHandle submit_batched_gemm(std::span<const cpu::Matrix<double>> as,
+                               std::span<const cpu::Matrix<double>> bs,
+                               std::span<cpu::Matrix<double>> cs,
+                               const cpu::GemmOptions& options = {});
+GemmHandle submit_batched_gemm(std::span<const cpu::Matrix<float>> as,
+                               std::span<const cpu::Matrix<float>> bs,
+                               std::span<cpu::Matrix<float>> cs,
+                               const cpu::GemmOptions& options = {});
+GemmHandle submit_batched_gemm(std::span<const cpu::Matrix<util::Half>> as,
+                               std::span<const cpu::Matrix<util::Half>> bs,
+                               std::span<cpu::Matrix<float>> cs,
+                               const cpu::GemmOptions& options = {});
+
+// --- BLAS transpose entry points (cpu/blas.cpp) ---------------------------
+
+GemmHandle submit_dgemm(cpu::Trans trans_a, cpu::Trans trans_b, double alpha,
+                        const cpu::Matrix<double>& a,
+                        const cpu::Matrix<double>& b, double beta,
+                        cpu::Matrix<double>& c,
+                        const cpu::GemmOptions& options = {});
+GemmHandle submit_sgemm(cpu::Trans trans_a, cpu::Trans trans_b, double alpha,
+                        const cpu::Matrix<float>& a,
+                        const cpu::Matrix<float>& b, double beta,
+                        cpu::Matrix<float>& c,
+                        const cpu::GemmOptions& options = {});
+GemmHandle submit_hgemm(cpu::Trans trans_a, cpu::Trans trans_b, double alpha,
+                        const cpu::Matrix<util::Half>& a,
+                        const cpu::Matrix<util::Half>& b, double beta,
+                        cpu::Matrix<float>& c,
+                        const cpu::GemmOptions& options = {});
+
+// --- implicit-GEMM convolution (conv/implicit_gemm.cpp) -------------------
+
+GemmHandle submit_conv_forward(const conv::ConvShape& conv,
+                               const conv::Tensor4<double>& input,
+                               const conv::Tensor4<double>& filter,
+                               conv::Tensor4<double>& output,
+                               const cpu::GemmOptions& options = {});
+GemmHandle submit_conv_forward(const conv::ConvShape& conv,
+                               const conv::Tensor4<float>& input,
+                               const conv::Tensor4<float>& filter,
+                               conv::Tensor4<float>& output,
+                               const cpu::GemmOptions& options = {});
+
+}  // namespace streamk::runtime

@@ -1,0 +1,229 @@
+#include "runtime/worker_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/check.hpp"
+
+namespace streamk::runtime {
+
+// ---------------------------------------------------------------------------
+// Region state
+// ---------------------------------------------------------------------------
+
+/// Heap-allocated, shared_ptr-owned state of one run_region call.  Helper
+/// tasks co-own it, so a helper dequeued long after the region finished only
+/// ever touches this struct -- never the caller's frame.  `body` is a raw
+/// pointer into the caller's frame; it is dereferenced only between a
+/// successful try_enter() and the matching leave(), and the caller does not
+/// return before every entered helper left (active == 0 after close).
+struct WorkerPool::Region {
+  std::size_t count = 0;
+  RegionOrder order = RegionOrder::kAscending;
+  const std::function<void(std::size_t)>* body = nullptr;
+
+  std::atomic<std::size_t> next_ticket{0};
+  std::atomic<bool> closed{false};
+  std::atomic<int> active{0};
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  /// Helper-side entry gate.  Incrementing `active` *before* checking
+  /// `closed` means the caller's close-then-wait sequence either observes
+  /// this helper (active > 0) and waits for it, or the helper observes
+  /// `closed` and backs out without touching `body`.
+  bool try_enter() {
+    active.fetch_add(1, std::memory_order_acq_rel);
+    if (closed.load(std::memory_order_acquire)) {
+      leave();
+      return false;
+    }
+    return true;
+  }
+
+  void leave() {
+    active.fetch_sub(1, std::memory_order_acq_rel);
+    active.notify_all();
+  }
+
+  void record_error() {
+    std::lock_guard lock(error_mutex);
+    if (!first_error) first_error = std::current_exception();
+  }
+};
+
+void WorkerPool::drain_region(Region& region) {
+  for (;;) {
+    // acq_rel, not relaxed: the caller's exit condition is its own failed
+    // claim here, and reading a helper's earlier claim from this RMW chain
+    // is what orders that helper's active-increment before the caller's
+    // post-close active.load -- with a relaxed RMW the caller could
+    // formally observe active == 0 while the helper is still inside body
+    // and return early (unreproducible on x86, real on ARM).
+    const std::size_t ticket =
+        region.next_ticket.fetch_add(1, std::memory_order_acq_rel);
+    if (ticket >= region.count) return;
+    const std::size_t index = region.order == RegionOrder::kAscending
+                                  ? ticket
+                                  : region.count - 1 - ticket;
+    try {
+      (*region.body)(index);
+    } catch (...) {
+      region.record_error();
+      // Keep draining tickets so fixup peers blocked on this index's output
+      // are not left waiting forever; subsequent failures are swallowed.
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pool lifecycle
+// ---------------------------------------------------------------------------
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  std::lock_guard lock(mutex_);
+  start_locked(threads);
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+void WorkerPool::start_locked(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+  stopping_ = false;
+  threads_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void WorkerPool::shutdown() {
+  std::vector<std::thread> joinable;
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    joinable.swap(threads_);
+  }
+  cv_.notify_all();
+  for (std::thread& t : joinable) t.join();
+}
+
+void WorkerPool::restart(std::size_t threads) {
+  shutdown();
+  std::lock_guard lock(mutex_);
+  start_locked(threads);
+}
+
+std::size_t WorkerPool::thread_count() const {
+  std::lock_guard lock(mutex_);
+  return threads_.size();
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void WorkerPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!stopping_ && !threads_.empty()) {
+      queue_.push_back(std::move(task));
+      cv_.notify_one();
+      return;
+    }
+  }
+  // Stopped pool: degrade to inline execution so submissions stay correct
+  // (futures resolve, regions run serially) even without workers.
+  task();
+}
+
+// ---------------------------------------------------------------------------
+// Structured parallel regions
+// ---------------------------------------------------------------------------
+
+void WorkerPool::run_region(std::size_t count,
+                            const std::function<void(std::size_t)>& body,
+                            std::size_t workers, RegionOrder order) {
+  util::check(workers >= 1, "run_region needs at least one worker");
+  if (count == 0) return;
+
+  // Never occupy more threads than there are indices to claim.
+  if (workers > count) workers = count;
+
+  if (workers == 1) {
+    if (order == RegionOrder::kAscending) {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+    } else {
+      for (std::size_t i = count; i-- > 0;) body(i);
+    }
+    return;
+  }
+
+  auto region = std::make_shared<Region>();
+  region->count = count;
+  region->order = order;
+  region->body = &body;
+
+  // Enqueue helpers under one lock with one wake-up: per-task notify_one
+  // round trips are measurable at small-GEMM submission rates.  A helper
+  // drains tickets until none remain, so there is never a reason to queue
+  // more helpers than physical pool threads -- extras could only ever
+  // cancel or duplicate a running drain loop.
+  auto helper = [region] {
+    if (!region->try_enter()) return;
+    drain_region(*region);
+    region->leave();
+  };
+  bool queued = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (!stopping_ && !threads_.empty()) {
+      const std::size_t helpers = std::min(workers - 1, threads_.size());
+      for (std::size_t h = 0; h < helpers; ++h) queue_.push_back(helper);
+      queued = true;
+    }
+  }
+  if (queued) cv_.notify_all();
+  // Stopped pool: no helpers; the caller drains the region alone below.
+
+  // The caller always participates, guaranteeing the region at least one
+  // executing thread regardless of pool load (the nested-region progress
+  // guarantee; see header).
+  drain_region(*region);
+
+  // All tickets are claimed; close the gate so still-queued helpers cancel,
+  // then wait for entered helpers to finish their last index.
+  region->closed.store(true, std::memory_order_release);
+  int active = region->active.load(std::memory_order_acquire);
+  while (active != 0) {
+    region->active.wait(active, std::memory_order_acquire);
+    active = region->active.load(std::memory_order_acquire);
+  }
+
+  if (region->first_error) std::rethrow_exception(region->first_error);
+}
+
+// ---------------------------------------------------------------------------
+// Global pool
+// ---------------------------------------------------------------------------
+
+WorkerPool& global_pool() {
+  static WorkerPool pool;
+  return pool;
+}
+
+}  // namespace streamk::runtime

@@ -1,0 +1,201 @@
+#pragma once
+
+// Persistent worker-pool runtime.
+//
+// The paper's premise is a *fixed* pool of persistent workers absorbing any
+// work distribution; the host runtime used to contradict it by spawning
+// `workers - 1` fresh std::threads inside every gemm()/execute_plan() call.
+// This pool is started once per process (global_pool()) and serves three
+// progressively higher-level entry points:
+//
+//   submit(task)            -- fire-and-forget queue submission;
+//   async(fn) -> TaskHandle -- future-based submission with work stealing:
+//                              TaskHandle::get() runs the job inline when no
+//                              pool thread has claimed it yet, so a sync
+//                              wrapper blocking on its own submission can
+//                              never deadlock the pool;
+//   run_region(...)         -- a structured parallel-for region: the caller
+//                              participates, helper tasks are enqueued for
+//                              idle pool threads, and indices are claimed
+//                              from a shared atomic ticket counter.
+//
+// run_region is what util::parallel_for{,_descending} dispatch onto, which
+// makes every execution substrate (GEMM, batched, BLAS views, implicit-GEMM
+// conv) pool-backed without touching their code.  Region rules:
+//
+//   * The calling thread always drains tickets itself, so every region owns
+//     at least one executing thread even when the pool is saturated --
+//     nested regions (a GEMM submitted to the pool whose inner parallel_for
+//     opens a region on the same pool) therefore cannot deadlock.
+//   * Helper tasks that dequeue after the region closed (all tickets
+//     claimed, caller about to return) "cancel": they only ever touch the
+//     heap-allocated region state they co-own, never the caller's frame.
+//   * Ticket claiming supports ascending and descending index order;
+//     descending is what the GEMM fixup protocol's deadlock-freedom argument
+//     requires (see DESIGN.md section 3).
+//   * The first exception thrown by any participant is rethrown on the
+//     calling thread after the region quiesces; remaining tickets are still
+//     drained so fixup waiters are not stranded.
+//
+// Lifecycle: shutdown() drains the queue and joins all threads; restart(n)
+// brings the pool back with a new thread count.  While stopped, submit()
+// and run_region() degrade to inline execution on the calling thread, so a
+// shut-down pool is slow, never wrong.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace streamk::runtime {
+
+/// Index-claiming order for run_region (descending is the fixup-protocol
+/// order; see cpu/decomposed_runner.hpp).
+enum class RegionOrder { kAscending, kDescending };
+
+/// Future-like handle for a pool submission.  get() rethrows any exception
+/// the job threw; if the job is still queued, get() claims and runs it on
+/// the calling thread (work stealing) instead of blocking.
+template <typename T>
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once a thread (pool or stealing getter) has claimed the job.
+  bool started() const {
+    return state_ && state_->claimed.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the job finished, running it inline when still unclaimed.
+  /// Returns the job's value or rethrows its exception.  One shot: the
+  /// handle is invalid afterwards.
+  T get() {
+    require_valid();
+    run_if_unclaimed();
+    auto future = std::move(state_->future);
+    state_.reset();
+    return future.get();
+  }
+
+  /// Blocks until the job finished without consuming the result; get() may
+  /// still be called afterwards.
+  void wait() {
+    require_valid();
+    run_if_unclaimed();
+    state_->future.wait();
+  }
+
+ private:
+  friend class WorkerPool;
+
+  struct State {
+    std::atomic<bool> claimed{false};
+    std::packaged_task<T()> task;
+    std::future<T> future;
+  };
+
+  void require_valid() const {
+    if (!state_) {
+      throw std::logic_error(
+          "TaskHandle is invalid (default-constructed, moved-from, or "
+          "already consumed by get())");
+    }
+  }
+
+  void run_if_unclaimed() {
+    if (!state_->claimed.exchange(true, std::memory_order_acq_rel)) {
+      state_->task();
+    }
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+class WorkerPool {
+ public:
+  /// Starts `threads` persistent workers (0 = one per hardware thread).
+  explicit WorkerPool(std::size_t threads = 0);
+
+  /// Joins all workers (draining the queue first).
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Drains the task queue, then stops and joins every worker.  Idempotent.
+  void shutdown();
+
+  /// shutdown() followed by starting `threads` fresh workers (0 = one per
+  /// hardware thread).
+  void restart(std::size_t threads = 0);
+
+  /// Worker threads currently running (0 while shut down).
+  std::size_t thread_count() const;
+
+  /// Enqueues `task` for a worker.  While the pool is stopped the task runs
+  /// inline on the calling thread.
+  void submit(std::function<void()> task);
+
+  /// Future-based submission.  The job runs on whichever thread claims it
+  /// first: an idle pool worker, or the caller inside TaskHandle::get().
+  template <typename Fn>
+  TaskHandle<std::invoke_result_t<Fn&>> async(Fn&& fn) {
+    using T = std::invoke_result_t<Fn&>;
+    TaskHandle<T> handle;
+    auto state = std::make_shared<typename TaskHandle<T>::State>();
+    state->task = std::packaged_task<T()>(std::forward<Fn>(fn));
+    state->future = state->task.get_future();
+    handle.state_ = state;
+    submit([state] {
+      if (!state->claimed.exchange(true, std::memory_order_acq_rel)) {
+        state->task();
+      }
+    });
+    return handle;
+  }
+
+  /// Runs `body(index)` for every index in [0, count) across at most
+  /// `workers` threads: the caller plus up to `workers - 1` pool helpers.
+  /// Blocks until every claimed index completed; rethrows the first
+  /// exception.  `workers` must be >= 1; `workers == 1` runs inline.
+  void run_region(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t workers, RegionOrder order);
+
+  /// Total tasks executed by pool workers since construction (telemetry for
+  /// tests and benches; approximate under concurrency).
+  std::uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Region;
+
+  void start_locked(std::size_t threads);
+  void worker_loop();
+  static void drain_region(Region& region);
+
+  mutable std::mutex mutex_;             ///< guards queue_, threads_, stop_
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> tasks_executed_{0};
+};
+
+/// The process-wide pool: lazily started with one worker per hardware
+/// thread on first use, joined during static destruction.  Tests may
+/// restart() it at other widths.
+WorkerPool& global_pool();
+
+}  // namespace streamk::runtime

@@ -1,0 +1,148 @@
+#pragma once
+
+// Pooled execution workspaces.
+//
+// Before the runtime existed, every execute_plan()-family call allocated a
+// fresh FixupWorkspace (partials buffer + flag array + slot map) and every
+// claimed CTA allocated a fresh accumulator tile and MacScratch fragment
+// buffers.  Under persistent-pool traffic -- many small GEMMs per second --
+// those allocations dominate.  Two pooling layers remove them:
+//
+//   * WorkspacePool<Acc>: a process-wide free list of FixupWorkspace
+//     objects.  acquire() rebinds a recycled workspace to the new plan;
+//     vectors keep their capacity, so steady-state traffic over one plan
+//     shape performs zero heap allocation per call.  Leases return the
+//     workspace on destruction (bounded list; extras are freed).
+//   * local_cta_buffers<Acc>(): thread-local accumulator + fragment scratch,
+//     keyed by the requested sizes.  Pool workers are persistent, so these
+//     buffers live across submissions and are reused per plan shape; worker
+//     threads touch only their own instance, so no locking is needed.
+//
+// Both layers are per accumulator type (double / float instantiation).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/schedule_plan.hpp"
+#include "cpu/mac_loop.hpp"
+#include "cpu/workspace.hpp"
+
+namespace streamk::runtime {
+
+/// Pooling kill switch: when disabled, acquire() always allocates and
+/// releases always free -- the pre-runtime allocate-per-call behaviour.
+/// Exists for A/B measurement (bench_runtime_throughput.cpp) and as a
+/// diagnostic escape hatch; defaults to enabled.
+inline std::atomic<bool>& workspace_pooling_flag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+inline void set_workspace_pooling(bool enabled) {
+  workspace_pooling_flag().store(enabled, std::memory_order_relaxed);
+}
+inline bool workspace_pooling() {
+  return workspace_pooling_flag().load(std::memory_order_relaxed);
+}
+
+template <typename Acc>
+class WorkspacePool {
+ public:
+  /// Move-only ownership of one pooled workspace for the duration of a
+  /// plan execution; returns it to the pool on destruction.
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool,
+          std::unique_ptr<cpu::FixupWorkspace<Acc>> workspace)
+        : pool_(pool), workspace_(std::move(workspace)) {}
+
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), workspace_(std::move(other.workspace_)) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    ~Lease() {
+      if (workspace_) pool_->release(std::move(workspace_));
+    }
+
+    cpu::FixupWorkspace<Acc>& workspace() { return *workspace_; }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<cpu::FixupWorkspace<Acc>> workspace_;
+  };
+
+  static WorkspacePool& instance() {
+    // Intentionally immortal (reachable via the static pointer, so not a
+    // leak): pool workers may still drain queued jobs during static
+    // destruction, after a function-local static would already be gone.
+    static WorkspacePool* pool = new WorkspacePool();
+    return *pool;
+  }
+
+  /// A workspace bound to `plan` (flags rearmed, slot map rebuilt).  Reuses
+  /// a pooled object's buffers when one is free.
+  Lease acquire(const core::SchedulePlan& plan, std::int64_t tile_elements) {
+    std::unique_ptr<cpu::FixupWorkspace<Acc>> workspace;
+    if (workspace_pooling()) {
+      std::lock_guard lock(mutex_);
+      if (!free_.empty()) {
+        workspace = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    if (!workspace) workspace = std::make_unique<cpu::FixupWorkspace<Acc>>();
+    workspace->bind(plan, tile_elements);
+    return Lease(this, std::move(workspace));
+  }
+
+  std::size_t pooled_count() const {
+    std::lock_guard lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  void release(std::unique_ptr<cpu::FixupWorkspace<Acc>> workspace) {
+    if (!workspace_pooling()) return;  // drop: allocate-per-call mode
+    std::lock_guard lock(mutex_);
+    if (free_.size() < kMaxPooled) free_.push_back(std::move(workspace));
+    // else: drop -- the list bounds resident memory under burst concurrency.
+  }
+
+  /// More simultaneous in-flight plans than this allocate fresh workspaces
+  /// that are freed on release instead of pooled.
+  static constexpr std::size_t kMaxPooled = 16;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<cpu::FixupWorkspace<Acc>>> free_;
+};
+
+/// Per-thread CTA execution buffers: the output-tile accumulator and the
+/// A/B fragment scratch.
+template <typename Acc>
+struct CtaBuffers {
+  std::vector<Acc> accum;
+  cpu::MacScratch<Acc> scratch;
+};
+
+/// The calling thread's CtaBuffers, resized for (block, tile_elements).
+/// Resizing is a no-op when the previous use had the same shape, which is
+/// the steady state on persistent pool workers.  With pooling disabled,
+/// `fallback` (a fresh per-CTA instance) is sized and returned instead --
+/// the pre-runtime allocate-per-CTA behaviour.
+template <typename Acc>
+CtaBuffers<Acc>& local_cta_buffers(CtaBuffers<Acc>& fallback,
+                                   const gpu::BlockShape& block,
+                                   std::int64_t tile_elements) {
+  thread_local CtaBuffers<Acc> buffers;
+  CtaBuffers<Acc>& chosen = workspace_pooling() ? buffers : fallback;
+  chosen.accum.resize(static_cast<std::size_t>(tile_elements));
+  chosen.scratch.resize(block);
+  return chosen;
+}
+
+}  // namespace streamk::runtime

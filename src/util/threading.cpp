@@ -1,34 +1,29 @@
 #include "util/threading.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "runtime/worker_pool.hpp"
 #include "util/check.hpp"
 
 namespace streamk::util {
 
 namespace {
 
+std::atomic<ParallelBackend> g_backend{ParallelBackend::kPool};
+
 enum class Order { kAscending, kDescending };
 
-void run_parallel(std::size_t count,
+/// The pre-runtime implementation: spawn `workers - 1` fresh threads per
+/// call.  Retained verbatim as the kSpawn backend so the persistent pool's
+/// win stays measurable (bench_runtime_throughput.cpp).
+void run_spawning(std::size_t count,
                   const std::function<void(std::size_t)>& body,
                   std::size_t workers, Order order) {
-  check(workers >= 1, "parallel_for needs at least one worker");
-  if (count == 0) return;
-
-  if (workers == 1) {
-    if (order == Order::kAscending) {
-      for (std::size_t i = 0; i < count; ++i) body(i);
-    } else {
-      for (std::size_t i = count; i-- > 0;) body(i);
-    }
-    return;
-  }
-
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -59,7 +54,44 @@ void run_parallel(std::size_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void run_parallel(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t workers, Order order) {
+  check(workers >= 1, "parallel_for needs at least one worker");
+  if (count == 0) return;
+
+  // Never occupy more threads than there are indices to claim.
+  workers = std::min(workers, count);
+
+  if (workers == 1) {
+    if (order == Order::kAscending) {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+    } else {
+      for (std::size_t i = count; i-- > 0;) body(i);
+    }
+    return;
+  }
+
+  if (g_backend.load(std::memory_order_relaxed) == ParallelBackend::kSpawn) {
+    run_spawning(count, body, workers, order);
+    return;
+  }
+
+  runtime::global_pool().run_region(count, body, workers,
+                                    order == Order::kAscending
+                                        ? runtime::RegionOrder::kAscending
+                                        : runtime::RegionOrder::kDescending);
+}
+
 }  // namespace
+
+void set_parallel_backend(ParallelBackend backend) {
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+ParallelBackend parallel_backend() {
+  return g_backend.load(std::memory_order_relaxed);
+}
 
 void parallel_for_descending(std::size_t count,
                              const std::function<void(std::size_t)>& body,

@@ -14,6 +14,7 @@
 #include "model/grid_selector.hpp"
 #include "model/memory_model.hpp"
 #include "test_support.hpp"
+#include "util/threading.hpp"
 
 namespace streamk {
 namespace {
@@ -91,14 +92,23 @@ TEST(Calibration, FitsPositiveIterationCost) {
   // pipeline, not a performance assertion.
   cpu::CalibrationOptions options;
   options.grids = {1, 2, 4, 8};
-  options.repetitions = 1;
+  options.repetitions = 2;
   options.workers = 2;
   const cpu::CalibrationResult result =
       cpu::calibrate_cpu({64, 64, 256}, {32, 32, 16}, options);
   ASSERT_EQ(result.samples.size(), 4u);
   for (const auto& s : result.samples) EXPECT_GT(s.seconds, 0.0);
-  // The per-iteration cost dominates and must be observable.
-  EXPECT_GT(result.params.c, 0.0);
+  // Some cost was observed (the fit clamps coefficients to >= 0, so only a
+  // strictly positive assertion carries signal).
+  EXPECT_GT(result.params.a + result.params.c, 0.0);
+  // The per-iteration cost dominates the strong-scaling curve -- but that
+  // curve only exists where two workers can actually run in parallel.  On a
+  // single-hardware-thread host the g = 1 and g >= 2 samples take the same
+  // wall time (all work is serialized either way), so c is pure measurement
+  // noise there and asserting its sign would be a coin flip.
+  if (util::hardware_threads() >= 2) {
+    EXPECT_GT(result.params.c, 0.0);
+  }
 }
 
 TEST(Calibration, ModelPredictsMeasurementOrdering) {
