@@ -2,13 +2,25 @@
 
 // Shared helpers for the paper-reproduction bench binaries.
 
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "corpus/corpus.hpp"
 
 namespace streamk::bench {
+
+/// Renders a summary metric for terminal reports: NaN (e.g. the geometric
+/// mean of a sample containing non-positive values) prints as "n/a" rather
+/// than masquerading as a measurement.
+inline std::string format_metric(double v) {
+  if (std::isnan(v)) return "n/a";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
 
 /// Corpus size for the sweep benches.  Defaults to the paper's full 32,824
 /// problems; set STREAMK_CORPUS_SIZE to a smaller value for quick runs.

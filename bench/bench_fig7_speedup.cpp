@@ -52,8 +52,9 @@ void run_panel(const char* title, gpu::Precision precision, std::size_t n) {
   std::cout << "compute-bound (> " << bencher::fmt_num(threshold, 0)
             << " ops/B, " << compute_bound.count
             << " problems): min " << bencher::fmt_ratio(compute_bound.min)
-            << ", avg " << bencher::fmt_ratio(compute_bound.mean) << ", max "
-            << bencher::fmt_ratio(compute_bound.max)
+            << ", avg " << bencher::fmt_ratio(compute_bound.mean)
+            << ", geomean " << bench::format_metric(compute_bound.geomean)
+            << ", max " << bencher::fmt_ratio(compute_bound.max)
             << (compute_bound.min >= 0.98
                     ? "  (virtually no slowdowns, as in the paper)"
                     : "")

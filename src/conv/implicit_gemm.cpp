@@ -42,19 +42,17 @@ void direct_conv(const ConvShape& conv, const Tensor4<In>& input,
 
 namespace {
 
-/// Stages the implicit A-fragment: rows are output pixels, columns are
-/// (r, s, c) reduction offsets; out-of-image taps are zero (padding).
+/// Stages the implicit A-fragment's valid em x ek region: rows are output
+/// pixels, columns are (r, s, c) reduction offsets; out-of-image taps are
+/// zero (padding).  The padding rows/columns of the block are left alone --
+/// the subsequent pack reads only the valid region.
 template <typename In, typename Acc>
 void gather_input_fragment(const ConvShape& conv, const Tensor4<In>& input,
                            std::int64_t mm, std::int64_t em, std::int64_t kk,
                            std::int64_t ek, const gpu::BlockShape& blk,
                            std::vector<Acc>& frag) {
-  for (std::int64_t i = 0; i < blk.m; ++i) {
+  for (std::int64_t i = 0; i < em; ++i) {
     Acc* dst = frag.data() + static_cast<std::size_t>(i * blk.k);
-    if (i >= em) {
-      std::fill(dst, dst + blk.k, Acc{});
-      continue;
-    }
     const OutputPixel px = output_pixel(conv, mm + i);
     for (std::int64_t l = 0; l < ek; ++l) {
       const FilterOffset off = filter_offset(conv, kk + l);
@@ -67,27 +65,22 @@ void gather_input_fragment(const ConvShape& conv, const Tensor4<In>& input,
             input.inner_ptr(px.n, h, w)[off.c]);
       }
     }
-    std::fill(dst + ek, dst + blk.k, Acc{});
   }
 }
 
-/// Stages the B-fragment from the KRSC filter bank viewed as (RSC x K).
+/// Stages the B-fragment's valid ek x en region from the KRSC filter bank
+/// viewed as (RSC x K).
 template <typename In, typename Acc>
 void gather_filter_fragment(const ConvShape& conv, const Tensor4<In>& filter,
                             std::int64_t nn, std::int64_t en, std::int64_t kk,
                             std::int64_t ek, const gpu::BlockShape& blk,
                             std::vector<Acc>& frag) {
-  for (std::int64_t l = 0; l < blk.k; ++l) {
+  for (std::int64_t l = 0; l < ek; ++l) {
     Acc* dst = frag.data() + static_cast<std::size_t>(l * blk.n);
-    if (l >= ek) {
-      std::fill(dst, dst + blk.n, Acc{});
-      continue;
-    }
     const FilterOffset off = filter_offset(conv, kk + l);
     for (std::int64_t j = 0; j < en; ++j) {
       dst[j] = static_cast<Acc>(filter.at(nn + j, off.r, off.s, off.c));
     }
-    std::fill(dst + en, dst + blk.n, Acc{});
   }
 }
 
@@ -128,6 +121,11 @@ void execute_conv_plan(const core::SchedulePlan& plan, const ConvShape& conv,
         const std::int64_t em = mapping.tile_extent_m(coord.tm);
         const std::int64_t en = mapping.tile_extent_n(coord.tn);
 
+        // The implicit operands need per-element address math, so each
+        // iteration is gathered into row-major staging first (the expensive
+        // pass) and then repacked into microkernel panels -- both passes
+        // touch only the valid em x ek / ek x en region.
+        scratch.ensure_frags(blk);
         for (std::int64_t iter = seg.iter_begin; iter < seg.iter_end; ++iter) {
           const std::int64_t kk = iter * blk.k;
           const std::int64_t ek = mapping.iter_extent_k(iter);
@@ -135,19 +133,20 @@ void execute_conv_plan(const core::SchedulePlan& plan, const ConvShape& conv,
                                          scratch.frag_a);
           gather_filter_fragment<In, Acc>(conv, filter, nn, en, kk, ek, blk,
                                           scratch.frag_b);
-          for (std::int64_t i = 0; i < blk.m; ++i) {
-            const Acc* a_row =
-                scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
-            Acc* acc_row = accum.data() + static_cast<std::size_t>(i * blk.n);
-            for (std::int64_t l = 0; l < blk.k; ++l) {
-              const Acc av = a_row[l];
-              const Acc* b_row =
-                  scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
-              for (std::int64_t j = 0; j < blk.n; ++j) {
-                acc_row[j] += av * b_row[j];
-              }
-            }
-          }
+          cpu::pack_a_panels<Acc>(
+              em, ek,
+              [&](std::int64_t i, std::int64_t l) {
+                return scratch.frag_a[static_cast<std::size_t>(i * blk.k + l)];
+              },
+              scratch.packs.a.data());
+          cpu::pack_b_panels<Acc>(
+              ek, en,
+              [&](std::int64_t l, std::int64_t j) {
+                return scratch.frag_b[static_cast<std::size_t>(l * blk.n + j)];
+              },
+              scratch.packs.b.data());
+          cpu::run_packed_mac(scratch.packs.a.data(), scratch.packs.b.data(),
+                              em, en, ek, accum.data(), blk.n);
         }
       },
       [&](std::int64_t tile_idx, std::span<const Acc> accum) {

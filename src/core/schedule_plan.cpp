@@ -46,11 +46,25 @@ SchedulePlan::SchedulePlan(const Decomposition& decomposition)
         }
       }
       total_iters_ += seg.iters();
+      pack_geometry_.max_segment_iters =
+          std::max(pack_geometry_.max_segment_iters, seg.iters());
       segments_.push_back(seg);
     }
     if (!work.segments.empty()) ++nonempty_ctas_;
     cta_offsets_.push_back(static_cast<std::int64_t>(segments_.size()));
   }
+
+  // Packed-panel chunking for the CPU microkernel path: as many MAC-loop
+  // iterations per chunk as fit the target depth, never more than the
+  // longest segment actually carries.
+  const std::int64_t blk_k = mapping_.block().k;
+  std::int64_t chunk_iters =
+      std::max<std::int64_t>(1, PackedPanelGeometry::kTargetPanelDepth / blk_k);
+  if (pack_geometry_.max_segment_iters > 0) {
+    chunk_iters = std::min(chunk_iters, pack_geometry_.max_segment_iters);
+  }
+  pack_geometry_.chunk_iters = chunk_iters;
+  pack_geometry_.panel_kc = chunk_iters * blk_k;
 
   contributor_offsets_.assign(static_cast<std::size_t>(tiles) + 1, 0);
   for (std::int64_t tile = 0; tile < tiles; ++tile) {

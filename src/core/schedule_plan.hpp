@@ -47,6 +47,23 @@
 
 namespace streamk::core {
 
+/// Packed-panel geometry for the CPU microkernel path (cpu/packing.hpp):
+/// a segment's operands are packed and consumed in k-chunks of `panel_kc`
+/// accumulator elements (`chunk_iters` MAC-loop iterations, capped at
+/// kTargetPanelDepth so a chunk's A/B panels stay cache resident).
+/// Recorded per plan at compile time so per-CTA scratch sizing is a no-op
+/// vector resize in steady state.
+struct PackedPanelGeometry {
+  /// Upper bound on chunk depth in accumulator elements; chosen so one
+  /// A panel plus one B panel of the default block shapes fit well inside
+  /// a per-core L2.
+  static constexpr std::int64_t kTargetPanelDepth = 256;
+
+  std::int64_t max_segment_iters = 0;  ///< longest segment of the schedule
+  std::int64_t chunk_iters = 1;        ///< MAC-loop iterations per chunk
+  std::int64_t panel_kc = 0;           ///< chunk_iters * BLK_K
+};
+
 class SchedulePlan {
  public:
   /// Compiles `decomposition` (prefer compile_plan() for call sites).
@@ -96,6 +113,9 @@ class SchedulePlan {
   std::int64_t max_peers() const { return max_peers_; }
   std::int64_t nonempty_ctas() const { return nonempty_ctas_; }
 
+  /// Packed-panel chunking the CPU microkernel path uses for this plan.
+  const PackedPanelGeometry& pack_geometry() const { return pack_geometry_; }
+
   /// Dispatch waves on a device exposing `slots` residency slots.
   std::int64_t waves(std::int64_t slots) const {
     return slots > 0 ? ceil_div(grid_, slots) : 0;
@@ -128,6 +148,8 @@ class SchedulePlan {
 
   std::vector<std::int64_t> spill_slot_of_cta_;   ///< grid, -1 = no slot
   std::int64_t spill_slots_ = 0;
+
+  PackedPanelGeometry pack_geometry_;
 
   std::int64_t total_iters_ = 0;
   std::int64_t total_spills_ = 0;

@@ -41,8 +41,10 @@ BatchedTile batched_tile(const BatchedShape& batched, gpu::BlockShape block,
 
 namespace {
 
-/// Stages one batch entry's fragments and accumulates the segment's
-/// MAC-loop iterations (the batched analogue of run_mac_segment).
+/// Packs one batch entry's operands and accumulates the segment's MAC-loop
+/// iterations (the batched analogue of run_mac_segment).  Extents come from
+/// the entry's real shape, not the virtual stacked mapping, so the m-padding
+/// rows between entries are never packed or multiplied.
 template <typename In, typename Acc>
 void batched_mac_segment(const Matrix<In>& a, const Matrix<In>& b,
                          const core::GemmShape& shape,
@@ -54,44 +56,14 @@ void batched_mac_segment(const Matrix<In>& a, const Matrix<In>& b,
   const std::int64_t em = std::min(blk.m, shape.m - mm);
   const std::int64_t en = std::min(blk.n, shape.n - nn);
 
-  for (std::int64_t iter = seg.iter_begin; iter < seg.iter_end; ++iter) {
-    const std::int64_t kk = iter * blk.k;
-    const std::int64_t ek = std::min(blk.k, shape.k - kk);
-
-    for (std::int64_t i = 0; i < blk.m; ++i) {
-      Acc* dst = scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
-      if (i < em) {
-        const In* src = a.row_ptr(mm + i) + kk;
-        for (std::int64_t l = 0; l < ek; ++l) dst[l] = static_cast<Acc>(src[l]);
-        std::fill(dst + ek, dst + blk.k, Acc{});
-      } else {
-        std::fill(dst, dst + blk.k, Acc{});
-      }
-    }
-    for (std::int64_t l = 0; l < blk.k; ++l) {
-      Acc* dst = scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
-      if (l < ek) {
-        const In* src = b.row_ptr(kk + l) + nn;
-        for (std::int64_t j = 0; j < en; ++j) dst[j] = static_cast<Acc>(src[j]);
-        std::fill(dst + en, dst + blk.n, Acc{});
-      } else {
-        std::fill(dst, dst + blk.n, Acc{});
-      }
-    }
-
-    for (std::int64_t i = 0; i < blk.m; ++i) {
-      const Acc* a_row =
-          scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
-      Acc* acc_row = accum.data() + static_cast<std::size_t>(i * blk.n);
-      for (std::int64_t l = 0; l < blk.k; ++l) {
-        const Acc av = a_row[l];
-        const Acc* b_row =
-            scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
-        for (std::int64_t j = 0; j < blk.n; ++j) {
-          acc_row[j] += av * b_row[j];
-        }
-      }
-    }
+  const std::int64_t k_begin = seg.iter_begin * blk.k;
+  const std::int64_t k_end = std::min(seg.iter_end * blk.k, shape.k);
+  for (std::int64_t k0 = k_begin; k0 < k_end; k0 += scratch.panel_kc()) {
+    const std::int64_t kc = std::min(scratch.panel_kc(), k_end - k0);
+    pack_a_matrix(a, mm, em, k0, kc, scratch.packs.a.data());
+    pack_b_matrix(b, k0, kc, nn, en, scratch.packs.b.data());
+    run_packed_mac(scratch.packs.a.data(), scratch.packs.b.data(), em, en, kc,
+                   accum.data(), blk.n);
   }
 }
 

@@ -9,8 +9,10 @@ namespace streamk::cpu {
 
 namespace {
 
-/// Stages view fragments and accumulates one segment (strided analogue of
-/// run_mac_segment; zero-pads ragged edges).
+/// Packs view operands and accumulates one segment (strided analogue of
+/// run_mac_segment; the In -> Acc conversion and the transpose's stride
+/// walk both happen once per element at pack time, after which the
+/// microkernel is identical to the contiguous path).
 template <typename In, typename Acc>
 void view_mac_segment(const MatrixView<In>& a, const MatrixView<In>& b,
                       const core::WorkMapping& mapping,
@@ -23,46 +25,24 @@ void view_mac_segment(const MatrixView<In>& a, const MatrixView<In>& b,
   const std::int64_t em = mapping.tile_extent_m(coord.tm);
   const std::int64_t en = mapping.tile_extent_n(coord.tn);
 
-  for (std::int64_t iter = seg.iter_begin; iter < seg.iter_end; ++iter) {
-    const std::int64_t kk = iter * blk.k;
-    const std::int64_t ek = mapping.iter_extent_k(iter);
-
-    for (std::int64_t i = 0; i < blk.m; ++i) {
-      Acc* dst = scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
-      if (i < em) {
-        for (std::int64_t l = 0; l < ek; ++l) {
-          dst[l] = static_cast<Acc>(a.at(mm + i, kk + l));
-        }
-        std::fill(dst + ek, dst + blk.k, Acc{});
-      } else {
-        std::fill(dst, dst + blk.k, Acc{});
-      }
-    }
-    for (std::int64_t l = 0; l < blk.k; ++l) {
-      Acc* dst = scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
-      if (l < ek) {
-        for (std::int64_t j = 0; j < en; ++j) {
-          dst[j] = static_cast<Acc>(b.at(kk + l, nn + j));
-        }
-        std::fill(dst + en, dst + blk.n, Acc{});
-      } else {
-        std::fill(dst, dst + blk.n, Acc{});
-      }
-    }
-
-    for (std::int64_t i = 0; i < blk.m; ++i) {
-      const Acc* a_row =
-          scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
-      Acc* acc_row = accum.data() + static_cast<std::size_t>(i * blk.n);
-      for (std::int64_t l = 0; l < blk.k; ++l) {
-        const Acc av = a_row[l];
-        const Acc* b_row =
-            scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
-        for (std::int64_t j = 0; j < blk.n; ++j) {
-          acc_row[j] += av * b_row[j];
-        }
-      }
-    }
+  const std::int64_t k_begin = seg.iter_begin * blk.k;
+  const std::int64_t k_end = std::min(seg.iter_end * blk.k, mapping.shape().k);
+  for (std::int64_t k0 = k_begin; k0 < k_end; k0 += scratch.panel_kc()) {
+    const std::int64_t kc = std::min(scratch.panel_kc(), k_end - k0);
+    pack_a_panels<Acc>(
+        em, kc,
+        [&](std::int64_t i, std::int64_t k) {
+          return static_cast<Acc>(a.at(mm + i, k0 + k));
+        },
+        scratch.packs.a.data());
+    pack_b_panels<Acc>(
+        kc, en,
+        [&](std::int64_t k, std::int64_t j) {
+          return static_cast<Acc>(b.at(k0 + k, nn + j));
+        },
+        scratch.packs.b.data());
+    run_packed_mac(scratch.packs.a.data(), scratch.packs.b.data(), em, en, kc,
+                   accum.data(), blk.n);
   }
 }
 

@@ -48,6 +48,8 @@ void run_decomposed(const core::SchedulePlan& plan, std::int64_t tile_elements,
   const std::size_t workers =
       options.workers > 0 ? options.workers : util::hardware_threads();
 
+  const std::int64_t panel_kc = plan.pack_geometry().panel_kc;
+
   auto run_cta = [&](std::size_t cta_index) {
     const auto cta = static_cast<std::int64_t>(cta_index);
     const std::span<const core::TileSegment> segments = plan.cta_segments(cta);
@@ -55,7 +57,7 @@ void run_decomposed(const core::SchedulePlan& plan, std::int64_t tile_elements,
 
     runtime::CtaBuffers<Acc> fresh;  // used only when pooling is disabled
     runtime::CtaBuffers<Acc>& buffers = runtime::local_cta_buffers<Acc>(
-        fresh, plan.mapping().block(), tile_elements);
+        fresh, plan.mapping().block(), tile_elements, panel_kc);
     std::vector<Acc>& accum = buffers.accum;
     MacScratch<Acc>& scratch = buffers.scratch;
 

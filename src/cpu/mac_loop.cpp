@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cpu/microkernel.hpp"
+
 namespace streamk::cpu {
 
 template <typename In, typename Acc>
@@ -13,6 +15,7 @@ void run_mac_segment(const Matrix<In>& a, const Matrix<In>& b,
   util::check(accum.size() ==
                   static_cast<std::size_t>(blk.tile_elements()),
               "accumulator span size mismatch");
+  util::check(scratch.panel_kc() >= blk.k, "pack scratch not sized");
 
   const core::TileCoord coord = mapping.tile_coord(seg.tile_idx);
   const std::int64_t mm = coord.tm * blk.m;
@@ -20,49 +23,16 @@ void run_mac_segment(const Matrix<In>& a, const Matrix<In>& b,
   const std::int64_t em = mapping.tile_extent_m(coord.tm);
   const std::int64_t en = mapping.tile_extent_n(coord.tn);
 
-  for (std::int64_t iter = seg.iter_begin; iter < seg.iter_end; ++iter) {
-    const std::int64_t kk = iter * blk.k;
-    const std::int64_t ek = mapping.iter_extent_k(iter);
-
-    // LoadFragment(A, mm, kk): stage at accumulator precision, zero-pad the
-    // ragged edges.
-    for (std::int64_t i = 0; i < blk.m; ++i) {
-      Acc* dst = scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
-      if (i < em) {
-        const In* src = a.row_ptr(mm + i) + kk;
-        for (std::int64_t l = 0; l < ek; ++l) dst[l] = static_cast<Acc>(src[l]);
-        std::fill(dst + ek, dst + blk.k, Acc{});
-      } else {
-        std::fill(dst, dst + blk.k, Acc{});
-      }
-    }
-    // LoadFragment(B, kk, nn).
-    for (std::int64_t l = 0; l < blk.k; ++l) {
-      Acc* dst = scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
-      if (l < ek) {
-        const In* src = b.row_ptr(kk + l) + nn;
-        for (std::int64_t j = 0; j < en; ++j) dst[j] = static_cast<Acc>(src[j]);
-        std::fill(dst + en, dst + blk.n, Acc{});
-      } else {
-        std::fill(dst, dst + blk.n, Acc{});
-      }
-    }
-
-    // The MAC iteration: accum[m][n] += frag_a[m][k] * frag_b[k][n], with n
-    // innermost for vectorization.
-    for (std::int64_t i = 0; i < blk.m; ++i) {
-      const Acc* a_row =
-          scratch.frag_a.data() + static_cast<std::size_t>(i * blk.k);
-      Acc* acc_row = accum.data() + static_cast<std::size_t>(i * blk.n);
-      for (std::int64_t l = 0; l < blk.k; ++l) {
-        const Acc av = a_row[l];
-        const Acc* b_row =
-            scratch.frag_b.data() + static_cast<std::size_t>(l * blk.n);
-        for (std::int64_t j = 0; j < blk.n; ++j) {
-          acc_row[j] += av * b_row[j];
-        }
-      }
-    }
+  // A segment's iterations are contiguous in k, so the whole segment is one
+  // k range; pack and multiply it panel_kc elements at a time.
+  const std::int64_t k_begin = seg.iter_begin * blk.k;
+  const std::int64_t k_end = std::min(seg.iter_end * blk.k, mapping.shape().k);
+  for (std::int64_t k0 = k_begin; k0 < k_end; k0 += scratch.panel_kc()) {
+    const std::int64_t kc = std::min(scratch.panel_kc(), k_end - k0);
+    pack_a_matrix(a, mm, em, k0, kc, scratch.packs.a.data());
+    pack_b_matrix(b, k0, kc, nn, en, scratch.packs.b.data());
+    run_packed_mac(scratch.packs.a.data(), scratch.packs.b.data(), em, en, kc,
+                   accum.data(), blk.n);
   }
 }
 

@@ -2,41 +2,69 @@
 
 // CTA-wide MacLoop (Algorithm 3 of the paper), CPU edition.
 //
-// Performs a range of MAC-loop iterations for one output tile, staging
-// fragments of A and B into local (cache-resident) scratch at accumulator
-// precision before the fully unrolled multiply-accumulate -- the CPU
-// analogue of the shared-memory staging in CUTLASS kernels.  Ragged tile
-// edges are zero-padded in the fragments so the inner loops stay branch
-// free, mirroring how GPU kernels predicate out-of-bounds lanes.
+// Performs a range of MAC-loop iterations for one output tile.  The
+// operands are packed once per k-chunk into register-blocked panels
+// (cpu/packing.hpp) at accumulator precision, then consumed by the MR x NR
+// microkernel (cpu/microkernel.hpp) -- the CPU analogue of the
+// shared-memory staging plus warp-tile MMA of CUTLASS kernels.  Ragged tile
+// edges are resolved at pack time and by dedicated edge kernels, so a
+// partial tile performs only em * en-proportional work instead of the full
+// block volume.
 
 #include <span>
 
 #include "core/decomposition.hpp"
 #include "cpu/matrix.hpp"
+#include "cpu/packing.hpp"
 
 namespace streamk::cpu {
 
-/// Scratch buffers for one CTA's fragment staging, sized for a block shape;
-/// reused across segments to avoid per-segment allocation, and resizable so
-/// runtime::local_cta_buffers can recycle them across submissions (resize
-/// to an already-held shape allocates nothing).
+/// Scratch buffers for one CTA's operand staging, sized for a block shape
+/// and packed-chunk depth; reused across segments to avoid per-segment
+/// allocation, and resizable so runtime::local_cta_buffers can recycle them
+/// across submissions (resize to an already-held shape allocates nothing).
+///
+/// `frag_a`/`frag_b` are row-major gather staging for substrates whose
+/// operands need per-element address math (implicit-GEMM convolution);
+/// they are sized lazily via ensure_frags() so the GEMM-family paths --
+/// which pack straight from the source matrices -- never carry them.
 template <typename Acc>
 struct MacScratch {
-  std::vector<Acc> frag_a;  ///< BLK_M x BLK_K
-  std::vector<Acc> frag_b;  ///< BLK_K x BLK_N
+  std::vector<Acc> frag_a;  ///< BLK_M x BLK_K gather staging (conv)
+  std::vector<Acc> frag_b;  ///< BLK_K x BLK_N gather staging (conv)
+  PackBuffers<Acc> packs;   ///< microkernel panels, panel_kc deep
 
   MacScratch() = default;
   explicit MacScratch(const gpu::BlockShape& block) { resize(block); }
+  MacScratch(const gpu::BlockShape& block, std::int64_t panel_kc) {
+    resize(block, panel_kc);
+  }
 
-  void resize(const gpu::BlockShape& block) {
+  /// Sizes the packing buffers for `block` with chunks of `panel_kc`
+  /// accumulator elements along k (defaults to one MAC-loop iteration's
+  /// depth).
+  void resize(const gpu::BlockShape& block, std::int64_t panel_kc = 0) {
+    panel_kc_ = panel_kc > 0 ? panel_kc : block.k;
+    packs.resize(block, std::max(panel_kc_, block.k));
+  }
+
+  /// Sizes the gather staging (no-op once held at this shape).
+  void ensure_frags(const gpu::BlockShape& block) {
     frag_a.resize(static_cast<std::size_t>(block.m * block.k));
     frag_b.resize(static_cast<std::size_t>(block.k * block.n));
   }
+
+  /// The k depth one packed chunk holds (>= BLK_K).
+  std::int64_t panel_kc() const { return panel_kc_; }
+
+ private:
+  std::int64_t panel_kc_ = 0;
 };
 
 /// Accumulates segment `seg`'s MAC-loop iterations of the decomposed GEMM
 /// into `accum` (BLK_M x BLK_N, row-major).  The caller zero-initializes
-/// `accum` before the first segment of a tile.
+/// `accum` before the first segment of a tile; only the valid em x en
+/// corner is written, so the padding region of an edge tile stays zero.
 template <typename In, typename Acc>
 void run_mac_segment(const Matrix<In>& a, const Matrix<In>& b,
                      const core::WorkMapping& mapping,

@@ -1,0 +1,331 @@
+#pragma once
+
+// Register-blocked MAC microkernel over packed panels.
+//
+// The CPU analogue of a CUTLASS warp-tile: the packed A/B panels produced by
+// cpu/packing.hpp are consumed MR x NR output sub-tiles at a time, with the
+// sub-tile held in registers across the whole packed k depth.  Compared to
+// the seed's triple loop (which re-read and re-wrote every accumulator
+// element once per k step), the microkernel performs one C load and one C
+// store per kc-deep chunk and streams A/B linearly from the packed panels.
+//
+// Three implementations share one contract:
+//
+//   * microkernel_generic<Acc> -- full MR x NR tile, portable C++ written
+//     so the j loop auto-vectorizes (constant trip counts, one separate
+//     accumulator array per row -- see the comment on the function);
+//   * an __AVX2__/__FMA__ intrinsic specialization for double and float on
+//     builds without AVX-512 (where the portable kernel's own codegen is
+//     already a full-width zmm tile), selected at runtime unless
+//     STREAMK_FORCE_SCALAR is set (environment variable or
+//     set_force_scalar()), so vector and portable paths can be A/B-tested
+//     in one binary;
+//   * microkernel_edge<Acc>   -- ragged fringe variant bounded by (mr, nr):
+//                                it performs exactly mr * nr * kc MACs, which
+//                                is what makes edge tiles pay only for their
+//                                valid region (the seed's loop always paid
+//                                the full BLK_M * BLK_N block volume).
+//
+// Panel element layout (see cpu/packing.hpp): A panel p holds rows
+// [p*MR, p*MR + MR) k-major -- element (i, k) at a[k * MR + i]; B panel q
+// holds columns [q*NR, q*NR + NR) -- element (k, j) at b[k * NR + j].
+//
+// MR x NR choice: MR = 4 rows with NR spanning two vectors of the widest
+// available extension (8/16 doubles, 16/32 floats on AVX2/AVX-512) keeps
+// the accumulator tile plus one broadcast and two B loads inside the
+// architectural vector register file, and gives the compiler the same
+// shape to work with in the portable path.
+//
+// MacProbe is the test hook for the edge-tile accounting bugfix: when
+// enabled it counts the MACs actually dispatched (per-kernel mr * nr * kc),
+// so a test can assert that a ragged tile performs em * en-proportional
+// work.  Disabled it costs one relaxed atomic load per microkernel call.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+namespace streamk::cpu {
+
+/// Register-tile extents for an accumulator type: MR = 4 rows by NR
+/// columns, NR sized to two vectors of the widest extension the build
+/// targets (zmm on AVX-512, ymm otherwise).  The 4 x 2-vector tile plus
+/// one broadcast and two B loads stays inside the architectural vector
+/// register file in both cases.
+template <typename Acc>
+struct MicroTile {
+  static constexpr std::int64_t kMr = 4;
+#if defined(__AVX512F__)
+  static constexpr std::int64_t kNr =
+      128 / static_cast<std::int64_t>(sizeof(Acc));
+#else
+  static constexpr std::int64_t kNr =
+      64 / static_cast<std::int64_t>(sizeof(Acc));
+#endif
+};
+
+/// Test-only MAC accounting.  Kernels report the multiply-accumulates they
+/// actually perform; tests enable the probe, run a path, and compare the
+/// count against the valid-region volume.
+class MacProbe {
+ public:
+  static void enable(bool on) {
+    enabled_flag().store(on, std::memory_order_relaxed);
+    if (on) counter().store(0, std::memory_order_relaxed);
+  }
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+  static std::int64_t count() {
+    return counter().load(std::memory_order_relaxed);
+  }
+  static void reset() { counter().store(0, std::memory_order_relaxed); }
+
+  /// Called by the packed-MAC driver once per kernel dispatch.
+  static void add(std::int64_t macs) {
+    if (enabled()) counter().fetch_add(macs, std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<bool>& enabled_flag() {
+    static std::atomic<bool> flag{false};
+    return flag;
+  }
+  static std::atomic<std::int64_t>& counter() {
+    static std::atomic<std::int64_t> count{0};
+    return count;
+  }
+};
+
+/// Escape hatch: when true, the portable kernels run even on AVX2 builds.
+/// Seeded from the STREAMK_FORCE_SCALAR environment variable ("", unset, or
+/// "0" mean off) and overridable in-process for A/B benching.
+inline std::atomic<bool>& force_scalar_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("STREAMK_FORCE_SCALAR");
+    return env != nullptr && env[0] != '\0' && std::string_view(env) != "0";
+  }()};
+  return flag;
+}
+inline void set_force_scalar(bool forced) {
+  force_scalar_flag().store(forced, std::memory_order_relaxed);
+}
+inline bool force_scalar() {
+  return force_scalar_flag().load(std::memory_order_relaxed);
+}
+
+/// Portable full-tile kernel: C[MR][NR] += A_panel . B_panel over kc steps.
+/// The four row accumulators are *separate* constant-extent locals rather
+/// than one 2D array, with the B element hoisted across rows -- the shape
+/// GCC's vectorizer reliably turns into four independent fused
+/// multiply-add chains over the full NR width (the 2D-array form trips its
+/// access-pattern analysis for float and falls back to scalar code, an
+/// order of magnitude slower).  On AVX-512 builds this compiles to the
+/// same zmm register tile a hand-written kernel would use.
+template <typename Acc>
+void microkernel_generic(const Acc* a_panel, const Acc* b_panel,
+                         std::int64_t kc, Acc* c, std::int64_t ldc) {
+  constexpr std::int64_t kNr = MicroTile<Acc>::kNr;
+  static_assert(MicroTile<Acc>::kMr == 4, "kernel unrolls four rows");
+  Acc acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const Acc* ak = a_panel + k * 4;
+    const Acc* bk = b_panel + k * kNr;
+    const Acc a0 = ak[0], a1 = ak[1], a2 = ak[2], a3 = ak[3];
+    for (std::int64_t j = 0; j < kNr; ++j) {
+      const Acc bj = bk[j];
+      acc0[j] += a0 * bj;
+      acc1[j] += a1 * bj;
+      acc2[j] += a2 * bj;
+      acc3[j] += a3 * bj;
+    }
+  }
+  for (std::int64_t j = 0; j < kNr; ++j) c[j] += acc0[j];
+  for (std::int64_t j = 0; j < kNr; ++j) c[ldc + j] += acc1[j];
+  for (std::int64_t j = 0; j < kNr; ++j) c[2 * ldc + j] += acc2[j];
+  for (std::int64_t j = 0; j < kNr; ++j) c[3 * ldc + j] += acc3[j];
+}
+
+/// Ragged-fringe kernel: exactly mr x nr x kc MACs (1 <= mr <= MR,
+/// 1 <= nr <= NR).  Panels keep their full MR/NR strides; only the valid
+/// lanes are read.
+template <typename Acc>
+void microkernel_edge(const Acc* a_panel, const Acc* b_panel, std::int64_t kc,
+                      std::int64_t mr, std::int64_t nr, Acc* c,
+                      std::int64_t ldc) {
+  constexpr std::int64_t kMr = MicroTile<Acc>::kMr;
+  constexpr std::int64_t kNr = MicroTile<Acc>::kNr;
+  Acc acc[kMr][kNr] = {};
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const Acc* ak = a_panel + k * kMr;
+    const Acc* bk = b_panel + k * kNr;
+    for (std::int64_t i = 0; i < mr; ++i) {
+      const Acc av = ak[i];
+      for (std::int64_t j = 0; j < nr; ++j) acc[i][j] += av * bk[j];
+    }
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    Acc* c_row = c + i * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) c_row[j] += acc[i][j];
+  }
+}
+
+#if defined(__AVX2__) && defined(__FMA__) && !defined(__AVX512F__)
+
+// Hand-written AVX2 kernels for builds without AVX-512.  (With AVX-512 the
+// register tile is twice as wide and the portable kernel above already
+// compiles to the full-width zmm FMA tile, so no intrinsics are needed --
+// the dispatch below routes accordingly.)
+
+/// AVX2+FMA full-tile kernel, double: 4 x 8 accumulator in 8 ymm registers,
+/// one broadcast and two B loads live per k step.
+inline void microkernel_avx2(const double* a_panel, const double* b_panel,
+                             std::int64_t kc, double* c, std::int64_t ldc) {
+  __m256d acc00 = _mm256_setzero_pd(), acc01 = _mm256_setzero_pd();
+  __m256d acc10 = _mm256_setzero_pd(), acc11 = _mm256_setzero_pd();
+  __m256d acc20 = _mm256_setzero_pd(), acc21 = _mm256_setzero_pd();
+  __m256d acc30 = _mm256_setzero_pd(), acc31 = _mm256_setzero_pd();
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const double* ak = a_panel + k * 4;
+    const double* bk = b_panel + k * 8;
+    const __m256d b0 = _mm256_loadu_pd(bk);
+    const __m256d b1 = _mm256_loadu_pd(bk + 4);
+    __m256d ai = _mm256_broadcast_sd(ak + 0);
+    acc00 = _mm256_fmadd_pd(ai, b0, acc00);
+    acc01 = _mm256_fmadd_pd(ai, b1, acc01);
+    ai = _mm256_broadcast_sd(ak + 1);
+    acc10 = _mm256_fmadd_pd(ai, b0, acc10);
+    acc11 = _mm256_fmadd_pd(ai, b1, acc11);
+    ai = _mm256_broadcast_sd(ak + 2);
+    acc20 = _mm256_fmadd_pd(ai, b0, acc20);
+    acc21 = _mm256_fmadd_pd(ai, b1, acc21);
+    ai = _mm256_broadcast_sd(ak + 3);
+    acc30 = _mm256_fmadd_pd(ai, b0, acc30);
+    acc31 = _mm256_fmadd_pd(ai, b1, acc31);
+  }
+  double* c0 = c;
+  double* c1 = c + ldc;
+  double* c2 = c + 2 * ldc;
+  double* c3 = c + 3 * ldc;
+  _mm256_storeu_pd(c0, _mm256_add_pd(_mm256_loadu_pd(c0), acc00));
+  _mm256_storeu_pd(c0 + 4, _mm256_add_pd(_mm256_loadu_pd(c0 + 4), acc01));
+  _mm256_storeu_pd(c1, _mm256_add_pd(_mm256_loadu_pd(c1), acc10));
+  _mm256_storeu_pd(c1 + 4, _mm256_add_pd(_mm256_loadu_pd(c1 + 4), acc11));
+  _mm256_storeu_pd(c2, _mm256_add_pd(_mm256_loadu_pd(c2), acc20));
+  _mm256_storeu_pd(c2 + 4, _mm256_add_pd(_mm256_loadu_pd(c2 + 4), acc21));
+  _mm256_storeu_pd(c3, _mm256_add_pd(_mm256_loadu_pd(c3), acc30));
+  _mm256_storeu_pd(c3 + 4, _mm256_add_pd(_mm256_loadu_pd(c3 + 4), acc31));
+}
+
+/// AVX2+FMA full-tile kernel, float: 4 x 16 accumulator in 8 ymm registers.
+inline void microkernel_avx2(const float* a_panel, const float* b_panel,
+                             std::int64_t kc, float* c, std::int64_t ldc) {
+  __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
+  __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
+  __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
+  __m256 acc30 = _mm256_setzero_ps(), acc31 = _mm256_setzero_ps();
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const float* ak = a_panel + k * 4;
+    const float* bk = b_panel + k * 16;
+    const __m256 b0 = _mm256_loadu_ps(bk);
+    const __m256 b1 = _mm256_loadu_ps(bk + 8);
+    __m256 ai = _mm256_broadcast_ss(ak + 0);
+    acc00 = _mm256_fmadd_ps(ai, b0, acc00);
+    acc01 = _mm256_fmadd_ps(ai, b1, acc01);
+    ai = _mm256_broadcast_ss(ak + 1);
+    acc10 = _mm256_fmadd_ps(ai, b0, acc10);
+    acc11 = _mm256_fmadd_ps(ai, b1, acc11);
+    ai = _mm256_broadcast_ss(ak + 2);
+    acc20 = _mm256_fmadd_ps(ai, b0, acc20);
+    acc21 = _mm256_fmadd_ps(ai, b1, acc21);
+    ai = _mm256_broadcast_ss(ak + 3);
+    acc30 = _mm256_fmadd_ps(ai, b0, acc30);
+    acc31 = _mm256_fmadd_ps(ai, b1, acc31);
+  }
+  float* c0 = c;
+  float* c1 = c + ldc;
+  float* c2 = c + 2 * ldc;
+  float* c3 = c + 3 * ldc;
+  _mm256_storeu_ps(c0, _mm256_add_ps(_mm256_loadu_ps(c0), acc00));
+  _mm256_storeu_ps(c0 + 8, _mm256_add_ps(_mm256_loadu_ps(c0 + 8), acc01));
+  _mm256_storeu_ps(c1, _mm256_add_ps(_mm256_loadu_ps(c1), acc10));
+  _mm256_storeu_ps(c1 + 8, _mm256_add_ps(_mm256_loadu_ps(c1 + 8), acc11));
+  _mm256_storeu_ps(c2, _mm256_add_ps(_mm256_loadu_ps(c2), acc20));
+  _mm256_storeu_ps(c2 + 8, _mm256_add_ps(_mm256_loadu_ps(c2 + 8), acc21));
+  _mm256_storeu_ps(c3, _mm256_add_ps(_mm256_loadu_ps(c3), acc30));
+  _mm256_storeu_ps(c3 + 8, _mm256_add_ps(_mm256_loadu_ps(c3 + 8), acc31));
+}
+
+template <typename Acc>
+inline constexpr bool kHasIntrinsicKernel =
+    std::is_same_v<Acc, double> || std::is_same_v<Acc, float>;
+
+#else
+
+template <typename Acc>
+inline constexpr bool kHasIntrinsicKernel = false;
+
+#endif  // __AVX2__ && __FMA__ && !__AVX512F__
+
+/// True when the build carries a vector ISA wide enough that the full-tile
+/// kernel runs as fused-multiply-add register tiles (by intrinsics on AVX2,
+/// by the portable kernel's codegen on AVX-512).
+template <typename Acc>
+inline constexpr bool kHasVectorKernel =
+#if defined(__AVX512F__)
+    std::is_same_v<Acc, double> || std::is_same_v<Acc, float>;
+#else
+    kHasIntrinsicKernel<Acc>;
+#endif
+
+/// Full-tile dispatch: intrinsic kernel when compiled in and not forced off.
+template <typename Acc>
+inline void microkernel(const Acc* a_panel, const Acc* b_panel,
+                        std::int64_t kc, Acc* c, std::int64_t ldc) {
+#if defined(__AVX2__) && defined(__FMA__) && !defined(__AVX512F__)
+  if constexpr (kHasIntrinsicKernel<Acc>) {
+    if (!force_scalar()) {
+      microkernel_avx2(a_panel, b_panel, kc, c, ldc);
+      return;
+    }
+  }
+#endif
+  microkernel_generic(a_panel, b_panel, kc, c, ldc);
+}
+
+/// Runs the register-tiled kernels over one packed chunk: full MR x NR
+/// tiles across the interior, edge variants over the ragged fringe.  `c` is
+/// the em x en valid corner of a row-major tile with leading dimension
+/// `ldc`; only rows [0, em) and columns [0, en) are touched, so the zero
+/// padding of a partial tile's accumulator stays zero.
+template <typename Acc>
+void run_packed_mac(const Acc* packed_a, const Acc* packed_b, std::int64_t em,
+                    std::int64_t en, std::int64_t kc, Acc* c,
+                    std::int64_t ldc) {
+  constexpr std::int64_t kMr = MicroTile<Acc>::kMr;
+  constexpr std::int64_t kNr = MicroTile<Acc>::kNr;
+  const std::int64_t m_panels = (em + kMr - 1) / kMr;
+  const std::int64_t n_panels = (en + kNr - 1) / kNr;
+  for (std::int64_t q = 0; q < n_panels; ++q) {
+    const Acc* b_panel = packed_b + q * kNr * kc;
+    const std::int64_t nr = std::min(kNr, en - q * kNr);
+    for (std::int64_t p = 0; p < m_panels; ++p) {
+      const Acc* a_panel = packed_a + p * kMr * kc;
+      const std::int64_t mr = std::min(kMr, em - p * kMr);
+      Acc* c_block = c + p * kMr * ldc + q * kNr;
+      if (mr == kMr && nr == kNr) {
+        microkernel(a_panel, b_panel, kc, c_block, ldc);
+      } else {
+        microkernel_edge(a_panel, b_panel, kc, mr, nr, c_block, ldc);
+      }
+      MacProbe::add(mr * nr * kc);
+    }
+  }
+}
+
+}  // namespace streamk::cpu

@@ -1,0 +1,109 @@
+#include "cpu/packing.hpp"
+
+#if defined(__F16C__)
+#include <immintrin.h>
+#endif
+
+namespace streamk::cpu {
+
+namespace {
+
+/// Converts `count` contiguous source elements to Acc.  The Half -> float
+/// case carries an F16C fast path (vcvtph2ps, 8 lanes per instruction):
+/// Half stores IEEE binary16 bits, which is exactly the hardware format,
+/// and the scalar decode's branchy bit manipulation is expensive enough to
+/// dominate fp16 packing otherwise.
+template <typename In, typename Acc>
+inline void convert_row(const In* src, std::int64_t count, Acc* dst) {
+  for (std::int64_t j = 0; j < count; ++j) dst[j] = static_cast<Acc>(src[j]);
+}
+
+#if defined(__F16C__)
+inline void convert_row(const util::Half* src, std::int64_t count,
+                        float* dst) {
+  static_assert(sizeof(util::Half) == 2, "Half must be raw binary16 bits");
+  std::int64_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    const __m128i bits =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + j));
+    _mm256_storeu_ps(dst + j, _mm256_cvtph_ps(bits));
+  }
+  for (; j < count; ++j) dst[j] = static_cast<float>(src[j]);
+}
+#endif
+
+}  // namespace
+
+template <typename In, typename Acc>
+void pack_a_matrix(const Matrix<In>& a, std::int64_t row0, std::int64_t em,
+                   std::int64_t col0, std::int64_t kc, Acc* dst) {
+  constexpr std::int64_t kMr = MicroTile<Acc>::kMr;
+  const std::int64_t panels = (em + kMr - 1) / kMr;
+  // Each source row is contiguous along k: convert a stretch of the row at
+  // unit stride (vectorizable, F16C for Half), then scatter it into the
+  // panel's k-major layout.
+  for (std::int64_t p = 0; p < panels; ++p) {
+    Acc* panel = dst + p * kMr * kc;
+    const std::int64_t mr = std::min(kMr, em - p * kMr);
+    Acc row[128];
+    for (std::int64_t i = 0; i < mr; ++i) {
+      const In* src = a.row_ptr(row0 + p * kMr + i) + col0;
+      for (std::int64_t k0 = 0; k0 < kc; k0 += 128) {
+        const std::int64_t chunk = std::min<std::int64_t>(128, kc - k0);
+        convert_row(src + k0, chunk, row);
+        for (std::int64_t k = 0; k < chunk; ++k) {
+          panel[(k0 + k) * kMr + i] = row[k];
+        }
+      }
+    }
+    for (std::int64_t i = mr; i < kMr; ++i) {
+      for (std::int64_t k = 0; k < kc; ++k) panel[k * kMr + i] = Acc{};
+    }
+  }
+}
+
+template <typename In, typename Acc>
+void pack_b_matrix(const Matrix<In>& b, std::int64_t row0, std::int64_t kc,
+                   std::int64_t col0, std::int64_t en, Acc* dst) {
+  constexpr std::int64_t kNr = MicroTile<Acc>::kNr;
+  const std::int64_t panels = (en + kNr - 1) / kNr;
+  // B packs row-by-row within a panel (source rows are contiguous), so the
+  // copy is a unit-stride sweep (F16C-converted for Half) rather than the
+  // generic accessor walk.
+  for (std::int64_t q = 0; q < panels; ++q) {
+    Acc* panel = dst + q * kNr * kc;
+    const std::int64_t nr = std::min(kNr, en - q * kNr);
+    for (std::int64_t k = 0; k < kc; ++k) {
+      const In* src = b.row_ptr(row0 + k) + col0 + q * kNr;
+      Acc* row = panel + k * kNr;
+      convert_row(src, nr, row);
+      for (std::int64_t j = nr; j < kNr; ++j) row[j] = Acc{};
+    }
+  }
+}
+
+template void pack_a_matrix<double, double>(const Matrix<double>&,
+                                            std::int64_t, std::int64_t,
+                                            std::int64_t, std::int64_t,
+                                            double*);
+template void pack_a_matrix<float, float>(const Matrix<float>&, std::int64_t,
+                                          std::int64_t, std::int64_t,
+                                          std::int64_t, float*);
+template void pack_a_matrix<util::Half, float>(const Matrix<util::Half>&,
+                                               std::int64_t, std::int64_t,
+                                               std::int64_t, std::int64_t,
+                                               float*);
+
+template void pack_b_matrix<double, double>(const Matrix<double>&,
+                                            std::int64_t, std::int64_t,
+                                            std::int64_t, std::int64_t,
+                                            double*);
+template void pack_b_matrix<float, float>(const Matrix<float>&, std::int64_t,
+                                          std::int64_t, std::int64_t,
+                                          std::int64_t, float*);
+template void pack_b_matrix<util::Half, float>(const Matrix<util::Half>&,
+                                               std::int64_t, std::int64_t,
+                                               std::int64_t, std::int64_t,
+                                               float*);
+
+}  // namespace streamk::cpu

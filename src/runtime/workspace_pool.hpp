@@ -122,14 +122,15 @@ class WorkspacePool {
 };
 
 /// Per-thread CTA execution buffers: the output-tile accumulator and the
-/// A/B fragment scratch.
+/// A/B packing/fragment scratch.
 template <typename Acc>
 struct CtaBuffers {
   std::vector<Acc> accum;
   cpu::MacScratch<Acc> scratch;
 };
 
-/// The calling thread's CtaBuffers, resized for (block, tile_elements).
+/// The calling thread's CtaBuffers, resized for (block, tile_elements) with
+/// packed-panel chunks `panel_kc` deep (0 = one MAC-loop iteration).
 /// Resizing is a no-op when the previous use had the same shape, which is
 /// the steady state on persistent pool workers.  With pooling disabled,
 /// `fallback` (a fresh per-CTA instance) is sized and returned instead --
@@ -137,11 +138,12 @@ struct CtaBuffers {
 template <typename Acc>
 CtaBuffers<Acc>& local_cta_buffers(CtaBuffers<Acc>& fallback,
                                    const gpu::BlockShape& block,
-                                   std::int64_t tile_elements) {
+                                   std::int64_t tile_elements,
+                                   std::int64_t panel_kc = 0) {
   thread_local CtaBuffers<Acc> buffers;
   CtaBuffers<Acc>& chosen = workspace_pooling() ? buffers : fallback;
   chosen.accum.resize(static_cast<std::size_t>(tile_elements));
-  chosen.scratch.resize(block);
+  chosen.scratch.resize(block, panel_kc);
   return chosen;
 }
 

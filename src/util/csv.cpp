@@ -29,9 +29,11 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
 }
 
 std::string CsvWriter::cell(double v) {
+  // Shortest round-trip form: to_chars without a precision argument emits
+  // the fewest digits that parse back to exactly `v`.  (A fixed precision
+  // of 12 silently truncated doubles, so bench CSVs did not round-trip.)
   char buf[64];
-  const auto [ptr, ec] =
-      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 12);
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
   check(ec == std::errc(), "double formatting failed");
   return std::string(buf, ptr);
 }

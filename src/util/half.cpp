@@ -1,83 +1,12 @@
 #include "util/half.hpp"
 
-#include <bit>
 #include <ostream>
 
 namespace streamk::util {
 
-std::uint16_t Half::encode(float value) {
-  const std::uint32_t x = std::bit_cast<std::uint32_t>(value);
-  const std::uint32_t sign = (x >> 16) & 0x8000u;
-  std::uint32_t mant = x & 0x007fffffu;
-  const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xffu);
-
-  if (exp == 0xff) {
-    // Inf stays Inf; NaN keeps a truncated payload but is forced quiet so a
-    // payload that truncates to zero does not collapse into Inf.
-    if (mant == 0) return static_cast<std::uint16_t>(sign | 0x7c00u);
-    return static_cast<std::uint16_t>(sign | 0x7c00u | 0x0200u | (mant >> 13));
-  }
-
-  const std::int32_t e = exp - 127 + 15;  // re-bias binary32 -> binary16
-  if (e >= 31) {
-    // Overflow: round-to-nearest-even maps every too-large finite value to Inf.
-    return static_cast<std::uint16_t>(sign | 0x7c00u);
-  }
-  if (e <= 0) {
-    // Result is subnormal (or rounds to zero).  e in [-9, 0] can still
-    // produce a nonzero subnormal; below that everything rounds to +-0
-    // except values at exactly half of the smallest subnormal, which round
-    // to even (zero) anyway.
-    if (e < -10) return static_cast<std::uint16_t>(sign);
-    mant |= 0x00800000u;  // make the implicit leading bit explicit
-    const std::uint32_t shift = static_cast<std::uint32_t>(14 - e);  // in [14, 24]
-    std::uint32_t half_mant = mant >> shift;
-    const std::uint32_t rem = mant & ((1u << shift) - 1u);
-    const std::uint32_t halfway = 1u << (shift - 1u);
-    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
-    // half_mant can carry into the exponent field (rounding up to the
-    // smallest normal); the bit layout makes that arithmetic correct.
-    return static_cast<std::uint16_t>(sign | half_mant);
-  }
-
-  std::uint16_t out = static_cast<std::uint16_t>(
-      sign | (static_cast<std::uint32_t>(e) << 10) | (mant >> 13));
-  const std::uint32_t rem = mant & 0x1fffu;
-  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) {
-    ++out;  // may carry into the exponent and correctly roll over to Inf
-  }
-  return out;
-}
-
-float Half::decode(std::uint16_t bits) {
-  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
-  const std::uint32_t exp = (bits >> 10) & 0x1fu;
-  std::uint32_t mant = bits & 0x03ffu;
-
-  std::uint32_t out;
-  if (exp == 0) {
-    if (mant == 0) {
-      out = sign;  // signed zero
-    } else {
-      // Subnormal: value = mant * 2^-24.  Normalize by shifting the mantissa
-      // until its leading bit reaches position 10; each shift lowers the
-      // exponent by one from the subnormal base of 2^-14.
-      std::uint32_t k = 0;
-      while ((mant & 0x0400u) == 0) {
-        mant <<= 1;
-        ++k;
-      }
-      mant &= 0x03ffu;
-      const std::uint32_t exp32 = 127 - 14 - k;
-      out = sign | (exp32 << 23) | (mant << 13);
-    }
-  } else if (exp == 31) {
-    out = sign | 0x7f800000u | (mant << 13);  // Inf / NaN (payload preserved)
-  } else {
-    out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
-  }
-  return std::bit_cast<float>(out);
-}
+// encode()/decode() live inline in the header: the GEMM packing layer
+// performs one conversion per packed element, where call overhead is
+// measurable (see cpu/packing.hpp).
 
 std::ostream& operator<<(std::ostream& os, Half h) {
   return os << static_cast<float>(h);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -40,7 +41,11 @@ Summary Summary::of(std::span<const double> samples) {
   }
   const auto n = static_cast<double>(sorted.size());
   s.mean = sum / n;
-  s.geomean = geomean_valid ? std::exp(log_sum / n) : 0.0;
+  // A geometric mean over non-positive samples is undefined; report NaN so
+  // consumers render "n/a" instead of mistaking a sentinel 0.0 for a real
+  // measurement.
+  s.geomean = geomean_valid ? std::exp(log_sum / n)
+                            : std::numeric_limits<double>::quiet_NaN();
 
   double sq = 0.0;
   for (const double v : sorted) {

@@ -16,6 +16,8 @@ namespace streamk::util {
 
 /// Full summary of a sample.  `stddev` is the sample standard deviation
 /// (n - 1 denominator), matching how the paper tabulates spread.
+/// `geomean` is NaN when any sample is non-positive (undefined, not zero);
+/// report layers render it as "n/a" (bench::format_metric).
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;

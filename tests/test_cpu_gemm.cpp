@@ -13,6 +13,8 @@
 #include "core/validate.hpp"
 #include "cpu/executor.hpp"
 #include "cpu/gemm.hpp"
+#include "cpu/mac_loop.hpp"
+#include "cpu/microkernel.hpp"
 #include "cpu/reference.hpp"
 #include "test_support.hpp"
 
@@ -223,6 +225,77 @@ TEST(CpuGemm, RejectsNonConformingMatrices) {
   Matrix<double> c(64, 64);
   EXPECT_THROW((execute_decomposition<double, double, double>(sk, a, b, c)),
                util::CheckError);
+}
+
+// ------------------------------------------------- edge-tile MAC accounting
+
+TEST(MacAccounting, EdgeTilePerformsOnlyValidRegionWork) {
+  // One segment of an edge tile: em < blk.m and en < blk.n, with a short
+  // final k iteration.  The packed path must dispatch exactly
+  // em * en * k_covered MACs; the seed's loop always paid the full
+  // blk.m * blk.n * blk.k block volume per iteration.
+  const core::GemmShape shape{37, 29, 41};
+  const gpu::BlockShape block{32, 32, 16};
+  const core::WorkMapping mapping(shape, block);
+
+  Matrix<double> a(shape.m, shape.k);
+  Matrix<double> b(shape.k, shape.n);
+  util::Pcg32 rng(4242);
+  fill_random(a, rng);
+  fill_random(b, rng);
+
+  // Bottom-right tile: em = 37 - 32 = 5, en = 29 (< 32), k covered = 41.
+  const std::int64_t tile_idx =
+      mapping.tile_index({mapping.tiles_m() - 1, mapping.tiles_n() - 1});
+  core::TileSegment seg;
+  seg.tile_idx = tile_idx;
+  seg.iter_begin = 0;
+  seg.iter_end = mapping.iters_per_tile();
+  seg.last = true;
+
+  const std::int64_t em = mapping.tile_extent_m(mapping.tiles_m() - 1);
+  const std::int64_t en = mapping.tile_extent_n(mapping.tiles_n() - 1);
+  ASSERT_LT(em, block.m);
+  ASSERT_LT(en, block.n);
+
+  std::vector<double> accum(static_cast<std::size_t>(block.tile_elements()),
+                            0.0);
+  MacScratch<double> scratch(block);
+  MacProbe::enable(true);
+  run_mac_segment<double, double>(a, b, mapping, seg, accum, scratch);
+  const std::int64_t macs = MacProbe::count();
+  MacProbe::enable(false);
+
+  EXPECT_EQ(macs, em * en * shape.k);
+  // The seed's path paid the padded block volume -- strictly more.
+  EXPECT_LT(macs, mapping.iters_per_tile() * block.macs_per_iteration());
+}
+
+TEST(MacAccounting, WholeGemmPerformsExactlyUsefulMacsUnderEveryKind) {
+  // Across a full ragged GEMM the probe must total exactly shape.macs()
+  // (the useful volume) for every decomposition kind: edge tiles no longer
+  // multiply zero padding, and spilled partials add no extra MACs.
+  const core::GemmShape shape{45, 37, 50};
+  const gpu::BlockShape block{16, 16, 16};
+  const core::WorkMapping mapping(shape, block);
+  ASSERT_LT(shape.macs(), mapping.padded_macs());  // scenario is ragged
+
+  Matrix<double> a(shape.m, shape.k);
+  Matrix<double> b(shape.k, shape.n);
+  util::Pcg32 rng(99);
+  fill_random(a, rng);
+  fill_random(b, rng);
+
+  for (const auto& named : all_decompositions(mapping)) {
+    SCOPED_TRACE(named.label);
+    Matrix<double> c(shape.m, shape.n);
+    MacProbe::enable(true);
+    execute_decomposition<double, double, double>(*named.decomposition, a, b,
+                                                  c, {.workers = 2});
+    const std::int64_t macs = MacProbe::count();
+    MacProbe::enable(false);
+    EXPECT_EQ(macs, shape.macs());
+  }
 }
 
 // ------------------------------------------------------ public gemm() API

@@ -2,11 +2,16 @@
 
 #include "util/half.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "util/rng.hpp"
 
 namespace streamk::util {
 namespace {
@@ -100,6 +105,112 @@ TEST(Half, MonotonicOnPositiveRange) {
     const std::uint16_t bits = Half(f).bits();
     EXPECT_GE(bits, prev) << "f=" << f;
     prev = bits;
+  }
+}
+
+// ---------------------------------------------- reference-based encoding
+//
+// An independent round-to-nearest-even reference built from the decode
+// table: every non-negative finite binary16 value (which decode() produces
+// exactly), plus a virtual lattice point at 65536 = 2^16 standing in for
+// the overflow-to-infinity boundary (the IEEE rule rounds as if the
+// exponent range were unbounded, and 65536's mantissa is even).  All
+// comparisons are done in double, where every binary16 value and every
+// midpoint between neighbours is exactly representable, so the reference
+// is exact by construction and shares no code with Half::encode.
+
+const std::vector<double>& half_lattice() {
+  static const std::vector<double> lattice = [] {
+    std::vector<double> values;
+    values.reserve(0x7c01);
+    for (std::uint32_t bits = 0; bits < 0x7c00u; ++bits) {
+      values.push_back(static_cast<double>(
+          Half::decode(static_cast<std::uint16_t>(bits))));
+    }
+    values.push_back(65536.0);  // virtual overflow point, index 0x7c00
+    return values;
+  }();
+  return lattice;
+}
+
+std::uint16_t reference_encode(float f) {
+  const auto& values = half_lattice();
+  const std::uint16_t sign = std::signbit(f) ? 0x8000u : 0x0000u;
+  const double a = std::abs(static_cast<double>(f));
+  if (a >= 65536.0) return sign | 0x7c00u;
+  const auto it = std::lower_bound(values.begin(), values.end(), a);
+  auto hi = static_cast<std::uint16_t>(it - values.begin());
+  if (values[hi] == a) return sign | hi;
+  const std::uint16_t lo = hi - 1;
+  const double d_lo = a - values[lo];
+  const double d_hi = values[hi] - a;
+  std::uint16_t bits;
+  if (d_lo < d_hi) {
+    bits = lo;
+  } else if (d_hi < d_lo) {
+    bits = hi;
+  } else {
+    bits = (lo & 1u) == 0 ? lo : hi;  // ties to even mantissa
+  }
+  return sign | bits;
+}
+
+TEST(HalfReference, ExhaustiveEncodeOfEveryHalfValue) {
+  // encode must reproduce every finite binary16 value exactly -- the
+  // exhaustive 2^16 round-trip, cross-checked against the reference.
+  for (std::uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    const float f = Half::decode(h);
+    if (std::isnan(f) || std::isinf(f)) continue;
+    ASSERT_EQ(Half::encode(f), h) << std::hex << bits;
+    ASSERT_EQ(reference_encode(f), h) << std::hex << bits;
+  }
+}
+
+TEST(HalfReference, ExhaustiveMidpointsAndNeighbours) {
+  // Every halfway point between neighbouring binary16 values (and one
+  // float ulp to either side) exercises the round/tie and carry logic:
+  // subnormal steps, normal-binade steps, the subnormal -> normal carry,
+  // and the overflow boundary at 65520.  Midpoints are exactly
+  // representable in float (<= 13 significant bits).
+  const auto& values = half_lattice();
+  for (std::uint32_t i = 0; i < 0x7c00u; ++i) {
+    const auto mid =
+        static_cast<float>((values[i] + values[i + 1]) / 2.0);
+    for (const float probe :
+         {mid, std::nextafter(mid, 0.0f),
+          std::nextafter(mid, std::numeric_limits<float>::infinity())}) {
+      ASSERT_EQ(Half::encode(probe), reference_encode(probe))
+          << "between halves " << std::hex << i << " and " << i + 1;
+      ASSERT_EQ(Half::encode(-probe), reference_encode(-probe))
+          << "between halves -" << std::hex << i << " and " << i + 1;
+    }
+  }
+}
+
+TEST(HalfReference, RandomizedEncodeMatchesReference) {
+  // Random float bit patterns across the whole encoding space: most
+  // overflow or underflow, the rest land between lattice points at random
+  // offsets.  NaNs are excluded (payload quieting is pinned elsewhere).
+  util::Pcg32 rng(0x5eed);
+  int checked = 0;
+  while (checked < 200000) {
+    const auto pattern = static_cast<std::uint32_t>(rng.next());
+    const float f = std::bit_cast<float>(pattern);
+    if (std::isnan(f)) continue;
+    ASSERT_EQ(Half::encode(f), reference_encode(f))
+        << "pattern " << std::hex << pattern;
+    ++checked;
+  }
+  // And a band concentrated on the representable range, where rounding
+  // decisions are dense.
+  for (int i = 0; i < 200000; ++i) {
+    const float f = static_cast<float>(rng.uniform(-70000.0, 70000.0));
+    ASSERT_EQ(Half::encode(f), reference_encode(f)) << f;
+  }
+  for (int i = 0; i < 100000; ++i) {
+    const float f = static_cast<float>(rng.uniform(-7e-5, 7e-5));
+    ASSERT_EQ(Half::encode(f), reference_encode(f)) << f;  // subnormal band
   }
 }
 

@@ -1,6 +1,8 @@
 // Unit tests for RNG, statistics, CSV, checks and threading helpers.
 
 #include <atomic>
+#include <bit>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -94,6 +96,21 @@ TEST(Summary, KnownSample) {
   EXPECT_NEAR(s.geomean, std::pow(120.0, 0.2), 1e-12);
 }
 
+TEST(Summary, GeomeanIsNanForNonPositiveSamples) {
+  // A geometric mean over non-positive samples is undefined; the sentinel
+  // must be NaN (rendered "n/a" by report layers), never a fake 0.0
+  // measurement.
+  const std::vector<double> with_zero{1.0, 0.0, 4.0};
+  EXPECT_TRUE(std::isnan(Summary::of(with_zero).geomean));
+  const std::vector<double> with_negative{2.0, -3.0};
+  EXPECT_TRUE(std::isnan(Summary::of(with_negative).geomean));
+  // Everything else in the summary stays well-defined.
+  EXPECT_DOUBLE_EQ(Summary::of(with_negative).mean, -0.5);
+  // All-positive samples keep a finite geomean.
+  const std::vector<double> positive{2.0, 8.0};
+  EXPECT_DOUBLE_EQ(Summary::of(positive).geomean, 4.0);
+}
+
 TEST(Summary, SingleElement) {
   const std::vector<double> data{7.5};
   const Summary s = Summary::of(data);
@@ -154,6 +171,40 @@ TEST(Csv, WritesHeaderAndRows) {
   std::getline(in, line);
   EXPECT_EQ(line, "-7,ok");
   std::remove(path.c_str());
+}
+
+TEST(Csv, DoubleCellsRoundTripExactly) {
+  // cell(double) must emit the shortest form that parses back to the same
+  // bit pattern (a fixed 12-digit precision silently truncated doubles).
+  std::vector<double> values{1.0 / 3.0,
+                             0.1,
+                             2.0 / 3.0,
+                             1e300,
+                             -2.5e-308,   // smallest normals
+                             5e-324,      // min subnormal
+                             -1.2345e-310,  // mid subnormal
+                             6.02214076e23,
+                             123456789012345.67,
+                             -0.0,
+                             65504.0};
+  Pcg32 rng(20260727);
+  for (int i = 0; i < 1000; ++i) {
+    // Random finite doubles across the exponent range.
+    const double mant = rng.uniform(-1.0, 1.0);
+    const auto exp = static_cast<int>(rng.uniform_int(-300, 300));
+    values.push_back(std::ldexp(mant, exp));
+  }
+  for (const double v : values) {
+    const std::string text = CsvWriter::cell(v);
+    double parsed = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), parsed);
+    ASSERT_EQ(ec, std::errc()) << text;
+    ASSERT_EQ(ptr, text.data() + text.size()) << text;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed),
+              std::bit_cast<std::uint64_t>(v))
+        << "formatted as " << text;
+  }
 }
 
 TEST(Csv, RejectsArityMismatch) {
