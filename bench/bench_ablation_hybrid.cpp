@@ -17,11 +17,15 @@
 #include "core/stream_k.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   bench::print_header(
       "Ablation: basic Stream-K vs hybrid schedules across wave counts",
       "Section 5.2 (Figures 3a-3c) on the simulated A100");
+  auto csv = bench::maybe_csv(
+      opts, {"tiles", "waves", "remainder", "basic_seconds",
+             "one_tile_seconds", "two_tile_seconds", "winner"});
 
   const gpu::GpuSpec a100 = gpu::GpuSpec::a100_locked();
   const gpu::BlockShape block = gpu::BlockShape::paper_fp16();
@@ -33,9 +37,16 @@ int main() {
   bencher::TextTable table({"tiles (w*p+r)", "basic SK", "DP+1-tile SK",
                             "2-tile SK+DP", "best"});
 
+  std::vector<std::int64_t> waves{0, 1, 2, 4, 6};
+  std::vector<std::int64_t> remainders{1, 27, 54, 107};
+  if (opts.smoke) {
+    waves = {0, 2};
+    remainders = {1, 54};
+  }
+
   int two_tile_wins = 0, rows = 0;
-  for (const std::int64_t w : {0LL, 1LL, 2LL, 4LL, 6LL}) {
-    for (const std::int64_t r : {1LL, 27LL, 54LL, 107LL}) {
+  for (const std::int64_t w : waves) {
+    for (const std::int64_t r : remainders) {
       const std::int64_t tiles = w * p + r;
       // tiles = tiles_m * tiles_n with tiles_n = 1: m = tiles * 128.
       const core::GemmShape shape{tiles * block.m, block.n, ipt_k};
@@ -62,6 +73,12 @@ int main() {
                      std::to_string(r) + ")",
                  bencher::fmt_seconds(t_basic), bencher::fmt_seconds(t_one),
                  bencher::fmt_seconds(t_two), winner});
+      if (csv) {
+        csv->row({util::CsvWriter::cell(tiles), util::CsvWriter::cell(w),
+                  util::CsvWriter::cell(r), util::CsvWriter::cell(t_basic),
+                  util::CsvWriter::cell(t_one), util::CsvWriter::cell(t_two),
+                  winner});
+      }
     }
   }
   std::cout << table.render() << "\ntwo-tile hybrid best (or tied) in "

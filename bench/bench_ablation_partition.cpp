@@ -13,11 +13,15 @@
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   bench::print_header(
       "Ablation: balanced-within-one vs ceil-uniform iteration partitioning",
       "Algorithm 5 vs Section 4's \"even share (within one)\"");
+  auto csv = bench::maybe_csv(
+      opts, {"m", "n", "k", "total_iters", "grid", "ceil_uniform_seconds",
+             "balanced_seconds", "ratio"});
 
   const gpu::GpuSpec a100 = gpu::GpuSpec::a100_locked();
   const gpu::BlockShape block = gpu::BlockShape::paper_fp16();
@@ -30,7 +34,8 @@ int main() {
   double worst = 1.0;
   double sum_ratio = 0.0;
   int rows = 0;
-  for (int i = 0; i < 14; ++i) {
+  const int cases = opts.smoke ? 5 : 14;
+  for (int i = 0; i < cases; ++i) {
     const core::GemmShape shape{rng.log_uniform_int(128, 2048),
                                 rng.log_uniform_int(128, 2048),
                                 rng.log_uniform_int(512, 8192)};
@@ -50,6 +55,13 @@ int main() {
     table.row({shape.to_string(), std::to_string(mapping.total_iters()),
                std::to_string(g), bencher::fmt_seconds(t_ceil),
                bencher::fmt_seconds(t_bal), bencher::fmt_ratio(ratio)});
+    if (csv) {
+      csv->row({util::CsvWriter::cell(shape.m), util::CsvWriter::cell(shape.n),
+                util::CsvWriter::cell(shape.k),
+                util::CsvWriter::cell(mapping.total_iters()),
+                util::CsvWriter::cell(g), util::CsvWriter::cell(t_ceil),
+                util::CsvWriter::cell(t_bal), util::CsvWriter::cell(ratio)});
+    }
   }
   std::cout << table.render()
             << "\nceil-uniform / balanced makespan: avg "

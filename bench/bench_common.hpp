@@ -1,16 +1,60 @@
 #pragma once
 
-// Shared helpers for the paper-reproduction bench binaries.
+// Shared helpers for the paper-reproduction bench binaries, including the
+// unified CLI every bench_* binary accepts:
+//
+//   --smoke        shrink problem sizes / repetitions so the bench finishes
+//                  in CI-friendly time while still driving the full path
+//   --csv <path>   additionally write the bench's headline series as CSV
+//                  (uploaded as artifacts by the CI bench-smoke job)
+//
+// Unknown arguments are rejected with a usage message so typos fail loudly
+// (bench_cpu_gemm, the google-benchmark binary, forwards unknowns to the
+// benchmark library instead).
 
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "corpus/corpus.hpp"
+#include "util/csv.hpp"
 
 namespace streamk::bench {
+
+struct BenchOptions {
+  bool smoke = false;
+  std::string csv_path;  ///< empty = no CSV requested
+};
+
+/// Parses the unified bench CLI.  `allow_unknown` lets wrapper binaries
+/// (google-benchmark) pass their own flags through.
+inline BenchOptions parse_bench_args(int argc, char** argv,
+                                     bool allow_unknown = false) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--csv" && i + 1 < argc) {
+      options.csv_path = argv[++i];
+    } else if (!allow_unknown) {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--csv <path>]\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// CSV sink honoring --csv: returns a writer when a path was requested,
+/// nullptr otherwise (callers guard rows with `if (csv)`).
+inline std::unique_ptr<util::CsvWriter> maybe_csv(
+    const BenchOptions& options, const std::vector<std::string>& header) {
+  if (options.csv_path.empty()) return nullptr;
+  return std::make_unique<util::CsvWriter>(options.csv_path, header);
+}
 
 /// Renders a summary metric for terminal reports: NaN (e.g. the geometric
 /// mean of a sample containing non-positive values) prints as "n/a" rather
@@ -30,6 +74,13 @@ inline std::size_t corpus_size_from_env() {
     if (v > 0) return static_cast<std::size_t>(v);
   }
   return corpus::kPaperCorpusSize;
+}
+
+/// Corpus size honoring both --smoke and the environment override (the
+/// explicit env var wins so CI can pin exact sizes).
+inline std::size_t corpus_size(const BenchOptions& options) {
+  if (std::getenv("STREAMK_CORPUS_SIZE")) return corpus_size_from_env();
+  return options.smoke ? 24 : corpus::kPaperCorpusSize;
 }
 
 inline void print_header(const std::string& title,

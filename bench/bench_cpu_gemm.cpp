@@ -6,7 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "core/data_parallel.hpp"
 #include "core/fixed_split.hpp"
 #include "core/hybrid.hpp"
@@ -131,7 +134,32 @@ BENCHMARK(BM_AutoPlanned)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  // The unified bench CLI (--smoke, --csv <path>) is translated into
+  // google-benchmark flags; everything else passes through to the library.
+  const bench::BenchOptions opts =
+      bench::parse_bench_args(argc, argv, /*allow_unknown=*/true);
+  std::vector<std::string> args_storage;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") continue;
+    if (arg == "--csv") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    args_storage.push_back(arg);
+  }
+  // Bare-seconds form: benchmark 1.7 only parses a double; 1.8+ accepts it
+  // too (with a suffix-deprecation note).
+  if (opts.smoke) args_storage.push_back("--benchmark_min_time=0.01");
+  if (!opts.csv_path.empty()) {
+    args_storage.push_back("--benchmark_out=" + opts.csv_path);
+    args_storage.push_back("--benchmark_out_format=csv");
+  }
+  std::vector<char*> args;
+  args.reserve(args_storage.size());
+  for (std::string& arg : args_storage) args.push_back(arg.data());
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
@@ -139,7 +167,7 @@ int main(int argc, char** argv) {
   std::cout << "\n=== cost-constant calibration on this host (FP64, "
             << kBlock.to_string() << ") ===\n";
   cpu::CalibrationOptions options;
-  options.repetitions = 3;
+  options.repetitions = opts.smoke ? 1 : 3;
   options.workers = std::min<std::size_t>(4, util::hardware_threads());
   const cpu::CalibrationResult result =
       cpu::calibrate_cpu({kM, kN, kK}, kBlock, options);

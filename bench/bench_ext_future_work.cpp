@@ -18,12 +18,16 @@
 #include "bench_common.hpp"
 #include "bencher/relative_perf.hpp"
 #include "bencher/table.hpp"
+#include "util/csv.hpp"
 #include "core/tile_order.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   bench::print_header("Extensions: Morton tile order + two-kernel Stream-K",
                       "Section 7 / Section 6 future work");
+  auto csv = bench::maybe_csv(
+      opts, {"section", "case", "value_a", "value_b", "ratio"});
 
   // ---------------------------------------------------------------- Morton
   std::cout << "\n=== 1. Morton-order tile access: distinct panels touched "
@@ -41,6 +45,12 @@ int main() {
                 std::to_string(c_row), std::to_string(c_mor),
                 bencher::fmt_ratio(static_cast<double>(c_mor) /
                                    static_cast<double>(c_row))});
+    if (csv) {
+      csv->row({"morton", std::to_string(tm) + "x" + std::to_string(tn),
+                util::CsvWriter::cell(c_row), util::CsvWriter::cell(c_mor),
+                util::CsvWriter::cell(static_cast<double>(c_mor) /
+                                      static_cast<double>(c_row))});
+    }
   }
   std::cout << morton.render()
             << "square-ish grids cut the per-wave input working set "
@@ -49,8 +59,8 @@ int main() {
   // ------------------------------------------------------------------ duo
   std::cout << "\n=== 2. Two-kernel Stream-K ensemble vs single kernel "
                "(FP16->32 corpus) ===\n";
-  const std::size_t n = std::min<std::size_t>(bench::corpus_size_from_env(),
-                                              8000);
+  const std::size_t n =
+      std::min<std::size_t>(bench::corpus_size(opts), 8000);
   const corpus::Corpus corpus = corpus::Corpus::paper(n);
   const gpu::GpuSpec a100 = gpu::GpuSpec::a100_locked();
   const auto precision = gpu::Precision::kFp16F32;
@@ -84,6 +94,17 @@ int main() {
   table.row({"p10 vs oracle", bencher::fmt_ratio(solo_vs_oracle.p10),
              bencher::fmt_ratio(duo_vs_oracle.p10)});
   std::cout << table.render();
+  if (csv) {
+    csv->row({"duo", "avg_vs_oracle",
+              util::CsvWriter::cell(solo_vs_oracle.mean),
+              util::CsvWriter::cell(duo_vs_oracle.mean),
+              util::CsvWriter::cell(duo_vs_oracle.mean /
+                                    solo_vs_oracle.mean)});
+    csv->row({"duo", "min_vs_oracle",
+              util::CsvWriter::cell(solo_vs_oracle.min),
+              util::CsvWriter::cell(duo_vs_oracle.min),
+              util::CsvWriter::cell(duo_vs_oracle.min / solo_vs_oracle.min)});
+  }
   std::cout << "duo dispatched the small kernel on " << small_kernel_used
             << "/" << corpus.size() << " problems; duo vs single: avg "
             << bencher::fmt_ratio(duo_vs_solo.mean) << ", max "

@@ -17,6 +17,7 @@
 #include "cpu/batched.hpp"
 #include "model/grid_selector.hpp"
 #include "sim/sim_gemm.hpp"
+#include "util/csv.hpp"
 
 namespace {
 
@@ -37,10 +38,13 @@ double simulate_spec(const core::DecompositionSpec& spec,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   bench::print_header("Extension: Stream-K on GEMM-like workloads",
                       "Section 7 (batched GEMM, convolution)");
+  auto csv = bench::maybe_csv(opts, {"section", "case", "baseline_seconds",
+                                     "stream_k_seconds", "speedup"});
 
   // -------------------------------------------------------------- batched
   std::cout << "\n=== 1. batched GEMM: per-entry launches vs fused "
@@ -75,6 +79,13 @@ int main() {
          std::to_string(entry_mapping.tiles()),
          bencher::fmt_seconds(per_entry), bencher::fmt_seconds(fused_time),
          bencher::fmt_ratio(per_entry / fused_time)});
+    if (csv) {
+      csv->row({"batched",
+                std::to_string(bc.batch) + "x" + bc.shape.to_string(),
+                util::CsvWriter::cell(per_entry),
+                util::CsvWriter::cell(fused_time),
+                util::CsvWriter::cell(per_entry / fused_time)});
+    }
   }
   std::cout << batched_table.render()
             << "fusing the batch removes one partial wave per entry; the "
@@ -116,6 +127,11 @@ int main() {
                     std::to_string(mapping.tiles()),
                     bencher::fmt_seconds(t_dp), bencher::fmt_seconds(t_sk),
                     bencher::fmt_ratio(t_dp / t_sk)});
+    if (csv) {
+      csv->row({"conv", c.to_string(), util::CsvWriter::cell(t_dp),
+                util::CsvWriter::cell(t_sk),
+                util::CsvWriter::cell(t_dp / t_sk)});
+    }
   }
   std::cout << conv_table.render()
             << "deep-tail layers (few output pixels, deep filter volume) "

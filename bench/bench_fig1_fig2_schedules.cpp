@@ -18,6 +18,7 @@
 #include "core/stream_k.hpp"
 #include "sim/schedule_render.hpp"
 #include "sim/sim_gemm.hpp"
+#include "util/csv.hpp"
 
 namespace {
 
@@ -25,7 +26,7 @@ using namespace streamk;
 
 void show(const std::string& title, const core::Decomposition& decomposition,
           const model::CostModel& model, const gpu::GpuSpec& gpu,
-          double paper_ceiling) {
+          double paper_ceiling, util::CsvWriter* csv) {
   sim::SimOptions options;
   options.record_trace = true;
   options.occupancy_override = 1;  // the figures assume one CTA per SM
@@ -39,12 +40,21 @@ void show(const std::string& title, const core::Decomposition& decomposition,
             << ")\n"
             << sim::render_schedule(traced.timeline, {.width = 96,
                                                       .show_legend = false});
+  if (csv) {
+    csv->row({title, util::CsvWriter::cell(traced.grid),
+              util::CsvWriter::cell(traced.makespan),
+              util::CsvWriter::cell(traced.occupancy_efficiency),
+              util::CsvWriter::cell(paper_ceiling)});
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
+  auto csv = bench::maybe_csv(opts, {"figure", "grid", "makespan_seconds",
+                                     "efficiency", "paper_ceiling"});
   bench::print_header(
       "Figures 1-2: data-parallel vs tile-splitting schedules, 384x384x128 "
       "on a 4-SM GPU",
@@ -66,27 +76,28 @@ int main() {
     const core::WorkMapping mapping(shape, block);
     const core::DataParallel dp(mapping);
     show("Figure 1a: data-parallel, 128x128 tiles, g=9", dp, pure(block),
-         tiny, 0.75);
+         tiny, 0.75, csv.get());
   }
   {
     const gpu::BlockShape block{128, 64, 4};
     const core::WorkMapping mapping(shape, block);
     const core::DataParallel dp(mapping);
     show("Figure 1b: data-parallel, 128x64 tiles, g=18", dp, pure(block),
-         tiny, 0.90);
+         tiny, 0.90, csv.get());
   }
   {
     const gpu::BlockShape block{128, 128, 4};
     const core::WorkMapping mapping(shape, block);
     const core::FixedSplit fs(mapping, 2);
-    show("Figure 2a: fixed-split s=2, g=18", fs, pure(block), tiny, 0.90);
+    show("Figure 2a: fixed-split s=2, g=18", fs, pure(block), tiny, 0.90,
+         csv.get());
   }
   {
     const gpu::BlockShape block{128, 128, 4};
     const core::WorkMapping mapping(shape, block);
     const core::StreamKBasic sk(mapping, 4);
     show("Figure 2b: basic Stream-K, g=4 (72 MAC iterations per CTA)", sk,
-         pure(block), tiny, 1.00);
+         pure(block), tiny, 1.00, csv.get());
   }
   return 0;
 }

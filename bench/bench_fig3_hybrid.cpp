@@ -17,17 +17,25 @@
 #include "core/stream_k.hpp"
 #include "sim/schedule_render.hpp"
 #include "sim/simulator.hpp"
+#include "util/csv.hpp"
 
 namespace {
 
 using namespace streamk;
 
 void show(const std::string& title, const core::Decomposition& decomposition,
-          const model::CostModel& model, const gpu::GpuSpec& gpu) {
+          const model::CostModel& model, const gpu::GpuSpec& gpu,
+          util::CsvWriter* csv) {
   sim::SimOptions options;
   options.record_trace = true;
   options.occupancy_override = 1;
   const sim::SimResult r = sim::simulate(decomposition, model, gpu, options);
+  if (csv) {
+    csv->row({title, util::CsvWriter::cell(r.makespan),
+              util::CsvWriter::cell(r.occupancy_efficiency),
+              util::CsvWriter::cell(r.spills),
+              util::CsvWriter::cell(r.wait_time)});
+  }
   std::cout << "\n--- " << title << " ---\n"
             << "makespan " << bencher::fmt_seconds(r.makespan)
             << ", efficiency " << bencher::fmt_pct(r.occupancy_efficiency)
@@ -39,8 +47,11 @@ void show(const std::string& title, const core::Decomposition& decomposition,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
+  auto csv = bench::maybe_csv(opts, {"figure", "makespan_seconds",
+                                     "efficiency", "spills", "wait_seconds"});
   bench::print_header(
       "Figure 3: basic Stream-K vs hybrid schedules, 896x384x128 on a 4-SM "
       "GPU",
@@ -60,13 +71,15 @@ int main() {
       gpu::Precision::kFp16F32);
 
   const core::StreamKBasic basic(mapping, 4);
-  show("Figure 3a: basic Stream-K (g=4)", basic, model, tiny);
+  show("Figure 3a: basic Stream-K (g=4)", basic, model, tiny, csv.get());
 
   const core::Hybrid one(mapping, core::DecompositionKind::kHybridOneTile, 4);
-  show("Figure 3b: data-parallel + one-tile Stream-K", one, model, tiny);
+  show("Figure 3b: data-parallel + one-tile Stream-K", one, model, tiny,
+       csv.get());
 
   const core::Hybrid two(mapping, core::DecompositionKind::kHybridTwoTile, 4);
-  show("Figure 3c: two-tile Stream-K + data-parallel", two, model, tiny);
+  show("Figure 3c: two-tile Stream-K + data-parallel", two, model, tiny,
+       csv.get());
 
   std::cout << "\nNote how 3c confines k-skew to the leading Stream-K region "
                "and aligns the remaining waves,\nwhile every CTA of 3a stays "

@@ -13,12 +13,13 @@
 #include "bencher/table.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 4: the 32,824-problem GEMM corpus",
                       "Figure 4 (Section 6, Dataset)");
 
-  const std::size_t n = bench::corpus_size_from_env();
+  const std::size_t n = bench::corpus_size(opts);
   const corpus::Corpus corpus = corpus::Corpus::paper(n);
   std::cout << "problems: " << corpus.size() << "\n";
 
@@ -57,7 +58,8 @@ int main() {
   }
   std::cout << "\n" << table.render();
 
-  const std::string csv = "fig4_corpus.csv";
+  const std::string csv =
+      opts.csv_path.empty() ? "fig4_corpus.csv" : opts.csv_path;
   corpus.write_csv(csv);
   std::cout << "\nfull scatter data written to " << csv << "\n";
   return 0;

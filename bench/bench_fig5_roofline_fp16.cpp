@@ -11,12 +11,13 @@
 #include "bencher/roofline.hpp"
 #include "bencher/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 5: FP16->32 roofline utilization landscapes",
                       "Figure 5a-5d (Section 6)");
 
-  const std::size_t n = bench::corpus_size_from_env();
+  const std::size_t n = bench::corpus_size(opts);
   const corpus::Corpus corpus = corpus::Corpus::paper(n);
   const auto suite = ensemble::EvaluationSuite::make(
       gpu::GpuSpec::a100_locked(), gpu::Precision::kFp16F32);
@@ -59,7 +60,8 @@ int main() {
                                       : "  (UNEXPECTED)")
             << "\n";
 
-  const std::string csv = "fig5_roofline_fp16.csv";
+  const std::string csv =
+      opts.csv_path.empty() ? "fig5_roofline_fp16.csv" : opts.csv_path;
   bencher::write_roofline_csv(csv, eval);
   std::cout << "scatter data written to " << csv << "\n";
   return 0;

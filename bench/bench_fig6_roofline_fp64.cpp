@@ -8,12 +8,13 @@
 #include "bencher/roofline.hpp"
 #include "bencher/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 6: FP64 roofline utilization landscapes",
                       "Figure 6a-6d (Section 6)");
 
-  const std::size_t n = bench::corpus_size_from_env();
+  const std::size_t n = bench::corpus_size(opts);
   const corpus::Corpus corpus = corpus::Corpus::paper(n);
   const auto suite = ensemble::EvaluationSuite::make(
       gpu::GpuSpec::a100_locked(), gpu::Precision::kFp64);
@@ -56,7 +57,8 @@ int main() {
                                       : "  (UNEXPECTED)")
             << "\n";
 
-  const std::string csv = "fig6_roofline_fp64.csv";
+  const std::string csv =
+      opts.csv_path.empty() ? "fig6_roofline_fp64.csv" : opts.csv_path;
   bencher::write_roofline_csv(csv, eval);
   std::cout << "scatter data written to " << csv << "\n";
   return 0;

@@ -11,12 +11,14 @@
 #include "bench_common.hpp"
 #include "bencher/roofline.hpp"
 #include "bencher/table.hpp"
+#include "util/csv.hpp"
 
 namespace {
 
 using namespace streamk;
 
-void run_panel(const char* title, gpu::Precision precision, std::size_t n) {
+void run_panel(const char* title, gpu::Precision precision, std::size_t n,
+               util::CsvWriter* csv) {
   const corpus::Corpus corpus = corpus::Corpus::paper(n);
   const auto suite =
       ensemble::EvaluationSuite::make(gpu::GpuSpec::a100_locked(), precision);
@@ -42,6 +44,14 @@ void run_panel(const char* title, gpu::Precision precision, std::size_t n) {
                bencher::fmt_ratio(band.utilization.min),
                bencher::fmt_ratio(band.utilization.median),
                bencher::fmt_ratio(band.utilization.max)});
+    if (csv) {
+      csv->row({title, util::CsvWriter::cell(band.intensity_lo),
+                util::CsvWriter::cell(band.intensity_hi),
+                util::CsvWriter::cell(band.utilization.count),
+                util::CsvWriter::cell(band.utilization.min),
+                util::CsvWriter::cell(band.utilization.median),
+                util::CsvWriter::cell(band.utilization.max)});
+    }
   }
   std::cout << table.render();
 
@@ -63,15 +73,19 @@ void run_panel(const char* title, gpu::Precision precision, std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   bench::print_header("Figure 7: Stream-K speedup vs the cuBLAS-like "
                       "ensemble across arithmetic intensity",
                       "Figure 7a (FP64) and 7b (FP16->32)");
-  const std::size_t n = bench::corpus_size_from_env();
+  auto csv = bench::maybe_csv(
+      opts, {"panel", "intensity_lo", "intensity_hi", "count", "min_speedup",
+             "median_speedup", "max_speedup"});
+  const std::size_t n = bench::corpus_size(opts);
   run_panel("Figure 7a: FP64 speedup vs cuBLAS-like",
-            gpu::Precision::kFp64, n);
+            gpu::Precision::kFp64, n, csv.get());
   run_panel("Figure 7b: FP16->32 speedup vs cuBLAS-like",
-            gpu::Precision::kFp16F32, n);
+            gpu::Precision::kFp16F32, n, csv.get());
   return 0;
 }

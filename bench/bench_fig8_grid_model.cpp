@@ -15,6 +15,7 @@
 #include "bench_common.hpp"
 #include "bencher/table.hpp"
 #include "model/grid_selector.hpp"
+#include "util/csv.hpp"
 
 namespace {
 
@@ -27,7 +28,7 @@ struct Case {
 };
 
 void run_case(const Case& c, const model::CostModel& model,
-              const gpu::GpuSpec& gpu) {
+              const gpu::GpuSpec& gpu, util::CsvWriter* csv) {
   const core::WorkMapping mapping(c.shape, model.block());
   const model::GridChoice choice = model::select_grid(model, mapping, gpu);
 
@@ -49,18 +50,29 @@ void run_case(const Case& c, const model::CostModel& model,
                std::to_string(model::CostModel::iters_per_cta(mapping, g)),
                std::to_string(model::CostModel::fixup_peers(mapping, g)),
                bencher::fmt_num(t / choice.predicted_seconds, 3)});
+    if (csv) {
+      csv->row({c.label, util::CsvWriter::cell(g),
+                util::CsvWriter::cell(
+                    model::CostModel::iters_per_cta(mapping, g)),
+                util::CsvWriter::cell(
+                    model::CostModel::fixup_peers(mapping, g)),
+                util::CsvWriter::cell(t / choice.predicted_seconds)});
+    }
   }
   std::cout << table.render();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   bench::print_header(
       "Figure 8: modelled Stream-K performance vs grid size (A100, "
       "BLK 128x128x32)",
       "Figure 8a/8b/8c (Appendix A.1)");
+  auto csv = bench::maybe_csv(opts, {"case", "g", "iters_per_cta",
+                                     "fixup_peers", "normalized_time"});
 
   const gpu::GpuSpec a100 = gpu::GpuSpec::a100_locked();
   const gpu::BlockShape block = gpu::BlockShape::paper_fp16();
@@ -73,7 +85,7 @@ int main() {
       {"Figure 8b", {1024, 1024, 1024}, 64},
       {"Figure 8c", {128, 128, 16384}, 8},
   };
-  for (const Case& c : cases) run_case(c, model, a100);
+  for (const Case& c : cases) run_case(c, model, a100, csv.get());
 
   // Ablation: the model-chosen grid vs fixed policies, under the calibrated
   // (deployment) constants with the roofline included.

@@ -11,9 +11,13 @@
 #include "core/stream_k.hpp"
 #include "sim/schedule_render.hpp"
 #include "sim/simulator.hpp"
+#include "util/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
+  auto csv = bench::maybe_csv(
+      opts, {"schedule", "makespan_seconds", "speedup", "efficiency"});
   bench::print_header(
       "Figure 9: strong scaling, 128x128x384 (one output tile) on a 4-SM GPU",
       "Figure 9 (Appendix A.1)");
@@ -52,5 +56,13 @@ int main() {
              bencher::fmt_ratio(dp_result.makespan / sk_result.makespan),
              bencher::fmt_pct(sk_result.occupancy_efficiency)});
   std::cout << "\n" << table.render();
+  if (csv) {
+    csv->row({"data-parallel", util::CsvWriter::cell(dp_result.makespan),
+              util::CsvWriter::cell(1.0),
+              util::CsvWriter::cell(dp_result.occupancy_efficiency)});
+    csv->row({"stream-k g=4", util::CsvWriter::cell(sk_result.makespan),
+              util::CsvWriter::cell(dp_result.makespan / sk_result.makespan),
+              util::CsvWriter::cell(sk_result.occupancy_efficiency)});
+  }
   return 0;
 }

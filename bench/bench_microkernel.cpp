@@ -230,10 +230,8 @@ CaseResult run_case(const std::string& precision, gpu::BlockShape blk,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--smoke") smoke = true;
-  }
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
+  const bool smoke = opts.smoke;
 
   bench::print_header(
       smoke ? "MAC microkernel vs scalar baseline (smoke)"
@@ -268,7 +266,9 @@ int main(int argc, char** argv) {
   results.push_back(run_case<util::Half, float>("fp16f32", fp16_blk,
                                                 fp16_iters, target_seconds));
 
-  util::CsvWriter csv("microkernel.csv",
+  const std::string csv_path =
+      opts.csv_path.empty() ? "microkernel.csv" : opts.csv_path;
+  util::CsvWriter csv(csv_path,
                       {"precision", "block", "k", "path", "gflops",
                        "speedup_vs_naive"});
   bool all_pass = true;
@@ -292,7 +292,7 @@ int main(int argc, char** argv) {
               << "x vs naive: " << (pass ? "PASS (>= 2x)" : "BELOW 2x")
               << "\n\n";
   }
-  std::cout << "full series written to microkernel.csv\n";
+  std::cout << "full series written to " << csv_path << "\n";
   if (!smoke && !all_pass) {
     std::cout << "note: >= 2x acceptance not met on this build/host "
                  "(scalar-forced or non-AVX2 builds are expected to land "

@@ -19,6 +19,7 @@
 #include "bench_common.hpp"
 #include "core/schedule_plan.hpp"
 #include "gpu/gpu_spec.hpp"
+#include "util/csv.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -38,7 +39,8 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   bench::print_header("plan compilation + cache hits",
                       "scheduling-overhead tracking (no paper figure)");
 
@@ -55,7 +57,8 @@ int main() {
       core::DecompositionKind::kHybridTwoTile};
   util::Pcg32 rng(42);
   std::vector<Case> cases;
-  for (int i = 0; i < 200; ++i) {
+  const int case_count = opts.smoke ? 40 : 200;
+  for (int i = 0; i < case_count; ++i) {
     Case c;
     c.shape = {rng.log_uniform_int(64, 4096), rng.log_uniform_int(64, 4096),
                rng.log_uniform_int(64, 2048)};
@@ -111,7 +114,7 @@ int main() {
     const core::WorkMapping mapping(c.shape, block);
     cache.obtain(core::make_plan_key(mapping, c.spec, gpu), mapping, c.spec);
   }
-  constexpr int kHitRounds = 50;
+  const int kHitRounds = opts.smoke ? 10 : 50;
   start = std::chrono::steady_clock::now();
   for (int round = 0; round < kHitRounds; ++round) {
     for (const Case& c : cases) {
@@ -136,5 +139,11 @@ int main() {
             << " ns/lookup (" << cache.hits() << " hits, " << cache.misses()
             << " misses)\n"
             << "[sink " << sink << "]\n";
+  if (auto csv = bench::maybe_csv(
+          opts, {"metric", "value"})) {
+    csv->row({"legacy_us_per_schedule", util::CsvWriter::cell(legacy_s / n * 1e6)});
+    csv->row({"compile_us_per_schedule", util::CsvWriter::cell(compile_s / n * 1e6)});
+    csv->row({"cache_hit_ns_per_lookup", util::CsvWriter::cell(hit_s / hit_lookups * 1e9)});
+  }
   return 0;
 }

@@ -135,20 +135,26 @@ double run_workload(const std::string& mode, const ShapeCase& sc,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   bench::print_header(
       "persistent pool vs spawn-per-call submission throughput",
       "runtime scaling substrate (no paper figure)");
 
-  const std::vector<ShapeCase> shapes = {
+  std::vector<ShapeCase> shapes = {
       {"small-32x32x128", {32, 32, 128}},
       {"large-192x192x192", {192, 192, 192}},
   };
-  const std::vector<std::size_t> submitter_counts = {1, 4, 16};
+  std::vector<std::size_t> submitter_counts = {1, 4, 16};
+  if (opts.smoke) {
+    shapes.resize(1);  // the small-shape case is the headline number
+    submitter_counts = {1, 4};
+  }
 
   std::vector<Workload> results;
   for (const ShapeCase& sc : shapes) {
-    const int total_jobs = sc.shape.m >= 128 ? 32 : 320;
+    int total_jobs = sc.shape.m >= 128 ? 32 : 320;
+    if (opts.smoke) total_jobs /= 4;
     for (const std::string& mode : {std::string("spawn"),
                                     std::string("pool")}) {
       if (mode == "spawn") {
@@ -180,7 +186,9 @@ int main() {
   runtime::set_workspace_pooling(true);
   runtime::global_pool().restart();
 
-  util::CsvWriter csv("runtime_throughput.csv",
+  const std::string csv_path =
+      opts.csv_path.empty() ? "runtime_throughput.csv" : opts.csv_path;
+  util::CsvWriter csv(csv_path,
                       {"mode", "submitters", "shape", "m", "n", "k", "jobs",
                        "seconds", "gemms_per_sec"});
   for (const Workload& w : results) {
@@ -213,6 +221,6 @@ int main() {
               << std::setprecision(2) << speedup << "x\n"
               << std::setprecision(1);
   }
-  std::cout << "\nfull series written to runtime_throughput.csv\n";
+  std::cout << "\nfull series written to " << csv_path << "\n";
   return 0;
 }

@@ -13,12 +13,13 @@
 #include "bench_common.hpp"
 #include "bencher/relative_perf.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
   bench::print_header("Table 1: Stream-K FP64 relative performance",
                       "Table 1 (Section 6)");
 
-  const std::size_t n = bench::corpus_size_from_env();
+  const std::size_t n = bench::corpus_size(opts);
   std::cout << "corpus: " << n << " problems (STREAMK_CORPUS_SIZE overrides)\n"
             << "device: " << gpu::GpuSpec::a100_locked().name << "\n\n";
 
@@ -32,6 +33,21 @@ int main() {
       });
   std::cerr << "\n";
 
+  if (auto csv = bench::maybe_csv(
+          opts, {"m", "n", "k", "intensity", "stream_k_seconds",
+                 "data_parallel_seconds", "cublas_like_seconds",
+                 "oracle_seconds"})) {
+    for (std::size_t i = 0; i < eval.shapes.size(); ++i) {
+      csv->row({util::CsvWriter::cell(eval.shapes[i].m),
+                util::CsvWriter::cell(eval.shapes[i].n),
+                util::CsvWriter::cell(eval.shapes[i].k),
+                util::CsvWriter::cell(eval.intensity[i]),
+                util::CsvWriter::cell(eval.stream_k_seconds[i]),
+                util::CsvWriter::cell(eval.data_parallel_seconds[i]),
+                util::CsvWriter::cell(eval.cublas_like_seconds[i]),
+                util::CsvWriter::cell(eval.oracle_seconds[i])});
+    }
+  }
   std::cout << bencher::render_relative_table(eval, gpu::Precision::kFp64,
                                               "64x64x16");
   std::cout << "\npaper reports (A100 hardware):      avg 1.23x / 1.06x / "

@@ -1,0 +1,137 @@
+// Tuner subsystem bench: does closing the measurement loop pay?
+//
+// Four stages over a CPU-sized shape sample:
+//   1. find:      tune every shape (model-pruned top-K candidates, measured
+//                 best-of-reps on the pool-backed executor) into a TuningDb.
+//   2. A/B:       re-measure heuristic-only dispatch (Schedule::kAuto with
+//                 an empty global db) vs. tuned dispatch per shape; report
+//                 per-shape and geomean speedup.  The tuned side should be
+//                 >= 1.0x geomean: its config won the same measurement on
+//                 the same host.
+//   3. lookup:    time the dispatch-path db probe (hit) -- the cost every
+//                 repeat GEMM pays; should be well under a microsecond.
+//   4. roundtrip: save -> load -> compare snapshots; dispatch after a
+//                 process restart must be identical.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bencher/table.hpp"
+#include "cpu/gemm.hpp"
+#include "tuner/dispatch.hpp"
+#include "tuner/tuner.hpp"
+#include "util/check.hpp"
+
+int main(int argc, char** argv) {
+  using namespace streamk;
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv);
+  bench::print_header(
+      opts.smoke ? "Empirical tuner: tuned vs heuristic dispatch (smoke)"
+                 : "Empirical tuner: tuned vs heuristic dispatch",
+      "new subsystem (MIOpen-style find mode; beyond the paper)");
+
+  // The A/B's heuristic side is Schedule::kAuto, which consults the global
+  // tuning db -- a populated one (STREAMK_TUNING_DB) would silently turn
+  // this into tuned-vs-tuned.
+  util::check(tuner::global_tuning_db().size() == 0,
+              "bench_tuner: unset STREAMK_TUNING_DB (the heuristic side "
+              "must dispatch untuned)");
+
+  // CPU-tractable shapes spanning the planner's regimes: quantized waves,
+  // ragged edges, and the strong-scaling (deep-k) corner.
+  std::vector<core::GemmShape> shapes = {
+      {96, 96, 256}, {192, 160, 64}, {64, 64, 768},
+      {160, 224, 96}, {48, 320, 128}, {128, 128, 128},
+  };
+  if (opts.smoke) {
+    shapes = {{64, 64, 192}, {96, 80, 48}, {32, 32, 384}};
+  }
+  const int reps = opts.smoke ? 2 : 5;
+
+  tuner::TuneOptions tune_options;
+  tune_options.repetitions = reps;
+  tune_options.space.top_k = opts.smoke ? 6 : 12;
+
+  // --- stage 1: find -------------------------------------------------------
+  tuner::TuningDb db;
+  const auto find_start = std::chrono::steady_clock::now();
+  const std::size_t tuned_count = tuner::tune_corpus(
+      shapes, gpu::Precision::kFp64, db, tune_options);
+  const double find_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    find_start)
+          .count();
+  std::cout << "find mode: tuned " << tuned_count << " shapes ("
+            << tune_options.space.top_k << " candidates each) in "
+            << bencher::fmt_num(find_seconds, 2) << " s\n\n";
+
+  // --- stage 2: A/B tuned vs heuristic ------------------------------------
+  auto csv = bench::maybe_csv(
+      opts, {"m", "n", "k", "heuristic_seconds", "tuned_seconds", "speedup",
+             "tuned_config"});
+  bencher::TextTable table(
+      {"shape", "heuristic s", "tuned s", "speedup", "tuned config"});
+  double log_sum = 0.0;
+  std::size_t measured = 0;
+  for (const core::GemmShape& shape : shapes) {
+    const auto record = db.lookup({shape, gpu::Precision::kFp64});
+    const tuner::AbResult ab = tuner::ab_measure(shape, gpu::Precision::kFp64,
+                                                 record->config, reps);
+    table.row({shape.to_string(), bencher::fmt_num(ab.heuristic_seconds, 6),
+               bencher::fmt_num(ab.tuned_seconds, 6),
+               bencher::fmt_num(ab.speedup, 3),
+               record->config.to_string()});
+    if (csv) {
+      csv->row({util::CsvWriter::cell(shape.m), util::CsvWriter::cell(shape.n),
+                util::CsvWriter::cell(shape.k),
+                util::CsvWriter::cell(ab.heuristic_seconds),
+                util::CsvWriter::cell(ab.tuned_seconds),
+                util::CsvWriter::cell(ab.speedup),
+                record->config.to_string()});
+    }
+    if (ab.speedup > 0.0) {
+      log_sum += std::log(ab.speedup);
+      ++measured;
+    }
+  }
+  const double geomean =
+      measured > 0 ? std::exp(log_sum / static_cast<double>(measured)) : 0.0;
+  std::cout << table.render() << "geomean tuned-vs-heuristic speedup: "
+            << bencher::fmt_num(geomean, 3)
+            << "x  (expect >= 1.0: the tuned config won this measurement)\n\n";
+
+  // --- stage 3: dispatch lookup cost ---------------------------------------
+  const std::size_t probes = opts.smoke ? 100000 : 1000000;
+  const tuner::ShapeKey hot_key{shapes.front(), gpu::Precision::kFp64};
+  volatile std::int64_t sink = 0;
+  const auto probe_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < probes; ++i) {
+    sink = sink + db.lookup(hot_key)->config.block.m;
+  }
+  const double probe_ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - probe_start)
+          .count() /
+      static_cast<double>(probes);
+  std::cout << "db-hit lookup: " << bencher::fmt_num(probe_ns, 1)
+            << " ns/probe over " << probes
+            << " probes (dispatch adds this per repeat GEMM; want << 1 us)\n";
+
+  // --- stage 4: persistence round-trip -------------------------------------
+  const std::string path = "bench_tuner_db.csv";
+  db.save(path);
+  tuner::TuningDb reloaded;
+  reloaded.load(path);
+  const bool identical = reloaded.snapshot() == db.snapshot();
+  std::cout << "round-trip save -> load: " << db.size() << " records, "
+            << (identical ? "identical dispatch OK" : "MISMATCH") << " ("
+            << path << ")\n";
+
+  (void)sink;
+  return identical && geomean > 0.0 ? 0 : 1;
+}

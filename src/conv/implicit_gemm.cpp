@@ -188,17 +188,23 @@ cpu::GemmReport conv_forward_blocking(const ConvShape& conv,
                                       const Tensor4<In>& input,
                                       const Tensor4<In>& filter,
                                       Tensor4<Out>& output,
-                                      const cpu::GemmOptions& options) {
+                                      const cpu::GemmOptions& caller_options) {
   util::check(conv.valid(), "invalid convolution shape");
   gpu::Precision precision = gpu::Precision::kFp64;
   if constexpr (std::is_same_v<In, float>) precision = gpu::Precision::kFp32;
 
+  // Tuning-db key: the implicit-GEMM shape the convolution lowers to.
+  // Lookup only: a background find job would measure a dense GEMM of this
+  // shape, not the gather-heavy convolution it stands in for.
+  const cpu::GemmOptions options =
+      cpu::apply_tuned_dispatch(conv.gemm_shape(), precision, caller_options,
+                                /*allow_background_find=*/false);
   const gpu::BlockShape block = options.block.valid()
                                     ? options.block
                                     : cpu::default_cpu_block(precision);
   const core::WorkMapping mapping(conv.gemm_shape(), block);
   const std::size_t workers =
-      options.workers > 0 ? options.workers : util::hardware_threads();
+      options.workers > 0 ? options.workers : util::default_workers();
   const core::DecompositionSpec spec =
       cpu::resolve_schedule(options, mapping, precision, workers);
   const core::PlanCache::PlanPtr plan = runtime::plan_cache().obtain(

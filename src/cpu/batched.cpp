@@ -146,7 +146,7 @@ template <typename In, typename Acc, typename Out>
 GemmReport batched_gemm_blocking(std::span<const Matrix<In>> as,
                                  std::span<const Matrix<In>> bs,
                                  std::span<Matrix<Out>> cs,
-                                 const GemmOptions& options) {
+                                 const GemmOptions& caller_options) {
   util::check(!as.empty(), "empty batch");
   BatchedShape batched;
   batched.batch = static_cast<std::int64_t>(as.size());
@@ -158,11 +158,19 @@ GemmReport batched_gemm_blocking(std::span<const Matrix<In>> as,
     precision = gpu::Precision::kFp16F32;
   }
 
+  // Tuning-db key: the stacked plain-GEMM shape the batch amounts to
+  // (block-independent, unlike the padded virtual mapping).  Lookup only:
+  // a background find job would measure a *plain* GEMM of this shape,
+  // whose mapping differs from the padded batched one.
+  const core::GemmShape stacked{batched.batch * batched.shape.m,
+                                batched.shape.n, batched.shape.k};
+  const GemmOptions options = apply_tuned_dispatch(
+      stacked, precision, caller_options, /*allow_background_find=*/false);
   const gpu::BlockShape block =
       options.block.valid() ? options.block : default_cpu_block(precision);
   const core::WorkMapping mapping = batched_mapping(batched, block);
   const std::size_t workers =
-      options.workers > 0 ? options.workers : util::hardware_threads();
+      options.workers > 0 ? options.workers : util::default_workers();
   const core::DecompositionSpec spec =
       resolve_schedule(options, mapping, precision, workers);
   const core::PlanCache::PlanPtr plan = runtime::plan_cache().obtain(

@@ -101,7 +101,7 @@ namespace {
 template <typename In, typename Acc, typename Out>
 GemmReport blas_impl(Trans trans_a, Trans trans_b, double alpha,
                      const Matrix<In>& a, const Matrix<In>& b, double beta,
-                     Matrix<Out>& c, const GemmOptions& options,
+                     Matrix<Out>& c, const GemmOptions& caller_options,
                      gpu::Precision precision) {
   const MatrixView<In> va(a, trans_a);
   const MatrixView<In> vb(b, trans_b);
@@ -110,11 +110,13 @@ GemmReport blas_impl(Trans trans_a, Trans trans_b, double alpha,
   util::check(c.rows() == shape.m && c.cols() == shape.n,
               "GEMM output extents do not conform");
 
+  const GemmOptions options =
+      apply_tuned_dispatch(shape, precision, caller_options);
   const gpu::BlockShape block =
       options.block.valid() ? options.block : default_cpu_block(precision);
   const core::WorkMapping mapping(shape, block, options.tile_order);
   const std::size_t workers =
-      options.workers > 0 ? options.workers : util::hardware_threads();
+      options.workers > 0 ? options.workers : util::default_workers();
   const core::DecompositionSpec spec =
       resolve_schedule(options, mapping, precision, workers);
   const core::PlanCache::PlanPtr plan = runtime::plan_cache().obtain(

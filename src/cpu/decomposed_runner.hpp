@@ -46,7 +46,7 @@ void run_decomposed(const core::SchedulePlan& plan, std::int64_t tile_elements,
       runtime::WorkspacePool<Acc>::instance().acquire(plan, tile_elements);
   FixupWorkspace<Acc>& workspace = lease.workspace();
   const std::size_t workers =
-      options.workers > 0 ? options.workers : util::hardware_threads();
+      options.workers > 0 ? options.workers : util::default_workers();
 
   const std::int64_t panel_kc = plan.pack_geometry().panel_kc;
 

@@ -1,21 +1,18 @@
 #include "cpu/gemm.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "core/schedule_plan.hpp"
 #include "cpu/reference.hpp"
 #include "model/grid_selector.hpp"
 #include "runtime/gemm_runtime.hpp"
+#include "tuner/dispatch.hpp"
 #include "util/threading.hpp"
 
 namespace streamk::cpu {
 
-namespace {
-
-/// A GpuSpec stand-in describing the host CPU so the planner's thresholds
-/// (tiles vs. concurrency slots) apply to the worker pool.  Peak numbers are
-/// placeholders -- plan() only uses relative model terms.
-gpu::GpuSpec cpu_proxy_spec(std::size_t workers) {
+gpu::GpuSpec host_proxy_spec(std::size_t workers) {
   gpu::GpuSpec spec;
   spec.name = "host-cpu-proxy";
   spec.sm_count = static_cast<std::int64_t>(workers);
@@ -27,8 +24,6 @@ gpu::GpuSpec cpu_proxy_spec(std::size_t workers) {
   return spec;
 }
 
-}  // namespace
-
 core::DecompositionSpec resolve_schedule(const GemmOptions& options,
                                          const core::WorkMapping& mapping,
                                          gpu::Precision precision,
@@ -37,7 +32,7 @@ core::DecompositionSpec resolve_schedule(const GemmOptions& options,
   spec.sm_count = static_cast<std::int64_t>(workers);
   switch (options.schedule) {
     case Schedule::kAuto: {
-      const gpu::GpuSpec proxy = cpu_proxy_spec(workers);
+      const gpu::GpuSpec proxy = host_proxy_spec(workers);
       const model::CostModel model =
           model::CostModel::calibrated(proxy, mapping.block(), precision);
       spec = model::plan(model, mapping, proxy);
@@ -68,14 +63,17 @@ namespace {
 
 template <typename In, typename Acc, typename Out>
 GemmReport gemm_impl(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
-                     const GemmOptions& options, gpu::Precision precision) {
+                     const GemmOptions& caller_options,
+                     gpu::Precision precision) {
   const core::GemmShape shape = product_shape(a, b, c);
+  const GemmOptions options =
+      apply_tuned_dispatch(shape, precision, caller_options);
   const gpu::BlockShape block =
       options.block.valid() ? options.block : default_cpu_block(precision);
   const core::WorkMapping mapping(shape, block, options.tile_order);
 
   const std::size_t workers =
-      options.workers > 0 ? options.workers : util::hardware_threads();
+      options.workers > 0 ? options.workers : util::default_workers();
   const core::DecompositionSpec spec =
       resolve_schedule(options, mapping, precision, workers);
   const core::PlanCache::PlanPtr plan = runtime::plan_cache().obtain(
@@ -103,6 +101,31 @@ GemmReport gemm_impl(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
 }
 
 }  // namespace
+
+GemmOptions apply_tuned_dispatch(const core::GemmShape& shape,
+                                 gpu::Precision precision, GemmOptions options,
+                                 bool allow_background_find) {
+  if (options.schedule != Schedule::kAuto || options.block.valid()) {
+    return options;  // caller pinned a schedule or tile: respect it
+  }
+  const std::optional<tuner::TunedConfig> tuned = tuner::tuned_dispatch(
+      shape, precision,
+      allow_background_find ? tuner::DispatchFind::kAllowed
+                            : tuner::DispatchFind::kLookupOnly);
+  if (!tuned) return options;
+  const GemmOptions t = tuner::tuned_options(*tuned);
+  options.schedule = t.schedule;
+  options.block = t.block;
+  options.grid = t.grid;
+  options.split = t.split;
+  if (options.workers == 0 && t.workers > 0) {
+    // Cap at the host default: a database tuned on a wider machine may
+    // mis-rank schedules here, but it must not oversubscribe this one
+    // (see the time-base caveat in tuner/tuning_db.hpp).
+    options.workers = std::min(t.workers, util::default_workers());
+  }
+  return options;
+}
 
 gpu::BlockShape default_cpu_block(gpu::Precision precision) {
   switch (precision) {

@@ -18,6 +18,7 @@
 #include "cpu/executor.hpp"
 #include "cpu/matrix.hpp"
 #include "gpu/block_shape.hpp"
+#include "gpu/gpu_spec.hpp"
 
 namespace streamk::cpu {
 
@@ -62,6 +63,23 @@ core::DecompositionSpec resolve_schedule(const GemmOptions& options,
                                          gpu::Precision precision,
                                          std::size_t workers);
 
+/// Tuned-dispatch consultation shared by every GEMM front end: when the
+/// caller requested Schedule::kAuto without forcing a blocking factor and
+/// the tuning database holds a measured winner for `shape`, the returned
+/// options pin that winner's schedule, block, grid/split, and (unless the
+/// caller set one) worker count; the plan then comes pointer-identical from
+/// runtime::plan_cache().  On a miss the options pass through unchanged --
+/// and in tuner::FindMode::kBackground the miss schedules a background
+/// tuning job for the shape (see tuner/dispatch.hpp), unless
+/// `allow_background_find` is false: front ends whose key approximates
+/// their real mapping (batched on the stacked shape, conv on the
+/// implicit-GEMM shape) consult the db but never auto-tune the key, since
+/// the find job would measure a plain GEMM instead.  Caller-chosen
+/// tile_order, alpha, and beta are always preserved.
+GemmOptions apply_tuned_dispatch(const core::GemmShape& shape,
+                                 gpu::Precision precision, GemmOptions options,
+                                 bool allow_background_find = true);
+
 GemmReport gemm(const Matrix<double>& a, const Matrix<double>& b,
                 Matrix<double>& c, const GemmOptions& options = {});
 GemmReport gemm(const Matrix<float>& a, const Matrix<float>& b,
@@ -72,5 +90,11 @@ GemmReport gemm(const Matrix<util::Half>& a, const Matrix<util::Half>& b,
 /// Default CPU blocking factors for a precision (sized so one tile's
 /// working set stays cache resident).
 gpu::BlockShape default_cpu_block(gpu::Precision precision);
+
+/// A GpuSpec stand-in describing the host CPU with `workers` cores, so the
+/// analytical planner's thresholds (tiles vs. concurrency slots) apply to
+/// the worker pool.  Peak numbers are placeholders -- the planner and the
+/// tuner's search-space pruning only use relative model terms.
+gpu::GpuSpec host_proxy_spec(std::size_t workers);
 
 }  // namespace streamk::cpu

@@ -29,7 +29,7 @@ CalibrationResult calibrate_cpu(const core::GemmShape& shape,
   fill_random(b, rng);
 
   const std::size_t workers =
-      options.workers > 0 ? options.workers : util::hardware_threads();
+      options.workers > 0 ? options.workers : util::default_workers();
 
   CalibrationResult result;
   for (const std::int64_t g : grids) {

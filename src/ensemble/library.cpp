@@ -7,6 +7,7 @@
 #include "ensemble/heuristics.hpp"
 #include "model/grid_selector.hpp"
 #include "runtime/worker_pool.hpp"
+#include "tuner/search_space.hpp"
 #include "util/check.hpp"
 
 namespace streamk::ensemble {
@@ -183,6 +184,64 @@ GemmMeasurement StreamKDuoLibrary::run(const core::GemmShape& shape) const {
   return run_block(shape,
                    predicted_small < predicted_large ? small_ : large_,
                    &ignored);
+}
+
+EmpiricalLibrary::EmpiricalLibrary(gpu::GpuSpec gpu, gpu::Precision precision,
+                                   std::size_t search_budget)
+    : KernelLibrary(std::move(gpu), precision),
+      search_budget_(search_budget) {}
+
+GemmMeasurement EmpiricalLibrary::run_config(
+    const core::GemmShape& shape, const tuner::TunedConfig& config) const {
+  const std::int64_t slots =
+      gpu_.sm_count * model::occupancy(config.block, precision_);
+  GemmMeasurement m =
+      measure(shape, KernelConfig{config.block, config.split},
+              tuner::to_spec(config, slots), precision_, gpu_, "empirical",
+              plan_cache_);
+  m.kernel_name = "empirical[" + config.to_string() + "]";
+  return m;
+}
+
+GemmMeasurement EmpiricalLibrary::run(const core::GemmShape& shape) const {
+  const tuner::ShapeKey key{shape, precision_};
+  if (const auto record = db_.lookup(key)) {
+    return run_config(shape, record->config);
+  }
+
+  // Find mode: measure the model-pruned candidate list on the simulator
+  // and persist the winner.  The candidate menu strictly contains every
+  // other contender's choices (all ensemble tiles as data-parallel and
+  // fixed-split variants, all Stream-K grids up to machine width), so with
+  // an exhaustive budget this library lower-bounds them all.
+  tuner::SearchSpaceOptions space;
+  space.top_k = search_budget_;
+  space.worker_counts = {static_cast<std::size_t>(gpu_.sm_count)};
+  const std::vector<tuner::Candidate> candidates =
+      tuner::search_space(shape, precision_, gpu_, space);
+  util::check(!candidates.empty(), "empirical library: empty search space");
+
+  GemmMeasurement best;
+  best.estimate.seconds = std::numeric_limits<double>::infinity();
+  tuner::TunedConfig best_config;
+  for (const tuner::Candidate& candidate : candidates) {
+    GemmMeasurement m = run_config(shape, candidate.config);
+    // Strict <: ties keep the earlier (better-predicted) candidate, the
+    // same deterministic convergence rule as the CPU tuner.
+    if (m.estimate.seconds < best.estimate.seconds) {
+      best = std::move(m);
+      best_config = candidate.config;
+    }
+  }
+
+  tuner::TuningRecord record;
+  record.config = best_config;
+  record.seconds = best.estimate.seconds;
+  record.gflops = best.estimate.seconds > 0.0
+                      ? shape.flops() / best.estimate.seconds / 1e9
+                      : 0.0;
+  db_.update(key, record);
+  return best;
 }
 
 EvaluationSuite EvaluationSuite::make(const gpu::GpuSpec& gpu,

@@ -23,6 +23,7 @@
 #include "ensemble/kernel_config.hpp"
 #include "gpu/gpu_spec.hpp"
 #include "sim/sim_gemm.hpp"
+#include "tuner/tuning_db.hpp"
 
 namespace streamk::ensemble {
 
@@ -121,6 +122,35 @@ class StreamKDuoLibrary final : public KernelLibrary {
 
   gpu::BlockShape large_;
   gpu::BlockShape small_;
+};
+
+/// The empirically-tuned contender: an MIOpen-style find-mode library over
+/// the simulator.  The first run(shape) of a key searches the tuner's
+/// model-pruned candidate list (decomposition kind x ensemble tile x grid /
+/// split -- a strict superset of every other contender's menu) on the
+/// simulator and persists the winner in an embedded tuner::TuningDb;
+/// repeats dispatch straight from the db.  db() exposes load()/save() so
+/// tuning artifacts survive process restarts and compose across runs --
+/// the closed measurement loop the paper's tuned-ensemble comparison
+/// presumes, made explicit.
+class EmpiricalLibrary final : public KernelLibrary {
+ public:
+  /// `search_budget` caps measured candidates per shape (0 = exhaustive).
+  EmpiricalLibrary(gpu::GpuSpec gpu, gpu::Precision precision,
+                   std::size_t search_budget = 16);
+  std::string name() const override { return "empirical-find"; }
+  GemmMeasurement run(const core::GemmShape& shape) const override;
+
+  /// The backing database (mutable: persistence is not logical state).
+  tuner::TuningDb& db() const { return db_; }
+  std::size_t search_budget() const { return search_budget_; }
+
+ private:
+  GemmMeasurement run_config(const core::GemmShape& shape,
+                             const tuner::TunedConfig& config) const;
+
+  std::size_t search_budget_;
+  mutable tuner::TuningDb db_;
 };
 
 /// Convenience factory for all four libraries of one precision.

@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "util/check.hpp"
+#include "util/threading.hpp"
 
 namespace streamk::runtime {
 
@@ -89,10 +90,7 @@ WorkerPool::WorkerPool(std::size_t threads) {
 WorkerPool::~WorkerPool() { shutdown(); }
 
 void WorkerPool::start_locked(std::size_t threads) {
-  if (threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw == 0 ? 1 : static_cast<std::size_t>(hw);
-  }
+  if (threads == 0) threads = util::default_workers();
   stopping_ = false;
   threads_.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {

@@ -1,0 +1,139 @@
+#include "tuner/dispatch.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <unordered_set>
+
+#include "runtime/worker_pool.hpp"
+
+namespace streamk::tuner {
+
+namespace {
+
+std::atomic<FindMode> g_find_mode{FindMode::kOff};
+
+/// Background-find bookkeeping.  Immortal for the same reason as the
+/// global db: a queued find job may still be draining during static
+/// destruction.
+struct FindState {
+  std::mutex mutex;
+  std::condition_variable idle;
+  std::unordered_set<ShapeKey, ShapeKeyHash> in_flight;
+  /// Keys whose find job threw: never re-enqueued (a repeat would fail the
+  /// same way and each miss would otherwise spawn a fresh doomed job).
+  std::unordered_set<ShapeKey, ShapeKeyHash> failed;
+  TuneOptions options;
+};
+
+FindState& find_state() {
+  static FindState* state = new FindState();
+  return *state;
+}
+
+void run_find_job(const ShapeKey& key, const TuneOptions& options) {
+  bool succeeded = false;
+  try {
+    const TuneReport report = tune_shape(key.shape, key.precision, options);
+    global_tuning_db().update(key, report.best);
+    succeeded = true;
+  } catch (const std::exception& e) {
+    // A failed find job must not unwind into the pool's worker loop; the
+    // shape simply stays heuristic-dispatched.
+    std::fprintf(stderr, "streamk: background find for %s failed: %s\n",
+                 key.shape.to_string().c_str(), e.what());
+  } catch (...) {
+    std::fprintf(stderr, "streamk: background find for %s failed\n",
+                 key.shape.to_string().c_str());
+  }
+  FindState& state = find_state();
+  std::lock_guard lock(state.mutex);
+  state.in_flight.erase(key);
+  if (!succeeded) state.failed.insert(key);
+  state.idle.notify_all();
+}
+
+void enqueue_find(const ShapeKey& key) {
+  FindState& state = find_state();
+  TuneOptions options;
+  {
+    std::lock_guard lock(state.mutex);
+    if (state.failed.contains(key)) return;           // permanently doomed
+    if (!state.in_flight.insert(key).second) return;  // already pending
+    // Snapshot at enqueue time: set_find_options is documented to affect
+    // jobs enqueued after the call, not ones already queued.
+    options = state.options;
+  }
+  runtime::global_pool().submit(
+      [key, options] { run_find_job(key, options); });
+}
+
+}  // namespace
+
+void set_find_mode(FindMode mode) {
+  g_find_mode.store(mode, std::memory_order_relaxed);
+}
+
+FindMode find_mode() { return g_find_mode.load(std::memory_order_relaxed); }
+
+void set_find_options(const TuneOptions& options) {
+  std::lock_guard lock(find_state().mutex);
+  find_state().options = options;
+}
+
+TuneOptions find_options() {
+  std::lock_guard lock(find_state().mutex);
+  return find_state().options;
+}
+
+TuningDb& global_tuning_db() {
+  // Immortal (reachable via the static pointer, so not a leak); see
+  // runtime::plan_cache() for the static-destruction rationale.
+  static TuningDb* db = [] {
+    auto* created = new TuningDb();
+    if (const char* path = std::getenv("STREAMK_TUNING_DB")) {
+      try {
+        created->load(path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "streamk: STREAMK_TUNING_DB not loaded: %s\n",
+                     e.what());
+      }
+    }
+    return created;
+  }();
+  return *db;
+}
+
+std::optional<TunedConfig> tuned_dispatch(const core::GemmShape& shape,
+                                          gpu::Precision precision,
+                                          DispatchFind find) {
+  const bool may_find = find == DispatchFind::kAllowed &&
+                        find_mode() == FindMode::kBackground;
+  // Fast path: nothing to hit and nothing to schedule -- stay off the
+  // shared lock entirely (the common case for untuned processes).
+  if (!may_find && global_tuning_db().empty_fast()) return std::nullopt;
+
+  const ShapeKey key{shape, precision};
+  if (const auto record = global_tuning_db().lookup(key)) {
+    return record->config;
+  }
+  if (may_find) enqueue_find(key);
+  return std::nullopt;
+}
+
+std::size_t find_jobs_in_flight() {
+  FindState& state = find_state();
+  std::lock_guard lock(state.mutex);
+  return state.in_flight.size();
+}
+
+void wait_for_find_jobs() {
+  FindState& state = find_state();
+  std::unique_lock lock(state.mutex);
+  state.idle.wait(lock, [&state] { return state.in_flight.empty(); });
+}
+
+}  // namespace streamk::tuner

@@ -1,0 +1,79 @@
+#pragma once
+
+// Tuned runtime dispatch: the bridge between the tuning database and the
+// GEMM front ends.
+//
+// Every submit_gemm-family entry point with Schedule::kAuto and no forced
+// blocking factor consults tuned_dispatch() before falling back to the
+// analytical planner:
+//
+//   hit  -> the measured-best TunedConfig; the front end compiles it through
+//           the process-wide plan_cache(), so a repeat shape costs one db
+//           hash probe plus one plan-cache hit (both sub-microsecond).
+//   miss -> nullopt; the caller proceeds with the heuristic/planner default.
+//           In FindMode::kBackground the miss additionally enqueues a
+//           background tuning job for the shape on the persistent worker
+//           pool (MIOpen-style find mode): the *current* call is served at
+//           heuristic quality immediately, and once the job lands its
+//           winner in the db, subsequent repeats of the shape dispatch
+//           tuned.  In-flight shapes are deduplicated, so a burst of
+//           misses for one shape tunes it exactly once.
+//
+// The global database seeds itself from the STREAMK_TUNING_DB environment
+// variable (a path produced by `streamk_tune` or TuningDb::save) on first
+// use; a missing or unreadable file logs one warning and leaves the db
+// empty rather than failing dispatch.
+
+#include <optional>
+
+#include "core/gemm_shape.hpp"
+#include "gpu/precision.hpp"
+#include "tuner/tuner.hpp"
+#include "tuner/tuning_db.hpp"
+
+namespace streamk::tuner {
+
+enum class FindMode {
+  kOff,         ///< misses fall through to the heuristic default (default)
+  kBackground,  ///< misses enqueue a deduplicated pool tuning job
+};
+
+/// Sets / reads the process-wide find mode (atomic).
+void set_find_mode(FindMode mode);
+FindMode find_mode();
+
+/// Tuning budget used by background find jobs (process-wide; take effect
+/// for jobs enqueued after the call).
+void set_find_options(const TuneOptions& options);
+TuneOptions find_options();
+
+/// The process-wide tuning database consulted by dispatch.  Immortal (like
+/// runtime::plan_cache()) so pool workers draining during static
+/// destruction can still touch it.  First use loads STREAMK_TUNING_DB when
+/// the variable is set.
+TuningDb& global_tuning_db();
+
+/// Whether a dispatch miss may schedule a background find job for the
+/// key.  Front ends whose db key is an *approximation* of their real work
+/// mapping (batched GEMM keyed on the stacked shape, convolution keyed on
+/// the implicit-GEMM shape) consult only: auto-tuning the key would
+/// measure a plain GEMM and then pin that winner on a differently-mapped
+/// problem while reporting it as measured.  Explicitly tuning such keys
+/// with streamk_tune remains available as a deliberate choice.
+enum class DispatchFind { kAllowed, kLookupOnly };
+
+/// Dispatch consultation; see the file comment for hit/miss semantics.
+/// While the global db is empty and find mode is off, this is a single
+/// relaxed atomic load -- no shared-lock traffic on untuned processes.
+std::optional<TunedConfig> tuned_dispatch(
+    const core::GemmShape& shape, gpu::Precision precision,
+    DispatchFind find = DispatchFind::kAllowed);
+
+/// Number of background find jobs currently queued or running.
+std::size_t find_jobs_in_flight();
+
+/// Blocks until every background find job completed (tests, and CLI exit
+/// paths that want the db fully populated before saving).
+void wait_for_find_jobs();
+
+}  // namespace streamk::tuner

@@ -1,0 +1,172 @@
+#include "tuner/search_space.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cpu/gemm.hpp"
+#include "ensemble/kernel_config.hpp"
+#include "model/cost_model.hpp"
+#include "model/grid_selector.hpp"
+#include "util/check.hpp"
+#include "util/threading.hpp"
+
+namespace streamk::tuner {
+
+namespace {
+
+void push_unique(std::vector<gpu::BlockShape>& menu, gpu::BlockShape block) {
+  if (std::find(menu.begin(), menu.end(), block) == menu.end()) {
+    menu.push_back(block);
+  }
+}
+
+/// Stream-K grid candidates: a power-of-two ladder through [1, slots], the
+/// machine width itself, the worker count, and the Section 5.1 model's own
+/// argmin -- all capped by the iteration count (a grid beyond it is dead
+/// CTAs) and deduplicated ascending.
+std::vector<std::int64_t> grid_ladder(const model::CostModel& model,
+                                      const core::WorkMapping& mapping,
+                                      const gpu::GpuSpec& device,
+                                      std::int64_t slots,
+                                      std::int64_t workers) {
+  const std::int64_t max_grid =
+      std::min<std::int64_t>(slots, mapping.total_iters());
+  std::vector<std::int64_t> grids;
+  for (std::int64_t g = 1; g <= max_grid; g *= 2) grids.push_back(g);
+  grids.push_back(max_grid);
+  if (workers >= 1 && workers <= max_grid) grids.push_back(workers);
+  grids.push_back(
+      std::min<std::int64_t>(model::select_grid(model, mapping, device).grid,
+                             max_grid));
+  std::sort(grids.begin(), grids.end());
+  grids.erase(std::unique(grids.begin(), grids.end()), grids.end());
+  return grids;
+}
+
+}  // namespace
+
+std::vector<gpu::BlockShape> tuning_block_menu(gpu::Precision precision) {
+  std::vector<gpu::BlockShape> menu = ensemble::paper_dp_ensemble(precision);
+  push_unique(menu, ensemble::paper_stream_k_block(precision));
+  push_unique(menu, cpu::default_cpu_block(precision));
+  return menu;
+}
+
+std::vector<std::size_t> normalize_worker_counts(
+    std::vector<std::size_t> counts) {
+  counts.erase(std::remove(counts.begin(), counts.end(), std::size_t{0}),
+               counts.end());
+  if (counts.empty()) counts = {util::default_workers()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+std::vector<Candidate> enumerate_candidates(const core::GemmShape& shape,
+                                            gpu::Precision precision,
+                                            const gpu::GpuSpec& device,
+                                            const SearchSpaceOptions& options) {
+  util::check(shape.valid(), "tuner: invalid GEMM shape");
+  util::check(device.sm_count >= 1, "tuner: device without cores");
+
+  const std::vector<std::size_t> worker_counts =
+      normalize_worker_counts(options.worker_counts);
+
+  std::vector<Candidate> candidates;
+  for (const std::size_t workers : worker_counts) {
+    for (const gpu::BlockShape block : tuning_block_menu(precision)) {
+      const core::WorkMapping mapping(shape, block);
+      const model::CostModel model =
+          model::CostModel::calibrated(device, block, precision);
+      const std::int64_t slots =
+          device.sm_count * model::occupancy(block, precision);
+      const auto push = [&](core::DecompositionSpec spec, TunedConfig config) {
+        spec.sm_count = slots;
+        config.block = block;
+        config.workers = workers;
+        candidates.push_back(
+            {config,
+             model::closed_form_estimate(spec, model, mapping, device)});
+      };
+
+      // Data-parallel: always feasible.
+      {
+        TunedConfig config;
+        config.kind = core::DecompositionKind::kDataParallel;
+        core::DecompositionSpec spec;
+        spec.kind = config.kind;
+        push(spec, config);
+      }
+
+      // Fixed-split ladder, bounded by the per-tile iteration count
+      // (a larger split only manufactures empty CTAs).
+      for (const std::int64_t split : ensemble::heuristic_split_ladder()) {
+        if (split < 2) continue;
+        if (split > mapping.iters_per_tile()) break;
+        TunedConfig config;
+        config.kind = core::DecompositionKind::kFixedSplit;
+        config.split = split;
+        core::DecompositionSpec spec;
+        spec.kind = config.kind;
+        spec.split = split;
+        push(spec, config);
+      }
+
+      // Stream-K grids.
+      for (const std::int64_t grid :
+           grid_ladder(model, mapping, device, slots,
+                       static_cast<std::int64_t>(workers))) {
+        TunedConfig config;
+        config.kind = core::DecompositionKind::kStreamKBasic;
+        config.grid = grid;
+        core::DecompositionSpec spec;
+        spec.kind = config.kind;
+        spec.grid = grid;
+        push(spec, config);
+      }
+
+      // Hybrids (quantization repair; only distinct from data-parallel when
+      // the tile count leaves a ragged final wave).
+      if (options.include_hybrids && mapping.tiles() % slots != 0) {
+        for (const auto kind : {core::DecompositionKind::kHybridTwoTile,
+                                core::DecompositionKind::kHybridOneTile}) {
+          TunedConfig config;
+          config.kind = kind;
+          core::DecompositionSpec spec;
+          spec.kind = kind;
+          push(spec, config);
+        }
+      }
+    }
+  }
+  return candidates;
+}
+
+std::vector<Candidate> rank_candidates(std::vector<Candidate> candidates,
+                                       std::size_t top_k) {
+  // Rank by model prediction with the input index as tie-break, so the
+  // measured list is identical across processes and platforms.
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&candidates](std::size_t a, std::size_t b) {
+                     return candidates[a].predicted_seconds <
+                            candidates[b].predicted_seconds;
+                   });
+  const std::size_t keep =
+      top_k == 0 ? candidates.size() : std::min(top_k, candidates.size());
+  std::vector<Candidate> pruned;
+  pruned.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) pruned.push_back(candidates[order[i]]);
+  return pruned;
+}
+
+std::vector<Candidate> search_space(const core::GemmShape& shape,
+                                    gpu::Precision precision,
+                                    const gpu::GpuSpec& device,
+                                    const SearchSpaceOptions& options) {
+  return rank_candidates(
+      enumerate_candidates(shape, precision, device, options), options.top_k);
+}
+
+}  // namespace streamk::tuner

@@ -1,0 +1,83 @@
+#pragma once
+
+// Candidate enumeration for the empirical tuner.
+//
+// The search space is the cross product the repo's contenders draw from:
+// decomposition kind (all five), blocking factors from the ensemble menu
+// (paper_dp_ensemble + the deployed Stream-K tile + the CPU default),
+// Stream-K grid sizes (a power-of-two ladder around the machine width plus
+// the Section 5.1 model's own choice), fixed-split factors from the
+// heuristic ladder, and optional worker counts.  Exhaustively measuring
+// that product per shape would dwarf the GEMMs being tuned, so -- like
+// composable_kernel's pruning of its instance tables -- candidates are
+// ranked by the Section 5.1 closed-form cost model
+// (model::closed_form_estimate) and only the budgeted top-K survive to be
+// measured on the real executor.
+//
+// Enumeration is fully deterministic: candidates are emitted in a fixed
+// nesting order and ranked with a total tie-break (predicted seconds, then
+// enumeration index), so two processes tuning the same shape measure the
+// same candidate list in the same order.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/gemm_shape.hpp"
+#include "gpu/gpu_spec.hpp"
+#include "gpu/precision.hpp"
+#include "tuner/tuning_db.hpp"
+
+namespace streamk::tuner {
+
+struct SearchSpaceOptions {
+  /// Measurement budget: candidates surviving the model pruning.
+  /// 0 keeps every feasible candidate (exhaustive search).
+  std::size_t top_k = 12;
+  /// Worker counts to consider; empty = {util::default_workers()}.
+  std::vector<std::size_t> worker_counts;
+  /// Include the two hybrid schedules (they matter on ragged waves).
+  bool include_hybrids = true;
+};
+
+struct Candidate {
+  TunedConfig config;
+  double predicted_seconds = 0.0;  ///< Section 5.1 closed-form estimate
+};
+
+/// Every feasible candidate for (shape, precision) on `device`, in
+/// deterministic enumeration order, each annotated with its model
+/// prediction.  Feasibility mirrors the planner's own constraints:
+/// Stream-K grids lie in [1, slots] and never exceed the iteration count,
+/// splits never exceed the per-tile iteration count, and every block comes
+/// from the menu.
+std::vector<Candidate> enumerate_candidates(
+    const core::GemmShape& shape, gpu::Precision precision,
+    const gpu::GpuSpec& device, const SearchSpaceOptions& options = {});
+
+/// The budgeted measurement list: enumerate_candidates() pruned to the
+/// top_k smallest model predictions (stable: ties keep enumeration order).
+std::vector<Candidate> search_space(const core::GemmShape& shape,
+                                    gpu::Precision precision,
+                                    const gpu::GpuSpec& device,
+                                    const SearchSpaceOptions& options = {});
+
+/// The ranking step alone: `candidates` sorted by prediction (stable, so
+/// ties keep input order) and truncated to top_k (0 = keep all).  Exposed
+/// for callers that assemble candidate lists from several enumerations
+/// (the CPU tuner ranks a union across worker counts, each enumerated
+/// against its own host proxy).
+std::vector<Candidate> rank_candidates(std::vector<Candidate> candidates,
+                                       std::size_t top_k);
+
+/// The blocking-factor menu the tuner draws from for a precision: the
+/// paper's data-parallel ensemble, the deployed Stream-K tile, and the CPU
+/// default block, deduplicated, in deterministic order.
+std::vector<gpu::BlockShape> tuning_block_menu(gpu::Precision precision);
+
+/// The one normalization policy for requested worker counts (used by both
+/// enumeration and the tuner's per-width fan-out): drop zeros, default to
+/// {util::default_workers()} when empty, sort, dedupe.
+std::vector<std::size_t> normalize_worker_counts(
+    std::vector<std::size_t> counts);
+
+}  // namespace streamk::tuner

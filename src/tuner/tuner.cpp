@@ -1,0 +1,167 @@
+#include "tuner/tuner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/threading.hpp"
+
+namespace streamk::tuner {
+
+namespace {
+
+cpu::Schedule schedule_for(core::DecompositionKind kind) {
+  switch (kind) {
+    case core::DecompositionKind::kDataParallel:
+      return cpu::Schedule::kDataParallel;
+    case core::DecompositionKind::kFixedSplit:
+      return cpu::Schedule::kFixedSplit;
+    case core::DecompositionKind::kStreamKBasic:
+      return cpu::Schedule::kStreamK;
+    case core::DecompositionKind::kHybridOneTile:
+      return cpu::Schedule::kHybridOneTile;
+    case core::DecompositionKind::kHybridTwoTile:
+      return cpu::Schedule::kHybridTwoTile;
+  }
+  util::fail("unknown decomposition kind");
+}
+
+/// GemmReport::seconds covers plan execution only (compilation is cached),
+/// which is exactly the steady-state cost dispatch cares about.  One
+/// operand set serves the whole options list -- per-candidate reallocation
+/// would be a real fraction of tune time on the CPU-sized shapes the
+/// tuner targets.
+template <typename In, typename Out>
+std::vector<double> measure_options_typed(
+    const core::GemmShape& shape, std::span<const cpu::GemmOptions> list,
+    int repetitions) {
+  cpu::Matrix<In> a(shape.m, shape.k);
+  cpu::Matrix<In> b(shape.k, shape.n);
+  cpu::Matrix<Out> c(shape.m, shape.n);
+  util::Pcg32 rng(0x70e4db);
+  cpu::fill_random(a, rng);
+  cpu::fill_random(b, rng);
+  std::vector<double> seconds;
+  seconds.reserve(list.size());
+  for (const cpu::GemmOptions& options : list) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < std::max(1, repetitions); ++rep) {
+      best = std::min(best, cpu::gemm(a, b, c, options).seconds);
+    }
+    seconds.push_back(best);
+  }
+  return seconds;
+}
+
+std::vector<double> measure_options(const core::GemmShape& shape,
+                                    gpu::Precision precision,
+                                    std::span<const cpu::GemmOptions> list,
+                                    int repetitions) {
+  switch (precision) {
+    case gpu::Precision::kFp64:
+      return measure_options_typed<double, double>(shape, list, repetitions);
+    case gpu::Precision::kFp32:
+      return measure_options_typed<float, float>(shape, list, repetitions);
+    case gpu::Precision::kFp16F32:
+      return measure_options_typed<util::Half, float>(shape, list,
+                                                      repetitions);
+  }
+  util::fail("unknown precision");
+}
+
+}  // namespace
+
+cpu::GemmOptions tuned_options(const TunedConfig& config) {
+  cpu::GemmOptions options;
+  options.schedule = schedule_for(config.kind);
+  options.block = config.block;
+  options.grid = config.grid;
+  options.split = config.split;
+  options.workers = config.workers;
+  return options;
+}
+
+double measure_config(const core::GemmShape& shape, gpu::Precision precision,
+                      const cpu::GemmOptions& options, int repetitions) {
+  return measure_options(shape, precision, {&options, 1}, repetitions)
+      .front();
+}
+
+AbResult ab_measure(const core::GemmShape& shape, gpu::Precision precision,
+                    const TunedConfig& config, int repetitions) {
+  AbResult result;
+  result.heuristic_seconds =
+      measure_config(shape, precision, cpu::GemmOptions{}, repetitions);
+  result.tuned_seconds =
+      measure_config(shape, precision, tuned_options(config), repetitions);
+  result.speedup =
+      result.heuristic_seconds > 0.0 && result.tuned_seconds > 0.0
+          ? result.heuristic_seconds / result.tuned_seconds
+          : 0.0;
+  return result;
+}
+
+TuneReport tune_shape(const core::GemmShape& shape, gpu::Precision precision,
+                      const TuneOptions& options) {
+  // Enumerate each requested worker count against a host proxy of *that*
+  // width -- the model's slots/grid thresholds must describe the machine
+  // the candidate will actually run on -- then rank the union under one
+  // budget.
+  std::vector<Candidate> all;
+  for (const std::size_t workers :
+       normalize_worker_counts(options.space.worker_counts)) {
+    SearchSpaceOptions per_width = options.space;
+    per_width.worker_counts = {workers};
+    const std::vector<Candidate> enumerated = enumerate_candidates(
+        shape, precision, cpu::host_proxy_spec(workers), per_width);
+    all.insert(all.end(), enumerated.begin(), enumerated.end());
+  }
+  const std::vector<Candidate> candidates =
+      rank_candidates(std::move(all), options.space.top_k);
+  util::check(!candidates.empty(), "tuner: empty search space");
+
+  std::vector<cpu::GemmOptions> option_list;
+  option_list.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    option_list.push_back(tuned_options(candidate.config));
+  }
+  const std::vector<double> timings =
+      measure_options(shape, precision, option_list, options.repetitions);
+
+  TuneReport report;
+  report.key = {shape, precision};
+  report.best.seconds = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    MeasuredCandidate measured;
+    measured.config = candidates[i].config;
+    measured.predicted_seconds = candidates[i].predicted_seconds;
+    measured.seconds = timings[i];
+    measured.gflops =
+        timings[i] > 0.0 ? shape.flops() / timings[i] / 1e9 : 0.0;
+    report.measured.push_back(measured);
+    // Strict < keeps the earlier (better-predicted) candidate on ties.
+    if (measured.seconds < report.best.seconds) {
+      report.best.config = measured.config;
+      report.best.seconds = measured.seconds;
+      report.best.gflops = measured.gflops;
+    }
+  }
+  return report;
+}
+
+std::size_t tune_corpus(std::span<const core::GemmShape> shapes,
+                        gpu::Precision precision, TuningDb& db,
+                        const TuneOptions& options) {
+  std::size_t tuned = 0;
+  for (const core::GemmShape& shape : shapes) {
+    const ShapeKey key{shape, precision};
+    if (db.lookup(key)) continue;
+    const TuneReport report = tune_shape(shape, precision, options);
+    db.update(key, report.best);
+    ++tuned;
+  }
+  return tuned;
+}
+
+}  // namespace streamk::tuner

@@ -1,0 +1,86 @@
+#pragma once
+
+// Empirical measurement of search-space candidates on the real executor.
+//
+// This is the "Find mode" of the subsystem (MIOpen's term): for a problem
+// shape, run the model-pruned candidate list through the actual pool-backed
+// GEMM path, time each candidate best-of-reps, and record the winner in a
+// TuningDb.  Measurements execute through the exact production code path --
+// cpu::gemm() and friends submitting onto the persistent
+// runtime::WorkerPool with pooled workspaces and the process-wide plan
+// cache -- so a tuned config's measured advantage is the advantage dispatch
+// will actually observe.
+//
+// Determinism: candidates are measured in the search_space() order
+// (model-ranked with a fixed tie-break), operands are filled from a fixed
+// PRNG seed, and ties on measured seconds keep the earlier (better-
+// predicted) candidate, so re-tuning an unchanged host converges to the
+// same winner modulo genuine timing noise.
+
+#include <span>
+#include <vector>
+
+#include "core/gemm_shape.hpp"
+#include "cpu/gemm.hpp"
+#include "gpu/precision.hpp"
+#include "tuner/search_space.hpp"
+#include "tuner/tuning_db.hpp"
+
+namespace streamk::tuner {
+
+struct TuneOptions {
+  SearchSpaceOptions space;
+  int repetitions = 3;  ///< best-of timing repetitions per candidate
+};
+
+struct MeasuredCandidate {
+  TunedConfig config;
+  double predicted_seconds = 0.0;  ///< model rank that admitted it
+  double seconds = 0.0;            ///< best-of-reps measured
+  double gflops = 0.0;
+};
+
+struct TuneReport {
+  ShapeKey key;
+  TuningRecord best;
+  std::vector<MeasuredCandidate> measured;  ///< in measurement order
+};
+
+/// Builds the GemmOptions that make the GEMM front ends execute exactly
+/// `config` (explicit schedule, block, grid/split, workers).
+cpu::GemmOptions tuned_options(const TunedConfig& config);
+
+/// Best-of-`repetitions` execution time of one concrete configuration
+/// through the production gemm() path, operands filled from a fixed PRNG
+/// seed.  The single definition of measurement methodology -- the tuner,
+/// the streamk_tune A/B, and bench_tuner all time through this.
+double measure_config(const core::GemmShape& shape, gpu::Precision precision,
+                      const cpu::GemmOptions& options, int repetitions);
+
+/// One tuned-vs-heuristic A/B point, shared by streamk_tune and
+/// bench_tuner so the two reports measure identically.  The heuristic side
+/// is Schedule::kAuto -- callers must ensure the global tuning db cannot
+/// serve it (or the comparison degenerates to tuned-vs-tuned).
+struct AbResult {
+  double heuristic_seconds = 0.0;
+  double tuned_seconds = 0.0;
+  double speedup = 0.0;  ///< 0 when either side measured non-positive --
+                         ///< callers must exclude such points from geomeans
+};
+AbResult ab_measure(const core::GemmShape& shape, gpu::Precision precision,
+                    const TunedConfig& config, int repetitions);
+
+/// Measures the budgeted search space for one shape and returns the winner
+/// plus the full measurement trace.  FP32 operands are used for kFp32,
+/// doubles for kFp64, Half inputs for kFp16F32 -- the same substrates the
+/// runtime serves.
+TuneReport tune_shape(const core::GemmShape& shape, gpu::Precision precision,
+                      const TuneOptions& options = {});
+
+/// Tunes every shape of `shapes` (skipping keys `db` already holds) and
+/// records winners into `db`.  Returns the number of shapes newly tuned.
+std::size_t tune_corpus(std::span<const core::GemmShape> shapes,
+                        gpu::Precision precision, TuningDb& db,
+                        const TuneOptions& options = {});
+
+}  // namespace streamk::tuner

@@ -1,0 +1,164 @@
+#pragma once
+
+// Persistent tuning database: shape -> measured-best kernel configuration.
+//
+// The paper's evaluation pits one analytically-planned Stream-K kernel
+// against *tuned* ensembles; production GEMM stacks (MIOpen's PerfDb,
+// composable_kernel's offline-searched instance tables) settle the same
+// question empirically by persisting per-shape winners across runs.  A
+// TuningDb is our equivalent: a thread-safe map from (GEMM shape,
+// precision) to the TunedConfig that measured fastest, with versioned
+// on-disk persistence so tuning survives process restarts and tuning
+// artifacts from different hosts/CI runs compose.
+//
+// Merge semantics: every insertion path (update(), merge(), load()) keeps
+// the record with the *smaller measured seconds* per key, so combining
+// databases in any order converges to the element-wise best.  save()
+// writes a uniquely named temp file and renames it, so readers never
+// observe a torn snapshot; merge_save() additionally serializes concurrent
+// contributors behind an advisory file lock so no writer's records are
+// lost to the load/save window.
+//
+// Caveat: "smaller seconds wins" presumes one time base.  Records measured
+// on different hosts (or by the simulator-backed EmpiricalLibrary, whose
+// seconds are A100 estimates) are not commensurable; keep one database per
+// measurement domain.  As a belt-and-braces guard, runtime dispatch caps a
+// record's worker count at the consuming host's util::default_workers()
+// (see cpu::apply_tuned_dispatch), so a foreign db can mis-rank schedules
+// but cannot oversubscribe the machine.
+//
+// On-disk format (version tagged, CSV payload):
+//
+//   # streamk-tuning-db v1
+//   m,n,k,precision,kind,block_m,block_n,block_k,grid,split,workers,seconds,gflops
+//   4096,4096,128,fp64,stream-k,8,1,48,48,16,0,0.0123,273.5
+//
+// Loaders reject files whose version tag they do not understand instead of
+// guessing at column meanings.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "core/gemm_shape.hpp"
+#include "gpu/block_shape.hpp"
+#include "gpu/precision.hpp"
+
+namespace streamk::tuner {
+
+/// A complete dispatch decision: everything the runtime needs to turn a
+/// GEMM request into a concrete compiled plan without consulting the
+/// heuristics or the analytical planner.
+struct TunedConfig {
+  core::DecompositionKind kind = core::DecompositionKind::kDataParallel;
+  gpu::BlockShape block;
+  std::int64_t grid = 0;    ///< Stream-K grid (kStreamKBasic; 0 = workers)
+  std::int64_t split = 1;   ///< fixed-split factor (kFixedSplit)
+  std::size_t workers = 0;  ///< worker count (0 = util::default_workers())
+
+  friend bool operator==(const TunedConfig&, const TunedConfig&) = default;
+
+  std::string to_string() const;
+};
+
+/// Resolves a TunedConfig into the DecompositionSpec it denotes for a
+/// machine exposing `sm_count` concurrency slots.
+core::DecompositionSpec to_spec(const TunedConfig& config,
+                                std::int64_t sm_count);
+
+/// Database key: the problem identity a measurement generalizes over.
+struct ShapeKey {
+  core::GemmShape shape;
+  gpu::Precision precision = gpu::Precision::kFp64;
+
+  friend bool operator==(const ShapeKey&, const ShapeKey&) = default;
+};
+
+struct ShapeKeyHash {
+  std::size_t operator()(const ShapeKey& key) const;
+};
+
+/// One measured winner.
+struct TuningRecord {
+  TunedConfig config;
+  double seconds = 0.0;  ///< best-of-reps measured execution time
+  double gflops = 0.0;   ///< useful GFLOP/s at that time
+
+  friend bool operator==(const TuningRecord&, const TuningRecord&) = default;
+};
+
+class TuningDb {
+ public:
+  /// Version tag written as the first line of every saved file.
+  static constexpr int kFormatVersion = 1;
+
+  TuningDb() = default;
+
+  // Movable would race with the internal mutex; the db is a shared sink.
+  TuningDb(const TuningDb&) = delete;
+  TuningDb& operator=(const TuningDb&) = delete;
+
+  /// The stored record for `key`, if any.  Lookup is the runtime dispatch
+  /// hot path: one hash probe under a *shared* lock (concurrent submitters
+  /// do not serialize against each other), no allocation.
+  std::optional<TuningRecord> lookup(const ShapeKey& key) const;
+
+  /// Keep-faster insertion: stores `record` unless an existing record for
+  /// `key` has smaller-or-equal seconds.  Returns true when stored.
+  bool update(const ShapeKey& key, const TuningRecord& record);
+
+  /// Keep-faster union with `other`; returns the number of keys updated.
+  std::size_t merge(const TuningDb& other);
+
+  /// Parses a saved database and merges it (keep-faster).  Returns the
+  /// number of records parsed.  Throws util::CheckError on a missing file,
+  /// unrecognized version tag, or malformed row.
+  std::size_t load(const std::string& path);
+
+  /// Writes a consistent snapshot: temp file in the same directory, then
+  /// std::rename over `path`, so concurrent readers see either the old or
+  /// the new complete file.  Rows are sorted (deterministic artifacts).
+  /// Last-writer-wins at file granularity -- concurrent *writers* should
+  /// use merge_save().
+  void save(const std::string& path) const;
+
+  /// The serialized cross-process "contribute" operation: holds an
+  /// exclusive advisory lock on `path + ".lock"` while merging whatever is
+  /// currently on disk into this db and saving the union, so concurrent
+  /// contributors never lose each other's records (plain load-then-save
+  /// has a read-modify-write window).  Returns the records read from disk.
+  std::size_t merge_save(const std::string& path);
+
+  /// Deterministically ordered copy of the contents (sorted by key).
+  std::vector<std::pair<ShapeKey, TuningRecord>> snapshot() const;
+
+  std::size_t size() const;
+  void clear();
+
+  /// Lock-free emptiness probe (relaxed atomic maintained by the write
+  /// paths).  Lets dispatch skip the shared-lock probe entirely while no
+  /// tuning data exists -- the common case for untuned processes.
+  bool empty_fast() const {
+    return approx_size_.load(std::memory_order_relaxed) == 0;
+  }
+
+  /// Dispatch telemetry: lookup() outcomes since construction.
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  /// Readers (lookup) take shared ownership, writers exclusive.
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<ShapeKey, TuningRecord, ShapeKeyHash> records_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::size_t> approx_size_{0};
+};
+
+}  // namespace streamk::tuner

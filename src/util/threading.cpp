@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -108,6 +109,17 @@ void parallel_for(std::size_t count,
 std::size_t hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t default_workers() {
+  if (const char* env = std::getenv("STREAMK_WORKERS")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return hardware_threads();
 }
 
 }  // namespace streamk::util

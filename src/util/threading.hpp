@@ -48,4 +48,13 @@ void parallel_for(std::size_t count,
 /// std::thread::hardware_concurrency with a floor of 1.
 std::size_t hardware_threads();
 
+/// Default worker count for GEMM-family calls and the worker pool:
+/// hardware_threads(), overridden by the STREAMK_WORKERS environment
+/// variable when it holds a value >= 1.  Unset, non-numeric, or < 1 values
+/// leave the hardware default in place; values above hardware_threads()
+/// are honored (deliberate oversubscription stays available for testing).
+/// Read per call so tests can toggle the variable without process
+/// restarts.
+std::size_t default_workers();
+
 }  // namespace streamk::util

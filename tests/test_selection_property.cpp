@@ -1,0 +1,145 @@
+// Property tests over randomized shapes: every selector that feeds a real
+// launch -- ensemble::heuristic_select, model::select_grid, and the tuner's
+// search space -- must only ever return *feasible* configurations, and
+// select_grid's documented smallest-grid tie-break must actually hold.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/schedule_plan.hpp"
+#include "core/work_mapping.hpp"
+#include "cpu/gemm.hpp"
+#include "ensemble/heuristics.hpp"
+#include "ensemble/kernel_config.hpp"
+#include "model/cost_model.hpp"
+#include "model/grid_selector.hpp"
+#include "tuner/search_space.hpp"
+#include "util/rng.hpp"
+
+namespace streamk {
+namespace {
+
+/// Log-uniform random extents spanning sub-tile problems through multi-wave
+/// ones (1..4096 covers every planner regime on both devices).
+std::vector<core::GemmShape> random_shapes(std::size_t count,
+                                           std::uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<core::GemmShape> shapes;
+  shapes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto extent = [&rng] {
+      return static_cast<std::int64_t>(
+          std::exp(rng.uniform(0.0, std::log(4096.0))));
+    };
+    core::GemmShape shape{extent(), extent(), extent()};
+    shape.m = std::max<std::int64_t>(shape.m, 1);
+    shape.n = std::max<std::int64_t>(shape.n, 1);
+    shape.k = std::max<std::int64_t>(shape.k, 1);
+    shapes.push_back(shape);
+  }
+  return shapes;
+}
+
+const std::vector<gpu::GpuSpec>& devices() {
+  static const std::vector<gpu::GpuSpec> specs = {
+      gpu::GpuSpec::a100_locked(), gpu::GpuSpec::hypothetical4(),
+      cpu::host_proxy_spec(1), cpu::host_proxy_spec(16)};
+  return specs;
+}
+
+TEST(SelectionProperty, HeuristicSelectAlwaysReturnsFeasibleConfigs) {
+  for (const auto precision :
+       {gpu::Precision::kFp64, gpu::Precision::kFp16F32}) {
+    const auto menu = ensemble::paper_dp_ensemble(precision);
+    const auto ladder = ensemble::heuristic_split_ladder();
+    for (const gpu::GpuSpec& device : devices()) {
+      for (const core::GemmShape& shape : random_shapes(150, 0xfea51b1e)) {
+        const ensemble::KernelConfig config =
+            ensemble::heuristic_select(shape, precision, device);
+
+        // The tile comes from the precompiled menu, never invented.
+        EXPECT_NE(std::find(menu.begin(), menu.end(), config.block),
+                  menu.end())
+            << shape.to_string();
+
+        // The split is 1 or a ladder member, and never exceeds the
+        // iteration count (which would manufacture empty CTAs).
+        const std::int64_t ipt = core::ceil_div(shape.k, config.block.k);
+        EXPECT_GE(config.split, 1);
+        EXPECT_LE(config.split, ipt) << shape.to_string();
+        if (config.split > 1) {
+          EXPECT_NE(std::find(ladder.begin(), ladder.end(), config.split),
+                    ladder.end());
+        }
+
+        // Splitting is only deployed when the machine is underfilled.
+        const std::int64_t tiles = core::ceil_div(shape.m, config.block.m) *
+                                   core::ceil_div(shape.n, config.block.n);
+        const std::int64_t slots =
+            device.sm_count * model::occupancy(config.block, precision);
+        if (tiles >= slots) EXPECT_EQ(config.split, 1) << shape.to_string();
+      }
+    }
+  }
+}
+
+TEST(SelectionProperty, SelectGridStaysInRangeAndBreaksTiesSmall) {
+  for (const auto precision :
+       {gpu::Precision::kFp64, gpu::Precision::kFp16F32}) {
+    const gpu::BlockShape block = ensemble::paper_stream_k_block(precision);
+    for (const gpu::GpuSpec& device : devices()) {
+      const model::CostModel model =
+          model::CostModel::calibrated(device, block, precision);
+      for (const core::GemmShape& shape : random_shapes(100, 0x9121d5)) {
+        const core::WorkMapping mapping(shape, block);
+        const model::GridChoice choice =
+            model::select_grid(model, mapping, device);
+
+        const std::int64_t slots =
+            device.sm_count * model::occupancy(block, precision);
+        const std::int64_t max_grid =
+            std::min<std::int64_t>(slots, mapping.total_iters());
+        EXPECT_GE(choice.grid, 1);
+        EXPECT_LE(choice.grid, max_grid) << shape.to_string();
+        EXPECT_GT(choice.predicted_seconds, 0.0);
+
+        // Global argmin with the documented smallest-grid tie-break: no
+        // grid models faster, and every *smaller* grid models strictly
+        // slower.
+        for (std::int64_t g = 1; g <= max_grid; ++g) {
+          const double t = model.stream_k_cta_time(mapping, g);
+          EXPECT_GE(t, choice.predicted_seconds) << shape.to_string();
+          if (g < choice.grid) {
+            EXPECT_GT(t, choice.predicted_seconds)
+                << shape.to_string() << " g=" << g;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SelectionProperty, PlannerSpecsCompileToRunnablePlans) {
+  // End to end: whatever the Section 5.1 planner picks for a random shape
+  // must compile into a structurally valid schedule.
+  const gpu::BlockShape block = gpu::BlockShape::paper_fp64();
+  for (const gpu::GpuSpec& device : devices()) {
+    const model::CostModel model =
+        model::CostModel::calibrated(device, block, gpu::Precision::kFp64);
+    for (const core::GemmShape& shape : random_shapes(40, 0xc0ffee)) {
+      const core::WorkMapping mapping(shape, block);
+      const core::DecompositionSpec spec =
+          model::plan(model, mapping, device);
+      const core::SchedulePlan plan =
+          core::compile_plan(*core::make_decomposition(spec, mapping));
+      EXPECT_TRUE(plan.runnable()) << shape.to_string();
+      EXPECT_EQ(plan.total_iters(), mapping.total_iters());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamk

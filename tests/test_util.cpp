@@ -5,6 +5,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <vector>
@@ -257,6 +258,24 @@ TEST(Threading, ZeroCountIsNoop) {
   bool ran = false;
   parallel_for(0, [&](std::size_t) { ran = true; }, 4);
   EXPECT_FALSE(ran);
+}
+
+TEST(Threading, StreamkWorkersEnvOverridesDefault) {
+  ASSERT_EQ(setenv("STREAMK_WORKERS", "3", 1), 0);
+  EXPECT_EQ(default_workers(), 3u);
+  // Oversubscription beyond hardware_threads() is honored on purpose.
+  ASSERT_EQ(setenv("STREAMK_WORKERS", "64", 1), 0);
+  EXPECT_EQ(default_workers(), 64u);
+  unsetenv("STREAMK_WORKERS");
+  EXPECT_EQ(default_workers(), hardware_threads());
+}
+
+TEST(Threading, StreamkWorkersEnvIgnoresInvalidValues) {
+  for (const char* bad : {"0", "-2", "abc", "2x", ""}) {
+    ASSERT_EQ(setenv("STREAMK_WORKERS", bad, 1), 0);
+    EXPECT_EQ(default_workers(), hardware_threads()) << "value: " << bad;
+  }
+  unsetenv("STREAMK_WORKERS");
 }
 
 }  // namespace

@@ -1,0 +1,256 @@
+// streamk_tune: offline driver for the empirical tuner.
+//
+//   streamk_tune tune  [--db FILE] [--shape MxNxK]... [--corpus N]
+//                      [--precision fp64|fp32|fp16] [--reps R] [--top-k K]
+//     Measures the budgeted search space for every requested shape on this
+//     host and merges the winners into FILE (load -> tune -> locked
+//     merge_save, so concurrent tuners sharing one file compose
+//     keep-fastest without losing each other's records).
+//
+//   streamk_tune print [--db FILE]
+//     Dumps the database as a table.
+//
+//   streamk_tune ab    [--db FILE] [--shape MxNxK]... [--corpus N]
+//                      [--precision ...] [--reps R]
+//     A/B: re-measures each db shape under heuristic-only dispatch
+//     (Schedule::kAuto with an empty global db) vs. the tuned config, and
+//     reports per-shape and geomean speedups.
+//
+// Point STREAMK_TUNING_DB at FILE to make library dispatch consume the
+// result (see tuner/dispatch.hpp).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bencher/table.hpp"
+#include "corpus/corpus.hpp"
+#include "cpu/gemm.hpp"
+#include "tuner/dispatch.hpp"
+#include "tuner/tuner.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace streamk;
+
+struct CliOptions {
+  std::string command;
+  std::string db_path = "streamk_tuning.csv";
+  std::vector<core::GemmShape> shapes;
+  std::size_t corpus = 0;
+  gpu::Precision precision = gpu::Precision::kFp64;
+  int reps = 3;
+  std::size_t top_k = 12;
+};
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: streamk_tune <tune|print|ab> [--db FILE] [--shape MxNxK]...\n"
+         "                    [--corpus N] [--precision fp64|fp32|fp16]\n"
+         "                    [--reps R] [--top-k K]\n";
+  std::exit(2);
+}
+
+core::GemmShape parse_shape(const std::string& token) {
+  core::GemmShape shape;
+  char sep1 = 0;
+  char sep2 = 0;
+  std::istringstream is(token);
+  is >> shape.m >> sep1 >> shape.n >> sep2 >> shape.k;
+  // get() must hit EOF: trailing junk ("96x96x128x512") means the user
+  // asked for something this parser does not express.
+  if (!is || is.get() != EOF || sep1 != 'x' || sep2 != 'x' ||
+      !shape.valid()) {
+    std::cerr << "streamk_tune: bad --shape '" << token
+              << "' (want MxNxK, e.g. 256x256x512)\n";
+    std::exit(2);
+  }
+  return shape;
+}
+
+/// Full-string numeric parse; anything else (including trailing junk like
+/// "12x") prints usage instead of an unhandled std::stoi exception.
+long long parse_number(const std::string& token) {
+  std::size_t consumed = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(token, &consumed);
+  } catch (const std::exception&) {
+    usage();
+  }
+  if (consumed != token.size() || v < 0) usage();
+  return v;
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  if (argc < 2) usage();
+  CliOptions cli;
+  cli.command = argv[1];
+  if (cli.command != "tune" && cli.command != "print" && cli.command != "ab") {
+    usage();
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--db") {
+      cli.db_path = value();
+    } else if (arg == "--shape") {
+      cli.shapes.push_back(parse_shape(value()));
+    } else if (arg == "--corpus") {
+      cli.corpus = static_cast<std::size_t>(parse_number(value()));
+    } else if (arg == "--precision") {
+      const std::string p = value();
+      if (p == "fp64") {
+        cli.precision = gpu::Precision::kFp64;
+      } else if (p == "fp32") {
+        cli.precision = gpu::Precision::kFp32;
+      } else if (p == "fp16") {
+        cli.precision = gpu::Precision::kFp16F32;
+      } else {
+        usage();
+      }
+    } else if (arg == "--reps") {
+      cli.reps = static_cast<int>(parse_number(value()));
+    } else if (arg == "--top-k") {
+      cli.top_k = static_cast<std::size_t>(parse_number(value()));
+    } else {
+      usage();
+    }
+  }
+  return cli;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// The shapes to operate on: explicit --shape list, then --corpus N corpus
+/// shapes scaled into CPU-tractable sizes (the paper corpus spans up to
+/// 8192^3, which is no place for a host CPU tuner; divide extents by 16 and
+/// floor at one tile).
+std::vector<core::GemmShape> requested_shapes(const CliOptions& cli) {
+  std::vector<core::GemmShape> shapes = cli.shapes;
+  if (cli.corpus > 0) {
+    for (const core::GemmShape& s : corpus::Corpus::paper(cli.corpus).shapes()) {
+      shapes.push_back({std::max<std::int64_t>(s.m / 16, 16),
+                        std::max<std::int64_t>(s.n / 16, 16),
+                        std::max<std::int64_t>(s.k / 16, 16)});
+    }
+  }
+  return shapes;
+}
+
+int run_tune(const CliOptions& cli) {
+  const std::vector<core::GemmShape> shapes = requested_shapes(cli);
+  if (shapes.empty()) {
+    std::cerr << "streamk_tune tune: no shapes (--shape or --corpus)\n";
+    return 2;
+  }
+
+  tuner::TuningDb db;
+  if (file_exists(cli.db_path)) {
+    std::cout << "loaded " << db.load(cli.db_path) << " records from "
+              << cli.db_path << "\n";
+  }
+
+  tuner::TuneOptions options;
+  options.repetitions = cli.reps;
+  options.space.top_k = cli.top_k;
+  const std::size_t tuned =
+      tuner::tune_corpus(shapes, cli.precision, db, options);
+
+  // Serialized contribute: merge what landed on disk while we measured and
+  // save the union under the db's advisory lock, so concurrent tuners
+  // sharing this file never lose each other's records.
+  db.merge_save(cli.db_path);
+  std::cout << "tuned " << tuned << " new shape(s); " << db.size()
+            << " record(s) saved to " << cli.db_path << "\n";
+  return 0;
+}
+
+int run_print(const CliOptions& cli) {
+  tuner::TuningDb db;
+  db.load(cli.db_path);
+  bencher::TextTable table(
+      {"shape", "precision", "config", "seconds", "GFLOP/s"});
+  for (const auto& [key, record] : db.snapshot()) {
+    table.row({key.shape.to_string(), std::string(gpu::name(key.precision)),
+               record.config.to_string(), bencher::fmt_num(record.seconds, 6),
+               bencher::fmt_num(record.gflops, 2)});
+  }
+  std::cout << table.render() << db.size() << " record(s) in " << cli.db_path
+            << "\n";
+  return 0;
+}
+
+int run_ab(const CliOptions& cli) {
+  tuner::TuningDb db;
+  db.load(cli.db_path);
+  std::vector<core::GemmShape> shapes = requested_shapes(cli);
+  if (shapes.empty()) {
+    for (const auto& [key, record] : db.snapshot()) {
+      if (key.precision == cli.precision) shapes.push_back(key.shape);
+    }
+  }
+  if (shapes.empty()) {
+    std::cerr << "streamk_tune ab: no shapes in db for precision\n";
+    return 2;
+  }
+
+  util::check(tuner::global_tuning_db().size() == 0,
+              "streamk_tune ab: unset STREAMK_TUNING_DB (the heuristic side "
+              "must dispatch untuned)");
+
+  bencher::TextTable table(
+      {"shape", "heuristic s", "tuned s", "speedup", "tuned config"});
+  double log_sum = 0.0;
+  std::size_t measured = 0;
+  for (const core::GemmShape& shape : shapes) {
+    const auto record = db.lookup({shape, cli.precision});
+    if (!record) continue;
+    const tuner::AbResult ab =
+        tuner::ab_measure(shape, cli.precision, record->config, cli.reps);
+    table.row({shape.to_string(), bencher::fmt_num(ab.heuristic_seconds, 6),
+               bencher::fmt_num(ab.tuned_seconds, 6),
+               bencher::fmt_num(ab.speedup, 3),
+               record->config.to_string()});
+    if (ab.speedup <= 0.0) continue;  // degenerate timing: keep it out of
+                                      // the geomean
+    log_sum += std::log(ab.speedup);
+    ++measured;
+  }
+  std::cout << table.render();
+  if (measured > 0) {
+    std::cout << "geomean tuned-vs-heuristic speedup over " << measured
+              << " shape(s): "
+              << bencher::fmt_num(
+                     std::exp(log_sum / static_cast<double>(measured)), 3)
+              << "x\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = parse_cli(argc, argv);
+  try {
+    if (cli.command == "tune") return run_tune(cli);
+    if (cli.command == "print") return run_print(cli);
+    return run_ab(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "streamk_tune: " << e.what() << "\n";
+    return 1;
+  }
+}
