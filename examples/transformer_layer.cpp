@@ -5,19 +5,24 @@
 // Walks the matrix products of one decoder layer at a given batch of token
 // positions and hidden size, runs each on the simulated A100 under both the
 // data-parallel baseline and the Stream-K library, and executes a scaled-
-// down version on the CPU path to verify numerics end to end.  The
+// down version on the CPU path to verify numerics end to end -- with the
+// layer's bias + GELU fused into the GEMM epilogue the way transformer
+// serving kernels do, instead of a second pass over the activations.  The
 // attention-projection GEMMs at small batch are exactly the strong-scaling
 // shapes where Stream-K shines.
 //
 //   $ ./transformer_layer [tokens] [hidden]
 
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "bencher/table.hpp"
 #include "cpu/gemm.hpp"
 #include "cpu/reference.hpp"
 #include "ensemble/library.hpp"
+#include "epilogue/epilogue.hpp"
 
 namespace {
 
@@ -75,9 +80,12 @@ int main(int argc, char** argv) {
             << bencher::fmt_seconds(layer_sk) << "  ("
             << bencher::fmt_ratio(layer_dp / layer_sk) << ")\n";
 
-  // Scaled-down functional check of the same shapes on the CPU executor.
+  // Scaled-down functional check of the same shapes on the CPU executor,
+  // with the layer's per-output-feature bias and GELU fused into the
+  // epilogue (one pass over the activations, applied once per element at
+  // tile-store / post-fixup time).
   std::cout << "\nnumerical verification (scaled 1/16, FP16 inputs, FP32 "
-               "accumulate):\n";
+               "accumulate, fused bias+GELU epilogue):\n";
   for (const LayerGemm& g : gemms) {
     const core::GemmShape small{std::max<std::int64_t>(1, g.shape.m / 16),
                                 std::max<std::int64_t>(1, g.shape.n / 16),
@@ -87,18 +95,32 @@ int main(int argc, char** argv) {
     util::Pcg32 rng(small.m * 7 + small.n);
     cpu::fill_random(a, rng, -0.25, 0.25);
     cpu::fill_random(b, rng, -0.25, 0.25);
+    std::vector<double> bias(static_cast<std::size_t>(small.n));
+    for (double& v : bias) v = rng.uniform(-0.5, 0.5);
 
     cpu::Matrix<float> c(small.m, small.n);
-    const cpu::GemmReport report = cpu::gemm(a, b, c, {.workers = 2});
+    cpu::GemmOptions options;
+    options.workers = 2;
+    options.epilogue.ops = {epilogue::EpilogueOp::bias_col(),
+                            epilogue::EpilogueOp::gelu()};
+    options.epilogue.bias_col = bias;
+    const cpu::GemmReport report = cpu::gemm(a, b, c, options);
 
     cpu::Matrix<float> expected(small.m, small.n);
     cpu::naive_gemm<util::Half, float, float>(a, b, expected);
     double worst = 0.0;
     for (std::int64_t i = 0; i < small.m; ++i) {
       for (std::int64_t j = 0; j < small.n; ++j) {
-        worst = std::max(worst, std::abs(static_cast<double>(c.at(i, j)) -
-                                         static_cast<double>(
-                                             expected.at(i, j))));
+        // Independent bias + tanh-approximation GELU on the reference.
+        const double x =
+            static_cast<double>(expected.at(i, j)) +
+            bias[static_cast<std::size_t>(j)];
+        const double want =
+            0.5 * x *
+            (1.0 +
+             std::tanh(0.7978845608028654 * (x + 0.044715 * x * x * x)));
+        worst = std::max(worst,
+                         std::abs(static_cast<double>(c.at(i, j)) - want));
       }
     }
     const bool ok = worst < 1e-4 * static_cast<double>(small.k);

@@ -7,6 +7,7 @@
 #include "core/schedule_plan.hpp"
 #include "cpu/decomposed_runner.hpp"
 #include "cpu/mac_loop.hpp"
+#include "epilogue/apply.hpp"
 #include "runtime/gemm_runtime.hpp"
 #include "util/threading.hpp"
 
@@ -111,6 +112,19 @@ void execute_conv_plan(const core::SchedulePlan& plan, const ConvShape& conv,
 
   const gpu::BlockShape& blk = mapping.block();
 
+  // Fused bias + activation, MIOpen-style: bias_col is the per-output-
+  // channel bias (the implicit GEMM's n axis is out_channels) and any
+  // pointwise op may follow.  Row-indexed ops and the residual add are
+  // rejected -- the implicit A operand's rows are gathered output pixels,
+  // which no user-held matrix addresses row-major.
+  const epilogue::EpiloguePlanPtr eplan = plan.epilogue_plan(options.epilogue);
+  util::check(!eplan->has_row_indexed() && !eplan->needs_residual(),
+              "convolution supports only per-channel bias (bias_col) and "
+              "pointwise epilogue ops");
+  epilogue::check_bindings(*eplan, options.epilogue, mapping.shape().m,
+                           mapping.shape().n,
+                           epilogue::tensor_type_of<Out>());
+
   cpu::run_decomposed<Acc>(
       plan, blk.tile_elements(),
       [&](const core::TileSegment& seg, std::span<Acc> accum,
@@ -150,7 +164,9 @@ void execute_conv_plan(const core::SchedulePlan& plan, const ConvShape& conv,
         }
       },
       [&](std::int64_t tile_idx, std::span<const Acc> accum) {
-        // Epilogue: scatter the tile to NHWC output pixels.
+        // Epilogue: scale + fused chain, scattered to NHWC output pixels
+        // (each pixel's channel run is contiguous, so a tile row maps to
+        // one apply_row call).
         const core::TileCoord coord = mapping.tile_coord(tile_idx);
         const std::int64_t mm = coord.tm * blk.m;
         const std::int64_t nn = coord.tn * blk.n;
@@ -160,13 +176,11 @@ void execute_conv_plan(const core::SchedulePlan& plan, const ConvShape& conv,
           const OutputPixel px = output_pixel(conv, mm + i);
           const Acc* acc_row =
               accum.data() + static_cast<std::size_t>(i * blk.n);
-          for (std::int64_t j = 0; j < en; ++j) {
-            const Acc scaled =
-                static_cast<Acc>(options.alpha) * acc_row[j] +
-                static_cast<Acc>(options.beta) *
-                    static_cast<Acc>(output.at(px.n, px.p, px.q, nn + j));
-            output.at(px.n, px.p, px.q, nn + j) = static_cast<Out>(scaled);
-          }
+          Out* out_row = &output.at(px.n, px.p, px.q, nn);
+          epilogue::apply_row<Acc, Out>(*eplan, options.epilogue,
+                                        options.alpha, options.beta, mm + i,
+                                        nn, en, mapping.shape().n, acc_row,
+                                        out_row);
         }
       },
       options);
@@ -214,6 +228,7 @@ cpu::GemmReport conv_forward_blocking(const ConvShape& conv,
   exec.workers = workers;
   exec.alpha = options.alpha;
   exec.beta = options.beta;
+  exec.epilogue = options.epilogue;
 
   const auto start = std::chrono::steady_clock::now();
   execute_conv_plan<In, Acc, Out>(*plan, conv, input, filter, output, exec);

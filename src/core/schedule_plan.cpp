@@ -1,17 +1,49 @@
 #include "core/schedule_plan.hpp"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "util/check.hpp"
 
 namespace streamk::core {
 
+/// Keyed on the op chain itself -- the compiled plan depends only on
+/// structure, never on bindings.  A linear scan over the few distinct
+/// chains ever attached to one schedule beats hashing: the steady-state
+/// probe is a shared-lock acquire plus a short vector compare, with no
+/// string construction or allocation.
+struct SchedulePlan::EpilogueMemo {
+  /// Memoization stops beyond this many distinct chains: a caller varying
+  /// op immediates per request (e.g. a dynamic clamp bound) would other-
+  /// wise grow an immortal plan's memo and its linear probe without bound.
+  /// Past the cap such chains just recompile per call, which is cheap.
+  static constexpr std::size_t kMaxEntries = 64;
+
+  std::shared_mutex mutex;
+  std::vector<std::pair<std::vector<epilogue::EpilogueOp>,
+                        epilogue::EpiloguePlanPtr>>
+      entries;
+
+  epilogue::EpiloguePlanPtr find(std::span<const epilogue::EpilogueOp> ops) {
+    for (const auto& [chain, plan] : entries) {
+      if (chain.size() == ops.size() &&
+          std::equal(chain.begin(), chain.end(), ops.begin())) {
+        return plan;
+      }
+    }
+    return nullptr;
+  }
+};
+
 SchedulePlan::SchedulePlan(const Decomposition& decomposition)
     : kind_(decomposition.kind()),
       name_(decomposition.name()),
       mapping_(decomposition.mapping()),
-      grid_(decomposition.grid_size()) {
+      grid_(decomposition.grid_size()),
+      epilogue_memo_(std::make_shared<EpilogueMemo>()) {
   util::check(grid_ >= 1, "empty grid");
   const std::int64_t tiles = mapping_.tiles();
 
@@ -126,6 +158,30 @@ void SchedulePlan::check_runnable() const {
   util::check(!missing_owner_, "tile has no owning CTA");
   util::check(!duplicate_owner_, "tile has two owning CTAs");
   util::check(!double_spill_, "CTA spills twice");
+}
+
+epilogue::EpiloguePlanPtr SchedulePlan::epilogue_plan(
+    const epilogue::EpilogueSpec& spec) const {
+  if (spec.empty()) return epilogue::identity_plan();
+  {
+    std::shared_lock lock(epilogue_memo_->mutex);
+    if (auto plan = epilogue_memo_->find(spec.ops)) return plan;
+    // At cap there is nothing to insert: recompile without serializing
+    // concurrent submitters on the exclusive lock.
+    if (epilogue_memo_->entries.size() >= EpilogueMemo::kMaxEntries) {
+      lock.unlock();
+      return epilogue::compile(spec.ops);
+    }
+  }
+  std::unique_lock lock(epilogue_memo_->mutex);
+  if (auto plan = epilogue_memo_->find(spec.ops)) return plan;
+  epilogue::EpiloguePlanPtr compiled = epilogue::compile(spec.ops);
+  if (epilogue_memo_->entries.size() < EpilogueMemo::kMaxEntries) {
+    epilogue_memo_->entries.emplace_back(
+        std::vector<epilogue::EpilogueOp>(spec.ops.begin(), spec.ops.end()),
+        compiled);
+  }
+  return compiled;
 }
 
 SchedulePlan compile_plan(const Decomposition& decomposition) {

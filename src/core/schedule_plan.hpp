@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/decomposition.hpp"
+#include "epilogue/epilogue.hpp"
 #include "gpu/gpu_spec.hpp"
 
 namespace streamk::core {
@@ -133,6 +134,16 @@ class SchedulePlan {
   /// pre-plan FixupTable / FixupWorkspace constructors provided.
   void check_runnable() const;
 
+  /// The compiled epilogue attached to this plan for `spec`'s op chain:
+  /// compiles + validates on first use and memoizes per epilogue class
+  /// (thread-safe; copies of the plan share one memo).  A steady-state
+  /// fused call pays a shared-lock acquire plus a short op-chain compare
+  /// -- no allocation, no recompile.  The chain's data bindings are
+  /// deliberately *not*
+  /// captured -- plans are shared across calls, bindings are per call.
+  epilogue::EpiloguePlanPtr epilogue_plan(
+      const epilogue::EpilogueSpec& spec) const;
+
  private:
   DecompositionKind kind_;
   std::string name_;
@@ -160,6 +171,12 @@ class SchedulePlan {
   bool missing_owner_ = false;
   bool duplicate_owner_ = false;
   bool double_spill_ = false;
+
+  /// Per-class memo behind epilogue_plan(); held by shared_ptr so the plan
+  /// stays movable/copyable (a mutex member would pin it) and copies share
+  /// the compiled chains.
+  struct EpilogueMemo;
+  std::shared_ptr<EpilogueMemo> epilogue_memo_;
 };
 
 /// Compiles the entire decomposition into a SchedulePlan (one cta_work()

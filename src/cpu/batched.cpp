@@ -9,6 +9,7 @@
 #include "cpu/decomposed_runner.hpp"
 #include "cpu/mac_loop.hpp"
 #include "cpu/reference.hpp"
+#include "epilogue/apply.hpp"
 #include "runtime/gemm_runtime.hpp"
 #include "util/threading.hpp"
 
@@ -67,25 +68,24 @@ void batched_mac_segment(const Matrix<In>& a, const Matrix<In>& b,
   }
 }
 
+/// Epilogue for one batch entry's tile.  Row-indexed epilogue bindings
+/// (bias_row, reductions) are indexed by the *stacked* global row
+/// `entry * m + i`, so one spec covers the whole batch; the output pointer
+/// is entry-local.
 template <typename Acc, typename Out>
-void batched_store_tile(const core::GemmShape& shape,
+void batched_store_tile(const epilogue::EpiloguePlan& eplan,
+                        const core::GemmShape& shape,
                         const gpu::BlockShape& blk, const BatchedTile& tile,
                         std::span<const Acc> accum, Matrix<Out>& c,
-                        double alpha, double beta) {
+                        const ExecutorOptions& options) {
   const std::int64_t mm = tile.local_tm * blk.m;
   const std::int64_t nn = tile.tn * blk.n;
   const std::int64_t em = std::min(blk.m, shape.m - mm);
   const std::int64_t en = std::min(blk.n, shape.n - nn);
-  for (std::int64_t i = 0; i < em; ++i) {
-    Out* c_row = c.row_ptr(mm + i) + nn;
-    const Acc* acc_row = accum.data() + static_cast<std::size_t>(i * blk.n);
-    for (std::int64_t j = 0; j < en; ++j) {
-      const Acc scaled = static_cast<Acc>(alpha) * acc_row[j] +
-                         static_cast<Acc>(beta) *
-                             static_cast<Acc>(c_row[j]);
-      c_row[j] = static_cast<Out>(scaled);
-    }
-  }
+  epilogue::apply_tile<Acc, Out>(
+      eplan, options.epilogue, options.alpha, options.beta,
+      tile.entry * shape.m + mm, nn, em, en, shape.n, accum.data(), blk.n,
+      c.row_ptr(mm) + nn, c.cols());
 }
 
 }  // namespace
@@ -112,6 +112,15 @@ void execute_batched_plan(const core::SchedulePlan& plan,
                   batched_mapping(batched, blk).shape(),
               "plan was not built over batched_mapping");
 
+  const epilogue::EpiloguePlanPtr eplan = plan.epilogue_plan(options.epilogue);
+  util::check(!eplan->needs_residual(),
+              "batched GEMM does not support the residual epilogue op "
+              "(one D matrix cannot address every batch entry)");
+  // Row-indexed bindings span the stacked batch * m rows.
+  epilogue::check_bindings(*eplan, options.epilogue,
+                           batched.batch * batched.shape.m, batched.shape.n,
+                           epilogue::tensor_type_of<Out>());
+
   run_decomposed<Acc>(
       plan, blk.tile_elements(),
       [&](const core::TileSegment& seg, std::span<Acc> accum,
@@ -123,9 +132,9 @@ void execute_batched_plan(const core::SchedulePlan& plan,
       },
       [&](std::int64_t tile_idx, std::span<const Acc> accum) {
         const BatchedTile tile = batched_tile(batched, blk, tile_idx);
-        batched_store_tile<Acc, Out>(batched.shape, blk, tile, accum,
+        batched_store_tile<Acc, Out>(*eplan, batched.shape, blk, tile, accum,
                                      cs[static_cast<std::size_t>(tile.entry)],
-                                     options.alpha, options.beta);
+                                     options);
       },
       options);
 }
@@ -180,6 +189,7 @@ GemmReport batched_gemm_blocking(std::span<const Matrix<In>> as,
   exec.workers = workers;
   exec.alpha = options.alpha;
   exec.beta = options.beta;
+  exec.epilogue = options.epilogue;
 
   const auto start = std::chrono::steady_clock::now();
   execute_batched_plan<In, Acc, Out>(*plan, batched, as, bs, cs, exec);

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "cpu/decomposed_runner.hpp"
+#include "epilogue/apply.hpp"
 #include "runtime/gemm_runtime.hpp"
 
 namespace streamk::cpu {
@@ -61,6 +62,11 @@ void execute_views_plan(const core::SchedulePlan& plan,
               "C does not conform to the decomposition");
   const gpu::BlockShape& blk = mapping.block();
 
+  const epilogue::EpiloguePlanPtr eplan = plan.epilogue_plan(options.epilogue);
+  epilogue::check_bindings(*eplan, options.epilogue, mapping.shape().m,
+                           mapping.shape().n,
+                           epilogue::tensor_type_of<Out>());
+
   run_decomposed<Acc>(
       plan, blk.tile_elements(),
       [&](const core::TileSegment& seg, std::span<Acc> accum,
@@ -71,19 +77,11 @@ void execute_views_plan(const core::SchedulePlan& plan,
         const core::TileCoord coord = mapping.tile_coord(tile_idx);
         const std::int64_t mm = coord.tm * blk.m;
         const std::int64_t nn = coord.tn * blk.n;
-        const std::int64_t em = mapping.tile_extent_m(coord.tm);
-        const std::int64_t en = mapping.tile_extent_n(coord.tn);
-        for (std::int64_t i = 0; i < em; ++i) {
-          Out* c_row = c.row_ptr(mm + i) + nn;
-          const Acc* acc_row =
-              accum.data() + static_cast<std::size_t>(i * blk.n);
-          for (std::int64_t j = 0; j < en; ++j) {
-            const Acc scaled =
-                static_cast<Acc>(options.alpha) * acc_row[j] +
-                static_cast<Acc>(options.beta) * static_cast<Acc>(c_row[j]);
-            c_row[j] = static_cast<Out>(scaled);
-          }
-        }
+        epilogue::apply_tile<Acc, Out>(
+            *eplan, options.epilogue, options.alpha, options.beta, mm, nn,
+            mapping.tile_extent_m(coord.tm), mapping.tile_extent_n(coord.tn),
+            mapping.shape().n, accum.data(), blk.n, c.row_ptr(mm) + nn,
+            c.cols());
       },
       options);
 }
@@ -126,6 +124,7 @@ GemmReport blas_impl(Trans trans_a, Trans trans_b, double alpha,
   exec.workers = workers;
   exec.alpha = alpha;
   exec.beta = beta;
+  exec.epilogue = options.epilogue;
 
   const auto start = std::chrono::steady_clock::now();
   execute_views_plan<In, Acc, Out>(*plan, va, vb, c, exec);

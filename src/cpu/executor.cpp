@@ -8,36 +8,9 @@
 #include "cpu/mac_loop.hpp"
 #include "cpu/reference.hpp"
 #include "cpu/workspace.hpp"
+#include "epilogue/apply.hpp"
 
 namespace streamk::cpu {
-
-namespace {
-
-/// Stores accum into the valid region of C with alpha/beta scaling.
-template <typename Acc, typename Out>
-void store_tile(const core::WorkMapping& mapping, std::int64_t tile_idx,
-                std::span<const Acc> accum, Matrix<Out>& c, double alpha,
-                double beta) {
-  const gpu::BlockShape& blk = mapping.block();
-  const core::TileCoord coord = mapping.tile_coord(tile_idx);
-  const std::int64_t mm = coord.tm * blk.m;
-  const std::int64_t nn = coord.tn * blk.n;
-  const std::int64_t em = mapping.tile_extent_m(coord.tm);
-  const std::int64_t en = mapping.tile_extent_n(coord.tn);
-
-  for (std::int64_t i = 0; i < em; ++i) {
-    Out* c_row = c.row_ptr(mm + i) + nn;
-    const Acc* acc_row = accum.data() + static_cast<std::size_t>(i * blk.n);
-    for (std::int64_t j = 0; j < en; ++j) {
-      const Acc scaled =
-          static_cast<Acc>(alpha) * acc_row[j] +
-          static_cast<Acc>(beta) * static_cast<Acc>(c_row[j]);
-      c_row[j] = static_cast<Out>(scaled);
-    }
-  }
-}
-
-}  // namespace
 
 template <typename In, typename Acc, typename Out>
 void execute_plan(const core::SchedulePlan& plan, const Matrix<In>& a,
@@ -48,6 +21,10 @@ void execute_plan(const core::SchedulePlan& plan, const Matrix<In>& a,
   util::check(shape == mapping.shape(),
               "matrices do not match the plan's GEMM shape");
 
+  const epilogue::EpiloguePlanPtr eplan = plan.epilogue_plan(options.epilogue);
+  epilogue::check_bindings(*eplan, options.epilogue, shape.m, shape.n,
+                           epilogue::tensor_type_of<Out>());
+
   run_decomposed<Acc>(
       plan, mapping.block().tile_elements(),
       [&](const core::TileSegment& seg, std::span<Acc> accum,
@@ -55,8 +32,14 @@ void execute_plan(const core::SchedulePlan& plan, const Matrix<In>& a,
         run_mac_segment<In, Acc>(a, b, mapping, seg, accum, scratch);
       },
       [&](std::int64_t tile_idx, std::span<const Acc> accum) {
-        store_tile<Acc, Out>(mapping, tile_idx, accum, c, options.alpha,
-                             options.beta);
+        const gpu::BlockShape& blk = mapping.block();
+        const core::TileCoord coord = mapping.tile_coord(tile_idx);
+        const std::int64_t mm = coord.tm * blk.m;
+        const std::int64_t nn = coord.tn * blk.n;
+        epilogue::apply_tile<Acc, Out>(
+            *eplan, options.epilogue, options.alpha, options.beta, mm, nn,
+            mapping.tile_extent_m(coord.tm), mapping.tile_extent_n(coord.tn),
+            shape.n, accum.data(), blk.n, c.row_ptr(mm) + nn, c.cols());
       },
       options);
 }

@@ -22,6 +22,7 @@
 
 #include "core/decomposition.hpp"
 #include "cpu/matrix.hpp"
+#include "epilogue/epilogue.hpp"
 
 namespace streamk::core {
 class SchedulePlan;
@@ -34,6 +35,11 @@ struct ExecutorOptions {
   std::size_t workers = 0;
   double alpha = 1.0;
   double beta = 0.0;
+  /// Fused output-transform chain, applied exactly once per output element
+  /// by the tile owner's store (solo tiles at tile-store time, split tiles
+  /// at the post-fixup reconciliation point) -- see epilogue/epilogue.hpp.
+  /// The alpha/beta scale above is stage zero of the same code path.
+  epilogue::EpilogueSpec epilogue;
 };
 
 /// Executes a compiled plan over real matrices: C = alpha * A.B + beta * C.

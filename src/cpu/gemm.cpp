@@ -83,6 +83,7 @@ GemmReport gemm_impl(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
   exec.workers = workers;
   exec.alpha = options.alpha;
   exec.beta = options.beta;
+  exec.epilogue = options.epilogue;
 
   const auto start = std::chrono::steady_clock::now();
   execute_plan<In, Acc, Out>(*plan, a, b, c, exec);
@@ -109,7 +110,8 @@ GemmOptions apply_tuned_dispatch(const core::GemmShape& shape,
     return options;  // caller pinned a schedule or tile: respect it
   }
   const std::optional<tuner::TunedConfig> tuned = tuner::tuned_dispatch(
-      shape, precision,
+      shape, precision, std::span<const epilogue::EpilogueOp>(
+                            options.epilogue.ops),
       allow_background_find ? tuner::DispatchFind::kAllowed
                             : tuner::DispatchFind::kLookupOnly);
   if (!tuned) return options;

@@ -17,6 +17,7 @@
 #include "core/decomposition.hpp"
 #include "cpu/executor.hpp"
 #include "cpu/matrix.hpp"
+#include "epilogue/epilogue.hpp"
 #include "gpu/block_shape.hpp"
 #include "gpu/gpu_spec.hpp"
 
@@ -43,6 +44,13 @@ struct GemmOptions {
   std::size_t workers = 0; ///< 0 = hardware concurrency
   double alpha = 1.0;
   double beta = 0.0;
+  /// Fused epilogue chain (bias, activation, residual add, per-row
+  /// reductions), applied exactly once per output element at tile-store /
+  /// post-fixup time instead of a second pass over C.  Structure plus
+  /// non-owning bindings; bindings follow operand lifetime rules (they
+  /// must outlive the call, including async submissions).  See
+  /// epilogue/epilogue.hpp.
+  epilogue::EpilogueSpec epilogue;
 };
 
 struct GemmReport {
@@ -74,8 +82,11 @@ core::DecompositionSpec resolve_schedule(const GemmOptions& options,
 /// `allow_background_find` is false: front ends whose key approximates
 /// their real mapping (batched on the stacked shape, conv on the
 /// implicit-GEMM shape) consult the db but never auto-tune the key, since
-/// the find job would measure a plain GEMM instead.  Caller-chosen
-/// tile_order, alpha, and beta are always preserved.
+/// the find job would measure a plain GEMM instead.  The database key also
+/// carries the epilogue *class* (options.epilogue's canonical op-chain
+/// fingerprint), so a winner measured unfused is never served to a fused
+/// call or vice versa.  Caller-chosen tile_order, alpha, beta, and the
+/// epilogue chain itself are always preserved.
 GemmOptions apply_tuned_dispatch(const core::GemmShape& shape,
                                  gpu::Precision precision, GemmOptions options,
                                  bool allow_background_find = true);

@@ -1,0 +1,367 @@
+#pragma once
+
+// The one output-scaling + epilogue code path.
+//
+// Every execution substrate's store functor (plain GEMM, transposed BLAS
+// views, batched GEMM, implicit-GEMM convolution) terminates here: apply a
+// compiled EpiloguePlan to the accumulator tile in-register -- alpha/beta
+// scale first (the scaling loop that used to be hand-rolled per substrate),
+// then the chain ops in order -- and store the result.  Because these
+// appliers run only from the tile owner's store (solo tiles at tile end,
+// split tiles after fixup reduction), each output element passes through
+// the chain exactly once; see epilogue/epilogue.hpp for the invariant.
+//
+// Per-row reductions accumulate locally across the row and merge into the
+// caller's output vector with one atomic CAS-loop update per (tile, row) --
+// a row of C spans every tile column, so tiles merging into the same row
+// element may race.  Reduction results are exact for integer-valued data
+// and last-bit order-dependent otherwise (documented on EpilogueSpec).
+//
+// apply_elementwise() is the *two-pass* formulation of the same chain (a
+// second sweep over an already-scaled C), kept for A/B benching
+// (bench/bench_epilogue.cpp) and as the reference the property tests
+// compare the fused path against.
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+#include "epilogue/epilogue.hpp"
+#include "util/check.hpp"
+#include "util/threading.hpp"
+
+namespace streamk::epilogue {
+
+namespace detail {
+
+/// Lock-free read-modify-write helpers for the reduction outputs.  CAS
+/// loops instead of std::atomic<double>::fetch_add so no libatomic or
+/// hardware FP-atomic support is assumed.
+inline void atomic_max(double* target, double value) {
+  std::atomic_ref<double> ref(*target);
+  double current = ref.load(std::memory_order_relaxed);
+  while (current < value &&
+         !ref.compare_exchange_weak(current, value,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_add(double* target, double value) {
+  if (value == 0.0) return;
+  std::atomic_ref<double> ref(*target);
+  double current = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(current, current + value,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+template <typename Acc>
+inline Acc gelu(Acc v) {
+  // tanh-approximation GELU (the form fused into transformer kernels).
+  const Acc kSqrt2OverPi = static_cast<Acc>(0.7978845608028654);
+  const Acc kCubic = static_cast<Acc>(0.044715);
+  return static_cast<Acc>(0.5) * v *
+         (static_cast<Acc>(1) +
+          std::tanh(kSqrt2OverPi * (v + kCubic * v * v * v)));
+}
+
+template <typename Acc>
+inline Acc sigmoid(Acc v) {
+  return static_cast<Acc>(1) / (static_cast<Acc>(1) + std::exp(-v));
+}
+
+}  // namespace detail
+
+namespace detail {
+
+/// Elements staged per chunk: one cache-line-friendly stack buffer that an
+/// op's loop sweeps before the next op runs.  Staging per *op* rather than
+/// per *element* is what makes the chain cheap -- each case below is a
+/// branch-free loop over the chunk the compiler vectorizes, instead of an
+/// op-switch inside the element loop (~6x slower measured).
+constexpr std::int64_t kRowChunk = 256;
+
+/// One-loop bias+activation row: c[j] = act(a*acc[j] [+ b*c[j]] [+ bias[j]]).
+/// The four branch-hoisted variants keep each loop body straight-line so it
+/// vectorizes.
+template <typename Acc, typename Out, typename Act>
+inline void bias_act_row(Acc a, Acc b, bool read_c, const double* bias,
+                         const Acc* acc, Out* c, std::int64_t en, Act act) {
+  if (read_c) {
+    if (bias != nullptr) {
+      for (std::int64_t j = 0; j < en; ++j) {
+        c[j] = static_cast<Out>(act(a * acc[j] + b * static_cast<Acc>(c[j]) +
+                                    static_cast<Acc>(bias[j])));
+      }
+    } else {
+      for (std::int64_t j = 0; j < en; ++j) {
+        c[j] = static_cast<Out>(
+            act(a * acc[j] + b * static_cast<Acc>(c[j])));
+      }
+    }
+  } else {
+    if (bias != nullptr) {
+      for (std::int64_t j = 0; j < en; ++j) {
+        c[j] = static_cast<Out>(act(a * acc[j] + static_cast<Acc>(bias[j])));
+      }
+    } else {
+      for (std::int64_t j = 0; j < en; ++j) {
+        c[j] = static_cast<Out>(act(a * acc[j]));
+      }
+    }
+  }
+}
+
+/// The one activation-kind dispatch for the bias+activation pattern:
+/// invokes `run` with the pattern's pointwise op as a callable.  Shared by
+/// the row and tile fast paths so an op's scalar form exists exactly once.
+template <typename Acc, typename Run>
+inline void with_bias_act(const EpiloguePlan::BiasActPattern& fast,
+                          Run&& run) {
+  switch (fast.has_act ? fast.act.kind : OpKind::kBiasCol) {
+    case OpKind::kReLU:
+      run([](Acc v) { return v > Acc{} ? v : Acc{}; });
+      break;
+    case OpKind::kGELU:
+      run([](Acc v) { return gelu(v); });
+      break;
+    case OpKind::kSigmoid:
+      run([](Acc v) { return sigmoid(v); });
+      break;
+    case OpKind::kClamp: {
+      const Acc lo = static_cast<Acc>(fast.act.lo);
+      const Acc hi = static_cast<Acc>(fast.act.hi);
+      run([lo, hi](Acc v) { return v < lo ? lo : (v > hi ? hi : v); });
+      break;
+    }
+    default:  // bias only
+      run([](Acc v) { return v; });
+      break;
+  }
+}
+
+}  // namespace detail
+
+/// Applies scale + chain to one contiguous output row fragment and stores
+/// it: c[j] = chain(alpha * acc[j] + beta * c[j]) for j in [0, en).
+///
+/// `row` / `col0` are the *global* output coordinates (they index the
+/// row/column bindings and the probe); `out_cols` is the full logical
+/// output width (probe element indexing).  `acc` is the accumulator
+/// fragment, `c` the output fragment -- they may alias (the two-pass
+/// formulation passes c for both with alpha = 1, beta = 0).
+template <typename Acc, typename Out>
+inline void apply_row(const EpiloguePlan& plan, const EpilogueSpec& spec,
+                      double alpha, double beta, std::int64_t row,
+                      std::int64_t col0, std::int64_t en,
+                      std::int64_t out_cols, const Acc* acc, Out* c) {
+  const Acc a = static_cast<Acc>(alpha);
+  const Acc b = static_cast<Acc>(beta);
+  const bool read_c = beta != 0.0;
+
+  if (plan.identity()) {
+    // Pure scaling -- the fast path every unfused GEMM takes.
+    if (alpha == 1.0 && !read_c) {
+      for (std::int64_t j = 0; j < en; ++j) c[j] = static_cast<Out>(acc[j]);
+    } else if (!read_c) {
+      for (std::int64_t j = 0; j < en; ++j) {
+        c[j] = static_cast<Out>(a * acc[j]);
+      }
+    } else {
+      for (std::int64_t j = 0; j < en; ++j) {
+        c[j] = static_cast<Out>(a * acc[j] + b * static_cast<Acc>(c[j]));
+      }
+    }
+    if (EpilogueProbe::enabled()) {
+      EpilogueProbe::record(row * out_cols + col0, en);
+    }
+    return;
+  }
+
+  if (const EpiloguePlan::BiasActPattern* fast = plan.bias_act()) {
+    const double* bias =
+        fast->bias_col
+            ? spec.bias_col.data() + static_cast<std::size_t>(col0)
+            : nullptr;
+    detail::with_bias_act<Acc>(*fast, [&](auto act) {
+      detail::bias_act_row<Acc, Out>(a, b, read_c, bias, acc, c, en, act);
+    });
+    if (EpilogueProbe::enabled()) {
+      EpilogueProbe::record(row * out_cols + col0, en);
+    }
+    return;
+  }
+
+  // Row-invariant values hoisted out of the chunk loop.
+  const Acc bias_r = plan.needs_bias_row()
+                         ? static_cast<Acc>(spec.bias_row[
+                               static_cast<std::size_t>(row)])
+                         : Acc{};
+  const double* res64 = nullptr;
+  const float* res32 = nullptr;
+  if (plan.needs_residual()) {
+    const std::size_t offset =
+        static_cast<std::size_t>(row * spec.residual.ld + col0);
+    if (spec.residual.type == TensorRef::Type::kF64) {
+      res64 = static_cast<const double*>(spec.residual.data) + offset;
+    } else {
+      res32 = static_cast<const float*>(spec.residual.data) + offset;
+    }
+  }
+
+  double local_abs_max = 0.0;
+  double local_sum = 0.0;
+  bool saw_abs_max = false;
+  bool saw_sum = false;
+
+  for (std::int64_t j0 = 0; j0 < en; j0 += detail::kRowChunk) {
+    const std::int64_t cn = std::min(detail::kRowChunk, en - j0);
+    Acc v[detail::kRowChunk];
+
+    if (read_c) {
+      for (std::int64_t j = 0; j < cn; ++j) {
+        v[j] = a * acc[j0 + j] + b * static_cast<Acc>(c[j0 + j]);
+      }
+    } else {
+      for (std::int64_t j = 0; j < cn; ++j) v[j] = a * acc[j0 + j];
+    }
+
+    for (const EpilogueOp& op : plan.ops()) {
+      switch (op.kind) {
+        case OpKind::kBiasRow:
+          for (std::int64_t j = 0; j < cn; ++j) v[j] += bias_r;
+          break;
+        case OpKind::kBiasCol: {
+          const double* bias =
+              spec.bias_col.data() + static_cast<std::size_t>(col0 + j0);
+          for (std::int64_t j = 0; j < cn; ++j) {
+            v[j] += static_cast<Acc>(bias[j]);
+          }
+          break;
+        }
+        case OpKind::kReLU:
+          for (std::int64_t j = 0; j < cn; ++j) {
+            v[j] = v[j] > Acc{} ? v[j] : Acc{};
+          }
+          break;
+        case OpKind::kGELU:
+          for (std::int64_t j = 0; j < cn; ++j) v[j] = detail::gelu(v[j]);
+          break;
+        case OpKind::kSigmoid:
+          for (std::int64_t j = 0; j < cn; ++j) v[j] = detail::sigmoid(v[j]);
+          break;
+        case OpKind::kClamp: {
+          const Acc lo = static_cast<Acc>(op.lo);
+          const Acc hi = static_cast<Acc>(op.hi);
+          for (std::int64_t j = 0; j < cn; ++j) {
+            v[j] = v[j] < lo ? lo : (v[j] > hi ? hi : v[j]);
+          }
+          break;
+        }
+        case OpKind::kResidual:
+          if (res64 != nullptr) {
+            for (std::int64_t j = 0; j < cn; ++j) {
+              v[j] += static_cast<Acc>(res64[j0 + j]);
+            }
+          } else {
+            for (std::int64_t j = 0; j < cn; ++j) {
+              v[j] += static_cast<Acc>(res32[j0 + j]);
+            }
+          }
+          break;
+        case OpKind::kRowAbsMax:
+          for (std::int64_t j = 0; j < cn; ++j) {
+            const double av = std::abs(static_cast<double>(v[j]));
+            if (av > local_abs_max) local_abs_max = av;
+          }
+          saw_abs_max = true;
+          break;
+        case OpKind::kRowSum:
+          for (std::int64_t j = 0; j < cn; ++j) {
+            local_sum += static_cast<double>(v[j]);
+          }
+          saw_sum = true;
+          break;
+      }
+    }
+
+    for (std::int64_t j = 0; j < cn; ++j) {
+      c[j0 + j] = static_cast<Out>(v[j]);
+    }
+  }
+
+  if (saw_abs_max) {
+    detail::atomic_max(&spec.row_abs_max[static_cast<std::size_t>(row)],
+                       local_abs_max);
+  }
+  if (saw_sum) {
+    detail::atomic_add(&spec.row_sum[static_cast<std::size_t>(row)],
+                       local_sum);
+  }
+  if (EpilogueProbe::enabled()) {
+    EpilogueProbe::record(row * out_cols + col0, en);
+  }
+}
+
+/// Tile form for substrates whose output rows are contiguous: applies
+/// apply_row over the em x en fragment at global origin (row0, col0).
+/// `acc` strides by `acc_ld`, `c` by `c_ld`.  Note `row0` indexes the
+/// *bindings* while `c` already points at the tile's first output element
+/// -- batched GEMM passes the stacked global row with an entry-local
+/// output pointer.  The bias+activation fast pattern is dispatched once
+/// per tile here (not once per row), so its per-row cost is just the loop.
+template <typename Acc, typename Out>
+inline void apply_tile(const EpiloguePlan& plan, const EpilogueSpec& spec,
+                       double alpha, double beta, std::int64_t row0,
+                       std::int64_t col0, std::int64_t em, std::int64_t en,
+                       std::int64_t out_cols, const Acc* acc,
+                       std::int64_t acc_ld, Out* c, std::int64_t c_ld) {
+  if (const EpiloguePlan::BiasActPattern* fast = plan.bias_act()) {
+    const Acc a = static_cast<Acc>(alpha);
+    const Acc b = static_cast<Acc>(beta);
+    const bool read_c = beta != 0.0;
+    const double* bias =
+        fast->bias_col
+            ? spec.bias_col.data() + static_cast<std::size_t>(col0)
+            : nullptr;
+    detail::with_bias_act<Acc>(*fast, [&](auto act) {
+      for (std::int64_t i = 0; i < em; ++i) {
+        detail::bias_act_row<Acc, Out>(a, b, read_c, bias, acc + i * acc_ld,
+                                       c + i * c_ld, en, act);
+      }
+    });
+    if (EpilogueProbe::enabled()) {
+      for (std::int64_t i = 0; i < em; ++i) {
+        EpilogueProbe::record((row0 + i) * out_cols + col0, en);
+      }
+    }
+    return;
+  }
+  for (std::int64_t i = 0; i < em; ++i) {
+    apply_row<Acc, Out>(plan, spec, alpha, beta, row0 + i, col0, en, out_cols,
+                        acc + i * acc_ld, c + i * c_ld);
+  }
+}
+
+/// The two-pass formulation: sweeps the chain over an already-scaled m x n
+/// output (alpha = 1, beta = 0 -- pass one performed the scaling).  Rows
+/// are distributed over `workers` via util::parallel_for so the A/B
+/// against the fused path compares equal thread budgets.
+template <typename Out>
+inline void apply_elementwise(const EpiloguePlan& plan,
+                              const EpilogueSpec& spec, std::int64_t m,
+                              std::int64_t n, Out* data, std::int64_t ld,
+                              std::size_t workers = 1) {
+  check_bindings(plan, spec, m, n, tensor_type_of<Out>());
+  util::parallel_for(
+      static_cast<std::size_t>(m),
+      [&](std::size_t i) {
+        const auto row = static_cast<std::int64_t>(i);
+        Out* c_row = data + row * ld;
+        apply_row<Out, Out>(plan, spec, 1.0, 0.0, row, 0, n, n, c_row,
+                            c_row);
+      },
+      workers);
+}
+
+}  // namespace streamk::epilogue

@@ -1,0 +1,326 @@
+#include "epilogue/epilogue.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <mutex>
+
+#include "util/check.hpp"
+
+namespace streamk::epilogue {
+
+namespace {
+
+std::string_view token_of(OpKind kind) {
+  switch (kind) {
+    case OpKind::kBiasRow:
+      return "bias_row";
+    case OpKind::kBiasCol:
+      return "bias_col";
+    case OpKind::kReLU:
+      return "relu";
+    case OpKind::kGELU:
+      return "gelu";
+    case OpKind::kSigmoid:
+      return "sigmoid";
+    case OpKind::kClamp:
+      return "clamp";
+    case OpKind::kResidual:
+      return "residual";
+    case OpKind::kRowAbsMax:
+      return "row_abs_max";
+    case OpKind::kRowSum:
+      return "row_sum";
+  }
+  util::fail("unknown epilogue op kind");
+}
+
+/// Shortest-round-trip double formatting (matches the tuning db's CSV
+/// cells, so class keys survive save/load byte-identically).
+std::string format_scalar(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  util::check(ec == std::errc(), "epilogue: cannot format scalar");
+  return std::string(buf, ptr);
+}
+
+double parse_scalar(std::string_view token) {
+  double v = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), v);
+  util::check(ec == std::errc() && ptr == token.data() + token.size(),
+              "epilogue: malformed scalar '" + std::string(token) +
+                  "' in class key");
+  return v;
+}
+
+EpilogueOp parse_op_token(std::string_view token) {
+  for (const auto kind :
+       {OpKind::kBiasRow, OpKind::kBiasCol, OpKind::kReLU, OpKind::kGELU,
+        OpKind::kSigmoid, OpKind::kResidual, OpKind::kRowAbsMax,
+        OpKind::kRowSum}) {
+    if (token == token_of(kind)) return {kind};
+  }
+  // clamp(lo:hi)
+  constexpr std::string_view kClampPrefix = "clamp(";
+  if (token.substr(0, kClampPrefix.size()) == kClampPrefix &&
+      token.back() == ')') {
+    const std::string_view body =
+        token.substr(kClampPrefix.size(),
+                     token.size() - kClampPrefix.size() - 1);
+    const std::size_t colon = body.find(':');
+    util::check(colon != std::string_view::npos,
+                "epilogue: malformed clamp token '" + std::string(token) +
+                    "'");
+    return EpilogueOp::clamp(parse_scalar(body.substr(0, colon)),
+                             parse_scalar(body.substr(colon + 1)));
+  }
+  util::fail("epilogue: unknown op token '" + std::string(token) +
+             "' in class key");
+}
+
+}  // namespace
+
+EpiloguePlan::EpiloguePlan(std::vector<EpilogueOp> ops)
+    : ops_(std::move(ops)) {
+  for (const EpilogueOp& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kBiasRow:
+        needs_bias_row_ = true;
+        has_row_indexed_ = true;
+        break;
+      case OpKind::kBiasCol:
+        needs_bias_col_ = true;
+        break;
+      case OpKind::kClamp:
+        util::check(op.lo <= op.hi,
+                    "epilogue: clamp bounds out of order (lo > hi)");
+        break;
+      case OpKind::kResidual:
+        needs_residual_ = true;
+        break;
+      case OpKind::kRowAbsMax:
+      case OpKind::kRowSum:
+        has_reduction_ = true;
+        has_row_indexed_ = true;
+        break;
+      case OpKind::kReLU:
+      case OpKind::kGELU:
+      case OpKind::kSigmoid:
+        break;
+    }
+  }
+  class_key_ = epilogue::class_key(ops_);
+
+  // Pattern-match the bias+activation shape: (optional leading bias_col)
+  // then (optional one pointwise op), nothing else.
+  const auto is_pointwise = [](OpKind kind) {
+    return kind == OpKind::kReLU || kind == OpKind::kGELU ||
+           kind == OpKind::kSigmoid || kind == OpKind::kClamp;
+  };
+  if (!ops_.empty() && ops_.size() <= 2) {
+    std::size_t i = 0;
+    BiasActPattern pattern;
+    if (ops_[i].kind == OpKind::kBiasCol) {
+      pattern.bias_col = true;
+      ++i;
+    }
+    if (i < ops_.size() && is_pointwise(ops_[i].kind)) {
+      pattern.has_act = true;
+      pattern.act = ops_[i];
+      ++i;
+    }
+    if (i == ops_.size() && (pattern.bias_col || pattern.has_act)) {
+      is_bias_act_ = true;
+      bias_act_ = pattern;
+    }
+  }
+}
+
+EpiloguePlanPtr compile(std::span<const EpilogueOp> ops) {
+  if (ops.empty()) return identity_plan();
+  return std::make_shared<const EpiloguePlan>(
+      std::vector<EpilogueOp>(ops.begin(), ops.end()));
+}
+
+EpiloguePlanPtr identity_plan() {
+  static const EpiloguePlanPtr plan =
+      std::make_shared<const EpiloguePlan>(std::vector<EpilogueOp>{});
+  return plan;
+}
+
+std::string class_key(std::span<const EpilogueOp> ops) {
+  std::string key;
+  for (const EpilogueOp& op : ops) {
+    if (!key.empty()) key += '+';
+    key += token_of(op.kind);
+    if (op.kind == OpKind::kClamp) {
+      key += '(';
+      key += format_scalar(op.lo);
+      key += ':';
+      key += format_scalar(op.hi);
+      key += ')';
+    }
+  }
+  return key;
+}
+
+std::vector<EpilogueOp> parse_class_key(std::string_view key) {
+  util::check(key.empty() || key.back() != '+',
+              "epilogue: trailing '+' in class key '" + std::string(key) +
+                  "'");
+  std::vector<EpilogueOp> ops;
+  std::size_t begin = 0;
+  while (begin < key.size()) {
+    // Split on '+' at paren depth zero only: scalar immediates inside
+    // clamp(lo:hi) may themselves contain '+' (to_chars exponents like
+    // "1e+30").
+    std::size_t end = begin;
+    int depth = 0;
+    while (end < key.size() && (key[end] != '+' || depth > 0)) {
+      if (key[end] == '(') ++depth;
+      if (key[end] == ')') --depth;
+      ++end;
+    }
+    util::check(end > begin, "epilogue: empty op token in class key '" +
+                                 std::string(key) + "'");
+    ops.push_back(parse_op_token(key.substr(begin, end - begin)));
+    begin = end + 1;
+  }
+  return ops;
+}
+
+std::string canonical_class_key(std::string_view key) {
+  if (key.empty()) return {};
+  return class_key(parse_class_key(key));
+}
+
+void check_bindings(const EpiloguePlan& plan, const EpilogueSpec& spec,
+                    std::int64_t m, std::int64_t n,
+                    TensorRef::Type out_type) {
+  if (plan.needs_bias_row()) {
+    util::check(static_cast<std::int64_t>(spec.bias_row.size()) >= m,
+                "epilogue: bias_row binding shorter than the output rows");
+  }
+  if (plan.needs_bias_col()) {
+    util::check(static_cast<std::int64_t>(spec.bias_col.size()) >= n,
+                "epilogue: bias_col binding shorter than the output columns");
+  }
+  if (plan.needs_residual()) {
+    util::check(spec.residual.type != TensorRef::Type::kNone &&
+                    spec.residual.data != nullptr,
+                "epilogue: residual op without a bound D matrix");
+    util::check(spec.residual.type == out_type,
+                "epilogue: residual element type does not match the output");
+    util::check(spec.residual.rows >= m && spec.residual.cols >= n &&
+                    spec.residual.ld >= spec.residual.cols,
+                "epilogue: residual D matrix smaller than the output");
+  }
+  for (const EpilogueOp& op : plan.ops()) {
+    if (op.kind == OpKind::kRowAbsMax) {
+      util::check(static_cast<std::int64_t>(spec.row_abs_max.size()) >= m,
+                  "epilogue: row_abs_max binding shorter than the output "
+                  "rows");
+    }
+    if (op.kind == OpKind::kRowSum) {
+      util::check(static_cast<std::int64_t>(spec.row_sum.size()) >= m,
+                  "epilogue: row_sum binding shorter than the output rows");
+    }
+  }
+}
+
+// --- EpilogueProbe ---------------------------------------------------------
+
+namespace {
+
+struct ProbeState {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::int64_t> elements{0};
+  // Fixed-capacity counter array, grown on begin(); atomics are not movable
+  // so a vector cannot hold them through a resize.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> counts;
+  std::int64_t capacity = 0;
+  std::mutex begin_mutex;  ///< serializes begin()/end() (tests only)
+};
+
+ProbeState& probe_state() {
+  static ProbeState* state = new ProbeState();
+  return *state;
+}
+
+}  // namespace
+
+void EpilogueProbe::begin(std::int64_t elements) {
+  ProbeState& state = probe_state();
+  std::lock_guard lock(state.begin_mutex);
+  util::check(elements >= 0, "epilogue probe: negative element count");
+  if (elements > state.capacity) {
+    state.counts =
+        std::make_unique<std::atomic<std::uint32_t>[]>(
+            static_cast<std::size_t>(elements));
+    state.capacity = elements;
+  }
+  for (std::int64_t i = 0; i < elements; ++i) {
+    state.counts[static_cast<std::size_t>(i)].store(
+        0, std::memory_order_relaxed);
+  }
+  state.elements.store(elements, std::memory_order_relaxed);
+  state.enabled.store(true, std::memory_order_release);
+}
+
+void EpilogueProbe::end() {
+  probe_state().enabled.store(false, std::memory_order_release);
+}
+
+bool EpilogueProbe::enabled() {
+  return probe_state().enabled.load(std::memory_order_acquire);
+}
+
+void EpilogueProbe::record(std::int64_t first, std::int64_t count) {
+  ProbeState& state = probe_state();
+  const std::int64_t elements =
+      state.elements.load(std::memory_order_relaxed);
+  // Out-of-range applications are a test-setup mismatch (probe armed for a
+  // different output); fail loudly instead of scribbling.
+  util::check(first >= 0 && count >= 0 && first + count <= elements,
+              "epilogue probe: application outside the armed element range");
+  for (std::int64_t i = 0; i < count; ++i) {
+    state.counts[static_cast<std::size_t>(first + i)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t EpilogueProbe::applications(std::int64_t element) {
+  ProbeState& state = probe_state();
+  util::check(element >= 0 &&
+                  element < state.elements.load(std::memory_order_relaxed),
+              "epilogue probe: element outside the armed range");
+  return state.counts[static_cast<std::size_t>(element)].load(
+      std::memory_order_relaxed);
+}
+
+std::int64_t EpilogueProbe::total() {
+  ProbeState& state = probe_state();
+  const std::int64_t elements =
+      state.elements.load(std::memory_order_relaxed);
+  std::int64_t sum = 0;
+  for (std::int64_t i = 0; i < elements; ++i) {
+    sum += state.counts[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+bool EpilogueProbe::all_exactly_once() {
+  ProbeState& state = probe_state();
+  const std::int64_t elements =
+      state.elements.load(std::memory_order_relaxed);
+  for (std::int64_t i = 0; i < elements; ++i) {
+    if (state.counts[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed) != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace streamk::epilogue

@@ -34,9 +34,10 @@ FindState& find_state() {
   return *state;
 }
 
-void run_find_job(const ShapeKey& key, const TuneOptions& options) {
+void run_find_job(const ShapeKey& key, TuneOptions options) {
   bool succeeded = false;
   try {
+    options.epilogue_class = key.epilogue;
     const TuneReport report = tune_shape(key.shape, key.precision, options);
     global_tuning_db().update(key, report.best);
     succeeded = true;
@@ -109,6 +110,7 @@ TuningDb& global_tuning_db() {
 
 std::optional<TunedConfig> tuned_dispatch(const core::GemmShape& shape,
                                           gpu::Precision precision,
+                                          const std::string& epilogue_class,
                                           DispatchFind find) {
   const bool may_find = find == DispatchFind::kAllowed &&
                         find_mode() == FindMode::kBackground;
@@ -116,12 +118,24 @@ std::optional<TunedConfig> tuned_dispatch(const core::GemmShape& shape,
   // shared lock entirely (the common case for untuned processes).
   if (!may_find && global_tuning_db().empty_fast()) return std::nullopt;
 
-  const ShapeKey key{shape, precision};
+  const ShapeKey key{shape, precision, epilogue_class};
   if (const auto record = global_tuning_db().lookup(key)) {
     return record->config;
   }
   if (may_find) enqueue_find(key);
   return std::nullopt;
+}
+
+std::optional<TunedConfig> tuned_dispatch(
+    const core::GemmShape& shape, gpu::Precision precision,
+    std::span<const epilogue::EpilogueOp> epilogue_ops, DispatchFind find) {
+  const bool may_find = find == DispatchFind::kAllowed &&
+                        find_mode() == FindMode::kBackground;
+  // Bail before fingerprinting the chain: the common untuned process pays
+  // one relaxed atomic load here, never a string build.
+  if (!may_find && global_tuning_db().empty_fast()) return std::nullopt;
+  return tuned_dispatch(shape, precision, epilogue::class_key(epilogue_ops),
+                        find);
 }
 
 std::size_t find_jobs_in_flight() {

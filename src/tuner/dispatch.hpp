@@ -25,8 +25,10 @@
 // empty rather than failing dispatch.
 
 #include <optional>
+#include <span>
 
 #include "core/gemm_shape.hpp"
+#include "epilogue/epilogue.hpp"
 #include "gpu/precision.hpp"
 #include "tuner/tuner.hpp"
 #include "tuner/tuning_db.hpp"
@@ -63,10 +65,27 @@ TuningDb& global_tuning_db();
 enum class DispatchFind { kAllowed, kLookupOnly };
 
 /// Dispatch consultation; see the file comment for hit/miss semantics.
-/// While the global db is empty and find mode is off, this is a single
-/// relaxed atomic load -- no shared-lock traffic on untuned processes.
+/// `epilogue_class` is the canonical epilogue fingerprint of the request
+/// (epilogue::class_key; "" for unfused) -- part of the database key, so a
+/// fused shape tunes and dispatches independently of its unfused twin, and
+/// a background find job for a fused key measures the fused path (with
+/// synthetic bindings; see tuner.hpp).  While the global db is empty and
+/// find mode is off, this is a single relaxed atomic load -- no
+/// shared-lock traffic on untuned processes.
 std::optional<TunedConfig> tuned_dispatch(
     const core::GemmShape& shape, gpu::Precision precision,
+    const std::string& epilogue_class = {},
+    DispatchFind find = DispatchFind::kAllowed);
+
+/// Front-end form: takes the caller's op chain directly and fingerprints
+/// it only *after* the empty-db fast path, so an untuned process never
+/// pays the class-key string construction per call.  (Against a populated
+/// db a fused call still builds the key once -- one small string ahead of
+/// the GEMM it dispatches, accepted rather than threading cached keys
+/// through every front end.)
+std::optional<TunedConfig> tuned_dispatch(
+    const core::GemmShape& shape, gpu::Precision precision,
+    std::span<const epilogue::EpilogueOp> epilogue_ops,
     DispatchFind find = DispatchFind::kAllowed);
 
 /// Number of background find jobs currently queued or running.

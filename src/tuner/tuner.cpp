@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
+#include "epilogue/epilogue.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/threading.hpp"
@@ -27,6 +29,54 @@ cpu::Schedule schedule_for(core::DecompositionKind kind) {
   util::fail("unknown decomposition kind");
 }
 
+/// Synthetic epilogue bindings for measuring a fused class without a
+/// caller's real operands: zero bias vectors / residual, scratch reduction
+/// outputs, all sized for the shape.  The chain's *cost* (extra loads,
+/// transcendental math, atomic merges) is identical to what real bindings
+/// would pay, which is what the winner selection needs.
+template <typename Out>
+struct SyntheticEpilogue {
+  std::vector<epilogue::EpilogueOp> ops;
+  std::vector<double> bias_row;
+  std::vector<double> bias_col;
+  std::vector<double> row_abs_max;
+  std::vector<double> row_sum;
+  cpu::Matrix<Out> residual;
+
+  SyntheticEpilogue(const core::GemmShape& shape,
+                    const std::string& epilogue_class)
+      : ops(epilogue::parse_class_key(epilogue_class)) {
+    const epilogue::EpiloguePlanPtr plan = epilogue::compile(ops);
+    if (plan->needs_bias_row()) {
+      bias_row.assign(static_cast<std::size_t>(shape.m), 0.0);
+    }
+    if (plan->needs_bias_col()) {
+      bias_col.assign(static_cast<std::size_t>(shape.n), 0.0);
+    }
+    if (plan->has_reduction()) {
+      row_abs_max.assign(static_cast<std::size_t>(shape.m), 0.0);
+      row_sum.assign(static_cast<std::size_t>(shape.m), 0.0);
+    }
+    if (plan->needs_residual()) {
+      residual = cpu::Matrix<Out>(shape.m, shape.n);
+    }
+  }
+
+  epilogue::EpilogueSpec spec() {
+    epilogue::EpilogueSpec s;
+    s.ops = ops;
+    s.bias_row = bias_row;
+    s.bias_col = bias_col;
+    s.row_abs_max = row_abs_max;
+    s.row_sum = row_sum;
+    if (residual.rows() > 0) {
+      s.residual = epilogue::TensorRef::of(residual.data().data(),
+                                           residual.rows(), residual.cols());
+    }
+    return s;
+  }
+};
+
 /// GemmReport::seconds covers plan execution only (compilation is cached),
 /// which is exactly the steady-state cost dispatch cares about.  One
 /// operand set serves the whole options list -- per-candidate reallocation
@@ -35,16 +85,19 @@ cpu::Schedule schedule_for(core::DecompositionKind kind) {
 template <typename In, typename Out>
 std::vector<double> measure_options_typed(
     const core::GemmShape& shape, std::span<const cpu::GemmOptions> list,
-    int repetitions) {
+    int repetitions, const std::string& epilogue_class) {
   cpu::Matrix<In> a(shape.m, shape.k);
   cpu::Matrix<In> b(shape.k, shape.n);
   cpu::Matrix<Out> c(shape.m, shape.n);
   util::Pcg32 rng(0x70e4db);
   cpu::fill_random(a, rng);
   cpu::fill_random(b, rng);
+  std::optional<SyntheticEpilogue<Out>> synthetic;
+  if (!epilogue_class.empty()) synthetic.emplace(shape, epilogue_class);
   std::vector<double> seconds;
   seconds.reserve(list.size());
-  for (const cpu::GemmOptions& options : list) {
+  for (cpu::GemmOptions options : list) {
+    if (synthetic) options.epilogue = synthetic->spec();
     double best = std::numeric_limits<double>::infinity();
     for (int rep = 0; rep < std::max(1, repetitions); ++rep) {
       best = std::min(best, cpu::gemm(a, b, c, options).seconds);
@@ -57,15 +110,19 @@ std::vector<double> measure_options_typed(
 std::vector<double> measure_options(const core::GemmShape& shape,
                                     gpu::Precision precision,
                                     std::span<const cpu::GemmOptions> list,
-                                    int repetitions) {
+                                    int repetitions,
+                                    const std::string& epilogue_class = {}) {
   switch (precision) {
     case gpu::Precision::kFp64:
-      return measure_options_typed<double, double>(shape, list, repetitions);
+      return measure_options_typed<double, double>(shape, list, repetitions,
+                                                   epilogue_class);
     case gpu::Precision::kFp32:
-      return measure_options_typed<float, float>(shape, list, repetitions);
+      return measure_options_typed<float, float>(shape, list, repetitions,
+                                                 epilogue_class);
     case gpu::Precision::kFp16F32:
       return measure_options_typed<util::Half, float>(shape, list,
-                                                      repetitions);
+                                                      repetitions,
+                                                      epilogue_class);
   }
   util::fail("unknown precision");
 }
@@ -83,18 +140,21 @@ cpu::GemmOptions tuned_options(const TunedConfig& config) {
 }
 
 double measure_config(const core::GemmShape& shape, gpu::Precision precision,
-                      const cpu::GemmOptions& options, int repetitions) {
-  return measure_options(shape, precision, {&options, 1}, repetitions)
+                      const cpu::GemmOptions& options, int repetitions,
+                      const std::string& epilogue_class) {
+  return measure_options(shape, precision, {&options, 1}, repetitions,
+                         epilogue_class)
       .front();
 }
 
 AbResult ab_measure(const core::GemmShape& shape, gpu::Precision precision,
-                    const TunedConfig& config, int repetitions) {
+                    const TunedConfig& config, int repetitions,
+                    const std::string& epilogue_class) {
   AbResult result;
-  result.heuristic_seconds =
-      measure_config(shape, precision, cpu::GemmOptions{}, repetitions);
-  result.tuned_seconds =
-      measure_config(shape, precision, tuned_options(config), repetitions);
+  result.heuristic_seconds = measure_config(
+      shape, precision, cpu::GemmOptions{}, repetitions, epilogue_class);
+  result.tuned_seconds = measure_config(
+      shape, precision, tuned_options(config), repetitions, epilogue_class);
   result.speedup =
       result.heuristic_seconds > 0.0 && result.tuned_seconds > 0.0
           ? result.heuristic_seconds / result.tuned_seconds
@@ -104,6 +164,8 @@ AbResult ab_measure(const core::GemmShape& shape, gpu::Precision precision,
 
 TuneReport tune_shape(const core::GemmShape& shape, gpu::Precision precision,
                       const TuneOptions& options) {
+  const std::string epilogue_class =
+      epilogue::canonical_class_key(options.epilogue_class);
   // Enumerate each requested worker count against a host proxy of *that*
   // width -- the model's slots/grid thresholds must describe the machine
   // the candidate will actually run on -- then rank the union under one
@@ -127,10 +189,11 @@ TuneReport tune_shape(const core::GemmShape& shape, gpu::Precision precision,
     option_list.push_back(tuned_options(candidate.config));
   }
   const std::vector<double> timings =
-      measure_options(shape, precision, option_list, options.repetitions);
+      measure_options(shape, precision, option_list, options.repetitions,
+                      epilogue_class);
 
   TuneReport report;
-  report.key = {shape, precision};
+  report.key = {shape, precision, epilogue_class};
   report.best.seconds = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     MeasuredCandidate measured;
@@ -153,9 +216,11 @@ TuneReport tune_shape(const core::GemmShape& shape, gpu::Precision precision,
 std::size_t tune_corpus(std::span<const core::GemmShape> shapes,
                         gpu::Precision precision, TuningDb& db,
                         const TuneOptions& options) {
+  const std::string epilogue_class =
+      epilogue::canonical_class_key(options.epilogue_class);
   std::size_t tuned = 0;
   for (const core::GemmShape& shape : shapes) {
-    const ShapeKey key{shape, precision};
+    const ShapeKey key{shape, precision, epilogue_class};
     if (db.lookup(key)) continue;
     const TuneReport report = tune_shape(shape, precision, options);
     db.update(key, report.best);

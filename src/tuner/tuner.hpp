@@ -31,6 +31,15 @@ namespace streamk::tuner {
 struct TuneOptions {
   SearchSpaceOptions space;
   int repetitions = 3;  ///< best-of timing repetitions per candidate
+  /// Epilogue class to tune for ("" = unfused).  Any parseable class
+  /// string is accepted and canonicalized (parse + reformat) before it
+  /// becomes a db key, so records always match what runtime dispatch
+  /// computes from the caller's chain.  Candidates are measured with the
+  /// chain fused -- rebuilt via epilogue::parse_class_key and bound to
+  /// synthetic operands (zero bias/residual, scratch reduction outputs) of
+  /// the right extents, so the winner reflects the store-side cost the
+  /// fused dispatch pays.
+  std::string epilogue_class;
 };
 
 struct MeasuredCandidate {
@@ -52,15 +61,19 @@ cpu::GemmOptions tuned_options(const TunedConfig& config);
 
 /// Best-of-`repetitions` execution time of one concrete configuration
 /// through the production gemm() path, operands filled from a fixed PRNG
-/// seed.  The single definition of measurement methodology -- the tuner,
-/// the streamk_tune A/B, and bench_tuner all time through this.
+/// seed.  A non-empty `epilogue_class` fuses the chain (with synthetic
+/// bindings) into every measured call.  The single definition of
+/// measurement methodology -- the tuner, the streamk_tune A/B, and
+/// bench_tuner all time through this.
 double measure_config(const core::GemmShape& shape, gpu::Precision precision,
-                      const cpu::GemmOptions& options, int repetitions);
+                      const cpu::GemmOptions& options, int repetitions,
+                      const std::string& epilogue_class = {});
 
 /// One tuned-vs-heuristic A/B point, shared by streamk_tune and
 /// bench_tuner so the two reports measure identically.  The heuristic side
 /// is Schedule::kAuto -- callers must ensure the global tuning db cannot
-/// serve it (or the comparison degenerates to tuned-vs-tuned).
+/// serve it (or the comparison degenerates to tuned-vs-tuned).  Both sides
+/// fuse `epilogue_class` when non-empty.
 struct AbResult {
   double heuristic_seconds = 0.0;
   double tuned_seconds = 0.0;
@@ -68,7 +81,8 @@ struct AbResult {
                          ///< callers must exclude such points from geomeans
 };
 AbResult ab_measure(const core::GemmShape& shape, gpu::Precision precision,
-                    const TunedConfig& config, int repetitions);
+                    const TunedConfig& config, int repetitions,
+                    const std::string& epilogue_class = {});
 
 /// Measures the budgeted search space for one shape and returns the winner
 /// plus the full measurement trace.  FP32 operands are used for kFp32,

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "epilogue/epilogue.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 
@@ -21,6 +22,10 @@ namespace {
 
 constexpr std::string_view kFormatTag = "# streamk-tuning-db v";
 constexpr std::string_view kHeader =
+    "m,n,k,precision,epilogue,kind,block_m,block_n,block_k,grid,split,"
+    "workers,seconds,gflops";
+/// v1 layout: no epilogue column (records migrate to the unfused class).
+constexpr std::string_view kLegacyHeader =
     "m,n,k,precision,kind,block_m,block_n,block_k,grid,split,workers,"
     "seconds,gflops";
 
@@ -87,7 +92,10 @@ std::vector<std::string_view> split_fields(std::string_view line) {
 /// Total order over keys for deterministic save()/snapshot() output.
 bool key_less(const ShapeKey& a, const ShapeKey& b) {
   if (a.shape != b.shape) return a.shape < b.shape;
-  return static_cast<int>(a.precision) < static_cast<int>(b.precision);
+  if (a.precision != b.precision) {
+    return static_cast<int>(a.precision) < static_cast<int>(b.precision);
+  }
+  return a.epilogue < b.epilogue;
 }
 
 }  // namespace
@@ -116,7 +124,7 @@ core::DecompositionSpec to_spec(const TunedConfig& config,
 }
 
 std::size_t ShapeKeyHash::operator()(const ShapeKey& key) const {
-  // FNV-1a over the four identifying integers.
+  // FNV-1a over the identifying integers plus the epilogue-class bytes.
   std::uint64_t h = 1469598103934665603ull;
   const auto mix = [&h](std::uint64_t v) {
     h ^= v;
@@ -126,6 +134,9 @@ std::size_t ShapeKeyHash::operator()(const ShapeKey& key) const {
   mix(static_cast<std::uint64_t>(key.shape.n));
   mix(static_cast<std::uint64_t>(key.shape.k));
   mix(static_cast<std::uint64_t>(key.precision));
+  for (const char c : key.epilogue) {
+    mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
   return static_cast<std::size_t>(h);
 }
 
@@ -141,8 +152,14 @@ std::optional<TuningRecord> TuningDb::lookup(const ShapeKey& key) const {
 }
 
 bool TuningDb::update(const ShapeKey& key, const TuningRecord& record) {
+  // Canonicalize the epilogue class at insertion (and reject garbage):
+  // lookup keys built by runtime dispatch are class_key() output, so a
+  // stored non-canonical key would be unreachable -- and would silently
+  // change identity across a save/load round trip (load canonicalizes).
+  ShapeKey canonical = key;
+  canonical.epilogue = epilogue::canonical_class_key(key.epilogue);
   std::lock_guard lock(mutex_);
-  const auto [it, inserted] = records_.try_emplace(key, record);
+  const auto [it, inserted] = records_.try_emplace(canonical, record);
   if (inserted) {
     approx_size_.store(records_.size(), std::memory_order_relaxed);
     return true;
@@ -175,35 +192,48 @@ std::size_t TuningDb::load(const std::string& path) {
               "tuning db: '" + path + "' has no version tag");
   const std::int64_t version =
       parse_int(std::string_view(line).substr(kFormatTag.size()), "version");
-  util::check(version == kFormatVersion,
+  util::check(version == kFormatVersion || version == kLegacyFormatVersion,
               "tuning db: '" + path + "' is format version " +
-                  std::to_string(version) + "; this build reads version " +
+                  std::to_string(version) + "; this build reads versions " +
+                  std::to_string(kLegacyFormatVersion) + " and " +
                   std::to_string(kFormatVersion));
-  util::check(static_cast<bool>(std::getline(in, line)) && line == kHeader,
+  const bool legacy = version == kLegacyFormatVersion;
+  util::check(static_cast<bool>(std::getline(in, line)) &&
+                  line == (legacy ? kLegacyHeader : kHeader),
               "tuning db: '" + path + "' has an unexpected header row");
 
+  // v1 rows lack the epilogue column; every other column is shared, so one
+  // parser serves both with the post-precision columns shifted by one.
+  const std::size_t want_fields = legacy ? 13 : 14;
+  const std::size_t shift = legacy ? 0 : 1;
   std::size_t parsed = 0;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const auto fields = split_fields(line);
-    util::check(fields.size() == 13,
+    util::check(fields.size() == want_fields,
                 "tuning db: row with " + std::to_string(fields.size()) +
-                    " fields (want 13) in '" + path + "'");
+                    " fields (want " + std::to_string(want_fields) +
+                    ") in '" + path + "'");
     ShapeKey key;
     key.shape = {parse_int(fields[0], "m"), parse_int(fields[1], "n"),
                  parse_int(fields[2], "k")};
     key.precision = parse_precision(fields[3]);
+    if (!legacy) {
+      // Canonicalize (and reject rows whose epilogue column this build
+      // cannot interpret).
+      key.epilogue = epilogue::canonical_class_key(fields[4]);
+    }
     TuningRecord record;
-    record.config.kind = parse_kind(fields[4]);
-    record.config.block = {parse_int(fields[5], "block_m"),
-                           parse_int(fields[6], "block_n"),
-                           parse_int(fields[7], "block_k")};
-    record.config.grid = parse_int(fields[8], "grid");
-    record.config.split = parse_int(fields[9], "split");
+    record.config.kind = parse_kind(fields[4 + shift]);
+    record.config.block = {parse_int(fields[5 + shift], "block_m"),
+                           parse_int(fields[6 + shift], "block_n"),
+                           parse_int(fields[7 + shift], "block_k")};
+    record.config.grid = parse_int(fields[8 + shift], "grid");
+    record.config.split = parse_int(fields[9 + shift], "split");
     record.config.workers =
-        static_cast<std::size_t>(parse_int(fields[10], "workers"));
-    record.seconds = parse_double(fields[11], "seconds");
-    record.gflops = parse_double(fields[12], "gflops");
+        static_cast<std::size_t>(parse_int(fields[10 + shift], "workers"));
+    record.seconds = parse_double(fields[11 + shift], "seconds");
+    record.gflops = parse_double(fields[12 + shift], "gflops");
     util::check(key.shape.valid() && record.config.block.valid(),
                 "tuning db: row with invalid shape or block in '" + path +
                     "'");
@@ -230,7 +260,7 @@ void TuningDb::save(const std::string& path) const {
       out << kFormatTag << kFormatVersion << '\n' << kHeader << '\n';
       for (const auto& [key, record] : entries) {
         out << key.shape.m << ',' << key.shape.n << ',' << key.shape.k << ','
-            << precision_token(key.precision) << ','
+            << precision_token(key.precision) << ',' << key.epilogue << ','
             << core::kind_name(record.config.kind) << ','
             << record.config.block.m << ',' << record.config.block.n << ','
             << record.config.block.k << ',' << record.config.grid << ','

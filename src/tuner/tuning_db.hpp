@@ -29,12 +29,17 @@
 //
 // On-disk format (version tagged, CSV payload):
 //
-//   # streamk-tuning-db v1
-//   m,n,k,precision,kind,block_m,block_n,block_k,grid,split,workers,seconds,gflops
-//   4096,4096,128,fp64,stream-k,8,1,48,48,16,0,0.0123,273.5
+//   # streamk-tuning-db v2
+//   m,n,k,precision,epilogue,kind,block_m,block_n,block_k,grid,split,workers,seconds,gflops
+//   4096,4096,128,fp64,bias_col+relu,stream-k,48,48,16,8,1,0,0.0123,273.5
 //
-// Loaders reject files whose version tag they do not understand instead of
-// guessing at column meanings.
+// The `epilogue` column is the canonical epilogue class key
+// (epilogue::class_key; empty for an unfused GEMM): a fused epilogue
+// changes a schedule's store cost, so winners are only valid within their
+// epilogue class.  Loaders reject files whose version tag they do not
+// understand instead of guessing at column meanings -- except v1, the
+// pre-epilogue layout, which is migrated on load by assigning every record
+// the unfused class.
 
 #include <atomic>
 #include <cstdint>
@@ -72,10 +77,15 @@ struct TunedConfig {
 core::DecompositionSpec to_spec(const TunedConfig& config,
                                 std::int64_t sm_count);
 
-/// Database key: the problem identity a measurement generalizes over.
+/// Database key: the problem identity a measurement generalizes over --
+/// shape, precision, and the epilogue *class* (the canonical op-chain
+/// fingerprint from epilogue::class_key; "" for unfused).  A fused chain
+/// changes the store-side cost every candidate pays, so a winner measured
+/// for one class must never be served to another.
 struct ShapeKey {
   core::GemmShape shape;
   gpu::Precision precision = gpu::Precision::kFp64;
+  std::string epilogue;
 
   friend bool operator==(const ShapeKey&, const ShapeKey&) = default;
 };
@@ -95,8 +105,11 @@ struct TuningRecord {
 
 class TuningDb {
  public:
-  /// Version tag written as the first line of every saved file.
-  static constexpr int kFormatVersion = 1;
+  /// Version tag written as the first line of every saved file.  v2 added
+  /// the epilogue-class key column; v1 files are still loadable (records
+  /// migrate to the unfused class).
+  static constexpr int kFormatVersion = 2;
+  static constexpr int kLegacyFormatVersion = 1;
 
   TuningDb() = default;
 
@@ -110,7 +123,10 @@ class TuningDb {
   std::optional<TuningRecord> lookup(const ShapeKey& key) const;
 
   /// Keep-faster insertion: stores `record` unless an existing record for
-  /// `key` has smaller-or-equal seconds.  Returns true when stored.
+  /// `key` has smaller-or-equal seconds.  Returns true when stored.  The
+  /// key's epilogue class is canonicalized (parse + reformat; throws
+  /// util::CheckError on an unparseable class) so stored keys always match
+  /// what runtime dispatch computes from a caller's chain.
   bool update(const ShapeKey& key, const TuningRecord& record);
 
   /// Keep-faster union with `other`; returns the number of keys updated.
@@ -118,7 +134,8 @@ class TuningDb {
 
   /// Parses a saved database and merges it (keep-faster).  Returns the
   /// number of records parsed.  Throws util::CheckError on a missing file,
-  /// unrecognized version tag, or malformed row.
+  /// unrecognized version tag, or malformed row.  v1 files (no epilogue
+  /// column) load with every record assigned the unfused class.
   std::size_t load(const std::string& path);
 
   /// Writes a consistent snapshot: temp file in the same directory, then

@@ -270,6 +270,134 @@ TEST(TuningDb, LoadRejectsUnknownVersionsAndMalformedRows) {
   std::remove(path.c_str());
 }
 
+TEST(TuningDb, EpilogueClassesKeyIndependentlyAndRoundTrip) {
+  TuningDb db;
+  const ShapeKey unfused{kShape, gpu::Precision::kFp64};
+  const ShapeKey fused{kShape, gpu::Precision::kFp64, "bias_col+relu"};
+  db.update(unfused, make_record(core::DecompositionKind::kDataParallel,
+                                 {64, 64, 16}, 0.5));
+  db.update(fused, make_record(core::DecompositionKind::kStreamKBasic,
+                               {64, 64, 16}, 0.25));
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.lookup(unfused)->config.kind,
+            core::DecompositionKind::kDataParallel);
+  EXPECT_EQ(db.lookup(fused)->config.kind,
+            core::DecompositionKind::kStreamKBasic);
+
+  // update() canonicalizes: a non-canonical class is stored under (and
+  // reachable by) the canonical key dispatch computes.
+  db.update({kShape, gpu::Precision::kFp32, "clamp(0.50:1.0)"},
+            make_record(core::DecompositionKind::kFixedSplit, {64, 64, 16},
+                        0.75));
+  EXPECT_TRUE(
+      db.lookup({kShape, gpu::Precision::kFp32, "clamp(0.5:1)"}).has_value());
+
+  const std::string path = temp_db_path("epilogue_keys.csv");
+  db.save(path);
+  TuningDb reloaded;
+  EXPECT_EQ(reloaded.load(path), 3u);
+  EXPECT_EQ(reloaded.lookup(fused)->config.kind,
+            core::DecompositionKind::kStreamKBasic);
+  EXPECT_EQ(reloaded.lookup(unfused)->config.kind,
+            core::DecompositionKind::kDataParallel);
+  std::remove(path.c_str());
+}
+
+TEST(TuningDb, LoadsLegacyV1FilesIntoTheUnfusedClass) {
+  const std::string path = temp_db_path("legacy_v1.csv");
+  {
+    std::ofstream out(path);
+    out << "# streamk-tuning-db v1\n"
+        << "m,n,k,precision,kind,block_m,block_n,block_k,grid,split,workers,"
+           "seconds,gflops\n"
+        << "96,96,128,fp64,stream-k,64,64,16,2,1,2,0.5,4.7\n";
+  }
+  TuningDb db;
+  EXPECT_EQ(db.load(path), 1u);
+  const auto record = db.lookup({{96, 96, 128}, gpu::Precision::kFp64});
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->config.kind, core::DecompositionKind::kStreamKBasic);
+  // Migrated records land in the unfused class only.
+  EXPECT_FALSE(
+      db.lookup({{96, 96, 128}, gpu::Precision::kFp64, "relu"}).has_value());
+
+  // Re-saving writes the current (v2) layout.
+  db.save(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# streamk-tuning-db v2");
+  TuningDb reloaded;
+  EXPECT_EQ(reloaded.load(path), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TuningDb, RejectsRowsWithUnknownEpilogueClass) {
+  const std::string path = temp_db_path("bad_epilogue.csv");
+  {
+    std::ofstream out(path);
+    out << "# streamk-tuning-db v2\n"
+        << "m,n,k,precision,epilogue,kind,block_m,block_n,block_k,grid,"
+           "split,workers,seconds,gflops\n"
+        << "96,96,128,fp64,warp_fuse,stream-k,64,64,16,2,1,2,0.5,4.7\n";
+  }
+  TuningDb db;
+  EXPECT_THROW(db.load(path), util::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Tuner, TuneShapeForAFusedClassMeasuresTheFusedPath) {
+  TuneOptions options;
+  options.space.top_k = 2;
+  options.space.worker_counts = {2};
+  options.repetitions = 1;
+  options.epilogue_class = "bias_col+gelu+row_abs_max";
+  const core::GemmShape shape{64, 48, 32};
+  const TuneReport report =
+      tune_shape(shape, gpu::Precision::kFp32, options);
+  EXPECT_EQ(report.key.epilogue, options.epilogue_class);
+  EXPECT_EQ(report.key.shape, shape);
+
+  // A parseable-but-non-canonical class is canonicalized into the key, so
+  // runtime dispatch (which keys on class_key of the caller's chain) can
+  // actually hit the record.
+  options.epilogue_class = "clamp(1.50:2.0)";
+  const TuneReport canonical =
+      tune_shape({32, 32, 16}, gpu::Precision::kFp32, options);
+  EXPECT_EQ(canonical.key.epilogue, "clamp(1.5:2)");
+  ASSERT_EQ(report.measured.size(), 2u);
+  EXPECT_GT(report.best.seconds, 0.0);
+  EXPECT_LT(report.best.seconds, 1e9);
+}
+
+TEST(Dispatch, EpilogueClassSeparatesTunedWinners) {
+  GlobalTunerReset reset;
+  const ShapeKey fused{kShape, gpu::Precision::kFp64, "bias_col+relu"};
+  global_tuning_db().update(
+      fused, make_record(core::DecompositionKind::kStreamKBasic,
+                         {64, 64, 16}, 0.125));
+
+  // The fused class hits; the unfused twin and other classes miss.
+  EXPECT_TRUE(tuned_dispatch(kShape, gpu::Precision::kFp64, "bias_col+relu")
+                  .has_value());
+  EXPECT_FALSE(tuned_dispatch(kShape, gpu::Precision::kFp64).has_value());
+  EXPECT_FALSE(
+      tuned_dispatch(kShape, gpu::Precision::kFp64, "relu").has_value());
+
+  // End to end: a fused kAuto GEMM adopts the fused winner.
+  cpu::Matrix<double> a(kShape.m, kShape.k);
+  cpu::Matrix<double> b(kShape.k, kShape.n);
+  cpu::Matrix<double> c(kShape.m, kShape.n);
+  std::vector<double> bias(static_cast<std::size_t>(kShape.n), 1.0);
+  cpu::GemmOptions options;
+  options.epilogue.ops = {epilogue::EpilogueOp::bias_col(),
+                          epilogue::EpilogueOp::relu()};
+  options.epilogue.bias_col = bias;
+  const cpu::GemmReport fused_report = cpu::gemm(a, b, c, options);
+  EXPECT_EQ(fused_report.spec.kind, core::DecompositionKind::kStreamKBasic);
+  EXPECT_EQ(fused_report.grid, 2);
+}
+
 TEST(TuningDb, ConcurrentUpdatesLookupsAndMergesAreSafe) {
   TuningDb db;
   TuningDb other;

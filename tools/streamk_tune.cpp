@@ -2,6 +2,7 @@
 //
 //   streamk_tune tune  [--db FILE] [--shape MxNxK]... [--corpus N]
 //                      [--precision fp64|fp32|fp16] [--reps R] [--top-k K]
+//                      [--epilogue CLASS]
 //     Measures the budgeted search space for every requested shape on this
 //     host and merges the winners into FILE (load -> tune -> locked
 //     merge_save, so concurrent tuners sharing one file compose
@@ -11,10 +12,14 @@
 //     Dumps the database as a table.
 //
 //   streamk_tune ab    [--db FILE] [--shape MxNxK]... [--corpus N]
-//                      [--precision ...] [--reps R]
+//                      [--precision ...] [--reps R] [--epilogue CLASS]
 //     A/B: re-measures each db shape under heuristic-only dispatch
 //     (Schedule::kAuto with an empty global db) vs. the tuned config, and
 //     reports per-shape and geomean speedups.
+//
+// --epilogue tunes/measures a *fused* epilogue class (canonical
+// epilogue::class_key form, e.g. "bias_col+relu"); the class is part of the
+// database key, so fused and unfused winners for one shape coexist.
 //
 // Point STREAMK_TUNING_DB at FILE to make library dispatch consume the
 // result (see tuner/dispatch.hpp).
@@ -31,6 +36,7 @@
 #include <vector>
 
 #include "bencher/table.hpp"
+#include "epilogue/epilogue.hpp"
 #include "corpus/corpus.hpp"
 #include "cpu/gemm.hpp"
 #include "tuner/dispatch.hpp"
@@ -49,13 +55,14 @@ struct CliOptions {
   gpu::Precision precision = gpu::Precision::kFp64;
   int reps = 3;
   std::size_t top_k = 12;
+  std::string epilogue_class;
 };
 
 [[noreturn]] void usage() {
   std::cerr
       << "usage: streamk_tune <tune|print|ab> [--db FILE] [--shape MxNxK]...\n"
          "                    [--corpus N] [--precision fp64|fp32|fp16]\n"
-         "                    [--reps R] [--top-k K]\n";
+         "                    [--reps R] [--top-k K] [--epilogue CLASS]\n";
   std::exit(2);
 }
 
@@ -124,6 +131,15 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.reps = static_cast<int>(parse_number(value()));
     } else if (arg == "--top-k") {
       cli.top_k = static_cast<std::size_t>(parse_number(value()));
+    } else if (arg == "--epilogue") {
+      // Parse-and-reformat canonicalizes the class so it matches the key
+      // runtime dispatch computes (and rejects typos loudly).
+      try {
+        cli.epilogue_class = epilogue::canonical_class_key(value());
+      } catch (const std::exception& e) {
+        std::cerr << "streamk_tune: " << e.what() << "\n";
+        std::exit(2);
+      }
     } else {
       usage();
     }
@@ -167,6 +183,7 @@ int run_tune(const CliOptions& cli) {
   tuner::TuneOptions options;
   options.repetitions = cli.reps;
   options.space.top_k = cli.top_k;
+  options.epilogue_class = cli.epilogue_class;
   const std::size_t tuned =
       tuner::tune_corpus(shapes, cli.precision, db, options);
 
@@ -183,9 +200,10 @@ int run_print(const CliOptions& cli) {
   tuner::TuningDb db;
   db.load(cli.db_path);
   bencher::TextTable table(
-      {"shape", "precision", "config", "seconds", "GFLOP/s"});
+      {"shape", "precision", "epilogue", "config", "seconds", "GFLOP/s"});
   for (const auto& [key, record] : db.snapshot()) {
     table.row({key.shape.to_string(), std::string(gpu::name(key.precision)),
+               key.epilogue.empty() ? "-" : key.epilogue,
                record.config.to_string(), bencher::fmt_num(record.seconds, 6),
                bencher::fmt_num(record.gflops, 2)});
   }
@@ -200,7 +218,10 @@ int run_ab(const CliOptions& cli) {
   std::vector<core::GemmShape> shapes = requested_shapes(cli);
   if (shapes.empty()) {
     for (const auto& [key, record] : db.snapshot()) {
-      if (key.precision == cli.precision) shapes.push_back(key.shape);
+      if (key.precision == cli.precision &&
+          key.epilogue == cli.epilogue_class) {
+        shapes.push_back(key.shape);
+      }
     }
   }
   if (shapes.empty()) {
@@ -217,10 +238,10 @@ int run_ab(const CliOptions& cli) {
   double log_sum = 0.0;
   std::size_t measured = 0;
   for (const core::GemmShape& shape : shapes) {
-    const auto record = db.lookup({shape, cli.precision});
+    const auto record = db.lookup({shape, cli.precision, cli.epilogue_class});
     if (!record) continue;
-    const tuner::AbResult ab =
-        tuner::ab_measure(shape, cli.precision, record->config, cli.reps);
+    const tuner::AbResult ab = tuner::ab_measure(
+        shape, cli.precision, record->config, cli.reps, cli.epilogue_class);
     table.row({shape.to_string(), bencher::fmt_num(ab.heuristic_seconds, 6),
                bencher::fmt_num(ab.tuned_seconds, 6),
                bencher::fmt_num(ab.speedup, 3),
