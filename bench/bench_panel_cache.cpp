@@ -1,0 +1,209 @@
+// Shared packed-panel cache A/B: pack once per GEMM or once per tile?
+//
+// The private-pack path repacks an A row panel for every tile in its grid
+// row and a B column panel for every tile in its column; the shared arena
+// (cpu/panel_cache.hpp) packs each (panel, chunk) exactly once per GEMM.
+// This bench measures both sides through the production pool-backed path
+// for every supported precision, in two traffic modes:
+//
+//   single-shot  one cpu::gemm call per measurement (arena bind included)
+//   repeated     a burst of back-to-back calls over the same operands,
+//                the steady state the arena pool is built for
+//
+// and pairs every timing with a deterministic packed-bytes accounting pass
+// (workers=1, data-parallel, PackProbe) whose totals are the CI regression
+// metric: --smoke shapes have every extent a multiple of the widest
+// microkernel NR, so the byte counts are identical across AVX2/AVX512/
+// portable builds and can be diffed against a committed baseline
+// (bench/baselines/panel_cache_smoke_bytes.csv, scripts/check_packed_bytes.py).
+//
+//   ./bench_panel_cache [--smoke] [--csv <path>]
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bencher/table.hpp"
+#include "cpu/gemm.hpp"
+#include "cpu/panel_cache.hpp"
+#include "util/threading.hpp"
+
+namespace {
+
+using namespace streamk;
+
+struct AbCase {
+  const char* label;
+  core::GemmShape shape;
+  gpu::Precision precision;
+  int burst;  ///< calls per measurement: 1 = single-shot
+};
+
+struct AbPoint {
+  double shared_seconds = 0.0;
+  double private_seconds = 0.0;
+  std::int64_t shared_bytes = 0;   ///< accounting pass, arena enabled
+  std::int64_t private_bytes = 0;  ///< accounting pass, arena disabled
+};
+
+template <typename In, typename Out>
+AbPoint measure(const core::GemmShape& shape, int burst, int reps) {
+  cpu::Matrix<In> a(shape.m, shape.k);
+  cpu::Matrix<In> b(shape.k, shape.n);
+  cpu::Matrix<Out> c(shape.m, shape.n);
+  util::Pcg32 rng(0x9a7e1);
+  cpu::fill_random(a, rng, -0.5, 0.5);
+  cpu::fill_random(b, rng, -0.5, 0.5);
+
+  cpu::GemmOptions shared;
+  shared.schedule = cpu::Schedule::kDataParallel;
+  shared.panel_cache = cpu::PanelCacheMode::kOn;
+  cpu::GemmOptions priv = shared;
+  priv.panel_cache = cpu::PanelCacheMode::kOff;
+
+  // Deterministic accounting pass first: one worker, so every slot is
+  // packed exactly once and the byte totals are reproducible bit-for-bit.
+  AbPoint point;
+  {
+    cpu::GemmOptions acct = shared;
+    acct.workers = 1;
+    cpu::PackProbe::enable(true);
+    cpu::gemm(a, b, c, acct);
+    point.shared_bytes = cpu::PackProbe::total_bytes();
+    cpu::PackProbe::reset();
+    acct.panel_cache = cpu::PanelCacheMode::kOff;
+    cpu::gemm(a, b, c, acct);
+    point.private_bytes = cpu::PackProbe::total_bytes();
+    cpu::PackProbe::enable(false);
+  }
+
+  // Timed A/B at full width.  GemmReport::seconds covers plan execution
+  // only; a burst sums consecutive reports (same operands, recycled
+  // arena), which is the repeated-operand steady state.
+  const auto run = [&](const cpu::GemmOptions& options) {
+    double total = 0.0;
+    for (int i = 0; i < burst; ++i) total += cpu::gemm(a, b, c, options).seconds;
+    return total;
+  };
+  run(shared);  // warm plan cache, pools, and scratch before timing
+  run(priv);
+  point.shared_seconds = std::numeric_limits<double>::infinity();
+  point.private_seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    point.shared_seconds = std::min(point.shared_seconds, run(shared));
+    point.private_seconds = std::min(point.private_seconds, run(priv));
+  }
+  return point;
+}
+
+AbPoint measure_case(const AbCase& c, int reps) {
+  switch (c.precision) {
+    case gpu::Precision::kFp64:
+      return measure<double, double>(c.shape, c.burst, reps);
+    case gpu::Precision::kFp32:
+      return measure<float, float>(c.shape, c.burst, reps);
+    case gpu::Precision::kFp16F32:
+      return measure<util::Half, float>(c.shape, c.burst, reps);
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
+  bench::print_header(
+      "Shared packed-panel cache vs. private per-tile packing",
+      "panel-cache subsystem (DESIGN.md section 10); packing-reuse "
+      "motivation of BLIS-style panel sharing");
+
+  // Smoke shapes: every extent a multiple of 64 (the widest NR across
+  // builds), so round_up is the identity and the accounting pass's byte
+  // totals match the committed baseline on any ISA.
+  const std::vector<AbCase> cases =
+      options.smoke
+          ? std::vector<AbCase>{
+                {"fp64 4x4 tiles", {192, 192, 128}, gpu::Precision::kFp64, 1},
+                {"fp64 4x4 tiles burst", {192, 192, 128},
+                 gpu::Precision::kFp64, 4},
+                {"fp32 4x4 tiles", {256, 256, 128}, gpu::Precision::kFp32, 1},
+                {"fp32 4x4 tiles burst", {256, 256, 128},
+                 gpu::Precision::kFp32, 4},
+                {"fp16 4x4 tiles", {256, 256, 128},
+                 gpu::Precision::kFp16F32, 1},
+                {"fp16 4x4 tiles burst", {256, 256, 128},
+                 gpu::Precision::kFp16F32, 4},
+            }
+          : std::vector<AbCase>{
+                {"fp64 large", {1536, 1536, 192}, gpu::Precision::kFp64, 1},
+                {"fp64 large burst", {1536, 1536, 192},
+                 gpu::Precision::kFp64, 4},
+                {"fp64 deep-k", {768, 768, 768}, gpu::Precision::kFp64, 1},
+                {"fp32 large", {2048, 2048, 192}, gpu::Precision::kFp32, 1},
+                {"fp32 large burst", {2048, 2048, 192},
+                 gpu::Precision::kFp32, 4},
+                {"fp32 deep-k", {1024, 1024, 1024}, gpu::Precision::kFp32, 1},
+                {"fp16 large", {2048, 2048, 192},
+                 gpu::Precision::kFp16F32, 1},
+                {"fp16 large burst", {2048, 2048, 192},
+                 gpu::Precision::kFp16F32, 4},
+            };
+  const int reps = options.smoke ? 3 : 7;
+
+  auto csv = bench::maybe_csv(
+      options, {"label", "m", "n", "k", "precision", "burst", "shared_s",
+                "private_s", "speedup", "shared_packed_bytes",
+                "private_packed_bytes"});
+
+  bencher::TextTable table({"case", "shape", "prec", "shared", "private",
+                            "speedup", "packed bytes shared/private"});
+  double log_sum = 0.0;
+  std::size_t counted = 0;
+  bool bytes_ok = true;
+  for (const AbCase& c : cases) {
+    const AbPoint point = measure_case(c, reps);
+    const double speedup =
+        point.shared_seconds > 0.0 && point.private_seconds > 0.0
+            ? point.private_seconds / point.shared_seconds
+            : 0.0;
+    bytes_ok = bytes_ok && point.shared_bytes < point.private_bytes;
+    table.row({c.label, c.shape.to_string(),
+               std::string(gpu::name(c.precision)),
+               bencher::fmt_seconds(point.shared_seconds),
+               bencher::fmt_seconds(point.private_seconds),
+               bencher::fmt_ratio(speedup),
+               std::to_string(point.shared_bytes) + " / " +
+                   std::to_string(point.private_bytes)});
+    if (csv) {
+      csv->row({std::string(c.label), std::to_string(c.shape.m),
+                std::to_string(c.shape.n), std::to_string(c.shape.k),
+                std::string(gpu::name(c.precision)),
+                std::to_string(c.burst),
+                util::CsvWriter::cell(point.shared_seconds),
+                util::CsvWriter::cell(point.private_seconds),
+                util::CsvWriter::cell(speedup),
+                std::to_string(point.shared_bytes),
+                std::to_string(point.private_bytes)});
+    }
+    if (speedup > 0.0) {
+      log_sum += std::log(speedup);
+      ++counted;
+    }
+  }
+  std::cout << table.render();
+  if (counted > 0) {
+    std::cout << "geomean shared-vs-private speedup: "
+              << bench::format_metric(
+                     std::exp(log_sum / static_cast<double>(counted)))
+              << "x over " << counted << " case(s)\n";
+  }
+  std::cout << (bytes_ok
+                    ? "packed-bytes check: shared < private on every case\n"
+                    : "packed-bytes check: FAILED (shared >= private "
+                      "somewhere)\n");
+  return bytes_ok ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CI guard for the shared panel cache's packing-traffic reduction.
+
+Diffs the packed-bytes columns of a fresh `bench_panel_cache --smoke --csv`
+run against the committed baseline
+(bench/baselines/panel_cache_smoke_bytes.csv) and fails when:
+
+  * a (label, burst) row present in the baseline is missing from the run,
+  * either byte column deviates from the baseline by more than --tolerance
+    (default 10%), or
+  * shared packed bytes are not strictly smaller than private packed bytes
+    on any row -- the cache's raison d'etre.
+
+The smoke shapes have every extent a multiple of the widest microkernel NR,
+so the byte totals are ISA-independent and exact equality is the expected
+steady state; the tolerance only absorbs deliberate geometry retunes small
+enough not to need a baseline refresh.  For larger changes, regenerate the
+baseline from a local smoke run and commit it alongside the change.
+
+Usage: scripts/check_packed_bytes.py RUN_CSV [--baseline PATH] [--tolerance F]
+"""
+
+import argparse
+import csv
+import sys
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        sys.exit(f"error: no data rows in {path}")
+    return {(r["label"], r["burst"]): r for r in rows}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("run_csv", help="CSV from bench_panel_cache --smoke --csv")
+    parser.add_argument(
+        "--baseline",
+        default="bench/baselines/panel_cache_smoke_bytes.csv",
+        help="committed baseline CSV (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative deviation per byte column (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    run = load(args.run_csv)
+
+    failures = []
+    for key, base in baseline.items():
+        got = run.get(key)
+        if got is None:
+            failures.append(f"{key}: row missing from run CSV")
+            continue
+        shared = int(got["shared_packed_bytes"])
+        private = int(got["private_packed_bytes"])
+        if shared >= private:
+            failures.append(
+                f"{key}: shared packed bytes {shared} >= private {private}"
+            )
+        for column in ("shared_packed_bytes", "private_packed_bytes"):
+            want = int(base[column])
+            have = int(got[column])
+            if want <= 0:
+                failures.append(f"{key}: non-positive baseline {column}={want}")
+                continue
+            deviation = abs(have - want) / want
+            if deviation > args.tolerance:
+                failures.append(
+                    f"{key}: {column} {have} deviates "
+                    f"{deviation:.1%} from baseline {want} "
+                    f"(tolerance {args.tolerance:.0%})"
+                )
+
+    if failures:
+        print("packed-bytes regression check FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(
+        f"packed-bytes regression check passed: {len(baseline)} row(s) "
+        f"within {args.tolerance:.0%} of baseline, shared < private everywhere"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

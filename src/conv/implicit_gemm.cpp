@@ -125,10 +125,21 @@ void execute_conv_plan(const core::SchedulePlan& plan, const ConvShape& conv,
                            mapping.shape().n,
                            epilogue::tensor_type_of<Out>());
 
+  // Panel-cache grid for the implicit operands: chunks are single MAC-loop
+  // iterations (the gather works per iteration, so chunk_depth is BLK_K).
+  // A cache hit here skips both the pack *and* the per-element gather --
+  // the most expensive staging of any substrate.
+  core::PanelCacheGeometry conv_geo = plan.panel_geometry();
+  cpu::PanelCacheConfig cache_config;
+  cache_config.row_panels = conv_geo.row_panels;
+  cache_config.col_panels = conv_geo.col_panels;
+  cache_config.chunks = mapping.iters_per_tile();
+  cache_config.chunk_depth = blk.k;
+
   cpu::run_decomposed<Acc>(
       plan, blk.tile_elements(),
       [&](const core::TileSegment& seg, std::span<Acc> accum,
-          cpu::MacScratch<Acc>& scratch) {
+          cpu::MacScratch<Acc>& scratch, cpu::PanelCache<Acc>* cache) {
         const core::TileCoord coord = mapping.tile_coord(seg.tile_idx);
         const std::int64_t mm = coord.tm * blk.m;
         const std::int64_t nn = coord.tn * blk.n;
@@ -138,29 +149,59 @@ void execute_conv_plan(const core::SchedulePlan& plan, const ConvShape& conv,
         // The implicit operands need per-element address math, so each
         // iteration is gathered into row-major staging first (the expensive
         // pass) and then repacked into microkernel panels -- both passes
-        // touch only the valid em x ek / ek x en region.
+        // touch only the valid em x ek / ek x en region.  The iteration
+        // grid is absolute in k, so every iteration aligns with the shared
+        // arena's chunk grid; a published panel spares later tiles the
+        // gather and the pack alike.
         scratch.ensure_frags(blk);
         for (std::int64_t iter = seg.iter_begin; iter < seg.iter_end; ++iter) {
           const std::int64_t kk = iter * blk.k;
           const std::int64_t ek = mapping.iter_extent_k(iter);
-          gather_input_fragment<In, Acc>(conv, input, mm, em, kk, ek, blk,
-                                         scratch.frag_a);
-          gather_filter_fragment<In, Acc>(conv, filter, nn, en, kk, ek, blk,
-                                          scratch.frag_b);
-          cpu::pack_a_panels<Acc>(
-              em, ek,
-              [&](std::int64_t i, std::int64_t l) {
-                return scratch.frag_a[static_cast<std::size_t>(i * blk.k + l)];
-              },
-              scratch.packs.a.data());
-          cpu::pack_b_panels<Acc>(
-              ek, en,
-              [&](std::int64_t l, std::int64_t j) {
-                return scratch.frag_b[static_cast<std::size_t>(l * blk.n + j)];
-              },
-              scratch.packs.b.data());
-          cpu::run_packed_mac(scratch.packs.a.data(), scratch.packs.b.data(),
-                              em, en, ek, accum.data(), blk.n);
+          const Acc* pa = nullptr;
+          const Acc* pb = nullptr;
+          const bool cacheable =
+              cache != nullptr && cache->chunk_depth() == blk.k;
+          const auto pack_input = [&](Acc* dst) {
+            gather_input_fragment<In, Acc>(conv, input, mm, em, kk, ek, blk,
+                                           scratch.frag_a);
+            cpu::pack_a_panels<Acc>(
+                em, ek,
+                [&](std::int64_t i, std::int64_t l) {
+                  return scratch
+                      .frag_a[static_cast<std::size_t>(i * blk.k + l)];
+                },
+                dst);
+          };
+          const auto pack_filter = [&](Acc* dst) {
+            gather_filter_fragment<In, Acc>(conv, filter, nn, en, kk, ek, blk,
+                                            scratch.frag_b);
+            cpu::pack_b_panels<Acc>(
+                ek, en,
+                [&](std::int64_t l, std::int64_t j) {
+                  return scratch
+                      .frag_b[static_cast<std::size_t>(l * blk.n + j)];
+                },
+                dst);
+          };
+          if (cacheable) {
+            pa = cache->acquire_a(coord.tm, iter, em, ek, pack_input);
+            pb = cache->acquire_b(coord.tn, iter, en, ek, pack_filter);
+          }
+          if (pa == nullptr) {
+            pack_input(scratch.packs.a.data());
+            cpu::PackProbe::add_private(
+                cpu::round_up(em, cpu::MicroTile<Acc>::kMr) * ek *
+                static_cast<std::int64_t>(sizeof(Acc)));
+            pa = scratch.packs.a.data();
+          }
+          if (pb == nullptr) {
+            pack_filter(scratch.packs.b.data());
+            cpu::PackProbe::add_private(
+                cpu::round_up(en, cpu::MicroTile<Acc>::kNr) * ek *
+                static_cast<std::int64_t>(sizeof(Acc)));
+            pb = scratch.packs.b.data();
+          }
+          cpu::run_packed_mac(pa, pb, em, en, ek, accum.data(), blk.n);
         }
       },
       [&](std::int64_t tile_idx, std::span<const Acc> accum) {
@@ -183,7 +224,7 @@ void execute_conv_plan(const core::SchedulePlan& plan, const ConvShape& conv,
                                         out_row);
         }
       },
-      options);
+      options, &cache_config);
 }
 
 template <typename In, typename Acc, typename Out>
@@ -229,6 +270,7 @@ cpu::GemmReport conv_forward_blocking(const ConvShape& conv,
   exec.alpha = options.alpha;
   exec.beta = options.beta;
   exec.epilogue = options.epilogue;
+  exec.panel_cache = options.panel_cache;
 
   const auto start = std::chrono::steady_clock::now();
   execute_conv_plan<In, Acc, Out>(*plan, conv, input, filter, output, exec);

@@ -6,9 +6,40 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/tile_order.hpp"
 #include "util/check.hpp"
 
 namespace streamk::core {
+
+namespace {
+
+/// Cache-aware issue-window size for `mapping`: the largest power-of-two
+/// count of consecutively issued tiles whose average distinct-panel
+/// footprint (one panel_kc-deep chunk per touched panel, element-counted
+/// with panel_touch_cost) still fits PanelCacheGeometry's shared-cache
+/// budget.  Windows are monotone -- doubling the window can only merge
+/// panel touches -- so the first over-budget width ends the sweep.
+std::int64_t choose_tile_window(const WorkMapping& mapping,
+                                std::int64_t panel_kc) {
+  const std::int64_t tiles = mapping.tiles();
+  if (tiles <= 1 || panel_kc <= 0) return 1;
+  const gpu::BlockShape blk = mapping.block();
+  const std::int64_t panel_elems = std::max(blk.m, blk.n) * panel_kc;
+  if (panel_elems <= 0) return 1;
+
+  std::int64_t best = 1;
+  for (std::int64_t w = 2; w <= tiles; w *= 2) {
+    const std::int64_t cost = windowed_panel_cost(
+        mapping.tile_order(), mapping.tiles_m(), mapping.tiles_n(), w);
+    const std::int64_t windows = ceil_div(tiles, w);
+    const std::int64_t footprint = (cost / windows) * panel_elems;
+    if (footprint > PanelCacheGeometry::kWindowElementBudget) break;
+    best = w;
+  }
+  return best;
+}
+
+}  // namespace
 
 /// Keyed on the op chain itself -- the compiled plan depends only on
 /// structure, never on bindings.  A linear scan over the few distinct
@@ -97,6 +128,17 @@ SchedulePlan::SchedulePlan(const Decomposition& decomposition)
   }
   pack_geometry_.chunk_iters = chunk_iters;
   pack_geometry_.panel_kc = chunk_iters * blk_k;
+
+  // Shared panel-cache slot grid: one slot per (panel, k-chunk) at the pack
+  // chunking above, chunks anchored at absolute k = 0.  Sharing is worth
+  // arming only when at least two tiles can reuse a panel.
+  panel_geometry_.row_panels = mapping_.tiles_m();
+  panel_geometry_.col_panels = mapping_.tiles_n();
+  panel_geometry_.panel_kc = pack_geometry_.panel_kc;
+  panel_geometry_.chunks = ceil_div(mapping_.iters_per_tile(), chunk_iters);
+  panel_geometry_.shareable = tiles >= 2;
+  panel_geometry_.tile_window =
+      choose_tile_window(mapping_, pack_geometry_.panel_kc);
 
   contributor_offsets_.assign(static_cast<std::size_t>(tiles) + 1, 0);
   for (std::int64_t tile = 0; tile < tiles; ++tile) {

@@ -65,6 +65,37 @@ struct PackedPanelGeometry {
   std::int64_t panel_kc = 0;           ///< chunk_iters * BLK_K
 };
 
+/// Shared packed-panel cache geometry (cpu/panel_cache.hpp): the slot grid
+/// of the per-GEMM arena that lets the first CTA needing an (A row-panel,
+/// k-chunk) or (B column-panel, k-chunk) pack it once for everyone.  The
+/// chunk grid is anchored at absolute k = 0 with the pack_geometry() depth,
+/// which coincides with the per-CTA chunk walk exactly for segments whose
+/// start is panel_kc-aligned -- misaligned chunks simply bypass the cache,
+/// so the FP summation trees (and bitwise results) never change.
+///
+/// `tile_window` is the cache-aware issue-window size: consecutive linear
+/// tile ids are claimed in descending order, so a window of w concurrently
+/// running CTAs touches the panel working set panel_touch_cost() models.
+/// The plan picks the largest power-of-two window whose average per-window
+/// panel footprint still fits the shared-cache budget, so tiles that share
+/// panels run while those panels are resident (and, with the cache, while
+/// their READY slots are hot).
+struct PanelCacheGeometry {
+  /// Per-window packed-panel footprint budget, in *elements* (plans are
+  /// dtype-agnostic; sized for 8-byte accumulators this is ~4 MiB, a
+  /// conservative slice of a desktop L3).
+  static constexpr std::int64_t kWindowElementBudget = 512 * 1024;
+
+  std::int64_t row_panels = 0;   ///< A row-panel count (tiles_m)
+  std::int64_t col_panels = 0;   ///< B column-panel count (tiles_n)
+  std::int64_t chunks = 0;       ///< k-chunks per panel at pack panel_kc
+  std::int64_t panel_kc = 0;     ///< == pack_geometry().panel_kc
+  std::int64_t tile_window = 1;  ///< cache-aware consecutive-issue window
+  /// Sharing can pay only when at least two tiles exist (otherwise every
+  /// panel has exactly one consumer and the arena is pure overhead).
+  bool shareable = false;
+};
+
 class SchedulePlan {
  public:
   /// Compiles `decomposition` (prefer compile_plan() for call sites).
@@ -117,6 +148,9 @@ class SchedulePlan {
   /// Packed-panel chunking the CPU microkernel path uses for this plan.
   const PackedPanelGeometry& pack_geometry() const { return pack_geometry_; }
 
+  /// Shared panel-cache slot geometry and cache-aware tile window.
+  const PanelCacheGeometry& panel_geometry() const { return panel_geometry_; }
+
   /// Dispatch waves on a device exposing `slots` residency slots.
   std::int64_t waves(std::int64_t slots) const {
     return slots > 0 ? ceil_div(grid_, slots) : 0;
@@ -161,6 +195,7 @@ class SchedulePlan {
   std::int64_t spill_slots_ = 0;
 
   PackedPanelGeometry pack_geometry_;
+  PanelCacheGeometry panel_geometry_;
 
   std::int64_t total_iters_ = 0;
   std::int64_t total_spills_ = 0;

@@ -46,12 +46,16 @@ namespace {
 /// iterations (the batched analogue of run_mac_segment).  Extents come from
 /// the entry's real shape, not the virtual stacked mapping, so the m-padding
 /// rows between entries are never packed or multiplied.
+/// `row_key`/`col_key` name this tile's panels in the shared cache's grid:
+/// entry-qualified, since two entries' tiles at the same local coordinates
+/// read different operand matrices.
 template <typename In, typename Acc>
 void batched_mac_segment(const Matrix<In>& a, const Matrix<In>& b,
                          const core::GemmShape& shape,
                          const gpu::BlockShape& blk, const BatchedTile& tile,
                          const core::TileSegment& seg, std::span<Acc> accum,
-                         MacScratch<Acc>& scratch) {
+                         MacScratch<Acc>& scratch, PanelCache<Acc>* cache,
+                         std::int64_t row_key, std::int64_t col_key) {
   const std::int64_t mm = tile.local_tm * blk.m;
   const std::int64_t nn = tile.tn * blk.n;
   const std::int64_t em = std::min(blk.m, shape.m - mm);
@@ -59,13 +63,16 @@ void batched_mac_segment(const Matrix<In>& a, const Matrix<In>& b,
 
   const std::int64_t k_begin = seg.iter_begin * blk.k;
   const std::int64_t k_end = std::min(seg.iter_end * blk.k, shape.k);
-  for (std::int64_t k0 = k_begin; k0 < k_end; k0 += scratch.panel_kc()) {
-    const std::int64_t kc = std::min(scratch.panel_kc(), k_end - k0);
-    pack_a_matrix(a, mm, em, k0, kc, scratch.packs.a.data());
-    pack_b_matrix(b, k0, kc, nn, en, scratch.packs.b.data());
-    run_packed_mac(scratch.packs.a.data(), scratch.packs.b.data(), em, en, kc,
-                   accum.data(), blk.n);
-  }
+  run_cached_chunks<Acc>(
+      cache, row_key, col_key, em, en, k_begin, k_end, shape.k,
+      scratch.panel_kc(),
+      [&](std::int64_t k0, std::int64_t kc, Acc* dst) {
+        pack_a_matrix(a, mm, em, k0, kc, dst);
+      },
+      [&](std::int64_t k0, std::int64_t kc, Acc* dst) {
+        pack_b_matrix(b, k0, kc, nn, en, dst);
+      },
+      scratch.packs, accum.data(), blk.n);
 }
 
 /// Epilogue for one batch entry's tile.  Row-indexed epilogue bindings
@@ -121,14 +128,29 @@ void execute_batched_plan(const core::SchedulePlan& plan,
                            batched.batch * batched.shape.m, batched.shape.n,
                            epilogue::tensor_type_of<Out>());
 
+  // The virtual stacked mapping already entry-qualifies the m axis (its
+  // tiles_m is batch * per-entry tiles_m), but the n axis is shared across
+  // entries in the plan -- and entries multiply *different* B matrices --
+  // so the cache grid widens col_panels to batch * tiles_n.
+  const std::int64_t tiles_m = core::ceil_div(batched.shape.m, blk.m);
+  const std::int64_t tiles_n = core::ceil_div(batched.shape.n, blk.n);
+  const core::PanelCacheGeometry& geo = plan.panel_geometry();
+  PanelCacheConfig cache_config;
+  cache_config.row_panels = mapping.tiles_m();  // == batch * tiles_m
+  cache_config.col_panels = batched.batch * tiles_n;
+  cache_config.chunks = geo.chunks;
+  cache_config.chunk_depth = geo.panel_kc;
+
   run_decomposed<Acc>(
       plan, blk.tile_elements(),
       [&](const core::TileSegment& seg, std::span<Acc> accum,
-          MacScratch<Acc>& scratch) {
+          MacScratch<Acc>& scratch, PanelCache<Acc>* cache) {
         const BatchedTile tile = batched_tile(batched, blk, seg.tile_idx);
         const auto entry = static_cast<std::size_t>(tile.entry);
         batched_mac_segment<In, Acc>(as[entry], bs[entry], batched.shape, blk,
-                                     tile, seg, accum, scratch);
+                                     tile, seg, accum, scratch, cache,
+                                     tile.entry * tiles_m + tile.local_tm,
+                                     tile.entry * tiles_n + tile.tn);
       },
       [&](std::int64_t tile_idx, std::span<const Acc> accum) {
         const BatchedTile tile = batched_tile(batched, blk, tile_idx);
@@ -136,7 +158,7 @@ void execute_batched_plan(const core::SchedulePlan& plan,
                                      cs[static_cast<std::size_t>(tile.entry)],
                                      options);
       },
-      options);
+      options, &cache_config);
 }
 
 template <typename In, typename Acc, typename Out>
@@ -190,6 +212,7 @@ GemmReport batched_gemm_blocking(std::span<const Matrix<In>> as,
   exec.alpha = options.alpha;
   exec.beta = options.beta;
   exec.epilogue = options.epilogue;
+  exec.panel_cache = options.panel_cache;
 
   const auto start = std::chrono::steady_clock::now();
   execute_batched_plan<In, Acc, Out>(*plan, batched, as, bs, cs, exec);

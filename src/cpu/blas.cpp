@@ -18,7 +18,7 @@ template <typename In, typename Acc>
 void view_mac_segment(const MatrixView<In>& a, const MatrixView<In>& b,
                       const core::WorkMapping& mapping,
                       const core::TileSegment& seg, std::span<Acc> accum,
-                      MacScratch<Acc>& scratch) {
+                      MacScratch<Acc>& scratch, PanelCache<Acc>* cache) {
   const gpu::BlockShape& blk = mapping.block();
   const core::TileCoord coord = mapping.tile_coord(seg.tile_idx);
   const std::int64_t mm = coord.tm * blk.m;
@@ -26,25 +26,29 @@ void view_mac_segment(const MatrixView<In>& a, const MatrixView<In>& b,
   const std::int64_t em = mapping.tile_extent_m(coord.tm);
   const std::int64_t en = mapping.tile_extent_n(coord.tn);
 
+  const std::int64_t k_total = mapping.shape().k;
   const std::int64_t k_begin = seg.iter_begin * blk.k;
-  const std::int64_t k_end = std::min(seg.iter_end * blk.k, mapping.shape().k);
-  for (std::int64_t k0 = k_begin; k0 < k_end; k0 += scratch.panel_kc()) {
-    const std::int64_t kc = std::min(scratch.panel_kc(), k_end - k0);
-    pack_a_panels<Acc>(
-        em, kc,
-        [&](std::int64_t i, std::int64_t k) {
-          return static_cast<Acc>(a.at(mm + i, k0 + k));
-        },
-        scratch.packs.a.data());
-    pack_b_panels<Acc>(
-        kc, en,
-        [&](std::int64_t k, std::int64_t j) {
-          return static_cast<Acc>(b.at(k0 + k, nn + j));
-        },
-        scratch.packs.b.data());
-    run_packed_mac(scratch.packs.a.data(), scratch.packs.b.data(), em, en, kc,
-                   accum.data(), blk.n);
-  }
+  const std::int64_t k_end = std::min(seg.iter_end * blk.k, k_total);
+  run_cached_chunks<Acc>(
+      cache, coord.tm, coord.tn, em, en, k_begin, k_end, k_total,
+      scratch.panel_kc(),
+      [&](std::int64_t k0, std::int64_t kc, Acc* dst) {
+        pack_a_panels<Acc>(
+            em, kc,
+            [&](std::int64_t i, std::int64_t k) {
+              return static_cast<Acc>(a.at(mm + i, k0 + k));
+            },
+            dst);
+      },
+      [&](std::int64_t k0, std::int64_t kc, Acc* dst) {
+        pack_b_panels<Acc>(
+            kc, en,
+            [&](std::int64_t k, std::int64_t j) {
+              return static_cast<Acc>(b.at(k0 + k, nn + j));
+            },
+            dst);
+      },
+      scratch.packs, accum.data(), blk.n);
 }
 
 }  // namespace
@@ -70,8 +74,8 @@ void execute_views_plan(const core::SchedulePlan& plan,
   run_decomposed<Acc>(
       plan, blk.tile_elements(),
       [&](const core::TileSegment& seg, std::span<Acc> accum,
-          MacScratch<Acc>& scratch) {
-        view_mac_segment<In, Acc>(a, b, mapping, seg, accum, scratch);
+          MacScratch<Acc>& scratch, PanelCache<Acc>* cache) {
+        view_mac_segment<In, Acc>(a, b, mapping, seg, accum, scratch, cache);
       },
       [&](std::int64_t tile_idx, std::span<const Acc> accum) {
         const core::TileCoord coord = mapping.tile_coord(tile_idx);
@@ -125,6 +129,7 @@ GemmReport blas_impl(Trans trans_a, Trans trans_b, double alpha,
   exec.alpha = alpha;
   exec.beta = beta;
   exec.epilogue = options.epilogue;
+  exec.panel_cache = options.panel_cache;
 
   const auto start = std::chrono::steady_clock::now();
   execute_views_plan<In, Acc, Out>(*plan, va, vb, c, exec);

@@ -11,8 +11,10 @@
 // hot loop touches only flat arrays: no virtual calls, no per-CTA vector
 // materialization.  The caller supplies two functors:
 //
-//     mac(segment, accum, scratch)  -- accumulate the segment's iterations
-//     store(tile_idx, accum)        -- epilogue for a completed tile
+//     mac(segment, accum, scratch, cache)  -- accumulate the segment's
+//                                             iterations (cache may be null:
+//                                             pack privately)
+//     store(tile_idx, accum)               -- epilogue for a completed tile
 //
 // Deadlock freedom and memory-ordering arguments are identical to
 // cpu/executor.hpp (waits target higher ids; claims descend; flag
@@ -31,20 +33,28 @@
 #include "core/schedule_plan.hpp"
 #include "cpu/executor.hpp"
 #include "cpu/mac_loop.hpp"
+#include "cpu/panel_cache.hpp"
 #include "cpu/workspace.hpp"
 #include "runtime/workspace_pool.hpp"
 #include "util/threading.hpp"
 
 namespace streamk::cpu {
 
+/// `cache_config` overrides the plan's panel-cache slot grid for substrates
+/// whose panel keys are not the plain (tm, tn) matrix panels (batched
+/// entries, convolution iterations); nullptr takes the plan geometry.
 template <typename Acc, typename MacFn, typename StoreFn>
 void run_decomposed(const core::SchedulePlan& plan, std::int64_t tile_elements,
                     MacFn&& mac, StoreFn&& store,
-                    const ExecutorOptions& options) {
+                    const ExecutorOptions& options,
+                    const PanelCacheConfig* cache_config = nullptr) {
   plan.check_runnable();
   auto lease =
       runtime::WorkspacePool<Acc>::instance().acquire(plan, tile_elements);
   FixupWorkspace<Acc>& workspace = lease.workspace();
+  auto cache_lease = runtime::PanelCachePool<Acc>::instance().acquire(
+      plan, options.panel_cache, cache_config);
+  PanelCache<Acc>* cache = cache_lease.cache();
   const std::size_t workers =
       options.workers > 0 ? options.workers : util::default_workers();
 
@@ -64,7 +74,7 @@ void run_decomposed(const core::SchedulePlan& plan, std::int64_t tile_elements,
     try {
       for (const core::TileSegment& seg : segments) {
         std::fill(accum.begin(), accum.end(), Acc{});
-        mac(seg, std::span<Acc>(accum), scratch);
+        mac(seg, std::span<Acc>(accum), scratch, cache);
 
         if (!seg.starts_tile()) {
           std::span<Acc> slot = workspace.partials(cta);

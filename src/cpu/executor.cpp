@@ -28,8 +28,8 @@ void execute_plan(const core::SchedulePlan& plan, const Matrix<In>& a,
   run_decomposed<Acc>(
       plan, mapping.block().tile_elements(),
       [&](const core::TileSegment& seg, std::span<Acc> accum,
-          MacScratch<Acc>& scratch) {
-        run_mac_segment<In, Acc>(a, b, mapping, seg, accum, scratch);
+          MacScratch<Acc>& scratch, PanelCache<Acc>* cache) {
+        run_mac_segment<In, Acc>(a, b, mapping, seg, accum, scratch, cache);
       },
       [&](std::int64_t tile_idx, std::span<const Acc> accum) {
         const gpu::BlockShape& blk = mapping.block();

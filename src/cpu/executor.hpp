@@ -30,11 +30,24 @@ class SchedulePlan;
 
 namespace streamk::cpu {
 
+/// Shared packed-panel cache policy (cpu/panel_cache.hpp).  kAuto shares
+/// whenever the plan says sharing can pay (two or more tiles) and the
+/// STREAMK_PANEL_CACHE kill switch is armed; kOn/kOff force the decision
+/// per call (the kill switch still overrides kOn, so STREAMK_PANEL_CACHE=0
+/// restores private packing process-wide).
+enum class PanelCacheMode {
+  kAuto,
+  kOn,
+  kOff,
+};
+
 struct ExecutorOptions {
   /// Worker threads (0 = one per hardware thread).
   std::size_t workers = 0;
   double alpha = 1.0;
   double beta = 0.0;
+  /// Shared packed-panel cache policy for this call.
+  PanelCacheMode panel_cache = PanelCacheMode::kAuto;
   /// Fused output-transform chain, applied exactly once per output element
   /// by the tile owner's store (solo tiles at tile-store time, split tiles
   /// at the post-fixup reconciliation point) -- see epilogue/epilogue.hpp.

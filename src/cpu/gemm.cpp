@@ -84,6 +84,7 @@ GemmReport gemm_impl(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
   exec.alpha = options.alpha;
   exec.beta = options.beta;
   exec.epilogue = options.epilogue;
+  exec.panel_cache = options.panel_cache;
 
   const auto start = std::chrono::steady_clock::now();
   execute_plan<In, Acc, Out>(*plan, a, b, c, exec);
@@ -120,6 +121,12 @@ GemmOptions apply_tuned_dispatch(const core::GemmShape& shape,
   options.block = t.block;
   options.grid = t.grid;
   options.split = t.split;
+  if (options.panel_cache == PanelCacheMode::kAuto) {
+    // The db's measured verdict on panel sharing applies only when the
+    // caller has not forced the knob (kAuto is the only tunable state, so
+    // this mirrors the schedule/block pinning rule above).
+    options.panel_cache = t.panel_cache;
+  }
   if (options.workers == 0 && t.workers > 0) {
     // Cap at the host default: a database tuned on a wider machine may
     // mis-rank schedules here, but it must not oversubscribe this one

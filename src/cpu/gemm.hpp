@@ -44,6 +44,10 @@ struct GemmOptions {
   std::size_t workers = 0; ///< 0 = hardware concurrency
   double alpha = 1.0;
   double beta = 0.0;
+  /// Shared packed-panel cache policy (cpu/panel_cache.hpp): kAuto lets the
+  /// plan (and the tuner, when the db has a measured verdict for the shape)
+  /// decide; kOn/kOff force it.  STREAMK_PANEL_CACHE=0 overrides everything.
+  PanelCacheMode panel_cache = PanelCacheMode::kAuto;
   /// Fused epilogue chain (bias, activation, residual add, per-row
   /// reductions), applied exactly once per output element at tile-store /
   /// post-fixup time instead of a second pass over C.  Structure plus

@@ -10,7 +10,7 @@ template <typename In, typename Acc>
 void run_mac_segment(const Matrix<In>& a, const Matrix<In>& b,
                      const core::WorkMapping& mapping,
                      const core::TileSegment& seg, std::span<Acc> accum,
-                     MacScratch<Acc>& scratch) {
+                     MacScratch<Acc>& scratch, PanelCache<Acc>* cache) {
   const gpu::BlockShape& blk = mapping.block();
   util::check(accum.size() ==
                   static_cast<std::size_t>(blk.tile_elements()),
@@ -24,27 +24,35 @@ void run_mac_segment(const Matrix<In>& a, const Matrix<In>& b,
   const std::int64_t en = mapping.tile_extent_n(coord.tn);
 
   // A segment's iterations are contiguous in k, so the whole segment is one
-  // k range; pack and multiply it panel_kc elements at a time.
+  // k range; pack and multiply it panel_kc elements at a time.  Chunks that
+  // line up with the shared arena's absolute-k grid come from the cache;
+  // the rest (and everything when cache == nullptr) pack privately.
+  const std::int64_t k_total = mapping.shape().k;
   const std::int64_t k_begin = seg.iter_begin * blk.k;
-  const std::int64_t k_end = std::min(seg.iter_end * blk.k, mapping.shape().k);
-  for (std::int64_t k0 = k_begin; k0 < k_end; k0 += scratch.panel_kc()) {
-    const std::int64_t kc = std::min(scratch.panel_kc(), k_end - k0);
-    pack_a_matrix(a, mm, em, k0, kc, scratch.packs.a.data());
-    pack_b_matrix(b, k0, kc, nn, en, scratch.packs.b.data());
-    run_packed_mac(scratch.packs.a.data(), scratch.packs.b.data(), em, en, kc,
-                   accum.data(), blk.n);
-  }
+  const std::int64_t k_end = std::min(seg.iter_end * blk.k, k_total);
+  run_cached_chunks<Acc>(
+      cache, coord.tm, coord.tn, em, en, k_begin, k_end, k_total,
+      scratch.panel_kc(),
+      [&](std::int64_t k0, std::int64_t kc, Acc* dst) {
+        pack_a_matrix(a, mm, em, k0, kc, dst);
+      },
+      [&](std::int64_t k0, std::int64_t kc, Acc* dst) {
+        pack_b_matrix(b, k0, kc, nn, en, dst);
+      },
+      scratch.packs, accum.data(), blk.n);
 }
 
 template void run_mac_segment<double, double>(
     const Matrix<double>&, const Matrix<double>&, const core::WorkMapping&,
-    const core::TileSegment&, std::span<double>, MacScratch<double>&);
+    const core::TileSegment&, std::span<double>, MacScratch<double>&,
+    PanelCache<double>*);
 template void run_mac_segment<float, float>(
     const Matrix<float>&, const Matrix<float>&, const core::WorkMapping&,
-    const core::TileSegment&, std::span<float>, MacScratch<float>&);
+    const core::TileSegment&, std::span<float>, MacScratch<float>&,
+    PanelCache<float>*);
 template void run_mac_segment<util::Half, float>(
     const Matrix<util::Half>&, const Matrix<util::Half>&,
     const core::WorkMapping&, const core::TileSegment&, std::span<float>,
-    MacScratch<float>&);
+    MacScratch<float>&, PanelCache<float>*);
 
 }  // namespace streamk::cpu

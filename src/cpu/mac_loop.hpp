@@ -16,6 +16,7 @@
 #include "core/decomposition.hpp"
 #include "cpu/matrix.hpp"
 #include "cpu/packing.hpp"
+#include "cpu/panel_cache.hpp"
 
 namespace streamk::cpu {
 
@@ -65,21 +66,27 @@ struct MacScratch {
 /// into `accum` (BLK_M x BLK_N, row-major).  The caller zero-initializes
 /// `accum` before the first segment of a tile; only the valid em x en
 /// corner is written, so the padding region of an edge tile stays zero.
+/// With a non-null `cache`, chunk panels aligned to the shared arena's
+/// grid are packed once per GEMM instead of once per tile (see
+/// cpu/panel_cache.hpp); a null cache packs privately as before.
 template <typename In, typename Acc>
 void run_mac_segment(const Matrix<In>& a, const Matrix<In>& b,
                      const core::WorkMapping& mapping,
                      const core::TileSegment& seg, std::span<Acc> accum,
-                     MacScratch<Acc>& scratch);
+                     MacScratch<Acc>& scratch,
+                     PanelCache<Acc>* cache = nullptr);
 
 extern template void run_mac_segment<double, double>(
     const Matrix<double>&, const Matrix<double>&, const core::WorkMapping&,
-    const core::TileSegment&, std::span<double>, MacScratch<double>&);
+    const core::TileSegment&, std::span<double>, MacScratch<double>&,
+    PanelCache<double>*);
 extern template void run_mac_segment<float, float>(
     const Matrix<float>&, const Matrix<float>&, const core::WorkMapping&,
-    const core::TileSegment&, std::span<float>, MacScratch<float>&);
+    const core::TileSegment&, std::span<float>, MacScratch<float>&,
+    PanelCache<float>*);
 extern template void run_mac_segment<util::Half, float>(
     const Matrix<util::Half>&, const Matrix<util::Half>&,
     const core::WorkMapping&, const core::TileSegment&, std::span<float>,
-    MacScratch<float>&);
+    MacScratch<float>&, PanelCache<float>*);
 
 }  // namespace streamk::cpu

@@ -41,7 +41,8 @@ void pack_a_matrix(const Matrix<In>& a, std::int64_t row0, std::int64_t em,
   const std::int64_t panels = (em + kMr - 1) / kMr;
   // Each source row is contiguous along k: convert a stretch of the row at
   // unit stride (vectorizable, F16C for Half), then scatter it into the
-  // panel's k-major layout.
+  // panel's k-major layout.  Only the final panel of an MR-ragged em needs
+  // its tail lanes zeroed; full-extent tiles never execute fill code.
   for (std::int64_t p = 0; p < panels; ++p) {
     Acc* panel = dst + p * kMr * kc;
     const std::int64_t mr = std::min(kMr, em - p * kMr);
@@ -56,6 +57,7 @@ void pack_a_matrix(const Matrix<In>& a, std::int64_t row0, std::int64_t em,
         }
       }
     }
+    if (mr == kMr) continue;  // full panel: no tail to zero
     for (std::int64_t i = mr; i < kMr; ++i) {
       for (std::int64_t k = 0; k < kc; ++k) panel[k * kMr + i] = Acc{};
     }
@@ -66,19 +68,27 @@ template <typename In, typename Acc>
 void pack_b_matrix(const Matrix<In>& b, std::int64_t row0, std::int64_t kc,
                    std::int64_t col0, std::int64_t en, Acc* dst) {
   constexpr std::int64_t kNr = MicroTile<Acc>::kNr;
-  const std::int64_t panels = (en + kNr - 1) / kNr;
+  const std::int64_t full_panels = en / kNr;
   // B packs row-by-row within a panel (source rows are contiguous), so the
   // copy is a unit-stride sweep (F16C-converted for Half) rather than the
-  // generic accessor walk.
-  for (std::int64_t q = 0; q < panels; ++q) {
+  // generic accessor walk.  Full panels run a tail-free inner loop; the
+  // per-k zero fill exists only in the single ragged final panel (if any),
+  // so a full-extent tile's pack writes no padding at all.
+  for (std::int64_t q = 0; q < full_panels; ++q) {
     Acc* panel = dst + q * kNr * kc;
-    const std::int64_t nr = std::min(kNr, en - q * kNr);
     for (std::int64_t k = 0; k < kc; ++k) {
-      const In* src = b.row_ptr(row0 + k) + col0 + q * kNr;
-      Acc* row = panel + k * kNr;
-      convert_row(src, nr, row);
-      for (std::int64_t j = nr; j < kNr; ++j) row[j] = Acc{};
+      convert_row(b.row_ptr(row0 + k) + col0 + q * kNr, kNr,
+                  panel + k * kNr);
     }
+  }
+  const std::int64_t nr = en - full_panels * kNr;
+  if (nr == 0) return;
+  Acc* panel = dst + full_panels * kNr * kc;
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const In* src = b.row_ptr(row0 + k) + col0 + full_panels * kNr;
+    Acc* row = panel + k * kNr;
+    convert_row(src, nr, row);
+    for (std::int64_t j = nr; j < kNr; ++j) row[j] = Acc{};
   }
 }
 

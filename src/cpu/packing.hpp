@@ -92,37 +92,52 @@ struct PackBuffers {
 };
 
 /// Packs the em x kc A sub-block into MR-row panels.  `src(i, k)` returns
-/// element (i, k) of the sub-block at accumulator precision; tail lanes of
-/// a partial final panel are zeroed.
+/// element (i, k) of the sub-block at accumulator precision.  Zero fill is
+/// confined to the single ragged final panel (when em % MR != 0): full
+/// panels run a tail-free inner loop, so a full-extent tile writes no
+/// padding at all.
 template <typename Acc, typename SrcFn>
 void pack_a_panels(std::int64_t em, std::int64_t kc, SrcFn&& src, Acc* dst) {
   constexpr std::int64_t kMr = MicroTile<Acc>::kMr;
-  const std::int64_t panels = (em + kMr - 1) / kMr;
-  for (std::int64_t p = 0; p < panels; ++p) {
+  const std::int64_t full_panels = em / kMr;
+  for (std::int64_t p = 0; p < full_panels; ++p) {
     Acc* panel = dst + p * kMr * kc;
-    const std::int64_t mr = std::min(kMr, em - p * kMr);
     for (std::int64_t k = 0; k < kc; ++k) {
       Acc* col = panel + k * kMr;
-      for (std::int64_t i = 0; i < mr; ++i) col[i] = src(p * kMr + i, k);
-      for (std::int64_t i = mr; i < kMr; ++i) col[i] = Acc{};
+      for (std::int64_t i = 0; i < kMr; ++i) col[i] = src(p * kMr + i, k);
     }
+  }
+  const std::int64_t mr = em - full_panels * kMr;
+  if (mr == 0) return;
+  Acc* panel = dst + full_panels * kMr * kc;
+  for (std::int64_t k = 0; k < kc; ++k) {
+    Acc* col = panel + k * kMr;
+    for (std::int64_t i = 0; i < mr; ++i) col[i] = src(full_panels * kMr + i, k);
+    for (std::int64_t i = mr; i < kMr; ++i) col[i] = Acc{};
   }
 }
 
 /// Packs the kc x en B sub-block into NR-column panels; `src(k, j)` returns
-/// element (k, j) at accumulator precision.
+/// element (k, j) at accumulator precision.  As with pack_a_panels, only a
+/// ragged final panel zero-fills its tail lanes.
 template <typename Acc, typename SrcFn>
 void pack_b_panels(std::int64_t kc, std::int64_t en, SrcFn&& src, Acc* dst) {
   constexpr std::int64_t kNr = MicroTile<Acc>::kNr;
-  const std::int64_t panels = (en + kNr - 1) / kNr;
-  for (std::int64_t q = 0; q < panels; ++q) {
+  const std::int64_t full_panels = en / kNr;
+  for (std::int64_t q = 0; q < full_panels; ++q) {
     Acc* panel = dst + q * kNr * kc;
-    const std::int64_t nr = std::min(kNr, en - q * kNr);
     for (std::int64_t k = 0; k < kc; ++k) {
       Acc* row = panel + k * kNr;
-      for (std::int64_t j = 0; j < nr; ++j) row[j] = src(k, q * kNr + j);
-      for (std::int64_t j = nr; j < kNr; ++j) row[j] = Acc{};
+      for (std::int64_t j = 0; j < kNr; ++j) row[j] = src(k, q * kNr + j);
     }
+  }
+  const std::int64_t nr = en - full_panels * kNr;
+  if (nr == 0) return;
+  Acc* panel = dst + full_panels * kNr * kc;
+  for (std::int64_t k = 0; k < kc; ++k) {
+    Acc* row = panel + k * kNr;
+    for (std::int64_t j = 0; j < nr; ++j) row[j] = src(k, full_panels * kNr + j);
+    for (std::int64_t j = nr; j < kNr; ++j) row[j] = Acc{};
   }
 }
 

@@ -1,0 +1,147 @@
+#include "cpu/panel_cache.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace streamk::cpu {
+
+namespace {
+
+std::atomic<bool>& panel_cache_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("STREAMK_PANEL_CACHE");
+    // Default ON; only an explicit "0" disables (mirrors the
+    // STREAMK_FORCE_SCALAR convention with the opposite default).
+    return env == nullptr || std::string_view(env) != "0";
+  }()};
+  return flag;
+}
+
+std::atomic<std::int64_t>& contention_stride() {
+  static std::atomic<std::int64_t> stride{0};
+  return stride;
+}
+
+std::atomic<std::int64_t>& contention_ticks() {
+  static std::atomic<std::int64_t> ticks{0};
+  return ticks;
+}
+
+std::atomic<std::int64_t>& arena_budget() {
+  /// Generous by default: a 4096^2 fp64 GEMM's full panel set is ~0.5 GiB
+  /// of operands but only (tiles_m + tiles_n) * k panel elements here, and
+  /// the budget exists to stop pathological grids, not typical ones.
+  static std::atomic<std::int64_t> budget{256ll << 20};
+  return budget;
+}
+
+struct ProbeCounters {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::int64_t> shared_packs{0};
+  std::atomic<std::int64_t> shared_bytes{0};
+  std::atomic<std::int64_t> private_packs{0};
+  std::atomic<std::int64_t> private_bytes{0};
+  std::atomic<std::int64_t> hits{0};
+  std::atomic<std::int64_t> fallbacks{0};
+};
+
+ProbeCounters& probe() {
+  static ProbeCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+bool panel_cache_enabled() {
+  return panel_cache_flag().load(std::memory_order_relaxed);
+}
+
+void set_panel_cache_enabled(bool enabled) {
+  panel_cache_flag().store(enabled, std::memory_order_relaxed);
+}
+
+void set_panel_cache_contention_stride(std::int64_t stride) {
+  contention_stride().store(stride, std::memory_order_relaxed);
+  contention_ticks().store(0, std::memory_order_relaxed);
+}
+
+bool panel_cache_contention_fires() {
+  const std::int64_t stride =
+      contention_stride().load(std::memory_order_relaxed);
+  if (stride <= 0) return false;
+  const std::int64_t tick =
+      contention_ticks().fetch_add(1, std::memory_order_relaxed);
+  return tick % stride == stride - 1;
+}
+
+std::int64_t panel_cache_arena_budget() {
+  return arena_budget().load(std::memory_order_relaxed);
+}
+
+void set_panel_cache_arena_budget(std::int64_t bytes) {
+  arena_budget().store(bytes, std::memory_order_relaxed);
+}
+
+void PackProbe::enable(bool on) {
+  probe().enabled.store(on, std::memory_order_relaxed);
+  if (on) reset();
+}
+
+bool PackProbe::enabled() {
+  return probe().enabled.load(std::memory_order_relaxed);
+}
+
+void PackProbe::reset() {
+  probe().shared_packs.store(0, std::memory_order_relaxed);
+  probe().shared_bytes.store(0, std::memory_order_relaxed);
+  probe().private_packs.store(0, std::memory_order_relaxed);
+  probe().private_bytes.store(0, std::memory_order_relaxed);
+  probe().hits.store(0, std::memory_order_relaxed);
+  probe().fallbacks.store(0, std::memory_order_relaxed);
+}
+
+void PackProbe::add_shared(std::int64_t bytes) {
+  if (!enabled()) return;
+  probe().shared_packs.fetch_add(1, std::memory_order_relaxed);
+  probe().shared_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void PackProbe::add_private(std::int64_t bytes) {
+  if (!enabled()) return;
+  probe().private_packs.fetch_add(1, std::memory_order_relaxed);
+  probe().private_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void PackProbe::add_hit() {
+  if (!enabled()) return;
+  probe().hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PackProbe::add_fallback() {
+  if (!enabled()) return;
+  probe().fallbacks.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t PackProbe::shared_packs() {
+  return probe().shared_packs.load(std::memory_order_relaxed);
+}
+std::int64_t PackProbe::shared_bytes() {
+  return probe().shared_bytes.load(std::memory_order_relaxed);
+}
+std::int64_t PackProbe::private_packs() {
+  return probe().private_packs.load(std::memory_order_relaxed);
+}
+std::int64_t PackProbe::private_bytes() {
+  return probe().private_bytes.load(std::memory_order_relaxed);
+}
+std::int64_t PackProbe::hits() {
+  return probe().hits.load(std::memory_order_relaxed);
+}
+std::int64_t PackProbe::fallbacks() {
+  return probe().fallbacks.load(std::memory_order_relaxed);
+}
+std::int64_t PackProbe::total_bytes() {
+  return shared_bytes() + private_bytes();
+}
+
+}  // namespace streamk::cpu

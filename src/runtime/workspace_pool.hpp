@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "core/schedule_plan.hpp"
+#include "cpu/executor.hpp"
 #include "cpu/mac_loop.hpp"
+#include "cpu/panel_cache.hpp"
 #include "cpu/workspace.hpp"
 
 namespace streamk::runtime {
@@ -119,6 +121,102 @@ class WorkspacePool {
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<cpu::FixupWorkspace<Acc>>> free_;
+};
+
+/// Process-wide free list of shared packed-panel arenas
+/// (cpu/panel_cache.hpp), mirroring WorkspacePool: acquire() resolves the
+/// caller's PanelCacheMode against the plan and either hands back a lease
+/// whose cache() is a bound arena (recycled storage when one is free) or a
+/// null lease -- callers treat a null cache as "pack privately", so every
+/// resolution path degrades to the pre-cache behaviour.
+template <typename Acc>
+class PanelCachePool {
+ public:
+  class Lease {
+   public:
+    Lease(PanelCachePool* pool, std::unique_ptr<cpu::PanelCache<Acc>> cache)
+        : pool_(pool), cache_(std::move(cache)) {}
+
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), cache_(std::move(other.cache_)) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    ~Lease() {
+      if (cache_) pool_->release(std::move(cache_));
+    }
+
+    /// The bound arena, or nullptr when sharing is off for this call.
+    cpu::PanelCache<Acc>* cache() { return cache_.get(); }
+
+   private:
+    PanelCachePool* pool_;
+    std::unique_ptr<cpu::PanelCache<Acc>> cache_;
+  };
+
+  static PanelCachePool& instance() {
+    // Immortal for the same reason as WorkspacePool::instance().
+    static PanelCachePool* pool = new PanelCachePool();
+    return *pool;
+  }
+
+  /// A cache bound to `plan`'s panel geometry (or `config` when the
+  /// substrate maps panels itself -- batched entries, conv iterations), or
+  /// a null lease when `mode`, the STREAMK_PANEL_CACHE kill switch, the
+  /// plan's shareability, or the arena budget says private packing.
+  Lease acquire(const core::SchedulePlan& plan, cpu::PanelCacheMode mode,
+                const cpu::PanelCacheConfig* config = nullptr) {
+    const core::PanelCacheGeometry& geo = plan.panel_geometry();
+    const bool on =
+        cpu::panel_cache_enabled() &&
+        (mode == cpu::PanelCacheMode::kOn ||
+         (mode == cpu::PanelCacheMode::kAuto && geo.shareable));
+    if (!on) return Lease(this, nullptr);
+
+    cpu::PanelCacheConfig resolved;
+    if (config != nullptr) {
+      resolved = *config;
+    } else {
+      resolved.row_panels = geo.row_panels;
+      resolved.col_panels = geo.col_panels;
+      resolved.chunks = geo.chunks;
+      resolved.chunk_depth = geo.panel_kc;
+    }
+
+    std::unique_ptr<cpu::PanelCache<Acc>> cache;
+    if (workspace_pooling()) {
+      std::lock_guard lock(mutex_);
+      if (!free_.empty()) {
+        cache = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    if (!cache) cache = std::make_unique<cpu::PanelCache<Acc>>();
+    if (!cache->bind(plan.mapping().block(), resolved)) {
+      release(std::move(cache));  // over budget / degenerate: run private
+      return Lease(this, nullptr);
+    }
+    return Lease(this, std::move(cache));
+  }
+
+  std::size_t pooled_count() const {
+    std::lock_guard lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  void release(std::unique_ptr<cpu::PanelCache<Acc>> cache) {
+    if (!workspace_pooling()) return;  // drop: allocate-per-call mode
+    std::lock_guard lock(mutex_);
+    if (free_.size() < kMaxPooled) free_.push_back(std::move(cache));
+  }
+
+  /// Arenas are the largest pooled objects; bound tighter than workspaces.
+  static constexpr std::size_t kMaxPooled = 8;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<cpu::PanelCache<Acc>>> free_;
 };
 
 /// Per-thread CTA execution buffers: the output-tile accumulator and the

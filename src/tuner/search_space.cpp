@@ -84,9 +84,23 @@ std::vector<Candidate> enumerate_candidates(const core::GemmShape& shape,
         spec.sm_count = slots;
         config.block = block;
         config.workers = workers;
-        candidates.push_back(
-            {config,
-             model::closed_form_estimate(spec, model, mapping, device)});
+        const double predicted =
+            model::closed_form_estimate(spec, model, mapping, device);
+        if (mapping.tiles() < 2) {
+          // Single-tile mapping: the panel cache cannot share anything, so
+          // there is nothing to measure -- leave the no-verdict default.
+          candidates.push_back({config, predicted});
+          return;
+        }
+        // Measured pair: the shared panel cache on (what kAuto resolves to
+        // for a multi-tile mapping) and forced off.  The off twin carries a
+        // mild model penalty so it ranks just behind its base -- it gets
+        // measured when the base survives pruning, but a wave of twins
+        // never crowds distinct schedules out of the top_k budget.
+        config.panel_cache = 1;
+        candidates.push_back({config, predicted});
+        config.panel_cache = 0;
+        candidates.push_back({config, predicted * 1.05});
       };
 
       // Data-parallel: always feasible.

@@ -12,7 +12,10 @@
 // composable_kernel's pruning of its instance tables -- candidates are
 // ranked by the Section 5.1 closed-form cost model
 // (model::closed_form_estimate) and only the budgeted top-K survive to be
-// measured on the real executor.
+// measured on the real executor.  Every multi-tile candidate is emitted as
+// an on/off pair over the shared packed-panel cache (the off twin at a
+// mild model penalty), so the measured winner carries an empirical
+// panel-cache verdict rather than trusting the kAuto heuristic.
 //
 // Enumeration is fully deterministic: candidates are emitted in a fixed
 // nesting order and ranked with a total tie-break (predicted seconds, then

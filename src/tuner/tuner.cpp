@@ -136,6 +136,13 @@ cpu::GemmOptions tuned_options(const TunedConfig& config) {
   options.grid = config.grid;
   options.split = config.split;
   options.workers = config.workers;
+  // A measured verdict pins the shared-panel-cache knob; -1 (no verdict,
+  // e.g. a record loaded from a pre-v3 db) leaves the kAuto default.
+  if (config.panel_cache == 0) {
+    options.panel_cache = cpu::PanelCacheMode::kOff;
+  } else if (config.panel_cache == 1) {
+    options.panel_cache = cpu::PanelCacheMode::kOn;
+  }
   return options;
 }
 

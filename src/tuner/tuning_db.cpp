@@ -23,11 +23,31 @@ namespace {
 constexpr std::string_view kFormatTag = "# streamk-tuning-db v";
 constexpr std::string_view kHeader =
     "m,n,k,precision,epilogue,kind,block_m,block_n,block_k,grid,split,"
+    "workers,panel_cache,seconds,gflops";
+/// v2 layout: no panel_cache column (records migrate to the `auto`
+/// verdict).
+constexpr std::string_view kHeaderV2 =
+    "m,n,k,precision,epilogue,kind,block_m,block_n,block_k,grid,split,"
     "workers,seconds,gflops";
-/// v1 layout: no epilogue column (records migrate to the unfused class).
+/// v1 layout: no epilogue column either (records additionally migrate to
+/// the unfused class).
 constexpr std::string_view kLegacyHeader =
     "m,n,k,precision,kind,block_m,block_n,block_k,grid,split,workers,"
     "seconds,gflops";
+
+std::string_view panel_cache_token(int verdict) {
+  if (verdict == 0) return "off";
+  if (verdict == 1) return "on";
+  return "auto";
+}
+
+int parse_panel_cache(std::string_view token) {
+  if (token == "auto" || token == "-1") return -1;
+  if (token == "off" || token == "0") return 0;
+  if (token == "on" || token == "1") return 1;
+  util::fail("tuning db: unknown panel_cache token '" + std::string(token) +
+             "'");
+}
 
 std::string_view precision_token(gpu::Precision p) { return gpu::name(p); }
 
@@ -106,6 +126,7 @@ std::string TunedConfig::to_string() const {
   if (kind == core::DecompositionKind::kStreamKBasic) os << " g=" << grid;
   if (kind == core::DecompositionKind::kFixedSplit) os << " s=" << split;
   if (workers > 0) os << " w=" << workers;
+  if (panel_cache != -1) os << " pc=" << panel_cache_token(panel_cache);
   return os.str();
 }
 
@@ -192,20 +213,25 @@ std::size_t TuningDb::load(const std::string& path) {
               "tuning db: '" + path + "' has no version tag");
   const std::int64_t version =
       parse_int(std::string_view(line).substr(kFormatTag.size()), "version");
-  util::check(version == kFormatVersion || version == kLegacyFormatVersion,
+  util::check(version == kFormatVersion || version == kFormatVersionV2 ||
+                  version == kLegacyFormatVersion,
               "tuning db: '" + path + "' is format version " +
                   std::to_string(version) + "; this build reads versions " +
-                  std::to_string(kLegacyFormatVersion) + " and " +
+                  std::to_string(kLegacyFormatVersion) + " through " +
                   std::to_string(kFormatVersion));
   const bool legacy = version == kLegacyFormatVersion;
+  const bool has_panel_cache = version == kFormatVersion;
+  const std::string_view want_header =
+      legacy ? kLegacyHeader : (has_panel_cache ? kHeader : kHeaderV2);
   util::check(static_cast<bool>(std::getline(in, line)) &&
-                  line == (legacy ? kLegacyHeader : kHeader),
+                  line == want_header,
               "tuning db: '" + path + "' has an unexpected header row");
 
-  // v1 rows lack the epilogue column; every other column is shared, so one
-  // parser serves both with the post-precision columns shifted by one.
-  const std::size_t want_fields = legacy ? 13 : 14;
-  const std::size_t shift = legacy ? 0 : 1;
+  // v1 rows lack the epilogue column and v1/v2 rows the panel_cache
+  // column; every other column is shared, so one parser serves all three
+  // layouts with the affected column indices shifted.
+  const std::size_t shift = legacy ? 0 : 1;  // epilogue column present?
+  const std::size_t want_fields = 13 + shift + (has_panel_cache ? 1 : 0);
   std::size_t parsed = 0;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -232,8 +258,15 @@ std::size_t TuningDb::load(const std::string& path) {
     record.config.split = parse_int(fields[9 + shift], "split");
     record.config.workers =
         static_cast<std::size_t>(parse_int(fields[10 + shift], "workers"));
-    record.seconds = parse_double(fields[11 + shift], "seconds");
-    record.gflops = parse_double(fields[12 + shift], "gflops");
+    // v1/v2 rows predate the panel cache: they keep the -1 "no verdict"
+    // default, so dispatch leaves the knob on kAuto (the pre-v3 behavior).
+    std::size_t tail = 11 + shift;
+    if (has_panel_cache) {
+      record.config.panel_cache = parse_panel_cache(fields[tail]);
+      ++tail;
+    }
+    record.seconds = parse_double(fields[tail], "seconds");
+    record.gflops = parse_double(fields[tail + 1], "gflops");
     util::check(key.shape.valid() && record.config.block.valid(),
                 "tuning db: row with invalid shape or block in '" + path +
                     "'");
@@ -265,6 +298,7 @@ void TuningDb::save(const std::string& path) const {
             << record.config.block.m << ',' << record.config.block.n << ','
             << record.config.block.k << ',' << record.config.grid << ','
             << record.config.split << ',' << record.config.workers << ','
+            << panel_cache_token(record.config.panel_cache) << ','
             << util::CsvWriter::cell(record.seconds) << ','
             << util::CsvWriter::cell(record.gflops) << '\n';
       }

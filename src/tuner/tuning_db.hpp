@@ -29,17 +29,20 @@
 //
 // On-disk format (version tagged, CSV payload):
 //
-//   # streamk-tuning-db v2
-//   m,n,k,precision,epilogue,kind,block_m,block_n,block_k,grid,split,workers,seconds,gflops
-//   4096,4096,128,fp64,bias_col+relu,stream-k,48,48,16,8,1,0,0.0123,273.5
+//   # streamk-tuning-db v3
+//   m,n,k,precision,epilogue,kind,block_m,block_n,block_k,grid,split,workers,panel_cache,seconds,gflops
+//   4096,4096,128,fp64,bias_col+relu,stream-k,48,48,16,8,1,0,on,0.0123,273.5
 //
 // The `epilogue` column is the canonical epilogue class key
 // (epilogue::class_key; empty for an unfused GEMM): a fused epilogue
 // changes a schedule's store cost, so winners are only valid within their
-// epilogue class.  Loaders reject files whose version tag they do not
-// understand instead of guessing at column meanings -- except v1, the
-// pre-epilogue layout, which is migrated on load by assigning every record
-// the unfused class.
+// epilogue class.  The `panel_cache` column (v3) records the measured
+// verdict on the shared packed-panel cache (cpu/panel_cache.hpp) as one of
+// `auto` / `on` / `off`.  Loaders reject files whose version tag they do
+// not understand instead of guessing at column meanings -- except the two
+// legacy layouts, which migrate on load: v1 (pre-epilogue) assigns every
+// record the unfused class, and v2 (pre-panel-cache) assigns every record
+// the `auto` panel-cache verdict, mirroring the v1 path.
 
 #include <atomic>
 #include <cstdint>
@@ -66,6 +69,10 @@ struct TunedConfig {
   std::int64_t grid = 0;    ///< Stream-K grid (kStreamKBasic; 0 = workers)
   std::int64_t split = 1;   ///< fixed-split factor (kFixedSplit)
   std::size_t workers = 0;  ///< worker count (0 = util::default_workers())
+  /// Measured shared-panel-cache verdict: -1 = no verdict (dispatch keeps
+  /// kAuto), 0 = forced off, 1 = forced on.  An int rather than the
+  /// executor enum so the db layer stays decoupled from cpu headers.
+  int panel_cache = -1;
 
   friend bool operator==(const TunedConfig&, const TunedConfig&) = default;
 
@@ -105,10 +112,12 @@ struct TuningRecord {
 
 class TuningDb {
  public:
-  /// Version tag written as the first line of every saved file.  v2 added
-  /// the epilogue-class key column; v1 files are still loadable (records
-  /// migrate to the unfused class).
-  static constexpr int kFormatVersion = 2;
+  /// Version tag written as the first line of every saved file.  v3 added
+  /// the panel_cache verdict column, v2 the epilogue-class key column;
+  /// both older layouts are still loadable (v1 records migrate to the
+  /// unfused class, v1/v2 records to the `auto` panel-cache verdict).
+  static constexpr int kFormatVersion = 3;
+  static constexpr int kFormatVersionV2 = 2;
   static constexpr int kLegacyFormatVersion = 1;
 
   TuningDb() = default;

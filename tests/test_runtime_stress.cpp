@@ -334,7 +334,7 @@ TEST(RuntimeLifecycle, SpillerExceptionReleasesFixupWaitersAndPropagates) {
       cpu::run_decomposed<double>(
           plan, mapping.block().tile_elements(),
           [](const core::TileSegment& seg, std::span<double>,
-             cpu::MacScratch<double>&) {
+             cpu::MacScratch<double>&, cpu::PanelCache<double>*) {
             if (!seg.starts_tile()) throw std::runtime_error("spiller died");
           },
           [](std::int64_t, std::span<const double>) {}, options),

@@ -321,14 +321,60 @@ TEST(TuningDb, LoadsLegacyV1FilesIntoTheUnfusedClass) {
   EXPECT_FALSE(
       db.lookup({{96, 96, 128}, gpu::Precision::kFp64, "relu"}).has_value());
 
-  // Re-saving writes the current (v2) layout.
+  // Re-saving writes the current (v3) layout.
   db.save(path);
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(line, "# streamk-tuning-db v2");
+  EXPECT_EQ(line, "# streamk-tuning-db v3");
   TuningDb reloaded;
   EXPECT_EQ(reloaded.load(path), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TuningDb, LoadsLegacyV2FilesWithoutAPanelCacheVerdict) {
+  // Mirrors the v1 migration path one version later: a v2 file (epilogue
+  // column present, panel_cache column absent) loads with every record on
+  // the -1 "no verdict" default, so dispatch keeps the kAuto knob exactly
+  // as it did before v3.
+  const std::string path = temp_db_path("legacy_v2.csv");
+  {
+    std::ofstream out(path);
+    out << "# streamk-tuning-db v2\n"
+        << "m,n,k,precision,epilogue,kind,block_m,block_n,block_k,grid,"
+           "split,workers,seconds,gflops\n"
+        << "96,96,128,fp64,bias_col+relu,stream-k,64,64,16,2,1,2,0.5,4.7\n"
+        << "64,64,64,fp32,,data-parallel,64,64,16,0,1,0,0.25,2.1\n";
+  }
+  TuningDb db;
+  EXPECT_EQ(db.load(path), 2u);
+  const auto fused =
+      db.lookup({{96, 96, 128}, gpu::Precision::kFp64, "bias_col+relu"});
+  ASSERT_TRUE(fused.has_value());
+  EXPECT_EQ(fused->config.kind, core::DecompositionKind::kStreamKBasic);
+  EXPECT_EQ(fused->config.panel_cache, -1);
+  // No verdict -> tuned_options leaves the knob on kAuto.
+  EXPECT_EQ(tuned_options(fused->config).panel_cache,
+            cpu::PanelCacheMode::kAuto);
+
+  // Re-saving writes v3; a verdict round-trips through the new column.
+  TuningRecord verdict = *db.lookup({{64, 64, 64}, gpu::Precision::kFp32});
+  verdict.config.panel_cache = 0;
+  verdict.seconds *= 0.5;  // beat the stored record so update() keeps it
+  EXPECT_TRUE(db.update({{64, 64, 64}, gpu::Precision::kFp32}, verdict));
+  db.save(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# streamk-tuning-db v3");
+  TuningDb reloaded;
+  EXPECT_EQ(reloaded.load(path), 2u);
+  const auto off = reloaded.lookup({{64, 64, 64}, gpu::Precision::kFp32});
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(off->config.panel_cache, 0);
+  EXPECT_EQ(tuned_options(off->config).panel_cache,
+            cpu::PanelCacheMode::kOff);
+  EXPECT_EQ(reloaded.snapshot(), db.snapshot());
   std::remove(path.c_str());
 }
 
