@@ -1,0 +1,223 @@
+// Grouped ragged-batch GEMM: one Stream-K schedule vs. a per-problem loop.
+//
+// The skewed group is the motivating workload: one large problem plus many
+// small ones.  Submitted problem-by-problem, every small GEMM launches its
+// own schedule (its tiles cannot fill the machine) and the large GEMM ends
+// on a quantized tail wave; scheduled as ONE concatenated iteration domain
+// (core/grouped.hpp), Stream-K spreads the large problem's iterations
+// across all CTAs and the small problems fill the gaps.  This bench times
+// both paths round-for-round over identical integer operands, checks the
+// outputs stay bitwise identical, and reports GEMMs/sec, the tail (worst
+// round) latency, and the geomean speedup across cases.
+//
+//   ./bench_grouped_gemm [--smoke] [--csv <path>]
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bencher/table.hpp"
+#include "cpu/gemm.hpp"
+#include "cpu/grouped.hpp"
+#include "util/threading.hpp"
+
+namespace {
+
+using namespace streamk;
+
+struct GroupCase {
+  const char* label;
+  gpu::Precision precision;
+  std::vector<core::GemmShape> shapes;
+};
+
+/// One large problem plus `count` small ones.
+std::vector<core::GemmShape> skewed_group(std::int64_t large,
+                                          std::int64_t small,
+                                          std::size_t count) {
+  std::vector<core::GemmShape> shapes{{large, large, large}};
+  shapes.insert(shapes.end(), count, {small, small, small});
+  return shapes;
+}
+
+/// `count` copies of one tiny cube: the submission-overhead regime, where
+/// the per-problem loop pays dispatch + pool round-trip + arena bind per
+/// problem and the grouped schedule pays them once.
+std::vector<core::GemmShape> tiny_group(std::int64_t extent,
+                                        std::size_t count) {
+  return std::vector<core::GemmShape>(count, {extent, extent, extent});
+}
+
+struct Measurement {
+  double grouped_best = 0.0;   ///< best round, seconds
+  double grouped_tail = 0.0;   ///< worst round, seconds
+  double loop_best = 0.0;
+  double loop_tail = 0.0;
+  bool bitwise_identical = false;
+};
+
+template <typename In, typename Acc, typename Out>
+Measurement measure(const std::vector<core::GemmShape>& shapes, int rounds) {
+  std::vector<cpu::Matrix<In>> as, bs;
+  std::vector<cpu::Matrix<Out>> grouped_c, loop_c;
+  util::Pcg32 rng(0x70e4db);
+  for (const core::GemmShape& s : shapes) {
+    as.emplace_back(s.m, s.k);
+    bs.emplace_back(s.k, s.n);
+    cpu::fill_random_int(as.back(), rng, -2, 2);
+    cpu::fill_random_int(bs.back(), rng, -2, 2);
+    grouped_c.emplace_back(s.m, s.n);
+    loop_c.emplace_back(s.m, s.n);
+  }
+
+  const cpu::GemmOptions options;  // kAuto on both sides, same workers
+  const auto wall = [] { return std::chrono::steady_clock::now(); };
+  const auto run_grouped = [&] {
+    const auto start = wall();
+    cpu::grouped_gemm<In, Acc, Out>(as, bs, grouped_c, options);
+    return std::chrono::duration<double>(wall() - start).count();
+  };
+  const auto run_loop = [&] {
+    const auto start = wall();
+    for (std::size_t p = 0; p < shapes.size(); ++p) {
+      cpu::gemm(as[p], bs[p], loop_c[p], options);
+    }
+    return std::chrono::duration<double>(wall() - start).count();
+  };
+
+  run_grouped();  // warm plan caches, pools, and scratch before timing
+  run_loop();
+
+  Measurement m;
+  m.grouped_best = std::numeric_limits<double>::infinity();
+  m.loop_best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < rounds; ++r) {
+    const double g = run_grouped();
+    const double l = run_loop();
+    m.grouped_best = std::min(m.grouped_best, g);
+    m.grouped_tail = std::max(m.grouped_tail, g);
+    m.loop_best = std::min(m.loop_best, l);
+    m.loop_tail = std::max(m.loop_tail, l);
+  }
+
+  m.bitwise_identical = true;
+  for (std::size_t p = 0; p < shapes.size(); ++p) {
+    for (std::int64_t i = 0; i < grouped_c[p].rows() && m.bitwise_identical;
+         ++i) {
+      if (std::memcmp(grouped_c[p].row_ptr(i), loop_c[p].row_ptr(i),
+                      static_cast<std::size_t>(grouped_c[p].cols()) *
+                          sizeof(Out)) != 0) {
+        m.bitwise_identical = false;
+      }
+    }
+  }
+  return m;
+}
+
+Measurement measure_case(const GroupCase& c, int rounds) {
+  switch (c.precision) {
+    case gpu::Precision::kFp64:
+      return measure<double, double, double>(c.shapes, rounds);
+    case gpu::Precision::kFp32:
+      return measure<float, float, float>(c.shapes, rounds);
+    case gpu::Precision::kFp16F32:
+      return measure<util::Half, float, float>(c.shapes, rounds);
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::parse_bench_args(argc, argv);
+  bench::print_header(
+      "Grouped ragged-batch GEMM: one schedule vs. per-problem loop",
+      "grouped extension of the paper's batched-GEMM generalization "
+      "(Section 7); quantization motivation of Sections 1-3");
+
+  // The headline case: one 1024^3 problem plus thirty-one 128^3 problems.
+  // Smoke shrinks extents (same 1-large + N-small skew) for CI.
+  const std::vector<GroupCase> cases =
+      options.smoke
+          ? std::vector<GroupCase>{
+                {"fp64 skewed 1+7", gpu::Precision::kFp64,
+                 skewed_group(256, 64, 7)},
+                {"fp32 tiny x64", gpu::Precision::kFp32, tiny_group(64, 64)},
+            }
+          : std::vector<GroupCase>{
+                {"fp64 skewed 1+31", gpu::Precision::kFp64,
+                 skewed_group(1024, 128, 31)},
+                {"fp32 skewed 1+31", gpu::Precision::kFp32,
+                 skewed_group(1024, 128, 31)},
+                {"fp16 skewed 1+31", gpu::Precision::kFp16F32,
+                 skewed_group(1024, 128, 31)},
+                {"fp64 uniform small 32", gpu::Precision::kFp64,
+                 skewed_group(128, 128, 31)},
+                {"fp64 tiny x128", gpu::Precision::kFp64,
+                 tiny_group(64, 128)},
+                {"fp32 tiny x256", gpu::Precision::kFp32,
+                 tiny_group(64, 256)},
+            };
+  const int rounds = options.smoke ? 3 : 7;
+
+  auto csv = bench::maybe_csv(
+      options, {"label", "problems", "precision", "grouped_s", "loop_s",
+                "speedup", "grouped_gemms_per_s", "loop_gemms_per_s",
+                "grouped_tail_s", "loop_tail_s", "bitwise_identical"});
+
+  bencher::TextTable table({"case", "problems", "grouped", "loop", "speedup",
+                            "gemms/s grouped/loop", "tail grouped/loop"});
+  double log_sum = 0.0;
+  std::size_t counted = 0;
+  bool all_identical = true;
+  for (const GroupCase& c : cases) {
+    const Measurement m = measure_case(c, rounds);
+    const double n = static_cast<double>(c.shapes.size());
+    const double speedup =
+        m.grouped_best > 0.0 ? m.loop_best / m.grouped_best : 0.0;
+    const double grouped_rate = m.grouped_best > 0.0 ? n / m.grouped_best : 0.0;
+    const double loop_rate = m.loop_best > 0.0 ? n / m.loop_best : 0.0;
+    all_identical = all_identical && m.bitwise_identical;
+    table.row({c.label, std::to_string(c.shapes.size()),
+               bencher::fmt_seconds(m.grouped_best),
+               bencher::fmt_seconds(m.loop_best), bencher::fmt_ratio(speedup),
+               bench::format_metric(grouped_rate) + " / " +
+                   bench::format_metric(loop_rate),
+               bencher::fmt_seconds(m.grouped_tail) + " / " +
+                   bencher::fmt_seconds(m.loop_tail)});
+    if (csv) {
+      csv->row({std::string(c.label), std::to_string(c.shapes.size()),
+                std::string(gpu::name(c.precision)),
+                util::CsvWriter::cell(m.grouped_best),
+                util::CsvWriter::cell(m.loop_best),
+                util::CsvWriter::cell(speedup),
+                util::CsvWriter::cell(grouped_rate),
+                util::CsvWriter::cell(loop_rate),
+                util::CsvWriter::cell(m.grouped_tail),
+                util::CsvWriter::cell(m.loop_tail),
+                m.bitwise_identical ? "1" : "0"});
+    }
+    if (speedup > 0.0) {
+      log_sum += std::log(speedup);
+      ++counted;
+    }
+  }
+  std::cout << table.render();
+  if (counted > 0) {
+    std::cout << "geomean grouped-vs-loop speedup: "
+              << bench::format_metric(
+                     std::exp(log_sum / static_cast<double>(counted)))
+              << "x over " << counted << " case(s)\n";
+  }
+  std::cout << (all_identical
+                    ? "bitwise check: grouped == per-problem loop on every "
+                      "case\n"
+                    : "bitwise check: FAILED (outputs diverged)\n");
+  return all_identical ? 0 : 1;
+}

@@ -20,7 +20,9 @@ struct GemmShape {
 
   friend constexpr auto operator<=>(const GemmShape&, const GemmShape&) = default;
 
-  constexpr bool valid() const { return m > 0 && n > 0 && k > 0; }
+  /// k == 0 is a valid degenerate problem: no MAC work, but the beta scale
+  /// and epilogue store still apply to every output element.
+  constexpr bool valid() const { return m > 0 && n > 0 && k >= 0; }
 
   /// Multiply-accumulate count (one MAC = one multiply + one add = 2 FLOPs).
   constexpr std::int64_t macs() const { return m * n * k; }

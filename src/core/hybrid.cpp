@@ -8,8 +8,16 @@ namespace streamk::core {
 
 HybridLayout HybridLayout::one_tile(const WorkMapping& mapping,
                                     std::int64_t p) {
+  return one_tile(mapping.tiles(), p);
+}
+
+HybridLayout HybridLayout::two_tile(const WorkMapping& mapping,
+                                    std::int64_t p) {
+  return two_tile(mapping.tiles(), p);
+}
+
+HybridLayout HybridLayout::one_tile(std::int64_t t, std::int64_t p) {
   util::check(p >= 1, "hybrid needs at least one SM");
-  const std::int64_t t = mapping.tiles();
   HybridLayout layout;
   layout.sm_count = p;
   layout.full_waves = t / p;
@@ -19,10 +27,8 @@ HybridLayout HybridLayout::one_tile(const WorkMapping& mapping,
   return layout;
 }
 
-HybridLayout HybridLayout::two_tile(const WorkMapping& mapping,
-                                    std::int64_t p) {
+HybridLayout HybridLayout::two_tile(std::int64_t t, std::int64_t p) {
   util::check(p >= 1, "hybrid needs at least one SM");
-  const std::int64_t t = mapping.tiles();
   const std::int64_t w = t / p;
   const std::int64_t rem = t % p;
   HybridLayout layout;

@@ -43,6 +43,11 @@ struct HybridLayout {
 
   static HybridLayout one_tile(const WorkMapping& mapping, std::int64_t p);
   static HybridLayout two_tile(const WorkMapping& mapping, std::int64_t p);
+
+  /// The layouts depend only on the tile count, so grouped (mixed-shape)
+  /// tile spaces use the same quantization math.
+  static HybridLayout one_tile(std::int64_t tiles, std::int64_t p);
+  static HybridLayout two_tile(std::int64_t tiles, std::int64_t p);
 };
 
 class Hybrid final : public Decomposition {

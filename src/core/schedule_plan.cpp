@@ -73,24 +73,88 @@ SchedulePlan::SchedulePlan(const Decomposition& decomposition)
     : kind_(decomposition.kind()),
       name_(decomposition.name()),
       mapping_(decomposition.mapping()),
+      block_(decomposition.mapping().block()),
       grid_(decomposition.grid_size()),
+      tiles_(decomposition.mapping().tiles()),
       epilogue_memo_(std::make_shared<EpilogueMemo>()) {
-  util::check(grid_ >= 1, "empty grid");
-  const std::int64_t tiles = mapping_.tiles();
+  ingest_ctas([&](std::int64_t cta) { return decomposition.cta_work(cta); });
+  finalize_pack_chunking();
 
-  tile_owner_.assign(static_cast<std::size_t>(tiles), -1);
+  // Shared panel-cache slot grid: one slot per (panel, k-chunk) at the pack
+  // chunking above, chunks anchored at absolute k = 0.  Sharing is worth
+  // arming only when at least two tiles can reuse a panel.
+  panel_geometry_.row_panels = mapping_.tiles_m();
+  panel_geometry_.col_panels = mapping_.tiles_n();
+  panel_geometry_.panel_kc = pack_geometry_.panel_kc;
+  panel_geometry_.chunks =
+      ceil_div(mapping_.iters_per_tile(), pack_geometry_.chunk_iters);
+  panel_geometry_.shareable = tiles_ >= 2;
+  panel_geometry_.tile_window =
+      choose_tile_window(mapping_, pack_geometry_.panel_kc);
+
+  build_contributor_index();
+}
+
+SchedulePlan::SchedulePlan(const GroupedMapping& grouped,
+                           const DecompositionSpec& spec)
+    : kind_(spec.kind),
+      name_(grouped_plan_name(grouped, spec)),
+      // Placeholder quantization of problem 0 so the member stays default-
+      // constructible-free; mapping() refuses to hand it out.
+      mapping_(grouped.problem(0).shape, grouped.block()),
+      block_(grouped.block()),
+      grid_(grouped_grid_size(grouped, spec)),
+      tiles_(grouped.tiles()),
+      grouped_(std::make_shared<const GroupedMapping>(grouped)),
+      epilogue_memo_(std::make_shared<EpilogueMemo>()) {
+  ingest_ctas(
+      [&](std::int64_t cta) { return grouped_cta_work(grouped, spec, cta); });
+  finalize_pack_chunking();
+
+  // Group-wide panel-key space: problem p's A row-panel r lives at key
+  // row_panel_offset(p) + r (and B column-panels likewise), so panels of
+  // different problems -- which read different operand matrices -- never
+  // share a cache slot.  The chunk axis is sized for the deepest problem;
+  // shallower problems simply leave their tail chunk slots unused.
+  panel_geometry_.row_panels = grouped.row_panels();
+  panel_geometry_.col_panels = grouped.col_panels();
+  panel_geometry_.panel_kc = pack_geometry_.panel_kc;
+  std::int64_t chunks = 1;
+  bool shareable = false;
+  for (std::size_t p = 0; p < grouped.problems(); ++p) {
+    const GroupedProblem& prob = grouped.problem(p);
+    chunks = std::max(
+        chunks, ceil_div(prob.iters_per_tile, pack_geometry_.chunk_iters));
+    shareable = shareable || prob.tiles >= 2;
+  }
+  panel_geometry_.chunks = chunks;
+  panel_geometry_.shareable = shareable;
+  // Consecutive global tiles may belong to different problems, so the
+  // cache-aware window model (which assumes one tile grid) does not apply.
+  panel_geometry_.tile_window = 1;
+
+  build_contributor_index();
+}
+
+void SchedulePlan::ingest_ctas(
+    const std::function<CtaWork(std::int64_t)>& work_of) {
+  util::check(grid_ >= 1, "empty grid");
+
+  tile_owner_.assign(static_cast<std::size_t>(tiles_), -1);
   spill_slot_of_cta_.assign(static_cast<std::size_t>(grid_), -1);
-  std::vector<std::int64_t> contributor_count(static_cast<std::size_t>(tiles),
-                                              0);
+  contributor_offsets_.assign(static_cast<std::size_t>(tiles_) + 1, 0);
+  // contributor_offsets_[t + 1] holds tile t's raw count until
+  // build_contributor_index() prefix-sums it.
+  std::vector<std::int64_t>& contributor_count = contributor_offsets_;
 
   cta_offsets_.reserve(static_cast<std::size_t>(grid_) + 1);
   cta_offsets_.push_back(0);
   for (std::int64_t cta = 0; cta < grid_; ++cta) {
-    const CtaWork work = decomposition.cta_work(cta);
+    const CtaWork work = work_of(cta);
     for (const TileSegment& seg : work.segments) {
       // The one structural property compilation itself relies on for memory
       // safety; everything else is validate_plan()'s job.
-      util::check(seg.tile_idx >= 0 && seg.tile_idx < tiles,
+      util::check(seg.tile_idx >= 0 && seg.tile_idx < tiles_,
                   "segment tile out of range");
       const auto tile = static_cast<std::size_t>(seg.tile_idx);
       if (seg.starts_tile()) {
@@ -100,7 +164,7 @@ SchedulePlan::SchedulePlan(const Decomposition& decomposition)
           duplicate_owner_ = true;
         }
       } else {
-        ++contributor_count[tile];
+        ++contributor_count[tile + 1];
         ++total_spills_;
         if (spill_slot_of_cta_[static_cast<std::size_t>(cta)] == -1) {
           spill_slot_of_cta_[static_cast<std::size_t>(cta)] = spill_slots_++;
@@ -116,11 +180,13 @@ SchedulePlan::SchedulePlan(const Decomposition& decomposition)
     if (!work.segments.empty()) ++nonempty_ctas_;
     cta_offsets_.push_back(static_cast<std::int64_t>(segments_.size()));
   }
+}
 
+void SchedulePlan::finalize_pack_chunking() {
   // Packed-panel chunking for the CPU microkernel path: as many MAC-loop
   // iterations per chunk as fit the target depth, never more than the
   // longest segment actually carries.
-  const std::int64_t blk_k = mapping_.block().k;
+  const std::int64_t blk_k = block_.k;
   std::int64_t chunk_iters =
       std::max<std::int64_t>(1, PackedPanelGeometry::kTargetPanelDepth / blk_k);
   if (pack_geometry_.max_segment_iters > 0) {
@@ -128,31 +194,24 @@ SchedulePlan::SchedulePlan(const Decomposition& decomposition)
   }
   pack_geometry_.chunk_iters = chunk_iters;
   pack_geometry_.panel_kc = chunk_iters * blk_k;
+}
 
-  // Shared panel-cache slot grid: one slot per (panel, k-chunk) at the pack
-  // chunking above, chunks anchored at absolute k = 0.  Sharing is worth
-  // arming only when at least two tiles can reuse a panel.
-  panel_geometry_.row_panels = mapping_.tiles_m();
-  panel_geometry_.col_panels = mapping_.tiles_n();
-  panel_geometry_.panel_kc = pack_geometry_.panel_kc;
-  panel_geometry_.chunks = ceil_div(mapping_.iters_per_tile(), chunk_iters);
-  panel_geometry_.shareable = tiles >= 2;
-  panel_geometry_.tile_window =
-      choose_tile_window(mapping_, pack_geometry_.panel_kc);
-
-  contributor_offsets_.assign(static_cast<std::size_t>(tiles) + 1, 0);
-  for (std::int64_t tile = 0; tile < tiles; ++tile) {
+void SchedulePlan::build_contributor_index() {
+  // ingest_ctas left tile t's contributor count at offsets[t + 1];
+  // prefix-sum in place.
+  for (std::int64_t tile = 0; tile < tiles_; ++tile) {
     const auto t = static_cast<std::size_t>(tile);
-    contributor_offsets_[t + 1] = contributor_offsets_[t] + contributor_count[t];
-    if (contributor_count[t] > 0) ++split_tiles_;
-    max_peers_ = std::max(max_peers_, 1 + contributor_count[t]);
+    const std::int64_t count = contributor_offsets_[t + 1];
+    contributor_offsets_[t + 1] += contributor_offsets_[t];
+    if (count > 0) ++split_tiles_;
+    max_peers_ = std::max(max_peers_, 1 + count);
     if (tile_owner_[t] == -1) missing_owner_ = true;
   }
 
   // Second sweep over the arena fills the pool; CTA-major order makes each
   // tile's contributors ascending by construction.
-  contributor_pool_.resize(
-      static_cast<std::size_t>(contributor_offsets_[static_cast<std::size_t>(tiles)]));
+  contributor_pool_.resize(static_cast<std::size_t>(
+      contributor_offsets_[static_cast<std::size_t>(tiles_)]));
   std::vector<std::int64_t> cursor(contributor_offsets_.begin(),
                                    contributor_offsets_.end() - 1);
   for (std::int64_t cta = 0; cta < grid_; ++cta) {
@@ -163,6 +222,12 @@ SchedulePlan::SchedulePlan(const Decomposition& decomposition)
       }
     }
   }
+}
+
+const WorkMapping& SchedulePlan::mapping() const {
+  util::check(grouped_ == nullptr,
+              "grouped plan has no single-problem WorkMapping (use group())");
+  return mapping_;
 }
 
 std::span<const TileSegment> SchedulePlan::cta_segments(
@@ -253,6 +318,25 @@ PlanKey make_plan_key(const WorkMapping& mapping, const DecompositionSpec& spec,
   return make_plan_key(mapping, spec, gpu.sm_count);
 }
 
+PlanKey make_grouped_plan_key(const GroupedMapping& grouped,
+                              const DecompositionSpec& spec,
+                              std::int64_t device_sms) {
+  PlanKey key;
+  // shape stays the zero GemmShape: the group vector is the shape identity,
+  // and the zero shape is invalid as a plain key so the two never alias.
+  key.block = grouped.block();
+  key.order = TileOrder::kRowMajor;
+  key.kind = spec.kind;
+  key.split = spec.split;
+  key.sm_count = spec.sm_count;
+  key.device_sms = device_sms;
+  key.grid = spec.kind == DecompositionKind::kStreamKBasic && spec.grid <= 0
+                 ? spec.sm_count
+                 : spec.grid;
+  key.group = grouped.shapes();
+  return key;
+}
+
 std::size_t PlanKeyHash::operator()(const PlanKey& key) const {
   std::size_t seed = 0;
   auto mix = [&seed](std::uint64_t v) {
@@ -277,6 +361,12 @@ std::size_t PlanKeyHash::operator()(const PlanKey& key) const {
   mix(static_cast<std::uint64_t>(key.split));
   mix(static_cast<std::uint64_t>(key.sm_count));
   mix(static_cast<std::uint64_t>(key.device_sms));
+  mix(static_cast<std::uint64_t>(key.group.size()));
+  for (const GemmShape& shape : key.group) {
+    mix(static_cast<std::uint64_t>(shape.m));
+    mix(static_cast<std::uint64_t>(shape.n));
+    mix(static_cast<std::uint64_t>(shape.k));
+  }
   return seed;
 }
 
@@ -285,23 +375,16 @@ PlanCache::PlanCache(std::size_t max_plans)
   util::check(max_plans_ >= 1, "PlanCache needs capacity for one plan");
 }
 
-PlanCache::PlanPtr PlanCache::obtain(const PlanKey& key,
-                                     const WorkMapping& mapping,
-                                     const DecompositionSpec& spec) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = plans_.find(key);
-    if (it != plans_.end()) {
-      ++hits_;
-      return it->second;
-    }
-  }
+PlanCache::PlanPtr PlanCache::hit_or_null(const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = plans_.find(key);
+  if (it == plans_.end()) return nullptr;
+  ++hits_;
+  return it->second;
+}
 
-  // Compile outside the lock: schedule compilation is the expensive part,
-  // and concurrent misses of *different* keys must not serialize.
-  const auto decomposition = make_decomposition(spec, mapping);
-  auto plan = std::make_shared<const SchedulePlan>(*decomposition);
-
+PlanCache::PlanPtr PlanCache::insert_or_adopt(const PlanKey& key,
+                                              PlanPtr plan) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] = plans_.emplace(key, std::move(plan));
   PlanPtr result = it->second;
@@ -319,6 +402,26 @@ PlanCache::PlanPtr PlanCache::obtain(const PlanKey& key,
     ++hits_;  // lost a compile race; adopt the winner for pointer identity
   }
   return result;
+}
+
+PlanCache::PlanPtr PlanCache::obtain(const PlanKey& key,
+                                     const WorkMapping& mapping,
+                                     const DecompositionSpec& spec) {
+  if (PlanPtr hit = hit_or_null(key)) return hit;
+
+  // Compile outside the lock: schedule compilation is the expensive part,
+  // and concurrent misses of *different* keys must not serialize.
+  const auto decomposition = make_decomposition(spec, mapping);
+  auto plan = std::make_shared<const SchedulePlan>(*decomposition);
+  return insert_or_adopt(key, std::move(plan));
+}
+
+PlanCache::PlanPtr PlanCache::obtain(const PlanKey& key,
+                                     const GroupedMapping& grouped,
+                                     const DecompositionSpec& spec) {
+  if (PlanPtr hit = hit_or_null(key)) return hit;
+  auto plan = std::make_shared<const SchedulePlan>(grouped, spec);
+  return insert_or_adopt(key, std::move(plan));
 }
 
 PlanCache::PlanPtr PlanCache::lookup(const PlanKey& key) const {

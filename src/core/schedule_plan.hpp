@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -43,6 +44,7 @@
 #include <vector>
 
 #include "core/decomposition.hpp"
+#include "core/grouped.hpp"
 #include "epilogue/epilogue.hpp"
 #include "gpu/gpu_spec.hpp"
 
@@ -101,11 +103,25 @@ class SchedulePlan {
   /// Compiles `decomposition` (prefer compile_plan() for call sites).
   explicit SchedulePlan(const Decomposition& decomposition);
 
+  /// Compiles `spec` over a grouped (multi-problem) tile space.  The
+  /// resulting plan is structurally identical to a single-problem one --
+  /// same arena, fixup index, spill slots -- the tiles just have
+  /// non-uniform iteration depths; mapping() is unavailable, group() holds
+  /// the per-problem geometry instead.
+  SchedulePlan(const GroupedMapping& grouped, const DecompositionSpec& spec);
+
   DecompositionKind kind() const { return kind_; }
   const std::string& name() const { return name_; }
-  const WorkMapping& mapping() const { return mapping_; }
+  /// Single-problem quantization; fails loudly for grouped plans (whose
+  /// tiles have no one WorkMapping) -- consult group() there.
+  const WorkMapping& mapping() const;
+  /// Per-problem geometry of a grouped plan, nullptr for single-problem
+  /// plans.
+  const GroupedMapping* group() const { return grouped_.get(); }
+  /// Blocking factors (valid for both plan flavors).
+  const gpu::BlockShape& block() const { return block_; }
   std::int64_t grid() const { return grid_; }
-  std::int64_t tiles() const { return mapping_.tiles(); }
+  std::int64_t tiles() const { return tiles_; }
 
   /// The ordered segment stream of CTA `cta`, as a view into the arena.
   std::span<const TileSegment> cta_segments(std::int64_t cta) const;
@@ -179,10 +195,23 @@ class SchedulePlan {
       const epilogue::EpilogueSpec& spec) const;
 
  private:
+  /// One pass over `work_of` for every CTA in [0, grid_): fills the arena,
+  /// owner/spill tracking, and totals (the shared compilation core of both
+  /// constructors).
+  void ingest_ctas(const std::function<CtaWork(std::int64_t)>& work_of);
+  /// Packed-panel chunk depth from the observed longest segment.
+  void finalize_pack_chunking();
+  /// Prefix-sums contributor counts and fills the contributor pool.
+  void build_contributor_index();
+
   DecompositionKind kind_;
   std::string name_;
   WorkMapping mapping_;
+  gpu::BlockShape block_;
   std::int64_t grid_;
+  std::int64_t tiles_ = 0;
+  /// Set only for grouped plans (shared so plan copies stay cheap).
+  std::shared_ptr<const GroupedMapping> grouped_;
 
   std::vector<TileSegment> segments_;       ///< CTA-major arena
   std::vector<std::int64_t> cta_offsets_;   ///< grid + 1 offsets into arena
@@ -230,6 +259,9 @@ struct PlanKey {
   std::int64_t split = 1;
   std::int64_t sm_count = 0;
   std::int64_t device_sms = 0;
+  /// Grouped plans: the shape sequence in group order (shape itself is the
+  /// zero GemmShape then, so grouped keys never alias single-problem ones).
+  std::vector<GemmShape> group;
 
   friend bool operator==(const PlanKey&, const PlanKey&) = default;
 };
@@ -240,6 +272,12 @@ PlanKey make_plan_key(const WorkMapping& mapping, const DecompositionSpec& spec,
                       std::int64_t device_sms = 0);
 PlanKey make_plan_key(const WorkMapping& mapping, const DecompositionSpec& spec,
                       const gpu::GpuSpec& gpu);
+
+/// Key for a grouped plan: same normalization, keyed on the ordered shape
+/// sequence plus the shared block.
+PlanKey make_grouped_plan_key(const GroupedMapping& grouped,
+                              const DecompositionSpec& spec,
+                              std::int64_t device_sms = 0);
 
 struct PlanKeyHash {
   std::size_t operator()(const PlanKey& key) const;
@@ -262,6 +300,10 @@ class PlanCache {
   PlanPtr obtain(const PlanKey& key, const WorkMapping& mapping,
                  const DecompositionSpec& spec);
 
+  /// Grouped flavor: compiles SchedulePlan(grouped, spec) on miss.
+  PlanPtr obtain(const PlanKey& key, const GroupedMapping& grouped,
+                 const DecompositionSpec& spec);
+
   /// The cached plan for `key`, or nullptr (never compiles).
   PlanPtr lookup(const PlanKey& key) const;
 
@@ -273,6 +315,11 @@ class PlanCache {
   void clear();
 
  private:
+  /// Hit path of obtain(): counts and returns the cached plan, or nullptr.
+  PlanPtr hit_or_null(const PlanKey& key);
+  /// Miss path: insert `plan` or adopt a concurrent winner (FIFO eviction).
+  PlanPtr insert_or_adopt(const PlanKey& key, PlanPtr plan);
+
   std::size_t max_plans_;
   mutable std::mutex mutex_;
   std::unordered_map<PlanKey, PlanPtr, PlanKeyHash> plans_;

@@ -23,7 +23,10 @@ WorkMapping::WorkMapping(GemmShape shape, gpu::BlockShape block,
       tiles_m_(checked_tiles_m(shape, block)),
       tiles_n_(ceil_div(shape.n, block.n)),
       tiles_(tiles_m_ * tiles_n_),
-      iters_per_tile_(ceil_div(shape.k, block.k)),
+      // k == 0 still owns one zero-extent iteration per tile so every
+      // schedule kind visits the tile exactly once and the beta/epilogue
+      // store fires; iter_extent_k reports 0 for it, so no MACs run.
+      iters_per_tile_(std::max<std::int64_t>(1, ceil_div(shape.k, block.k))),
       total_iters_(tiles_ * iters_per_tile_),
       ordering_(order, tiles_m_, tiles_n_) {}
 

@@ -11,6 +11,7 @@
 #include "cpu/reference.hpp"
 #include "epilogue/apply.hpp"
 #include "runtime/gemm_runtime.hpp"
+#include "tuner/tuning_db.hpp"
 #include "util/threading.hpp"
 
 namespace streamk::cpu {
@@ -189,14 +190,23 @@ GemmReport batched_gemm_blocking(std::span<const Matrix<In>> as,
     precision = gpu::Precision::kFp16F32;
   }
 
-  // Tuning-db key: the stacked plain-GEMM shape the batch amounts to
-  // (block-independent, unlike the padded virtual mapping).  Lookup only:
-  // a background find job would measure a *plain* GEMM of this shape,
-  // whose mapping differs from the padded batched one.
-  const core::GemmShape stacked{batched.batch * batched.shape.m,
-                                batched.shape.n, batched.shape.k};
-  const GemmOptions options = apply_tuned_dispatch(
-      stacked, precision, caller_options, /*allow_background_find=*/false);
+  // Tuning-db key: a batch of identical shapes IS the grouped concatenation
+  // of `batch` copies -- same tiles, same iterations per tile -- so it keys
+  // on the grouped shape-multiset digest.  The old key (the stacked plain
+  // GEMM shape {batch*m, n, k}) collided with a genuinely plain GEMM whose
+  // mapping tiles differently, so a record tuned for either silently
+  // mis-dispatched the other.  Lookup only: a background find job would
+  // measure a plain GEMM of the aggregate shape, not the batched mapping.
+  const std::vector<core::GemmShape> group(
+      static_cast<std::size_t>(batched.batch), batched.shape);
+  GemmOptions options = apply_tuned_dispatch(
+      tuner::group_key_shape(group), precision, caller_options,
+      /*allow_background_find=*/false, tuner::group_digest(group));
+  if (!tuned_dispatch_feasible(options, precision, batched.shape.k)) {
+    // A db record can legally disagree with the per-entry k (hand-edited
+    // files, digest collisions): run the caller's request rather than fail.
+    options = caller_options;
+  }
   const gpu::BlockShape block =
       options.block.valid() ? options.block : default_cpu_block(precision);
   const core::WorkMapping mapping = batched_mapping(batched, block);

@@ -67,7 +67,7 @@ void run_decomposed(const core::SchedulePlan& plan, std::int64_t tile_elements,
 
     runtime::CtaBuffers<Acc> fresh;  // used only when pooling is disabled
     runtime::CtaBuffers<Acc>& buffers = runtime::local_cta_buffers<Acc>(
-        fresh, plan.mapping().block(), tile_elements, panel_kc);
+        fresh, plan.block(), tile_elements, panel_kc);
     std::vector<Acc>& accum = buffers.accum;
     MacScratch<Acc>& scratch = buffers.scratch;
 

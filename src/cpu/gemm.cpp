@@ -106,7 +106,8 @@ GemmReport gemm_impl(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
 
 GemmOptions apply_tuned_dispatch(const core::GemmShape& shape,
                                  gpu::Precision precision, GemmOptions options,
-                                 bool allow_background_find) {
+                                 bool allow_background_find,
+                                 std::uint64_t group_digest) {
   if (options.schedule != Schedule::kAuto || options.block.valid()) {
     return options;  // caller pinned a schedule or tile: respect it
   }
@@ -114,7 +115,8 @@ GemmOptions apply_tuned_dispatch(const core::GemmShape& shape,
       shape, precision, std::span<const epilogue::EpilogueOp>(
                             options.epilogue.ops),
       allow_background_find ? tuner::DispatchFind::kAllowed
-                            : tuner::DispatchFind::kLookupOnly);
+                            : tuner::DispatchFind::kLookupOnly,
+      group_digest);
   if (!tuned) return options;
   const GemmOptions t = tuner::tuned_options(*tuned);
   options.schedule = t.schedule;
@@ -134,6 +136,23 @@ GemmOptions apply_tuned_dispatch(const core::GemmShape& shape,
     options.workers = std::min(t.workers, util::default_workers());
   }
   return options;
+}
+
+bool tuned_dispatch_feasible(const GemmOptions& options,
+                             gpu::Precision precision, std::int64_t k) {
+  const bool block_set =
+      options.block.m != 0 || options.block.n != 0 || options.block.k != 0;
+  if (block_set && !options.block.valid()) return false;
+  const gpu::BlockShape block =
+      options.block.valid() ? options.block : default_cpu_block(precision);
+  const std::int64_t iters_per_tile =
+      std::max<std::int64_t>(1, core::ceil_div(k, block.k));
+  if (options.schedule == Schedule::kFixedSplit &&
+      (options.split < 1 || options.split > iters_per_tile)) {
+    return false;
+  }
+  if (options.schedule == Schedule::kStreamK && options.grid < 0) return false;
+  return true;
 }
 
 gpu::BlockShape default_cpu_block(gpu::Precision precision) {

@@ -12,6 +12,7 @@
 //   gemm(Matrix<float>,   ...) -> FP32 (testing convenience)
 //   gemm(Matrix<Half>,    ..., Matrix<float>) -> FP16->32 mixed precision
 
+#include <cstdint>
 #include <string>
 
 #include "core/decomposition.hpp"
@@ -90,10 +91,25 @@ core::DecompositionSpec resolve_schedule(const GemmOptions& options,
 /// carries the epilogue *class* (options.epilogue's canonical op-chain
 /// fingerprint), so a winner measured unfused is never served to a fused
 /// call or vice versa.  Caller-chosen tile_order, alpha, beta, and the
-/// epilogue chain itself are always preserved.
+/// epilogue chain itself are always preserved.  `group_digest` is the
+/// grouped-GEMM shape-multiset digest (tuner::group_digest; 0 for plain
+/// GEMMs): grouped/batched front ends pass it with `shape` set to the
+/// aggregate tuner::group_key_shape, so their records never collide with
+/// the plain GEMM of the same aggregate shape.
 GemmOptions apply_tuned_dispatch(const core::GemmShape& shape,
                                  gpu::Precision precision, GemmOptions options,
-                                 bool allow_background_find = true);
+                                 bool allow_background_find = true,
+                                 std::uint64_t group_digest = 0);
+
+/// Whether `options` (typically apply_tuned_dispatch output) denotes a
+/// schedule that can legally run a mapping whose iterations-per-tile derive
+/// from `k`: a fixed-split factor must not exceed the iteration count and a
+/// pinned block must be valid.  Front ends that key the db on an aggregate
+/// of their real mapping (batched, grouped) validate the tuned config
+/// against the *actual* per-problem k before applying it, falling back to
+/// the caller's options on a mismatch instead of failing the GEMM.
+bool tuned_dispatch_feasible(const GemmOptions& options,
+                             gpu::Precision precision, std::int64_t k);
 
 GemmReport gemm(const Matrix<double>& a, const Matrix<double>& b,
                 Matrix<double>& c, const GemmOptions& options = {});

@@ -23,7 +23,9 @@ class Matrix {
   Matrix(std::int64_t rows, std::int64_t cols)
       : rows_(rows), cols_(cols),
         data_(static_cast<std::size_t>(rows * cols)) {
-    util::check(rows >= 1 && cols >= 1, "matrix extents must be positive");
+    // Zero extents are legal (a k == 0 GEMM carries 0-column A / 0-row B
+    // operands); negative extents are not.
+    util::check(rows >= 0 && cols >= 0, "matrix extents must be non-negative");
   }
 
   std::int64_t rows() const { return rows_; }

@@ -132,8 +132,18 @@ class PanelCache {
     if (bytes > panel_cache_arena_budget()) return false;
 
     config_ = config;
-    row_arena_.resize(static_cast<std::size_t>(row_elems));
-    col_arena_.resize(static_cast<std::size_t>(col_elems));
+    // Grow-only: the arena's contents are gated by the slot states (every
+    // read is preceded by a winning pack), so the bytes never need
+    // initializing.  A plain resize() would value-initialize the regrown
+    // tail -- tens of MB of memset per call when a pooled arena ping-pongs
+    // between a large geometry and a small one (grouped GEMM interleaved
+    // with its per-problem shapes).
+    if (row_arena_.size() < static_cast<std::size_t>(row_elems)) {
+      row_arena_.resize(static_cast<std::size_t>(row_elems));
+    }
+    if (col_arena_.size() < static_cast<std::size_t>(col_elems)) {
+      col_arena_.resize(static_cast<std::size_t>(col_elems));
+    }
     const auto slots =
         static_cast<std::size_t>((config.row_panels + config.col_panels) *
                                  config.chunks);

@@ -28,6 +28,7 @@
 #include "cpu/batched.hpp"
 #include "cpu/blas.hpp"
 #include "cpu/gemm.hpp"
+#include "cpu/grouped.hpp"
 #include "runtime/worker_pool.hpp"
 
 namespace streamk::runtime {
@@ -68,6 +69,24 @@ GemmHandle submit_batched_gemm(std::span<const cpu::Matrix<util::Half>> as,
                                std::span<const cpu::Matrix<util::Half>> bs,
                                std::span<cpu::Matrix<float>> cs,
                                const cpu::GemmOptions& options = {});
+
+// --- grouped (ragged-batch) GEMM (cpu/grouped.cpp) ------------------------
+
+GemmHandle submit_grouped_gemm(
+    std::span<const cpu::Matrix<double>> as,
+    std::span<const cpu::Matrix<double>> bs, std::span<cpu::Matrix<double>> cs,
+    const cpu::GemmOptions& options = {},
+    std::span<const epilogue::EpilogueSpec> problem_epilogues = {});
+GemmHandle submit_grouped_gemm(
+    std::span<const cpu::Matrix<float>> as,
+    std::span<const cpu::Matrix<float>> bs, std::span<cpu::Matrix<float>> cs,
+    const cpu::GemmOptions& options = {},
+    std::span<const epilogue::EpilogueSpec> problem_epilogues = {});
+GemmHandle submit_grouped_gemm(
+    std::span<const cpu::Matrix<util::Half>> as,
+    std::span<const cpu::Matrix<util::Half>> bs,
+    std::span<cpu::Matrix<float>> cs, const cpu::GemmOptions& options = {},
+    std::span<const epilogue::EpilogueSpec> problem_epilogues = {});
 
 // --- BLAS transpose entry points (cpu/blas.cpp) ---------------------------
 

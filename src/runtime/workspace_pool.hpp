@@ -193,7 +193,7 @@ class PanelCachePool {
       }
     }
     if (!cache) cache = std::make_unique<cpu::PanelCache<Acc>>();
-    if (!cache->bind(plan.mapping().block(), resolved)) {
+    if (!cache->bind(plan.block(), resolved)) {
       release(std::move(cache));  // over budget / degenerate: run private
       return Lease(this, nullptr);
     }

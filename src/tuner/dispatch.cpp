@@ -111,14 +111,17 @@ TuningDb& global_tuning_db() {
 std::optional<TunedConfig> tuned_dispatch(const core::GemmShape& shape,
                                           gpu::Precision precision,
                                           const std::string& epilogue_class,
-                                          DispatchFind find) {
-  const bool may_find = find == DispatchFind::kAllowed &&
+                                          DispatchFind find,
+                                          std::uint64_t group) {
+  // A grouped key never background-finds: tune_shape would measure a plain
+  // GEMM of the aggregate shape, not the grouped schedule the key denotes.
+  const bool may_find = group == 0 && find == DispatchFind::kAllowed &&
                         find_mode() == FindMode::kBackground;
   // Fast path: nothing to hit and nothing to schedule -- stay off the
   // shared lock entirely (the common case for untuned processes).
   if (!may_find && global_tuning_db().empty_fast()) return std::nullopt;
 
-  const ShapeKey key{shape, precision, epilogue_class};
+  const ShapeKey key{shape, precision, epilogue_class, group};
   if (const auto record = global_tuning_db().lookup(key)) {
     return record->config;
   }
@@ -128,14 +131,15 @@ std::optional<TunedConfig> tuned_dispatch(const core::GemmShape& shape,
 
 std::optional<TunedConfig> tuned_dispatch(
     const core::GemmShape& shape, gpu::Precision precision,
-    std::span<const epilogue::EpilogueOp> epilogue_ops, DispatchFind find) {
-  const bool may_find = find == DispatchFind::kAllowed &&
+    std::span<const epilogue::EpilogueOp> epilogue_ops, DispatchFind find,
+    std::uint64_t group) {
+  const bool may_find = group == 0 && find == DispatchFind::kAllowed &&
                         find_mode() == FindMode::kBackground;
   // Bail before fingerprinting the chain: the common untuned process pays
   // one relaxed atomic load here, never a string build.
   if (!may_find && global_tuning_db().empty_fast()) return std::nullopt;
   return tuned_dispatch(shape, precision, epilogue::class_key(epilogue_ops),
-                        find);
+                        find, group);
 }
 
 std::size_t find_jobs_in_flight() {

@@ -69,13 +69,17 @@ enum class DispatchFind { kAllowed, kLookupOnly };
 /// (epilogue::class_key; "" for unfused) -- part of the database key, so a
 /// fused shape tunes and dispatches independently of its unfused twin, and
 /// a background find job for a fused key measures the fused path (with
-/// synthetic bindings; see tuner.hpp).  While the global db is empty and
-/// find mode is off, this is a single relaxed atomic load -- no
-/// shared-lock traffic on untuned processes.
+/// synthetic bindings; see tuner.hpp).  `group` is the grouped-GEMM shape
+/// multiset digest (group_digest; 0 for plain GEMMs) -- grouped/batched
+/// front ends pass it with `shape` set to the aggregate group_key_shape,
+/// and a non-zero digest never enqueues a background find (the job would
+/// measure a plain GEMM of the aggregate shape, not the grouped schedule).
+/// While the global db is empty and find mode is off, this is a single
+/// relaxed atomic load -- no shared-lock traffic on untuned processes.
 std::optional<TunedConfig> tuned_dispatch(
     const core::GemmShape& shape, gpu::Precision precision,
     const std::string& epilogue_class = {},
-    DispatchFind find = DispatchFind::kAllowed);
+    DispatchFind find = DispatchFind::kAllowed, std::uint64_t group = 0);
 
 /// Front-end form: takes the caller's op chain directly and fingerprints
 /// it only *after* the empty-db fast path, so an untuned process never
@@ -86,7 +90,7 @@ std::optional<TunedConfig> tuned_dispatch(
 std::optional<TunedConfig> tuned_dispatch(
     const core::GemmShape& shape, gpu::Precision precision,
     std::span<const epilogue::EpilogueOp> epilogue_ops,
-    DispatchFind find = DispatchFind::kAllowed);
+    DispatchFind find = DispatchFind::kAllowed, std::uint64_t group = 0);
 
 /// Number of background find jobs currently queued or running.
 std::size_t find_jobs_in_flight();

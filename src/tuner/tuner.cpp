@@ -4,6 +4,7 @@
 #include <limits>
 #include <optional>
 
+#include "cpu/grouped.hpp"
 #include "epilogue/epilogue.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -105,6 +106,65 @@ std::vector<double> measure_options_typed(
     seconds.push_back(best);
   }
   return seconds;
+}
+
+/// Grouped analogue of measure_options_typed: one operand set for the
+/// whole group, every candidate timed through cpu::grouped_gemm (whose
+/// GemmReport::seconds likewise covers plan execution only).  A fused
+/// class is bound as one shared synthetic spec sized for the widest
+/// problem, the same shared-spec shape runtime callers use.
+template <typename In, typename Acc, typename Out>
+std::vector<double> measure_group_options_typed(
+    std::span<const core::GemmShape> shapes,
+    std::span<const cpu::GemmOptions> list, int repetitions,
+    const std::string& epilogue_class) {
+  std::vector<cpu::Matrix<In>> as;
+  std::vector<cpu::Matrix<In>> bs;
+  std::vector<cpu::Matrix<Out>> cs;
+  util::Pcg32 rng(0x70e4db);
+  core::GemmShape widest{0, 0, 0};
+  for (const core::GemmShape& shape : shapes) {
+    as.emplace_back(shape.m, shape.k);
+    bs.emplace_back(shape.k, shape.n);
+    cs.emplace_back(shape.m, shape.n);
+    cpu::fill_random(as.back(), rng);
+    cpu::fill_random(bs.back(), rng);
+    widest.m = std::max(widest.m, shape.m);
+    widest.n = std::max(widest.n, shape.n);
+    widest.k = std::max(widest.k, shape.k);
+  }
+  std::optional<SyntheticEpilogue<Out>> synthetic;
+  if (!epilogue_class.empty()) synthetic.emplace(widest, epilogue_class);
+  std::vector<double> seconds;
+  seconds.reserve(list.size());
+  for (cpu::GemmOptions options : list) {
+    if (synthetic) options.epilogue = synthetic->spec();
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < std::max(1, repetitions); ++rep) {
+      best = std::min(
+          best, cpu::grouped_gemm<In, Acc, Out>(as, bs, cs, options).seconds);
+    }
+    seconds.push_back(best);
+  }
+  return seconds;
+}
+
+std::vector<double> measure_group_options(
+    std::span<const core::GemmShape> shapes, gpu::Precision precision,
+    std::span<const cpu::GemmOptions> list, int repetitions,
+    const std::string& epilogue_class = {}) {
+  switch (precision) {
+    case gpu::Precision::kFp64:
+      return measure_group_options_typed<double, double, double>(
+          shapes, list, repetitions, epilogue_class);
+    case gpu::Precision::kFp32:
+      return measure_group_options_typed<float, float, float>(
+          shapes, list, repetitions, epilogue_class);
+    case gpu::Precision::kFp16F32:
+      return measure_group_options_typed<util::Half, float, float>(
+          shapes, list, repetitions, epilogue_class);
+  }
+  util::fail("unknown precision");
 }
 
 std::vector<double> measure_options(const core::GemmShape& shape,
@@ -218,6 +278,98 @@ TuneReport tune_shape(const core::GemmShape& shape, gpu::Precision precision,
     }
   }
   return report;
+}
+
+TuneReport tune_group(std::span<const core::GemmShape> shapes,
+                      gpu::Precision precision, const TuneOptions& options) {
+  util::check(!shapes.empty(), "tune_group: empty group");
+  const std::string epilogue_class =
+      epilogue::canonical_class_key(options.epilogue_class);
+
+  // Enumerate against the FLOP-dominant problem: the group's cost is
+  // concentrated there, and runtime grouped dispatch resolves kAuto the
+  // same way, so the candidate list brackets the schedules the group will
+  // actually choose between.
+  std::size_t dominant = 0;
+  for (std::size_t p = 1; p < shapes.size(); ++p) {
+    if (shapes[p].flops() > shapes[dominant].flops()) dominant = p;
+  }
+  std::int64_t min_k = shapes[0].k;
+  double total_flops = 0.0;
+  for (const core::GemmShape& shape : shapes) {
+    min_k = std::min(min_k, shape.k);
+    total_flops += shape.flops();
+  }
+
+  std::vector<Candidate> all;
+  for (const std::size_t workers :
+       normalize_worker_counts(options.space.worker_counts)) {
+    SearchSpaceOptions per_width = options.space;
+    per_width.worker_counts = {workers};
+    const std::vector<Candidate> enumerated = enumerate_candidates(
+        shapes[dominant], precision, cpu::host_proxy_spec(workers),
+        per_width);
+    all.insert(all.end(), enumerated.begin(), enumerated.end());
+  }
+  std::vector<Candidate> candidates =
+      rank_candidates(std::move(all), options.space.top_k);
+  // Drop candidates runtime dispatch would refuse for this group (e.g. a
+  // fixed-split factor above the shallowest problem's iteration count) --
+  // recording such a winner would produce a key that always falls back.
+  std::erase_if(candidates, [&](const Candidate& candidate) {
+    return !cpu::tuned_dispatch_feasible(tuned_options(candidate.config),
+                                         precision, min_k);
+  });
+  util::check(!candidates.empty(), "tuner: empty grouped search space");
+
+  std::vector<cpu::GemmOptions> option_list;
+  option_list.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    option_list.push_back(tuned_options(candidate.config));
+  }
+  const std::vector<double> timings = measure_group_options(
+      shapes, precision, option_list, options.repetitions, epilogue_class);
+
+  TuneReport report;
+  report.key = {group_key_shape(shapes), precision, epilogue_class,
+                group_digest(shapes)};
+  report.best.seconds = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    MeasuredCandidate measured;
+    measured.config = candidates[i].config;
+    measured.predicted_seconds = candidates[i].predicted_seconds;
+    measured.seconds = timings[i];
+    measured.gflops = timings[i] > 0.0 ? total_flops / timings[i] / 1e9 : 0.0;
+    report.measured.push_back(measured);
+    if (measured.seconds < report.best.seconds) {
+      report.best.config = measured.config;
+      report.best.seconds = measured.seconds;
+      report.best.gflops = measured.gflops;
+    }
+  }
+  return report;
+}
+
+AbResult ab_measure_group(std::span<const core::GemmShape> shapes,
+                          gpu::Precision precision, const TunedConfig& config,
+                          int repetitions,
+                          const std::string& epilogue_class) {
+  AbResult result;
+  const cpu::GemmOptions heuristic;
+  result.heuristic_seconds =
+      measure_group_options(shapes, precision, {&heuristic, 1}, repetitions,
+                            epilogue_class)
+          .front();
+  const cpu::GemmOptions tuned = tuned_options(config);
+  result.tuned_seconds =
+      measure_group_options(shapes, precision, {&tuned, 1}, repetitions,
+                            epilogue_class)
+          .front();
+  result.speedup =
+      result.heuristic_seconds > 0.0 && result.tuned_seconds > 0.0
+          ? result.heuristic_seconds / result.tuned_seconds
+          : 0.0;
+  return result;
 }
 
 std::size_t tune_corpus(std::span<const core::GemmShape> shapes,

@@ -97,4 +97,27 @@ std::size_t tune_corpus(std::span<const core::GemmShape> shapes,
                         gpu::Precision precision, TuningDb& db,
                         const TuneOptions& options = {});
 
+/// Grouped (ragged-batch) variant of tune_shape: candidates are enumerated
+/// against the group's iteration-dominant problem (mirroring the runtime's
+/// grouped kAuto policy) but *measured* through cpu::grouped_gemm over the
+/// whole group, so the winner reflects the one-queue schedule the record
+/// will dispatch.  Candidates runtime dispatch would reject for this group
+/// (cpu::tuned_dispatch_feasible against the group's smallest k) are
+/// skipped.  The report's key is the grouped key: aggregate shape +
+/// shape-multiset digest (tuner/tuning_db.hpp).  A non-empty epilogue
+/// class is measured with one shared synthetic spec sized for the widest
+/// problem; residual-bearing classes are rejected for multi-problem groups
+/// (the library's shared-spec rule).
+TuneReport tune_group(std::span<const core::GemmShape> shapes,
+                      gpu::Precision precision,
+                      const TuneOptions& options = {});
+
+/// Grouped tuned-vs-heuristic A/B: both sides run cpu::grouped_gemm over
+/// the group (heuristic = Schedule::kAuto; callers must keep the global
+/// tuning db out of the heuristic side's reach).
+AbResult ab_measure_group(std::span<const core::GemmShape> shapes,
+                          gpu::Precision precision, const TunedConfig& config,
+                          int repetitions,
+                          const std::string& epilogue_class = {});
+
 }  // namespace streamk::tuner

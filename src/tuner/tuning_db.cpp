@@ -22,9 +22,13 @@ namespace {
 
 constexpr std::string_view kFormatTag = "# streamk-tuning-db v";
 constexpr std::string_view kHeader =
+    "m,n,k,precision,epilogue,group,kind,block_m,block_n,block_k,grid,split,"
+    "workers,panel_cache,seconds,gflops";
+/// v3 layout: no group column (records migrate to the plain digest 0).
+constexpr std::string_view kHeaderV3 =
     "m,n,k,precision,epilogue,kind,block_m,block_n,block_k,grid,split,"
     "workers,panel_cache,seconds,gflops";
-/// v2 layout: no panel_cache column (records migrate to the `auto`
+/// v2 layout: no panel_cache column either (records migrate to the `auto`
 /// verdict).
 constexpr std::string_view kHeaderV2 =
     "m,n,k,precision,epilogue,kind,block_m,block_n,block_k,grid,split,"
@@ -83,6 +87,18 @@ std::int64_t parse_int(std::string_view token, const char* what) {
   return v;
 }
 
+std::uint64_t parse_uint64(std::string_view token, const char* what) {
+  // The group digest uses the full 64-bit range, so it cannot round-trip
+  // through parse_int's signed parser.
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), v);
+  util::check(ec == std::errc() && ptr == token.data() + token.size(),
+              std::string("tuning db: malformed ") + what + " field '" +
+                  std::string(token) + "'");
+  return v;
+}
+
 double parse_double(std::string_view token, const char* what) {
   // std::from_chars<double> is the matching parser for CsvWriter::cell's
   // shortest-round-trip to_chars output.
@@ -115,7 +131,8 @@ bool key_less(const ShapeKey& a, const ShapeKey& b) {
   if (a.precision != b.precision) {
     return static_cast<int>(a.precision) < static_cast<int>(b.precision);
   }
-  return a.epilogue < b.epilogue;
+  if (a.epilogue != b.epilogue) return a.epilogue < b.epilogue;
+  return a.group < b.group;
 }
 
 }  // namespace
@@ -158,7 +175,38 @@ std::size_t ShapeKeyHash::operator()(const ShapeKey& key) const {
   for (const char c : key.epilogue) {
     mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
   }
+  mix(key.group);
   return static_cast<std::size_t>(h);
+}
+
+std::uint64_t group_digest(std::span<const core::GemmShape> shapes) {
+  // FNV-1a over the sorted shape triples plus the count: order-insensitive
+  // (a group is a multiset of problems; operand order does not change the
+  // schedule's balance) and stable across processes.
+  std::vector<core::GemmShape> sorted(shapes.begin(), shapes.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(sorted.size()));
+  for (const core::GemmShape& s : sorted) {
+    mix(static_cast<std::uint64_t>(s.m));
+    mix(static_cast<std::uint64_t>(s.n));
+    mix(static_cast<std::uint64_t>(s.k));
+  }
+  return h == 0 ? 1 : h;  // 0 is reserved for plain (non-grouped) keys
+}
+
+core::GemmShape group_key_shape(std::span<const core::GemmShape> shapes) {
+  core::GemmShape sum;
+  for (const core::GemmShape& s : shapes) {
+    sum.m += s.m;
+    sum.n += s.n;
+    sum.k += s.k;
+  }
+  return sum;
 }
 
 std::optional<TuningRecord> TuningDb::lookup(const ShapeKey& key) const {
@@ -213,25 +261,29 @@ std::size_t TuningDb::load(const std::string& path) {
               "tuning db: '" + path + "' has no version tag");
   const std::int64_t version =
       parse_int(std::string_view(line).substr(kFormatTag.size()), "version");
-  util::check(version == kFormatVersion || version == kFormatVersionV2 ||
-                  version == kLegacyFormatVersion,
+  util::check(version >= kLegacyFormatVersion && version <= kFormatVersion,
               "tuning db: '" + path + "' is format version " +
                   std::to_string(version) + "; this build reads versions " +
                   std::to_string(kLegacyFormatVersion) + " through " +
                   std::to_string(kFormatVersion));
-  const bool legacy = version == kLegacyFormatVersion;
-  const bool has_panel_cache = version == kFormatVersion;
+  const bool has_epilogue = version >= kFormatVersionV2;
+  const bool has_group = version >= kFormatVersion;
+  const bool has_panel_cache = version >= kFormatVersionV3;
   const std::string_view want_header =
-      legacy ? kLegacyHeader : (has_panel_cache ? kHeader : kHeaderV2);
+      has_group ? kHeader
+                : (has_panel_cache ? kHeaderV3
+                                   : (has_epilogue ? kHeaderV2 : kLegacyHeader));
   util::check(static_cast<bool>(std::getline(in, line)) &&
                   line == want_header,
               "tuning db: '" + path + "' has an unexpected header row");
 
-  // v1 rows lack the epilogue column and v1/v2 rows the panel_cache
-  // column; every other column is shared, so one parser serves all three
-  // layouts with the affected column indices shifted.
-  const std::size_t shift = legacy ? 0 : 1;  // epilogue column present?
-  const std::size_t want_fields = 13 + shift + (has_panel_cache ? 1 : 0);
+  // Older rows lack the epilogue (v1), group (v1-v3), and panel_cache
+  // (v1/v2) columns; every other column is shared, so one cursor-driven
+  // parser serves all four layouts, with absent columns keeping their
+  // migration defaults (unfused class, plain digest 0, `auto` verdict).
+  const std::size_t want_fields = 13 + (has_epilogue ? 1 : 0) +
+                                  (has_group ? 1 : 0) +
+                                  (has_panel_cache ? 1 : 0);
   std::size_t parsed = 0;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -240,33 +292,35 @@ std::size_t TuningDb::load(const std::string& path) {
                 "tuning db: row with " + std::to_string(fields.size()) +
                     " fields (want " + std::to_string(want_fields) +
                     ") in '" + path + "'");
+    std::size_t idx = 0;
     ShapeKey key;
-    key.shape = {parse_int(fields[0], "m"), parse_int(fields[1], "n"),
-                 parse_int(fields[2], "k")};
-    key.precision = parse_precision(fields[3]);
-    if (!legacy) {
+    key.shape = {parse_int(fields[idx], "m"), parse_int(fields[idx + 1], "n"),
+                 parse_int(fields[idx + 2], "k")};
+    idx += 3;
+    key.precision = parse_precision(fields[idx++]);
+    if (has_epilogue) {
       // Canonicalize (and reject rows whose epilogue column this build
       // cannot interpret).
-      key.epilogue = epilogue::canonical_class_key(fields[4]);
+      key.epilogue = epilogue::canonical_class_key(fields[idx++]);
+    }
+    if (has_group) {
+      key.group = parse_uint64(fields[idx++], "group");
     }
     TuningRecord record;
-    record.config.kind = parse_kind(fields[4 + shift]);
-    record.config.block = {parse_int(fields[5 + shift], "block_m"),
-                           parse_int(fields[6 + shift], "block_n"),
-                           parse_int(fields[7 + shift], "block_k")};
-    record.config.grid = parse_int(fields[8 + shift], "grid");
-    record.config.split = parse_int(fields[9 + shift], "split");
+    record.config.kind = parse_kind(fields[idx++]);
+    record.config.block = {parse_int(fields[idx], "block_m"),
+                           parse_int(fields[idx + 1], "block_n"),
+                           parse_int(fields[idx + 2], "block_k")};
+    idx += 3;
+    record.config.grid = parse_int(fields[idx++], "grid");
+    record.config.split = parse_int(fields[idx++], "split");
     record.config.workers =
-        static_cast<std::size_t>(parse_int(fields[10 + shift], "workers"));
-    // v1/v2 rows predate the panel cache: they keep the -1 "no verdict"
-    // default, so dispatch leaves the knob on kAuto (the pre-v3 behavior).
-    std::size_t tail = 11 + shift;
+        static_cast<std::size_t>(parse_int(fields[idx++], "workers"));
     if (has_panel_cache) {
-      record.config.panel_cache = parse_panel_cache(fields[tail]);
-      ++tail;
+      record.config.panel_cache = parse_panel_cache(fields[idx++]);
     }
-    record.seconds = parse_double(fields[tail], "seconds");
-    record.gflops = parse_double(fields[tail + 1], "gflops");
+    record.seconds = parse_double(fields[idx], "seconds");
+    record.gflops = parse_double(fields[idx + 1], "gflops");
     util::check(key.shape.valid() && record.config.block.valid(),
                 "tuning db: row with invalid shape or block in '" + path +
                     "'");
@@ -294,7 +348,7 @@ void TuningDb::save(const std::string& path) const {
       for (const auto& [key, record] : entries) {
         out << key.shape.m << ',' << key.shape.n << ',' << key.shape.k << ','
             << precision_token(key.precision) << ',' << key.epilogue << ','
-            << core::kind_name(record.config.kind) << ','
+            << key.group << ',' << core::kind_name(record.config.kind) << ','
             << record.config.block.m << ',' << record.config.block.n << ','
             << record.config.block.k << ',' << record.config.grid << ','
             << record.config.split << ',' << record.config.workers << ','

@@ -29,25 +29,30 @@
 //
 // On-disk format (version tagged, CSV payload):
 //
-//   # streamk-tuning-db v3
-//   m,n,k,precision,epilogue,kind,block_m,block_n,block_k,grid,split,workers,panel_cache,seconds,gflops
-//   4096,4096,128,fp64,bias_col+relu,stream-k,48,48,16,8,1,0,on,0.0123,273.5
+//   # streamk-tuning-db v4
+//   m,n,k,precision,epilogue,group,kind,block_m,block_n,block_k,grid,split,workers,panel_cache,seconds,gflops
+//   4096,4096,128,fp64,bias_col+relu,0,stream-k,48,48,16,8,1,0,on,0.0123,273.5
 //
 // The `epilogue` column is the canonical epilogue class key
 // (epilogue::class_key; empty for an unfused GEMM): a fused epilogue
 // changes a schedule's store cost, so winners are only valid within their
-// epilogue class.  The `panel_cache` column (v3) records the measured
-// verdict on the shared packed-panel cache (cpu/panel_cache.hpp) as one of
-// `auto` / `on` / `off`.  Loaders reject files whose version tag they do
-// not understand instead of guessing at column meanings -- except the two
-// legacy layouts, which migrate on load: v1 (pre-epilogue) assigns every
-// record the unfused class, and v2 (pre-panel-cache) assigns every record
-// the `auto` panel-cache verdict, mirroring the v1 path.
+// epilogue class.  The `group` column (v4) is the grouped-GEMM shape-
+// multiset digest (group_digest; 0 for a plain GEMM): a grouped schedule
+// balances a different tile space than the plain GEMM of the same
+// aggregate shape, so their winners must never be served to each other.
+// The `panel_cache` column (v3) records the measured verdict on the shared
+// packed-panel cache (cpu/panel_cache.hpp) as one of `auto` / `on` /
+// `off`.  Loaders reject files whose version tag they do not understand
+// instead of guessing at column meanings -- except the three legacy
+// layouts, which migrate on load: v1 (pre-epilogue) assigns every record
+// the unfused class, v1/v2 (pre-panel-cache) the `auto` panel-cache
+// verdict, and v1-v3 (pre-group) the plain digest 0.
 
 #include <atomic>
 #include <cstdint>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -93,9 +98,27 @@ struct ShapeKey {
   core::GemmShape shape;
   gpu::Precision precision = gpu::Precision::kFp64;
   std::string epilogue;
+  /// Grouped-GEMM shape-multiset digest (group_digest); 0 for plain GEMMs.
+  /// Grouped keys set `shape` to the aggregate group_key_shape so the
+  /// tuner's search space and reports stay meaningful, but the digest is
+  /// what keeps a grouped winner from being served to the plain GEMM of
+  /// the same aggregate shape (and vice versa).
+  std::uint64_t group = 0;
 
   friend bool operator==(const ShapeKey&, const ShapeKey&) = default;
 };
+
+/// Order-insensitive digest of a grouped GEMM's shape multiset: the shapes
+/// are sorted, then hashed.  Never returns 0 (the plain-GEMM sentinel).
+/// Deterministic across processes, so CLI-tuned grouped records match
+/// runtime dispatch keys.
+std::uint64_t group_digest(std::span<const core::GemmShape> shapes);
+
+/// The aggregate shape a grouped key files under: element-wise sums of the
+/// group's m/n/k.  Purely cosmetic-plus-search-space identity -- the
+/// digest carries the real key -- but deterministic and order-insensitive
+/// to match group_digest.
+core::GemmShape group_key_shape(std::span<const core::GemmShape> shapes);
 
 struct ShapeKeyHash {
   std::size_t operator()(const ShapeKey& key) const;
@@ -112,11 +135,13 @@ struct TuningRecord {
 
 class TuningDb {
  public:
-  /// Version tag written as the first line of every saved file.  v3 added
-  /// the panel_cache verdict column, v2 the epilogue-class key column;
-  /// both older layouts are still loadable (v1 records migrate to the
-  /// unfused class, v1/v2 records to the `auto` panel-cache verdict).
-  static constexpr int kFormatVersion = 3;
+  /// Version tag written as the first line of every saved file.  v4 added
+  /// the grouped-GEMM digest column, v3 the panel_cache verdict column,
+  /// v2 the epilogue-class key column; all older layouts are still
+  /// loadable (v1 records migrate to the unfused class, v1/v2 records to
+  /// the `auto` panel-cache verdict, v1-v3 records to the plain digest 0).
+  static constexpr int kFormatVersion = 4;
+  static constexpr int kFormatVersionV3 = 3;
   static constexpr int kFormatVersionV2 = 2;
   static constexpr int kLegacyFormatVersion = 1;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -114,8 +115,15 @@ std::size_t hardware_threads() {
 std::size_t default_workers() {
   if (const char* env = std::getenv("STREAMK_WORKERS")) {
     char* end = nullptr;
+    errno = 0;
     const long long v = std::strtoll(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1) {
+    // strtoll reports overflow by returning the clamped LLONG_MAX/MIN with
+    // errno == ERANGE -- which would pass a bare `v >= 1` check and spawn
+    // an absurd worker count.  Deliberate oversubscription stays supported,
+    // but capped at 4x the hardware concurrency; anything past that (or
+    // overflowed, or malformed) falls back to the default.
+    const long long cap = 4 * static_cast<long long>(hardware_threads());
+    if (end != env && *end == '\0' && errno != ERANGE && v >= 1 && v <= cap) {
       return static_cast<std::size_t>(v);
     }
   }

@@ -270,6 +270,46 @@ TEST(PanelCache, BindRefusesArenasOverBudget) {
   EXPECT_FALSE(cache.bind(block, degenerate));
 }
 
+TEST(PanelCache, RebindPingPongKeepsServingAcrossGeometries) {
+  // A pooled arena alternates between a large geometry and a small one
+  // (grouped GEMM interleaved with its per-problem shapes).  Rebinding
+  // must rearm the slots for the new geometry every time -- stale
+  // published slots from the previous bind would serve another plan's
+  // panels -- while the grow-only arena keeps the large storage.
+  const gpu::BlockShape block{8, 8, 8};
+  PanelCacheConfig large;
+  large.row_panels = 16;
+  large.col_panels = 16;
+  large.chunks = 4;
+  large.chunk_depth = 32;
+  PanelCacheConfig small;
+  small.row_panels = 2;
+  small.col_panels = 2;
+  small.chunks = 1;
+  small.chunk_depth = 8;
+
+  PanelCache<double> cache;
+  int packs = 0;
+  const auto pack = [&packs](double* dst) {
+    ++packs;
+    dst[0] = 7.0;
+  };
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(cache.bind(block, large));
+    const int before = packs;
+    double* slot = cache.acquire_a(15, 3, 8, 32, pack);
+    ASSERT_NE(slot, nullptr);
+    EXPECT_EQ(packs, before + 1);  // fresh bind: never a stale hit
+    EXPECT_EQ(cache.acquire_a(15, 3, 8, 32, pack), slot);
+    EXPECT_EQ(packs, before + 1);  // same bind: a hit
+
+    ASSERT_TRUE(cache.bind(block, small));
+    const int small_before = packs;
+    ASSERT_NE(cache.acquire_b(1, 0, 8, 8, pack), nullptr);
+    EXPECT_EQ(packs, small_before + 1);
+  }
+}
+
 TEST(PanelCache, AcquirePublishesOnceAndServesHits) {
   PanelCacheKnobReset reset;
   PanelCacheConfig config;

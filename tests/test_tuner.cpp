@@ -321,12 +321,12 @@ TEST(TuningDb, LoadsLegacyV1FilesIntoTheUnfusedClass) {
   EXPECT_FALSE(
       db.lookup({{96, 96, 128}, gpu::Precision::kFp64, "relu"}).has_value());
 
-  // Re-saving writes the current (v3) layout.
+  // Re-saving writes the current (v4) layout.
   db.save(path);
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(line, "# streamk-tuning-db v3");
+  EXPECT_EQ(line, "# streamk-tuning-db v4");
   TuningDb reloaded;
   EXPECT_EQ(reloaded.load(path), 1u);
   std::remove(path.c_str());
@@ -357,7 +357,7 @@ TEST(TuningDb, LoadsLegacyV2FilesWithoutAPanelCacheVerdict) {
   EXPECT_EQ(tuned_options(fused->config).panel_cache,
             cpu::PanelCacheMode::kAuto);
 
-  // Re-saving writes v3; a verdict round-trips through the new column.
+  // Re-saving writes v4; a verdict round-trips through the new column.
   TuningRecord verdict = *db.lookup({{64, 64, 64}, gpu::Precision::kFp32});
   verdict.config.panel_cache = 0;
   verdict.seconds *= 0.5;  // beat the stored record so update() keeps it
@@ -366,7 +366,7 @@ TEST(TuningDb, LoadsLegacyV2FilesWithoutAPanelCacheVerdict) {
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(line, "# streamk-tuning-db v3");
+  EXPECT_EQ(line, "# streamk-tuning-db v4");
   TuningDb reloaded;
   EXPECT_EQ(reloaded.load(path), 2u);
   const auto off = reloaded.lookup({{64, 64, 64}, gpu::Precision::kFp32});
@@ -375,6 +375,79 @@ TEST(TuningDb, LoadsLegacyV2FilesWithoutAPanelCacheVerdict) {
   EXPECT_EQ(tuned_options(off->config).panel_cache,
             cpu::PanelCacheMode::kOff);
   EXPECT_EQ(reloaded.snapshot(), db.snapshot());
+  std::remove(path.c_str());
+}
+
+TEST(TuningDb, LoadsV3FilesIntoThePlainGroupDigest) {
+  // A v3 file (panel_cache present, group column absent) migrates with
+  // every record on the plain-GEMM digest 0, so pre-grouped databases keep
+  // serving plain dispatch and never alias a grouped key.
+  const std::string path = temp_db_path("legacy_v3.csv");
+  {
+    std::ofstream out(path);
+    out << "# streamk-tuning-db v3\n"
+        << "m,n,k,precision,epilogue,kind,block_m,block_n,block_k,grid,"
+           "split,workers,panel_cache,seconds,gflops\n"
+        << "96,96,128,fp64,,stream-k,64,64,16,2,1,2,on,0.5,4.7\n";
+  }
+  TuningDb db;
+  EXPECT_EQ(db.load(path), 1u);
+  const auto plain = db.lookup({{96, 96, 128}, gpu::Precision::kFp64});
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->config.panel_cache, 1);
+  const std::vector<core::GemmShape> group{{96, 96, 128}};
+  EXPECT_FALSE(db.lookup({{96, 96, 128}, gpu::Precision::kFp64, "",
+                          group_digest(group)})
+                   .has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TuningDb, GroupDigestIsOrderInsensitiveAndNeverPlain) {
+  const std::vector<core::GemmShape> forward{
+      {1024, 1024, 1024}, {128, 128, 128}, {64, 48, 40}};
+  const std::vector<core::GemmShape> shuffled{
+      {128, 128, 128}, {64, 48, 40}, {1024, 1024, 1024}};
+  EXPECT_EQ(group_digest(forward), group_digest(shuffled));
+  EXPECT_NE(group_digest(forward), 0u);
+  // A group of one is not a plain GEMM: same schedule space, different
+  // mapping arithmetic, so the keys must stay distinct.
+  const std::vector<core::GemmShape> single{{1024, 1024, 1024}};
+  EXPECT_NE(group_digest(single), 0u);
+  // Multiplicity matters: {s} vs {s, s} balance different tile spaces.
+  const std::vector<core::GemmShape> doubled{{1024, 1024, 1024},
+                                             {1024, 1024, 1024}};
+  EXPECT_NE(group_digest(single), group_digest(doubled));
+
+  EXPECT_EQ(group_key_shape(forward),
+            (core::GemmShape{1024 + 128 + 64, 1024 + 128 + 48,
+                             1024 + 128 + 40}));
+}
+
+TEST(TuningDb, GroupedKeysRoundTripThroughV4Files) {
+  const std::vector<core::GemmShape> group{{1024, 1024, 1024},
+                                           {128, 128, 128}};
+  const ShapeKey grouped_key{group_key_shape(group), gpu::Precision::kFp32,
+                             "", group_digest(group)};
+  const ShapeKey plain_key{group_key_shape(group), gpu::Precision::kFp32};
+  TuningDb db;
+  EXPECT_TRUE(db.update(
+      grouped_key,
+      make_record(core::DecompositionKind::kStreamKBasic, {64, 64, 16}, 0.5)));
+  EXPECT_TRUE(db.update(
+      plain_key,
+      make_record(core::DecompositionKind::kDataParallel, {64, 64, 16}, 0.7)));
+  ASSERT_EQ(db.size(), 2u);  // same aggregate shape, distinct keys
+
+  const std::string path = temp_db_path("grouped_keys.csv");
+  db.save(path);
+  TuningDb reloaded;
+  EXPECT_EQ(reloaded.load(path), 2u);
+  const auto grouped = reloaded.lookup(grouped_key);
+  ASSERT_TRUE(grouped.has_value());
+  EXPECT_EQ(grouped->config.kind, core::DecompositionKind::kStreamKBasic);
+  const auto plain = reloaded.lookup(plain_key);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->config.kind, core::DecompositionKind::kDataParallel);
   std::remove(path.c_str());
 }
 

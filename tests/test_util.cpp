@@ -263,9 +263,11 @@ TEST(Threading, ZeroCountIsNoop) {
 TEST(Threading, StreamkWorkersEnvOverridesDefault) {
   ASSERT_EQ(setenv("STREAMK_WORKERS", "3", 1), 0);
   EXPECT_EQ(default_workers(), 3u);
-  // Oversubscription beyond hardware_threads() is honored on purpose.
-  ASSERT_EQ(setenv("STREAMK_WORKERS", "64", 1), 0);
-  EXPECT_EQ(default_workers(), 64u);
+  // Oversubscription beyond hardware_threads() is honored on purpose, up
+  // to the 4x sanity cap.
+  const std::size_t cap = 4 * hardware_threads();
+  ASSERT_EQ(setenv("STREAMK_WORKERS", std::to_string(cap).c_str(), 1), 0);
+  EXPECT_EQ(default_workers(), cap);
   unsetenv("STREAMK_WORKERS");
   EXPECT_EQ(default_workers(), hardware_threads());
 }
@@ -275,6 +277,20 @@ TEST(Threading, StreamkWorkersEnvIgnoresInvalidValues) {
     ASSERT_EQ(setenv("STREAMK_WORKERS", bad, 1), 0);
     EXPECT_EQ(default_workers(), hardware_threads()) << "value: " << bad;
   }
+  unsetenv("STREAMK_WORKERS");
+}
+
+TEST(Threading, StreamkWorkersEnvRejectsOverflowAndAbsurdCounts) {
+  // strtoll clamps an overflowing value to LLONG_MAX with errno == ERANGE;
+  // the old parser accepted that as a valid worker count.
+  for (const char* bad : {"99999999999999999999999999", "9223372036854775807"}) {
+    ASSERT_EQ(setenv("STREAMK_WORKERS", bad, 1), 0);
+    EXPECT_EQ(default_workers(), hardware_threads()) << "value: " << bad;
+  }
+  // Just past the 4x-hardware cap: rejected, falls back to the default.
+  const std::size_t over = 4 * hardware_threads() + 1;
+  ASSERT_EQ(setenv("STREAMK_WORKERS", std::to_string(over).c_str(), 1), 0);
+  EXPECT_EQ(default_workers(), hardware_threads());
   unsetenv("STREAMK_WORKERS");
 }
 

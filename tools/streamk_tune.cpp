@@ -51,6 +51,7 @@ struct CliOptions {
   std::string command;
   std::string db_path = "streamk_tuning.csv";
   std::vector<core::GemmShape> shapes;
+  std::vector<std::vector<core::GemmShape>> groups;
   std::size_t corpus = 0;
   gpu::Precision precision = gpu::Precision::kFp64;
   int reps = 3;
@@ -61,8 +62,12 @@ struct CliOptions {
 [[noreturn]] void usage() {
   std::cerr
       << "usage: streamk_tune <tune|print|ab> [--db FILE] [--shape MxNxK]...\n"
+         "                    [--group MxNxK[*C][+MxNxK[*C]]...]\n"
          "                    [--corpus N] [--precision fp64|fp32|fp16]\n"
-         "                    [--reps R] [--top-k K] [--epilogue CLASS]\n";
+         "                    [--reps R] [--top-k K] [--epilogue CLASS]\n"
+         "  --group tunes/measures ONE grouped ragged-batch GEMM per flag:\n"
+         "  '+'-separated member shapes, each with an optional *count\n"
+         "  multiplicity (e.g. --group 1024x1024x1024+128x128x128*31).\n";
   std::exit(2);
 }
 
@@ -81,6 +86,43 @@ core::GemmShape parse_shape(const std::string& token) {
     std::exit(2);
   }
   return shape;
+}
+
+/// One --group spec: '+'-separated members, each `MxNxK` with an optional
+/// `*count` multiplicity.  Order never matters to the database key (the
+/// digest is a shape-multiset), but the member list is what tune/ab
+/// actually execute, so it is kept as written.
+std::vector<core::GemmShape> parse_group(const std::string& token) {
+  std::vector<core::GemmShape> shapes;
+  std::istringstream members(token);
+  std::string member;
+  while (std::getline(members, member, '+')) {
+    std::string shape_part = member;
+    long long count = 1;
+    if (const std::size_t star = member.find('*');
+        star != std::string::npos) {
+      shape_part = member.substr(0, star);
+      const std::string count_part = member.substr(star + 1);
+      std::size_t consumed = 0;
+      try {
+        count = std::stoll(count_part, &consumed);
+      } catch (const std::exception&) {
+        count = 0;
+      }
+      if (consumed != count_part.size() || count < 1) {
+        std::cerr << "streamk_tune: bad --group multiplicity '" << member
+                  << "' (want MxNxK*count, count >= 1)\n";
+        std::exit(2);
+      }
+    }
+    const core::GemmShape shape = parse_shape(shape_part);
+    shapes.insert(shapes.end(), static_cast<std::size_t>(count), shape);
+  }
+  if (shapes.empty()) {
+    std::cerr << "streamk_tune: empty --group spec '" << token << "'\n";
+    std::exit(2);
+  }
+  return shapes;
 }
 
 /// Full-string numeric parse; anything else (including trailing junk like
@@ -114,6 +156,8 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.db_path = value();
     } else if (arg == "--shape") {
       cli.shapes.push_back(parse_shape(value()));
+    } else if (arg == "--group") {
+      cli.groups.push_back(parse_group(value()));
     } else if (arg == "--corpus") {
       cli.corpus = static_cast<std::size_t>(parse_number(value()));
     } else if (arg == "--precision") {
@@ -169,8 +213,9 @@ std::vector<core::GemmShape> requested_shapes(const CliOptions& cli) {
 
 int run_tune(const CliOptions& cli) {
   const std::vector<core::GemmShape> shapes = requested_shapes(cli);
-  if (shapes.empty()) {
-    std::cerr << "streamk_tune tune: no shapes (--shape or --corpus)\n";
+  if (shapes.empty() && cli.groups.empty()) {
+    std::cerr
+        << "streamk_tune tune: no work (--shape, --group, or --corpus)\n";
     return 2;
   }
 
@@ -187,23 +232,44 @@ int run_tune(const CliOptions& cli) {
   const std::size_t tuned =
       tuner::tune_corpus(shapes, cli.precision, db, options);
 
+  std::size_t tuned_groups = 0;
+  for (const std::vector<core::GemmShape>& group : cli.groups) {
+    const tuner::ShapeKey key{tuner::group_key_shape(group), cli.precision,
+                              cli.epilogue_class,
+                              tuner::group_digest(group)};
+    if (db.lookup(key)) continue;
+    const tuner::TuneReport report =
+        tuner::tune_group(group, cli.precision, options);
+    db.update(report.key, report.best);
+    ++tuned_groups;
+  }
+
   // Serialized contribute: merge what landed on disk while we measured and
   // save the union under the db's advisory lock, so concurrent tuners
   // sharing this file never lose each other's records.
   db.merge_save(cli.db_path);
-  std::cout << "tuned " << tuned << " new shape(s); " << db.size()
-            << " record(s) saved to " << cli.db_path << "\n";
+  std::cout << "tuned " << tuned << " new shape(s) and " << tuned_groups
+            << " new group(s); " << db.size() << " record(s) saved to "
+            << cli.db_path << "\n";
   return 0;
 }
 
 int run_print(const CliOptions& cli) {
   tuner::TuningDb db;
   db.load(cli.db_path);
-  bencher::TextTable table(
-      {"shape", "precision", "epilogue", "config", "seconds", "GFLOP/s"});
+  bencher::TextTable table({"shape", "precision", "epilogue", "group",
+                            "config", "seconds", "GFLOP/s"});
   for (const auto& [key, record] : db.snapshot()) {
+    // Grouped keys print the digest (the member shapes are not recoverable
+    // from it); the shape column shows the group's aggregate shape.
+    std::ostringstream group;
+    if (key.group == 0) {
+      group << "-";
+    } else {
+      group << std::hex << key.group;
+    }
     table.row({key.shape.to_string(), std::string(gpu::name(key.precision)),
-               key.epilogue.empty() ? "-" : key.epilogue,
+               key.epilogue.empty() ? "-" : key.epilogue, group.str(),
                record.config.to_string(), bencher::fmt_num(record.seconds, 6),
                bencher::fmt_num(record.gflops, 2)});
   }
@@ -216,15 +282,19 @@ int run_ab(const CliOptions& cli) {
   tuner::TuningDb db;
   db.load(cli.db_path);
   std::vector<core::GemmShape> shapes = requested_shapes(cli);
-  if (shapes.empty()) {
+  if (shapes.empty() && cli.groups.empty()) {
     for (const auto& [key, record] : db.snapshot()) {
+      // Grouped records are excluded: key.shape is the group's *aggregate*
+      // shape, and re-measuring it as one plain GEMM would compare against
+      // a schedule the record was never tuned for.  A/B a group by passing
+      // its --group spec explicitly.
       if (key.precision == cli.precision &&
-          key.epilogue == cli.epilogue_class) {
+          key.epilogue == cli.epilogue_class && key.group == 0) {
         shapes.push_back(key.shape);
       }
     }
   }
-  if (shapes.empty()) {
+  if (shapes.empty() && cli.groups.empty()) {
     std::cerr << "streamk_tune ab: no shapes in db for precision\n";
     return 2;
   }
@@ -237,6 +307,12 @@ int run_ab(const CliOptions& cli) {
       {"shape", "heuristic s", "tuned s", "speedup", "tuned config"});
   double log_sum = 0.0;
   std::size_t measured = 0;
+  const auto tally = [&](const tuner::AbResult& ab) {
+    if (ab.speedup <= 0.0) return;  // degenerate timing: keep it out of
+                                    // the geomean
+    log_sum += std::log(ab.speedup);
+    ++measured;
+  };
   for (const core::GemmShape& shape : shapes) {
     const auto record = db.lookup({shape, cli.precision, cli.epilogue_class});
     if (!record) continue;
@@ -246,10 +322,25 @@ int run_ab(const CliOptions& cli) {
                bencher::fmt_num(ab.tuned_seconds, 6),
                bencher::fmt_num(ab.speedup, 3),
                record->config.to_string()});
-    if (ab.speedup <= 0.0) continue;  // degenerate timing: keep it out of
-                                      // the geomean
-    log_sum += std::log(ab.speedup);
-    ++measured;
+    tally(ab);
+  }
+  for (const std::vector<core::GemmShape>& group : cli.groups) {
+    const auto record =
+        db.lookup({tuner::group_key_shape(group), cli.precision,
+                   cli.epilogue_class, tuner::group_digest(group)});
+    if (!record) {
+      std::cerr << "streamk_tune ab: group not in db (tune it first)\n";
+      continue;
+    }
+    const tuner::AbResult ab = tuner::ab_measure_group(
+        group, cli.precision, record->config, cli.reps, cli.epilogue_class);
+    table.row({tuner::group_key_shape(group).to_string() + " [group of " +
+                   std::to_string(group.size()) + "]",
+               bencher::fmt_num(ab.heuristic_seconds, 6),
+               bencher::fmt_num(ab.tuned_seconds, 6),
+               bencher::fmt_num(ab.speedup, 3),
+               record->config.to_string()});
+    tally(ab);
   }
   std::cout << table.render();
   if (measured > 0) {
