@@ -1,0 +1,66 @@
+#include "analysis/analyze.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "analysis/wait_graph.hpp"
+#include "core/schedule_plan.hpp"
+
+namespace streamk::analysis {
+namespace {
+
+// Tri-state: -1 = follow environment / build default, else 0 / 1.
+std::atomic<int> g_override{-1};
+
+bool default_enabled() {
+  if (const char* env = std::getenv("STREAMK_ANALYZE")) {
+    return std::string(env) != "0" && std::string(env) != "";
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace
+
+AnalysisError::AnalysisError(std::string rule, std::string plan,
+                             const std::string& what)
+    : util::CheckError(what), rule_(std::move(rule)), plan_(std::move(plan)) {}
+
+bool analyze_on_insert_enabled() {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  // The default is computed once: the env var is read at first use, not
+  // per-insert.
+  static const bool enabled = default_enabled();
+  return enabled;
+}
+
+void set_analyze_on_insert(bool enabled) {
+  g_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void check_plan(const core::SchedulePlan& plan) {
+  AnalysisReport report = analyze_plan(plan);
+  if (report.ok()) return;
+  std::string rule;
+  for (const Diagnostic& d : report.findings) {
+    if (d.severity == Severity::kError) {
+      rule = d.rule;
+      break;
+    }
+  }
+  throw AnalysisError(rule, report.subject,
+                      "static analysis rejected " + report.subject + ": " +
+                          report.to_text());
+}
+
+void maybe_check_on_insert(const core::SchedulePlan& plan) {
+  if (analyze_on_insert_enabled()) check_plan(plan);
+}
+
+}  // namespace streamk::analysis

@@ -1,0 +1,58 @@
+#pragma once
+
+// Plan-cache analysis gate.
+//
+// When armed, every schedule admitted to the process plan cache
+// (core::PlanCache::obtain's miss path -- i.e. each distinct plan exactly
+// once) is swept by the static wait-graph analyzer before any executor can
+// run it; error-severity findings abort the insert with an AnalysisError
+// carrying the failing rule id, the plan summary, and the full findings
+// text.
+//
+// Arming, in precedence order:
+//   1. set_analyze_on_insert() -- programmatic override (tests, tools);
+//   2. STREAMK_ANALYZE=1 / STREAMK_ANALYZE=0 in the environment;
+//   3. build default: on in Debug / sanitizer builds (!NDEBUG), off in
+//      Release, where plan compilation may sit on a latency path.
+
+#include <stdexcept>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace streamk::core {
+class SchedulePlan;
+}
+
+namespace streamk::analysis {
+
+/// An analyzer-rejected plan.  Inherits util::CheckError so existing
+/// catch sites treat it as the logic error it is; the structured accessors
+/// carry the first failing rule and the one-line plan identity.
+class AnalysisError : public util::CheckError {
+ public:
+  AnalysisError(std::string rule, std::string plan, const std::string& what);
+
+  /// First error-severity rule id, e.g. "WG-CYCLE".
+  const std::string& rule() const { return rule_; }
+  /// "plan 'stream-k(g=4)' kind=stream-k grid=4 tiles=9 segments=12".
+  const std::string& plan_summary() const { return plan_; }
+
+ private:
+  std::string rule_;
+  std::string plan_;
+};
+
+/// Whether plan-cache inserts are currently analyzed.
+bool analyze_on_insert_enabled();
+
+/// Programmatic override of the STREAMK_ANALYZE environment knob.
+void set_analyze_on_insert(bool enabled);
+
+/// Sweeps `plan` and throws AnalysisError on error-severity findings.
+void check_plan(const core::SchedulePlan& plan);
+
+/// The PlanCache::obtain hook: check_plan() when armed, no-op otherwise.
+void maybe_check_on_insert(const core::SchedulePlan& plan);
+
+}  // namespace streamk::analysis

@@ -1,0 +1,108 @@
+#include "analysis/diagnostics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace streamk::analysis {
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_text() const {
+  std::ostringstream os;
+  os << "[" << rule << "] " << severity_name(severity) << ": " << message;
+  return os.str();
+}
+
+bool AnalysisReport::ok() const { return error_count() == 0; }
+
+std::int64_t AnalysisReport::error_count() const {
+  std::int64_t errors = 0;
+  for (const Diagnostic& d : findings) {
+    if (d.severity == Severity::kError) ++errors;
+  }
+  return errors;
+}
+
+bool AnalysisReport::has_rule(std::string_view rule) const {
+  for (const Diagnostic& d : findings) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+void AnalysisReport::add(std::string_view rule, Severity severity,
+                         std::string message) {
+  findings.push_back(
+      Diagnostic{std::string(rule), severity, std::move(message)});
+}
+
+std::string AnalysisReport::to_text() const {
+  std::ostringstream os;
+  os << subject << ": "
+     << (ok() ? "clean" : std::to_string(error_count()) + " error(s)")
+     << " (nodes=" << nodes << " program-edges=" << program_edges
+     << " fixup-edges=" << fixup_edges
+     << " shared-panel-chunks=" << shared_panel_chunks << ")";
+  for (const Diagnostic& d : findings) os << "\n  " << d.to_text();
+  return os.str();
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string AnalysisReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"subject\":\"" << json_escape(subject) << "\",\"ok\":"
+     << (ok() ? "true" : "false") << ",\"stats\":{\"nodes\":" << nodes
+     << ",\"program_edges\":" << program_edges
+     << ",\"fixup_edges\":" << fixup_edges
+     << ",\"shared_panel_chunks\":" << shared_panel_chunks
+     << "},\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Diagnostic& d = findings[i];
+    if (i > 0) os << ",";
+    os << "{\"rule\":\"" << json_escape(d.rule) << "\",\"severity\":\""
+       << severity_name(d.severity) << "\",\"message\":\""
+       << json_escape(d.message) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace streamk::analysis

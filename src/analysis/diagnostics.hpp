@@ -1,0 +1,118 @@
+#pragma once
+
+// Structured diagnostics for the static concurrency analyzer.
+//
+// Every rule the analyzer (analysis/wait_graph.hpp) or the protocol model
+// checker (analysis/protocol_model.hpp) can fire is identified by a stable
+// rule id from the catalog below (DESIGN.md section 12 documents each).  A
+// finding carries the rule, a severity, a human-readable message, and the
+// plan context it was raised against, and renders both as text (for CI
+// logs) and as JSON (for tooling that ingests `streamk_analyze --json`).
+//
+// Severity semantics: kError findings describe plans that are unsafe to
+// execute (a deadlockable wait graph, an aliased spill slot, a tile whose
+// epilogue would run twice); kWarning findings describe suspicious but
+// runnable structure.  AnalysisReport::ok() is "no errors" -- warnings do
+// not fail a sweep.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streamk::analysis {
+
+/// Stable rule identifiers -- the analyzer's public contract.  CI greps for
+/// these, so renames are breaking changes.
+namespace rules {
+/// Wait graph (segment-granular happens-before) contains a cycle: the plan
+/// can deadlock regardless of thread count.  The finding carries the cycle
+/// path.
+inline constexpr std::string_view kWaitCycle = "WG-CYCLE";
+/// A fixup wait targets a lower-or-equal CTA id.  The pool executes CTAs
+/// in descending claim order with waits targeting higher ids; violating the
+/// direction can deadlock a bounded pool even when the graph is acyclic.
+inline constexpr std::string_view kWaitDirection = "WG-WAIT-DIR";
+/// Spill-slot aliasing: a CTA with more than one non-starting segment (its
+/// second spill would overwrite the slot before the first is consumed), a
+/// spilling CTA without a slot, or a slot map that is not dense/injective.
+inline constexpr std::string_view kSlotAlias = "WG-SLOT-ALIAS";
+/// A tile with zero or multiple starting segments: the epilogue chain would
+/// be applied zero or several times to that tile's output elements,
+/// breaking the once-per-element invariant.
+inline constexpr std::string_view kEpilogueOwner = "EP-OWNER";
+/// Grouped plans only: a segment's iteration range runs past its tile's
+/// depth, i.e. it straddles a tile -- and potentially a problem -- boundary.
+inline constexpr std::string_view kBoundaryStraddle = "GR-STRADDLE";
+/// Panel-cache slot-grid inconsistency: a segment's panel key falls outside
+/// the arena's slot grid, or two problems' key ranges overlap (two problems
+/// reading different operands would share one published panel).
+inline constexpr std::string_view kPanelGeometry = "PC-GEOMETRY";
+/// A (tile, iteration) covered by no segment.
+inline constexpr std::string_view kCoverageGap = "COV-GAP";
+/// A (tile, iteration) covered by more than one segment.
+inline constexpr std::string_view kCoverageOverlap = "COV-OVERLAP";
+/// A segment is malformed in isolation (negative/empty range, range past
+/// the tile depth on single-problem plans, `last` flag inconsistent).
+inline constexpr std::string_view kSegmentMalformed = "SEG-MALFORMED";
+/// An epilogue class requested for the sweep failed structural validation
+/// against the plan (streamk_analyze corpus mode only).
+inline constexpr std::string_view kEpilogueClass = "EP-CLASS";
+/// Model checker: a reachable state where some thread is blocked and no
+/// thread can step.
+inline constexpr std::string_view kProtocolDeadlock = "PM-DEADLOCK";
+/// Model checker: a reachable assertion violation (read-before-publish,
+/// lost contribution, double claim).
+inline constexpr std::string_view kProtocolViolation = "PM-VIOLATION";
+}  // namespace rules
+
+enum class Severity : std::uint8_t {
+  kWarning,
+  kError,
+};
+
+std::string_view severity_name(Severity severity);
+
+/// One finding: rule + severity + message, anchored to a plan context.
+struct Diagnostic {
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+
+  std::string to_text() const;
+};
+
+/// The result of analyzing one plan (or one protocol configuration).
+struct AnalysisReport {
+  /// Human-readable identity of what was analyzed, e.g.
+  /// "stream-k(g=8) 96x96x128 fp-agnostic grid=8 tiles=9".
+  std::string subject;
+  std::vector<Diagnostic> findings;
+
+  /// Wait-graph statistics (zero for protocol reports).
+  std::int64_t nodes = 0;
+  std::int64_t program_edges = 0;
+  std::int64_t fixup_edges = 0;
+  /// Cacheable (panel, k-chunk) slots touched by >= 2 segments -- the
+  /// panel-cache sharing opportunities the plan exposes (informational;
+  /// these are non-blocking by protocol design and carry no wait edges).
+  std::int64_t shared_panel_chunks = 0;
+
+  bool ok() const;
+  std::int64_t error_count() const;
+  /// Whether any finding (any severity) fired `rule`.
+  bool has_rule(std::string_view rule) const;
+
+  void add(std::string_view rule, Severity severity, std::string message);
+
+  /// Multi-line text rendering: subject, stats, then one line per finding.
+  std::string to_text() const;
+  /// JSON object: {"subject": ..., "ok": ..., "stats": {...},
+  /// "findings": [{"rule": ..., "severity": ..., "message": ...}, ...]}.
+  std::string to_json() const;
+};
+
+/// Escapes `text` for embedding in a JSON string literal.
+std::string json_escape(std::string_view text);
+
+}  // namespace streamk::analysis

@@ -1,0 +1,175 @@
+#include "analysis/flaws.hpp"
+
+#include <array>
+#include <utility>
+
+#include "analysis/diagnostics.hpp"
+#include "core/decomposition.hpp"
+#include "core/grouped.hpp"
+#include "util/check.hpp"
+
+namespace streamk::analysis {
+namespace {
+
+// Hand-written segment streams compiled through the production pipeline.
+// Shape 64x64x64 under 32x32x16 blocks: a 2x2 tile grid with 4 MAC-loop
+// iterations per tile -- the smallest geometry where ownership, spilling,
+// and multi-CTA waits are all expressible.
+class SeededDecomposition final : public core::Decomposition {
+ public:
+  SeededDecomposition(std::string name, std::vector<core::CtaWork> ctas)
+      : Decomposition(core::WorkMapping({64, 64, 64}, {32, 32, 16})),
+        name_(std::move(name)),
+        ctas_(std::move(ctas)) {}
+
+  core::DecompositionKind kind() const override {
+    return core::DecompositionKind::kStreamKBasic;
+  }
+  std::string name() const override { return name_; }
+  std::int64_t grid_size() const override {
+    return static_cast<std::int64_t>(ctas_.size());
+  }
+  core::CtaWork cta_work(std::int64_t cta) const override {
+    return ctas_[static_cast<std::size_t>(cta)];
+  }
+
+ private:
+  std::string name_;
+  std::vector<core::CtaWork> ctas_;
+};
+
+core::SchedulePlan seeded_plan(PlanFlaw flaw,
+                               std::vector<core::CtaWork> ctas) {
+  SeededDecomposition decomposition(
+      "flaw:" + std::string(flaw_name(flaw)), std::move(ctas));
+  return core::SchedulePlan(decomposition);
+}
+
+// Grouped counterpart: problems 64x64x64 (tiles 0..3, ipt 4) and 32x32x32
+// (tile 4, ipt 2) under the same blocking, one CTA per global tile.
+core::SchedulePlan seeded_grouped_plan(std::vector<core::CtaWork> ctas) {
+  const std::array<core::GemmShape, 2> shapes = {
+      core::GemmShape{64, 64, 64}, core::GemmShape{32, 32, 32}};
+  const core::GroupedMapping grouped(shapes, {32, 32, 16});
+  core::DecompositionSpec spec;
+  spec.kind = core::DecompositionKind::kDataParallel;
+  spec.sm_count = static_cast<std::int64_t>(ctas.size());
+  return core::SchedulePlan(
+      grouped, spec, static_cast<std::int64_t>(ctas.size()),
+      [&](std::int64_t cta) { return ctas[static_cast<std::size_t>(cta)]; });
+}
+
+core::CtaWork work(std::vector<core::TileSegment> segments) {
+  core::CtaWork w;
+  w.segments = std::move(segments);
+  return w;
+}
+
+}  // namespace
+
+std::string_view flaw_name(PlanFlaw flaw) {
+  switch (flaw) {
+    case PlanFlaw::kWaitCycle:
+      return "wait-cycle";
+    case PlanFlaw::kSlotAlias:
+      return "slot-alias";
+    case PlanFlaw::kDoubleOwner:
+      return "double-owner";
+    case PlanFlaw::kCoverageGap:
+      return "coverage-gap";
+    case PlanFlaw::kBoundaryStraddle:
+      return "boundary-straddle";
+    case PlanFlaw::kGroupedDoubleOwner:
+      return "grouped-double-owner";
+  }
+  return "unknown";
+}
+
+std::optional<PlanFlaw> parse_flaw(std::string_view name) {
+  for (PlanFlaw flaw : all_plan_flaws()) {
+    if (flaw_name(flaw) == name) return flaw;
+  }
+  return std::nullopt;
+}
+
+std::vector<PlanFlaw> all_plan_flaws() {
+  return {PlanFlaw::kWaitCycle,        PlanFlaw::kSlotAlias,
+          PlanFlaw::kDoubleOwner,      PlanFlaw::kCoverageGap,
+          PlanFlaw::kBoundaryStraddle, PlanFlaw::kGroupedDoubleOwner};
+}
+
+std::string_view expected_rule(PlanFlaw flaw) {
+  switch (flaw) {
+    case PlanFlaw::kWaitCycle:
+      return rules::kWaitCycle;
+    case PlanFlaw::kSlotAlias:
+      return rules::kSlotAlias;
+    case PlanFlaw::kDoubleOwner:
+    case PlanFlaw::kGroupedDoubleOwner:
+      return rules::kEpilogueOwner;
+    case PlanFlaw::kCoverageGap:
+      return rules::kCoverageGap;
+    case PlanFlaw::kBoundaryStraddle:
+      return rules::kBoundaryStraddle;
+  }
+  return rules::kSegmentMalformed;
+}
+
+core::SchedulePlan make_flawed_plan(PlanFlaw flaw) {
+  switch (flaw) {
+    case PlanFlaw::kWaitCycle:
+      // CTA 0 owns tile 0 and spills tile 1 *after* its waiting segment;
+      // CTA 1 is the mirror image.  Each owner's wait transitively blocks
+      // the spill the other owner needs: a 4-node cycle, independent of
+      // pool size.  Note each CTA spills exactly once, so the plan passes
+      // the compiler's memory-safety screens and stays "runnable".
+      return seeded_plan(
+          flaw, {work({{0, 0, 2, false}, {1, 2, 4, true}, {2, 0, 4, true}}),
+                 work({{1, 0, 2, false}, {0, 2, 4, true}, {3, 0, 4, true}})});
+    case PlanFlaw::kSlotAlias:
+      // CTA 1 spills partials for both tile 0 and tile 1: two writers into
+      // its single per-CTA partials slot, the second clobbering the first.
+      return seeded_plan(
+          flaw, {work({{0, 0, 2, false},
+                       {1, 0, 2, false},
+                       {2, 0, 4, true},
+                       {3, 0, 4, true}}),
+                 work({{0, 2, 4, true}, {1, 2, 4, true}})});
+    case PlanFlaw::kDoubleOwner:
+      // Tile 0 started by both CTAs: the store + epilogue chain would be
+      // applied twice to its output elements.
+      return seeded_plan(flaw, {work({{0, 0, 4, true},
+                                      {1, 0, 4, true},
+                                      {2, 0, 4, true},
+                                      {3, 0, 4, true}}),
+                                work({{0, 0, 4, true}})});
+    case PlanFlaw::kCoverageGap:
+      // Tile 0's iterations [3, 4) are assigned to no CTA; its owner would
+      // wait on contributors that do not exist and store a partial tile.
+      return seeded_plan(
+          flaw,
+          {work({{0, 0, 3, false}, {1, 0, 4, true}, {2, 0, 4, true}}),
+           work({{3, 0, 4, true}})});
+    case PlanFlaw::kBoundaryStraddle:
+      // Grouped: tile 3 is the last tile of problem 0 (4 iterations), but
+      // its segment claims 6 -- running off the end of the tile into what
+      // linearizes as problem 1's iteration space.
+      return seeded_grouped_plan({work({{0, 0, 4, true}}),
+                                  work({{1, 0, 4, true}}),
+                                  work({{2, 0, 4, true}}),
+                                  work({{3, 0, 6, true}}),
+                                  work({{4, 0, 2, true}})});
+    case PlanFlaw::kGroupedDoubleOwner:
+      // Grouped: tile 4 (problem 1) is started both by its own CTA and by
+      // CTA 0, whose stream otherwise lives in problem 0.
+      return seeded_grouped_plan({work({{0, 0, 4, true}, {4, 0, 2, true}}),
+                                  work({{1, 0, 4, true}}),
+                                  work({{2, 0, 4, true}}),
+                                  work({{3, 0, 4, true}}),
+                                  work({{4, 0, 2, true}})});
+  }
+  util::check(false, "unknown plan flaw");
+  return seeded_plan(flaw, {});
+}
+
+}  // namespace streamk::analysis

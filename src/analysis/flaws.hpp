@@ -1,0 +1,60 @@
+#pragma once
+
+// Seeded-flaw plan corpus for the static analyzer.
+//
+// A static checker is only as trustworthy as its ability to reject what it
+// claims to reject, so every rule the wait-graph analyzer enforces has at
+// least one constructively broken plan here: a schedule a buggy
+// decomposition *could* emit, compiled through the real SchedulePlan
+// pipeline (no mocked IR), that the analyzer must flag with the expected
+// rule id.  The CLI's --selftest and tests/test_analysis.cpp sweep all of
+// them; an undetected flaw fails the build the same way an undetected
+// protocol mutant fails run_model_suite().
+//
+// Single-problem flaws are injected via a Decomposition subclass whose
+// cta_work() returns hand-written segment streams; grouped flaws use the
+// SchedulePlan grouped constructor overload that accepts a caller-supplied
+// generator (the production generator is grouped_cta_work).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/schedule_plan.hpp"
+
+namespace streamk::analysis {
+
+enum class PlanFlaw {
+  /// Two tile owners each wait on a spill the other produces *after* its
+  /// own waiting segment: a wait-graph cycle (deadlock at any pool size).
+  kWaitCycle,
+  /// One CTA spills partials for two different tiles -- two writers into a
+  /// single per-CTA spill slot.
+  kSlotAlias,
+  /// Two starting segments for one tile: the epilogue (and output store)
+  /// would be applied twice to the tile's elements.
+  kDoubleOwner,
+  /// A tile's iteration range is only partially covered.
+  kCoverageGap,
+  /// Grouped: a segment's iteration range runs past its tile's
+  /// iters-per-tile, straddling into the next problem's iteration space.
+  kBoundaryStraddle,
+  /// Grouped: a tile claimed by starting segments of two CTAs, the second
+  /// arriving from a different problem's work stream.
+  kGroupedDoubleOwner,
+};
+
+std::string_view flaw_name(PlanFlaw flaw);
+std::optional<PlanFlaw> parse_flaw(std::string_view name);
+std::vector<PlanFlaw> all_plan_flaws();
+
+/// The rule id (analysis/diagnostics.hpp) the analyzer must raise for the
+/// flaw -- other findings may accompany it, but this one is mandatory.
+std::string_view expected_rule(PlanFlaw flaw);
+
+/// Compiles the seeded-flaw schedule through the production SchedulePlan
+/// pipeline.
+core::SchedulePlan make_flawed_plan(PlanFlaw flaw);
+
+}  // namespace streamk::analysis

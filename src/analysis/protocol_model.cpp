@@ -1,0 +1,516 @@
+#include "analysis/protocol_model.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace streamk::analysis {
+
+namespace {
+
+/// A protocol state: a small fixed vector of byte-sized cells (per-thread
+/// program counters first, shared cells after).  Kept as a plain vector so
+/// the DFS's visited set is a std::map with lexicographic ordering.
+using State = std::vector<std::int8_t>;
+
+/// One enabled transition: the successor state plus a human-readable
+/// action label for counterexample traces.
+struct Step {
+  State next;
+  std::string action;
+};
+
+/// Abstract transition system over interleaved threads.  Implementations
+/// model each atomic action of the real protocol as one transition;
+/// `steps` returns the empty vector for a blocked (or finished) thread.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+  virtual int threads() const = 0;
+  virtual State initial() const = 0;
+  virtual std::vector<Step> steps(const State& state, int thread) const = 0;
+  virtual bool thread_done(const State& state, int thread) const = 0;
+  /// Safety-property check; nullopt when the state satisfies all
+  /// assertions.
+  virtual std::optional<std::string> violation(const State& state) const = 0;
+};
+
+/// Exhaustive DFS over every interleaving, with a visited set and
+/// parent-pointer trace reconstruction.  State spaces here are tiny (at
+/// most a few tens of thousands of states at scope 4), so an explicit
+/// stack plus std::map is plenty.
+ModelResult explore(const Protocol& protocol, std::string name) {
+  ModelResult result;
+  result.protocol = std::move(name);
+
+  struct Provenance {
+    State parent;
+    std::string action;
+  };
+  std::map<State, Provenance> visited;
+  std::vector<State> stack;
+
+  const State init = protocol.initial();
+  visited.emplace(init, Provenance{});
+  stack.push_back(init);
+
+  auto trace_to = [&](const State& state) {
+    std::vector<std::string> trace;
+    State cursor = state;
+    while (true) {
+      const Provenance& prov = visited.at(cursor);
+      if (prov.action.empty()) break;
+      trace.push_back(prov.action);
+      cursor = prov.parent;
+    }
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+  };
+
+  while (!stack.empty()) {
+    const State state = stack.back();
+    stack.pop_back();
+    ++result.states_explored;
+
+    if (const auto bad = protocol.violation(state)) {
+      result.ok = false;
+      result.rule = std::string(rules::kProtocolViolation);
+      result.violation = *bad;
+      result.trace = trace_to(state);
+      return result;
+    }
+
+    bool any_enabled = false;
+    bool all_done = true;
+    std::vector<int> blocked;
+    for (int t = 0; t < protocol.threads(); ++t) {
+      const bool done = protocol.thread_done(state, t);
+      all_done = all_done && done;
+      const std::vector<Step> successors = protocol.steps(state, t);
+      if (!done && successors.empty()) blocked.push_back(t);
+      for (const Step& step : successors) {
+        any_enabled = true;
+        if (visited.emplace(step.next, Provenance{state, step.action})
+                .second) {
+          stack.push_back(step.next);
+        }
+      }
+    }
+
+    if (!all_done && !any_enabled) {
+      result.ok = false;
+      result.rule = std::string(rules::kProtocolDeadlock);
+      std::ostringstream os;
+      os << "deadlock: thread(s)";
+      for (const int t : blocked) os << " " << t;
+      os << " blocked with no enabled transition anywhere";
+      result.violation = os.str();
+      result.trace = trace_to(state);
+      return result;
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+// --------------------------------------------------------------------------
+// Fixup flag protocol: thread 0 is the tile owner, threads 1..C are the
+// spilling contributors.
+//
+// State layout: [pc_owner, pc_contrib[C], flag[C], data[C], acc, bad]
+//   bad: 0 = fine, 1 = read-before-publish, 2 = lost contribution.
+//
+// Owner program (production): for i in 0..C-1 { wait flag[i]; read
+// data[i] }; store.  Contributor i: write data[i]; release flag[i].
+// --------------------------------------------------------------------------
+class FixupProtocol final : public Protocol {
+ public:
+  FixupProtocol(int contributors, FixupMutant mutant)
+      : contributors_(contributors), mutant_(mutant) {
+    util::check(contributors >= 1 && contributors <= 3,
+                "fixup model scope is 1..3 contributors");
+  }
+
+  int threads() const override { return 1 + contributors_; }
+
+  State initial() const override {
+    // pcs: owner + C contributors; shared: C flags, C data, acc, bad.
+    return State(static_cast<std::size_t>(1 + contributors_ * 3 + 2), 0);
+  }
+
+  std::vector<Step> steps(const State& state, int thread) const override {
+    std::vector<Step> out;
+    if (thread == 0) {
+      owner_steps(state, out);
+    } else {
+      contributor_steps(state, thread, out);
+    }
+    return out;
+  }
+
+  bool thread_done(const State& state, int thread) const override {
+    if (thread == 0) return state[0] == owner_done_pc();
+    return pc_contrib(state, thread) == 2;
+  }
+
+  std::optional<std::string> violation(const State& state) const override {
+    const std::int8_t bad = state[bad_cell()];
+    if (bad == 1) {
+      return "read-before-publish: the owner consumed a partials slot "
+             "whose contributor had not yet written it";
+    }
+    if (bad == 2) {
+      return "lost contribution: the owner stored the tile having reduced " +
+             std::to_string(static_cast<int>(state[acc_cell()])) + " of " +
+             std::to_string(contributors_) + " contributors' partials";
+    }
+    return std::nullopt;
+  }
+
+ private:
+  // Cell layout helpers.
+  std::size_t pc_contrib_cell(int thread) const {
+    return static_cast<std::size_t>(thread);  // threads are 1-based here
+  }
+  static std::int8_t pc_contrib(const State& s, int thread) {
+    return s[static_cast<std::size_t>(thread)];
+  }
+  std::size_t flag_cell(int i) const {
+    return static_cast<std::size_t>(1 + contributors_ + i);
+  }
+  std::size_t data_cell(int i) const {
+    return static_cast<std::size_t>(1 + 2 * contributors_ + i);
+  }
+  std::size_t acc_cell() const {
+    return static_cast<std::size_t>(1 + 3 * contributors_);
+  }
+  std::size_t bad_cell() const { return acc_cell() + 1; }
+
+  /// Owner pcs: 2i = wait on contributor i, 2i+1 = read contributor i,
+  /// 2C = store, 2C+1 = done.
+  std::int8_t owner_done_pc() const {
+    return static_cast<std::int8_t>(2 * contributors_ + 1);
+  }
+
+  void owner_steps(const State& state, std::vector<Step>& out) const {
+    const std::int8_t pc = state[0];
+    const int awaited = mutant_ == FixupMutant::kLostContribution
+                            ? contributors_ - 1
+                            : contributors_;
+    if (pc < 2 * awaited) {
+      const int i = pc / 2;
+      if (pc % 2 == 0) {
+        // wait flag[i] -- enabled only once the flag is raised (the
+        // skipped-flag mutant barges straight through).
+        if (mutant_ == FixupMutant::kSkippedFlag ||
+            state[flag_cell(i)] == 1) {
+          State next = state;
+          next[0] = static_cast<std::int8_t>(pc + 1);
+          out.push_back({std::move(next),
+                         mutant_ == FixupMutant::kSkippedFlag
+                             ? "owner: skip wait on contributor " +
+                                   std::to_string(i + 1)
+                             : "owner: acquire flag of contributor " +
+                                   std::to_string(i + 1)});
+        }
+      } else {
+        // read data[i] and reduce.
+        State next = state;
+        if (state[data_cell(i)] == 0) {
+          next[bad_cell()] = 1;
+        } else {
+          next[acc_cell()] = static_cast<std::int8_t>(next[acc_cell()] + 1);
+        }
+        next[0] = static_cast<std::int8_t>(pc + 1);
+        out.push_back({std::move(next), "owner: reduce partials of contributor " +
+                                            std::to_string(i + 1)});
+      }
+      return;
+    }
+    if (pc < 2 * contributors_ && mutant_ == FixupMutant::kLostContribution) {
+      // Shortened loop: skip the remaining contributors outright.
+      State next = state;
+      next[0] = static_cast<std::int8_t>(2 * contributors_);
+      out.push_back({std::move(next), "owner: skip remaining contributors"});
+      return;
+    }
+    if (pc == 2 * contributors_) {
+      State next = state;
+      if (state[acc_cell()] != contributors_) next[bad_cell()] = 2;
+      next[0] = owner_done_pc();
+      out.push_back({std::move(next), "owner: store tile"});
+    }
+  }
+
+  void contributor_steps(const State& state, int thread,
+                         std::vector<Step>& out) const {
+    const int i = thread - 1;
+    const std::int8_t pc = pc_contrib(state, thread);
+    if (pc == 0) {
+      State next = state;
+      next[data_cell(i)] = 1;
+      next[pc_contrib_cell(thread)] = 1;
+      out.push_back({std::move(next), "contributor " + std::to_string(thread) +
+                                          ": write partials"});
+    } else if (pc == 1) {
+      State next = state;
+      // The dropped-release mutant finishes without ever raising the flag.
+      if (mutant_ != FixupMutant::kDroppedRelease) next[flag_cell(i)] = 1;
+      next[pc_contrib_cell(thread)] = 2;
+      out.push_back({std::move(next),
+                     mutant_ == FixupMutant::kDroppedRelease
+                         ? "contributor " + std::to_string(thread) +
+                               ": exit without signalling"
+                         : "contributor " + std::to_string(thread) +
+                               ": release flag"});
+    }
+  }
+
+  int contributors_;
+  FixupMutant mutant_;
+};
+
+// --------------------------------------------------------------------------
+// Panel-cache slot protocol: N symmetric CTAs race for one (panel, chunk)
+// slot.
+//
+// State layout: [pc[N], slot, packed]
+//   pc: 0 = deciding, 1 = packing (inside the critical region), 2 =
+//       publishing, 3 = done, 4 = claim-pending (double-claim mutant
+//       only), 5 = done-with-stale-read.
+//   slot: 0 = kEmpty, 1 = kPacking, 2 = kReady.
+//
+// Production decisions at pc 0: consume on kReady, CAS-claim on kEmpty
+// (one atomic transition), fall back to a private pack on kPacking.  The
+// double-claim mutant splits the CAS into observe + set; the
+// read-before-ready mutant consumes kPacking slots; the dropped-release
+// mutant skips the kReady publish AND removes the fallback.
+// --------------------------------------------------------------------------
+class PanelProtocol final : public Protocol {
+ public:
+  PanelProtocol(int ctas, PanelMutant mutant) : ctas_(ctas), mutant_(mutant) {
+    util::check(ctas >= 2 && ctas <= 4, "panel model scope is 2..4 CTAs");
+  }
+
+  int threads() const override { return ctas_; }
+
+  State initial() const override {
+    return State(static_cast<std::size_t>(ctas_ + 2), 0);
+  }
+
+  std::vector<Step> steps(const State& state, int thread) const override {
+    std::vector<Step> out;
+    const std::int8_t pc = state[static_cast<std::size_t>(thread)];
+    const std::int8_t slot = state[slot_cell()];
+    const std::string who = "cta " + std::to_string(thread);
+    switch (pc) {
+      case 0: {  // deciding
+        if (slot == 2 ||
+            (mutant_ == PanelMutant::kReadBeforeReady && slot == 1)) {
+          State next = state;
+          next[static_cast<std::size_t>(thread)] =
+              state[packed_cell()] == 1 ? 3 : 5;
+          out.push_back({std::move(next), who + ": consume published panel"});
+        }
+        if (slot == 0) {
+          if (mutant_ == PanelMutant::kDoubleClaim) {
+            // Non-atomic test-then-set: observing kEmpty and writing
+            // kPacking are separate transitions, so two CTAs can both
+            // observe kEmpty.
+            State next = state;
+            next[static_cast<std::size_t>(thread)] = 4;
+            out.push_back({std::move(next), who + ": observe empty slot"});
+          } else {
+            State next = state;
+            next[slot_cell()] = 1;
+            next[static_cast<std::size_t>(thread)] = 1;
+            out.push_back({std::move(next), who + ": CAS-claim slot"});
+          }
+        }
+        if (slot == 1 && mutant_ != PanelMutant::kDroppedRelease &&
+            mutant_ != PanelMutant::kReadBeforeReady) {
+          // Bounded spin conceded: pack privately and move on.  This
+          // transition is the protocol's liveness escape hatch; the
+          // dropped-release mutant removes it to show it is load-bearing.
+          State next = state;
+          next[static_cast<std::size_t>(thread)] = 3;
+          out.push_back({std::move(next), who + ": fall back to private pack"});
+        }
+        break;
+      }
+      case 4: {  // claim-pending (double-claim mutant)
+        State next = state;
+        next[slot_cell()] = 1;
+        next[static_cast<std::size_t>(thread)] = 1;
+        out.push_back({std::move(next), who + ": set kPacking (stale test)"});
+        break;
+      }
+      case 1: {  // packing: write the panel bytes
+        State next = state;
+        next[packed_cell()] = 1;
+        next[static_cast<std::size_t>(thread)] = 2;
+        out.push_back({std::move(next), who + ": pack panel into arena"});
+        break;
+      }
+      case 2: {  // publish
+        State next = state;
+        if (mutant_ != PanelMutant::kDroppedRelease) next[slot_cell()] = 2;
+        next[static_cast<std::size_t>(thread)] = 3;
+        out.push_back({std::move(next),
+                       mutant_ == PanelMutant::kDroppedRelease
+                           ? who + ": exit without publishing kReady"
+                           : who + ": publish kReady"});
+        break;
+      }
+      default:
+        break;  // done
+    }
+    return out;
+  }
+
+  bool thread_done(const State& state, int thread) const override {
+    const std::int8_t pc = state[static_cast<std::size_t>(thread)];
+    return pc == 3 || pc == 5;
+  }
+
+  std::optional<std::string> violation(const State& state) const override {
+    int packers = 0;
+    for (int t = 0; t < ctas_; ++t) {
+      const std::int8_t pc = state[static_cast<std::size_t>(t)];
+      if (pc == 1 || pc == 2) ++packers;
+      if (pc == 5) {
+        return "read-before-publish: cta " + std::to_string(t) +
+               " consumed the slot before the packer wrote the panel";
+      }
+    }
+    if (packers > 1) {
+      return "double claim: " + std::to_string(packers) +
+             " CTAs inside the slot's packing critical region";
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::size_t slot_cell() const { return static_cast<std::size_t>(ctas_); }
+  std::size_t packed_cell() const {
+    return static_cast<std::size_t>(ctas_ + 1);
+  }
+
+  int ctas_;
+  PanelMutant mutant_;
+};
+
+}  // namespace
+
+std::string_view fixup_mutant_name(FixupMutant mutant) {
+  switch (mutant) {
+    case FixupMutant::kNone:
+      return "production";
+    case FixupMutant::kDroppedRelease:
+      return "dropped-release";
+    case FixupMutant::kSkippedFlag:
+      return "skipped-flag";
+    case FixupMutant::kLostContribution:
+      return "lost-contribution";
+  }
+  return "unknown";
+}
+
+std::string_view panel_mutant_name(PanelMutant mutant) {
+  switch (mutant) {
+    case PanelMutant::kNone:
+      return "production";
+    case PanelMutant::kDoubleClaim:
+      return "double-claim";
+    case PanelMutant::kReadBeforeReady:
+      return "read-before-ready";
+    case PanelMutant::kDroppedRelease:
+      return "dropped-release-no-fallback";
+  }
+  return "unknown";
+}
+
+std::string ModelResult::to_text() const {
+  std::ostringstream os;
+  os << protocol << ": "
+     << (ok ? "verified" : "REJECTED [" + rule + "] " + violation) << " ("
+     << states_explored << " states)";
+  if (!ok && !trace.empty()) {
+    os << "\n  counterexample:";
+    for (const std::string& action : trace) os << "\n    " << action;
+  }
+  return os.str();
+}
+
+ModelResult check_fixup_protocol(int contributors, FixupMutant mutant) {
+  std::ostringstream name;
+  name << "fixup(contributors=" << contributors;
+  if (mutant != FixupMutant::kNone) {
+    name << ", mutant=" << fixup_mutant_name(mutant);
+  }
+  name << ")";
+  return explore(FixupProtocol(contributors, mutant), name.str());
+}
+
+ModelResult check_panel_protocol(int ctas, PanelMutant mutant) {
+  std::ostringstream name;
+  name << "panel-cache(ctas=" << ctas;
+  if (mutant != PanelMutant::kNone) {
+    name << ", mutant=" << panel_mutant_name(mutant);
+  }
+  name << ")";
+  return explore(PanelProtocol(ctas, mutant), name.str());
+}
+
+ModelSuite run_model_suite() {
+  ModelSuite suite;
+  suite.report.subject = "protocol model suite";
+  suite.ok = true;
+
+  for (int c = 1; c <= 3; ++c) {
+    suite.production.push_back(check_fixup_protocol(c, FixupMutant::kNone));
+  }
+  for (int n = 2; n <= 4; ++n) {
+    suite.production.push_back(check_panel_protocol(n, PanelMutant::kNone));
+  }
+  for (const ModelResult& result : suite.production) {
+    suite.total_states += result.states_explored;
+    if (!result.ok) {
+      suite.ok = false;
+      suite.report.add(result.rule, Severity::kError,
+                       result.protocol + ": " + result.violation);
+    }
+  }
+
+  // Every mutant must be rejected -- an accepted mutant means the checker
+  // can no longer see the defect class it exists to catch.
+  const auto expect_rejected = [&suite](ModelResult result) {
+    suite.total_states += result.states_explored;
+    if (result.ok) {
+      suite.ok = false;
+      suite.report.add(rules::kProtocolViolation, Severity::kError,
+                       result.protocol +
+                           ": seeded mutant NOT detected -- the checker has "
+                           "lost this defect class");
+    }
+    suite.mutants.emplace_back(result.protocol, std::move(result));
+  };
+  for (const FixupMutant mutant :
+       {FixupMutant::kDroppedRelease, FixupMutant::kSkippedFlag,
+        FixupMutant::kLostContribution}) {
+    expect_rejected(check_fixup_protocol(2, mutant));
+  }
+  for (const PanelMutant mutant :
+       {PanelMutant::kDoubleClaim, PanelMutant::kReadBeforeReady,
+        PanelMutant::kDroppedRelease}) {
+    expect_rejected(check_panel_protocol(3, mutant));
+  }
+  return suite;
+}
+
+}  // namespace streamk::analysis

@@ -1,0 +1,114 @@
+#pragma once
+
+// Explicit-state model checking of the runtime's lock-free protocols.
+//
+// The repo relies on two hand-rolled synchronization protocols:
+//
+//   * the Stream-K fixup flag protocol (cpu/workspace.hpp): a spilling CTA
+//     writes its partials slot, then raises its flag with a release store;
+//     the tile owner acquires each contributor's flag before reading the
+//     slot and reduces in ascending peer order;
+//   * the panel-cache slot protocol (cpu/panel_cache.hpp):
+//     kEmpty --CAS--> kPacking --store-release--> kReady, with readers
+//     load-acquiring kReady and a bounded-spin fall-back-to-private-pack
+//     exit for CTAs that observe kPacking.
+//
+// Both were verified only dynamically (TSan over the interleavings the
+// scheduler happened to produce).  This checker enumerates *every*
+// interleaving of a small-scope configuration (2-4 CTAs, one tile / one
+// slot -- the scope where these protocols' defects live, since neither
+// protocol couples distinct tiles or slots) by explicit-state DFS over an
+// abstract transition system: each atomic action of the real code is one
+// transition, release/acquire pairs are modeled by splitting the data
+// write from the flag publish so stale reads are reachable states, and
+// blocking waits are transitions enabled only when their flag is set.
+//
+// Checked properties:
+//   * no deadlock -- every reachable non-final state has an enabled
+//     transition (PM-DEADLOCK otherwise, with the blocked-thread set);
+//   * no read-before-publish -- a consumer never observes unpublished data
+//     (PM-VIOLATION);
+//   * no lost contribution -- the owner's store sees every contributor's
+//     partials (PM-VIOLATION);
+//   * no double claim -- at most one CTA inside the slot's packing
+//     critical region (PM-VIOLATION).
+//
+// The checker itself is tested by *mutants*: seeded single-defect protocol
+// variants (dropped release, skipped flag, lost contribution, double
+// claim, read-before-ready, and dropped-release-without-fallback) that the
+// checker must reject with the expected property violation and a concrete
+// counterexample trace.  A checker that passes a mutant is broken, and
+// run_model_suite() fails.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace streamk::analysis {
+
+/// Seeded defects of the fixup flag protocol.
+enum class FixupMutant {
+  kNone,              ///< production protocol
+  kDroppedRelease,    ///< a contributor never raises its flag
+  kSkippedFlag,       ///< the owner reads partials without awaiting the flag
+  kLostContribution,  ///< the owner reduces one contributor short
+};
+
+/// Seeded defects of the panel-cache slot protocol.
+enum class PanelMutant {
+  kNone,             ///< production protocol (CAS claim + fallback)
+  kDoubleClaim,      ///< claim is a non-atomic test-then-set
+  kReadBeforeReady,  ///< a consumer accepts a kPacking slot as published
+  kDroppedRelease,   ///< the packer never publishes kReady AND waiters have
+                     ///< no private-pack fallback (shows the fallback is
+                     ///< the load-bearing half of the liveness argument)
+};
+
+std::string_view fixup_mutant_name(FixupMutant mutant);
+std::string_view panel_mutant_name(PanelMutant mutant);
+
+/// Outcome of exhaustively exploring one protocol configuration.
+struct ModelResult {
+  std::string protocol;  ///< e.g. "fixup(contributors=2)"
+  bool ok = false;
+  /// Rule id (rules::kProtocolDeadlock / kProtocolViolation) when !ok.
+  std::string rule;
+  /// Property violated, e.g. "read-before-publish: owner consumed
+  /// contributor 1's partials before they were written".
+  std::string violation;
+  /// Interleaving reaching the bad state, one action per line.
+  std::vector<std::string> trace;
+  std::int64_t states_explored = 0;
+
+  std::string to_text() const;
+};
+
+/// Exhaustively checks the fixup protocol with `contributors` spilling CTAs
+/// (1..3) plus the owner.
+ModelResult check_fixup_protocol(int contributors,
+                                 FixupMutant mutant = FixupMutant::kNone);
+
+/// Exhaustively checks the panel-cache slot protocol with `ctas` CTAs (2..4)
+/// racing for one slot.
+ModelResult check_panel_protocol(int ctas,
+                                 PanelMutant mutant = PanelMutant::kNone);
+
+/// The full verification suite: every production configuration must verify
+/// clean, and every mutant must be rejected with its expected property
+/// violation.  `ok` is the conjunction; `report` carries one finding per
+/// failure (a dirty production protocol OR an undetected mutant -- the
+/// latter means the checker lost its teeth).
+struct ModelSuite {
+  bool ok = false;
+  std::vector<ModelResult> production;
+  /// (mutant description, result) -- result.ok == true is a suite failure.
+  std::vector<std::pair<std::string, ModelResult>> mutants;
+  AnalysisReport report;
+  std::int64_t total_states = 0;
+};
+
+ModelSuite run_model_suite();
+
+}  // namespace streamk::analysis

@@ -1,0 +1,94 @@
+#pragma once
+
+// Static wait-graph derivation and concurrency rule sweep over a compiled
+// core::SchedulePlan.
+//
+// The runtime's deadlock-freedom argument (cpu/decomposed_runner.hpp,
+// DESIGN.md section 5) is a *protocol* argument: CTAs are claimed in
+// descending id order and fixup waits target higher ids only.  Nothing
+// verified that a given compiled plan actually has that shape -- the
+// property held by construction of the built-in decompositions and was
+// spot-checked dynamically (TSan runs on the shapes the tests pick).  This
+// analyzer proves it per plan, structurally, before anything runs:
+//
+//   nodes  = the plan's segments (arena order, CTA-major);
+//   edges  = "must complete before":
+//     * program order -- segment j of a CTA precedes segment j+1 (a wait
+//       inside segment j blocks everything after it);
+//     * fixup signal->wait -- a tile contributor's spilling segment must
+//       signal before the tile owner's starting segment can finish its
+//       store (these are simultaneously the spill-slot writer->reader
+//       edges: the owner reads the partials slot the contributor wrote).
+//
+// A cycle in this graph is a schedule that deadlocks at *any* thread
+// count; the analyzer reports the cycle path.  Acyclicity alone is not
+// sufficient for a bounded pool, so the wait-direction rule additionally
+// requires every fixup wait to target a strictly higher CTA id -- the
+// invariant that guarantees the awaited CTA was already claimed when the
+// descending claim order reached the waiter.
+//
+// Panel-cache shared-chunk relationships are derived as *statistics*, not
+// edges: the kEmpty->kPacking->kReady slot protocol has a bounded-spin
+// private-pack fallback, so by design it contributes no blocking edge (the
+// model checker in analysis/protocol_model.hpp verifies exactly that claim
+// on the protocol itself, including the mutant without the fallback).
+//
+// The full rule catalog lives in analysis/diagnostics.hpp and DESIGN.md
+// section 12.  analyze_plan() never throws on malformed plans -- it returns
+// structured findings; use analysis/analyze.hpp for the throwing
+// plan-cache guard.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "core/schedule_plan.hpp"
+
+namespace streamk::analysis {
+
+enum class EdgeKind : std::uint8_t {
+  kProgram,  ///< same CTA, consecutive segments
+  kFixup,    ///< contributor signal -> owner wait (slot writer -> reader)
+};
+
+struct WaitEdge {
+  std::int64_t from = 0;  ///< segment node that must complete first
+  std::int64_t to = 0;    ///< segment node blocked on `from`
+  EdgeKind kind = EdgeKind::kProgram;
+};
+
+/// The static wait graph of one plan, at segment granularity.
+struct WaitGraph {
+  std::int64_t nodes = 0;
+  std::vector<WaitEdge> edges;
+  /// CTA of each segment node (arena order).
+  std::vector<std::int64_t> node_cta;
+
+  std::int64_t program_edges() const;
+  std::int64_t fixup_edges() const;
+
+  /// "cta 3 seg 1 (tile 5 [0,4))" -- for cycle-path reporting.
+  std::string describe_node(const core::SchedulePlan& plan,
+                            std::int64_t node) const;
+
+  /// Topological-sort acyclicity check.  Returns an empty vector for a DAG;
+  /// otherwise the nodes of one cycle, in dependency order.
+  std::vector<std::int64_t> find_cycle() const;
+};
+
+/// Derives the wait graph of `plan` (no rules applied).
+WaitGraph build_wait_graph(const core::SchedulePlan& plan);
+
+/// One-line plan identity for reports and error messages:
+/// "plan 'stream-k(g=4)' kind=stream-k grid=4 tiles=9 segments=12".
+std::string plan_summary(const core::SchedulePlan& plan);
+
+/// Runs the full static rule sweep over `plan`: wait-graph acyclicity and
+/// wait direction, spill-slot aliasing, single-owner epilogue application,
+/// exactly-once coverage, grouped problem-boundary containment, and
+/// panel-cache slot-grid consistency.  Returns all findings; never throws
+/// on malformed plans.
+AnalysisReport analyze_plan(const core::SchedulePlan& plan);
+
+}  // namespace streamk::analysis

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/analyze.hpp"
 #include "core/tile_order.hpp"
 #include "util/check.hpp"
 
@@ -97,18 +98,25 @@ SchedulePlan::SchedulePlan(const Decomposition& decomposition)
 
 SchedulePlan::SchedulePlan(const GroupedMapping& grouped,
                            const DecompositionSpec& spec)
+    : SchedulePlan(grouped, spec, grouped_grid_size(grouped, spec),
+                   [&](std::int64_t cta) {
+                     return grouped_cta_work(grouped, spec, cta);
+                   }) {}
+
+SchedulePlan::SchedulePlan(const GroupedMapping& grouped,
+                           const DecompositionSpec& spec, std::int64_t grid,
+                           const std::function<CtaWork(std::int64_t)>& work_of)
     : kind_(spec.kind),
       name_(grouped_plan_name(grouped, spec)),
       // Placeholder quantization of problem 0 so the member stays default-
       // constructible-free; mapping() refuses to hand it out.
       mapping_(grouped.problem(0).shape, grouped.block()),
       block_(grouped.block()),
-      grid_(grouped_grid_size(grouped, spec)),
+      grid_(grid),
       tiles_(grouped.tiles()),
       grouped_(std::make_shared<const GroupedMapping>(grouped)),
       epilogue_memo_(std::make_shared<EpilogueMemo>()) {
-  ingest_ctas(
-      [&](std::int64_t cta) { return grouped_cta_work(grouped, spec, cta); });
+  ingest_ctas(work_of);
   finalize_pack_chunking();
 
   // Group-wide panel-key space: problem p's A row-panel r lives at key
@@ -413,6 +421,9 @@ PlanCache::PlanPtr PlanCache::obtain(const PlanKey& key,
   // and concurrent misses of *different* keys must not serialize.
   const auto decomposition = make_decomposition(spec, mapping);
   auto plan = std::make_shared<const SchedulePlan>(*decomposition);
+  // Static concurrency sweep of every distinct plan before anything can run
+  // it (no-op unless armed; see analysis/analyze.hpp).
+  analysis::maybe_check_on_insert(*plan);
   return insert_or_adopt(key, std::move(plan));
 }
 
@@ -421,6 +432,7 @@ PlanCache::PlanPtr PlanCache::obtain(const PlanKey& key,
                                      const DecompositionSpec& spec) {
   if (PlanPtr hit = hit_or_null(key)) return hit;
   auto plan = std::make_shared<const SchedulePlan>(grouped, spec);
+  analysis::maybe_check_on_insert(*plan);
   return insert_or_adopt(key, std::move(plan));
 }
 

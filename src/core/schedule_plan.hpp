@@ -110,6 +110,15 @@ class SchedulePlan {
   /// the per-problem geometry instead.
   SchedulePlan(const GroupedMapping& grouped, const DecompositionSpec& spec);
 
+  /// Grouped compilation with a caller-supplied segment generator and grid
+  /// -- the injection point for the static analyzer's seeded-flaw plans
+  /// (analysis/flaws.hpp) and for negative tests that need structurally
+  /// broken grouped schedules.  Production callers use the
+  /// (grouped, spec) constructor, whose generator is grouped_cta_work().
+  SchedulePlan(const GroupedMapping& grouped, const DecompositionSpec& spec,
+               std::int64_t grid,
+               const std::function<CtaWork(std::int64_t)>& work_of);
+
   DecompositionKind kind() const { return kind_; }
   const std::string& name() const { return name_; }
   /// Single-problem quantization; fails loudly for grouped plans (whose

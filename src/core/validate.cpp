@@ -10,9 +10,17 @@
 namespace streamk::core {
 
 CoverageReport validate_plan(const SchedulePlan& plan) {
-  const WorkMapping& mapping = plan.mapping();
-  const std::int64_t ipt = mapping.iters_per_tile();
-  const std::int64_t tiles = mapping.tiles();
+  // Grouped plans have no uniform iters-per-tile; resolve per tile through
+  // the group's prefix sums.  Single-problem plans keep the flat constant.
+  const GroupedMapping* group = plan.group();
+  const std::int64_t flat_ipt =
+      group ? 0 : plan.mapping().iters_per_tile();
+  const auto ipt_of = [&](std::int64_t tile) {
+    return group ? group->iters_per_tile(tile) : flat_ipt;
+  };
+  const std::int64_t tiles = plan.tiles();
+  const std::int64_t total_iters =
+      group ? group->total_iters() : plan.mapping().total_iters();
 
   // Segments grouped per tile as (begin, end) local ranges.
   std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> per_tile(
@@ -33,6 +41,7 @@ CoverageReport validate_plan(const SchedulePlan& plan) {
     for (const TileSegment& seg : plan.cta_segments(cta)) {
       util::check(seg.tile_idx >= 0 && seg.tile_idx < tiles,
                   "segment tile out of range");
+      const std::int64_t ipt = ipt_of(seg.tile_idx);
       util::check(seg.iter_begin >= 0 && seg.iter_begin < seg.iter_end &&
                       seg.iter_end <= ipt,
                   "segment iteration range malformed");
@@ -65,7 +74,7 @@ CoverageReport validate_plan(const SchedulePlan& plan) {
   }
   if (report.nonempty_ctas == 0) report.min_cta_iters = 0;
 
-  util::check(report.covered_iters == mapping.total_iters(),
+  util::check(report.covered_iters == total_iters,
               "covered iteration count != total iterations");
 
   for (std::int64_t tile = 0; tile < tiles; ++tile) {
@@ -81,7 +90,7 @@ CoverageReport validate_plan(const SchedulePlan& plan) {
       util::check(begin == cursor, "gap or overlap in tile coverage");
       cursor = end;
     }
-    util::check(cursor == ipt, "tile coverage incomplete");
+    util::check(cursor == ipt_of(tile), "tile coverage incomplete");
   }
 
   return report;

@@ -37,8 +37,10 @@ CalibrationResult calibrate_cpu(const core::GemmShape& shape,
     double best = std::numeric_limits<double>::infinity();
     for (int rep = 0; rep < std::max(1, options.repetitions); ++rep) {
       const auto start = std::chrono::steady_clock::now();
+      ExecutorOptions exec_options;
+      exec_options.workers = workers;
       execute_decomposition<double, double, double>(decomposition, a, b, c,
-                                                    {.workers = workers});
+                                                    exec_options);
       const auto stop = std::chrono::steady_clock::now();
       best = std::min(best,
                       std::chrono::duration<double>(stop - start).count());

@@ -204,7 +204,9 @@ GemmMeasurement EmpiricalLibrary::run_config(
 }
 
 GemmMeasurement EmpiricalLibrary::run(const core::GemmShape& shape) const {
-  const tuner::ShapeKey key{shape, precision_};
+  tuner::ShapeKey key;
+  key.shape = shape;
+  key.precision = precision_;
   if (const auto record = db_.lookup(key)) {
     return run_config(shape, record->config);
   }

@@ -1,0 +1,279 @@
+// Static concurrency analyzer suite.
+//
+// Two-sided contract: every production schedule (all decomposition kinds x
+// the interesting shape/block sweep, plain and grouped) must analyze clean,
+// and every seeded flaw / protocol mutant must be rejected with its
+// expected rule.  A checker that stops rejecting what it exists to reject
+// has silently died -- the negative half is what keeps it honest.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/analyze.hpp"
+#include "analysis/flaws.hpp"
+#include "analysis/protocol_model.hpp"
+#include "analysis/wait_graph.hpp"
+#include "core/grouped.hpp"
+#include "core/validate.hpp"
+#include "test_support.hpp"
+
+namespace streamk::analysis {
+namespace {
+
+using testing::all_decompositions;
+using testing::interesting_blocks;
+using testing::interesting_shapes;
+
+// --- Production plans are clean --------------------------------------------
+
+TEST(AnalyzeProduction, AllDecompositionsAllShapesClean) {
+  for (const core::GemmShape& shape : interesting_shapes()) {
+    for (const gpu::BlockShape& block : interesting_blocks()) {
+      const core::WorkMapping mapping(shape, block);
+      for (const auto& named : all_decompositions(mapping)) {
+        SCOPED_TRACE(shape.to_string() + " " + named.label);
+        const core::SchedulePlan plan = core::compile_plan(*named.decomposition);
+        const AnalysisReport report = analyze_plan(plan);
+        EXPECT_TRUE(report.ok()) << report.to_text();
+        EXPECT_EQ(report.nodes, plan.total_segments());
+      }
+    }
+  }
+}
+
+TEST(AnalyzeProduction, GroupedPlansClean) {
+  const std::vector<core::GemmShape> shapes = {
+      {64, 64, 64}, {192, 160, 224}, {32, 32, 384}, {65, 63, 33}};
+  const core::GroupedMapping grouped(shapes, {32, 32, 16});
+  for (const core::DecompositionKind kind :
+       {core::DecompositionKind::kDataParallel,
+        core::DecompositionKind::kFixedSplit,
+        core::DecompositionKind::kStreamKBasic,
+        core::DecompositionKind::kHybridOneTile,
+        core::DecompositionKind::kHybridTwoTile}) {
+    core::DecompositionSpec spec;
+    spec.kind = kind;
+    spec.split = 3;
+    spec.grid = 7;
+    spec.sm_count = 8;
+    const core::SchedulePlan plan(grouped, spec);
+    SCOPED_TRACE(plan.name());
+    const AnalysisReport report = analyze_plan(plan);
+    EXPECT_TRUE(report.ok()) << report.to_text();
+  }
+}
+
+// --- The graph itself is structurally meaningful ---------------------------
+
+TEST(WaitGraph, StreamKSplitTilesProduceFixupEdges) {
+  const core::WorkMapping mapping({192, 160, 224}, {32, 32, 16});
+  const core::StreamKBasic sk(mapping, 7);
+  const core::SchedulePlan plan = core::compile_plan(sk);
+  const WaitGraph graph = build_wait_graph(plan);
+
+  EXPECT_EQ(graph.nodes, plan.total_segments());
+  EXPECT_EQ(static_cast<std::int64_t>(graph.node_cta.size()), graph.nodes);
+  // A Stream-K grid that does not divide the tile count splits tiles, so
+  // the fixup protocol must appear as signal->wait edges -- one per
+  // (contributor, owned tile) pair, i.e. one per spill.
+  EXPECT_GT(graph.fixup_edges(), 0);
+  EXPECT_EQ(graph.fixup_edges(), plan.total_spills());
+  // Program-order edges: per CTA, one fewer than its segment count.
+  std::int64_t expected_program = 0;
+  for (std::int64_t cta = 0; cta < plan.grid(); ++cta) {
+    const auto count =
+        static_cast<std::int64_t>(plan.cta_segments(cta).size());
+    expected_program += count > 0 ? count - 1 : 0;
+  }
+  EXPECT_EQ(graph.program_edges(), expected_program);
+  // Production plans are DAGs, and every fixup wait targets a higher CTA.
+  EXPECT_TRUE(graph.find_cycle().empty());
+  for (const WaitEdge& e : graph.edges) {
+    if (e.kind == EdgeKind::kFixup) {
+      EXPECT_GT(graph.node_cta[static_cast<std::size_t>(e.from)],
+                graph.node_cta[static_cast<std::size_t>(e.to)]);
+    }
+  }
+}
+
+// --- Seeded flaws are rejected with their expected rule --------------------
+
+TEST(AnalyzeFlaws, EveryFlawDetectedWithExpectedRule) {
+  for (const PlanFlaw flaw : all_plan_flaws()) {
+    SCOPED_TRACE(std::string(flaw_name(flaw)));
+    const core::SchedulePlan plan = make_flawed_plan(flaw);
+    const AnalysisReport report = analyze_plan(plan);
+    EXPECT_FALSE(report.ok()) << report.to_text();
+    EXPECT_TRUE(report.has_rule(expected_rule(flaw))) << report.to_text();
+  }
+}
+
+TEST(AnalyzeFlaws, WaitCycleReportsConcretePath) {
+  const core::SchedulePlan plan = make_flawed_plan(PlanFlaw::kWaitCycle);
+  const WaitGraph graph = build_wait_graph(plan);
+  const std::vector<std::int64_t> cycle = graph.find_cycle();
+  // The seeded deadlock is the minimal two-owner exchange: two program
+  // edges plus two fixup edges, four segments around.
+  ASSERT_EQ(cycle.size(), 4u);
+  const AnalysisReport report = analyze_plan(plan);
+  ASSERT_TRUE(report.has_rule(rules::kWaitCycle));
+  for (const Diagnostic& d : report.findings) {
+    if (d.rule == rules::kWaitCycle) {
+      EXPECT_NE(d.message.find("->"), std::string::npos) << d.message;
+      EXPECT_NE(d.message.find("cta"), std::string::npos) << d.message;
+    }
+  }
+}
+
+TEST(AnalyzeFlaws, JsonReportCarriesRuleAndVerdict) {
+  const AnalysisReport report =
+      analyze_plan(make_flawed_plan(PlanFlaw::kSlotAlias));
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\":\"WG-SLOT-ALIAS\""), std::string::npos)
+      << json;
+  // Messages embed quotes (plan names); escaping must keep it one object.
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+// --- The throwing gate and the plan-cache hook -----------------------------
+
+TEST(AnalyzeGate, CheckPlanThrowsStructuredAnalysisError) {
+  const core::SchedulePlan plan = make_flawed_plan(PlanFlaw::kWaitCycle);
+  try {
+    check_plan(plan);
+    FAIL() << "check_plan accepted a deadlockable plan";
+  } catch (const AnalysisError& e) {
+    EXPECT_EQ(e.rule(), std::string(rules::kWaitCycle));
+    EXPECT_NE(e.plan_summary().find("flaw:wait-cycle"), std::string::npos)
+        << e.plan_summary();
+    // The what() text is self-contained: rule id + plan identity, so a bare
+    // catch (std::exception) log line still tells the whole story.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("WG-CYCLE"), std::string::npos) << what;
+    EXPECT_NE(what.find("flaw:wait-cycle"), std::string::npos) << what;
+  }
+}
+
+TEST(AnalyzeGate, InsertHookHonorsTheKnob) {
+  const bool before = analyze_on_insert_enabled();
+  const core::SchedulePlan flawed = make_flawed_plan(PlanFlaw::kDoubleOwner);
+
+  set_analyze_on_insert(false);
+  EXPECT_FALSE(analyze_on_insert_enabled());
+  EXPECT_NO_THROW(maybe_check_on_insert(flawed));
+
+  set_analyze_on_insert(true);
+  EXPECT_TRUE(analyze_on_insert_enabled());
+  EXPECT_THROW(maybe_check_on_insert(flawed), AnalysisError);
+
+  set_analyze_on_insert(before);
+}
+
+TEST(AnalyzeGate, PlanCacheInsertsAnalyzeCleanWhenArmed) {
+  const bool before = analyze_on_insert_enabled();
+  set_analyze_on_insert(true);
+
+  core::PlanCache cache(8);
+  const core::WorkMapping mapping({96, 96, 96}, {32, 32, 16});
+  core::DecompositionSpec spec;
+  spec.kind = core::DecompositionKind::kStreamKBasic;
+  spec.grid = 5;
+  const core::PlanKey key = core::make_plan_key(mapping, spec);
+  const auto plan = cache.obtain(key, mapping, spec);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  set_analyze_on_insert(before);
+}
+
+// --- Protocol model checking -----------------------------------------------
+
+TEST(ProtocolModel, ProductionProtocolsVerify) {
+  for (int contributors = 1; contributors <= 3; ++contributors) {
+    const ModelResult result = check_fixup_protocol(contributors);
+    EXPECT_TRUE(result.ok) << result.to_text();
+    EXPECT_GT(result.states_explored, 0);
+  }
+  for (int ctas = 2; ctas <= 4; ++ctas) {
+    const ModelResult result = check_panel_protocol(ctas);
+    EXPECT_TRUE(result.ok) << result.to_text();
+    EXPECT_GT(result.states_explored, 0);
+  }
+}
+
+TEST(ProtocolModel, MutantsRejectedWithExpectedProperty) {
+  const ModelResult dropped =
+      check_fixup_protocol(2, FixupMutant::kDroppedRelease);
+  EXPECT_FALSE(dropped.ok);
+  EXPECT_EQ(dropped.rule, std::string(rules::kProtocolDeadlock))
+      << dropped.to_text();
+  EXPECT_FALSE(dropped.trace.empty());
+
+  const ModelResult skipped =
+      check_fixup_protocol(2, FixupMutant::kSkippedFlag);
+  EXPECT_FALSE(skipped.ok);
+  EXPECT_EQ(skipped.rule, std::string(rules::kProtocolViolation))
+      << skipped.to_text();
+
+  const ModelResult lost =
+      check_fixup_protocol(2, FixupMutant::kLostContribution);
+  EXPECT_FALSE(lost.ok);
+  EXPECT_EQ(lost.rule, std::string(rules::kProtocolViolation))
+      << lost.to_text();
+
+  const ModelResult double_claim =
+      check_panel_protocol(3, PanelMutant::kDoubleClaim);
+  EXPECT_FALSE(double_claim.ok);
+  EXPECT_EQ(double_claim.rule, std::string(rules::kProtocolViolation))
+      << double_claim.to_text();
+
+  const ModelResult stale =
+      check_panel_protocol(3, PanelMutant::kReadBeforeReady);
+  EXPECT_FALSE(stale.ok);
+  EXPECT_EQ(stale.rule, std::string(rules::kProtocolViolation))
+      << stale.to_text();
+
+  // The load-bearing liveness half: without the bounded-spin private-pack
+  // fallback, a packer that never publishes deadlocks every waiter.
+  const ModelResult no_fallback =
+      check_panel_protocol(3, PanelMutant::kDroppedRelease);
+  EXPECT_FALSE(no_fallback.ok);
+  EXPECT_EQ(no_fallback.rule, std::string(rules::kProtocolDeadlock))
+      << no_fallback.to_text();
+  EXPECT_FALSE(no_fallback.trace.empty());
+}
+
+TEST(ProtocolModel, SuiteConjunctionHolds) {
+  const ModelSuite suite = run_model_suite();
+  EXPECT_TRUE(suite.ok) << suite.report.to_text();
+  EXPECT_EQ(suite.production.size(), 6u);
+  EXPECT_EQ(suite.mutants.size(), 6u);
+  EXPECT_GT(suite.total_states, 0);
+  for (const auto& [name, result] : suite.mutants) {
+    EXPECT_FALSE(result.ok) << name << " went undetected";
+  }
+}
+
+// --- Analyzer and validate_plan agree on the grouped extension -------------
+
+TEST(AnalyzeFlaws, AnalyzerStrictlyExtendsValidatePlan) {
+  for (const PlanFlaw flaw : all_plan_flaws()) {
+    SCOPED_TRACE(std::string(flaw_name(flaw)));
+    const core::SchedulePlan plan = make_flawed_plan(flaw);
+    if (flaw == PlanFlaw::kWaitCycle) {
+      // The deadlock cycle is coverage-complete: every (tile, iteration)
+      // exactly once, one owner per tile, one spill per CTA.  Coverage
+      // validation accepts it -- only the wait graph sees the deadlock.
+      // This plan is WHY the analyzer exists.
+      EXPECT_NO_THROW(core::validate_plan(plan));
+    } else {
+      EXPECT_THROW(core::validate_plan(plan), util::CheckError);
+    }
+    EXPECT_FALSE(analyze_plan(plan).ok());
+  }
+}
+
+}  // namespace
+}  // namespace streamk::analysis

@@ -6,6 +6,8 @@
 
 #include <tuple>
 
+#include "analysis/wait_graph.hpp"
+#include "core/grouped.hpp"
 #include "core/peers.hpp"
 #include "core/validate.hpp"
 #include "test_support.hpp"
@@ -171,6 +173,81 @@ TEST(ValidateNegative, DetectsDoubleSpill) {
   const BrokenDecomposition broken(mapping,
                                    BrokenDecomposition::Flaw::kDoubleSpill);
   EXPECT_THROW(validate_decomposition(broken), util::CheckError);
+}
+
+// Grouped negative coverage: flaws only expressible across problem
+// boundaries, injected through the SchedulePlan grouped generator overload.
+// Both validators must reject them -- validate_plan (throwing) and the
+// static analyzer (structured findings with the expected rule).
+
+GroupedMapping grouped_fixture() {
+  const std::vector<GemmShape> shapes = {{64, 64, 64}, {32, 32, 32}};
+  return GroupedMapping(shapes, {32, 32, 16});
+}
+
+SchedulePlan grouped_flawed_plan(const GroupedMapping& grouped,
+                                 std::vector<CtaWork> ctas) {
+  DecompositionSpec spec;
+  spec.kind = DecompositionKind::kDataParallel;
+  spec.sm_count = static_cast<std::int64_t>(ctas.size());
+  return SchedulePlan(
+      grouped, spec, static_cast<std::int64_t>(ctas.size()),
+      [&](std::int64_t cta) { return ctas[static_cast<std::size_t>(cta)]; });
+}
+
+TEST(ValidateGroupedNegative, DetectsBoundaryStraddle) {
+  // Tile 3 closes problem 0 (4 iters); its segment claims 6, running into
+  // what linearizes as problem 1's iteration space.
+  const GroupedMapping grouped = grouped_fixture();
+  const SchedulePlan plan = grouped_flawed_plan(
+      grouped, {{{{0, 0, 4, true}}},
+                {{{1, 0, 4, true}}},
+                {{{2, 0, 4, true}}},
+                {{{3, 0, 6, true}}},
+                {{{4, 0, 2, true}}}});
+  EXPECT_THROW(validate_plan(plan), util::CheckError);
+
+  const analysis::AnalysisReport report = analysis::analyze_plan(plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_rule(analysis::rules::kBoundaryStraddle))
+      << report.to_text();
+}
+
+TEST(ValidateGroupedNegative, DetectsDuplicateOwnerAcrossProblems) {
+  // Tile 4 (problem 1) is started by its own CTA and again by CTA 0, whose
+  // stream otherwise lives entirely in problem 0.
+  const GroupedMapping grouped = grouped_fixture();
+  const SchedulePlan plan = grouped_flawed_plan(
+      grouped, {{{{0, 0, 4, true}, {4, 0, 2, true}}},
+                {{{1, 0, 4, true}}},
+                {{{2, 0, 4, true}}},
+                {{{3, 0, 4, true}}},
+                {{{4, 0, 2, true}}}});
+  EXPECT_THROW(validate_plan(plan), util::CheckError);
+
+  const analysis::AnalysisReport report = analysis::analyze_plan(plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_rule(analysis::rules::kEpilogueOwner))
+      << report.to_text();
+}
+
+TEST(ValidateGroupedPositive, ProductionGroupedPlansValidate) {
+  // The generalization that made the negative tests above expressible must
+  // not reject real grouped schedules.
+  const GroupedMapping grouped = grouped_fixture();
+  for (const DecompositionKind kind :
+       {DecompositionKind::kDataParallel, DecompositionKind::kFixedSplit,
+        DecompositionKind::kStreamKBasic}) {
+    DecompositionSpec spec;
+    spec.kind = kind;
+    spec.split = 2;
+    spec.grid = 3;
+    spec.sm_count = 4;
+    const SchedulePlan plan(grouped, spec);
+    SCOPED_TRACE(plan.name());
+    const CoverageReport report = validate_plan(plan);
+    EXPECT_EQ(report.covered_iters, grouped.total_iters());
+  }
 }
 
 }  // namespace

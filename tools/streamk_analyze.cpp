@@ -1,0 +1,288 @@
+// streamk_analyze: the static concurrency analyzer CLI.
+//
+// Modes (combinable; exit status is nonzero when any mode finds a problem):
+//
+//   --corpus [N]    Sweep N log-sampled corpus shapes (default 64) through
+//                   every decomposition kind x spilling grid x epilogue
+//                   class, plus grouped multi-problem plans, and run the
+//                   wait-graph rule sweep on each compiled plan.  Production
+//                   plans must analyze clean, so any finding is a failure.
+//   --smoke         Shrink the corpus (8 shapes) for CI smoke runs.
+//   --model-check   Exhaustive explicit-state check of the fixup flag
+//                   protocol and the panel-cache slot protocol, including
+//                   the seeded protocol mutants.
+//   --selftest      Compile every seeded-flaw plan and require the analyzer
+//                   to raise the expected rule for each (a flaw the
+//                   analyzer misses is a failure of the analyzer).
+//   --inject CLASS  Analyze one seeded-flaw plan and print its report
+//                   (CLASS in: wait-cycle, slot-alias, double-owner,
+//                   coverage-gap, boundary-straddle, grouped-double-owner).
+//                   Exits nonzero because findings are present -- the
+//                   demonstration that the flaw class is detected.
+//   --json          Emit reports as JSON instead of text.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "analysis/flaws.hpp"
+#include "analysis/protocol_model.hpp"
+#include "analysis/wait_graph.hpp"
+#include "core/decomposition.hpp"
+#include "core/grouped.hpp"
+#include "core/schedule_plan.hpp"
+#include "corpus/sampler.hpp"
+#include "epilogue/epilogue.hpp"
+
+namespace {
+
+using streamk::analysis::AnalysisReport;
+using streamk::core::DecompositionKind;
+using streamk::core::DecompositionSpec;
+using streamk::core::GemmShape;
+
+struct Options {
+  bool corpus = false;
+  std::int64_t corpus_size = 64;
+  bool smoke = false;
+  bool model_check = false;
+  bool selftest = false;
+  bool json = false;
+  std::string inject;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: streamk_analyze [--corpus [N]] [--smoke] [--model-check]\n"
+      "                       [--selftest] [--inject CLASS] [--json]\n");
+}
+
+/// The sweep's schedule axis: every decomposition kind, with Stream-K /
+/// hybrid grids chosen to force spilling (grids that do not divide the
+/// tile count, so tiles are split across CTAs and the fixup protocol is
+/// structurally present in the plan).
+std::vector<DecompositionSpec> sweep_specs() {
+  std::vector<DecompositionSpec> specs;
+  DecompositionSpec spec;
+  spec.sm_count = 8;
+
+  spec.kind = DecompositionKind::kDataParallel;
+  specs.push_back(spec);
+  spec.kind = DecompositionKind::kFixedSplit;
+  spec.split = 4;
+  specs.push_back(spec);
+  spec.split = 1;
+  for (const std::int64_t grid : {5, 7, 12}) {
+    spec.kind = DecompositionKind::kStreamKBasic;
+    spec.grid = grid;
+    specs.push_back(spec);
+  }
+  spec.grid = 0;
+  spec.kind = DecompositionKind::kHybridOneTile;
+  specs.push_back(spec);
+  spec.kind = DecompositionKind::kHybridTwoTile;
+  specs.push_back(spec);
+  return specs;
+}
+
+/// Epilogue classes attached to each analyzed plan; chain compilation must
+/// validate for every class (EP-CLASS finding otherwise).
+std::vector<std::vector<streamk::epilogue::EpilogueOp>> epilogue_classes() {
+  using streamk::epilogue::EpilogueOp;
+  return {
+      {},
+      {EpilogueOp::bias_col(), EpilogueOp::relu()},
+      {EpilogueOp::clamp(0.0, 6.0)},
+      {EpilogueOp::bias_row(), EpilogueOp::gelu(), EpilogueOp::row_sum()},
+  };
+}
+
+/// Analyzes one plan (plus its epilogue classes) and prints the report when
+/// it is dirty.  Returns the error-finding count.
+std::int64_t analyze_and_report(const streamk::core::SchedulePlan& plan,
+                                const Options& opt, bool print_clean = false) {
+  AnalysisReport report = streamk::analysis::analyze_plan(plan);
+
+  for (const auto& ops : epilogue_classes()) {
+    streamk::epilogue::EpilogueSpec espec;
+    espec.ops = ops;
+    try {
+      (void)plan.epilogue_plan(espec);
+    } catch (const std::exception& e) {
+      report.add(streamk::analysis::rules::kEpilogueClass,
+                 streamk::analysis::Severity::kError,
+                 std::string("epilogue class failed to compile: ") + e.what());
+    }
+  }
+
+  if (!report.ok() || print_clean) {
+    std::printf("%s\n", opt.json ? report.to_json().c_str()
+                                 : report.to_text().c_str());
+  }
+  return report.error_count();
+}
+
+int run_corpus(const Options& opt) {
+  const std::int64_t count = opt.smoke ? 8 : opt.corpus_size;
+  streamk::corpus::SamplerConfig config;
+  config.lo = 128;
+  config.hi = opt.smoke ? 1024 : 4096;
+  const std::vector<GemmShape> shapes = streamk::corpus::sample_shapes(
+      static_cast<std::size_t>(count), config);
+  const streamk::gpu::BlockShape block{64, 64, 16};
+
+  std::int64_t plans = 0;
+  std::int64_t errors = 0;
+  for (const GemmShape& shape : shapes) {
+    const streamk::core::WorkMapping mapping(shape, block);
+    for (const DecompositionSpec& spec : sweep_specs()) {
+      const auto decomposition = streamk::core::make_decomposition(spec, mapping);
+      const streamk::core::SchedulePlan plan(*decomposition);
+      errors += analyze_and_report(plan, opt);
+      ++plans;
+    }
+  }
+
+  // Grouped plans: consecutive corpus shapes bundled into multi-problem
+  // groups of 2..4, swept over the kinds that generalize to ragged groups.
+  std::size_t i = 0;
+  std::size_t group_size = 2;
+  while (i + group_size <= shapes.size()) {
+    const std::vector<GemmShape> group(shapes.begin() + static_cast<std::ptrdiff_t>(i),
+                                       shapes.begin() + static_cast<std::ptrdiff_t>(i + group_size));
+    const streamk::core::GroupedMapping grouped(group, block);
+    for (DecompositionKind kind :
+         {DecompositionKind::kDataParallel, DecompositionKind::kFixedSplit,
+          DecompositionKind::kStreamKBasic}) {
+      DecompositionSpec spec;
+      spec.kind = kind;
+      spec.split = 3;
+      spec.grid = 7;  // not a divisor of any group's tile count: forces spills
+      spec.sm_count = 8;
+      const streamk::core::SchedulePlan plan(grouped, spec);
+      errors += analyze_and_report(plan, opt);
+      ++plans;
+    }
+    i += group_size;
+    group_size = group_size == 4 ? 2 : group_size + 1;
+  }
+
+  std::printf("corpus sweep: %lld plans analyzed, %lld error finding(s)\n",
+              static_cast<long long>(plans), static_cast<long long>(errors));
+  return errors == 0 ? 0 : 1;
+}
+
+int run_model_check(const Options& opt) {
+  const streamk::analysis::ModelSuite suite =
+      streamk::analysis::run_model_suite();
+  if (opt.json) {
+    std::printf("%s\n", suite.report.to_json().c_str());
+  } else {
+    for (const auto& result : suite.production) {
+      std::printf("production %s: %s (%lld states)\n", result.protocol.c_str(),
+                  result.ok ? "verified" : "FAILED",
+                  static_cast<long long>(result.states_explored));
+      if (!result.ok) std::printf("%s\n", result.to_text().c_str());
+    }
+    for (const auto& [name, result] : suite.mutants) {
+      std::printf("mutant %s: %s\n", name.c_str(),
+                  result.ok ? "UNDETECTED (checker failure)" : "rejected");
+      if (result.ok) std::printf("%s\n", result.to_text().c_str());
+    }
+    std::printf("model check: %s (%lld states total)\n",
+                suite.ok ? "ok" : "FAILED",
+                static_cast<long long>(suite.total_states));
+  }
+  return suite.ok ? 0 : 1;
+}
+
+int run_selftest(const Options& opt) {
+  int failures = 0;
+  for (const streamk::analysis::PlanFlaw flaw :
+       streamk::analysis::all_plan_flaws()) {
+    const streamk::core::SchedulePlan plan =
+        streamk::analysis::make_flawed_plan(flaw);
+    const AnalysisReport report = streamk::analysis::analyze_plan(plan);
+    const std::string_view want = streamk::analysis::expected_rule(flaw);
+    bool hit = false;
+    for (const auto& finding : report.findings) {
+      if (finding.rule == want &&
+          finding.severity == streamk::analysis::Severity::kError) {
+        hit = true;
+        break;
+      }
+    }
+    std::printf("flaw %-22s -> %s (%s, %lld finding(s))\n",
+                std::string(streamk::analysis::flaw_name(flaw)).c_str(),
+                hit ? "detected" : "MISSED",
+                std::string(want).c_str(),
+                static_cast<long long>(report.findings.size()));
+    if (!hit) {
+      std::printf("%s\n", opt.json ? report.to_json().c_str()
+                                   : report.to_text().c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int run_inject(const Options& opt) {
+  const auto flaw = streamk::analysis::parse_flaw(opt.inject);
+  if (!flaw) {
+    std::fprintf(stderr, "unknown flaw class '%s'\n", opt.inject.c_str());
+    usage();
+    return 2;
+  }
+  const streamk::core::SchedulePlan plan =
+      streamk::analysis::make_flawed_plan(*flaw);
+  const std::int64_t errors = analyze_and_report(plan, opt, true);
+  return errors > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--corpus") {
+      opt.corpus = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        opt.corpus_size = std::atoll(argv[++i]);
+      }
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--model-check") {
+      opt.model_check = true;
+    } else if (arg == "--selftest") {
+      opt.selftest = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--inject" && i + 1 < argc) {
+      opt.inject = argv[++i];
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (!opt.corpus && !opt.model_check && !opt.selftest && opt.inject.empty()) {
+    usage();
+    return 2;
+  }
+
+  int status = 0;
+  try {
+    if (opt.corpus) status |= run_corpus(opt);
+    if (opt.model_check) status |= run_model_check(opt);
+    if (opt.selftest) status |= run_selftest(opt);
+    if (!opt.inject.empty()) status |= run_inject(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "streamk_analyze: %s\n", e.what());
+    return 2;
+  }
+  return status;
+}
