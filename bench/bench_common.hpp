@@ -7,6 +7,9 @@
 //                  in CI-friendly time while still driving the full path
 //   --csv <path>   additionally write the bench's headline series as CSV
 //                  (uploaded as artifacts by the CI bench-smoke job)
+//   --trace <path> arm the obs trace layer for the whole run and write a
+//                  Chrome trace-event JSON (Perfetto-loadable) at exit --
+//                  handled entirely here, so every bench binary has it
 //
 // Unknown arguments are rejected with a usage message so typos fail loudly
 // (bench_cpu_gemm, the google-benchmark binary, forwards unknowns to the
@@ -20,17 +23,41 @@
 #include <string>
 
 #include "corpus/corpus.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
+#include "util/log.hpp"
 
 namespace streamk::bench {
 
 struct BenchOptions {
   bool smoke = false;
-  std::string csv_path;  ///< empty = no CSV requested
+  std::string csv_path;    ///< empty = no CSV requested
+  std::string trace_path;  ///< empty = no trace requested
 };
 
+namespace detail {
+
+/// atexit target for --trace (a plain function pointer, so the path lives
+/// in an immortal holder rather than a capture).
+inline std::string& trace_path_holder() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+inline void flush_trace_at_exit() {
+  try {
+    obs::write_chrome_trace(trace_path_holder());
+  } catch (const std::exception& e) {
+    util::log_warn(std::string("--trace not written: ") + e.what());
+  }
+}
+
+}  // namespace detail
+
 /// Parses the unified bench CLI.  `allow_unknown` lets wrapper binaries
-/// (google-benchmark) pass their own flags through.
+/// (google-benchmark) pass their own flags through.  A --trace request is
+/// honored right here -- arm now, flush at exit -- so individual benches
+/// need no trace code at all.
 inline BenchOptions parse_bench_args(int argc, char** argv,
                                      bool allow_unknown = false) {
   BenchOptions options;
@@ -40,10 +67,18 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
       options.smoke = true;
     } else if (arg == "--csv" && i + 1 < argc) {
       options.csv_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      options.trace_path = argv[++i];
     } else if (!allow_unknown) {
-      std::cerr << "usage: " << argv[0] << " [--smoke] [--csv <path>]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--smoke] [--csv <path>] [--trace <path>]\n";
       std::exit(2);
     }
+  }
+  if (!options.trace_path.empty()) {
+    detail::trace_path_holder() = options.trace_path;
+    obs::arm_trace();
+    std::atexit(&detail::flush_trace_at_exit);
   }
   return options;
 }

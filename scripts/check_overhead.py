@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Guard the disabled-instrumentation overhead of the obs layer.
+
+Compares two ``bench_runtime_throughput`` CSVs -- one from the default
+build (``STREAMK_OBS=ON`` but tracing disarmed, i.e. the path every user
+runs) and one from a ``STREAMK_OBS=OFF`` build where the macros compile to
+nothing -- and fails when the instrumented-but-disabled build is slower
+than the stripped build beyond a tolerance.  This is the check that keeps
+"one relaxed load per span site" from quietly regressing into real cost.
+
+Usage:
+    check_overhead.py INSTRUMENTED.csv STRIPPED.csv [--tolerance FRAC]
+
+Rows are matched on (mode, submitters, shape) and compared on
+gemms_per_sec; the verdict uses the geometric-mean ratio across matched
+rows, so one noisy configuration cannot fail the gate alone.  Exit status
+0 when within tolerance, 1 otherwise.
+"""
+
+import argparse
+import csv
+import math
+import sys
+
+
+def fail(message):
+    print(f"check_overhead: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_rates(path):
+    """Returns {(mode, submitters, shape): gemms_per_sec}."""
+    rates = {}
+    try:
+        with open(path, newline="", encoding="utf-8") as f:
+            reader = csv.DictReader(f)
+            required = {"mode", "submitters", "shape", "gemms_per_sec"}
+            if reader.fieldnames is None or not required.issubset(
+                    reader.fieldnames):
+                fail(f"{path}: missing columns "
+                     f"{sorted(required - set(reader.fieldnames or []))}")
+            for row in reader:
+                key = (row["mode"], row["submitters"], row["shape"])
+                rate = float(row["gemms_per_sec"])
+                if rate <= 0:
+                    fail(f"{path}: non-positive rate for {key}")
+                rates[key] = rate
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except ValueError as e:
+        fail(f"{path}: bad gemms_per_sec value: {e}")
+    if not rates:
+        fail(f"{path}: no data rows")
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("instrumented",
+                        help="CSV from the default (STREAMK_OBS=ON) build")
+    parser.add_argument("stripped",
+                        help="CSV from the STREAMK_OBS=OFF build")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional slowdown of the geomean (default 0.15; "
+             "CI machines are noisy -- local verification should use 0.02)",
+    )
+    args = parser.parse_args()
+
+    instrumented = load_rates(args.instrumented)
+    stripped = load_rates(args.stripped)
+    keys = sorted(set(instrumented) & set(stripped))
+    if not keys:
+        fail("the two CSVs share no (mode, submitters, shape) rows")
+
+    log_sum = 0.0
+    print(f"{'mode':<8}{'submitters':>12}{'shape':>22}"
+          f"{'on GEMM/s':>12}{'off GEMM/s':>12}{'ratio':>8}")
+    for key in keys:
+        ratio = instrumented[key] / stripped[key]
+        log_sum += math.log(ratio)
+        mode, submitters, shape = key
+        print(f"{mode:<8}{submitters:>12}{shape:>22}"
+              f"{instrumented[key]:>12.1f}{stripped[key]:>12.1f}"
+              f"{ratio:>8.3f}")
+
+    geomean = math.exp(log_sum / len(keys))
+    slowdown = 1.0 - geomean
+    print(f"\ngeomean instrumented/stripped ratio: {geomean:.4f} "
+          f"({slowdown * 100.0:+.1f}% slowdown, tolerance "
+          f"{args.tolerance * 100.0:.0f}%)")
+    if geomean < 1.0 - args.tolerance:
+        fail(f"disabled instrumentation costs {slowdown * 100.0:.1f}% "
+             f"(> {args.tolerance * 100.0:.0f}% tolerance); the off-path "
+             f"is supposed to be one relaxed load per site")
+    print("check_overhead: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate a streamk Chrome trace-event JSON file.
+
+Checks the schema every Perfetto/chrome://tracing loader relies on --
+a top-level ``traceEvents`` array whose entries carry name/cat/ph/pid/tid/ts
+with phase-appropriate fields -- and, optionally, that the trace actually
+contains the event categories a given run must have produced (so CI catches
+an instrumentation point silently going dark, not just malformed JSON).
+
+Usage:
+    check_trace.py TRACE.json [--require CAT]...
+
+Exit status 0 when the trace validates, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "M"}
+
+# streamk's event taxonomy (obs/trace.cpp kKindInfo): any category outside
+# this set means serializer and checker have drifted apart.
+KNOWN_CATEGORIES = {
+    "plan",
+    "pack",
+    "mac",
+    "fixup",
+    "epilogue",
+    "panel_cache",
+    "pool",
+    "tuner",
+    "gemm",
+    "bench",
+}
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(index, event):
+    if not isinstance(event, dict):
+        fail(f"event {index} is not an object")
+    for field in ("name", "ph", "pid", "tid"):
+        if field not in event:
+            fail(f"event {index} missing required field '{field}'")
+    if not isinstance(event["name"], str) or not event["name"]:
+        fail(f"event {index} has a non-string or empty name")
+    ph = event["ph"]
+    if ph not in VALID_PHASES:
+        fail(f"event {index} has unsupported phase {ph!r}")
+    if not isinstance(event["pid"], int) or not isinstance(event["tid"], int):
+        fail(f"event {index} pid/tid must be integers")
+
+    if ph == "M":
+        if "args" not in event or "name" not in event["args"]:
+            fail(f"metadata event {index} needs args.name")
+        return None
+
+    # Timed events: ts is mandatory, X additionally carries a duration.
+    if "ts" not in event or not isinstance(event["ts"], (int, float)):
+        fail(f"event {index} ({event['name']}) missing numeric 'ts'")
+    if event["ts"] < 0:
+        fail(f"event {index} ({event['name']}) has negative ts")
+    if ph == "X":
+        if "dur" not in event or not isinstance(event["dur"], (int, float)):
+            fail(f"complete event {index} ({event['name']}) missing 'dur'")
+        if event["dur"] < 0:
+            fail(f"event {index} ({event['name']}) has negative dur")
+    if ph == "i" and event.get("s") not in ("t", "p", "g"):
+        fail(f"instant event {index} ({event['name']}) has bad scope 's'")
+
+    cat = event.get("cat")
+    if not isinstance(cat, str) or not cat:
+        fail(f"event {index} ({event['name']}) missing category")
+    if cat not in KNOWN_CATEGORIES:
+        fail(f"event {index} has unknown category {cat!r} "
+             f"(serializer/checker drift?)")
+    return cat
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="CAT",
+        help="fail unless at least one event of this category is present "
+             "(repeatable)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail("top level must be an object with a 'traceEvents' array")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' is not an array")
+
+    categories = {}
+    timed = 0
+    for index, event in enumerate(events):
+        cat = check_event(index, event)
+        if cat is not None:
+            categories[cat] = categories.get(cat, 0) + 1
+            timed += 1
+
+    if timed == 0:
+        fail("trace contains no timed events (tracing armed but idle?)")
+
+    missing = [cat for cat in args.require if cat not in categories]
+    if missing:
+        fail(f"required categories absent: {', '.join(missing)} "
+             f"(present: {', '.join(sorted(categories)) or 'none'})")
+
+    summary = ", ".join(f"{cat}={n}" for cat, n in sorted(categories.items()))
+    print(f"check_trace: OK: {timed} timed events ({summary})")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@
 
 #include "analysis/analyze.hpp"
 #include "core/tile_order.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace streamk::core {
@@ -386,8 +387,12 @@ PlanCache::PlanCache(std::size_t max_plans)
 PlanCache::PlanPtr PlanCache::hit_or_null(const PlanKey& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = plans_.find(key);
-  if (it == plans_.end()) return nullptr;
+  if (it == plans_.end()) {
+    STREAMK_OBS_COUNT("plan_cache.misses");
+    return nullptr;
+  }
   ++hits_;
+  STREAMK_OBS_COUNT("plan_cache.hits");
   return it->second;
 }
 
@@ -405,6 +410,7 @@ PlanCache::PlanPtr PlanCache::insert_or_adopt(const PlanKey& key,
       plans_.erase(insertion_order_.front());
       insertion_order_.pop_front();
       ++evictions_;
+      STREAMK_OBS_COUNT("plan_cache.evictions");
     }
   } else {
     ++hits_;  // lost a compile race; adopt the winner for pointer identity
@@ -417,6 +423,7 @@ PlanCache::PlanPtr PlanCache::obtain(const PlanKey& key,
                                      const DecompositionSpec& spec) {
   if (PlanPtr hit = hit_or_null(key)) return hit;
 
+  STREAMK_OBS_SPAN(kPlanCompile, key.shape.m * key.shape.n, key.shape.k);
   // Compile outside the lock: schedule compilation is the expensive part,
   // and concurrent misses of *different* keys must not serialize.
   const auto decomposition = make_decomposition(spec, mapping);
@@ -431,6 +438,7 @@ PlanCache::PlanPtr PlanCache::obtain(const PlanKey& key,
                                      const GroupedMapping& grouped,
                                      const DecompositionSpec& spec) {
   if (PlanPtr hit = hit_or_null(key)) return hit;
+  STREAMK_OBS_SPAN(kPlanCompile, key.shape.m * key.shape.n, key.shape.k);
   auto plan = std::make_shared<const SchedulePlan>(grouped, spec);
   analysis::maybe_check_on_insert(*plan);
   return insert_or_adopt(key, std::move(plan));

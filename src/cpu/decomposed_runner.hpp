@@ -35,6 +35,7 @@
 #include "cpu/mac_loop.hpp"
 #include "cpu/panel_cache.hpp"
 #include "cpu/workspace.hpp"
+#include "obs/obs.hpp"
 #include "runtime/workspace_pool.hpp"
 #include "util/threading.hpp"
 
@@ -74,23 +75,35 @@ void run_decomposed(const core::SchedulePlan& plan, std::int64_t tile_elements,
     try {
       for (const core::TileSegment& seg : segments) {
         std::fill(accum.begin(), accum.end(), Acc{});
-        mac(seg, std::span<Acc>(accum), scratch, cache);
+        {
+          STREAMK_OBS_SPAN(kMacSegment, cta, seg.tile_idx);
+          mac(seg, std::span<Acc>(accum), scratch, cache);
+        }
 
         if (!seg.starts_tile()) {
           std::span<Acc> slot = workspace.partials(cta);
           std::copy(accum.begin(), accum.end(), slot.begin());
           workspace.signal(cta);
+          STREAMK_OBS_INSTANT(kFixupSignal, cta, seg.tile_idx);
           continue;
         }
         if (!seg.ends_tile()) {
           for (const std::int64_t peer :
                plan.tile_contributors(seg.tile_idx)) {
-            workspace.wait(peer);
+            {
+              STREAMK_OBS_SPAN(kFixupWait, cta, peer);
+              const std::int64_t wakeups = workspace.wait(peer);
+              STREAMK_OBS_COUNT_N("fixup.wait_wakeups", wakeups);
+              STREAMK_OBS_COUNT("fixup.waits");
+            }
             std::span<const Acc> slot = workspace.partials(peer);
             for (std::size_t i = 0; i < accum.size(); ++i) accum[i] += slot[i];
           }
         }
-        store(seg.tile_idx, std::span<const Acc>(accum));
+        {
+          STREAMK_OBS_SPAN(kEpilogueApply, cta, seg.tile_idx);
+          store(seg.tile_idx, std::span<const Acc>(accum));
+        }
       }
     } catch (...) {
       // A spilling CTA that dies before signalling would strand its tile

@@ -6,6 +6,7 @@
 #include "core/schedule_plan.hpp"
 #include "cpu/reference.hpp"
 #include "model/grid_selector.hpp"
+#include "obs/obs.hpp"
 #include "runtime/gemm_runtime.hpp"
 #include "tuner/dispatch.hpp"
 #include "util/threading.hpp"
@@ -87,7 +88,11 @@ GemmReport gemm_impl(const Matrix<In>& a, const Matrix<In>& b, Matrix<Out>& c,
   exec.panel_cache = options.panel_cache;
 
   const auto start = std::chrono::steady_clock::now();
-  execute_plan<In, Acc, Out>(*plan, a, b, c, exec);
+  {
+    STREAMK_OBS_SPAN(kGemm, plan->grid(), mapping.tiles());
+    execute_plan<In, Acc, Out>(*plan, a, b, c, exec);
+  }
+  STREAMK_OBS_COUNT("gemm.calls");
   const auto stop = std::chrono::steady_clock::now();
 
   GemmReport report;

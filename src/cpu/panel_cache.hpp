@@ -43,6 +43,7 @@
 #include "cpu/microkernel.hpp"
 #include "cpu/packing.hpp"
 #include "gpu/block_shape.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace streamk::cpu {
@@ -219,12 +220,15 @@ class PanelCache {
   Acc* acquire(std::size_t slot, Acc* dst, std::int64_t bytes, PackFn&& pack) {
     if (panel_cache_contention_fires()) {
       PackProbe::add_fallback();
+      STREAMK_OBS_COUNT("panel_cache.fallbacks");
+      STREAMK_OBS_INSTANT(kPanelFallback, slot, bytes);
       return nullptr;
     }
     std::atomic<std::uint8_t>& state = slots_[slot];
     std::uint8_t seen = state.load(std::memory_order_acquire);
     if (seen == kReady) {
       PackProbe::add_hit();
+      STREAMK_OBS_COUNT("panel_cache.hits");
       return dst;
     }
     if (seen == kEmpty &&
@@ -234,19 +238,26 @@ class PanelCache {
       // A throwing pack would strand the slot at kPacking; every later
       // consumer then falls back to private scratch, so progress (and the
       // in-flight exception) still reach the caller.
-      pack(dst);
+      {
+        STREAMK_OBS_SPAN(kPack, slot, bytes);
+        pack(dst);
+      }
       state.store(kReady, std::memory_order_release);
       PackProbe::add_shared(bytes);
+      STREAMK_OBS_COUNT("panel_cache.shared_packs");
       return dst;
     }
     for (int spin = 0; spin < kSpinLimit; ++spin) {
       if (state.load(std::memory_order_acquire) == kReady) {
         PackProbe::add_hit();
+        STREAMK_OBS_COUNT("panel_cache.hits");
         return dst;
       }
       if ((spin & 255) == 255) std::this_thread::yield();
     }
     PackProbe::add_fallback();
+    STREAMK_OBS_COUNT("panel_cache.fallbacks");
+    STREAMK_OBS_INSTANT(kPanelFallback, slot, bytes);
     return nullptr;
   }
 
@@ -292,15 +303,25 @@ void run_cached_chunks(PanelCache<Acc>* cache, std::int64_t row_key,
                             [&](Acc* dst) { pack_b(k0, kc, dst); });
     }
     if (pa == nullptr) {
-      pack_a(k0, kc, packs.a.data());
-      PackProbe::add_private(round_up(em, MicroTile<Acc>::kMr) * kc *
-                             static_cast<std::int64_t>(sizeof(Acc)));
+      const std::int64_t bytes = round_up(em, MicroTile<Acc>::kMr) * kc *
+                                 static_cast<std::int64_t>(sizeof(Acc));
+      {
+        STREAMK_OBS_SPAN(kPack, -1, bytes);
+        pack_a(k0, kc, packs.a.data());
+      }
+      PackProbe::add_private(bytes);
+      STREAMK_OBS_COUNT("panel_cache.private_packs");
       pa = packs.a.data();
     }
     if (pb == nullptr) {
-      pack_b(k0, kc, packs.b.data());
-      PackProbe::add_private(round_up(en, MicroTile<Acc>::kNr) * kc *
-                             static_cast<std::int64_t>(sizeof(Acc)));
+      const std::int64_t bytes = round_up(en, MicroTile<Acc>::kNr) * kc *
+                                 static_cast<std::int64_t>(sizeof(Acc));
+      {
+        STREAMK_OBS_SPAN(kPack, -1, bytes);
+        pack_b(k0, kc, packs.b.data());
+      }
+      PackProbe::add_private(bytes);
+      STREAMK_OBS_COUNT("panel_cache.private_packs");
       pb = packs.b.data();
     }
     run_packed_mac(pa, pb, em, en, kc, accum, ldc);

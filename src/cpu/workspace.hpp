@@ -99,16 +99,22 @@ class FixupWorkspace {
     flag.notify_all();
   }
 
-  /// Blocks until `cta`'s partials are published (acquire).
-  void wait(std::int64_t cta) {
+  /// Blocks until `cta`'s partials are published (acquire).  Returns the
+  /// number of blocking iterations taken (0 = the flag was already up), so
+  /// callers can report fixup contention without this header knowing about
+  /// the telemetry layer.
+  std::int64_t wait(std::int64_t cta) {
     const std::int64_t slot = slot_of_cta_[static_cast<std::size_t>(cta)];
     util::check(slot >= 0, "wait on CTA without slot");
     auto& flag = flags_[static_cast<std::size_t>(slot)];
+    std::int64_t wakeups = 0;
     std::uint32_t observed = flag.load(std::memory_order_acquire);
     while (observed == 0) {
       flag.wait(0, std::memory_order_acquire);
       observed = flag.load(std::memory_order_acquire);
+      ++wakeups;
     }
+    return wakeups;
   }
 
   /// Rearms all flags (partials contents need no clearing; spilling CTAs

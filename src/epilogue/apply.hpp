@@ -27,6 +27,7 @@
 #include <cstdint>
 
 #include "epilogue/epilogue.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/threading.hpp"
 
@@ -172,6 +173,7 @@ inline void apply_row(const EpiloguePlan& plan, const EpilogueSpec& spec,
         c[j] = static_cast<Out>(a * acc[j] + b * static_cast<Acc>(c[j]));
       }
     }
+    STREAMK_OBS_COUNT("epilogue.identity_rows");
     if (EpilogueProbe::enabled()) {
       EpilogueProbe::record(row * out_cols + col0, en);
     }
@@ -186,6 +188,7 @@ inline void apply_row(const EpiloguePlan& plan, const EpilogueSpec& spec,
     detail::with_bias_act<Acc>(*fast, [&](auto act) {
       detail::bias_act_row<Acc, Out>(a, b, read_c, bias, acc, c, en, act);
     });
+    STREAMK_OBS_COUNT("epilogue.bias_act_rows");
     if (EpilogueProbe::enabled()) {
       EpilogueProbe::record(row * out_cols + col0, en);
     }
@@ -298,6 +301,7 @@ inline void apply_row(const EpiloguePlan& plan, const EpilogueSpec& spec,
     detail::atomic_add(&spec.row_sum[static_cast<std::size_t>(row)],
                        local_sum);
   }
+  STREAMK_OBS_COUNT("epilogue.generic_rows");
   if (EpilogueProbe::enabled()) {
     EpilogueProbe::record(row * out_cols + col0, en);
   }
@@ -330,6 +334,7 @@ inline void apply_tile(const EpiloguePlan& plan, const EpilogueSpec& spec,
                                        c + i * c_ld, en, act);
       }
     });
+    STREAMK_OBS_COUNT_N("epilogue.bias_act_rows", em);
     if (EpilogueProbe::enabled()) {
       for (std::int64_t i = 0; i < em; ++i) {
         EpilogueProbe::record((row0 + i) * out_cols + col0, en);

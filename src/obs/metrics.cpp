@@ -1,0 +1,249 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace streamk::obs {
+
+namespace {
+
+/// CAS-maintained running min/max (relaxed: the exact winner of a
+/// concurrent tie is immaterial for telemetry).
+void atomic_min(std::atomic<std::int64_t>& target, std::int64_t v) {
+  std::int64_t current = target.load(std::memory_order_relaxed);
+  while (v < current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::int64_t>& target, std::int64_t v) {
+  std::int64_t current = target.load(std::memory_order_relaxed);
+  while (v > current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+struct Registry {
+  std::mutex mutex;  ///< registration + snapshot; updates never take it
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+  // Immortal: metric sites in pool jobs may fire during static destruction.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+template <typename Map, typename... OtherMaps>
+typename Map::mapped_type::element_type& find_or_create(
+    Map& map, std::string_view name, const char* kind,
+    const OtherMaps&... others) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  if (const auto it = map.find(name); it != map.end()) return *it->second;
+  util::check((... && !others.contains(std::string(name))),
+              std::string("metric name registered as a different kind: ") +
+                  std::string(name) + " (requested " + kind + ")");
+  auto metric = std::make_unique<typename Map::mapped_type::element_type>();
+  auto& ref = *metric;
+  map.emplace(std::string(name), std::move(metric));
+  return ref;
+}
+
+std::string& env_metrics_path() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+/// STREAMK_METRICS=<path>: dump a snapshot at process exit.
+const bool g_env_init = [] {
+  if (const char* path = std::getenv("STREAMK_METRICS"); path && *path) {
+    env_metrics_path() = path;
+    std::atexit([] {
+      try {
+        write_metrics(env_metrics_path());
+      } catch (const std::exception& e) {
+        util::log_warn(std::string("STREAMK_METRICS not written: ") +
+                       e.what());
+      }
+    });
+  }
+  return true;
+}();
+
+}  // namespace
+
+void Histogram::record(std::int64_t v) {
+  if (v < 0) v = 0;
+  const std::size_t bucket =
+      v == 0 ? 0 : std::bit_width(static_cast<std::uint64_t>(v));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  // First-sample min/max initialization: claim count 0 -> 1 with seed
+  // stores ordered before the increment readers race on.  A concurrent
+  // first recorder simply CASes against the seed like any later sample.
+  if (count_.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    atomic_min(min_, v);
+    atomic_max(max_, v);
+    // min_ seeds at 0; a first sample > 0 must still win.
+    std::int64_t expected = 0;
+    if (v > 0) min_.compare_exchange_strong(expected, v,
+                                            std::memory_order_relaxed);
+  } else {
+    atomic_min(min_, v);
+    atomic_max(max_, v);
+  }
+}
+
+std::int64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  return find_or_create(r.counters, name, "counter", r.gauges, r.histograms);
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  return find_or_create(r.gauges, name, "gauge", r.counters, r.histograms);
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& r = registry();
+  return find_or_create(r.histograms, name, "histogram", r.counters,
+                        r.gauges);
+}
+
+MetricsSnapshot snapshot_metrics() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, c] : r.counters) {
+    snapshot.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : r.gauges) {
+    snapshot.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : r.histograms) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    hs.mean = h->mean();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket(i);
+      if (n == 0) continue;
+      const std::uint64_t upper = i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+      hs.buckets.emplace_back(upper, n);
+    }
+    snapshot.histograms.push_back(std::move(hs));
+  }
+  return snapshot;
+}
+
+std::string metrics_json() {
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << value;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << value;
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    os << (first ? "" : ",") << "\"" << h.name << "\":{\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"min\":" << h.min << ",\"max\":" << h.max
+       << ",\"mean\":" << h.mean << ",\"buckets\":[";
+    bool b_first = true;
+    for (const auto& [upper, n] : h.buckets) {
+      os << (b_first ? "" : ",") << "[" << upper << "," << n << "]";
+      b_first = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string metrics_csv() {
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  std::ostringstream os;
+  os << "kind,name,value,count,sum,min,max,mean\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    os << "counter," << name << "," << value << ",,,,,\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << "gauge," << name << "," << value << ",,,,,\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    os << "histogram," << h.name << ",," << h.count << "," << h.sum << ","
+       << h.min << "," << h.max << "," << h.mean << "\n";
+  }
+  return os.str();
+}
+
+void write_metrics(const std::string& path) {
+  if (path == "-" || path == "stderr") {
+    std::fputs(metrics_json().c_str(), stderr);
+    std::fputc('\n', stderr);
+    return;
+  }
+  const bool csv = path.size() >= 4 && path.ends_with(".csv");
+  std::ofstream file(path);
+  util::check(file.good(), "cannot open metrics output file: " + path);
+  file << (csv ? metrics_csv() : metrics_json());
+  file.close();
+  util::check(file.good(), "failed writing metrics output file: " + path);
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  for (const auto& [name, c] : r.counters) c->reset();
+  for (const auto& [name, g] : r.gauges) g->reset();
+  for (const auto& [name, h] : r.histograms) h->reset();
+}
+
+}  // namespace streamk::obs

@@ -1,0 +1,132 @@
+#pragma once
+
+// Metrics registry: named counters, gauges, and histograms.
+//
+// The counting side of the observability layer (obs/trace.hpp is the
+// timeline side): instrumented sites bump process-wide metrics --
+// plan-cache hits/misses, panel-cache packed-once vs private-fallback,
+// fixup blocking waits and wakeups, worker-pool queue depth and steals,
+// epilogue fast-path hits, tuner finds -- and any thread can snapshot the
+// registry as JSON or CSV at any time.  STREAMK_METRICS=<path> dumps a
+// snapshot at process exit (".csv" extension selects CSV, anything else
+// JSON; "-" writes JSON to stderr).
+//
+// Cost model: updates are relaxed atomic RMWs on pre-resolved objects --
+// the STREAMK_OBS_COUNT macro resolves its name to a Counter& once per
+// call site (function-local static) and then pays one fetch_add per hit.
+// Registration takes a mutex; updates and reads never do.  Histograms are
+// power-of-two-bucketed (bucket i counts samples with bit_width i), with
+// relaxed count/sum and CAS-maintained min/max, so concurrent recording is
+// lock-free and snapshot-while-writing reads a consistent-enough view
+// (counts monotone, sum/count may be mid-update relative to each other --
+// documented, not fenced).
+//
+// Like the trace macros, metric sites vanish under -DSTREAMK_OBS=OFF; the
+// registry itself stays linkable so programmatic users compile either way.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streamk::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of non-negative samples (negative clamps to 0).
+/// Bucket i holds samples whose bit width is i, i.e. values in
+/// [2^(i-1), 2^i); bucket 0 holds zero.  65 buckets cover all of int64.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::int64_t v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};  ///< valid only when count_ > 0
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Registry lookups: find-or-create by name.  The returned reference is
+/// stable for the process lifetime.  A name denotes exactly one metric
+/// kind; asking for "x" as a counter after it was created as a gauge
+/// throws util::CheckError (names are namespaced by convention:
+/// "plan_cache.hit", "pool.queue_depth", ...).
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  double mean = 0.0;
+  /// (upper_bound, count) for each nonzero bucket, ascending.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;  ///< sorted
+  std::vector<std::pair<std::string, std::int64_t>> gauges;    ///< sorted
+  std::vector<HistogramSnapshot> histograms;                   ///< sorted
+};
+
+MetricsSnapshot snapshot_metrics();
+
+/// snapshot_metrics() rendered as a JSON object / a "kind,name,..." CSV.
+std::string metrics_json();
+std::string metrics_csv();
+
+/// Writes metrics_csv() when `path` ends in ".csv", metrics_json()
+/// otherwise; "-" writes JSON to stderr.  Throws util::CheckError when the
+/// file cannot be written.
+void write_metrics(const std::string& path);
+
+/// Zeroes every registered metric (registrations persist).  Test/bench
+/// scoping: reset, run, snapshot.
+void reset_metrics();
+
+}  // namespace streamk::obs

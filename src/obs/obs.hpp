@@ -1,0 +1,141 @@
+#pragma once
+
+// The instrumentation macro layer: what instrumented code actually writes.
+//
+//   STREAMK_OBS_SPAN(kMacSegment, cta, tile);   // RAII: scope = span
+//   STREAMK_OBS_INSTANT(kFixupSignal, cta, tile);
+//   STREAMK_OBS_COUNT("plan_cache.hit");        // counter += 1
+//   STREAMK_OBS_COUNT_N("fixup.wakeups", n);    // counter += n
+//   STREAMK_OBS_GAUGE("pool.workers", n);
+//   STREAMK_OBS_HISTOGRAM("pool.queue_depth", depth);
+//
+// Cost model, in order of decreasing hotness tolerance:
+//   - SPAN/INSTANT when tracing is disarmed: one relaxed load + branch.
+//   - COUNT/GAUGE/HISTOGRAM: one relaxed RMW on a pre-resolved metric (the
+//     name lookup runs once per call site via a function-local static) --
+//     always on, so place them at per-tile/per-task granularity, not inside
+//     the microkernel's K loop.
+//   - Everything under -DSTREAMK_OBS=OFF (STREAMK_OBS_ENABLED == 0): the
+//     macros expand empty and the build is byte-identical to an
+//     uninstrumented one.
+//
+// This header is the only obs include instrumented code needs.
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef STREAMK_OBS_ENABLED
+#define STREAMK_OBS_ENABLED 1
+#endif
+
+#if STREAMK_OBS_ENABLED
+
+namespace streamk::obs {
+
+/// Captures t0 on construction when tracing is armed, emits on destruction.
+/// Arguments are evaluated only when armed at construction time.
+class SpanGuard {
+ public:
+  SpanGuard(EventKind kind, std::int64_t arg0, std::int64_t arg1)
+      : armed_(trace_armed()),
+        kind_(kind),
+        arg0_(arg0),
+        arg1_(arg1),
+        t0_ns_(armed_ ? trace_now_ns() : 0) {}
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  ~SpanGuard() {
+    if (armed_) emit_span(kind_, t0_ns_, trace_now_ns(), arg0_, arg1_);
+  }
+
+ private:
+  const bool armed_;
+  const EventKind kind_;
+  const std::int64_t arg0_;
+  const std::int64_t arg1_;
+  const std::int64_t t0_ns_;
+};
+
+}  // namespace streamk::obs
+
+#define STREAMK_OBS_CONCAT_IMPL(a, b) a##b
+#define STREAMK_OBS_CONCAT(a, b) STREAMK_OBS_CONCAT_IMPL(a, b)
+
+#define STREAMK_OBS_SPAN(kind, arg0, arg1)                        \
+  ::streamk::obs::SpanGuard STREAMK_OBS_CONCAT(streamk_obs_span_, \
+                                               __LINE__)(         \
+      ::streamk::obs::EventKind::kind,                            \
+      static_cast<std::int64_t>(arg0), static_cast<std::int64_t>(arg1))
+
+#define STREAMK_OBS_INSTANT(kind, arg0, arg1)                        \
+  do {                                                               \
+    if (::streamk::obs::trace_armed()) {                             \
+      ::streamk::obs::emit_instant(::streamk::obs::EventKind::kind,  \
+                                   static_cast<std::int64_t>(arg0),  \
+                                   static_cast<std::int64_t>(arg1)); \
+    }                                                                \
+  } while (0)
+
+#define STREAMK_OBS_COUNT(name)                                         \
+  do {                                                                  \
+    static ::streamk::obs::Counter& streamk_obs_metric =                \
+        ::streamk::obs::counter(name);                                  \
+    streamk_obs_metric.add(1);                                          \
+  } while (0)
+
+#define STREAMK_OBS_COUNT_N(name, n)                                    \
+  do {                                                                  \
+    static ::streamk::obs::Counter& streamk_obs_metric =                \
+        ::streamk::obs::counter(name);                                  \
+    streamk_obs_metric.add(static_cast<std::int64_t>(n));               \
+  } while (0)
+
+#define STREAMK_OBS_GAUGE(name, v)                                      \
+  do {                                                                  \
+    static ::streamk::obs::Gauge& streamk_obs_metric =                  \
+        ::streamk::obs::gauge(name);                                    \
+    streamk_obs_metric.set(static_cast<std::int64_t>(v));               \
+  } while (0)
+
+#define STREAMK_OBS_HISTOGRAM(name, v)                                  \
+  do {                                                                  \
+    static ::streamk::obs::Histogram& streamk_obs_metric =              \
+        ::streamk::obs::histogram(name);                                \
+    streamk_obs_metric.record(static_cast<std::int64_t>(v));            \
+  } while (0)
+
+#else  // STREAMK_OBS_ENABLED == 0
+
+// Disabled: value arguments are void-evaluated (side-effect-free ids and
+// sizes, so this folds to nothing) to keep variables that exist only for
+// instrumentation from tripping -Wunused; everything else vanishes.
+
+#define STREAMK_OBS_SPAN(kind, arg0, arg1) \
+  do {                                     \
+    static_cast<void>(arg0);               \
+    static_cast<void>(arg1);               \
+  } while (0)
+#define STREAMK_OBS_INSTANT(kind, arg0, arg1) \
+  do {                                        \
+    static_cast<void>(arg0);                  \
+    static_cast<void>(arg1);                  \
+  } while (0)
+#define STREAMK_OBS_COUNT(name) \
+  do {                          \
+  } while (0)
+#define STREAMK_OBS_COUNT_N(name, n) \
+  do {                               \
+    static_cast<void>(n);            \
+  } while (0)
+#define STREAMK_OBS_GAUGE(name, v) \
+  do {                             \
+    static_cast<void>(v);          \
+  } while (0)
+#define STREAMK_OBS_HISTOGRAM(name, v) \
+  do {                                 \
+    static_cast<void>(v);              \
+  } while (0)
+
+#endif  // STREAMK_OBS_ENABLED

@@ -1,0 +1,148 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace streamk::obs {
+
+double LoadBalanceProfile::imbalance() const {
+  if (busy_sum_ns <= 0 || ctas.empty()) return 0.0;
+  return static_cast<double>(makespan_ns) *
+         static_cast<double>(ctas.size()) /
+         static_cast<double>(busy_sum_ns);
+}
+
+double LoadBalanceProfile::wait_share() const {
+  const std::int64_t total = busy_sum_ns + wait_sum_ns;
+  return total <= 0 ? 0.0
+                    : static_cast<double>(wait_sum_ns) /
+                          static_cast<double>(total);
+}
+
+LoadBalanceProfile build_load_balance_profile(
+    std::span<const TraceSpan> spans) {
+  std::map<std::int64_t, CtaProfile> by_cta;
+  std::int64_t t_min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t t_max = std::numeric_limits<std::int64_t>::min();
+  LoadBalanceProfile profile;
+
+  for (const TraceSpan& span : spans) {
+    const std::int64_t dur = span.t1_ns - span.t0_ns;
+    switch (span.kind) {
+      case EventKind::kMacSegment: {
+        CtaProfile& cta = by_cta[span.arg0];
+        cta.mac_ns += dur;
+        cta.segments += 1;
+        break;
+      }
+      case EventKind::kEpilogueApply:
+        by_cta[span.arg0].epilogue_ns += dur;
+        break;
+      case EventKind::kFixupWait: {
+        CtaProfile& cta = by_cta[span.arg0];
+        cta.wait_ns += dur;
+        cta.waits += 1;
+        break;
+      }
+      case EventKind::kFixupSignal:
+        profile.fixup_signals += 1;
+        continue;  // instant: no extent, no by-CTA time
+      default:
+        continue;
+    }
+    t_min = std::min(t_min, span.t0_ns);
+    t_max = std::max(t_max, span.t1_ns);
+  }
+
+  profile.busy_min_ns = std::numeric_limits<std::int64_t>::max();
+  for (auto& [id, cta] : by_cta) {
+    cta.cta = id;
+    profile.busy_sum_ns += cta.busy_ns();
+    profile.wait_sum_ns += cta.wait_ns;
+    profile.busy_min_ns = std::min(profile.busy_min_ns, cta.busy_ns());
+    profile.busy_max_ns = std::max(profile.busy_max_ns, cta.busy_ns());
+    profile.ctas.push_back(cta);
+  }
+  if (profile.ctas.empty()) profile.busy_min_ns = 0;
+  if (t_max > t_min) profile.makespan_ns = t_max - t_min;
+  return profile;
+}
+
+namespace {
+
+std::string bar(std::int64_t value, std::int64_t max_value, int width) {
+  if (max_value <= 0) return {};
+  const int n = static_cast<int>(value * width / max_value);
+  return std::string(static_cast<std::size_t>(std::max(n, 0)), '#');
+}
+
+double ms(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+std::string render_load_balance_profile(const LoadBalanceProfile& profile) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  if (profile.ctas.empty()) {
+    os << "no CTA-attributed spans in trace (was tracing armed during the "
+          "run?)\n";
+    return os.str();
+  }
+
+  os << "Stream-K load-balance profile (" << profile.ctas.size()
+     << " CTAs)\n";
+  os << std::setprecision(3);
+  os << "  makespan          " << ms(profile.makespan_ns) << " ms\n";
+  os << "  busy sum          " << ms(profile.busy_sum_ns) << " ms\n";
+  os << "  busy min/max      " << ms(profile.busy_min_ns) << " / "
+     << ms(profile.busy_max_ns) << " ms\n";
+  os << "  imbalance         " << profile.imbalance()
+     << "x  (makespan * ctas / busy sum; 1.0 = perfect)\n";
+  os << "  fixup wait sum    " << ms(profile.wait_sum_ns) << " ms  ("
+     << std::setprecision(1) << profile.wait_share() * 100.0
+     << "% of busy+wait)\n";
+  os << "  fixup signals     " << profile.fixup_signals
+     << " (spilled partials)\n\n";
+
+  os << "  cta    busy_ms    wait_ms  segs  waits  busy\n";
+  std::int64_t busy_max = 0;
+  for (const CtaProfile& cta : profile.ctas) {
+    busy_max = std::max(busy_max, cta.busy_ns());
+  }
+  for (const CtaProfile& cta : profile.ctas) {
+    os << "  " << std::setw(3) << cta.cta << std::setprecision(3)
+       << std::setw(11) << ms(cta.busy_ns()) << std::setw(11)
+       << ms(cta.wait_ns) << std::setw(6) << cta.segments << std::setw(7)
+       << cta.waits << "  " << bar(cta.busy_ns(), busy_max, 40) << "\n";
+  }
+  return os.str();
+}
+
+std::string load_balance_profile_json(const LoadBalanceProfile& profile) {
+  std::ostringstream os;
+  os << "{\"ctas\":" << profile.ctas.size()
+     << ",\"makespan_ns\":" << profile.makespan_ns
+     << ",\"busy_sum_ns\":" << profile.busy_sum_ns
+     << ",\"busy_min_ns\":" << profile.busy_min_ns
+     << ",\"busy_max_ns\":" << profile.busy_max_ns
+     << ",\"wait_sum_ns\":" << profile.wait_sum_ns
+     << ",\"fixup_signals\":" << profile.fixup_signals
+     << ",\"imbalance\":" << profile.imbalance()
+     << ",\"wait_share\":" << profile.wait_share() << ",\"per_cta\":[";
+  bool first = true;
+  for (const CtaProfile& cta : profile.ctas) {
+    os << (first ? "" : ",") << "{\"cta\":" << cta.cta
+       << ",\"mac_ns\":" << cta.mac_ns
+       << ",\"epilogue_ns\":" << cta.epilogue_ns
+       << ",\"wait_ns\":" << cta.wait_ns << ",\"segments\":" << cta.segments
+       << ",\"waits\":" << cta.waits << "}";
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace streamk::obs

@@ -1,0 +1,70 @@
+#pragma once
+
+// Stream-K load-balance profile, derived from a trace snapshot.
+//
+// The paper's scheduling argument is quantified by three numbers: how busy
+// each CTA was (paper Fig. "load balance": Stream-K's iteration-granular
+// split keeps these equal where data-parallel tiling staircases), the
+// makespan versus the sum of work (the quanta-induced tail that Stream-K
+// removes), and how much of the run CTAs spent blocked in the fixup
+// protocol (the price paid for splitting tiles).  This module computes all
+// three from the spans the runtime already emits:
+//
+//   busy(cta)  = sum of kMacSegment + kEpilogueApply spans with arg0 == cta
+//   wait(cta)  = sum of kFixupWait spans with arg0 == cta
+//   makespan   = max t1 - min t0 over those spans
+//   imbalance  = makespan * ctas / sum busy   (1.0 = perfectly balanced)
+//   wait share = sum wait / (sum busy + sum wait)
+//
+// The streamk_profile CLI runs a shape under tracing and prints this report;
+// library users can call build_load_balance_profile() on any snapshot.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace streamk::obs {
+
+struct CtaProfile {
+  std::int64_t cta = 0;
+  std::int64_t mac_ns = 0;       ///< time in kMacSegment spans
+  std::int64_t epilogue_ns = 0;  ///< time in kEpilogueApply spans
+  std::int64_t wait_ns = 0;      ///< time blocked in kFixupWait spans
+  std::int64_t segments = 0;     ///< kMacSegment span count
+  std::int64_t waits = 0;        ///< kFixupWait span count
+
+  std::int64_t busy_ns() const { return mac_ns + epilogue_ns; }
+};
+
+struct LoadBalanceProfile {
+  std::vector<CtaProfile> ctas;  ///< sorted by cta id; only CTAs seen
+
+  std::int64_t makespan_ns = 0;  ///< span of all CTA-attributed activity
+  std::int64_t busy_sum_ns = 0;
+  std::int64_t busy_min_ns = 0;
+  std::int64_t busy_max_ns = 0;
+  std::int64_t wait_sum_ns = 0;
+  std::int64_t fixup_signals = 0;  ///< kFixupSignal instants (spilled tiles)
+
+  /// makespan * ctas / busy_sum; 1.0 = perfect balance, 0 when no work.
+  double imbalance() const;
+  /// wait_sum / (busy_sum + wait_sum); 0 when no work.
+  double wait_share() const;
+};
+
+/// Groups CTA-attributed spans (kMacSegment, kEpilogueApply, kFixupWait,
+/// kFixupSignal) by arg0.  Other kinds are ignored, so a snapshot of a full
+/// bench run profiles cleanly.
+LoadBalanceProfile build_load_balance_profile(std::span<const TraceSpan> spans);
+
+/// Human-readable report: summary block plus a per-CTA table with busy/wait
+/// columns and a proportional bar chart.
+std::string render_load_balance_profile(const LoadBalanceProfile& profile);
+
+/// The same numbers as a JSON object (machine-readable twin of the report).
+std::string load_balance_profile_json(const LoadBalanceProfile& profile);
+
+}  // namespace streamk::obs

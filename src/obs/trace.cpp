@@ -1,0 +1,291 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace streamk::obs {
+
+std::atomic<bool> g_trace_armed{false};
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 8192;
+
+std::atomic<std::size_t> g_capacity{kDefaultCapacity};
+std::atomic<std::int64_t> g_epoch_ns{0};
+std::atomic<std::uint64_t> g_overwritten{0};
+
+struct KindInfo {
+  const char* name;
+  const char* category;
+};
+
+constexpr KindInfo kKindInfo[static_cast<std::size_t>(EventKind::kCount)] = {
+    {"plan_compile", "plan"},     {"pack", "pack"},
+    {"mac_segment", "mac"},       {"fixup_wait", "fixup"},
+    {"fixup_signal", "fixup"},    {"epilogue_apply", "epilogue"},
+    {"panel_fallback", "panel_cache"}, {"pool_task", "pool"},
+    {"pool_steal", "pool"},       {"tuner_find", "tuner"},
+    {"gemm", "gemm"},             {"bench_region", "bench"},
+};
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 8;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// One seqlock-guarded slot.  Every field is atomic so a reader racing a
+/// wraparound rewrite is a well-defined (and detected) torn read, never a
+/// data race; relaxed payload accesses are ordered by the release store /
+/// acquire load + fence on `seq`.
+struct Slot {
+  std::atomic<std::uint32_t> seq{0};  ///< odd = write in progress
+  std::atomic<std::uint32_t> kind{0};
+  std::atomic<std::int64_t> t0{0};
+  std::atomic<std::int64_t> t1{0};
+  std::atomic<std::int64_t> a0{0};
+  std::atomic<std::int64_t> a1{0};
+};
+
+/// One thread's ring.  Single writer (the owning thread); snapshot readers
+/// validate slots through the seqlock.  Owned jointly by the thread (via
+/// the thread_local pointer) and the process sink, so rings of exited
+/// threads remain flushable.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::size_t capacity)
+      : slots(std::make_unique<Slot[]>(capacity)), mask(capacity - 1) {}
+
+  void emit(EventKind k, std::int64_t t0, std::int64_t t1, std::int64_t arg0,
+            std::int64_t arg1) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    Slot& slot = slots[h & mask];
+    const std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+    slot.seq.store(seq + 1, std::memory_order_relaxed);
+    slot.kind.store(static_cast<std::uint32_t>(k), std::memory_order_relaxed);
+    slot.t0.store(t0, std::memory_order_relaxed);
+    slot.t1.store(t1, std::memory_order_relaxed);
+    slot.a0.store(arg0, std::memory_order_relaxed);
+    slot.a1.store(arg1, std::memory_order_relaxed);
+    slot.seq.store(seq + 2, std::memory_order_release);
+    head.store(h + 1, std::memory_order_release);
+    if (h >= mask + 1) g_overwritten.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::unique_ptr<Slot[]> slots;
+  const std::uint64_t mask;
+  std::atomic<std::uint64_t> head{0};
+  std::uint32_t tid = 0;
+};
+
+struct TraceSink {
+  std::mutex mutex;  ///< guards registration only; emission never takes it
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+TraceSink& sink() {
+  // Immortal: rings are reachable from pool workers that may still emit
+  // during static destruction (same rationale as runtime::plan_cache()).
+  static TraceSink* s = new TraceSink();
+  return *s;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (!buffer) {
+    auto created = std::make_shared<ThreadBuffer>(
+        round_up_pow2(g_capacity.load(std::memory_order_relaxed)));
+    TraceSink& s = sink();
+    std::lock_guard lock(s.mutex);
+    created->tid = static_cast<std::uint32_t>(s.buffers.size());
+    s.buffers.push_back(created);
+    buffer = std::move(created);
+  }
+  return *buffer;
+}
+
+std::string& env_trace_path() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+/// STREAMK_TRACE=<path>: arm at load time, flush the whole process's trace
+/// at exit.  Runs when this translation unit's initializers do, which is
+/// before main() for any binary that links an emission site.
+const bool g_env_init = [] {
+  if (const char* path = std::getenv("STREAMK_TRACE"); path && *path) {
+    env_trace_path() = path;
+    arm_trace();
+    std::atexit([] {
+      try {
+        write_chrome_trace(env_trace_path());
+      } catch (const std::exception& e) {
+        util::log_warn(std::string("STREAMK_TRACE not written: ") + e.what());
+      }
+    });
+  }
+  return true;
+}();
+
+}  // namespace
+
+const char* event_name(EventKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < static_cast<std::size_t>(EventKind::kCount)
+             ? kKindInfo[i].name
+             : "unknown";
+}
+
+const char* event_category(EventKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < static_cast<std::size_t>(EventKind::kCount)
+             ? kKindInfo[i].category
+             : "unknown";
+}
+
+void arm_trace() { g_trace_armed.store(true, std::memory_order_relaxed); }
+
+void disarm_trace() { g_trace_armed.store(false, std::memory_order_relaxed); }
+
+void reset_trace() {
+  g_epoch_ns.store(trace_now_ns(), std::memory_order_relaxed);
+}
+
+std::int64_t trace_now_ns() {
+  // The origin is the first call's steady_clock reading; all spans are
+  // relative to it, so traces start near t = 0 regardless of uptime.
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
+void emit_span(EventKind kind, std::int64_t t0_ns, std::int64_t t1_ns,
+               std::int64_t arg0, std::int64_t arg1) {
+  if (!trace_armed()) return;
+  local_buffer().emit(kind, t0_ns, t1_ns, arg0, arg1);
+}
+
+void emit_instant(EventKind kind, std::int64_t arg0, std::int64_t arg1) {
+  if (!trace_armed()) return;
+  const std::int64_t now = trace_now_ns();
+  local_buffer().emit(kind, now, now, arg0, arg1);
+}
+
+void set_trace_buffer_capacity(std::size_t spans) {
+  g_capacity.store(round_up_pow2(spans == 0 ? 1 : spans),
+                   std::memory_order_relaxed);
+}
+
+std::size_t trace_buffer_capacity() {
+  return g_capacity.load(std::memory_order_relaxed);
+}
+
+std::uint64_t trace_overwritten() {
+  return g_overwritten.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceSpan> snapshot_trace() {
+  const std::int64_t epoch = g_epoch_ns.load(std::memory_order_relaxed);
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TraceSink& s = sink();
+    std::lock_guard lock(s.mutex);
+    buffers = s.buffers;  // snapshot the registry; rings are read lock-free
+  }
+
+  std::vector<TraceSpan> out;
+  for (const auto& buffer : buffers) {
+    const std::uint64_t head = buffer->head.load(std::memory_order_acquire);
+    const std::uint64_t capacity = buffer->mask + 1;
+    const std::uint64_t count = std::min(head, capacity);
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      Slot& slot = buffer->slots[i & buffer->mask];
+      const std::uint32_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq & 1u) continue;  // mid-rewrite
+      TraceSpan span;
+      span.kind = static_cast<EventKind>(
+          slot.kind.load(std::memory_order_relaxed));
+      span.tid = buffer->tid;
+      span.t0_ns = slot.t0.load(std::memory_order_relaxed);
+      span.t1_ns = slot.t1.load(std::memory_order_relaxed);
+      span.arg0 = slot.a0.load(std::memory_order_relaxed);
+      span.arg1 = slot.a1.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq) continue;  // torn
+      if (span.t0_ns < epoch) continue;  // previous epoch
+      if (span.kind >= EventKind::kCount) continue;  // torn beyond detection
+      out.push_back(span);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              return a.t0_ns != b.t0_ns ? a.t0_ns < b.t0_ns : a.tid < b.tid;
+            });
+  return out;
+}
+
+std::string chrome_trace_json(std::span<const TraceSpan> spans) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+
+  // Thread-name metadata rows so Perfetto labels tracks usefully.
+  std::vector<std::uint32_t> tids;
+  for (const TraceSpan& span : spans) tids.push_back(span.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  sep();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"streamk\"}}";
+  for (const std::uint32_t tid : tids) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"thread-" << tid << "\"}}";
+  }
+
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  for (const TraceSpan& span : spans) {
+    sep();
+    const double ts_us = static_cast<double>(span.t0_ns) / 1000.0;
+    os << "{\"name\":\"" << event_name(span.kind) << "\",\"cat\":\""
+       << event_category(span.kind) << "\",\"pid\":0,\"tid\":" << span.tid
+       << ",\"ts\":" << ts_us;
+    if (span.t1_ns > span.t0_ns) {
+      const double dur_us =
+          static_cast<double>(span.t1_ns - span.t0_ns) / 1000.0;
+      os << ",\"ph\":\"X\",\"dur\":" << dur_us;
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    os << ",\"args\":{\"a0\":" << span.arg0 << ",\"a1\":" << span.arg1
+       << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path) {
+  const std::vector<TraceSpan> spans = snapshot_trace();
+  std::ofstream file(path);
+  util::check(file.good(), "cannot open trace output file: " + path);
+  file << chrome_trace_json(spans);
+  file.close();
+  util::check(file.good(), "failed writing trace output file: " + path);
+}
+
+}  // namespace streamk::obs

@@ -1,0 +1,130 @@
+#pragma once
+
+// Lock-free runtime tracing: thread-local ring buffers of timestamped spans.
+//
+// Every instrumented site in the library (plan compile, panel pack,
+// microkernel segment, fixup wait/signal, epilogue apply, panel-cache
+// claim/fallback, pool task run/steal, tuner find) emits through the
+// STREAMK_OBS_* macros in obs/obs.hpp, which land here.  Emission is
+// wait-free and allocation-free in steady state: each thread owns a
+// power-of-two ring of seqlock-guarded slots (single writer, any number of
+// concurrent snapshot readers), created lazily on the thread's first armed
+// emission and registered with a process-wide sink so flushes see every
+// thread's history -- including threads that have since exited.
+//
+// The runtime off-path is ONE relaxed atomic load: when tracing is not
+// armed, SpanGuard construction reads g_trace_armed and returns.  No clock
+// read, no buffer lookup, no branch beyond the load's.  The compile-time
+// kill (cmake -DSTREAMK_OBS=OFF -> STREAMK_OBS_ENABLED=0) removes even
+// that: the macros expand to nothing and the instrumented code is
+// byte-identical to an uninstrumented build.
+//
+// A ring overwrites its oldest spans when full (tracing must never block or
+// grow the traced workload), so a snapshot holds the *most recent*
+// `capacity` spans per thread; trace_overwritten() counts what was lost.
+// Snapshots are consistent per span, not globally atomic: a slot being
+// rewritten mid-read is detected by its seqlock and skipped, so a snapshot
+// taken while writers are live contains only intact spans.
+//
+// Arming: STREAMK_TRACE=<path> in the environment arms tracing at load time
+// and writes a Chrome trace-event JSON (chrome://tracing, Perfetto) of the
+// whole process at exit; arm_trace()/disarm_trace() scope it
+// programmatically (bench --trace, streamk_profile, tests).  reset_trace()
+// starts a new epoch without touching the rings -- snapshots exclude spans
+// emitted before the epoch, so "trace this region" is reset + run +
+// snapshot.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace streamk::obs {
+
+/// The event taxonomy.  One enum rather than free-form strings so a span is
+/// four integers wide and emission never hashes or allocates; names and
+/// Chrome categories are static tables (event_name/event_category).
+enum class EventKind : std::uint32_t {
+  kPlanCompile = 0,   ///< schedule compilation on a plan-cache miss
+  kPack,              ///< A/B panel pack (arg0: shared slot or -1 = private)
+  kMacSegment,        ///< one segment's MAC loop (arg0 cta, arg1 tile)
+  kFixupWait,         ///< owner blocked on a peer flag (arg0 cta, arg1 peer)
+  kFixupSignal,       ///< spill published (instant; arg0 cta, arg1 tile)
+  kEpilogueApply,     ///< tile store + epilogue chain (arg0 cta, arg1 tile)
+  kPanelFallback,     ///< panel-cache contention fallback (instant)
+  kPoolTask,          ///< one pool task (queued job or region helper)
+  kPoolSteal,         ///< TaskHandle::get() ran its own job (instant)
+  kTunerFind,         ///< background find job (arg0 m, arg1 n*k)
+  kGemm,              ///< one GEMM-family operation (arg0 grid, arg1 tiles)
+  kBenchRegion,       ///< bench/CLI-defined measured region
+  kCount,
+};
+
+/// Static display name ("mac_segment") / Chrome category ("mac") tables.
+const char* event_name(EventKind kind);
+const char* event_category(EventKind kind);
+
+/// One flushed span.  `tid` is the emitting thread's dense registration id
+/// (stable across the process, not the OS tid); instants have t1 == t0.
+struct TraceSpan {
+  EventKind kind = EventKind::kCount;
+  std::uint32_t tid = 0;
+  std::int64_t t0_ns = 0;  ///< steady-clock ns since the process trace origin
+  std::int64_t t1_ns = 0;
+  std::int64_t arg0 = 0;
+  std::int64_t arg1 = 0;
+};
+
+/// Armed flag; the entire runtime off-path.  Defined in trace.cpp, read
+/// inline so the disabled SpanGuard constructor is a load and a branch.
+extern std::atomic<bool> g_trace_armed;
+
+inline bool trace_armed() {
+  return g_trace_armed.load(std::memory_order_relaxed);
+}
+
+/// Arms emission (idempotent).  Does not reset the epoch: a bench that
+/// arms, runs, and snapshots inside one epoch sees exactly its own spans.
+void arm_trace();
+void disarm_trace();
+
+/// Starts a new epoch "now": snapshots exclude spans that *started* before
+/// it.  Safe while writers are emitting.
+void reset_trace();
+
+/// Nanoseconds since the process trace origin (steady clock).
+std::int64_t trace_now_ns();
+
+/// Emits a complete span / an instant event into the calling thread's ring.
+/// Callers normally go through the obs.hpp macros, which check
+/// trace_armed() first; calling these directly while disarmed also records
+/// nothing.
+void emit_span(EventKind kind, std::int64_t t0_ns, std::int64_t t1_ns,
+               std::int64_t arg0, std::int64_t arg1);
+void emit_instant(EventKind kind, std::int64_t arg0, std::int64_t arg1);
+
+/// Ring capacity (spans per thread) for buffers created *after* the call;
+/// rounded up to a power of two, floor 8.  Existing rings keep their size.
+/// Default 8192 (~384 KiB per traced thread).
+void set_trace_buffer_capacity(std::size_t spans);
+std::size_t trace_buffer_capacity();
+
+/// Total spans overwritten by ring wraparound since process start, over all
+/// threads (monotone; not epoch-scoped).
+std::uint64_t trace_overwritten();
+
+/// Every intact span of the current epoch, all threads, sorted by start
+/// time.  Callable while writers are live: mid-rewrite slots are skipped.
+std::vector<TraceSpan> snapshot_trace();
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}) of `spans`, with one
+/// named track per emitting thread.  Loads in chrome://tracing and
+/// https://ui.perfetto.dev.
+std::string chrome_trace_json(std::span<const TraceSpan> spans);
+
+/// snapshot_trace() serialized to `path`.  Throws util::CheckError when the
+/// file cannot be written.
+void write_chrome_trace(const std::string& path);
+
+}  // namespace streamk::obs

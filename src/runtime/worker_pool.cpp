@@ -123,14 +123,23 @@ std::size_t WorkerPool::thread_count() const {
 void WorkerPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    std::size_t depth = 0;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ && drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
-    task();
+    // Depth *after* the dequeue: how much work was left waiting when this
+    // task started -- the oversubscription signal the serving roadmap needs.
+    STREAMK_OBS_HISTOGRAM("pool.queue_depth", depth);
+    {
+      STREAMK_OBS_SPAN(kPoolTask, static_cast<std::int64_t>(depth), 0);
+      task();
+    }
+    STREAMK_OBS_COUNT("pool.tasks");
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -158,6 +167,7 @@ void WorkerPool::run_region(std::size_t count,
                             std::size_t workers, RegionOrder order) {
   util::check(workers >= 1, "run_region needs at least one worker");
   if (count == 0) return;
+  STREAMK_OBS_COUNT("pool.regions");
 
   // Never occupy more threads than there are indices to claim.
   if (workers > count) workers = count;

@@ -55,6 +55,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace streamk::runtime {
 
 /// Index-claiming order for run_region (descending is the fixup-protocol
@@ -114,6 +116,10 @@ class TaskHandle {
 
   void run_if_unclaimed() {
     if (!state_->claimed.exchange(true, std::memory_order_acq_rel)) {
+      // Work steal: no pool thread claimed the job, so the getter runs it
+      // inline on its own thread.
+      STREAMK_OBS_COUNT("pool.steals");
+      STREAMK_OBS_INSTANT(kPoolSteal, 0, 0);
       state_->task();
     }
   }

@@ -2,13 +2,15 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <unordered_set>
 
+#include "obs/obs.hpp"
 #include "runtime/worker_pool.hpp"
+#include "util/log.hpp"
 
 namespace streamk::tuner {
 
@@ -37,6 +39,7 @@ FindState& find_state() {
 void run_find_job(const ShapeKey& key, TuneOptions options) {
   bool succeeded = false;
   try {
+    STREAMK_OBS_SPAN(kTunerFind, key.shape.m, key.shape.n * key.shape.k);
     options.epilogue_class = key.epilogue;
     const TuneReport report = tune_shape(key.shape, key.precision, options);
     global_tuning_db().update(key, report.best);
@@ -44,11 +47,16 @@ void run_find_job(const ShapeKey& key, TuneOptions options) {
   } catch (const std::exception& e) {
     // A failed find job must not unwind into the pool's worker loop; the
     // shape simply stays heuristic-dispatched.
-    std::fprintf(stderr, "streamk: background find for %s failed: %s\n",
-                 key.shape.to_string().c_str(), e.what());
+    util::log_warn("background find for " + key.shape.to_string() +
+                   " failed: " + e.what());
   } catch (...) {
-    std::fprintf(stderr, "streamk: background find for %s failed\n",
-                 key.shape.to_string().c_str());
+    util::log_warn("background find for " + key.shape.to_string() +
+                   " failed");
+  }
+  if (succeeded) {
+    STREAMK_OBS_COUNT("tuner.finds");
+  } else {
+    STREAMK_OBS_COUNT("tuner.find_failures");
   }
   FindState& state = find_state();
   std::lock_guard lock(state.mutex);
@@ -99,8 +107,8 @@ TuningDb& global_tuning_db() {
       try {
         created->load(path);
       } catch (const std::exception& e) {
-        std::fprintf(stderr, "streamk: STREAMK_TUNING_DB not loaded: %s\n",
-                     e.what());
+        util::log_warn(std::string("STREAMK_TUNING_DB not loaded: ") +
+                       e.what());
       }
     }
     return created;

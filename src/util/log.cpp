@@ -1,0 +1,73 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace streamk::util {
+
+namespace {
+
+LogLevel parse_level(const char* s, LogLevel fallback) {
+  if (s == nullptr) return fallback;
+  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
+  return fallback;
+}
+
+std::atomic<int> g_level{static_cast<int>(
+    parse_level(std::getenv("STREAMK_LOG"), LogLevel::kWarn))};
+
+void stderr_sink(LogLevel level, std::string_view message) {
+  // One fprintf per message so concurrent lines interleave whole, not
+  // character-by-character.
+  std::string line = "streamk [";
+  line += log_level_name(level);
+  line += "] ";
+  line.append(message);
+  line += '\n';
+  std::fputs(line.c_str(), stderr);
+}
+
+std::atomic<LogSink> g_sink{&stderr_sink};
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_log_sink(LogSink sink) {
+  g_sink.store(sink != nullptr ? sink : &stderr_sink,
+               std::memory_order_relaxed);
+}
+
+void log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  g_sink.load(std::memory_order_relaxed)(level, message);
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "unknown";
+}
+
+}  // namespace streamk::util

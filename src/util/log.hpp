@@ -1,0 +1,60 @@
+#pragma once
+
+// Leveled diagnostic logging for the library.
+//
+// Everything the library used to write raw to stderr (tuner background-find
+// failures, tuning-db load problems, obs flush errors) now goes through one
+// sink, so embedding applications can silence, redirect, or capture
+// diagnostics instead of having a linked library spray their stderr.
+//
+// Levels: error < warn < info < debug.  The threshold defaults to kWarn and
+// is settable via STREAMK_LOG=error|warn|info|debug in the environment or
+// set_log_level() at runtime.  A message below the threshold costs one
+// relaxed atomic load.
+//
+// The default sink writes "streamk [level] message\n" to stderr;
+// set_log_sink() replaces it process-wide (pass nullptr to restore the
+// default).  Sinks must be callable from any thread; the library serializes
+// nothing beyond what the sink does itself.
+
+#include <atomic>
+#include <string_view>
+
+namespace streamk::util {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Current threshold (messages above it are dropped).  Initialized from
+/// STREAMK_LOG at load time; unknown values fall back to kWarn.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Replaces the process-wide sink; nullptr restores the stderr default.
+using LogSink = void (*)(LogLevel level, std::string_view message);
+void set_log_sink(LogSink sink);
+
+/// Emits `message` at `level` if the threshold admits it.
+void log(LogLevel level, std::string_view message);
+
+inline void log_error(std::string_view message) {
+  log(LogLevel::kError, message);
+}
+inline void log_warn(std::string_view message) {
+  log(LogLevel::kWarn, message);
+}
+inline void log_info(std::string_view message) {
+  log(LogLevel::kInfo, message);
+}
+inline void log_debug(std::string_view message) {
+  log(LogLevel::kDebug, message);
+}
+
+/// "error" / "warn" / "info" / "debug".
+const char* log_level_name(LogLevel level);
+
+}  // namespace streamk::util

@@ -1,0 +1,188 @@
+// streamk_profile: the Stream-K load-balance profiler.
+//
+//   streamk_profile [--shape MxNxK] [--schedule auto|dp|split|streamk|
+//                    hybrid1|hybrid2] [--grid N] [--split S] [--workers W]
+//                    [--reps R] [--json] [--trace FILE] [--metrics FILE]
+//
+// Runs the requested GEMM under the obs trace layer and prints the
+// imbalance report the paper's figures argue from: per-CTA busy time,
+// makespan vs. sum-of-work, and the fixup-wait share.  One warmup rep runs
+// before the trace epoch opens, so plan compilation and pool spin-up do not
+// pollute the measured timeline.
+//
+//   --json          print the profile as JSON instead of the table
+//   --trace FILE    also dump the measured reps' Chrome trace-event JSON
+//                   (loads in chrome://tracing and ui.perfetto.dev)
+//   --metrics FILE  also dump the metrics-registry snapshot (JSON, or CSV
+//                   when FILE ends in .csv)
+//
+// The default configuration (384x384x1024, --schedule streamk, grid =
+// workers) oversubscribes tiles enough to split them across CTAs, so the
+// fixup columns are exercised out of the box.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cpu/gemm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/threading.hpp"
+
+namespace {
+
+using namespace streamk;
+
+struct CliOptions {
+  core::GemmShape shape{384, 384, 1024};
+  cpu::Schedule schedule = cpu::Schedule::kStreamK;
+  std::int64_t grid = 0;
+  std::int64_t split = 2;
+  std::size_t workers = 0;
+  int reps = 3;
+  bool json = false;
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: streamk_profile [--shape MxNxK] [--schedule auto|dp|split|"
+         "streamk|hybrid1|hybrid2]\n"
+         "                       [--grid N] [--split S] [--workers W] "
+         "[--reps R]\n"
+         "                       [--json] [--trace FILE] [--metrics FILE]\n";
+  std::exit(2);
+}
+
+core::GemmShape parse_shape(const std::string& token) {
+  core::GemmShape shape;
+  char sep1 = 0;
+  char sep2 = 0;
+  std::istringstream is(token);
+  is >> shape.m >> sep1 >> shape.n >> sep2 >> shape.k;
+  if (!is || is.get() != EOF || sep1 != 'x' || sep2 != 'x' ||
+      !shape.valid()) {
+    std::cerr << "streamk_profile: bad --shape '" << token
+              << "' (want MxNxK, e.g. 384x384x1024)\n";
+    std::exit(2);
+  }
+  return shape;
+}
+
+cpu::Schedule parse_schedule(const std::string& token) {
+  if (token == "auto") return cpu::Schedule::kAuto;
+  if (token == "dp") return cpu::Schedule::kDataParallel;
+  if (token == "split") return cpu::Schedule::kFixedSplit;
+  if (token == "streamk") return cpu::Schedule::kStreamK;
+  if (token == "hybrid1") return cpu::Schedule::kHybridOneTile;
+  if (token == "hybrid2") return cpu::Schedule::kHybridTwoTile;
+  std::cerr << "streamk_profile: bad --schedule '" << token << "'\n";
+  std::exit(2);
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--shape") {
+      options.shape = parse_shape(value());
+    } else if (arg == "--schedule") {
+      options.schedule = parse_schedule(value());
+    } else if (arg == "--grid") {
+      options.grid = std::atoll(value().c_str());
+    } else if (arg == "--split") {
+      options.split = std::atoll(value().c_str());
+    } else if (arg == "--workers") {
+      options.workers = static_cast<std::size_t>(
+          std::atoll(value().c_str()));
+    } else if (arg == "--reps") {
+      options.reps = std::atoi(value().c_str());
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--trace") {
+      options.trace_path = value();
+    } else if (arg == "--metrics") {
+      options.metrics_path = value();
+    } else {
+      usage();
+    }
+  }
+  if (options.reps < 1) options.reps = 1;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse_args(argc, argv);
+
+  cpu::Matrix<double> a(options.shape.m, options.shape.k);
+  cpu::Matrix<double> b(options.shape.k, options.shape.n);
+  cpu::Matrix<double> c(options.shape.m, options.shape.n);
+  util::Pcg32 rng(42);
+  cpu::fill_random(a, rng, -0.5, 0.5);
+  cpu::fill_random(b, rng, -0.5, 0.5);
+
+  cpu::GemmOptions gemm_options;
+  gemm_options.schedule = options.schedule;
+  gemm_options.grid = options.grid;
+  gemm_options.split = options.split;
+  gemm_options.workers = options.workers;
+
+  // Warmup outside the trace epoch: compiles and caches the plan, spins up
+  // the pool, binds the pooled workspaces.
+  cpu::GemmReport report = cpu::gemm(a, b, c, gemm_options);
+
+  obs::arm_trace();
+  obs::reset_trace();
+  for (int rep = 0; rep < options.reps; ++rep) {
+    report = cpu::gemm(a, b, c, gemm_options);
+  }
+  const std::vector<obs::TraceSpan> spans = obs::snapshot_trace();
+  obs::disarm_trace();
+
+  const obs::LoadBalanceProfile profile =
+      obs::build_load_balance_profile(spans);
+
+  if (!options.json) {
+    std::cout << "shape " << options.shape.m << "x" << options.shape.n << "x"
+              << options.shape.k << "  schedule " << report.schedule_name
+              << "  grid " << report.grid << "  tiles " << report.tiles
+              << "  spills " << report.spills << "  reps " << options.reps
+              << "\n"
+              << "last rep: " << report.seconds * 1e3 << " ms, "
+              << report.gflops << " GFLOP/s\n\n";
+    std::cout << obs::render_load_balance_profile(profile);
+    if (obs::trace_overwritten() > 0) {
+      std::cout << "\nnote: " << obs::trace_overwritten()
+                << " spans were overwritten by ring wraparound; raise the "
+                   "buffer via obs::set_trace_buffer_capacity or lower "
+                   "--reps\n";
+    }
+  } else {
+    std::cout << obs::load_balance_profile_json(profile) << "\n";
+  }
+
+  if (!options.trace_path.empty()) {
+    obs::write_chrome_trace(options.trace_path);
+    if (!options.json) {
+      std::cout << "\ntrace written to " << options.trace_path << "\n";
+    }
+  }
+  if (!options.metrics_path.empty()) {
+    obs::write_metrics(options.metrics_path);
+    if (!options.json) {
+      std::cout << "metrics written to " << options.metrics_path << "\n";
+    }
+  }
+  return 0;
+}
