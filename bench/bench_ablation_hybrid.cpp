@@ -85,5 +85,9 @@ int main(int argc, char** argv) {
             << two_tile_wins << "/" << rows
             << " of the w >= 2 configurations (paper: it is the deployed "
                "schedule)\n";
+  bench::report_case("two_tile_win_fraction", "fraction", true,
+                     rows > 0 ? static_cast<double>(two_tile_wins) / rows
+                              : 0.0,
+                     /*deterministic=*/true);
   return 0;
 }

@@ -69,5 +69,7 @@ int main(int argc, char** argv) {
             << bencher::fmt_ratio(worst)
             << "\n(balanced partitioning is what keeps per-CTA variance "
                "\"within one\" MAC-loop iteration)\n";
+  bench::report_case("ceil_over_balanced_avg_ratio", "ratio", true,
+                     sum_ratio / rows, /*deterministic=*/true);
   return 0;
 }

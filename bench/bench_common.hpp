@@ -10,22 +10,44 @@
 //   --trace <path> arm the obs trace layer for the whole run and write a
 //                  Chrome trace-event JSON (Perfetto-loadable) at exit --
 //                  handled entirely here, so every bench binary has it
+//   --bench-json <path>
+//                  write the structured regression artifact BENCH_<name>.json
+//                  (git sha, machine fingerprint, best-of-reps + bootstrap
+//                  confidence interval per case) -- the input of
+//                  scripts/bench_compare.py.  STREAMK_BENCH_JSON=<path> in
+//                  the environment does the same without touching argv;
+//                  either may name a directory (the file name is derived
+//                  from the binary) or a .json file path.
 //
 // Unknown arguments are rejected with a usage message so typos fail loudly
 // (bench_cpu_gemm, the google-benchmark binary, forwards unknowns to the
 // benchmark library instead).
+//
+// Benches publish their headline numbers through report_case() /
+// report_samples(); recording is unconditional and cheap (a vector push),
+// emission happens only when a JSON destination was requested.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "corpus/corpus.hpp"
 #include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace streamk::bench {
 
@@ -33,6 +55,19 @@ struct BenchOptions {
   bool smoke = false;
   std::string csv_path;    ///< empty = no CSV requested
   std::string trace_path;  ///< empty = no trace requested
+  std::string json_path;   ///< empty = no BENCH_*.json requested
+};
+
+/// One published bench result: `samples` holds the per-rep measurements
+/// (one entry when the bench reports a single value).  `deterministic`
+/// marks model/simulation outputs that are bit-reproducible on one binary:
+/// bench_compare.py gates those exactly and measured ones statistically.
+struct BenchCase {
+  std::string name;
+  std::string metric;  ///< "seconds", "gflops", "gemms_per_sec", ...
+  bool higher_is_better = false;
+  bool deterministic = false;
+  std::vector<double> samples;
 };
 
 namespace detail {
@@ -52,7 +87,170 @@ inline void flush_trace_at_exit() {
   }
 }
 
+struct JsonReportState {
+  std::string bench_name = "bench";
+  std::string out_path;  ///< empty = recording only, no emission
+  bool smoke = false;
+  std::vector<BenchCase> cases;
+};
+
+inline JsonReportState& json_report() {
+  static JsonReportState* state = new JsonReportState();
+  return *state;
+}
+
+/// Best value of a sample set under the case's direction.
+inline double best_of(const BenchCase& c) {
+  if (c.samples.empty()) return 0.0;
+  return c.higher_is_better
+             ? *std::max_element(c.samples.begin(), c.samples.end())
+             : *std::min_element(c.samples.begin(), c.samples.end());
+}
+
+/// 95% bootstrap confidence interval of the median (fixed-seed PCG32
+/// resampling, 200 resamples) -- wide for noisy samples, degenerate for a
+/// single one, which is exactly the behaviour the statistical gate wants.
+inline std::pair<double, double> bootstrap_ci(std::vector<double> samples) {
+  if (samples.empty()) return {0.0, 0.0};
+  if (samples.size() == 1) return {samples[0], samples[0]};
+  constexpr int kResamples = 200;
+  auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+  };
+  util::Pcg32 rng(0x5742454e43484dULL);  // fixed: artifacts are reproducible
+  std::vector<double> medians;
+  medians.reserve(kResamples);
+  std::vector<double> resample(samples.size());
+  for (int b = 0; b < kResamples; ++b) {
+    for (double& value : resample) {
+      value = samples[rng.uniform_below(
+          static_cast<std::uint32_t>(samples.size()))];
+    }
+    medians.push_back(median(resample));
+  }
+  std::sort(medians.begin(), medians.end());
+  const auto lo_idx = static_cast<std::size_t>(0.025 * (kResamples - 1));
+  const auto hi_idx = static_cast<std::size_t>(0.975 * (kResamples - 1));
+  return {medians[lo_idx], medians[hi_idx]};
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+inline std::string machine_isa() {
+#if defined(__AVX512F__)
+  return "avx512";
+#elif defined(__AVX2__) && defined(__FMA__)
+  return "avx2+fma";
+#elif defined(__AVX2__)
+  return "avx2";
+#elif defined(__aarch64__)
+  return "neon";
+#else
+  return "portable";
+#endif
+}
+
+inline std::string machine_host() {
+#if defined(__unix__) || defined(__APPLE__)
+  char host[256] = {0};
+  if (gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    return host;
+  }
+#endif
+  const char* env = std::getenv("HOSTNAME");
+  return env != nullptr ? env : "unknown";
+}
+
+inline void flush_json_at_exit() {
+  const JsonReportState& state = json_report();
+  if (state.out_path.empty()) return;
+
+  namespace fs = std::filesystem;
+  fs::path out(state.out_path);
+  // A directory destination (or a trailing slash) derives the file name
+  // from the binary: <dir>/BENCH_<bench>.json.
+  std::error_code ec;
+  if (fs::is_directory(out, ec) || state.out_path.back() == '/') {
+    fs::create_directories(out, ec);
+    out /= "BENCH_" + state.bench_name + ".json";
+  }
+
+  const char* sha = std::getenv("GITHUB_SHA");
+  if (sha == nullptr || *sha == '\0') sha = std::getenv("STREAMK_GIT_SHA");
+
+  std::ostringstream os;
+  os << "{\"schema\":\"streamk-bench/1\""
+     << ",\"bench\":\"" << json_escape(state.bench_name) << "\""
+     << ",\"git_sha\":\"" << json_escape(sha != nullptr ? sha : "unknown")
+     << "\"" << ",\"smoke\":" << (state.smoke ? "true" : "false")
+     << ",\"machine\":{\"host\":\"" << json_escape(machine_host())
+     << "\",\"hardware_concurrency\":" << std::thread::hardware_concurrency()
+     << ",\"isa\":\"" << machine_isa() << "\"},\"cases\":[";
+  bool first = true;
+  for (const BenchCase& c : state.cases) {
+    const auto [ci_lo, ci_hi] = bootstrap_ci(c.samples);
+    os << (first ? "" : ",") << "{\"name\":\"" << json_escape(c.name)
+       << "\",\"metric\":\"" << json_escape(c.metric)
+       << "\",\"higher_is_better\":" << (c.higher_is_better ? "true" : "false")
+       << ",\"deterministic\":" << (c.deterministic ? "true" : "false")
+       << ",\"reps\":" << c.samples.size() << ",\"best\":" << best_of(c)
+       << ",\"ci_lo\":" << ci_lo << ",\"ci_hi\":" << ci_hi << ",\"samples\":[";
+    for (std::size_t i = 0; i < c.samples.size(); ++i) {
+      os << (i == 0 ? "" : ",") << c.samples[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "]}";
+
+  std::ofstream file(out);
+  if (!file.good()) {
+    util::log_warn("BENCH json not written: cannot open " + out.string());
+    return;
+  }
+  file << os.str() << "\n";
+  file.close();
+  if (!file.good()) {
+    util::log_warn("BENCH json not written: write failed for " +
+                   out.string());
+  }
+}
+
 }  // namespace detail
+
+/// Publishes one case's per-rep samples into the BENCH_*.json artifact.
+/// Recording is unconditional; the file is only written when --bench-json
+/// or STREAMK_BENCH_JSON requested it.  `deterministic` marks values that
+/// are bit-reproducible per binary (model/simulation outputs), which the
+/// regression gate compares exactly instead of statistically.
+inline void report_samples(std::string name, std::string metric,
+                           bool higher_is_better, std::vector<double> samples,
+                           bool deterministic = false) {
+  BenchCase c;
+  c.name = std::move(name);
+  c.metric = std::move(metric);
+  c.higher_is_better = higher_is_better;
+  c.deterministic = deterministic;
+  c.samples = std::move(samples);
+  detail::json_report().cases.push_back(std::move(c));
+}
+
+/// report_samples for a single headline value.
+inline void report_case(std::string name, std::string metric,
+                        bool higher_is_better, double value,
+                        bool deterministic = false) {
+  report_samples(std::move(name), std::move(metric), higher_is_better,
+                 {value}, deterministic);
+}
 
 /// Parses the unified bench CLI.  `allow_unknown` lets wrapper binaries
 /// (google-benchmark) pass their own flags through.  A --trace request is
@@ -69,16 +267,34 @@ inline BenchOptions parse_bench_args(int argc, char** argv,
       options.csv_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       options.trace_path = argv[++i];
+    } else if (arg == "--bench-json" && i + 1 < argc) {
+      options.json_path = argv[++i];
     } else if (!allow_unknown) {
       std::cerr << "usage: " << argv[0]
-                << " [--smoke] [--csv <path>] [--trace <path>]\n";
+                << " [--smoke] [--csv <path>] [--trace <path>]"
+                   " [--bench-json <path>]\n";
       std::exit(2);
+    }
+  }
+  if (options.json_path.empty()) {
+    if (const char* env = std::getenv("STREAMK_BENCH_JSON")) {
+      if (*env != '\0') options.json_path = env;
     }
   }
   if (!options.trace_path.empty()) {
     detail::trace_path_holder() = options.trace_path;
     obs::arm_trace();
     std::atexit(&detail::flush_trace_at_exit);
+  }
+  {
+    detail::JsonReportState& state = detail::json_report();
+    state.bench_name =
+        std::filesystem::path(argc > 0 ? argv[0] : "bench").stem().string();
+    state.smoke = options.smoke;
+    if (!options.json_path.empty()) {
+      state.out_path = options.json_path;
+      std::atexit(&detail::flush_json_at_exit);
+    }
   }
   return options;
 }

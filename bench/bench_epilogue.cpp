@@ -184,10 +184,11 @@ int main(int argc, char** argv) {
   }
   std::cout << table.render();
   if (counted > 0) {
+    const double geomean = std::exp(log_sum / static_cast<double>(counted));
     std::cout << "geomean fused-vs-two-pass speedup: "
-              << bench::format_metric(
-                     std::exp(log_sum / static_cast<double>(counted)))
-              << "x over " << counted << " case(s)\n";
+              << bench::format_metric(geomean) << "x over " << counted
+              << " case(s)\n";
+    bench::report_case("fused_vs_two_pass_geomean", "speedup", true, geomean);
   }
   return 0;
 }

@@ -113,5 +113,9 @@ int main(int argc, char** argv) {
             << bencher::fmt_ratio(duo_vs_solo.min) << ")\n"
             << "still only two kernels per precision -- versus tens in "
                "vendor ensembles.\n";
+  bench::report_case("duo_vs_oracle_mean", "speedup", true,
+                     duo_vs_oracle.mean, /*deterministic=*/true);
+  bench::report_case("duo_vs_solo_mean", "speedup", true, duo_vs_solo.mean,
+                     /*deterministic=*/true);
   return 0;
 }

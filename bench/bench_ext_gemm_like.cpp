@@ -132,6 +132,8 @@ int main(int argc, char** argv) {
                 util::CsvWriter::cell(t_sk),
                 util::CsvWriter::cell(t_dp / t_sk)});
     }
+    bench::report_case("conv " + c.to_string() + " speedup", "speedup", true,
+                       t_dp / t_sk, /*deterministic=*/true);
   }
   std::cout << conv_table.render()
             << "deep-tail layers (few output pixels, deep filter volume) "

@@ -46,6 +46,10 @@ void show(const std::string& title, const core::Decomposition& decomposition,
               util::CsvWriter::cell(traced.occupancy_efficiency),
               util::CsvWriter::cell(paper_ceiling)});
   }
+  // The figure label up to the colon is the stable regression-case name.
+  bench::report_case(title.substr(0, title.find(':')) + " efficiency",
+                     "efficiency", true, traced.occupancy_efficiency,
+                     /*deterministic=*/true);
 }
 
 }  // namespace

@@ -43,6 +43,8 @@ void show(const std::string& title, const core::Decomposition& decomposition,
             << bencher::fmt_seconds(r.wait_time) << "\n"
             << sim::render_schedule(r.timeline,
                                     {.width = 96, .show_legend = false});
+  bench::report_case(title.substr(0, title.find(':')) + " makespan",
+                     "seconds", false, r.makespan, /*deterministic=*/true);
 }
 
 }  // namespace

@@ -62,5 +62,9 @@ int main(int argc, char** argv) {
       opts.csv_path.empty() ? "fig4_corpus.csv" : opts.csv_path;
   corpus.write_csv(csv);
   std::cout << "\nfull scatter data written to " << csv << "\n";
+
+  bench::report_case("volume_orders_of_magnitude", "orders", true,
+                     corpus.volume_orders_of_magnitude(),
+                     /*deterministic=*/true);
   return 0;
 }

@@ -64,5 +64,10 @@ int main(int argc, char** argv) {
       opts.csv_path.empty() ? "fig5_roofline_fp16.csv" : opts.csv_path;
   bencher::write_roofline_csv(csv, eval);
   std::cout << "scatter data written to " << csv << "\n";
+
+  bench::report_case("stream_k_spread", "p90_p10_spread", false, sk_spread,
+                     /*deterministic=*/true);
+  bench::report_case("data_parallel_spread", "p90_p10_spread", false,
+                     dp_spread, /*deterministic=*/true);
   return 0;
 }

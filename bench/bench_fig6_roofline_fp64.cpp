@@ -61,5 +61,10 @@ int main(int argc, char** argv) {
       opts.csv_path.empty() ? "fig6_roofline_fp64.csv" : opts.csv_path;
   bencher::write_roofline_csv(csv, eval);
   std::cout << "scatter data written to " << csv << "\n";
+
+  bench::report_case("stream_k_spread", "p90_p10_spread", false, sk_spread,
+                     /*deterministic=*/true);
+  bench::report_case("data_parallel_spread", "p90_p10_spread", false,
+                     dp_spread, /*deterministic=*/true);
   return 0;
 }

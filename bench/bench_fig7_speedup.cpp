@@ -69,6 +69,10 @@ void run_panel(const char* title, gpu::Precision precision, std::size_t n,
                     ? "  (virtually no slowdowns, as in the paper)"
                     : "")
             << "\n";
+  const std::string panel(title);
+  bench::report_case(panel.substr(0, panel.find(':')) + " geomean speedup",
+                     "speedup", true, compute_bound.geomean,
+                     /*deterministic=*/true);
 }
 
 }  // namespace

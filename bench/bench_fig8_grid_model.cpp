@@ -119,6 +119,8 @@ int main(int argc, char** argv) {
     table.row({c.shape.to_string(), bencher::fmt_seconds(t_dp),
                bencher::fmt_seconds(t_full), bencher::fmt_seconds(t_plan),
                choice});
+    bench::report_case(c.label + std::string(" planned seconds"), "seconds",
+                       false, t_plan, /*deterministic=*/true);
   }
   std::cout << table.render()
             << "planned time is never worse than either fixed policy.\n";

@@ -64,5 +64,8 @@ int main(int argc, char** argv) {
               util::CsvWriter::cell(dp_result.makespan / sk_result.makespan),
               util::CsvWriter::cell(sk_result.occupancy_efficiency)});
   }
+  bench::report_case("streamk_vs_dp_speedup", "speedup", true,
+                     dp_result.makespan / sk_result.makespan,
+                     /*deterministic=*/true);
   return 0;
 }

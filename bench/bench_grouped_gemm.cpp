@@ -210,10 +210,11 @@ int main(int argc, char** argv) {
   }
   std::cout << table.render();
   if (counted > 0) {
+    const double geomean = std::exp(log_sum / static_cast<double>(counted));
     std::cout << "geomean grouped-vs-loop speedup: "
-              << bench::format_metric(
-                     std::exp(log_sum / static_cast<double>(counted)))
-              << "x over " << counted << " case(s)\n";
+              << bench::format_metric(geomean) << "x over " << counted
+              << " case(s)\n";
+    bench::report_case("grouped_vs_loop_geomean", "speedup", true, geomean);
   }
   std::cout << (all_identical
                     ? "bitwise check: grouped == per-problem loop on every "

@@ -291,6 +291,8 @@ int main(int argc, char** argv) {
     std::cout << "  => best new path " << std::setprecision(2) << best
               << "x vs naive: " << (pass ? "PASS (>= 2x)" : "BELOW 2x")
               << "\n\n";
+    bench::report_case(r.precision + std::string("_best_gflops"), "gflops",
+                       true, r.best_new_gflops());
   }
   std::cout << "full series written to " << csv_path << "\n";
   if (!smoke && !all_pass) {

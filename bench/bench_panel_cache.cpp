@@ -196,10 +196,11 @@ int main(int argc, char** argv) {
   }
   std::cout << table.render();
   if (counted > 0) {
+    const double geomean = std::exp(log_sum / static_cast<double>(counted));
     std::cout << "geomean shared-vs-private speedup: "
-              << bench::format_metric(
-                     std::exp(log_sum / static_cast<double>(counted)))
-              << "x over " << counted << " case(s)\n";
+              << bench::format_metric(geomean) << "x over " << counted
+              << " case(s)\n";
+    bench::report_case("shared_vs_private_geomean", "speedup", true, geomean);
   }
   std::cout << (bytes_ok
                     ? "packed-bytes check: shared < private on every case\n"

@@ -220,6 +220,9 @@ int main(int argc, char** argv) {
               << spawn << std::setw(13) << w.gemms_per_sec() << std::setw(8)
               << std::setprecision(2) << speedup << "x\n"
               << std::setprecision(1);
+    bench::report_case(w.shape_case.label + std::string(" pool s") +
+                           std::to_string(w.submitters) + " rate",
+                       "gemms_per_sec", true, w.gemms_per_sec());
   }
   std::cout << "\nfull series written to " << csv_path << "\n";
   return 0;

@@ -52,5 +52,14 @@ int main(int argc, char** argv) {
                                               "64x64x16");
   std::cout << "\npaper reports (A100 hardware):      avg 1.23x / 1.06x / "
                "1.03x / 1.05x, max 5.63x / 2.55x / 1.24x / 1.64x\n";
+
+  const util::Summary vs_dp = bencher::speedup_summary(
+      eval.data_parallel_seconds, eval.stream_k_seconds);
+  const util::Summary vs_cublas = bencher::speedup_summary(
+      eval.cublas_like_seconds, eval.stream_k_seconds);
+  bench::report_case("vs_data_parallel_mean_speedup", "speedup", true,
+                     vs_dp.mean, /*deterministic=*/true);
+  bench::report_case("vs_cublas_like_mean_speedup", "speedup", true,
+                     vs_cublas.mean, /*deterministic=*/true);
   return 0;
 }

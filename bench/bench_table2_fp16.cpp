@@ -47,5 +47,14 @@ int main(int argc, char** argv) {
                                               "128x128x32");
   std::cout << "\npaper reports (A100 hardware):      avg 1.63x / 1.13x / "
                "1.15x / 1.12x, max 14.7x / 6.74x / 1.85x / 4.63x\n";
+
+  const util::Summary vs_dp = bencher::speedup_summary(
+      eval.data_parallel_seconds, eval.stream_k_seconds);
+  const util::Summary vs_cublas = bencher::speedup_summary(
+      eval.cublas_like_seconds, eval.stream_k_seconds);
+  bench::report_case("vs_data_parallel_mean_speedup", "speedup", true,
+                     vs_dp.mean, /*deterministic=*/true);
+  bench::report_case("vs_cublas_like_mean_speedup", "speedup", true,
+                     vs_cublas.mean, /*deterministic=*/true);
   return 0;
 }

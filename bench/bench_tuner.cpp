@@ -132,6 +132,8 @@ int main(int argc, char** argv) {
             << (identical ? "identical dispatch OK" : "MISMATCH") << " ("
             << path << ")\n";
 
+  bench::report_case("tuned_vs_heuristic_geomean", "speedup", true, geomean);
+  bench::report_case("db_hit_lookup_ns", "nanoseconds", false, probe_ns);
   (void)sink;
   return identical && geomean > 0.0 ? 0 : 1;
 }

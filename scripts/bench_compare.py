@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Statistical no-worse-than gate over BENCH_*.json artifacts.
+
+Every bench binary emits a ``BENCH_<name>.json`` (schema streamk-bench/1)
+when run with ``--bench-json`` or ``STREAMK_BENCH_JSON``; this script
+compares a candidate artifact against the committed baseline and fails
+only on *confirmed* regressions:
+
+  * ``deterministic`` cases (model/simulation outputs, bit-reproducible
+    per binary) are compared near-exactly -- any drift beyond float
+    round-off is a regression or an intentional change that needs a
+    baseline refresh.
+  * measured cases regress only when BOTH the relative slowdown exceeds
+    ``--tolerance`` AND the bootstrap confidence intervals are disjoint,
+    so a noisy CI machine cannot fail the gate on timing jitter alone.
+    A single-sample case has a degenerate CI (no variance estimate), so
+    it can never *confirm* a regression -- warn only.  Gating a measured
+    metric requires reps >= 2 on both sides.
+
+When the machine fingerprints differ (different host / core count / ISA),
+measured cases are reported but never fail: absolute timing from another
+machine is not a baseline, only the deterministic cases travel.
+
+Usage:
+    bench_compare.py compare BASELINE.json CANDIDATE.json [--tolerance F]
+    bench_compare.py degrade SRC.json DST.json [--factor F]
+    bench_compare.py selftest GOLDENS_DIR
+
+``degrade`` writes a copy of SRC with every case's values worsened by
+FACTOR -- the CI job uses it to prove the gate actually fails.
+``selftest`` replays the golden accept/reject pairs under
+tests/golden/bench_compare/.
+
+On failure the refresh procedure is printed: re-run the bench on the
+baseline machine and commit the fresh artifact to bench/baselines/ (see
+bench/baselines/README.md for the policy).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "streamk-bench/1"
+DEFAULT_TOLERANCE = 0.12
+EXACT_REL_EPS = 1e-6
+
+
+def fail(message):
+    print(f"bench_compare: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if report.get("schema") != SCHEMA:
+        fail(f"{path}: schema {report.get('schema')!r}, want {SCHEMA!r}")
+    for key in ("bench", "machine", "cases"):
+        if key not in report:
+            fail(f"{path}: missing key {key!r}")
+    for case in report["cases"]:
+        for key in ("name", "metric", "higher_is_better", "deterministic",
+                    "best", "ci_lo", "ci_hi"):
+            if key not in case:
+                fail(f"{path}: case {case.get('name', '?')!r} missing {key!r}")
+    return report
+
+
+def same_machine(a, b):
+    return (a.get("host") == b.get("host")
+            and a.get("hardware_concurrency") == b.get("hardware_concurrency")
+            and a.get("isa") == b.get("isa"))
+
+
+def slowdown(base, cand, higher_is_better):
+    """Relative regression of cand vs base; positive = worse."""
+    if base == 0:
+        return 0.0
+    if higher_is_better:
+        return (base - cand) / abs(base)
+    return (cand - base) / abs(base)
+
+
+def cis_disjoint(base, cand, higher_is_better):
+    """True when the candidate's CI is entirely on the worse side."""
+    if higher_is_better:
+        return cand["ci_hi"] < base["ci_lo"]
+    return cand["ci_lo"] > base["ci_hi"]
+
+
+def sample_count(case):
+    return case.get("reps", len(case.get("samples", [])))
+
+
+def compare_reports(baseline, candidate, tolerance):
+    """Returns (failures, warnings) as lists of message strings."""
+    failures = []
+    warnings = []
+    portable = same_machine(baseline["machine"], candidate["machine"])
+    if not portable:
+        warnings.append(
+            "machine fingerprint differs "
+            f"({baseline['machine']} vs {candidate['machine']}): "
+            "measured cases are informational only")
+
+    base_cases = {c["name"]: c for c in baseline["cases"]}
+    cand_cases = {c["name"]: c for c in candidate["cases"]}
+    for name in base_cases:
+        if name not in cand_cases:
+            warnings.append(f"case {name!r} missing from candidate")
+    for name in cand_cases:
+        if name not in base_cases:
+            warnings.append(f"case {name!r} not in baseline (new case?)")
+
+    for name, base in sorted(base_cases.items()):
+        cand = cand_cases.get(name)
+        if cand is None:
+            continue
+        reg = slowdown(base["best"], cand["best"], base["higher_is_better"])
+        label = (f"{name}: baseline {base['best']:g} -> "
+                 f"candidate {cand['best']:g} {base['metric']}")
+        if base["deterministic"] and cand["deterministic"]:
+            denom = max(abs(base["best"]), abs(cand["best"]), 1e-300)
+            if abs(base["best"] - cand["best"]) / denom > EXACT_REL_EPS:
+                if reg > 0:
+                    failures.append(f"{label} (deterministic case changed)")
+                else:
+                    warnings.append(
+                        f"{label} (deterministic case improved; refresh "
+                        "the baseline to lock in the gain)")
+            continue
+        if reg <= tolerance:
+            continue
+        enough_samples = min(sample_count(base), sample_count(cand)) >= 2
+        confirmed = (enough_samples
+                     and cis_disjoint(base, cand, base["higher_is_better"]))
+        message = (f"{label} ({reg * 100:.1f}% worse, "
+                   f"tolerance {tolerance * 100:.0f}%)")
+        if not enough_samples:
+            warnings.append(f"{message}; single-sample case, no variance "
+                            "estimate, not confirmed")
+        elif not confirmed:
+            warnings.append(f"{message}; confidence intervals overlap, "
+                            "not confirmed")
+        elif not portable:
+            warnings.append(f"{message}; different machine, not gated")
+        else:
+            failures.append(f"{message}, confirmed by disjoint CIs")
+    return failures, warnings
+
+
+def cmd_compare(args):
+    baseline = load_report(args.baseline)
+    candidate = load_report(args.candidate)
+    failures, warnings = compare_reports(baseline, candidate, args.tolerance)
+    for w in warnings:
+        print(f"bench_compare: warning: {w}")
+    if failures:
+        for f in failures:
+            print(f"bench_compare: regression: {f}", file=sys.stderr)
+        print(
+            "bench_compare: FAIL: confirmed perf regression(s) vs "
+            f"{args.baseline}.\n"
+            "If the change is intentional, refresh the baseline: re-run the "
+            "bench with --bench-json on the baseline machine and commit the "
+            "new artifact to bench/baselines/ (policy in "
+            "bench/baselines/README.md).",
+            file=sys.stderr)
+        sys.exit(1)
+    print(f"bench_compare: PASS: {args.candidate} is no worse than "
+          f"{args.baseline} ({len(baseline['cases'])} case(s))")
+
+
+def cmd_degrade(args):
+    report = load_report(args.src)
+    if args.factor <= 0:
+        fail("--factor must be positive")
+    for case in report["cases"]:
+        scale = 1.0 / args.factor if case["higher_is_better"] else args.factor
+        for key in ("best", "ci_lo", "ci_hi"):
+            case[key] *= scale
+        case["samples"] = [v * scale for v in case.get("samples", [])]
+    with open(args.dst, "w", encoding="utf-8") as f:
+        json.dump(report, f)
+        f.write("\n")
+    print(f"bench_compare: wrote {args.dst} ({args.factor}x worse than "
+          f"{args.src})")
+
+
+def cmd_selftest(args):
+    import pathlib
+    goldens = pathlib.Path(args.goldens)
+    manifest_path = goldens / "manifest.json"
+    try:
+        with open(manifest_path, encoding="utf-8") as f:
+            manifest = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{manifest_path}: {e}")
+    ran = 0
+    for entry in manifest["cases"]:
+        baseline = load_report(goldens / entry["baseline"])
+        candidate = load_report(goldens / entry["candidate"])
+        tolerance = entry.get("tolerance", DEFAULT_TOLERANCE)
+        failures, _ = compare_reports(baseline, candidate, tolerance)
+        verdict = "reject" if failures else "accept"
+        if verdict != entry["expect"]:
+            fail(f"golden {entry['baseline']} vs {entry['candidate']}: "
+                 f"got {verdict}, expected {entry['expect']} "
+                 f"(failures: {failures})")
+        ran += 1
+    print(f"bench_compare: selftest OK ({ran} golden pair(s))")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compare", help="gate CANDIDATE against BASELINE")
+    p.add_argument("baseline")
+    p.add_argument("candidate")
+    p.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                   help="relative slowdown allowed for measured cases "
+                        "(default %(default)s)")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("degrade",
+                       help="write SRC worsened by FACTOR to DST (CI uses "
+                            "this to prove the gate fails)")
+    p.add_argument("src")
+    p.add_argument("dst")
+    p.add_argument("--factor", type=float, default=1.2)
+    p.set_defaults(func=cmd_degrade)
+
+    p = sub.add_parser("selftest", help="replay the golden accept/reject "
+                                        "pairs")
+    p.add_argument("goldens")
+    p.set_defaults(func=cmd_selftest)
+
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,221 @@
+#include "obs/attrib.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace streamk::obs {
+
+namespace {
+
+constexpr double kNsToS = 1e-9;
+
+// Rule thresholds.  Shares are of measured wall time unless noted.
+constexpr double kStallShareThreshold = 0.40;   // DR-MEM-BOUND
+constexpr double kImbalanceShareThreshold = 0.15;  // DR-IMBALANCE
+constexpr double kImbalanceFactorThreshold = 1.20;
+constexpr double kFixupShareThreshold = 0.10;   // DR-FIXUP-HEAVY
+constexpr double kLlcMissPerKinstThreshold = 20.0;  // DR-PANEL-MISS
+constexpr double kResidualGapShareThreshold = 0.50;  // DR-MODEL-DRIFT
+constexpr double kGapShareFloor = 0.05;  // below this the run is clean
+
+std::string pct(double fraction) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os << std::setprecision(1) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<WaterfallBucket> EfficiencyWaterfall::buckets() const {
+  return {{"imbalance", imbalance_seconds},
+          {"fixup", fixup_seconds},
+          {"pack", pack_seconds},
+          {"memory_stall", memory_stall_seconds},
+          {"residual", residual_seconds}};
+}
+
+double EfficiencyWaterfall::bucket_sum() const {
+  return imbalance_seconds + fixup_seconds + pack_seconds +
+         memory_stall_seconds + residual_seconds;
+}
+
+EfficiencyWaterfall build_waterfall(const WaterfallInputs& inputs) {
+  EfficiencyWaterfall w;
+  w.measured_seconds = inputs.measured_seconds;
+  w.roofline_seconds = inputs.roofline_seconds;
+  w.gap_seconds = inputs.measured_seconds - inputs.roofline_seconds;
+  w.profile = build_load_balance_profile(inputs.spans);
+
+  const int reps = std::max(inputs.reps, 1);
+  const double per_rep = kNsToS / static_cast<double>(reps);
+  const double ctas = static_cast<double>(
+      inputs.ctas > 0 ? inputs.ctas
+                      : static_cast<std::int64_t>(w.profile.ctas.size()));
+
+  // Pack spans are not CTA-attributed (arg0 is the shared slot); sum them
+  // directly from the snapshot.
+  std::int64_t pack_ns = 0;
+  for (const TraceSpan& span : inputs.spans) {
+    if (span.kind == EventKind::kPack) pack_ns += span.t1_ns - span.t0_ns;
+  }
+
+  if (ctas > 0) {
+    const double busy_s = static_cast<double>(w.profile.busy_sum_ns) * per_rep;
+    const double wait_s = static_cast<double>(w.profile.wait_sum_ns) * per_rep;
+    const double makespan_s =
+        static_cast<double>(w.profile.makespan_ns) * per_rep;
+    // The trace makespan covers all reps back to back; per_rep already
+    // divides it, approximating one rep's critical path.
+    const double idle_s = std::max(makespan_s * ctas - busy_s - wait_s, 0.0);
+    w.imbalance_seconds = idle_s / ctas;
+    w.fixup_seconds = wait_s / ctas;
+    w.pack_seconds = static_cast<double>(pack_ns) * per_rep / ctas;
+    w.pmu_based = w.profile.pmu_spans > 0;
+    if (w.pmu_based) {
+      w.memory_stall_seconds = w.profile.stall_share() * busy_s / ctas;
+    }
+  }
+  // The residual closes the ledger: buckets sum to the gap by construction,
+  // so unmodeled effects surface as one signed line instead of silently
+  // skewing the others.
+  w.residual_seconds = w.gap_seconds - w.imbalance_seconds -
+                       w.fixup_seconds - w.pack_seconds -
+                       w.memory_stall_seconds;
+  return w;
+}
+
+std::string render_waterfall(const EfficiencyWaterfall& w) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os << std::setprecision(3);
+  os << "efficiency waterfall (per-rep seconds, "
+     << (w.pmu_based ? "PMU-attributed" : "timing-only") << ")\n";
+  os << "  measured        " << std::setw(10) << w.measured_seconds * 1e3
+     << " ms\n";
+  os << "  roofline        " << std::setw(10) << w.roofline_seconds * 1e3
+     << " ms  ("
+     << pct(w.measured_seconds > 0 ? w.roofline_seconds / w.measured_seconds
+                                   : 0.0)
+     << " of measured)\n";
+  os << "  gap             " << std::setw(10) << w.gap_seconds * 1e3
+     << " ms\n";
+  for (const WaterfallBucket& bucket : w.buckets()) {
+    os << "    " << std::left << std::setw(14) << bucket.name << std::right
+       << std::setw(8) << bucket.seconds * 1e3 << " ms  ("
+       << pct(w.gap_seconds != 0.0 ? bucket.seconds / w.gap_seconds : 0.0)
+       << " of gap)\n";
+  }
+  os << "  bucket sum      " << std::setw(10) << w.bucket_sum() * 1e3
+     << " ms\n";
+  return os.str();
+}
+
+std::string waterfall_json(const EfficiencyWaterfall& w) {
+  std::ostringstream os;
+  os << "{\"measured_seconds\":" << w.measured_seconds
+     << ",\"roofline_seconds\":" << w.roofline_seconds
+     << ",\"gap_seconds\":" << w.gap_seconds << ",\"pmu_based\":"
+     << (w.pmu_based ? "true" : "false") << ",\"buckets\":{";
+  bool first = true;
+  for (const WaterfallBucket& bucket : w.buckets()) {
+    os << (first ? "" : ",") << "\"" << bucket.name
+       << "\":" << bucket.seconds;
+    first = false;
+  }
+  os << "},\"bucket_sum\":" << w.bucket_sum() << "}";
+  return os.str();
+}
+
+std::vector<Diagnosis> diagnose(const DoctorInputs& inputs) {
+  const EfficiencyWaterfall& w = inputs.waterfall;
+  std::vector<Diagnosis> findings;
+
+  if (!inputs.pmu_available) {
+    findings.push_back(
+        {rules::kPmuUnavailable,
+         "hardware counters unavailable (" +
+             (inputs.pmu_reason.empty() ? std::string("unknown reason")
+                                        : inputs.pmu_reason) +
+             "); diagnosis is timing-only"});
+  }
+
+  const double measured = w.measured_seconds;
+  const double gap_share =
+      measured > 0.0 ? std::max(w.gap_seconds, 0.0) / measured : 0.0;
+
+  if (w.pmu_based && w.profile.stall_share() > kStallShareThreshold) {
+    findings.push_back(
+        {rules::kMemBound,
+         "backend-stall share " + pct(w.profile.stall_share()) +
+             " of busy cycles exceeds " + pct(kStallShareThreshold) +
+             "; the MAC loop is starved on memory, not compute"});
+  }
+
+  if (measured > 0.0 &&
+      w.imbalance_seconds / measured > kImbalanceShareThreshold &&
+      w.profile.imbalance() > kImbalanceFactorThreshold) {
+    std::ostringstream detail;
+    detail.setf(std::ios::fixed);
+    detail << "imbalance bucket is " << pct(w.imbalance_seconds / measured)
+           << " of measured time (factor " << std::setprecision(2)
+           << w.profile.imbalance()
+           << "x); the schedule quantizes badly on this grid";
+    findings.push_back({rules::kImbalance, detail.str()});
+  }
+
+  if (inputs.workers > 0 && inputs.grid > inputs.workers) {
+    findings.push_back(
+        {rules::kOversub,
+         "grid " + std::to_string(inputs.grid) + " exceeds the " +
+             std::to_string(inputs.workers) +
+             " pool workers; CTAs time-share cores and fixup waits "
+             "serialize"});
+  }
+
+  if (inputs.panel_fallbacks > 0 ||
+      (w.pmu_based &&
+       w.profile.llc_miss_per_kinst() > kLlcMissPerKinstThreshold)) {
+    std::ostringstream detail;
+    detail.setf(std::ios::fixed);
+    detail << "panel reuse is failing: " << inputs.panel_fallbacks
+           << " shared-cache fallbacks";
+    if (w.pmu_based) {
+      detail << ", " << std::setprecision(1) << w.profile.llc_miss_per_kinst()
+             << " LLC misses/kinst";
+    }
+    findings.push_back({rules::kPanelMiss, detail.str()});
+  }
+
+  if (measured > 0.0 && w.fixup_seconds / measured > kFixupShareThreshold) {
+    findings.push_back(
+        {rules::kFixupHeavy,
+         "fixup-wait bucket is " + pct(w.fixup_seconds / measured) +
+             " of measured time; partial-sum traffic dominates "
+             "(over-split schedule)"});
+  }
+
+  if (w.gap_seconds > 0.0 && gap_share > kGapShareFloor &&
+      std::abs(w.residual_seconds) / w.gap_seconds >
+          kResidualGapShareThreshold) {
+    findings.push_back(
+        {rules::kModelDrift,
+         "residual bucket is " +
+             pct(std::abs(w.residual_seconds) / w.gap_seconds) +
+             " of the gap; the cost model and this machine disagree "
+             "(recalibrate or re-fit CostParams)"});
+  }
+
+  const bool only_pmu_note =
+      findings.size() == 1 && findings[0].rule == rules::kPmuUnavailable;
+  if (findings.empty() || (only_pmu_note && gap_share <= kGapShareFloor)) {
+    findings.push_back(
+        {rules::kClean, "measured time within " + pct(kGapShareFloor) +
+                            " of roofline; nothing to fix"});
+  }
+  return findings;
+}
+
+}  // namespace streamk::obs

@@ -1,0 +1,129 @@
+#pragma once
+
+// Efficiency-waterfall attribution: reconcile measured time against the
+// analytical roofline and decompose the gap into causes.
+//
+// The paper argues quantitatively -- Stream-K wins because imbalance and
+// fixup overhead shrink -- so "this shape runs at 61% of roofline" must be
+// answerable with *why*.  Given a trace snapshot of R measured reps, the
+// measured wall time, and a roofline prediction in the same units (see
+// streamk_doctor for how model::closed_form_estimate is rescaled into
+// measured seconds), build_waterfall() splits the gap
+//
+//   gap = measured - roofline
+//
+// into additive buckets, each a wall-time share averaged over the CTA
+// grid (all values are per-rep seconds):
+//
+//   imbalance     = (makespan * C - sum busy+wait) / C   -- idle tails the
+//                   quantized schedule leaves on some CTAs
+//   fixup         = sum fixup-wait / C                   -- blocked in the
+//                   partial-sum protocol
+//   pack          = sum pack spans / C                   -- A/B panel
+//                   packing (outside the MAC loop)
+//   memory_stall  = stall_share * (sum busy / C)         -- the PMU's
+//                   backend-stall share of busy time; 0 on timing-only runs
+//   residual      = gap - (all of the above)             -- model error,
+//                   overlap, and everything unattributed
+//
+// The residual closes the ledger by construction: buckets always sum to
+// the gap exactly, and a large residual is itself a diagnosis (the model
+// and the machine disagree).  Negative residuals are legal -- the model
+// was optimistic, or stall cycles overlap imbalance idle time.
+//
+// diagnose() turns a waterfall plus run context into the ruled findings
+// streamk_doctor prints.  Rule ids are stable strings (tests pin them);
+// adding a rule is append-only.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace streamk::obs {
+
+struct WaterfallInputs {
+  /// Measured wall seconds of ONE rep (best-of-reps).
+  double measured_seconds = 0.0;
+  /// Roofline prediction in the same units (already rescaled to this
+  /// machine; see streamk_doctor's calibration step).
+  double roofline_seconds = 0.0;
+  /// CTAs the schedule launched (used to average grid-wide span sums into
+  /// wall time); <= 0 falls back to the CTAs seen in the trace.
+  std::int64_t ctas = 0;
+  /// Trace reps covered by `spans`: span sums are divided by this.
+  int reps = 1;
+  std::span<const TraceSpan> spans;
+};
+
+struct WaterfallBucket {
+  std::string name;
+  double seconds = 0.0;
+};
+
+struct EfficiencyWaterfall {
+  double measured_seconds = 0.0;
+  double roofline_seconds = 0.0;
+  double gap_seconds = 0.0;
+
+  double imbalance_seconds = 0.0;
+  double fixup_seconds = 0.0;
+  double pack_seconds = 0.0;
+  double memory_stall_seconds = 0.0;
+  double residual_seconds = 0.0;
+
+  /// False when the run carried no PMU-annotated spans: memory_stall is
+  /// then 0 and the diagnosis is timing-only.
+  bool pmu_based = false;
+
+  /// The underlying per-CTA profile (imbalance factor, wait share, PMU
+  /// sums) for report rendering.
+  LoadBalanceProfile profile;
+
+  /// Buckets in report order; their seconds sum to gap_seconds exactly.
+  std::vector<WaterfallBucket> buckets() const;
+  double bucket_sum() const;
+};
+
+EfficiencyWaterfall build_waterfall(const WaterfallInputs& inputs);
+
+/// Human-readable waterfall table / machine-readable JSON twin.
+std::string render_waterfall(const EfficiencyWaterfall& waterfall);
+std::string waterfall_json(const EfficiencyWaterfall& waterfall);
+
+/// Stable diagnosis rule ids (doctor output contract; append-only).
+namespace rules {
+inline constexpr const char* kPmuUnavailable = "DR-PMU-UNAVAILABLE";
+inline constexpr const char* kMemBound = "DR-MEM-BOUND";
+inline constexpr const char* kImbalance = "DR-IMBALANCE";
+inline constexpr const char* kOversub = "DR-OVERSUB";
+inline constexpr const char* kPanelMiss = "DR-PANEL-MISS";
+inline constexpr const char* kFixupHeavy = "DR-FIXUP-HEAVY";
+inline constexpr const char* kModelDrift = "DR-MODEL-DRIFT";
+inline constexpr const char* kClean = "DR-CLEAN";
+}  // namespace rules
+
+struct Diagnosis {
+  std::string rule;    ///< one of rules::*
+  std::string detail;  ///< human-readable evidence line
+};
+
+struct DoctorInputs {
+  EfficiencyWaterfall waterfall;
+  bool pmu_available = false;
+  std::string pmu_reason;     ///< why the PMU is absent (when it is)
+  std::int64_t grid = 0;      ///< launched CTAs
+  std::int64_t workers = 0;   ///< pool worker threads
+  std::int64_t panel_fallbacks = 0;  ///< panel_cache.fallbacks delta
+};
+
+/// Pure rule evaluation: deterministic findings in severity order,
+/// DR-CLEAN alone when nothing fires.  DR-PMU-UNAVAILABLE never
+/// suppresses timing-based rules -- it marks the diagnosis as
+/// timing-only.
+std::vector<Diagnosis> diagnose(const DoctorInputs& inputs);
+
+}  // namespace streamk::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -169,9 +170,44 @@ MetricsSnapshot snapshot_metrics() {
       const std::uint64_t upper = i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
       hs.buckets.emplace_back(upper, n);
     }
+    hs.p50 = histogram_percentile(hs, 50.0);
+    hs.p95 = histogram_percentile(hs, 95.0);
+    hs.p99 = histogram_percentile(hs, 99.0);
     snapshot.histograms.push_back(std::move(hs));
   }
   return snapshot;
+}
+
+double histogram_percentile(const HistogramSnapshot& h, double percentile) {
+  if (h.count == 0) return 0.0;
+  // Rank of the requested percentile, 1-based: ceil(q/100 * n), floored at
+  // the first sample.
+  const double exact = percentile / 100.0 * static_cast<double>(h.count);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(exact)));
+  std::uint64_t seen = 0;
+  for (const auto& [upper, n] : h.buckets) {
+    if (seen + n < rank) {
+      seen += n;
+      continue;
+    }
+    // Linear interpolation by rank position within the containing bucket
+    // [lo, upper]; bucket 0 is the exact value zero.
+    const double lo =
+        upper == 0 ? 0.0 : static_cast<double>(upper / 2 + 1);
+    const double hi = static_cast<double>(upper);
+    const double frac = n == 0 ? 0.0
+                               : static_cast<double>(rank - seen) /
+                                     static_cast<double>(n);
+    double estimate = lo + (hi - lo) * frac;
+    // The recorded extremes bound every sample, so they bound every
+    // percentile; clamping recovers exactness when a bucket holds a single
+    // distinct value.
+    estimate = std::max(estimate, static_cast<double>(h.min));
+    estimate = std::min(estimate, static_cast<double>(h.max));
+    return estimate;
+  }
+  return static_cast<double>(h.max);
 }
 
 std::string metrics_json() {
@@ -194,7 +230,8 @@ std::string metrics_json() {
   for (const HistogramSnapshot& h : snapshot.histograms) {
     os << (first ? "" : ",") << "\"" << h.name << "\":{\"count\":" << h.count
        << ",\"sum\":" << h.sum << ",\"min\":" << h.min << ",\"max\":" << h.max
-       << ",\"mean\":" << h.mean << ",\"buckets\":[";
+       << ",\"mean\":" << h.mean << ",\"p50\":" << h.p50
+       << ",\"p95\":" << h.p95 << ",\"p99\":" << h.p99 << ",\"buckets\":[";
     bool b_first = true;
     for (const auto& [upper, n] : h.buckets) {
       os << (b_first ? "" : ",") << "[" << upper << "," << n << "]";
@@ -210,16 +247,17 @@ std::string metrics_json() {
 std::string metrics_csv() {
   const MetricsSnapshot snapshot = snapshot_metrics();
   std::ostringstream os;
-  os << "kind,name,value,count,sum,min,max,mean\n";
+  os << "kind,name,value,count,sum,min,max,mean,p50,p95,p99\n";
   for (const auto& [name, value] : snapshot.counters) {
-    os << "counter," << name << "," << value << ",,,,,\n";
+    os << "counter," << name << "," << value << ",,,,,,,,\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    os << "gauge," << name << "," << value << ",,,,,\n";
+    os << "gauge," << name << "," << value << ",,,,,,,,\n";
   }
   for (const HistogramSnapshot& h : snapshot.histograms) {
     os << "histogram," << h.name << ",," << h.count << "," << h.sum << ","
-       << h.min << "," << h.max << "," << h.mean << "\n";
+       << h.min << "," << h.max << "," << h.mean << "," << h.p50 << ","
+       << h.p95 << "," << h.p99 << "\n";
   }
   return os.str();
 }

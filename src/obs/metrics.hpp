@@ -104,9 +104,20 @@ struct HistogramSnapshot {
   std::int64_t min = 0;
   std::int64_t max = 0;
   double mean = 0.0;
+  double p50 = 0.0;  ///< estimated percentiles (see histogram_percentile)
+  double p95 = 0.0;
+  double p99 = 0.0;
   /// (upper_bound, count) for each nonzero bucket, ascending.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
 };
+
+/// Percentile estimate from the log2 buckets: the rank-
+/// ceil(percentile/100 * count) sample's bucket, linearly interpolated by
+/// rank position within it, clamped to the recorded [min, max].  The clamp
+/// makes single-valued and single-bucket-edge distributions exact; mixed
+/// buckets are approximate to within the bucket's width.  Returns 0 for an
+/// empty histogram.
+double histogram_percentile(const HistogramSnapshot& h, double percentile);
 
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::int64_t>> counters;  ///< sorted

@@ -22,6 +22,7 @@
 // This header is the only obs include instrumented code needs.
 
 #include "obs/metrics.hpp"
+#include "obs/pmu.hpp"
 #include "obs/trace.hpp"
 
 #ifndef STREAMK_OBS_ENABLED
@@ -33,7 +34,10 @@
 namespace streamk::obs {
 
 /// Captures t0 on construction when tracing is armed, emits on destruction.
-/// Arguments are evaluated only when armed at construction time.
+/// Arguments are evaluated only when armed at construction time.  When the
+/// PMU layer is additionally armed (obs/pmu.hpp) the span carries the
+/// hardware-counter deltas across its extent; a failed read (PMU lost
+/// mid-span, fd exhaustion) degrades that span to timestamps only.
 class SpanGuard {
  public:
   SpanGuard(EventKind kind, std::int64_t arg0, std::int64_t arg1)
@@ -41,13 +45,25 @@ class SpanGuard {
         kind_(kind),
         arg0_(arg0),
         arg1_(arg1),
-        t0_ns_(armed_ ? trace_now_ns() : 0) {}
+        t0_ns_(armed_ ? trace_now_ns() : 0) {
+    if (armed_ && pmu_armed()) pmu_at_t0_ = pmu_read(pmu_t0_);
+  }
 
   SpanGuard(const SpanGuard&) = delete;
   SpanGuard& operator=(const SpanGuard&) = delete;
 
   ~SpanGuard() {
-    if (armed_) emit_span(kind_, t0_ns_, trace_now_ns(), arg0_, arg1_);
+    if (!armed_) return;
+    if (pmu_at_t0_) {
+      PmuSample t1;
+      if (pmu_read(t1)) {
+        const PmuSample d = t1 - pmu_t0_;
+        emit_span_pmu(kind_, t0_ns_, trace_now_ns(), arg0_, arg1_, d.cycles,
+                      d.instructions, d.llc_misses, d.stalled_backend);
+        return;
+      }
+    }
+    emit_span(kind_, t0_ns_, trace_now_ns(), arg0_, arg1_);
   }
 
  private:
@@ -56,6 +72,8 @@ class SpanGuard {
   const std::int64_t arg0_;
   const std::int64_t arg1_;
   const std::int64_t t0_ns_;
+  bool pmu_at_t0_ = false;
+  PmuSample pmu_t0_;
 };
 
 }  // namespace streamk::obs

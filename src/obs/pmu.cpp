@@ -1,0 +1,232 @@
+#include "obs/pmu.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "util/log.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define STREAMK_PMU_LINUX 1
+#else
+#define STREAMK_PMU_LINUX 0
+#endif
+
+namespace streamk::obs {
+
+namespace {
+
+std::atomic<bool> g_pmu_armed{false};
+
+// Availability latch: 0 = unprobed, 1 = available, 2 = unavailable.
+std::atomic<int> g_pmu_state{0};
+
+std::string& unavailable_reason() {
+  static std::string* reason = new std::string();
+  return *reason;
+}
+
+std::once_flag g_probe_once;
+
+#if STREAMK_PMU_LINUX
+
+/// The four events of the group, leader first.  stalled-backend is the one
+/// most often missing (not exposed on many cores / VMs), so members are
+/// opened individually and a failed member just stays absent.
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr EventSpec kEvents[4] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+int perf_event_open_syscall(perf_event_attr* attr, pid_t pid, int cpu,
+                            int group_fd, unsigned long flags) {
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+int open_event(const EventSpec& spec, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // user-space attribution; also lowers the
+  attr.exclude_hv = 1;      // perf_event_paranoid bar in containers
+  attr.inherit = 0;         // per-thread counts, never summed over children
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                     PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return perf_event_open_syscall(&attr, 0, -1, group_fd, 0);
+}
+
+/// One thread's counter group.  fd[0] is the leader; a member fd of -1
+/// means that event is absent on this machine.  Slots in the group read
+/// are matched back to events by PERF_FORMAT_ID.
+struct ThreadGroup {
+  int fd[4] = {-1, -1, -1, -1};
+  std::uint64_t id[4] = {0, 0, 0, 0};
+  bool open_failed = false;
+
+  ~ThreadGroup() {
+    for (int f : fd) {
+      if (f >= 0) close(f);
+    }
+  }
+
+  bool open() {
+    fd[0] = open_event(kEvents[0], -1);
+    if (fd[0] < 0) {
+      open_failed = true;
+      return false;
+    }
+    for (int i = 1; i < 4; ++i) fd[i] = open_event(kEvents[i], fd[0]);
+    for (int i = 0; i < 4; ++i) {
+      if (fd[i] >= 0 &&
+          ioctl(fd[i], PERF_EVENT_IOC_ID, &id[i]) != 0) {
+        close(fd[i]);
+        fd[i] = -1;
+      }
+    }
+    return true;
+  }
+
+  bool read_sample(PmuSample& out) {
+    if (open_failed) return false;
+    if (fd[0] < 0 && !open()) return false;
+
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+    // {value, id} per member.
+    std::uint64_t buf[3 + 2 * 4];
+    const ssize_t n = ::read(fd[0], buf, sizeof(buf));
+    if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return false;
+    const std::uint64_t nr = buf[0];
+    const std::uint64_t enabled = buf[1];
+    const std::uint64_t running = buf[2];
+    if (n < static_cast<ssize_t>((3 + 2 * nr) * sizeof(std::uint64_t))) {
+      return false;
+    }
+    // Multiplex scaling: when other sessions share the PMU the kernel
+    // round-robins groups; scale counts to the full enabled window.
+    const double scale =
+        running > 0 ? static_cast<double>(enabled) / static_cast<double>(running)
+                    : 1.0;
+
+    std::int64_t values[4] = {-1, -1, -1, -1};
+    for (std::uint64_t s = 0; s < nr; ++s) {
+      const std::uint64_t value = buf[3 + 2 * s];
+      const std::uint64_t sample_id = buf[3 + 2 * s + 1];
+      for (int i = 0; i < 4; ++i) {
+        if (fd[i] >= 0 && id[i] == sample_id) {
+          values[i] =
+              static_cast<std::int64_t>(static_cast<double>(value) * scale);
+          break;
+        }
+      }
+    }
+    out.cycles = values[0];
+    out.instructions = values[1];
+    out.llc_misses = values[2];
+    out.stalled_backend = values[3];
+    return values[0] >= 0;
+  }
+};
+
+ThreadGroup& local_group() {
+  thread_local ThreadGroup group;
+  return group;
+}
+
+#endif  // STREAMK_PMU_LINUX
+
+void probe() {
+  if (const char* env = std::getenv("STREAMK_PMU");
+      env && (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)) {
+    unavailable_reason() = "disabled by STREAMK_PMU=0";
+    g_pmu_state.store(2, std::memory_order_release);
+    return;
+  }
+#if STREAMK_PMU_LINUX
+  // Probe with a throwaway cycles counter so the verdict does not depend
+  // on which thread asks first.
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = PERF_COUNT_HW_CPU_CYCLES;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  const int fd = perf_event_open_syscall(&attr, 0, -1, -1, 0);
+  if (fd >= 0) {
+    close(fd);
+    g_pmu_state.store(1, std::memory_order_release);
+    return;
+  }
+  unavailable_reason() =
+      std::string("perf_event_open: ") + std::strerror(errno);
+  g_pmu_state.store(2, std::memory_order_release);
+#else
+  unavailable_reason() = "perf_event_open requires Linux";
+  g_pmu_state.store(2, std::memory_order_release);
+#endif
+}
+
+/// STREAMK_PMU=1/on: arm at load time (pairs with STREAMK_TRACE so a traced
+/// run can be counter-annotated without code changes).
+const bool g_env_init = [] {
+  if (const char* env = std::getenv("STREAMK_PMU");
+      env && (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0)) {
+    if (!arm_pmu()) {
+      util::log_info(std::string("STREAMK_PMU=1 but PMU unavailable: ") +
+                     pmu_unavailable_reason());
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+bool pmu_available() {
+  std::call_once(g_probe_once, probe);
+  return g_pmu_state.load(std::memory_order_acquire) == 1;
+}
+
+const char* pmu_unavailable_reason() {
+  return unavailable_reason().c_str();
+}
+
+bool arm_pmu() {
+  if (!pmu_available()) return false;
+  g_pmu_armed.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void disarm_pmu() { g_pmu_armed.store(false, std::memory_order_relaxed); }
+
+bool pmu_armed() { return g_pmu_armed.load(std::memory_order_relaxed); }
+
+bool pmu_read(PmuSample& out) {
+  if (!pmu_armed()) return false;
+#if STREAMK_PMU_LINUX
+  return local_group().read_sample(out);
+#else
+  static_cast<void>(out);
+  return false;
+#endif
+}
+
+}  // namespace streamk::obs

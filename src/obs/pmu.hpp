@@ -1,0 +1,95 @@
+#pragma once
+
+// Hardware performance-counter sampling (perf_event_open wrapper).
+//
+// The trace layer (obs/trace.hpp) answers "where did the wall time go";
+// this module answers "what was the hardware doing while it went": each
+// armed span can carry deltas of four counters -- cycles, retired
+// instructions, last-level-cache misses, and backend-stalled cycles --
+// read as one grouped perf_event sample at span open and close.  The
+// group read keeps the four values mutually consistent, and
+// time_enabled/time_running scaling compensates for kernel multiplexing
+// when other tools hold the PMU.
+//
+// Tiering (DESIGN.md §14):
+//   tier 0  STREAMK_OBS=OFF            -- no instrumentation at all
+//   tier 1  tracing disarmed           -- one relaxed load per span site
+//   tier 2  tracing armed, PMU off     -- timestamps only (today's spans)
+//   tier 3  tracing + PMU armed        -- timestamps + counter deltas
+//
+// Degradation is graceful and silent at the call sites: in containers and
+// on locked-down kernels perf_event_open fails (ENOSYS / EACCES / EPERM /
+// paranoid level), pmu_available() latches false with a reason string, and
+// every read returns false so spans simply carry no counters -- byte-for-
+// byte the tier-2 behaviour.  Nothing in the library requires the PMU;
+// streamk_doctor reports "timing-only" diagnoses when it is absent.
+//
+// Arming mirrors the trace layer: STREAMK_PMU=1 in the environment arms at
+// load time, STREAMK_PMU=0 force-disables even programmatic arming (the
+// doctor's --no-pmu equivalent for whole processes), and
+// arm_pmu()/disarm_pmu() scope it at runtime.  Counter file descriptors
+// are per-thread (perf counts per-thread with inherit=0), opened lazily on
+// the thread's first armed read and closed when the thread exits.
+
+#include <cstdint>
+
+namespace streamk::obs {
+
+/// One grouped counter reading (or a delta of two).  A value of -1 in a
+/// *reading* means that event could not be opened on this machine (e.g.
+/// stalled-backend is not exposed on all cores); deltas of unavailable
+/// events are 0.
+struct PmuSample {
+  std::int64_t cycles = 0;
+  std::int64_t instructions = 0;
+  std::int64_t llc_misses = 0;
+  std::int64_t stalled_backend = 0;
+
+  PmuSample operator-(const PmuSample& rhs) const {
+    auto sub = [](std::int64_t a, std::int64_t b) {
+      if (a < 0 || b < 0) return std::int64_t{0};  // event unavailable
+      const std::int64_t d = a - b;
+      return d > 0 ? d : std::int64_t{0};
+    };
+    return PmuSample{sub(cycles, rhs.cycles),
+                     sub(instructions, rhs.instructions),
+                     sub(llc_misses, rhs.llc_misses),
+                     sub(stalled_backend, rhs.stalled_backend)};
+  }
+
+  PmuSample& operator+=(const PmuSample& rhs) {
+    cycles += rhs.cycles;
+    instructions += rhs.instructions;
+    llc_misses += rhs.llc_misses;
+    stalled_backend += rhs.stalled_backend;
+    return *this;
+  }
+};
+
+/// Whether this process can read hardware counters at all.  The first call
+/// probes by opening a counter group on the calling thread; the verdict
+/// (and, on failure, pmu_unavailable_reason()) is latched process-wide.
+/// STREAMK_PMU=0 latches "unavailable" without probing.
+bool pmu_available();
+
+/// Human-readable reason when pmu_available() is false ("perf_event_open:
+/// Operation not permitted", "disabled by STREAMK_PMU=0", ...); empty when
+/// available or not yet probed.
+const char* pmu_unavailable_reason();
+
+/// Arms per-span PMU sampling.  Returns pmu_available(): arming a machine
+/// without a usable PMU is a no-op, not an error.  Idempotent.
+bool arm_pmu();
+void disarm_pmu();
+
+/// The span-site fast path: one relaxed load.  True only after a
+/// successful arm_pmu() (so pmu_armed() implies pmu_available()).
+bool pmu_armed();
+
+/// Reads the calling thread's counter group into `out`.  Returns false --
+/// and leaves `out` untouched -- when the PMU is not armed or the thread's
+/// group cannot be opened.  Values are multiplex-scaled and monotone per
+/// thread, so `later - earlier` is a valid delta.
+bool pmu_read(PmuSample& out);
+
+}  // namespace streamk::obs

@@ -22,12 +22,38 @@ double LoadBalanceProfile::wait_share() const {
                           static_cast<double>(total);
 }
 
+double LoadBalanceProfile::stall_share() const {
+  return cycles_sum <= 0 ? 0.0
+                         : static_cast<double>(stalled_sum) /
+                               static_cast<double>(cycles_sum);
+}
+
+double LoadBalanceProfile::llc_miss_per_kinst() const {
+  return instructions_sum <= 0
+             ? 0.0
+             : 1000.0 * static_cast<double>(llc_miss_sum) /
+                   static_cast<double>(instructions_sum);
+}
+
 LoadBalanceProfile build_load_balance_profile(
     std::span<const TraceSpan> spans) {
   std::map<std::int64_t, CtaProfile> by_cta;
   std::int64_t t_min = std::numeric_limits<std::int64_t>::max();
   std::int64_t t_max = std::numeric_limits<std::int64_t>::min();
   LoadBalanceProfile profile;
+
+  auto add_pmu = [&profile](CtaProfile& cta, const TraceSpan& span) {
+    if (!span.has_pmu) return;
+    cta.cycles += span.cycles;
+    cta.instructions += span.instructions;
+    cta.llc_misses += span.llc_misses;
+    cta.stalled_backend += span.stalled_backend;
+    profile.pmu_spans += 1;
+    profile.cycles_sum += span.cycles;
+    profile.instructions_sum += span.instructions;
+    profile.llc_miss_sum += span.llc_misses;
+    profile.stalled_sum += span.stalled_backend;
+  };
 
   for (const TraceSpan& span : spans) {
     const std::int64_t dur = span.t1_ns - span.t0_ns;
@@ -36,11 +62,15 @@ LoadBalanceProfile build_load_balance_profile(
         CtaProfile& cta = by_cta[span.arg0];
         cta.mac_ns += dur;
         cta.segments += 1;
+        add_pmu(cta, span);
         break;
       }
-      case EventKind::kEpilogueApply:
-        by_cta[span.arg0].epilogue_ns += dur;
+      case EventKind::kEpilogueApply: {
+        CtaProfile& cta = by_cta[span.arg0];
+        cta.epilogue_ns += dur;
+        add_pmu(cta, span);
         break;
+      }
       case EventKind::kFixupWait: {
         CtaProfile& cta = by_cta[span.arg0];
         cta.wait_ns += dur;
@@ -105,7 +135,15 @@ std::string render_load_balance_profile(const LoadBalanceProfile& profile) {
      << std::setprecision(1) << profile.wait_share() * 100.0
      << "% of busy+wait)\n";
   os << "  fixup signals     " << profile.fixup_signals
-     << " (spilled partials)\n\n";
+     << " (spilled partials)\n";
+  if (profile.pmu_spans > 0) {
+    os << std::setprecision(1) << "  pmu (busy spans)  "
+       << profile.cycles_sum << " cycles, " << profile.instructions_sum
+       << " instr, stall share " << profile.stall_share() * 100.0
+       << "%, LLC miss/kinst " << std::setprecision(2)
+       << profile.llc_miss_per_kinst() << "\n";
+  }
+  os << "\n";
 
   os << "  cta    busy_ms    wait_ms  segs  waits  busy\n";
   std::int64_t busy_max = 0;
@@ -131,14 +169,25 @@ std::string load_balance_profile_json(const LoadBalanceProfile& profile) {
      << ",\"wait_sum_ns\":" << profile.wait_sum_ns
      << ",\"fixup_signals\":" << profile.fixup_signals
      << ",\"imbalance\":" << profile.imbalance()
-     << ",\"wait_share\":" << profile.wait_share() << ",\"per_cta\":[";
+     << ",\"wait_share\":" << profile.wait_share()
+     << ",\"pmu_spans\":" << profile.pmu_spans
+     << ",\"cycles_sum\":" << profile.cycles_sum
+     << ",\"instructions_sum\":" << profile.instructions_sum
+     << ",\"llc_miss_sum\":" << profile.llc_miss_sum
+     << ",\"stalled_sum\":" << profile.stalled_sum
+     << ",\"stall_share\":" << profile.stall_share()
+     << ",\"llc_miss_per_kinst\":" << profile.llc_miss_per_kinst()
+     << ",\"per_cta\":[";
   bool first = true;
   for (const CtaProfile& cta : profile.ctas) {
     os << (first ? "" : ",") << "{\"cta\":" << cta.cta
        << ",\"mac_ns\":" << cta.mac_ns
        << ",\"epilogue_ns\":" << cta.epilogue_ns
        << ",\"wait_ns\":" << cta.wait_ns << ",\"segments\":" << cta.segments
-       << ",\"waits\":" << cta.waits << "}";
+       << ",\"waits\":" << cta.waits << ",\"cycles\":" << cta.cycles
+       << ",\"instructions\":" << cta.instructions
+       << ",\"llc_misses\":" << cta.llc_misses
+       << ",\"stalled_backend\":" << cta.stalled_backend << "}";
     first = false;
   }
   os << "]}";

@@ -35,6 +35,13 @@ struct CtaProfile {
   std::int64_t wait_ns = 0;      ///< time blocked in kFixupWait spans
   std::int64_t segments = 0;     ///< kMacSegment span count
   std::int64_t waits = 0;        ///< kFixupWait span count
+  /// Hardware-counter sums over this CTA's PMU-annotated busy spans
+  /// (kMacSegment + kEpilogueApply with has_pmu); all zero when the run was
+  /// timing-only.
+  std::int64_t cycles = 0;
+  std::int64_t instructions = 0;
+  std::int64_t llc_misses = 0;
+  std::int64_t stalled_backend = 0;
 
   std::int64_t busy_ns() const { return mac_ns + epilogue_ns; }
 };
@@ -49,10 +56,24 @@ struct LoadBalanceProfile {
   std::int64_t wait_sum_ns = 0;
   std::int64_t fixup_signals = 0;  ///< kFixupSignal instants (spilled tiles)
 
+  /// Hardware-counter sums over all PMU-annotated busy spans; pmu_spans
+  /// counts the annotated spans so 0 means "timing-only run", not "0
+  /// cycles measured".
+  std::int64_t pmu_spans = 0;
+  std::int64_t cycles_sum = 0;
+  std::int64_t instructions_sum = 0;
+  std::int64_t llc_miss_sum = 0;
+  std::int64_t stalled_sum = 0;
+
   /// makespan * ctas / busy_sum; 1.0 = perfect balance, 0 when no work.
   double imbalance() const;
   /// wait_sum / (busy_sum + wait_sum); 0 when no work.
   double wait_share() const;
+  /// stalled_backend / cycles over PMU-annotated busy spans; 0 when
+  /// timing-only.
+  double stall_share() const;
+  /// LLC misses per thousand retired instructions; 0 when timing-only.
+  double llc_miss_per_kinst() const;
 };
 
 /// Groups CTA-attributed spans (kMacSegment, kEpilogueApply, kFixupWait,

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -50,11 +51,18 @@ std::size_t round_up_pow2(std::size_t v) {
 struct Slot {
   std::atomic<std::uint32_t> seq{0};  ///< odd = write in progress
   std::atomic<std::uint32_t> kind{0};
+  std::atomic<std::uint32_t> flags{0};  ///< bit 0: PMU payload valid
   std::atomic<std::int64_t> t0{0};
   std::atomic<std::int64_t> t1{0};
   std::atomic<std::int64_t> a0{0};
   std::atomic<std::int64_t> a1{0};
+  std::atomic<std::int64_t> cycles{0};
+  std::atomic<std::int64_t> instructions{0};
+  std::atomic<std::int64_t> llc_misses{0};
+  std::atomic<std::int64_t> stalled{0};
 };
+
+constexpr std::uint32_t kFlagPmu = 1u;
 
 /// One thread's ring.  Single writer (the owning thread); snapshot readers
 /// validate slots through the seqlock.  Owned jointly by the thread (via
@@ -65,16 +73,24 @@ struct ThreadBuffer {
       : slots(std::make_unique<Slot[]>(capacity)), mask(capacity - 1) {}
 
   void emit(EventKind k, std::int64_t t0, std::int64_t t1, std::int64_t arg0,
-            std::int64_t arg1) {
+            std::int64_t arg1, const std::int64_t* pmu = nullptr) {
     const std::uint64_t h = head.load(std::memory_order_relaxed);
     Slot& slot = slots[h & mask];
     const std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
     slot.seq.store(seq + 1, std::memory_order_relaxed);
     slot.kind.store(static_cast<std::uint32_t>(k), std::memory_order_relaxed);
+    slot.flags.store(pmu != nullptr ? kFlagPmu : 0u,
+                     std::memory_order_relaxed);
     slot.t0.store(t0, std::memory_order_relaxed);
     slot.t1.store(t1, std::memory_order_relaxed);
     slot.a0.store(arg0, std::memory_order_relaxed);
     slot.a1.store(arg1, std::memory_order_relaxed);
+    if (pmu != nullptr) {
+      slot.cycles.store(pmu[0], std::memory_order_relaxed);
+      slot.instructions.store(pmu[1], std::memory_order_relaxed);
+      slot.llc_misses.store(pmu[2], std::memory_order_relaxed);
+      slot.stalled.store(pmu[3], std::memory_order_relaxed);
+    }
     slot.seq.store(seq + 2, std::memory_order_release);
     head.store(h + 1, std::memory_order_release);
     if (h >= mask + 1) g_overwritten.fetch_add(1, std::memory_order_relaxed);
@@ -181,6 +197,55 @@ void emit_instant(EventKind kind, std::int64_t arg0, std::int64_t arg1) {
   local_buffer().emit(kind, now, now, arg0, arg1);
 }
 
+namespace {
+
+/// Per-category PMU aggregation: "pmu.mac.cycles" etc.  Counter references
+/// are resolved once per (kind, counter) pair; updates are the usual
+/// relaxed fetch_adds.
+void pmu_account(EventKind kind, const std::int64_t pmu[4]) {
+  struct KindCounters {
+    Counter* cycles;
+    Counter* instructions;
+    Counter* llc_misses;
+    Counter* stalled;
+    Counter* spans;
+  };
+  static KindCounters* table = [] {
+    auto* t = new KindCounters[static_cast<std::size_t>(EventKind::kCount)];
+    for (std::size_t i = 0; i < static_cast<std::size_t>(EventKind::kCount);
+         ++i) {
+      const std::string prefix =
+          std::string("pmu.") + kKindInfo[i].category + ".";
+      t[i] = KindCounters{&counter(prefix + "cycles"),
+                          &counter(prefix + "instructions"),
+                          &counter(prefix + "llc_misses"),
+                          &counter(prefix + "stalled_backend"),
+                          &counter(prefix + "spans")};
+    }
+    return t;
+  }();
+  KindCounters& c = table[static_cast<std::size_t>(kind)];
+  c.cycles->add(pmu[0]);
+  c.instructions->add(pmu[1]);
+  c.llc_misses->add(pmu[2]);
+  c.stalled->add(pmu[3]);
+  c.spans->add(1);
+}
+
+}  // namespace
+
+void emit_span_pmu(EventKind kind, std::int64_t t0_ns, std::int64_t t1_ns,
+                   std::int64_t arg0, std::int64_t arg1, std::int64_t cycles,
+                   std::int64_t instructions, std::int64_t llc_misses,
+                   std::int64_t stalled_backend) {
+  if (!trace_armed()) return;
+  if (kind >= EventKind::kCount) return;
+  const std::int64_t pmu[4] = {cycles, instructions, llc_misses,
+                               stalled_backend};
+  local_buffer().emit(kind, t0_ns, t1_ns, arg0, arg1, pmu);
+  pmu_account(kind, pmu);
+}
+
 void set_trace_buffer_capacity(std::size_t spans) {
   g_capacity.store(round_up_pow2(spans == 0 ? 1 : spans),
                    std::memory_order_relaxed);
@@ -216,10 +281,18 @@ std::vector<TraceSpan> snapshot_trace() {
       span.kind = static_cast<EventKind>(
           slot.kind.load(std::memory_order_relaxed));
       span.tid = buffer->tid;
+      span.has_pmu =
+          (slot.flags.load(std::memory_order_relaxed) & kFlagPmu) != 0;
       span.t0_ns = slot.t0.load(std::memory_order_relaxed);
       span.t1_ns = slot.t1.load(std::memory_order_relaxed);
       span.arg0 = slot.a0.load(std::memory_order_relaxed);
       span.arg1 = slot.a1.load(std::memory_order_relaxed);
+      if (span.has_pmu) {
+        span.cycles = slot.cycles.load(std::memory_order_relaxed);
+        span.instructions = slot.instructions.load(std::memory_order_relaxed);
+        span.llc_misses = slot.llc_misses.load(std::memory_order_relaxed);
+        span.stalled_backend = slot.stalled.load(std::memory_order_relaxed);
+      }
       std::atomic_thread_fence(std::memory_order_acquire);
       if (slot.seq.load(std::memory_order_relaxed) != seq) continue;  // torn
       if (span.t0_ns < epoch) continue;  // previous epoch
@@ -272,8 +345,14 @@ std::string chrome_trace_json(std::span<const TraceSpan> spans) {
     } else {
       os << ",\"ph\":\"i\",\"s\":\"t\"";
     }
-    os << ",\"args\":{\"a0\":" << span.arg0 << ",\"a1\":" << span.arg1
-       << "}}";
+    os << ",\"args\":{\"a0\":" << span.arg0 << ",\"a1\":" << span.arg1;
+    if (span.has_pmu) {
+      os << ",\"cycles\":" << span.cycles
+         << ",\"instructions\":" << span.instructions
+         << ",\"llc_misses\":" << span.llc_misses
+         << ",\"stalled_backend\":" << span.stalled_backend;
+    }
+    os << "}}";
   }
   os << "]}";
   return os.str();

@@ -67,13 +67,22 @@ const char* event_category(EventKind kind);
 
 /// One flushed span.  `tid` is the emitting thread's dense registration id
 /// (stable across the process, not the OS tid); instants have t1 == t0.
+///
+/// When the PMU layer is armed (obs/pmu.hpp) spans additionally carry the
+/// hardware-counter deltas measured across their extent; has_pmu
+/// distinguishes "zero counts" from "not sampled".
 struct TraceSpan {
   EventKind kind = EventKind::kCount;
   std::uint32_t tid = 0;
+  bool has_pmu = false;
   std::int64_t t0_ns = 0;  ///< steady-clock ns since the process trace origin
   std::int64_t t1_ns = 0;
   std::int64_t arg0 = 0;
   std::int64_t arg1 = 0;
+  std::int64_t cycles = 0;           ///< valid only when has_pmu
+  std::int64_t instructions = 0;
+  std::int64_t llc_misses = 0;
+  std::int64_t stalled_backend = 0;
 };
 
 /// Armed flag; the entire runtime off-path.  Defined in trace.cpp, read
@@ -103,6 +112,15 @@ std::int64_t trace_now_ns();
 void emit_span(EventKind kind, std::int64_t t0_ns, std::int64_t t1_ns,
                std::int64_t arg0, std::int64_t arg1);
 void emit_instant(EventKind kind, std::int64_t arg0, std::int64_t arg1);
+
+/// emit_span with hardware-counter deltas attached (SpanGuard calls this
+/// when the PMU is armed; see obs/pmu.hpp).  The four counts land in the
+/// span's pmu fields and, aggregated per category, in the
+/// "pmu.<category>.*" counters of the metrics registry.
+void emit_span_pmu(EventKind kind, std::int64_t t0_ns, std::int64_t t1_ns,
+                   std::int64_t arg0, std::int64_t arg1, std::int64_t cycles,
+                   std::int64_t instructions, std::int64_t llc_misses,
+                   std::int64_t stalled_backend);
 
 /// Ring capacity (spans per thread) for buffers created *after* the call;
 /// rounded up to a power of two, floor 8.  Existing rings keep their size.

@@ -1,13 +1,47 @@
 #include "util/log.hpp"
 
+#include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 
 namespace streamk::util {
 
 namespace {
+
+/// Dense per-thread id, assigned in first-log order.
+std::uint64_t thread_ordinal() {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local const std::uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// "2026-08-07T12:34:56.789Z t0 " -- the prefix every sink receives.
+std::string line_prefix() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &secs);
+#else
+  gmtime_r(&secs, &tm);
+#endif
+  char buf[64];
+  std::snprintf(buf, sizeof(buf),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ t%" PRIu64 " ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms),
+                thread_ordinal());
+  return buf;
+}
 
 LogLevel parse_level(const char* s, LogLevel fallback) {
   if (s == nullptr) return fallback;
@@ -53,7 +87,11 @@ void log(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  g_sink.load(std::memory_order_relaxed)(level, message);
+  // Prefix before dispatch so custom/test sinks see the same timestamped,
+  // thread-tagged line the stderr default prints.
+  std::string line = line_prefix();
+  line.append(message);
+  g_sink.load(std::memory_order_relaxed)(level, line);
 }
 
 const char* log_level_name(LogLevel level) {

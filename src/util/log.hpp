@@ -12,6 +12,16 @@
 // set_log_level() at runtime.  A message below the threshold costs one
 // relaxed atomic load.
 //
+// Every admitted message is prefixed with an ISO-8601 UTC timestamp
+// (millisecond resolution) and a dense per-thread id before sink dispatch:
+//
+//     2026-08-07T12:34:56.789Z t0 tuning db not found: ...
+//
+// so both the stderr default and custom/test sinks can correlate lines
+// across threads without doing their own clock reads.  Thread ids are
+// assigned in first-log order (t0, t1, ...), not OS tids: stable within a
+// run and short enough to scan.
+//
 // The default sink writes "streamk [level] message\n" to stderr;
 // set_log_sink() replaces it process-wide (pass nullptr to restore the
 // default).  Sinks must be callable from any thread; the library serializes

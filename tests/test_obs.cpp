@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <string>
 #include <thread>
 #include <vector>
@@ -305,6 +306,76 @@ TEST(Metrics, JsonAndCsvRenderRegisteredMetrics) {
             std::string::npos);
 }
 
+TEST(Metrics, HistogramPercentilesExactOnDegenerateDistributions) {
+  obs::Histogram& h = obs::histogram("test_obs.percentile_exact");
+  h.reset();
+  for (int i = 0; i < 100; ++i) h.record(7);
+
+  const obs::MetricsSnapshot snapshot = obs::snapshot_metrics();
+  const obs::HistogramSnapshot* hs = nullptr;
+  for (const obs::HistogramSnapshot& s : snapshot.histograms) {
+    if (s.name == "test_obs.percentile_exact") hs = &s;
+  }
+  ASSERT_NE(hs, nullptr);
+  // Every sample is 7, so the min/max clamp makes all percentiles exact.
+  EXPECT_DOUBLE_EQ(hs->p50, 7.0);
+  EXPECT_DOUBLE_EQ(hs->p95, 7.0);
+  EXPECT_DOUBLE_EQ(hs->p99, 7.0);
+
+  h.reset();
+  h.record(0);
+  EXPECT_DOUBLE_EQ(
+      obs::histogram_percentile(
+          [] {
+            obs::HistogramSnapshot s;
+            s.count = 1;
+            s.min = 0;
+            s.max = 0;
+            s.buckets = {{0, 1}};
+            return s;
+          }(),
+          99.0),
+      0.0);
+}
+
+TEST(Metrics, HistogramPercentileInterpolatesWithinBucket) {
+  // 50 samples of exactly 1 (bucket [1,1]) and 50 samples spread over
+  // bucket [2,3]: the estimator's arithmetic is exact by construction.
+  obs::HistogramSnapshot s;
+  s.count = 100;
+  s.min = 1;
+  s.max = 3;
+  s.buckets = {{1, 50}, {3, 50}};
+  // Rank 50 lands in the single-valued first bucket.
+  EXPECT_DOUBLE_EQ(obs::histogram_percentile(s, 50.0), 1.0);
+  // Rank 95 is the 45th of 50 samples in [2,3]: 2 + 1 * 45/50.
+  EXPECT_DOUBLE_EQ(obs::histogram_percentile(s, 95.0), 2.9);
+  // Rank 99: 2 + 1 * 49/50.
+  EXPECT_DOUBLE_EQ(obs::histogram_percentile(s, 99.0), 2.98);
+  // Empty histogram reports 0.
+  EXPECT_DOUBLE_EQ(obs::histogram_percentile(obs::HistogramSnapshot{}, 50.0),
+                   0.0);
+}
+
+TEST(Metrics, PercentilesRenderedInJsonAndCsv) {
+  obs::Histogram& h = obs::histogram("test_obs.percentile_render");
+  h.reset();
+  h.record(10);
+
+  const std::string json = obs::metrics_json();
+  const std::size_t at = json.find("\"test_obs.percentile_render\"");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(json.find("\"p50\":10", at), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":10", at), std::string::npos);
+
+  const std::string csv = obs::metrics_csv();
+  EXPECT_NE(csv.find("kind,name,value,count,sum,min,max,mean,p50,p95,p99"),
+            std::string::npos);
+  EXPECT_NE(csv.find("histogram,test_obs.percentile_render,,1,10,10,10,10,"
+                     "10,10,10"),
+            std::string::npos);
+}
+
 TEST(Metrics, MacrosResolveOncePerSiteAndCount) {
   obs::counter("test_obs.macro_counter").reset();
   obs::histogram("test_obs.macro_histogram").reset();
@@ -357,9 +428,36 @@ TEST(Log, ThresholdFiltersAndSinkCaptures) {
 
   ASSERT_EQ(CapturedLog::lines().size(), 3u);
   EXPECT_EQ(CapturedLog::lines()[0].first, util::LogLevel::kError);
-  EXPECT_EQ(CapturedLog::lines()[0].second, "e");
-  EXPECT_EQ(CapturedLog::lines()[1].second, "w");
-  EXPECT_EQ(CapturedLog::lines()[2].second, "d2");
+
+  // Every line carries "<ISO-8601 UTC ms>Z t<tid> <message>"; the sink sees
+  // the prefix too, so tests (and embedders) can assert on it.
+  const auto check_line = [](const std::string& line,
+                             const std::string& message) {
+    // e.g. "2026-08-07T12:34:56.789Z t0 e"
+    ASSERT_GE(line.size(), 25u + message.size());
+    EXPECT_EQ(line[4], '-');
+    EXPECT_EQ(line[7], '-');
+    EXPECT_EQ(line[10], 'T');
+    EXPECT_EQ(line[13], ':');
+    EXPECT_EQ(line[16], ':');
+    EXPECT_EQ(line[19], '.');
+    EXPECT_EQ(line[23], 'Z');
+    EXPECT_EQ(line[24], ' ');
+    EXPECT_EQ(line[25], 't');
+    const std::size_t tid_end = line.find(' ', 25);
+    ASSERT_NE(tid_end, std::string::npos);
+    for (std::size_t i = 26; i < tid_end; ++i) {
+      EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(line[i])));
+    }
+    EXPECT_EQ(line.substr(tid_end + 1), message);
+  };
+  check_line(CapturedLog::lines()[0].second, "e");
+  check_line(CapturedLog::lines()[1].second, "w");
+  check_line(CapturedLog::lines()[2].second, "d2");
+
+  // Same thread -> same dense tid on every line.
+  const std::string tid0 = CapturedLog::lines()[0].second.substr(25, 2);
+  EXPECT_EQ(CapturedLog::lines()[1].second.substr(25, 2), tid0);
 }
 
 // ------------------------------------------------------------ profile

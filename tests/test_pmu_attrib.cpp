@@ -1,0 +1,263 @@
+// PMU wrapper + efficiency-waterfall attribution tests.
+//
+// The PMU half cannot assume hardware counters exist (CI containers deny
+// perf_event_open), so it tests the *contract*: availability is latched
+// with a reason, spans emitted without PMU data are byte-for-byte the
+// tier-2 spans, and reads never lie about having sampled.  The waterfall
+// half runs on synthetic span sets where every bucket is computable by
+// hand, and pins the doctor's rule-id strings, which are an output
+// contract (scripts grep them).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/attrib.hpp"
+#include "obs/obs.hpp"
+#include "obs/pmu.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace streamk;
+
+// ---------------------------------------------------------------- pmu
+
+TEST(Pmu, AvailabilityIsLatchedWithReason) {
+  // Whatever the verdict on this machine, it must be stable across calls
+  // and carry a reason exactly when unavailable.
+  const bool first = obs::pmu_available();
+  EXPECT_EQ(obs::pmu_available(), first);
+  if (!first) {
+    EXPECT_NE(obs::pmu_unavailable_reason()[0], '\0');
+  }
+}
+
+TEST(Pmu, ArmFailsCleanlyWhenUnavailable) {
+  if (obs::pmu_available()) GTEST_SKIP() << "PMU present on this machine";
+  EXPECT_FALSE(obs::arm_pmu());
+  EXPECT_FALSE(obs::pmu_armed());
+  obs::PmuSample sample;
+  EXPECT_FALSE(obs::pmu_read(sample));
+  obs::disarm_pmu();
+}
+
+TEST(Pmu, SpansStayCleanWithoutPmu) {
+  // Tier-2 contract: spans emitted while the PMU is absent (or disarmed)
+  // carry has_pmu == false and zeroed counter fields.
+  obs::arm_trace();
+  obs::reset_trace();
+  {
+    STREAMK_OBS_SPAN(kBenchRegion, 1, 2);
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  const std::vector<obs::TraceSpan> spans = obs::snapshot_trace();
+  obs::disarm_trace();
+
+  ASSERT_FALSE(spans.empty());
+  for (const obs::TraceSpan& span : spans) {
+    if (obs::pmu_available() && obs::pmu_armed()) continue;
+    EXPECT_FALSE(span.has_pmu);
+    EXPECT_EQ(span.cycles, 0);
+    EXPECT_EQ(span.instructions, 0);
+    EXPECT_EQ(span.llc_misses, 0);
+    EXPECT_EQ(span.stalled_backend, 0);
+  }
+}
+
+TEST(Pmu, SampleDeltaClampsUnavailableEvents) {
+  obs::PmuSample t1{100, 200, -1, 50};
+  obs::PmuSample t0{40, 80, -1, 60};
+  const obs::PmuSample d = t1 - t0;
+  EXPECT_EQ(d.cycles, 60);
+  EXPECT_EQ(d.instructions, 120);
+  EXPECT_EQ(d.llc_misses, 0);        // event unavailable: delta is 0
+  EXPECT_EQ(d.stalled_backend, 0);   // went backwards: clamped, not negative
+}
+
+// ---------------------------------------------------------- waterfall
+
+obs::TraceSpan make_span(obs::EventKind kind, std::int64_t t0,
+                         std::int64_t t1, std::int64_t arg0,
+                         std::int64_t arg1) {
+  obs::TraceSpan span;
+  span.kind = kind;
+  span.t0_ns = t0;
+  span.t1_ns = t1;
+  span.arg0 = arg0;
+  span.arg1 = arg1;
+  return span;
+}
+
+/// Two-CTA synthetic profile: CTA 0 busy [0,100]ns, CTA 1 busy [0,60]ns
+/// then waiting [60,80]ns, plus one 10ns pack span.  makespan = 100ns.
+std::vector<obs::TraceSpan> synthetic_spans() {
+  std::vector<obs::TraceSpan> spans;
+  spans.push_back(make_span(obs::EventKind::kMacSegment, 0, 100, 0, 0));
+  spans.push_back(make_span(obs::EventKind::kMacSegment, 0, 60, 1, 1));
+  spans.push_back(make_span(obs::EventKind::kFixupWait, 60, 80, 1, 0));
+  spans.push_back(make_span(obs::EventKind::kPack, 0, 10, -1, 0));
+  return spans;
+}
+
+TEST(Waterfall, BucketsSumToGapExactly) {
+  const std::vector<obs::TraceSpan> spans = synthetic_spans();
+  obs::WaterfallInputs inputs;
+  inputs.measured_seconds = 150e-9;
+  inputs.roofline_seconds = 90e-9;
+  inputs.ctas = 2;
+  inputs.reps = 1;
+  inputs.spans = spans;
+
+  const obs::EfficiencyWaterfall w = obs::build_waterfall(inputs);
+  EXPECT_DOUBLE_EQ(w.gap_seconds, w.measured_seconds - w.roofline_seconds);
+  // Residual closes the ledger by construction.
+  EXPECT_DOUBLE_EQ(w.bucket_sum(), w.gap_seconds);
+
+  // Hand-computed buckets: idle = makespan*C - busy - wait
+  //                             = 100*2 - 160 - 20 = 20ns over 2 CTAs.
+  EXPECT_DOUBLE_EQ(w.imbalance_seconds, 10e-9);
+  EXPECT_DOUBLE_EQ(w.fixup_seconds, 10e-9);
+  EXPECT_DOUBLE_EQ(w.pack_seconds, 5e-9);
+  EXPECT_DOUBLE_EQ(w.memory_stall_seconds, 0.0);  // timing-only
+  EXPECT_FALSE(w.pmu_based);
+  EXPECT_DOUBLE_EQ(
+      w.residual_seconds,
+      w.gap_seconds - w.imbalance_seconds - w.fixup_seconds - w.pack_seconds);
+}
+
+TEST(Waterfall, RepsScaleSpanSums) {
+  // The same spans tagged as 2 reps attribute half per rep.
+  const std::vector<obs::TraceSpan> spans = synthetic_spans();
+  obs::WaterfallInputs inputs;
+  inputs.measured_seconds = 150e-9;
+  inputs.roofline_seconds = 90e-9;
+  inputs.ctas = 2;
+  inputs.reps = 2;
+  inputs.spans = spans;
+  const obs::EfficiencyWaterfall w = obs::build_waterfall(inputs);
+  EXPECT_DOUBLE_EQ(w.fixup_seconds, 5e-9);
+  EXPECT_DOUBLE_EQ(w.pack_seconds, 2.5e-9);
+  EXPECT_DOUBLE_EQ(w.bucket_sum(), w.gap_seconds);
+}
+
+TEST(Waterfall, PmuSpansProduceMemoryStallBucket) {
+  // One CTA, busy 100ns, with 40% of cycles stalled in the backend.
+  std::vector<obs::TraceSpan> spans;
+  obs::TraceSpan span = make_span(obs::EventKind::kMacSegment, 0, 100, 0, 0);
+  span.has_pmu = true;
+  span.cycles = 1000;
+  span.instructions = 2000;
+  span.llc_misses = 10;
+  span.stalled_backend = 400;
+  spans.push_back(span);
+
+  obs::WaterfallInputs inputs;
+  inputs.measured_seconds = 150e-9;
+  inputs.roofline_seconds = 90e-9;
+  inputs.ctas = 1;
+  inputs.reps = 1;
+  inputs.spans = spans;
+  const obs::EfficiencyWaterfall w = obs::build_waterfall(inputs);
+  EXPECT_TRUE(w.pmu_based);
+  // stall_share (0.4) * busy per CTA (100ns).
+  EXPECT_DOUBLE_EQ(w.memory_stall_seconds, 40e-9);
+  EXPECT_DOUBLE_EQ(w.bucket_sum(), w.gap_seconds);
+}
+
+TEST(Waterfall, NegativeGapStillCloses) {
+  // Measured beat the roofline (calibration drift): the ledger still sums.
+  const std::vector<obs::TraceSpan> spans = synthetic_spans();
+  obs::WaterfallInputs inputs;
+  inputs.measured_seconds = 80e-9;
+  inputs.roofline_seconds = 100e-9;
+  inputs.ctas = 2;
+  inputs.reps = 1;
+  inputs.spans = spans;
+  const obs::EfficiencyWaterfall w = obs::build_waterfall(inputs);
+  EXPECT_LT(w.gap_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(w.bucket_sum(), w.gap_seconds);
+}
+
+// ----------------------------------------------------------- diagnose
+
+TEST(Diagnose, RuleIdsAreStable) {
+  // Output contract: scripts and CI grep for these exact strings.
+  EXPECT_STREQ(obs::rules::kPmuUnavailable, "DR-PMU-UNAVAILABLE");
+  EXPECT_STREQ(obs::rules::kMemBound, "DR-MEM-BOUND");
+  EXPECT_STREQ(obs::rules::kImbalance, "DR-IMBALANCE");
+  EXPECT_STREQ(obs::rules::kOversub, "DR-OVERSUB");
+  EXPECT_STREQ(obs::rules::kPanelMiss, "DR-PANEL-MISS");
+  EXPECT_STREQ(obs::rules::kFixupHeavy, "DR-FIXUP-HEAVY");
+  EXPECT_STREQ(obs::rules::kModelDrift, "DR-MODEL-DRIFT");
+  EXPECT_STREQ(obs::rules::kClean, "DR-CLEAN");
+}
+
+bool has_rule(const std::vector<obs::Diagnosis>& ds, const char* rule) {
+  for (const obs::Diagnosis& d : ds) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(Diagnose, PmuUnavailableYieldsTimingOnlyDiagnosisNotFailure) {
+  obs::DoctorInputs inputs;
+  inputs.pmu_available = false;
+  inputs.pmu_reason = "perf_event_open: Operation not permitted";
+  inputs.waterfall.measured_seconds = 100e-9;
+  inputs.waterfall.roofline_seconds = 99e-9;
+  inputs.waterfall.gap_seconds = 1e-9;
+  const std::vector<obs::Diagnosis> ds = obs::diagnose(inputs);
+  EXPECT_TRUE(has_rule(ds, obs::rules::kPmuUnavailable));
+  // Only the PMU note and a small gap: overall verdict stays clean.
+  EXPECT_TRUE(has_rule(ds, obs::rules::kClean));
+}
+
+TEST(Diagnose, OversubscriptionAndImbalanceFire) {
+  obs::DoctorInputs inputs;
+  inputs.pmu_available = true;
+  inputs.grid = 7;
+  inputs.workers = 4;
+  inputs.waterfall.measured_seconds = 200e-9;
+  inputs.waterfall.roofline_seconds = 100e-9;
+  inputs.waterfall.gap_seconds = 100e-9;
+  inputs.waterfall.imbalance_seconds = 50e-9;
+  // imbalance() = makespan * ctas / busy_sum = 200 * 1 / 100 = 2.0 > 1.20.
+  inputs.waterfall.profile.ctas.emplace_back();
+  inputs.waterfall.profile.makespan_ns = 200;
+  inputs.waterfall.profile.busy_sum_ns = 100;
+  const std::vector<obs::Diagnosis> ds = obs::diagnose(inputs);
+  EXPECT_TRUE(has_rule(ds, obs::rules::kOversub));
+  EXPECT_TRUE(has_rule(ds, obs::rules::kImbalance));
+  EXPECT_FALSE(has_rule(ds, obs::rules::kClean));
+}
+
+TEST(Diagnose, MemBoundRequiresPmu) {
+  obs::DoctorInputs inputs;
+  inputs.pmu_available = true;
+  inputs.waterfall.pmu_based = true;
+  inputs.waterfall.measured_seconds = 200e-9;
+  inputs.waterfall.roofline_seconds = 100e-9;
+  inputs.waterfall.gap_seconds = 100e-9;
+  inputs.waterfall.profile.pmu_spans = 1;
+  inputs.waterfall.profile.cycles_sum = 1000;
+  inputs.waterfall.profile.stalled_sum = 500;  // 50% > 40% threshold
+  EXPECT_TRUE(has_rule(obs::diagnose(inputs), obs::rules::kMemBound));
+
+  inputs.waterfall.pmu_based = false;
+  inputs.waterfall.profile.pmu_spans = 0;
+  EXPECT_FALSE(has_rule(obs::diagnose(inputs), obs::rules::kMemBound));
+}
+
+TEST(Diagnose, PanelFallbacksFirePanelMiss) {
+  obs::DoctorInputs inputs;
+  inputs.pmu_available = true;
+  inputs.panel_fallbacks = 3;
+  EXPECT_TRUE(has_rule(obs::diagnose(inputs), obs::rules::kPanelMiss));
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+#pragma once
+
+// Shared CLI parsing for the streamk_* tools (tune, profile, doctor).
+//
+// One grammar for shapes and grouped-GEMM specs everywhere:
+//   MxNxK                 a GEMM shape (e.g. 384x384x1024)
+//   MxNxK[*C][+MxNxK...]  a grouped ragged batch: '+'-separated member
+//                         shapes, each with an optional *count multiplicity
+//                         (e.g. 1024x1024x1024+128x128x128*31)
+//
+// Parse failures print a one-line diagnostic prefixed with `tool` and
+// exit(2), matching each tool's usage() convention.
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/gemm_shape.hpp"
+#include "cpu/gemm.hpp"
+
+namespace streamk::tools {
+
+inline core::GemmShape parse_shape(const std::string& token,
+                                   const char* tool) {
+  core::GemmShape shape;
+  char sep1 = 0;
+  char sep2 = 0;
+  std::istringstream is(token);
+  is >> shape.m >> sep1 >> shape.n >> sep2 >> shape.k;
+  // get() must hit EOF: trailing junk ("96x96x128x512") means the user
+  // asked for something this parser does not express.
+  if (!is || is.get() != EOF || sep1 != 'x' || sep2 != 'x' ||
+      !shape.valid()) {
+    std::cerr << tool << ": bad shape '" << token
+              << "' (want MxNxK, e.g. 384x384x1024)\n";
+    std::exit(2);
+  }
+  return shape;
+}
+
+/// One --group spec: '+'-separated members, each `MxNxK` with an optional
+/// `*count` multiplicity.  Order never matters to the tuner database key
+/// (the digest is a shape-multiset), but the member list is what the tools
+/// actually execute, so it is kept as written.
+inline std::vector<core::GemmShape> parse_group(const std::string& token,
+                                                const char* tool) {
+  std::vector<core::GemmShape> shapes;
+  std::istringstream members(token);
+  std::string member;
+  while (std::getline(members, member, '+')) {
+    std::string shape_part = member;
+    long long count = 1;
+    if (const std::size_t star = member.find('*');
+        star != std::string::npos) {
+      shape_part = member.substr(0, star);
+      const std::string count_part = member.substr(star + 1);
+      std::size_t consumed = 0;
+      try {
+        count = std::stoll(count_part, &consumed);
+      } catch (const std::exception&) {
+        count = 0;
+      }
+      if (consumed != count_part.size() || count < 1) {
+        std::cerr << tool << ": bad --group multiplicity '" << member
+                  << "' (want MxNxK*count, count >= 1)\n";
+        std::exit(2);
+      }
+    }
+    const core::GemmShape shape = parse_shape(shape_part, tool);
+    shapes.insert(shapes.end(), static_cast<std::size_t>(count), shape);
+  }
+  if (shapes.empty()) {
+    std::cerr << tool << ": empty --group spec '" << token << "'\n";
+    std::exit(2);
+  }
+  return shapes;
+}
+
+inline cpu::Schedule parse_schedule(const std::string& token,
+                                    const char* tool) {
+  if (token == "auto") return cpu::Schedule::kAuto;
+  if (token == "dp") return cpu::Schedule::kDataParallel;
+  if (token == "split") return cpu::Schedule::kFixedSplit;
+  if (token == "streamk") return cpu::Schedule::kStreamK;
+  if (token == "hybrid1") return cpu::Schedule::kHybridOneTile;
+  if (token == "hybrid2") return cpu::Schedule::kHybridTwoTile;
+  std::cerr << tool << ": bad --schedule '" << token
+            << "' (want auto|dp|split|streamk|hybrid1|hybrid2)\n";
+  std::exit(2);
+}
+
+}  // namespace streamk::tools

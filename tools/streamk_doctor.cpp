@@ -1,0 +1,472 @@
+// streamk_doctor: perf triage for a GEMM shape -- why is it below roofline?
+//
+//   streamk_doctor [--shape MxNxK] [--schedule auto|dp|split|streamk|
+//                   hybrid1|hybrid2] [--grid N] [--split S] [--workers W]
+//                   [--reps R] [--json] [--no-pmu]
+//   streamk_doctor --selftest
+//
+// The doctor closes the loop between the paper's analytical model and the
+// machine it actually runs on:
+//
+//   1. Calibration: measures a perfectly-quantized data-parallel microbench
+//      (tiles == workers, no fixup, no tail) and compares it with
+//      model::closed_form_estimate's prediction for the same launch.  The
+//      host proxy GpuSpec's peak numbers are placeholders, so the model's
+//      absolute seconds are meaningless -- but the *ratio*
+//      measured/predicted on a shape the model nails calibrates its units
+//      to this machine.
+//   2. Target run: executes the requested shape under trace (and, where
+//      the kernel allows, PMU) sampling, takes best-of-reps wall time, and
+//      rescales the model's prediction for the actual resolved schedule
+//      into measured units: roofline = predicted_target * scale.
+//   3. Attribution: obs::build_waterfall decomposes measured - roofline
+//      into imbalance / fixup / pack / memory-stall / residual buckets
+//      (buckets sum to the gap by construction), and obs::diagnose turns
+//      the evidence into ruled findings (DR-MEM-BOUND, DR-IMBALANCE,
+//      DR-OVERSUB, DR-PANEL-MISS, DR-FIXUP-HEAVY, DR-MODEL-DRIFT,
+//      DR-PMU-UNAVAILABLE, DR-CLEAN).
+//
+// Without a usable PMU (containers, perf_event_paranoid, non-Linux) the
+// doctor degrades to timing-only diagnoses, reports DR-PMU-UNAVAILABLE
+// with the reason, and still exits 0: absence of counters is a property of
+// the machine, not a failure of the run.  --selftest checks rule-id
+// stability and waterfall-closure invariants without touching the PMU and
+// exits nonzero on violation (wired into CI).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "cpu/gemm.hpp"
+#include "model/cost_model.hpp"
+#include "model/grid_selector.hpp"
+#include "obs/attrib.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pmu.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace streamk;
+
+struct CliOptions {
+  core::GemmShape shape{192, 192, 2048};
+  cpu::Schedule schedule = cpu::Schedule::kStreamK;
+  std::int64_t grid = 0;
+  std::int64_t split = 2;
+  std::size_t workers = 0;
+  int reps = 3;
+  bool json = false;
+  bool no_pmu = false;
+  bool selftest = false;
+};
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: streamk_doctor [--shape MxNxK] [--schedule auto|dp|split|"
+         "streamk|hybrid1|hybrid2]\n"
+         "                      [--grid N] [--split S] [--workers W] "
+         "[--reps R]\n"
+         "                      [--json] [--no-pmu] | --selftest\n";
+  std::exit(2);
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--shape") {
+      options.shape = tools::parse_shape(value(), "streamk_doctor");
+    } else if (arg == "--schedule") {
+      options.schedule = tools::parse_schedule(value(), "streamk_doctor");
+    } else if (arg == "--grid") {
+      options.grid = std::atoll(value().c_str());
+    } else if (arg == "--split") {
+      options.split = std::atoll(value().c_str());
+    } else if (arg == "--workers") {
+      options.workers =
+          static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (arg == "--reps") {
+      options.reps = std::atoi(value().c_str());
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--no-pmu") {
+      options.no_pmu = true;
+    } else if (arg == "--selftest") {
+      options.selftest = true;
+    } else {
+      usage();
+    }
+  }
+  if (options.reps < 1) options.reps = 1;
+  return options;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-reps wall time of `fn` (seconds).
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = now_seconds();
+    fn();
+    const double t = now_seconds() - t0;
+    if (rep == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Selftest: the doctor's output contract, checkable without a PMU or even a
+// warm machine.  Exercised by CI and tests/test_pmu_attrib.cpp.
+// ---------------------------------------------------------------------------
+
+int selftest() {
+  int failures = 0;
+  auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::cerr << "streamk_doctor selftest FAIL: " << what << "\n";
+      ++failures;
+    }
+  };
+  auto has_rule = [](const std::vector<obs::Diagnosis>& ds,
+                     const char* rule) {
+    return std::any_of(ds.begin(), ds.end(), [rule](const obs::Diagnosis& d) {
+      return d.rule == rule;
+    });
+  };
+
+  // Rule ids are an output contract: these strings may never change.
+  expect(std::string(obs::rules::kPmuUnavailable) == "DR-PMU-UNAVAILABLE",
+         "rule id kPmuUnavailable");
+  expect(std::string(obs::rules::kMemBound) == "DR-MEM-BOUND",
+         "rule id kMemBound");
+  expect(std::string(obs::rules::kImbalance) == "DR-IMBALANCE",
+         "rule id kImbalance");
+  expect(std::string(obs::rules::kOversub) == "DR-OVERSUB",
+         "rule id kOversub");
+  expect(std::string(obs::rules::kPanelMiss) == "DR-PANEL-MISS",
+         "rule id kPanelMiss");
+  expect(std::string(obs::rules::kFixupHeavy) == "DR-FIXUP-HEAVY",
+         "rule id kFixupHeavy");
+  expect(std::string(obs::rules::kModelDrift) == "DR-MODEL-DRIFT",
+         "rule id kModelDrift");
+  expect(std::string(obs::rules::kClean) == "DR-CLEAN", "rule id kClean");
+
+  // Waterfall closure on a synthetic two-CTA trace: buckets must sum to
+  // the gap exactly (the residual closes the ledger).
+  std::vector<obs::TraceSpan> spans;
+  auto push = [&spans](obs::EventKind kind, std::int64_t cta,
+                       std::int64_t t0_ms, std::int64_t t1_ms) {
+    obs::TraceSpan span;
+    span.kind = kind;
+    span.arg0 = cta;
+    span.t0_ns = t0_ms * 1'000'000;
+    span.t1_ns = t1_ms * 1'000'000;
+    spans.push_back(span);
+  };
+  push(obs::EventKind::kMacSegment, 0, 0, 10);
+  push(obs::EventKind::kMacSegment, 1, 0, 4);   // CTA 1 idles 6 ms
+  push(obs::EventKind::kFixupWait, 1, 4, 6);
+  push(obs::EventKind::kPack, -1, 0, 2);
+  obs::WaterfallInputs inputs;
+  inputs.measured_seconds = 0.012;
+  inputs.roofline_seconds = 0.007;
+  inputs.ctas = 2;
+  inputs.reps = 1;
+  inputs.spans = spans;
+  const obs::EfficiencyWaterfall w = obs::build_waterfall(inputs);
+  expect(std::abs(w.bucket_sum() - w.gap_seconds) < 1e-12,
+         "waterfall buckets sum to gap");
+  expect(!w.pmu_based, "synthetic trace is timing-only");
+  expect(w.fixup_seconds > 0.0, "fixup bucket sees the wait span");
+  expect(w.pack_seconds > 0.0, "pack bucket sees the pack span");
+
+  // Canned diagnoses: each rule fires on its designed evidence.
+  {
+    obs::DoctorInputs d;
+    d.waterfall = w;
+    d.pmu_available = false;
+    d.pmu_reason = "selftest";
+    d.grid = 2;
+    d.workers = 4;
+    const auto findings = obs::diagnose(d);
+    expect(has_rule(findings, obs::rules::kPmuUnavailable),
+           "timing-only run reports DR-PMU-UNAVAILABLE");
+    expect(!has_rule(findings, obs::rules::kOversub),
+           "grid <= workers must not report DR-OVERSUB");
+  }
+  {
+    obs::DoctorInputs d;
+    d.waterfall = w;
+    d.pmu_available = true;
+    d.grid = 16;
+    d.workers = 4;
+    d.panel_fallbacks = 3;
+    const auto findings = obs::diagnose(d);
+    expect(has_rule(findings, obs::rules::kOversub),
+           "grid > workers reports DR-OVERSUB");
+    expect(has_rule(findings, obs::rules::kPanelMiss),
+           "panel fallbacks report DR-PANEL-MISS");
+  }
+  {
+    obs::DoctorInputs d;
+    d.waterfall.measured_seconds = 0.010;
+    d.waterfall.roofline_seconds = 0.009;
+    d.waterfall.gap_seconds = 0.001;
+    d.waterfall.residual_seconds = 0.001;
+    d.pmu_available = true;
+    d.grid = 4;
+    d.workers = 4;
+    const auto findings = obs::diagnose(d);
+    expect(!findings.empty(), "diagnose never returns empty");
+  }
+  {
+    obs::DoctorInputs d;
+    d.waterfall.measured_seconds = 0.010;
+    d.waterfall.roofline_seconds = 0.0098;
+    d.waterfall.gap_seconds = 0.0002;
+    d.waterfall.residual_seconds = 0.0002;
+    d.pmu_available = true;
+    d.grid = 4;
+    d.workers = 4;
+    const auto findings = obs::diagnose(d);
+    expect(findings.size() == 1 && findings[0].rule == obs::rules::kClean,
+           "near-roofline run reports exactly DR-CLEAN");
+  }
+  {
+    obs::DoctorInputs d;
+    d.waterfall.measured_seconds = 0.010;
+    d.waterfall.roofline_seconds = 0.004;
+    d.waterfall.gap_seconds = 0.006;
+    d.waterfall.imbalance_seconds = 0.004;
+    d.waterfall.residual_seconds = 0.002;
+    d.waterfall.profile.makespan_ns = 10'000'000;
+    d.waterfall.profile.busy_sum_ns = 12'000'000;
+    d.waterfall.profile.ctas.resize(2);
+    d.pmu_available = true;
+    d.grid = 2;
+    d.workers = 4;
+    const auto findings = obs::diagnose(d);
+    expect(has_rule(findings, obs::rules::kImbalance),
+           "idle-tail evidence reports DR-IMBALANCE");
+  }
+  {
+    obs::DoctorInputs d;
+    d.waterfall.measured_seconds = 0.010;
+    d.waterfall.roofline_seconds = 0.005;
+    d.waterfall.gap_seconds = 0.005;
+    d.waterfall.memory_stall_seconds = 0.004;
+    d.waterfall.residual_seconds = 0.001;
+    d.waterfall.pmu_based = true;
+    d.waterfall.profile.pmu_spans = 8;
+    d.waterfall.profile.cycles_sum = 1'000'000;
+    d.waterfall.profile.stalled_sum = 600'000;
+    d.pmu_available = true;
+    d.grid = 4;
+    d.workers = 4;
+    const auto findings = obs::diagnose(d);
+    expect(has_rule(findings, obs::rules::kMemBound),
+           "stall-share evidence reports DR-MEM-BOUND");
+  }
+  {
+    obs::DoctorInputs d;
+    d.waterfall.measured_seconds = 0.010;
+    d.waterfall.roofline_seconds = 0.005;
+    d.waterfall.gap_seconds = 0.005;
+    d.waterfall.fixup_seconds = 0.002;
+    d.waterfall.residual_seconds = 0.003;
+    d.pmu_available = true;
+    d.grid = 4;
+    d.workers = 4;
+    const auto findings = obs::diagnose(d);
+    expect(has_rule(findings, obs::rules::kFixupHeavy),
+           "fixup-share evidence reports DR-FIXUP-HEAVY");
+    expect(has_rule(findings, obs::rules::kModelDrift),
+           "residual-share evidence reports DR-MODEL-DRIFT");
+  }
+
+  if (failures == 0) {
+    std::cout << "streamk_doctor selftest: OK (8 rule ids, waterfall "
+                 "closure, 7 diagnosis scenarios)\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse_args(argc, argv);
+  if (options.selftest) return selftest();
+
+  const std::size_t workers =
+      options.workers != 0
+          ? options.workers
+          : std::max(1u, std::thread::hardware_concurrency());
+
+  // PMU arming: explicit --no-pmu wins, then the environment/availability.
+  bool pmu_on = false;
+  std::string pmu_reason;
+  if (options.no_pmu) {
+    pmu_reason = "disabled by --no-pmu";
+  } else if (obs::arm_pmu()) {
+    pmu_on = true;
+  } else {
+    pmu_reason = obs::pmu_unavailable_reason();
+  }
+
+  const gpu::BlockShape block = cpu::default_cpu_block(gpu::Precision::kFp64);
+  const gpu::GpuSpec proxy = cpu::host_proxy_spec(workers);
+  const model::CostModel cost_model =
+      model::CostModel::calibrated(proxy, block, gpu::Precision::kFp64);
+  util::Pcg32 rng(42);
+
+  // -------------------------------------------------------------------------
+  // 1. Calibration: perfectly-quantized data-parallel shape (tiles ==
+  //    workers, whole k per tile).  The model is most trustworthy here, so
+  //    measured/predicted calibrates model units to this machine.
+  // -------------------------------------------------------------------------
+  const core::GemmShape calib_shape{
+      block.m * static_cast<std::int64_t>(workers), block.n,
+      block.k * 64};
+  const core::WorkMapping calib_mapping(calib_shape, block);
+  core::DecompositionSpec calib_spec;
+  calib_spec.kind = core::DecompositionKind::kDataParallel;
+  calib_spec.sm_count = static_cast<std::int64_t>(workers);
+  const double predicted_calib = model::closed_form_estimate(
+      calib_spec, cost_model, calib_mapping, proxy);
+
+  cpu::Matrix<double> ca(calib_shape.m, calib_shape.k);
+  cpu::Matrix<double> cb(calib_shape.k, calib_shape.n);
+  cpu::Matrix<double> cc(calib_shape.m, calib_shape.n);
+  cpu::fill_random(ca, rng, -0.5, 0.5);
+  cpu::fill_random(cb, rng, -0.5, 0.5);
+  cpu::GemmOptions calib_options;
+  calib_options.schedule = cpu::Schedule::kDataParallel;
+  calib_options.workers = workers;
+  cpu::gemm(ca, cb, cc, calib_options);  // warmup
+  const double measured_calib = best_of(
+      options.reps, [&] { cpu::gemm(ca, cb, cc, calib_options); });
+  const double scale =
+      predicted_calib > 0.0 ? measured_calib / predicted_calib : 0.0;
+
+  // -------------------------------------------------------------------------
+  // 2. Target run under trace (+ PMU) sampling.
+  // -------------------------------------------------------------------------
+  cpu::Matrix<double> a(options.shape.m, options.shape.k);
+  cpu::Matrix<double> b(options.shape.k, options.shape.n);
+  cpu::Matrix<double> c(options.shape.m, options.shape.n);
+  cpu::fill_random(a, rng, -0.5, 0.5);
+  cpu::fill_random(b, rng, -0.5, 0.5);
+
+  cpu::GemmOptions gemm_options;
+  gemm_options.schedule = options.schedule;
+  gemm_options.grid = options.grid;
+  gemm_options.split = options.split;
+  gemm_options.workers = workers;
+
+  cpu::GemmReport report = cpu::gemm(a, b, c, gemm_options);  // warmup
+
+  const std::int64_t fallbacks_before =
+      obs::counter("panel_cache.fallbacks").value();
+  obs::arm_trace();
+  obs::reset_trace();
+  const double measured = best_of(
+      options.reps, [&] { report = cpu::gemm(a, b, c, gemm_options); });
+  const std::vector<obs::TraceSpan> spans = obs::snapshot_trace();
+  obs::disarm_trace();
+  const std::int64_t panel_fallbacks =
+      obs::counter("panel_cache.fallbacks").value() - fallbacks_before;
+
+  const core::WorkMapping mapping(options.shape, block);
+  const double predicted_target =
+      model::closed_form_estimate(report.spec, cost_model, mapping, proxy);
+  const double roofline = predicted_target * scale;
+
+  // -------------------------------------------------------------------------
+  // 3. Attribution + diagnosis.
+  // -------------------------------------------------------------------------
+  obs::WaterfallInputs inputs;
+  inputs.measured_seconds = measured;
+  inputs.roofline_seconds = roofline;
+  inputs.ctas = report.grid;
+  inputs.reps = options.reps;
+  inputs.spans = spans;
+  const obs::EfficiencyWaterfall waterfall = obs::build_waterfall(inputs);
+
+  obs::DoctorInputs doctor_inputs;
+  doctor_inputs.waterfall = waterfall;
+  doctor_inputs.pmu_available = pmu_on;
+  doctor_inputs.pmu_reason = pmu_reason;
+  doctor_inputs.grid = report.grid;
+  doctor_inputs.workers = static_cast<std::int64_t>(workers);
+  doctor_inputs.panel_fallbacks = panel_fallbacks;
+  const std::vector<obs::Diagnosis> findings = obs::diagnose(doctor_inputs);
+
+  if (options.json) {
+    std::cout << "{\"shape\":\"" << options.shape.m << "x" << options.shape.n
+              << "x" << options.shape.k << "\",\"schedule\":\""
+              << json_escape(report.schedule_name)
+              << "\",\"grid\":" << report.grid << ",\"workers\":" << workers
+              << ",\"reps\":" << options.reps
+              << ",\"measured_seconds\":" << measured
+              << ",\"gflops\":" << report.gflops
+              << ",\"calibration\":{\"measured_seconds\":" << measured_calib
+              << ",\"predicted_model_units\":" << predicted_calib
+              << ",\"scale\":" << scale << "}"
+              << ",\"pmu\":{\"available\":" << (pmu_on ? "true" : "false")
+              << ",\"reason\":\"" << json_escape(pmu_reason) << "\"}"
+              << ",\"waterfall\":" << obs::waterfall_json(waterfall)
+              << ",\"diagnoses\":[";
+    bool first = true;
+    for (const obs::Diagnosis& d : findings) {
+      std::cout << (first ? "" : ",") << "{\"rule\":\"" << d.rule
+                << "\",\"detail\":\"" << json_escape(d.detail) << "\"}";
+      first = false;
+    }
+    std::cout << "]}\n";
+  } else {
+    std::cout << "streamk_doctor: " << options.shape.m << "x"
+              << options.shape.n << "x" << options.shape.k << "  schedule "
+              << report.schedule_name << "  grid " << report.grid
+              << "  workers " << workers << "  reps " << options.reps << "\n"
+              << "  best rep " << measured * 1e3 << " ms (" << report.gflops
+              << " GFLOP/s), calibration scale " << scale << "\n"
+              << (pmu_on ? "  pmu: counters attached to spans\n"
+                         : "  pmu: unavailable (" + pmu_reason +
+                               "), timing-only\n")
+              << "\n"
+              << obs::render_waterfall(waterfall) << "\ndiagnoses:\n";
+    for (const obs::Diagnosis& d : findings) {
+      std::cout << "  [" << d.rule << "] " << d.detail << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,8 +1,9 @@
 // streamk_profile: the Stream-K load-balance profiler.
 //
-//   streamk_profile [--shape MxNxK] [--schedule auto|dp|split|streamk|
-//                    hybrid1|hybrid2] [--grid N] [--split S] [--workers W]
-//                    [--reps R] [--json] [--trace FILE] [--metrics FILE]
+//   streamk_profile [--shape MxNxK | --group MxNxK[*C][+...]]
+//                   [--schedule auto|dp|split|streamk|hybrid1|hybrid2]
+//                   [--grid N] [--split S] [--workers W]
+//                   [--reps R] [--json] [--trace FILE] [--metrics FILE]
 //
 // Runs the requested GEMM under the obs trace layer and prints the
 // imbalance report the paper's figures argue from: per-CTA busy time,
@@ -10,6 +11,10 @@
 // before the trace epoch opens, so plan compilation and pool spin-up do not
 // pollute the measured timeline.
 //
+//   --group SPEC    profile ONE grouped ragged-batch GEMM instead of a
+//                   single shape: '+'-separated member shapes, each with an
+//                   optional *count multiplicity (same grammar as
+//                   streamk_tune), scheduled as one Stream-K domain
 //   --json          print the profile as JSON instead of the table
 //   --trace FILE    also dump the measured reps' Chrome trace-event JSON
 //                   (loads in chrome://tracing and ui.perfetto.dev)
@@ -25,8 +30,11 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "cli_common.hpp"
 #include "cpu/gemm.hpp"
+#include "cpu/grouped.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -39,6 +47,7 @@ using namespace streamk;
 
 struct CliOptions {
   core::GemmShape shape{384, 384, 1024};
+  std::vector<core::GemmShape> group;  ///< non-empty = grouped mode
   cpu::Schedule schedule = cpu::Schedule::kStreamK;
   std::int64_t grid = 0;
   std::int64_t split = 2;
@@ -51,37 +60,12 @@ struct CliOptions {
 
 [[noreturn]] void usage() {
   std::cerr
-      << "usage: streamk_profile [--shape MxNxK] [--schedule auto|dp|split|"
-         "streamk|hybrid1|hybrid2]\n"
+      << "usage: streamk_profile [--shape MxNxK | --group MxNxK[*C][+...]]\n"
+         "                       [--schedule auto|dp|split|streamk|"
+         "hybrid1|hybrid2]\n"
          "                       [--grid N] [--split S] [--workers W] "
          "[--reps R]\n"
          "                       [--json] [--trace FILE] [--metrics FILE]\n";
-  std::exit(2);
-}
-
-core::GemmShape parse_shape(const std::string& token) {
-  core::GemmShape shape;
-  char sep1 = 0;
-  char sep2 = 0;
-  std::istringstream is(token);
-  is >> shape.m >> sep1 >> shape.n >> sep2 >> shape.k;
-  if (!is || is.get() != EOF || sep1 != 'x' || sep2 != 'x' ||
-      !shape.valid()) {
-    std::cerr << "streamk_profile: bad --shape '" << token
-              << "' (want MxNxK, e.g. 384x384x1024)\n";
-    std::exit(2);
-  }
-  return shape;
-}
-
-cpu::Schedule parse_schedule(const std::string& token) {
-  if (token == "auto") return cpu::Schedule::kAuto;
-  if (token == "dp") return cpu::Schedule::kDataParallel;
-  if (token == "split") return cpu::Schedule::kFixedSplit;
-  if (token == "streamk") return cpu::Schedule::kStreamK;
-  if (token == "hybrid1") return cpu::Schedule::kHybridOneTile;
-  if (token == "hybrid2") return cpu::Schedule::kHybridTwoTile;
-  std::cerr << "streamk_profile: bad --schedule '" << token << "'\n";
   std::exit(2);
 }
 
@@ -94,9 +78,11 @@ CliOptions parse_args(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--shape") {
-      options.shape = parse_shape(value());
+      options.shape = tools::parse_shape(value(), "streamk_profile");
+    } else if (arg == "--group") {
+      options.group = tools::parse_group(value(), "streamk_profile");
     } else if (arg == "--schedule") {
-      options.schedule = parse_schedule(value());
+      options.schedule = tools::parse_schedule(value(), "streamk_profile");
     } else if (arg == "--grid") {
       options.grid = std::atoll(value().c_str());
     } else if (arg == "--split") {
@@ -125,27 +111,63 @@ CliOptions parse_args(int argc, char** argv) {
 int main(int argc, char** argv) {
   const CliOptions options = parse_args(argc, argv);
 
-  cpu::Matrix<double> a(options.shape.m, options.shape.k);
-  cpu::Matrix<double> b(options.shape.k, options.shape.n);
-  cpu::Matrix<double> c(options.shape.m, options.shape.n);
-  util::Pcg32 rng(42);
-  cpu::fill_random(a, rng, -0.5, 0.5);
-  cpu::fill_random(b, rng, -0.5, 0.5);
-
   cpu::GemmOptions gemm_options;
   gemm_options.schedule = options.schedule;
   gemm_options.grid = options.grid;
   gemm_options.split = options.split;
   gemm_options.workers = options.workers;
 
-  // Warmup outside the trace epoch: compiles and caches the plan, spins up
-  // the pool, binds the pooled workspaces.
-  cpu::GemmReport report = cpu::gemm(a, b, c, gemm_options);
+  util::Pcg32 rng(42);
+  cpu::GemmReport report;
+  std::string shape_label;
 
-  obs::arm_trace();
-  obs::reset_trace();
-  for (int rep = 0; rep < options.reps; ++rep) {
+  if (options.group.empty()) {
+    shape_label = std::to_string(options.shape.m) + "x" +
+                  std::to_string(options.shape.n) + "x" +
+                  std::to_string(options.shape.k);
+    cpu::Matrix<double> a(options.shape.m, options.shape.k);
+    cpu::Matrix<double> b(options.shape.k, options.shape.n);
+    cpu::Matrix<double> c(options.shape.m, options.shape.n);
+    cpu::fill_random(a, rng, -0.5, 0.5);
+    cpu::fill_random(b, rng, -0.5, 0.5);
+
+    // Warmup outside the trace epoch: compiles and caches the plan, spins
+    // up the pool, binds the pooled workspaces.
     report = cpu::gemm(a, b, c, gemm_options);
+
+    obs::arm_trace();
+    obs::reset_trace();
+    for (int rep = 0; rep < options.reps; ++rep) {
+      report = cpu::gemm(a, b, c, gemm_options);
+    }
+  } else {
+    shape_label = "group[" + std::to_string(options.group.size()) + "]";
+    std::vector<cpu::Matrix<double>> as;
+    std::vector<cpu::Matrix<double>> bs;
+    std::vector<cpu::Matrix<double>> cs;
+    as.reserve(options.group.size());
+    bs.reserve(options.group.size());
+    cs.reserve(options.group.size());
+    for (const core::GemmShape& shape : options.group) {
+      as.emplace_back(shape.m, shape.k);
+      bs.emplace_back(shape.k, shape.n);
+      cs.emplace_back(shape.m, shape.n);
+      cpu::fill_random(as.back(), rng, -0.5, 0.5);
+      cpu::fill_random(bs.back(), rng, -0.5, 0.5);
+    }
+    const std::span<const cpu::Matrix<double>> as_span(as);
+    const std::span<const cpu::Matrix<double>> bs_span(bs);
+    const std::span<cpu::Matrix<double>> cs_span(cs);
+
+    report = cpu::grouped_gemm<double, double, double>(as_span, bs_span,
+                                                       cs_span, gemm_options);
+
+    obs::arm_trace();
+    obs::reset_trace();
+    for (int rep = 0; rep < options.reps; ++rep) {
+      report = cpu::grouped_gemm<double, double, double>(
+          as_span, bs_span, cs_span, gemm_options);
+    }
   }
   const std::vector<obs::TraceSpan> spans = obs::snapshot_trace();
   obs::disarm_trace();
@@ -154,11 +176,10 @@ int main(int argc, char** argv) {
       obs::build_load_balance_profile(spans);
 
   if (!options.json) {
-    std::cout << "shape " << options.shape.m << "x" << options.shape.n << "x"
-              << options.shape.k << "  schedule " << report.schedule_name
-              << "  grid " << report.grid << "  tiles " << report.tiles
-              << "  spills " << report.spills << "  reps " << options.reps
-              << "\n"
+    std::cout << "shape " << shape_label << "  schedule "
+              << report.schedule_name << "  grid " << report.grid
+              << "  tiles " << report.tiles << "  spills " << report.spills
+              << "  reps " << options.reps << "\n"
               << "last rep: " << report.seconds * 1e3 << " ms, "
               << report.gflops << " GFLOP/s\n\n";
     std::cout << obs::render_load_balance_profile(profile);

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "bencher/table.hpp"
+#include "cli_common.hpp"
 #include "epilogue/epilogue.hpp"
 #include "corpus/corpus.hpp"
 #include "cpu/gemm.hpp"
@@ -71,58 +72,13 @@ struct CliOptions {
   std::exit(2);
 }
 
+// Shape and group grammar shared with streamk_profile / streamk_doctor.
 core::GemmShape parse_shape(const std::string& token) {
-  core::GemmShape shape;
-  char sep1 = 0;
-  char sep2 = 0;
-  std::istringstream is(token);
-  is >> shape.m >> sep1 >> shape.n >> sep2 >> shape.k;
-  // get() must hit EOF: trailing junk ("96x96x128x512") means the user
-  // asked for something this parser does not express.
-  if (!is || is.get() != EOF || sep1 != 'x' || sep2 != 'x' ||
-      !shape.valid()) {
-    std::cerr << "streamk_tune: bad --shape '" << token
-              << "' (want MxNxK, e.g. 256x256x512)\n";
-    std::exit(2);
-  }
-  return shape;
+  return tools::parse_shape(token, "streamk_tune");
 }
 
-/// One --group spec: '+'-separated members, each `MxNxK` with an optional
-/// `*count` multiplicity.  Order never matters to the database key (the
-/// digest is a shape-multiset), but the member list is what tune/ab
-/// actually execute, so it is kept as written.
 std::vector<core::GemmShape> parse_group(const std::string& token) {
-  std::vector<core::GemmShape> shapes;
-  std::istringstream members(token);
-  std::string member;
-  while (std::getline(members, member, '+')) {
-    std::string shape_part = member;
-    long long count = 1;
-    if (const std::size_t star = member.find('*');
-        star != std::string::npos) {
-      shape_part = member.substr(0, star);
-      const std::string count_part = member.substr(star + 1);
-      std::size_t consumed = 0;
-      try {
-        count = std::stoll(count_part, &consumed);
-      } catch (const std::exception&) {
-        count = 0;
-      }
-      if (consumed != count_part.size() || count < 1) {
-        std::cerr << "streamk_tune: bad --group multiplicity '" << member
-                  << "' (want MxNxK*count, count >= 1)\n";
-        std::exit(2);
-      }
-    }
-    const core::GemmShape shape = parse_shape(shape_part);
-    shapes.insert(shapes.end(), static_cast<std::size_t>(count), shape);
-  }
-  if (shapes.empty()) {
-    std::cerr << "streamk_tune: empty --group spec '" << token << "'\n";
-    std::exit(2);
-  }
-  return shapes;
+  return tools::parse_group(token, "streamk_tune");
 }
 
 /// Full-string numeric parse; anything else (including trailing junk like
